@@ -1,0 +1,278 @@
+//! Criterion micro-benchmarks of the engine hot paths.
+//!
+//! The figures harness (`bin/figures.rs`) measures system-level cost;
+//! these isolate the per-operation costs underneath: parsing, planning,
+//! strand execution (trigger + join + select), aggregate recomputation,
+//! tracer record matching (§2.1.2), the wire codec, and ring-interval
+//! membership. They also carry two ablations the DESIGN.md calls out:
+//! tracer record matching under pipelined vs sequential tap streams, and
+//! table probe via the indexed path vs full scan.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use p2_chord::{chord_program, ChordConfig};
+use p2_core::{Node, NodeConfig};
+use p2_dataflow::{NullSink, StrandRuntime, TapEvent, TapKind, TapSink};
+use p2_planner::compile_program;
+use p2_planner::expr::FixedCtx;
+use p2_store::{Catalog, TableSpec};
+use p2_trace::{TraceConfig, Tracer};
+use p2_types::{Addr, Interval, RingId, Time, TimeDelta, Tuple, Value};
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_frontend(c: &mut Criterion) {
+    let chord_src = chord_program(&ChordConfig::default());
+    c.bench_function("parse_chord_program", |b| {
+        b.iter(|| p2_overlog::parse_program(black_box(&chord_src)).unwrap())
+    });
+    let parsed = p2_overlog::compile(&chord_src).unwrap();
+    c.bench_function("plan_chord_program", |b| {
+        b.iter(|| compile_program(black_box(&parsed), &HashSet::new()).unwrap())
+    });
+    let printed = p2_overlog::pretty::program_to_string(&parsed);
+    c.bench_function("pretty_print_chord", |b| {
+        b.iter(|| p2_overlog::pretty::program_to_string(black_box(&parsed)));
+        black_box(&printed);
+    });
+}
+
+fn strand_fixture(rows: usize) -> (StrandRuntime, Catalog, Tuple) {
+    let prog = p2_overlog::parse_program(
+        "materialize(pred, 1000, 100000, keys(1, 3)).
+         rp4 out@NAddr(PAddr) :- ev@NAddr(SomeID, SomeAddr), pred@NAddr(PID, PAddr), SomeAddr != PAddr.",
+    )
+    .unwrap();
+    let compiled = compile_program(&prog, &HashSet::new()).unwrap();
+    let mut cat = Catalog::new();
+    for t in &compiled.tables {
+        cat.register(TableSpec::new(
+            &t.name,
+            t.lifetime_secs.map(TimeDelta::from_secs_f64),
+            t.max_rows,
+            t.key_fields.clone(),
+        ))
+        .unwrap();
+    }
+    for i in 0..rows {
+        cat.insert(
+            Tuple::new(
+                "pred",
+                [Value::addr("n1"), Value::id(i as u64), Value::addr(format!("p{i}"))],
+            ),
+            Time::ZERO,
+        )
+        .unwrap();
+    }
+    let strand = StrandRuntime::new(Arc::new(compiled.strands[0].clone()));
+    let trig = Tuple::new("ev", [Value::addr("n1"), Value::id(7), Value::addr("x")]);
+    (strand, cat, trig)
+}
+
+fn bench_strand(c: &mut Criterion) {
+    for rows in [1usize, 64, 1024] {
+        c.bench_function(&format!("strand_fire_join_{rows}_rows"), |b| {
+            let (mut strand, mut cat, trig) = strand_fixture(rows);
+            let mut ctx = FixedCtx::default();
+            let mut sink = NullSink;
+            b.iter(|| {
+                let mut actions = Vec::new();
+                strand.fire(&trig, &mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+                strand.run_to_quiescence(&mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+                black_box(actions)
+            })
+        });
+    }
+
+    // Aggregate recomputation (the cs6-style table-trigger path).
+    c.bench_function("aggregate_recount_256_rows", |b| {
+        let prog = p2_overlog::parse_program(
+            "materialize(resp, 1000, 100000, keys(1, 3)).
+             cs6 cluster@N(P, S, count<*>) :- resp@N(P, R, S).",
+        )
+        .unwrap();
+        let compiled = compile_program(&prog, &HashSet::new()).unwrap();
+        let mut cat = Catalog::new();
+        let t = &compiled.tables[0];
+        cat.register(TableSpec::new(
+            &t.name,
+            None,
+            t.max_rows,
+            t.key_fields.clone(),
+        ))
+        .unwrap();
+        for i in 0..256 {
+            cat.insert(
+                Tuple::new(
+                    "resp",
+                    [Value::addr("n"), Value::Int(1), Value::id(i), Value::addr("s")],
+                ),
+                Time::ZERO,
+            )
+            .unwrap();
+        }
+        let mut strand = StrandRuntime::new(Arc::new(compiled.strands[0].clone()));
+        let delta = Tuple::new(
+            "resp",
+            [Value::addr("n"), Value::Int(1), Value::id(0), Value::addr("s")],
+        );
+        let mut ctx = FixedCtx::default();
+        let mut sink = NullSink;
+        b.iter(|| {
+            let mut actions = Vec::new();
+            strand.fire(&delta, &mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+            black_box(actions)
+        })
+    });
+}
+
+fn bench_tracer(c: &mut Criterion) {
+    // Ablation: record matching cost for sequential vs pipelined tap
+    // streams (§2.1.2). Both process the same number of events.
+    let seq_stream: Vec<TapKind> = (0..8)
+        .flat_map(|i| {
+            vec![
+                TapKind::Input { tuple: Tuple::new("ev", [Value::Int(i)]) },
+                TapKind::Precondition { stage: 0, tuple: Tuple::new("p1", [Value::Int(i)]) },
+                TapKind::Precondition { stage: 1, tuple: Tuple::new("p2", [Value::Int(i)]) },
+                TapKind::Output { tuple: Tuple::new("h", [Value::Int(i)]) },
+                TapKind::StageComplete { stage: 0 },
+                TapKind::StageComplete { stage: 1 },
+            ]
+        })
+        .collect();
+    let mut pipelined: Vec<TapKind> = Vec::new();
+    for i in 0..8i64 {
+        pipelined.push(TapKind::Input { tuple: Tuple::new("ev", [Value::Int(i)]) });
+        pipelined.push(TapKind::Precondition { stage: 0, tuple: Tuple::new("p1", [Value::Int(i)]) });
+        pipelined.push(TapKind::StageComplete { stage: 0 });
+        if i > 0 {
+            pipelined.push(TapKind::Precondition {
+                stage: 1,
+                tuple: Tuple::new("p2", [Value::Int(i - 1)]),
+            });
+            pipelined.push(TapKind::Output { tuple: Tuple::new("h", [Value::Int(i - 1)]) });
+            pipelined.push(TapKind::StageComplete { stage: 1 });
+        }
+    }
+    for (name, stream) in [("tracer_sequential_taps", &seq_stream), ("tracer_pipelined_taps", &pipelined)] {
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || Tracer::new(Addr::new("n"), TraceConfig::default()),
+                |mut tr| {
+                    for (i, kind) in stream.iter().enumerate() {
+                        tr.tap(TapEvent {
+                            strand_id: Arc::from("r2"),
+                            rule_label: Arc::from("r2"),
+                            stage_count: 2,
+                            kind: kind.clone(),
+                            at: Time(i as u64),
+                        });
+                    }
+                    black_box(tr.drain_rows())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    c.bench_function("wire_roundtrip_envelope", |b| {
+        let env = p2_net::Envelope {
+            tuple: Tuple::new(
+                "lookupResults",
+                [
+                    Value::addr("n1"),
+                    Value::id(0xDEAD),
+                    Value::id(0xBEEF),
+                    Value::addr("n2"),
+                    Value::id(42),
+                    Value::addr("n3"),
+                ],
+            ),
+            src: Addr::new("n3"),
+            dst: Addr::new("n1"),
+            src_tuple_id: Some(p2_types::TupleId(9)),
+            delete: false,
+        };
+        b.iter(|| {
+            let bytes = p2_net::wire::encode_envelope(black_box(&env));
+            black_box(p2_net::wire::decode_envelope(&bytes).unwrap())
+        })
+    });
+
+    c.bench_function("interval_membership", |b| {
+        let iv = Interval::open_closed(RingId(100), RingId(50)); // wraps
+        b.iter(|| {
+            let mut hits = 0u32;
+            for x in 0..1000u64 {
+                if iv.contains(RingId(x.wrapping_mul(0x9E3779B97F4A7C15))) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    // Ablation: indexed probe vs full scan on the join path.
+    let mut table_cat = Catalog::new();
+    table_cat
+        .register(TableSpec::new("t", None, None, vec![0, 1]))
+        .unwrap();
+    for i in 0..4096u64 {
+        table_cat
+            .insert(
+                Tuple::new("t", [Value::addr(format!("n{}", i % 64)), Value::id(i)]),
+                Time::ZERO,
+            )
+            .unwrap();
+    }
+    c.bench_function("table_scan_eq_4096", |b| {
+        b.iter(|| black_box(table_cat.scan_eq("t", 0, &Value::addr("n7"), Time::ZERO)))
+    });
+    c.bench_function("table_full_scan_4096", |b| {
+        b.iter(|| black_box(table_cat.scan("t", Time::ZERO)))
+    });
+}
+
+fn bench_node(c: &mut Criterion) {
+    c.bench_function("node_install_chord", |b| {
+        let src = chord_program(&ChordConfig::default());
+        b.iter_batched(
+            || Node::new(Addr::new("n"), NodeConfig::default()),
+            |mut node| {
+                node.install(black_box(&src), Time::ZERO).unwrap();
+                black_box(node)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("node_event_dispatch", |b| {
+        let mut node = Node::new(Addr::new("n"), NodeConfig::default());
+        node.install(
+            "materialize(s, 1000, 1000, keys(1, 2)).
+             r1 s@N(X) :- ev@N(X).
+             r2 out@N(X) :- s@N(X).",
+            Time::ZERO,
+        )
+        .unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            node.inject(Tuple::new("ev", [Value::addr("n"), Value::Int(i % 500)]));
+            black_box(node.pump(Time::ZERO));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_strand,
+    bench_tracer,
+    bench_substrate,
+    bench_node
+);
+criterion_main!(benches);

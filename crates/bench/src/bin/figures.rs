@@ -1,0 +1,99 @@
+//! CLI: regenerate every table/figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p p2-bench --release --bin figures -- all
+//! cargo run -p p2-bench --release --bin figures -- fig6 --quick
+//! cargo run -p p2-bench --release --bin figures -- e1 --json out.json
+//! ```
+
+use p2_bench::experiments::*;
+use p2_bench::report::{print_table, to_json, Row};
+use p2_bench::BenchParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let params = if quick { BenchParams::quick() } else { BenchParams::full() };
+    let fig45_counts: &[usize] =
+        if quick { &[0, 50, 100] } else { &[0, 50, 100, 150, 200, 250] };
+
+    eprintln!(
+        "p2ql evaluation: {} nodes, {}s warmup, {}s window, seeds {:?}",
+        params.nodes, params.warmup_secs, params.window_secs, params.seeds
+    );
+
+    let mut all_rows: Vec<Row> = Vec::new();
+    let run_e1 = |rows: &mut Vec<Row>| {
+        let r = e1_logging_cost(&params);
+        let (cpu, mem) = e1_ratios(&r);
+        print_table("E1 — execution logging cost (§4: paper +40% CPU, +66% memory)", &r);
+        println!("   measured: CPU x{cpu:.2}, memory x{mem:.2}");
+        rows.extend(r);
+    };
+    let run_fig4 = |rows: &mut Vec<Row>| {
+        let r = fig4_periodic_rules(&params, fig45_counts);
+        print_table("Figure 4 — periodic rules, period 1s (paper: ~linear CPU to ~4.5% @250)", &r);
+        rows.extend(r);
+    };
+    let run_fig5 = |rows: &mut Vec<Row>| {
+        let r = fig5_piggyback_rules(&params, fig45_counts);
+        print_table("Figure 5 — piggy-backed rules with state lookup (paper: steeper than Fig 4)", &r);
+        rows.extend(r);
+    };
+    let run_fig6 = |rows: &mut Vec<Row>| {
+        let r = fig6_consistency_probes(&params);
+        print_table("Figure 6 — proactive consistency probes vs rate (paper: superlinear CPU)", &r);
+        rows.extend(r);
+    };
+    let run_fig7 = |rows: &mut Vec<Row>| {
+        let r = fig7_snapshots(&params);
+        print_table("Figure 7 — consistent snapshots vs rate (paper: much cheaper than Fig 6)", &r);
+        rows.extend(r);
+    };
+    let run_ablations = |rows: &mut Vec<Row>| {
+        let r = ablation_ring_checks(&params);
+        print_table("Ablation — ring checks: active probing vs passive (§3.1.1 trade-off)", &r);
+        rows.extend(r);
+        let budgets: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 16] };
+        let r = ablation_record_budget(&params, budgets);
+        print_table("Ablation — tracer record budget per strand (§3.4 optimization)", &r);
+        rows.extend(r);
+    };
+
+    match which.as_str() {
+        "e1" => run_e1(&mut all_rows),
+        "fig4" => run_fig4(&mut all_rows),
+        "fig5" => run_fig5(&mut all_rows),
+        "fig6" => run_fig6(&mut all_rows),
+        "fig7" => run_fig7(&mut all_rows),
+        "ablations" => run_ablations(&mut all_rows),
+        "all" => {
+            run_e1(&mut all_rows);
+            run_fig4(&mut all_rows);
+            run_fig5(&mut all_rows);
+            run_fig6(&mut all_rows);
+            run_fig7(&mut all_rows);
+            run_ablations(&mut all_rows);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'; use e1|fig4|fig5|fig6|fig7|ablations|all");
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&all_rows)).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

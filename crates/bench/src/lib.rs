@@ -1,0 +1,33 @@
+//! # p2-bench — the Section 4 evaluation, regenerated
+//!
+//! One harness per measurement in the paper's evaluation:
+//!
+//! | target | paper result |
+//! |---|---|
+//! | [`experiments::e1_logging_cost`] | §4 text: execution logging adds ~40% CPU and ~66% memory to a running Chord node |
+//! | [`experiments::fig4_periodic_rules`] | Figure 4: CPU/memory vs number of periodic rules (1 s period) |
+//! | [`experiments::fig5_piggyback_rules`] | Figure 5: CPU/memory vs number of piggy-backed rules with a `bestSucc` lookup |
+//! | [`experiments::fig6_consistency_probes`] | Figure 6: CPU/messages/memory/live-tuples vs probe rate (1/32 … 1 s⁻¹) |
+//! | [`experiments::fig7_snapshots`] | Figure 7: the same four series for consistent snapshots |
+//! | [`experiments::ablation_ring_checks`] | §3.1.1 trade-off: active probing vs passive checking message cost |
+//!
+//! The measurement protocol mirrors §4: a population of virtual nodes
+//! (21 in full mode) runs Chord with fingers fixed every 10 s,
+//! stabilization every 5 s, liveness pings every 5 s; the population
+//! warms up, then one designated node is measured over a steady-state
+//! window, three seeds per datapoint, mean ± standard deviation
+//! reported. *CPU utilization* is measured wall-clock processing time of
+//! the node's dataflow divided by the virtual window (the substitution
+//! argument is in DESIGN.md §2.4); *memory* is live-tuple bytes
+//! (tables + tracer); *Tx messages* and *live tuples* are exact counts.
+//!
+//! Run `cargo run -p p2-bench --release --bin figures -- all` to print
+//! every table; `--quick` shrinks populations and windows for smoke
+//! testing.
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use harness::{BenchParams, NodeSample};
+pub use report::{print_table, Row};

@@ -1,0 +1,111 @@
+//! Result rows and table rendering.
+
+use crate::harness::NodeSample;
+use serde::Serialize;
+
+/// One datapoint of one experiment, as printed and as exported to JSON.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Experiment identifier (`fig4`, `e1`, ...).
+    pub experiment: String,
+    /// X-axis label ("150 rules", "1/8 per sec", "tracing on", ...).
+    pub x: String,
+    /// Mean CPU utilization, percent.
+    pub cpu_percent: f64,
+    /// Stddev of CPU utilization.
+    pub cpu_std: f64,
+    /// Mean memory, bytes.
+    pub mem_bytes: f64,
+    /// Stddev of memory.
+    pub mem_std: f64,
+    /// Mean live tuples.
+    pub live_tuples: f64,
+    /// Mean messages transmitted in the window.
+    pub tx_messages: f64,
+    /// Mean tuples dispatched in the window (deterministic work proxy).
+    pub dispatches: f64,
+    /// Mean population-wide CPU percent.
+    pub pop_cpu_percent: f64,
+    /// Mean population-wide dispatches.
+    pub pop_dispatches: f64,
+}
+
+impl Row {
+    /// Build a row from aggregated samples.
+    pub fn from_samples(
+        experiment: &str,
+        x: impl Into<String>,
+        mean: NodeSample,
+        std: NodeSample,
+    ) -> Row {
+        Row {
+            experiment: experiment.to_string(),
+            x: x.into(),
+            cpu_percent: mean.cpu_percent,
+            cpu_std: std.cpu_percent,
+            mem_bytes: mean.mem_bytes,
+            mem_std: std.mem_bytes,
+            live_tuples: mean.live_tuples,
+            tx_messages: mean.tx_messages,
+            dispatches: mean.dispatches,
+            pop_cpu_percent: mean.pop_cpu_percent,
+            pop_dispatches: mean.pop_dispatches,
+        }
+    }
+}
+
+/// Print an experiment's rows as an aligned text table (the same series
+/// the paper's figure plots, one row per x value).
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title}");
+    println!(
+        "{:<16} {:>9} {:>7} {:>10} {:>11} {:>9} {:>10} {:>9} {:>11}",
+        "x", "cpu_%", "±", "mem_KB", "live_tuples", "tx_msgs", "dispatches", "popcpu_%", "popdisp"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:>9.3} {:>7.3} {:>10.1} {:>11.0} {:>9.0} {:>10.0} {:>9.2} {:>11.0}",
+            r.x,
+            r.cpu_percent,
+            r.cpu_std,
+            r.mem_bytes / 1024.0,
+            r.live_tuples,
+            r.tx_messages,
+            r.dispatches,
+            r.pop_cpu_percent,
+            r.pop_dispatches
+        );
+    }
+}
+
+/// Serialize rows to a JSON string (one array per experiment), for
+/// EXPERIMENTS.md bookkeeping and external plotting.
+pub fn to_json(rows: &[Row]) -> String {
+    serde_json::to_string_pretty(rows).expect("rows serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_and_serialize() {
+        let rows = vec![Row {
+            experiment: "fig4".into(),
+            x: "50 rules".into(),
+            cpu_percent: 1.25,
+            cpu_std: 0.1,
+            mem_bytes: 2048.0,
+            mem_std: 10.0,
+            live_tuples: 123.0,
+            tx_messages: 456.0,
+            dispatches: 789.0,
+            pop_cpu_percent: 2.0,
+            pop_dispatches: 9999.0,
+        }];
+        print_table("test", &rows);
+        let json = to_json(&rows);
+        assert!(json.contains("\"fig4\""));
+        assert!(json.contains("50 rules"));
+    }
+}

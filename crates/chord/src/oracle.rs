@@ -1,0 +1,297 @@
+//! Native invariant oracles.
+//!
+//! The monitoring rules of §3.1 detect ring malformation *from inside*
+//! the system; these Rust-side oracles compute ground truth *from
+//! outside* (by reading node tables directly), so tests can check both
+//! that the ring actually converges and that the in-band detectors agree
+//! with the out-of-band truth.
+
+use crate::testbed::ChordRing;
+use p2_core::SimHarness;
+use p2_types::{Addr, Interval, RingId, Value};
+use std::collections::HashMap;
+
+/// Read each live node's `bestSucc` pointer.
+pub fn collect_ring(sim: &mut SimHarness, ring: &ChordRing) -> HashMap<Addr, Addr> {
+    let now = sim.now();
+    let mut out = HashMap::new();
+    for addr in ring.addrs.clone() {
+        if sim.is_down(&addr) {
+            continue;
+        }
+        let rows = sim.node_mut(&addr).table_scan("bestSucc", now);
+        if let Some(s) = rows.first().and_then(|row| row.get(2)).and_then(Value::to_addr) {
+            out.insert(addr.clone(), s);
+        }
+    }
+    out
+}
+
+/// Ring well-formedness (§3.1.1): starting from any live node and
+/// following `bestSucc` pointers visits **every** live node exactly once
+/// before returning to the start.
+pub fn ring_is_well_formed(sim: &mut SimHarness, ring: &ChordRing) -> bool {
+    let succ = collect_ring(sim, ring);
+    let live: Vec<Addr> = ring
+        .addrs
+        .iter()
+        .filter(|a| !sim.is_down(a))
+        .cloned()
+        .collect();
+    if live.is_empty() {
+        return true;
+    }
+    if succ.len() != live.len() {
+        return false; // some live node has no successor pointer
+    }
+    let start = live[0].clone();
+    let mut seen = vec![start.clone()];
+    let mut cur = start.clone();
+    for _ in 0..live.len() {
+        let Some(next) = succ.get(&cur) else { return false };
+        if *next == start {
+            return seen.len() == live.len();
+        }
+        if seen.contains(next) {
+            return false; // sub-cycle not containing all nodes
+        }
+        seen.push(next.clone());
+        cur = next.clone();
+    }
+    false
+}
+
+/// Ring ID ordering (§3.1.2): every live node's successor is the live
+/// node with the next higher ID (one wrap-around total).
+pub fn ring_is_ordered(sim: &mut SimHarness, ring: &ChordRing) -> bool {
+    let succ = collect_ring(sim, ring);
+    let sorted = ring.live_sorted(sim);
+    if sorted.len() <= 1 {
+        return true;
+    }
+    for (i, (_, addr)) in sorted.iter().enumerate() {
+        let expected = &sorted[(i + 1) % sorted.len()].1;
+        match succ.get(addr) {
+            Some(s) if s == expected => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// The ground-truth successor of `key`: the live node whose ID segment
+/// `(pred_id, node_id]` contains the key.
+pub fn lookup_oracle(sim: &SimHarness, ring: &ChordRing, key: RingId) -> Option<(RingId, Addr)> {
+    let sorted = ring.live_sorted(sim);
+    if sorted.is_empty() {
+        return None;
+    }
+    if sorted.len() == 1 {
+        return Some(sorted[0].clone());
+    }
+    for (i, (id, addr)) in sorted.iter().enumerate() {
+        let prev = sorted[(i + sorted.len() - 1) % sorted.len()].0;
+        if Interval::open_closed(prev, *id).contains(key) {
+            return Some((*id, addr.clone()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ChordConfig;
+    use crate::testbed::{build_ring, collect_lookup_results, issue_lookup};
+    use p2_types::TimeDelta;
+
+    fn warmed_ring(n: usize, seed: u64, warm_secs: u64) -> (SimHarness, ChordRing) {
+        let mut sim = SimHarness::with_seed(seed);
+        let ring = build_ring(&mut sim, n, &ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(warm_secs));
+        (sim, ring)
+    }
+
+    #[test]
+    fn single_node_answers_all_lookups() {
+        let (mut sim, ring) = warmed_ring(1, 1, 20);
+        let a = ring.addrs[0].clone();
+        sim.node_mut(&a).watch("lookupResults");
+        issue_lookup(&mut sim, &a, RingId(0xDEAD), &a, 1);
+        sim.run_for(TimeDelta::from_secs(1));
+        let results = collect_lookup_results(sim.node_mut(&a).watched("lookupResults"));
+        // Finger-fix lookups also land here; check ours specifically.
+        assert_eq!(results[&RingId(1)].1, a);
+    }
+
+    #[test]
+    fn two_nodes_converge_to_mutual_ring() {
+        let (mut sim, ring) = warmed_ring(2, 2, 90);
+        assert!(ring_is_well_formed(&mut sim, &ring), "2-node ring must close");
+        assert!(ring_is_ordered(&mut sim, &ring));
+        // Each is the other's predecessor.
+        let now = sim.now();
+        for (i, a) in ring.addrs.clone().iter().enumerate() {
+            let other = &ring.addrs[1 - i];
+            let pred = sim.node_mut(a).table_scan("pred", now);
+            assert_eq!(pred.len(), 1);
+            assert_eq!(pred[0].get(2), Some(&Value::Addr(other.clone())), "node {i}");
+        }
+    }
+
+    #[test]
+    fn eight_node_ring_converges_and_orders() {
+        let (mut sim, ring) = warmed_ring(8, 3, 180);
+        assert!(ring_is_well_formed(&mut sim, &ring), "ring not closed");
+        assert!(ring_is_ordered(&mut sim, &ring), "ring not ID-ordered");
+    }
+
+    #[test]
+    fn lookups_agree_with_oracle() {
+        let (mut sim, ring) = warmed_ring(8, 4, 180);
+        assert!(ring_is_ordered(&mut sim, &ring), "warmup insufficient");
+        let origin = ring.addrs[3].clone();
+        sim.node_mut(&origin).watch("lookupResults");
+        let mut rng = p2_types::DetRng::new(99);
+        let keys: Vec<RingId> = (0..12).map(|_| rng.ring_id()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            issue_lookup(&mut sim, &origin, *k, &origin, 1_000 + i as u64);
+        }
+        sim.run_for(TimeDelta::from_secs(2));
+        let results =
+            collect_lookup_results(sim.node_mut(&origin).watched("lookupResults"));
+        for (i, k) in keys.iter().enumerate() {
+            let got = results
+                .get(&RingId(1_000 + i as u64))
+                .unwrap_or_else(|| panic!("lookup {i} for key {k} unanswered"));
+            let want = lookup_oracle(&sim, &ring, *k).expect("oracle");
+            assert_eq!(got.1, want.1, "key {k} answered {} want {}", got.1, want.1);
+        }
+    }
+
+    #[test]
+    fn ring_repairs_after_crash() {
+        let (mut sim, ring) = warmed_ring(8, 5, 180);
+        assert!(ring_is_ordered(&mut sim, &ring));
+        // Crash a mid-ring node (not the landmark) and let liveness +
+        // stabilization heal around it.
+        let victim = ring
+            .live_sorted(&sim)
+            .into_iter()
+            .map(|(_, a)| a)
+            .find(|a| a != ring.landmark())
+            .expect("non-landmark node exists");
+        sim.crash(&victim);
+        // The implementation deliberately keeps the paper's
+        // recycled-dead-neighbor behaviour (§3.1.3): gossip periodically
+        // re-adopts the dead node until liveness re-evicts it, so the
+        // ring *oscillates* between healed and poisoned. Assert that it
+        // heals at some point within the window (and that the victim is
+        // really excluded then), polling across oscillation phases.
+        let mut healed = false;
+        for _ in 0..30 {
+            sim.run_for(TimeDelta::from_secs(10));
+            if ring_is_well_formed(&mut sim, &ring) && ring_is_ordered(&mut sim, &ring) {
+                healed = true;
+                break;
+            }
+        }
+        assert!(healed, "ring never healed after the crash");
+    }
+
+    #[test]
+    fn late_join_converges() {
+        let mut sim = SimHarness::with_seed(6);
+        let mut ring = build_ring(&mut sim, 5, &ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(120));
+        assert!(ring_is_ordered(&mut sim, &ring));
+        // A sixth node joins through the landmark.
+        let addr = sim.add_node("n5");
+        let id = p2_types::DetRng::derive(sim.seed(), "late").ring_id();
+        ring.ids.insert(addr.clone(), id);
+        ring.addrs.push(addr.clone());
+        let cfg = ChordConfig::default();
+        sim.install(&addr, &crate::program::chord_program(&cfg)).unwrap();
+        sim.install(
+            &addr,
+            &crate::program::node_facts(addr.as_str(), id.0, Some(ring.addrs[0].as_str())),
+        )
+        .unwrap();
+        sim.run_for(TimeDelta::from_secs(120));
+        assert!(ring_is_well_formed(&mut sim, &ring), "joined ring not closed");
+        assert!(ring_is_ordered(&mut sim, &ring), "joined ring misordered");
+    }
+
+    #[test]
+    fn faulty_node_detection_populates_table() {
+        let (mut sim, ring) = warmed_ring(4, 7, 120);
+        let victim = ring.live_sorted(&sim)[2].1.clone();
+        sim.crash(&victim);
+        sim.run_for(TimeDelta::from_secs(30));
+        // Some survivor must have recorded the victim as faulty.
+        let now = sim.now();
+        let mut hits = 0;
+        for a in ring.addrs.clone() {
+            if sim.is_down(&a) {
+                continue;
+            }
+            let rows = sim.node_mut(&a).table_scan("faultyNode", now);
+            hits += rows
+                .iter()
+                .filter(|r| r.get(1) == Some(&Value::Addr(victim.clone())))
+                .count();
+        }
+        assert!(hits > 0, "no survivor detected the crash");
+    }
+
+    #[test]
+    fn aggressive_and_relaxed_configs_both_converge() {
+        for (cfg, warm) in [
+            (
+                ChordConfig {
+                    stabilize_secs: 2,
+                    ping_secs: 2,
+                    finger_secs: 4,
+                    join_secs: 4,
+                    ping_timeout_secs: 1,
+                    row_lifetime_secs: 30,
+                    ..Default::default()
+                },
+                90u64,
+            ),
+            (
+                ChordConfig {
+                    stabilize_secs: 10,
+                    ping_secs: 10,
+                    finger_secs: 20,
+                    join_secs: 20,
+                    ping_timeout_secs: 8,
+                    row_lifetime_secs: 120,
+                    ..Default::default()
+                },
+                400u64,
+            ),
+        ] {
+            let mut sim = SimHarness::with_seed(15);
+            let ring = build_ring(&mut sim, 5, &cfg);
+            sim.run_for(TimeDelta::from_secs(warm));
+            assert!(
+                ring_is_ordered(&mut sim, &ring),
+                "config {cfg:?} failed to converge in {warm}s"
+            );
+        }
+    }
+
+    #[test]
+    fn fingers_populate_after_warmup() {
+        let (mut sim, ring) = warmed_ring(8, 8, 300);
+        let now = sim.now();
+        let mut nodes_with_fingers = 0;
+        for a in ring.addrs.clone() {
+            if !sim.node_mut(&a).table_scan("finger", now).is_empty() {
+                nodes_with_fingers += 1;
+            }
+        }
+        assert!(nodes_with_fingers >= 6, "got {nodes_with_fingers}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Convenience builders: a Chord ring on the simulation harness.
+//!
+//! Reproduces the paper's §4 testbed shape in the simulator: N nodes, the
+//! first acting as landmark, stabilizing/pinging/finger-fixing at the
+//! configured periods.
+
+use crate::program::{chord_program, node_facts, ChordConfig};
+use p2_core::SimHarness;
+use p2_types::{Addr, DetRng, RingId, Time, Tuple, Value};
+use std::collections::HashMap;
+
+/// A built ring: addresses and their ring IDs.
+#[derive(Debug, Clone)]
+pub struct ChordRing {
+    /// Node addresses in creation order (index 0 is the landmark).
+    pub addrs: Vec<Addr>,
+    /// Ring identifier per node.
+    pub ids: HashMap<Addr, RingId>,
+    /// The configuration the ring runs.
+    pub config: ChordConfig,
+}
+
+impl ChordRing {
+    /// The landmark node.
+    pub fn landmark(&self) -> &Addr {
+        &self.addrs[0]
+    }
+
+    /// The ID of a node.
+    pub fn id_of(&self, addr: &Addr) -> RingId {
+        self.ids[addr]
+    }
+
+    /// Live members (skipping crashed nodes) sorted by ring ID.
+    pub fn live_sorted(&self, sim: &SimHarness) -> Vec<(RingId, Addr)> {
+        let mut v: Vec<(RingId, Addr)> = self
+            .addrs
+            .iter()
+            .filter(|a| !sim.is_down(a))
+            .map(|a| (self.ids[a], a.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// Install an `n`-node Chord ring into `sim`. Node IDs derive
+/// deterministically from the harness seed. Returns the ring handle;
+/// callers should then `sim.run_for(...)` long enough for stabilization
+/// (the paper warms up for 5 virtual minutes).
+pub fn build_ring(sim: &mut SimHarness, n: usize, config: &ChordConfig) -> ChordRing {
+    assert!(n >= 1, "a ring needs at least one node");
+    let mut rng = DetRng::derive(sim.seed(), "chord-ids");
+    let program = chord_program(config);
+    let mut addrs = Vec::with_capacity(n);
+    let mut ids = HashMap::new();
+    for i in 0..n {
+        let name = format!("n{i}");
+        let addr = sim.add_node(&name);
+        let id = rng.ring_id();
+        ids.insert(addr.clone(), id);
+        addrs.push(addr);
+    }
+    let landmark = addrs[0].as_str().to_string();
+    for (i, addr) in addrs.clone().into_iter().enumerate() {
+        sim.install(&addr, &program).expect("chord program installs");
+        let lm = if i == 0 { None } else { Some(landmark.as_str()) };
+        let facts = node_facts(addr.as_str(), ids[&addr].0, lm);
+        sim.install(&addr, &facts).expect("chord facts install");
+    }
+    ChordRing { addrs, ids, config: config.clone() }
+}
+
+/// Issue a lookup for `key` starting at `at`, with the answer addressed
+/// to `req_addr`. Returns the request ID to match in `lookupResults`.
+pub fn issue_lookup(
+    sim: &mut SimHarness,
+    at: &Addr,
+    key: RingId,
+    req_addr: &Addr,
+    req_id: u64,
+) -> RingId {
+    let e = RingId(req_id);
+    sim.inject(
+        at,
+        Tuple::new(
+            "lookup",
+            [
+                Value::Addr(at.clone()),
+                Value::Id(key),
+                Value::Addr(req_addr.clone()),
+                Value::Id(e),
+            ],
+        ),
+    );
+    e
+}
+
+/// Collect the answers delivered for a watched `lookupResults` relation,
+/// keyed by request ID.
+pub fn collect_lookup_results(
+    watched: &[(Time, Tuple)],
+) -> HashMap<RingId, (RingId, Addr)> {
+    let mut out = HashMap::new();
+    for (_, t) in watched {
+        let (Some(Value::Id(e)), Some(Value::Id(sid)), Some(sa)) =
+            (t.get(4), t.get(2), t.get(3).and_then(Value::to_addr))
+        else {
+            continue;
+        };
+        out.insert(*e, (*sid, sa));
+    }
+    out
+}

@@ -1,0 +1,156 @@
+//! Introspection: node state reflected as queryable tables (§2.1).
+//!
+//! *"Most of the state of a running P2 node (tables, rules, dataflow
+//! graph, etc.) is reflected back to the system as tables, themselves
+//! queryable in OverLog."* Three reflection tables are maintained:
+//!
+//! * `sysTable(loc, name, rows, maxRows, lifetimeSecs)` — the catalog;
+//! * `sysRule(loc, strandId, source, fired, outputs, evalErrors)` — the
+//!   installed rule strands and their execution counters;
+//! * `sysStat(loc, key, value)` — scalar runtime statistics.
+//!
+//! Refreshing is explicit ([`crate::node::Node::refresh_introspection`])
+//! or driven by a periodic rule the operator installs — reflection has a
+//! cost, so it is paid only when someone is looking.
+
+use crate::node::Node;
+use p2_store::TableSpec;
+use p2_types::{Time, Tuple, Value};
+
+/// Reflection table names.
+pub const SYS_TABLE: &str = "sysTable";
+/// See module docs.
+pub const SYS_RULE: &str = "sysRule";
+/// See module docs.
+pub const SYS_STAT: &str = "sysStat";
+
+/// Table declarations for the reflection tables.
+pub fn table_specs() -> Vec<TableSpec> {
+    vec![
+        TableSpec::new(SYS_TABLE, None, None, vec![0, 1]),
+        TableSpec::new(SYS_RULE, None, None, vec![0, 1]),
+        TableSpec::new(SYS_STAT, None, None, vec![0, 1]),
+    ]
+}
+
+/// Re-materialize the reflection tables from live node state.
+pub fn refresh(node: &mut Node, now: Time) {
+    let addr = node.addr().clone();
+    let loc = Value::Addr(addr);
+
+    let table_rows: Vec<Tuple> = node
+        .catalog_mut()
+        .table_stats()
+        .into_iter()
+        .map(|(name, rows, spec)| {
+            Tuple::new(
+                SYS_TABLE,
+                [
+                    loc.clone(),
+                    Value::str(&name),
+                    Value::Int(rows as i64),
+                    Value::Int(spec.max_rows.map(|m| m as i64).unwrap_or(-1)),
+                    Value::Float(
+                        spec.lifetime.map(|l| l.as_secs_f64()).unwrap_or(-1.0),
+                    ),
+                ],
+            )
+        })
+        .collect();
+
+    let rule_rows: Vec<Tuple> = node
+        .strand_stats()
+        .into_iter()
+        .map(|(id, source, stats)| {
+            Tuple::new(
+                SYS_RULE,
+                [
+                    loc.clone(),
+                    Value::str(&id),
+                    Value::str(&source),
+                    Value::Int(stats.fired as i64),
+                    Value::Int(stats.outputs as i64),
+                    Value::Int(stats.eval_errors as i64),
+                ],
+            )
+        })
+        .collect();
+
+    let m = node.metrics().clone();
+    let stat_rows: Vec<Tuple> = [
+        ("msgsSent", m.msgs_sent as i64),
+        ("msgsReceived", m.msgs_received as i64),
+        ("tuplesDispatched", m.tuples_dispatched as i64),
+        ("strandFirings", m.strand_firings as i64),
+        ("deletes", m.deletes as i64),
+        ("overflowDrops", m.overflow_drops as i64),
+        ("malformedDrops", m.malformed_drops as i64),
+        ("liveTuples", node.live_tuples() as i64),
+        ("busyMicros", m.busy.as_micros() as i64),
+    ]
+    .into_iter()
+    .map(|(k, v)| Tuple::new(SYS_STAT, [loc.clone(), Value::str(k), Value::Int(v)]))
+    .collect();
+
+    let cat = node.catalog_mut();
+    for row in table_rows.into_iter().chain(rule_rows).chain(stat_rows) {
+        let _ = cat.insert(row, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeConfig;
+    use p2_types::Addr;
+
+    #[test]
+    fn reflection_tables_populate() {
+        let mut n = Node::new(Addr::new("n1"), NodeConfig::default());
+        n.install(
+            "materialize(link, infinity, 50, keys(1, 2)).
+             r1 out@N(X) :- ev@N(X).",
+            Time::ZERO,
+        )
+        .unwrap();
+        n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(1)]));
+        n.pump(Time::ZERO);
+        n.refresh_introspection(Time::ZERO);
+
+        let tables = n.table_scan(SYS_TABLE, Time::ZERO);
+        assert!(tables.iter().any(|t| t.get(1) == Some(&Value::str("link"))));
+        // Reflection tables describe themselves too.
+        assert!(tables.iter().any(|t| t.get(1) == Some(&Value::str(SYS_TABLE))));
+
+        let rules = n.table_scan(SYS_RULE, Time::ZERO);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].get(3), Some(&Value::Int(1)), "fired once");
+
+        let stats = n.table_scan(SYS_STAT, Time::ZERO);
+        assert!(stats.iter().any(|t| t.get(1) == Some(&Value::str("strandFirings"))
+            && t.get(2) == Some(&Value::Int(1))));
+    }
+
+    #[test]
+    fn reflection_is_queryable_from_overlog() {
+        // The point of the model: a monitoring rule can read sysRule.
+        let mut n = Node::new(Addr::new("n1"), NodeConfig::default());
+        n.install("r1 out@N(X / 0) :- ev@N(X).", Time::ZERO).unwrap();
+        n.install(
+            "watch errorRules@N(Id, Errs) :- probe@N(), sysRule@N(Id, Src, F, O, Errs), Errs > 0.",
+            Time::ZERO,
+        )
+        .unwrap();
+        n.watch("errorRules");
+        // Make r1 fail once (division by zero in its head expression),
+        // refresh reflection, then probe.
+        n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(1)]));
+        n.pump(Time::ZERO);
+        n.refresh_introspection(Time::ZERO);
+        n.inject(Tuple::new("probe", [Value::addr("n1")]));
+        n.pump(Time::ZERO);
+        let hits = n.watched("errorRules");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1.get(1), Some(&Value::str("r1")));
+    }
+}

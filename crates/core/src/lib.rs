@@ -1,0 +1,23 @@
+//! # p2-core — the node runtime and simulation harness
+//!
+//! Everything between the front end and the wire: a [`node::Node`] owns a
+//! table catalog, the instantiated rule strands, the periodic timers, an
+//! optional execution tracer, and the routing logic of Figure 1's network
+//! preamble/postamble. Programs are installed **on-line**, at any point
+//! in a node's life — the paper's "deployed piecemeal" usage model — and
+//! can be removed again by handle.
+//!
+//! [`sim::SimHarness`] drives a population of nodes over the
+//! deterministic simulated network with a virtual clock (the DESIGN.md
+//! §2.4 substitution for the paper's 21-process testbed), and doubles as
+//! the measurement rig: per-node busy time, live tuples, memory estimate,
+//! and messages sent — the exact series of Figures 4–7.
+
+pub mod introspect;
+pub mod metrics;
+pub mod node;
+pub mod sim;
+
+pub use metrics::NodeMetrics;
+pub use node::{InstallError, Node, NodeConfig, ProgramId};
+pub use sim::SimHarness;

@@ -1,0 +1,352 @@
+//! The discrete-event simulation harness.
+//!
+//! Drives a population of [`Node`]s over a [`SimNetwork`] with a virtual
+//! clock: the substitution for the paper's 21-process testbed (DESIGN.md
+//! §2.4). The loop is the classic discrete-event scheme —
+//!
+//! 1. pump every node to quiescence at the current virtual time, routing
+//!    produced envelopes into the network,
+//! 2. deliver every envelope due at the current time,
+//! 3. when nothing is runnable *now*, advance the clock to the earliest
+//!    pending event (timer or delivery) and fire it.
+//!
+//! Fully deterministic for a fixed seed: node iteration order is
+//! insertion order, the network is seeded, and all node RNGs derive from
+//! the harness seed.
+
+use crate::node::{InstallError, Node, NodeConfig, ProgramId};
+use p2_net::{Envelope, SimConfig, SimNetwork};
+use p2_types::{Addr, Time, TimeDelta, Tuple};
+use std::collections::HashMap;
+
+/// A simulated population of P2 nodes.
+pub struct SimHarness {
+    nodes: HashMap<Addr, Node>,
+    order: Vec<Addr>,
+    net: SimNetwork,
+    clock: Time,
+    /// Period of the tracer's reference-count GC sweep.
+    gc_period: TimeDelta,
+    next_gc: Time,
+    base_node_config: NodeConfig,
+    seed: u64,
+}
+
+impl SimHarness {
+    /// Create a harness with the given network config, node config
+    /// template, and seed (node RNGs derive from it).
+    pub fn new(net_config: SimConfig, node_config: NodeConfig, seed: u64) -> SimHarness {
+        let mut nc = node_config;
+        nc.seed = seed;
+        SimHarness {
+            nodes: HashMap::new(),
+            order: Vec::new(),
+            net: SimNetwork::new(SimConfig { seed, ..net_config }),
+            clock: Time::ZERO,
+            gc_period: TimeDelta::from_secs(30),
+            next_gc: Time::from_secs(30),
+            base_node_config: nc,
+            seed,
+        }
+    }
+
+    /// A harness with default network (10 ms links) and node settings.
+    pub fn with_seed(seed: u64) -> SimHarness {
+        SimHarness::new(SimConfig::default(), NodeConfig::default(), seed)
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    /// The harness seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Add a node (default config template). Returns its address.
+    pub fn add_node(&mut self, name: &str) -> Addr {
+        self.add_node_with(name, self.base_node_config.clone())
+    }
+
+    /// Add a node with an explicit config (e.g. tracing enabled on the
+    /// measured node only, as in §4's setup).
+    pub fn add_node_with(&mut self, name: &str, mut config: NodeConfig) -> Addr {
+        let addr = Addr::new(name);
+        config.seed = self.seed;
+        self.net.register(addr.clone());
+        self.nodes.insert(addr.clone(), Node::new(addr.clone(), config));
+        self.order.push(addr.clone());
+        addr
+    }
+
+    /// Access a node.
+    pub fn node(&self, addr: &Addr) -> &Node {
+        &self.nodes[addr]
+    }
+
+    /// Access a node mutably.
+    pub fn node_mut(&mut self, addr: &Addr) -> &mut Node {
+        self.nodes.get_mut(addr).expect("unknown node")
+    }
+
+    /// All node addresses in insertion order.
+    pub fn addrs(&self) -> &[Addr] {
+        &self.order
+    }
+
+    /// The network fabric (fault injection, stats).
+    pub fn net_mut(&mut self) -> &mut SimNetwork {
+        &mut self.net
+    }
+
+    /// The network fabric, read-only.
+    pub fn net(&self) -> &SimNetwork {
+        &self.net
+    }
+
+    /// Install a program on one node at the current time.
+    pub fn install(&mut self, addr: &Addr, source: &str) -> Result<ProgramId, InstallError> {
+        let now = self.clock;
+        let pid = self.node_mut(addr).install(source, now)?;
+        self.settle();
+        Ok(pid)
+    }
+
+    /// Install the same program on every node.
+    pub fn install_all(&mut self, source: &str) -> Result<Vec<ProgramId>, InstallError> {
+        let addrs = self.order.clone();
+        let mut out = Vec::new();
+        for a in addrs {
+            let now = self.clock;
+            out.push(self.node_mut(&a).install(source, now)?);
+        }
+        self.settle();
+        Ok(out)
+    }
+
+    /// Inject a tuple at a node and settle.
+    pub fn inject(&mut self, addr: &Addr, tuple: Tuple) {
+        self.node_mut(addr).inject(tuple);
+        self.settle();
+    }
+
+    /// Crash a node: the network drops its traffic and the node stops
+    /// executing until revived.
+    pub fn crash(&mut self, addr: &Addr) {
+        self.net.set_down(addr, true);
+    }
+
+    /// Revive a crashed node.
+    pub fn revive(&mut self, addr: &Addr) {
+        self.net.set_down(addr, false);
+    }
+
+    /// Whether the node is crashed.
+    pub fn is_down(&self, addr: &Addr) -> bool {
+        self.net.is_down(addr)
+    }
+
+    /// Pump all nodes and exchange due messages until nothing more can
+    /// happen at the current virtual time.
+    fn settle(&mut self) {
+        loop {
+            let mut progress = false;
+            for addr in self.order.clone() {
+                if self.net.is_down(&addr) {
+                    continue;
+                }
+                let out = self.nodes.get_mut(&addr).expect("known").pump(self.clock);
+                for env in out {
+                    self.net.send(env, self.clock);
+                    progress = true;
+                }
+            }
+            let due: Vec<Envelope> = self.net.pop_due(self.clock);
+            for env in due {
+                if let Some(n) = self.nodes.get_mut(&env.dst) {
+                    n.deliver(env, self.clock);
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Advance virtual time to `deadline`, firing timers and deliveries
+    /// in order.
+    pub fn run_until(&mut self, deadline: Time) {
+        self.settle();
+        loop {
+            // Earliest future event.
+            let mut next: Option<Time> = self.net.next_delivery();
+            for addr in &self.order {
+                if self.net.is_down(addr) {
+                    continue;
+                }
+                if let Some(t) = self.nodes[addr].next_timer() {
+                    next = Some(match next {
+                        Some(n) => n.min(t),
+                        None => t,
+                    });
+                }
+            }
+            let next = match next {
+                Some(t) if t <= deadline => t.max(self.clock),
+                _ => {
+                    self.clock = deadline;
+                    self.settle();
+                    return;
+                }
+            };
+            self.clock = next;
+            // Fire due timers.
+            for addr in self.order.clone() {
+                if self.net.is_down(&addr) {
+                    continue;
+                }
+                let node = self.nodes.get_mut(&addr).expect("known");
+                if node.next_timer().is_some_and(|t| t <= next) {
+                    node.fire_timers(next);
+                }
+            }
+            // Periodic tracer GC.
+            if self.clock >= self.next_gc {
+                for addr in self.order.clone() {
+                    let now = self.clock;
+                    self.nodes.get_mut(&addr).expect("known").trace_gc(now);
+                }
+                self.next_gc = self.clock + self.gc_period;
+            }
+            self.settle();
+        }
+    }
+
+    /// Advance virtual time by `delta`.
+    pub fn run_for(&mut self, delta: TimeDelta) {
+        let deadline = self.clock + delta;
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_types::Value;
+
+    #[test]
+    fn two_node_ping_pong() {
+        let mut sim = SimHarness::with_seed(1);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        sim.install(&a, r#"fwd pong@"b"(X) :- ping@N(X)."#).unwrap();
+        sim.install(&b, "done got@N(X) :- pong@N(X).").unwrap();
+        sim.node_mut(&b).watch("got");
+        sim.inject(&a, Tuple::new("ping", [Value::addr("a"), Value::Int(7)]));
+        // Message needs one latency hop.
+        sim.run_for(TimeDelta::from_millis(50));
+        let got = sim.node_mut(&b).take_watched("got");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.get(1), Some(&Value::Int(7)));
+        // The delivery happened at +10ms of virtual time.
+        assert_eq!(got[0].0, Time::from_millis(10));
+    }
+
+    #[test]
+    fn periodic_rules_fire_on_schedule() {
+        let mut sim = SimHarness::new(
+            SimConfig::default(),
+            NodeConfig { stagger_timers: false, ..Default::default() },
+            3,
+        );
+        let a = sim.add_node("a");
+        sim.install(&a, "t tick@N(E) :- periodic@N(E, 5).").unwrap();
+        sim.node_mut(&a).watch("tick");
+        sim.run_for(TimeDelta::from_secs(21));
+        let ticks = sim.node_mut(&a).take_watched("tick");
+        assert_eq!(ticks.len(), 4, "t=5,10,15,20");
+        assert_eq!(ticks[0].0, Time::from_secs(5));
+        assert_eq!(ticks[3].0, Time::from_secs(20));
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let run = || {
+            let mut sim = SimHarness::with_seed(42);
+            let a = sim.add_node("a");
+            let b = sim.add_node("b");
+            sim.install_all(
+                "materialize(seen, infinity, infinity, keys(1, 2)).
+                 g gossip@N(E) :- periodic@N(E, 3).
+                 s seen@N(E) :- gossip@N(E).",
+            )
+            .unwrap();
+            sim.run_for(TimeDelta::from_secs(30));
+            let now = sim.now();
+            let mut rows = sim.node_mut(&a).table_scan("seen", now);
+            rows.extend(sim.node_mut(&b).table_scan("seen", now));
+            rows.iter().map(|t| t.to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crash_and_revive() {
+        let mut sim = SimHarness::with_seed(9);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        sim.install(&a, r#"f out@"b"(X) :- go@N(X)."#).unwrap();
+        sim.install(&b, "c seen@N(X) :- out@N(X).").unwrap();
+        sim.node_mut(&b).watch("seen");
+        sim.crash(&b);
+        sim.inject(&a, Tuple::new("go", [Value::addr("a"), Value::Int(1)]));
+        sim.run_for(TimeDelta::from_millis(100));
+        assert!(sim.node_mut(&b).take_watched("seen").is_empty());
+        sim.revive(&b);
+        sim.inject(&a, Tuple::new("go", [Value::addr("a"), Value::Int(2)]));
+        sim.run_for(TimeDelta::from_millis(100));
+        let seen = sim.node_mut(&b).take_watched("seen");
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].1.get(1), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn link_partition_is_directional_and_heals() {
+        let mut sim = SimHarness::with_seed(11);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        sim.install(&a, r#"f out@"b"(X) :- go@N(X)."#).unwrap();
+        sim.install(&b, r#"g back@"a"(X) :- out@N(X)."#).unwrap();
+        sim.node_mut(&a).watch("back");
+        // Cut a -> b only: the forward leg drops, so nothing echoes.
+        sim.net_mut().set_cut(&a, &b, true);
+        sim.inject(&a, Tuple::new("go", [Value::addr("a"), Value::Int(1)]));
+        sim.run_for(TimeDelta::from_millis(100));
+        assert!(sim.node_mut(&a).watched("back").is_empty());
+        // Heal: round trips flow again.
+        let a2 = a.clone();
+        sim.net_mut().set_cut(&a2, &b, false);
+        sim.inject(&a, Tuple::new("go", [Value::addr("a"), Value::Int(2)]));
+        sim.run_for(TimeDelta::from_millis(100));
+        let got = sim.node_mut(&a).take_watched("back");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.get(1), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn message_counters_track_sends() {
+        let mut sim = SimHarness::new(
+            SimConfig::default(),
+            NodeConfig { stagger_timers: false, ..Default::default() },
+            5,
+        );
+        let a = sim.add_node("a");
+        let _b = sim.add_node("b");
+        sim.install(&a, r#"g probe@"b"(E) :- periodic@N(E, 2)."#).unwrap();
+        sim.run_for(TimeDelta::from_secs(10));
+        assert_eq!(sim.net().stats().sent_by(&a), 5);
+    }
+}

@@ -1,0 +1,28 @@
+//! # p2-dataflow — the rule-strand execution engine
+//!
+//! P2 executes OverLog by instantiating a Click-like software dataflow
+//! graph on every node (Figure 1 of the paper): a network preamble feeds
+//! a demultiplexer that routes tuples into **rule strands**, whose
+//! elements are relational operators, and whose outputs flow to a network
+//! postamble. This crate implements the strand half of that graph; the
+//! preamble/postamble (routing, marshaling) live in `p2-core` and
+//! `p2-net`.
+//!
+//! Two properties of the paper's engine are load-bearing for its tracing
+//! story and are reproduced here faithfully:
+//!
+//! * **Tappable arcs** (§2.1.1): every hand-off inside a strand can be
+//!   copied to a [`tap::TapSink`]. The planner marks three tap points —
+//!   strand input, each join's match emission (*precondition fetch*), and
+//!   strand output — plus the *stage completion* signal of §2.1.2.
+//! * **Pipelined execution** (§2.1.2): each join is a stateful stage with
+//!   its own input queue that yields matches one at a time, so the
+//!   processing of consecutive trigger events genuinely interleaves
+//!   inside one strand. The tracer must (and does, in `p2-trace`)
+//!   disentangle these interleavings.
+
+pub mod strand;
+pub mod tap;
+
+pub use strand::{Action, Env, StrandRuntime, StrandStats};
+pub use tap::{NullSink, TapEvent, TapKind, TapSink};

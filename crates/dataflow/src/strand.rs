@@ -1,0 +1,961 @@
+//! Strand execution: stateful join stages, pipelining, aggregation.
+
+use crate::tap::{TapEvent, TapKind, TapSink};
+use p2_planner::expr::{eval, truthy, EvalCtx};
+use p2_planner::plan::{AggPlan, FieldOut, MatchSpec, Op, Strand};
+use p2_overlog::AggFunc;
+use p2_store::Catalog;
+use p2_types::{Addr, Time, Tuple, Value};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// A variable environment: one optional value per planner slot.
+pub type Env = Vec<Option<Value>>;
+
+/// An output produced by a strand, to be routed by the node runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Action {
+    /// The head tuple (location in field 0).
+    pub tuple: Tuple,
+    /// `true` if this is a `delete` rule output: remove the matching row
+    /// from the destination table instead of inserting/raising it.
+    pub delete: bool,
+}
+
+/// Execution counters for one strand (reflected into `sysRule`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StrandStats {
+    /// Trigger tuples that matched and entered the strand.
+    pub fired: u64,
+    /// Output tuples produced.
+    pub outputs: u64,
+    /// Bindings dropped because an expression failed to evaluate
+    /// (division by zero, type mismatch on wire data, ...).
+    pub eval_errors: u64,
+}
+
+/// One stateful stage: a join plus the stateless operators that follow it
+/// up to the next join.
+#[derive(Debug, Clone)]
+struct StageDef {
+    table: String,
+    match_spec: MatchSpec,
+    post: Vec<Op>,
+}
+
+#[derive(Debug, Default)]
+struct StageState {
+    input: VecDeque<StageInput>,
+    active: Option<ActiveJoin>,
+}
+
+/// A queued unit of work for a stage. `trigger` is present only on
+/// stage-0 entries: the Input tap fires when the trigger *enters the
+/// first stateful element* (activation), not when it is merely queued —
+/// this is what lets a subsequent event's Input be observed while a prior
+/// event still occupies later stages (the Figure 3 scenario).
+#[derive(Debug)]
+struct StageInput {
+    env: Env,
+    trigger: Option<Tuple>,
+}
+
+/// An in-progress join: precomputed `(extended-env, matched-tuple)` pairs
+/// that are emitted **one per scheduler step**, which is what produces
+/// genuine pipelining across consecutive trigger events (§2.1.2).
+#[derive(Debug)]
+struct ActiveJoin {
+    results: Vec<(Env, Tuple)>,
+    next: usize,
+}
+
+/// The runtime instantiation of one compiled strand.
+pub struct StrandRuntime {
+    plan: Arc<Strand>,
+    strand_id: Arc<str>,
+    rule_label: Arc<str>,
+    /// Stateless operators before the first join.
+    pre_ops: Vec<Op>,
+    stage_defs: Vec<StageDef>,
+    stages: Vec<StageState>,
+    stats: StrandStats,
+    /// Round-robin scheduling cursor over stages. Round-robin (rather
+    /// than drain-downstream-first) is what produces the genuine
+    /// pipelined interleavings of §2.1.2.
+    cursor: usize,
+}
+
+impl StrandRuntime {
+    /// Instantiate a compiled strand.
+    pub fn new(plan: Arc<Strand>) -> StrandRuntime {
+        let mut pre_ops = Vec::new();
+        let mut stage_defs: Vec<StageDef> = Vec::new();
+        for op in &plan.ops {
+            match op {
+                Op::Join { table, match_spec } => {
+                    stage_defs.push(StageDef {
+                        table: table.clone(),
+                        match_spec: match_spec.clone(),
+                        post: Vec::new(),
+                    });
+                }
+                other => {
+                    if let Some(last) = stage_defs.last_mut() {
+                        last.post.push(other.clone());
+                    } else {
+                        pre_ops.push(other.clone());
+                    }
+                }
+            }
+        }
+        let stages = (0..stage_defs.len()).map(|_| StageState::default()).collect();
+        StrandRuntime {
+            strand_id: Arc::from(plan.strand_id.as_str()),
+            rule_label: Arc::from(plan.rule_label.as_str()),
+            plan,
+            pre_ops,
+            stage_defs,
+            stages,
+            stats: StrandStats::default(),
+            cursor: 0,
+        }
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &Strand {
+        &self.plan
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> StrandStats {
+        self.stats
+    }
+
+    /// Whether any stage still holds queued or in-progress work.
+    pub fn has_work(&self) -> bool {
+        self.stages.iter().any(|s| !s.input.is_empty() || s.active.is_some())
+    }
+
+    fn tap(&self, sink: &mut dyn TapSink, at: Time, kind: TapKind) {
+        sink.tap(TapEvent {
+            strand_id: self.strand_id.clone(),
+            rule_label: self.rule_label.clone(),
+            stage_count: self.stage_defs.len(),
+            kind,
+            at,
+        });
+    }
+
+    /// Offer a trigger tuple to the strand. If it matches, the strand
+    /// either queues work into its first stage or (for strands with no
+    /// joins, and for aggregates, which run atomically) completes
+    /// immediately, appending outputs to `actions`.
+    ///
+    /// Returns `true` if the trigger matched.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fire(
+        &mut self,
+        trigger: &Tuple,
+        store: &mut Catalog,
+        ctx: &mut dyn EvalCtx,
+        sink: &mut dyn TapSink,
+        now: Time,
+        actions: &mut Vec<Action>,
+    ) -> bool {
+        let mut env: Env = vec![None; self.plan.slots];
+        match self.plan.trigger_match.apply(trigger, &mut env, ctx) {
+            Ok(true) => {}
+            Ok(false) => return false,
+            Err(_) => {
+                self.stats.eval_errors += 1;
+                return false;
+            }
+        }
+        self.stats.fired += 1;
+
+        if self.plan.head.agg.is_some() {
+            self.tap(sink, now, TapKind::Input { tuple: trigger.clone() });
+            self.fire_aggregate(env, store, ctx, sink, now, actions);
+            return true;
+        }
+
+        let env = match self.apply_stateless(&self.pre_ops.clone(), env, ctx) {
+            Some(e) => e,
+            None => {
+                // The trigger matched but a pre-join condition filtered
+                // it; the rule never "enters" the strand, so no Input tap.
+                return true;
+            }
+        };
+        if self.stage_defs.is_empty() {
+            self.tap(sink, now, TapKind::Input { tuple: trigger.clone() });
+            self.finalize(env, ctx, sink, now, actions);
+        } else {
+            self.stages[0]
+                .input
+                .push_back(StageInput { env, trigger: Some(trigger.clone()) });
+        }
+        true
+    }
+
+    /// Advance the strand by one scheduler step: the **highest** stage
+    /// with available work emits one match (downstream-first scheduling,
+    /// the classic pipeline discipline). Returns `true` if work was done.
+    pub fn step(
+        &mut self,
+        store: &mut Catalog,
+        ctx: &mut dyn EvalCtx,
+        sink: &mut dyn TapSink,
+        now: Time,
+        actions: &mut Vec<Action>,
+    ) -> bool {
+        let n = self.stages.len();
+        for k in 0..n {
+            let i = (self.cursor + k) % n;
+            // Emit one pending match from an active join.
+            if self.stages[i].active.is_some() {
+                let (emit, done): (Option<(Env, Tuple)>, bool) = {
+                    let active = self.stages[i].active.as_mut().expect("checked");
+                    if active.next < active.results.len() {
+                        let r = active.results[active.next].clone();
+                        active.next += 1;
+                        (Some(r), false)
+                    } else {
+                        (None, true)
+                    }
+                };
+                if let Some((env, tuple)) = emit {
+                    self.tap(sink, now, TapKind::Precondition { stage: i, tuple });
+                    let post = self.stage_defs[i].post.clone();
+                    if let Some(env) = self.apply_stateless(&post, env, ctx) {
+                        if i + 1 < self.stages.len() {
+                            self.stages[i + 1]
+                                .input
+                                .push_back(StageInput { env, trigger: None });
+                        } else {
+                            self.finalize(env, ctx, sink, now, actions);
+                        }
+                    }
+                } else if done {
+                    // Exhausted: signal completion (the element "seeks a
+                    // new input", §2.1.2) and free the stage.
+                    self.stages[i].active = None;
+                    self.tap(sink, now, TapKind::StageComplete { stage: i });
+                }
+                self.cursor = (i + 1) % n;
+                return true;
+            }
+            // Activate the next queued input (its own scheduler step; the
+            // first match is emitted on the stage's next visit).
+            if let Some(item) = self.stages[i].input.pop_front() {
+                if let Some(trigger) = item.trigger {
+                    self.tap(sink, now, TapKind::Input { tuple: trigger });
+                }
+                let results = self.probe(i, &item.env, store, ctx, now);
+                self.stages[i].active = Some(ActiveJoin { results, next: 0 });
+                self.cursor = (i + 1) % n;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drive the strand until no stage has work left.
+    pub fn run_to_quiescence(
+        &mut self,
+        store: &mut Catalog,
+        ctx: &mut dyn EvalCtx,
+        sink: &mut dyn TapSink,
+        now: Time,
+        actions: &mut Vec<Action>,
+    ) {
+        while self.step(store, ctx, sink, now, actions) {}
+    }
+
+    /// Compute the join results for stage `i` against the current store.
+    fn probe(
+        &mut self,
+        i: usize,
+        env: &Env,
+        store: &mut Catalog,
+        ctx: &mut dyn EvalCtx,
+        now: Time,
+    ) -> Vec<(Env, Tuple)> {
+        let def = &self.stage_defs[i];
+        // Prefer an indexed probe on the first equality field.
+        let candidates = match def.match_spec.probe_field() {
+            Some(field) => {
+                let want = match &def.match_spec.fields[field] {
+                    p2_planner::plan::FieldMatch::EqConst(c) => Some(c.clone()),
+                    p2_planner::plan::FieldMatch::EqVar(slot) => env[*slot].clone(),
+                    _ => None,
+                };
+                match want {
+                    Some(v) => store.scan_eq(&def.table, field, &v, now),
+                    None => store.scan(&def.table, now),
+                }
+            }
+            None => store.scan(&def.table, now),
+        };
+        let mut results = Vec::new();
+        for t in candidates {
+            let mut e2 = env.clone();
+            match def.match_spec.apply(&t, &mut e2, ctx) {
+                Ok(true) => results.push((e2, t)),
+                Ok(false) => {}
+                Err(_) => self.stats.eval_errors += 1,
+            }
+        }
+        results
+    }
+
+    /// Apply stateless operators; `None` means the binding was filtered
+    /// out (or errored, which is counted and treated as filtered).
+    fn apply_stateless(&mut self, ops: &[Op], mut env: Env, ctx: &mut dyn EvalCtx) -> Option<Env> {
+        for op in ops {
+            match op {
+                Op::Select(e) => match eval(e, &env, ctx).and_then(|v| truthy(&v)) {
+                    Ok(true) => {}
+                    Ok(false) => return None,
+                    Err(_) => {
+                        self.stats.eval_errors += 1;
+                        return None;
+                    }
+                },
+                Op::Assign { slot, expr } => match eval(expr, &env, ctx) {
+                    Ok(v) => env[*slot] = Some(v),
+                    Err(_) => {
+                        self.stats.eval_errors += 1;
+                        return None;
+                    }
+                },
+                Op::Join { .. } => unreachable!("joins are stage boundaries"),
+            }
+        }
+        Some(env)
+    }
+
+    /// Build and emit the head tuple for a final binding.
+    fn finalize(
+        &mut self,
+        env: Env,
+        ctx: &mut dyn EvalCtx,
+        sink: &mut dyn TapSink,
+        now: Time,
+        actions: &mut Vec<Action>,
+    ) {
+        match self.head_tuple(&env, ctx, None) {
+            Ok(tuple) => {
+                self.tap(sink, now, TapKind::Output { tuple: tuple.clone() });
+                self.stats.outputs += 1;
+                actions.push(Action { tuple, delete: self.plan.head.delete });
+            }
+            Err(()) => {
+                self.stats.eval_errors += 1;
+            }
+        }
+    }
+
+    /// Evaluate the head fields over `env`; `agg_value` fills the
+    /// aggregate position if present.
+    fn head_tuple(
+        &self,
+        env: &Env,
+        ctx: &mut dyn EvalCtx,
+        agg_value: Option<Value>,
+    ) -> Result<Tuple, ()> {
+        let mut vals = Vec::with_capacity(self.plan.head.fields.len());
+        for f in &self.plan.head.fields {
+            let v = match f {
+                FieldOut::Slot(s) => env.get(*s).and_then(|v| v.clone()).ok_or(())?,
+                FieldOut::Const(c) => c.clone(),
+                FieldOut::Expr(e) => eval(e, env, ctx).map_err(|_| ())?,
+                FieldOut::Agg => agg_value.clone().ok_or(())?,
+            };
+            vals.push(v);
+        }
+        // Coerce a string location to an address so heads like
+        // `marker@RemoteAddr(...)` route even when the binding came off a
+        // string-valued field.
+        if let Some(Value::Str(s)) = vals.first() {
+            vals[0] = Value::Addr(Addr::new(&**s));
+        }
+        Ok(Tuple::new(&self.plan.head.name, vals))
+    }
+
+    /// Aggregate strands run atomically per trigger: evaluate the whole
+    /// body, group the result multiset by the non-aggregate head fields,
+    /// and emit one output per group (plus the zero-count row when the
+    /// plan allows it — rule `sr8`/`sr9`).
+    fn fire_aggregate(
+        &mut self,
+        env0: Env,
+        store: &mut Catalog,
+        ctx: &mut dyn EvalCtx,
+        sink: &mut dyn TapSink,
+        now: Time,
+        actions: &mut Vec<Action>,
+    ) {
+        let agg: AggPlan = self.plan.head.agg.clone().expect("agg strand");
+        let pre_ops = self.pre_ops.clone();
+        let stage_defs = self.stage_defs.clone();
+
+        let mut envs = match self.apply_stateless(&pre_ops, env0.clone(), ctx) {
+            Some(e) => vec![e],
+            None => Vec::new(),
+        };
+        for (i, def) in stage_defs.iter().enumerate() {
+            let mut next_envs = Vec::new();
+            for env in envs {
+                for (e2, t) in self.probe_def(def, &env, store, ctx, now) {
+                    self.tap(sink, now, TapKind::Precondition { stage: i, tuple: t });
+                    if let Some(e3) = self.apply_stateless(&def.post, e2, ctx) {
+                        next_envs.push(e3);
+                    }
+                }
+            }
+            envs = next_envs;
+        }
+
+        // Group by the evaluated non-aggregate head fields.
+        let mut groups: BTreeMap<Vec<Value>, AggState> = BTreeMap::new();
+        for env in &envs {
+            let key = match self.group_key(env, ctx, &agg) {
+                Ok(k) => k,
+                Err(()) => {
+                    self.stats.eval_errors += 1;
+                    continue;
+                }
+            };
+            let input = match &agg.over {
+                Some(e) => match eval(e, env, ctx) {
+                    Ok(v) => Some(v),
+                    Err(_) => {
+                        self.stats.eval_errors += 1;
+                        continue;
+                    }
+                },
+                None => None,
+            };
+            groups.entry(key).or_insert_with(|| AggState::new(agg.func)).feed(input);
+        }
+
+        // Zero-count emission for an empty match set.
+        if groups.is_empty()
+            && agg.func == AggFunc::Count
+            && agg.group_bound_by_trigger
+        {
+            if let Ok(key) = self.group_key(&env0, ctx, &agg) {
+                groups.insert(key, AggState::new(AggFunc::Count));
+            }
+        }
+
+        for (key, state) in groups {
+            let Some(agg_value) = state.result() else { continue };
+            // Rebuild the tuple: key fields in order with the aggregate
+            // value spliced at its position.
+            let mut vals = Vec::with_capacity(self.plan.head.fields.len());
+            let mut key_iter = key.into_iter();
+            for (pos, _) in self.plan.head.fields.iter().enumerate() {
+                if pos == agg.position {
+                    vals.push(agg_value.clone());
+                } else {
+                    vals.push(key_iter.next().expect("group key arity"));
+                }
+            }
+            if let Some(Value::Str(s)) = vals.first() {
+                vals[0] = Value::Addr(Addr::new(&**s));
+            }
+            let tuple = Tuple::new(&self.plan.head.name, vals);
+            self.tap(sink, now, TapKind::Output { tuple: tuple.clone() });
+            self.stats.outputs += 1;
+            actions.push(Action { tuple, delete: self.plan.head.delete });
+        }
+        // Aggregate strands run atomically, so every stage has completed
+        // by now; signal the completions in stage order for the tracer.
+        for i in 0..stage_defs.len() {
+            self.tap(sink, now, TapKind::StageComplete { stage: i });
+        }
+    }
+
+    fn probe_def(
+        &mut self,
+        def: &StageDef,
+        env: &Env,
+        store: &mut Catalog,
+        ctx: &mut dyn EvalCtx,
+        now: Time,
+    ) -> Vec<(Env, Tuple)> {
+        let candidates = match def.match_spec.probe_field() {
+            Some(field) => {
+                let want = match &def.match_spec.fields[field] {
+                    p2_planner::plan::FieldMatch::EqConst(c) => Some(c.clone()),
+                    p2_planner::plan::FieldMatch::EqVar(slot) => env[*slot].clone(),
+                    _ => None,
+                };
+                match want {
+                    Some(v) => store.scan_eq(&def.table, field, &v, now),
+                    None => store.scan(&def.table, now),
+                }
+            }
+            None => store.scan(&def.table, now),
+        };
+        let mut results = Vec::new();
+        for t in candidates {
+            let mut e2 = env.clone();
+            match def.match_spec.apply(&t, &mut e2, ctx) {
+                Ok(true) => results.push((e2, t)),
+                Ok(false) => {}
+                Err(_) => self.stats.eval_errors += 1,
+            }
+        }
+        results
+    }
+
+    /// Evaluate the non-aggregate head fields as the group key.
+    fn group_key(
+        &self,
+        env: &Env,
+        ctx: &mut dyn EvalCtx,
+        agg: &AggPlan,
+    ) -> Result<Vec<Value>, ()> {
+        let mut key = Vec::new();
+        for (pos, f) in self.plan.head.fields.iter().enumerate() {
+            if pos == agg.position {
+                continue;
+            }
+            let v = match f {
+                FieldOut::Slot(s) => env.get(*s).and_then(|v| v.clone()).ok_or(())?,
+                FieldOut::Const(c) => c.clone(),
+                FieldOut::Expr(e) => eval(e, env, ctx).map_err(|_| ())?,
+                FieldOut::Agg => unreachable!("skipped"),
+            };
+            key.push(v);
+        }
+        Ok(key)
+    }
+}
+
+/// Incremental aggregate state.
+#[derive(Debug)]
+enum AggState {
+    Count(u64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Sum(Option<Value>),
+    Avg { sum: f64, n: u64 },
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Sum => AggState::Sum(None),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn feed(&mut self, input: Option<Value>) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Min(cur) => {
+                if let Some(v) = input {
+                    let better = cur.as_ref().map(|c| v < *c).unwrap_or(true);
+                    if better {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(v) = input {
+                    let better = cur.as_ref().map(|c| v > *c).unwrap_or(true);
+                    if better {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            AggState::Sum(cur) => {
+                if let Some(v) = input {
+                    *cur = Some(match cur.take() {
+                        Some(acc) => acc.add(&v).unwrap_or(v),
+                        None => v,
+                    });
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(v) = input {
+                    let x = match v {
+                        Value::Int(i) => i as f64,
+                        Value::Float(f) => f,
+                        Value::Time(t) => t.0 as f64,
+                        Value::Id(i) => i.0 as f64,
+                        _ => return,
+                    };
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    fn result(self) -> Option<Value> {
+        match self {
+            AggState::Count(n) => Some(Value::Int(n as i64)),
+            AggState::Min(v) | AggState::Max(v) | AggState::Sum(v) => v,
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    None
+                } else {
+                    Some(Value::Float(sum / n as f64))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tap::VecSink;
+    use p2_planner::compile_program;
+    use p2_planner::expr::FixedCtx;
+    use p2_store::TableSpec;
+    use p2_types::TimeDelta;
+    use std::collections::HashSet;
+
+    /// Build runtimes + a catalog from a program source.
+    fn setup(src: &str) -> (Vec<StrandRuntime>, Catalog) {
+        let prog = p2_overlog::parse_program(src).unwrap();
+        let compiled = compile_program(&prog, &HashSet::new()).unwrap();
+        let mut cat = Catalog::new();
+        for t in &compiled.tables {
+            cat.register(TableSpec::new(
+                &t.name,
+                t.lifetime_secs.map(TimeDelta::from_secs_f64),
+                t.max_rows,
+                t.key_fields.clone(),
+            ))
+            .unwrap();
+        }
+        let strands = compiled
+            .strands
+            .into_iter()
+            .map(|s| StrandRuntime::new(Arc::new(s)))
+            .collect();
+        (strands, cat)
+    }
+
+    fn drive(
+        s: &mut StrandRuntime,
+        trigger: &Tuple,
+        cat: &mut Catalog,
+    ) -> (Vec<Action>, VecSink) {
+        let mut ctx = FixedCtx::default();
+        let mut sink = VecSink::default();
+        let mut actions = Vec::new();
+        s.fire(trigger, cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+        s.run_to_quiescence(cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+        (actions, sink)
+    }
+
+    #[test]
+    fn event_join_produces_output() {
+        let (mut strands, mut cat) = setup(
+            "materialize(pred, 100, 10, keys(1)).
+             rp4 inconsistentPred@NAddr(PAddr) :- stabilizeRequest@NAddr(SomeID, SomeAddr), pred@NAddr(PID, PAddr), SomeAddr != PAddr.",
+        );
+        // pred(n1, 5, n9): n1's predecessor is n9.
+        cat.insert(
+            Tuple::new("pred", [Value::addr("n1"), Value::id(5), Value::addr("n9")]),
+            Time::ZERO,
+        )
+        .unwrap();
+        // Stabilize request from n7 (not the predecessor) → inconsistency.
+        let trig = Tuple::new(
+            "stabilizeRequest",
+            [Value::addr("n1"), Value::id(7), Value::addr("n7")],
+        );
+        let (actions, sink) = drive(&mut strands[0], &trig, &mut cat);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].tuple.name(), "inconsistentPred");
+        assert_eq!(actions[0].tuple.get(1), Some(&Value::addr("n9")));
+        // Taps: input, precondition, output, stage-complete.
+        let kinds: Vec<_> = sink.0.iter().map(|e| std::mem::discriminant(&e.kind)).collect();
+        assert_eq!(kinds.len(), 4);
+
+        // From the predecessor itself → no alarm.
+        let ok = Tuple::new(
+            "stabilizeRequest",
+            [Value::addr("n1"), Value::id(5), Value::addr("n9")],
+        );
+        let (actions, _) = drive(&mut strands[0], &ok, &mut cat);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn assignments_and_builtins() {
+        let (mut strands, mut cat) =
+            setup("cs1 conProbe@NAddr(ProbeID, K, T) :- periodic@NAddr(ProbeID, 40), K := f_randID(), T := f_now().");
+        let trig = Tuple::new("periodic", [Value::addr("n1"), Value::id(9), Value::Int(40)]);
+        let (actions, _) = drive(&mut strands[0], &trig, &mut cat);
+        assert_eq!(actions.len(), 1);
+        let t = &actions[0].tuple;
+        assert_eq!(t.name(), "conProbe");
+        assert_eq!(t.get(1), Some(&Value::id(9)));
+        assert!(matches!(t.get(2), Some(Value::Id(_))));
+        assert!(matches!(t.get(3), Some(Value::Time(_))));
+    }
+
+    #[test]
+    fn multi_join_cross_product() {
+        let (mut strands, mut cat) = setup(
+            "materialize(prec1, 100, 10, keys(1, 2, 3)).
+             materialize(prec2, 100, 10, keys(1, 2, 3)).
+             r2 head@Z(Y) :- event@N(X), prec1@N(X, Y), prec2@N(Y, Z).",
+        );
+        let n = Value::addr("n");
+        cat.insert(Tuple::new("prec1", [n.clone(), Value::Int(1), Value::Int(10)]), Time::ZERO).unwrap();
+        cat.insert(Tuple::new("prec1", [n.clone(), Value::Int(1), Value::Int(20)]), Time::ZERO).unwrap();
+        cat.insert(Tuple::new("prec2", [n.clone(), Value::Int(10), Value::str("za")]), Time::ZERO).unwrap();
+        cat.insert(Tuple::new("prec2", [n.clone(), Value::Int(20), Value::str("zb")]), Time::ZERO).unwrap();
+        cat.insert(Tuple::new("prec2", [n.clone(), Value::Int(20), Value::str("zc")]), Time::ZERO).unwrap();
+        let trig = Tuple::new("event", [n.clone(), Value::Int(1)]);
+        let (actions, sink) = drive(&mut strands[0], &trig, &mut cat);
+        // Y=10 → za; Y=20 → zb, zc.
+        assert_eq!(actions.len(), 3);
+        // Outputs carry Y; locations are the prec2 Z values coerced to addrs.
+        let locs: Vec<_> = actions.iter().map(|a| a.tuple.location().unwrap().to_string()).collect();
+        assert!(locs.contains(&"za".to_string()));
+        assert!(locs.contains(&"zc".to_string()));
+        // Preconditions were tapped at both stages.
+        let pre0 = sink.0.iter().filter(|e| matches!(e.kind, TapKind::Precondition { stage: 0, .. })).count();
+        let pre1 = sink.0.iter().filter(|e| matches!(e.kind, TapKind::Precondition { stage: 1, .. })).count();
+        assert_eq!(pre0, 2);
+        assert_eq!(pre1, 3);
+    }
+
+    #[test]
+    fn pipelined_interleaving_across_events() {
+        // Two events enter a two-join strand; with downstream-first
+        // stepping the second event's stage-0 work interleaves with the
+        // first event's stage-1 work once stage 0 completes for event 1.
+        let (mut strands, mut cat) = setup(
+            "materialize(p1, 100, 10, keys(1, 2)).
+             materialize(p2, 100, 10, keys(1, 2)).
+             r head@N(Y, Z) :- ev@N(X), p1@N(X, Y), p2@N(Y, Z).",
+        );
+        let n = Value::addr("n");
+        cat.insert(Tuple::new("p1", [n.clone(), Value::Int(1), Value::Int(5)]), Time::ZERO).unwrap();
+        cat.insert(Tuple::new("p2", [n.clone(), Value::Int(5), Value::Int(7)]), Time::ZERO).unwrap();
+        let mut ctx = FixedCtx::default();
+        let mut sink = VecSink::default();
+        let mut actions = Vec::new();
+        let s = &mut strands[0];
+        let e1 = Tuple::new("ev", [n.clone(), Value::Int(1)]);
+        let e2 = Tuple::new("ev", [n.clone(), Value::Int(1)]);
+        assert!(s.fire(&e1, &mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions));
+        assert!(s.fire(&e2, &mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions));
+        s.run_to_quiescence(&mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+        assert_eq!(actions.len(), 2);
+        // Both events produced stage-complete signals for both stages.
+        let completes = sink.0.iter().filter(|e| matches!(e.kind, TapKind::StageComplete { .. })).count();
+        assert_eq!(completes, 4);
+    }
+
+    #[test]
+    fn count_aggregate_over_event_trigger() {
+        // sr8-like: count table rows matching the event; zero allowed.
+        let (mut strands, mut cat) = setup(
+            "materialize(snapState, 100, 100, keys(1, 2)).
+             sr8 haveSnap@NAddr(SrcAddr, I, count<*>) :- snapState@NAddr(I, State), marker@NAddr(SrcAddr, I).",
+        );
+        let trig = Tuple::new("marker", [Value::addr("n1"), Value::addr("n5"), Value::Int(3)]);
+        // No snapState rows yet → count must be 0 (sr9 depends on this).
+        let (actions, _) = drive(&mut strands[0], &trig, &mut cat);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].tuple.get(3), Some(&Value::Int(0)));
+
+        cat.insert(
+            Tuple::new("snapState", [Value::addr("n1"), Value::Int(3), Value::str("Snapping")]),
+            Time::ZERO,
+        )
+        .unwrap();
+        let (actions, _) = drive(&mut strands[0], &trig, &mut cat);
+        assert_eq!(actions[0].tuple.get(3), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn count_aggregate_recomputes_on_table_trigger() {
+        // cs6-like: the count must be the table total for the group, not 1.
+        let (mut strands, mut cat) = setup(
+            "materialize(conRespTable, 100, 100, keys(1, 3)).
+             cs6 respCluster@NAddr(ProbeID, SAddr, count<*>) :- conRespTable@NAddr(ProbeID, ReqID, SAddr).",
+        );
+        let n = Value::addr("n1");
+        for req in 0..3 {
+            cat.insert(
+                Tuple::new(
+                    "conRespTable",
+                    [n.clone(), Value::Int(7), Value::Int(req), Value::addr("s1")],
+                ),
+                Time::ZERO,
+            )
+            .unwrap();
+        }
+        // Delta: the third insertion (replay it as the trigger).
+        let delta = Tuple::new(
+            "conRespTable",
+            [n.clone(), Value::Int(7), Value::Int(2), Value::addr("s1")],
+        );
+        let (actions, _) = drive(&mut strands[0], &delta, &mut cat);
+        assert_eq!(actions.len(), 1);
+        let t = &actions[0].tuple;
+        assert_eq!(t.name(), "respCluster");
+        assert_eq!(t.get(1), Some(&Value::Int(7)));
+        assert_eq!(t.get(3), Some(&Value::Int(3)), "count over whole group");
+    }
+
+    #[test]
+    fn min_aggregate() {
+        let (mut strands, mut cat) = setup(
+            "materialize(finger, 100, 100, keys(1, 2)).
+             l2 best@NAddr(K, min<D>) :- lookup@NAddr(K), finger@NAddr(FPos, FID), D := K - FID - 1.",
+        );
+        let n = Value::addr("n1");
+        for (pos, fid) in [(0i64, 10u64), (1, 90), (2, 40)] {
+            cat.insert(
+                Tuple::new("finger", [n.clone(), Value::Int(pos), Value::id(fid)]),
+                Time::ZERO,
+            )
+            .unwrap();
+        }
+        let trig = Tuple::new("lookup", [n.clone(), Value::id(100)]);
+        let (actions, _) = drive(&mut strands[0], &trig, &mut cat);
+        assert_eq!(actions.len(), 1);
+        // min D = 100 - 90 - 1 = 9.
+        assert_eq!(actions[0].tuple.get(2), Some(&Value::id(9)));
+    }
+
+    #[test]
+    fn min_aggregate_empty_emits_nothing() {
+        let (mut strands, mut cat) = setup(
+            "materialize(finger, 100, 100, keys(1, 2)).
+             l2 best@NAddr(K, min<D>) :- lookup@NAddr(K), finger@NAddr(FPos, FID), D := K - FID - 1.",
+        );
+        let trig = Tuple::new("lookup", [Value::addr("n1"), Value::id(100)]);
+        let (actions, _) = drive(&mut strands[0], &trig, &mut cat);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn sum_and_avg_extensions() {
+        let (mut strands, mut cat) = setup(
+            "materialize(score, 100, 100, keys(1, 2)).
+             s total@N(sum<V>) :- tally@N(), score@N(K, V).
+             a mean@N(avg<V>) :- tally@N(), score@N(K, V).",
+        );
+        let n = Value::addr("n1");
+        for (k, v) in [(1i64, 10i64), (2, 20), (3, 3)] {
+            cat.insert(
+                Tuple::new("score", [n.clone(), Value::Int(k), Value::Int(v)]),
+                Time::ZERO,
+            )
+            .unwrap();
+        }
+        let trig = Tuple::new("tally", [n.clone()]);
+        let (actions, _) = drive(&mut strands[0], &trig, &mut cat);
+        assert_eq!(actions[0].tuple.get(1), Some(&Value::Int(33)));
+        let (actions, _) = drive(&mut strands[1], &trig, &mut cat);
+        assert_eq!(actions[0].tuple.get(1), Some(&Value::Float(11.0)));
+    }
+
+    #[test]
+    fn delete_action_flag() {
+        let (mut strands, mut cat) = setup(
+            "materialize(t, 100, 100, keys(1, 2)).
+             d delete t@N(P, T2) :- c@N(P), t@N(P, T2).",
+        );
+        cat.insert(
+            Tuple::new("t", [Value::addr("n1"), Value::Int(1), Value::Int(99)]),
+            Time::ZERO,
+        )
+        .unwrap();
+        let trig = Tuple::new("c", [Value::addr("n1"), Value::Int(1)]);
+        let (actions, _) = drive(&mut strands[0], &trig, &mut cat);
+        assert_eq!(actions.len(), 1);
+        assert!(actions[0].delete);
+        assert_eq!(actions[0].tuple.name(), "t");
+    }
+
+    #[test]
+    fn eval_errors_counted_not_fatal() {
+        let (mut strands, mut cat) =
+            setup("r out@N(X) :- ev@N(X), X / 0 == 1.");
+        let trig = Tuple::new("ev", [Value::addr("n1"), Value::Int(4)]);
+        let (actions, _) = drive(&mut strands[0], &trig, &mut cat);
+        assert!(actions.is_empty());
+        assert_eq!(strands[0].stats().eval_errors, 1);
+        assert_eq!(strands[0].stats().fired, 1);
+    }
+
+    #[test]
+    fn interval_select_in_strand() {
+        let (mut strands, mut cat) = setup(
+            "materialize(node, 100, 1, keys(1)).
+             materialize(bestSucc, 100, 1, keys(1)).
+             l1 res@ReqAddr(K, SID) :- lookup@NAddr(K, ReqAddr), node@NAddr(NID), bestSucc@NAddr(SID), K in (NID, SID].",
+        );
+        let n = Value::addr("n1");
+        cat.insert(Tuple::new("node", [n.clone(), Value::id(10)]), Time::ZERO).unwrap();
+        cat.insert(Tuple::new("bestSucc", [n.clone(), Value::id(20)]), Time::ZERO).unwrap();
+        let hit = Tuple::new("lookup", [n.clone(), Value::id(15), Value::addr("req")]);
+        let (actions, _) = drive(&mut strands[0], &hit, &mut cat);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].tuple.location().unwrap().as_str(), "req");
+        let miss = Tuple::new("lookup", [n.clone(), Value::id(25), Value::addr("req")]);
+        let (actions, _) = drive(&mut strands[0], &miss, &mut cat);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn expression_args_in_body_predicates() {
+        // `t@N(X + 1)` compiles to an EqExpr field match: the probe keeps
+        // only rows whose field equals the evaluated expression.
+        let (mut strands, mut cat) = setup(
+            "materialize(t, 100, 10, keys(1, 2)).
+             r out@N(X) :- ev@N(X), t@N(X + 1).",
+        );
+        cat.insert(Tuple::new("t", [Value::addr("n"), Value::Int(6)]), Time::ZERO).unwrap();
+        cat.insert(Tuple::new("t", [Value::addr("n"), Value::Int(7)]), Time::ZERO).unwrap();
+        let hit = Tuple::new("ev", [Value::addr("n"), Value::Int(5)]);
+        let (actions, _) = drive(&mut strands[0], &hit, &mut cat);
+        assert_eq!(actions.len(), 1, "only t(6) == 5+1 matches");
+        let miss = Tuple::new("ev", [Value::addr("n"), Value::Int(9)]);
+        let (actions, _) = drive(&mut strands[0], &miss, &mut cat);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_in_trigger() {
+        // ev@N(X, X): both fields must be equal for the strand to fire.
+        let (mut strands, mut cat) = setup("r out@N(X) :- ev@N(X, X).");
+        let eq = Tuple::new("ev", [Value::addr("n"), Value::Int(3), Value::Int(3)]);
+        let (actions, _) = drive(&mut strands[0], &eq, &mut cat);
+        assert_eq!(actions.len(), 1);
+        let ne = Tuple::new("ev", [Value::addr("n"), Value::Int(3), Value::Int(4)]);
+        let (actions, _) = drive(&mut strands[0], &ne, &mut cat);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn trigger_mismatch_does_not_fire() {
+        let (mut strands, mut cat) = setup("r out@N() :- ev@N(X, 7).");
+        let wrong = Tuple::new("ev", [Value::addr("n1"), Value::Int(1), Value::Int(8)]);
+        let (actions, sink) = drive(&mut strands[0], &wrong, &mut cat);
+        assert!(actions.is_empty());
+        assert!(sink.0.is_empty(), "no Input tap for non-matching trigger");
+        assert_eq!(strands[0].stats().fired, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Dataflow taps.
+//!
+//! §2.1.1 of the paper: *"All dataflow element classes in P2 are
+//! 'tappable': any element can be made to copy the tuples it sends along
+//! a particular dataflow arc to an additional element."* The tap points
+//! the planner inserts are exactly the three the paper names (strand
+//! input, precondition fetch, strand output), plus the stage-completion
+//! signal that §2.1.2's pipelined record matching requires.
+
+use p2_types::{Time, Tuple};
+use std::sync::Arc;
+
+/// What a tap observed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TapKind {
+    /// A trigger tuple entered the strand (rule execution begins).
+    Input {
+        /// The trigger tuple.
+        tuple: Tuple,
+    },
+    /// A join at stage `stage` fetched a matching precondition tuple.
+    Precondition {
+        /// 0-based stage index within the strand.
+        stage: usize,
+        /// The matched table tuple.
+        tuple: Tuple,
+    },
+    /// The strand produced an output tuple (rule execution completed).
+    Output {
+        /// The produced tuple.
+        tuple: Tuple,
+    },
+    /// The stateful element at stage `stage` finished its current input
+    /// and is seeking a new one (§2.1.2's completion signal).
+    StageComplete {
+        /// 0-based stage index.
+        stage: usize,
+    },
+}
+
+/// A tap observation, stamped with the strand it came from and the time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TapEvent {
+    /// Unique strand ID.
+    pub strand_id: Arc<str>,
+    /// The rule label (what `ruleExec` records).
+    pub rule_label: Arc<str>,
+    /// Total number of join stages in the strand (sizes tracer records).
+    pub stage_count: usize,
+    /// Observation.
+    pub kind: TapKind,
+    /// Observation time.
+    pub at: Time,
+}
+
+/// Consumer of tap events — implemented by the execution tracer.
+pub trait TapSink {
+    /// Receive one observation.
+    fn tap(&mut self, event: TapEvent);
+}
+
+/// A sink that drops everything (tracing disabled — the baseline
+/// configuration of the §4 logging-cost experiment).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TapSink for NullSink {
+    fn tap(&mut self, _event: TapEvent) {}
+}
+
+/// A sink that records everything (tests).
+#[derive(Debug, Default)]
+pub struct VecSink(pub Vec<TapEvent>);
+
+impl TapSink for VecSink {
+    fn tap(&mut self, event: TapEvent) {
+        self.0.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_types::Value;
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut s = VecSink::default();
+        let t = Tuple::new("e", [Value::addr("a")]);
+        s.tap(TapEvent {
+            strand_id: Arc::from("r1"),
+            rule_label: Arc::from("r1"),
+            stage_count: 0,
+            kind: TapKind::Input { tuple: t.clone() },
+            at: Time::ZERO,
+        });
+        assert_eq!(s.0.len(), 1);
+        assert_eq!(s.0[0].kind, TapKind::Input { tuple: t });
+    }
+
+    #[test]
+    fn null_sink_is_silent() {
+        let mut s = NullSink;
+        s.tap(TapEvent {
+            strand_id: Arc::from("r1"),
+            rule_label: Arc::from("r1"),
+            stage_count: 0,
+            kind: TapKind::StageComplete { stage: 0 },
+            at: Time::ZERO,
+        });
+    }
+}

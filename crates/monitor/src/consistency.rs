@@ -1,0 +1,161 @@
+//! §3.1.4 — proactive routing-consistency probes.
+//!
+//! The first-order symptom of a damaged overlay is *inconsistent
+//! routing*: the same key, looked up at the same time from different
+//! places, resolves to different owners. The probe (`cs1`–`cs11`)
+//! periodically picks a random key, launches one lookup through **every
+//! unique finger**, clusters the answers, and reports
+//! `largest-agreeing-cluster / lookups-issued` as the consistency metric
+//! (1.0 = perfect). `cs12` turns low metrics into alarms.
+//!
+//! This is also the workload of **Figure 6** in the evaluation: the
+//! probe's cost is measured at initiation rates from 1/32 to 1 per
+//! second.
+
+use p2_types::{Time, Tuple, Value};
+
+/// Metric relation: `consistency(N, ProbeID, Metric)`.
+pub const CONSISTENCY: &str = "consistency";
+/// Alarm relation from `cs12`.
+pub const ALARM: &str = "consAlarm";
+
+/// Probe parameters.
+#[derive(Debug, Clone)]
+pub struct ProbeConfig {
+    /// Seconds between probes (`tProbe`; Figure 6 sweeps 1–32).
+    pub probe_secs: f64,
+    /// Seconds between tally rounds (paper: 20).
+    pub tally_secs: u32,
+    /// Minimum probe age before tallying (paper: 20).
+    pub wait_secs: u32,
+    /// Alarm threshold (paper: 0.5).
+    pub alarm_below: f64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig { probe_secs: 40.0, tally_secs: 20, wait_secs: 20, alarm_below: 0.5 }
+    }
+}
+
+/// The probe program (`cs1`–`cs12`), installed on the probing node.
+pub fn probe_program(cfg: &ProbeConfig) -> String {
+    let ProbeConfig { probe_secs, tally_secs, wait_secs, alarm_below } = cfg;
+    format!(
+        r#"
+materialize(conLookupTable, 100, 1000, keys(1, 3)).
+materialize(conRespTable, 100, 1000, keys(1, 3)).
+materialize(respCluster, 100, 1000, keys(1, 2, 3)).
+materialize(maxCluster, 100, 1000, keys(1, 2)).
+materialize(lookupCluster, 100, 1000, keys(1, 2)).
+
+cs1 conProbe@NAddr(ProbeID, K, T) :- periodic@NAddr(ProbeID, {probe_secs}),
+     K := f_randID(), T := f_now().
+cs2 conLookup@NAddr(ProbeID, K, FAddr, ReqID, T) :- conProbe@NAddr(ProbeID, K, T),
+     uniqueFinger@NAddr(FAddr, FID), ReqID := f_rand().
+cs3 conLookupTable@NAddr(ProbeID, ReqID, T) :- conLookup@NAddr(ProbeID, K, FAddr, ReqID, T).
+cs4 lookup@FAddr(K, NAddr, ReqID) :- conLookup@NAddr(ProbeID, K, FAddr, ReqID, T).
+cs5 conRespTable@NAddr(ProbeID, ReqID, SAddr) :-
+     lookupResults@NAddr(K, SID, SAddr, ReqID, Responder),
+     conLookupTable@NAddr(ProbeID, ReqID, T).
+cs6 respCluster@NAddr(ProbeID, SAddr, count<*>) :- conRespTable@NAddr(ProbeID, ReqID, SAddr).
+cs7 maxCluster@NAddr(ProbeID, max<Count>) :- respCluster@NAddr(ProbeID, SAddr, Count).
+cs8 lookupCluster@NAddr(ProbeID, T, count<*>) :- conLookupTable@NAddr(ProbeID, ReqID, T).
+cs9 consistency@NAddr(ProbeID, RespCount / LookupCount) :- periodic@NAddr(E, {tally_secs}),
+     lookupCluster@NAddr(ProbeID, T, LookupCount), T < f_now() - {wait_secs},
+     maxCluster@NAddr(ProbeID, RespCount).
+cs10 delete lookupCluster@NAddr(ProbeID, T, Count) :-
+     consistency@NAddr(ProbeID, Consistency), lookupCluster@NAddr(ProbeID, T, Count).
+cs11 delete conLookupTable@NAddr(ProbeID, ReqID, T) :-
+     consistency@NAddr(ProbeID, Consistency), conLookupTable@NAddr(ProbeID, ReqID, T).
+cs12 consAlarm@NAddr(ProbeID) :- consistency@NAddr(ProbeID, Cons), Cons < {alarm_below}.
+"#
+    )
+}
+
+/// Extract (when, metric) pairs from a watched `consistency` log.
+pub fn metrics(watched: &[(Time, Tuple)]) -> Vec<(Time, f64)> {
+    watched
+        .iter()
+        .filter_map(|(t, tup)| match tup.get(2) {
+            Some(Value::Float(m)) => Some((*t, *m)),
+            Some(Value::Int(m)) => Some((*t, *m as f64)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_chord::{build_ring, ChordConfig};
+    use p2_core::SimHarness;
+    use p2_types::TimeDelta;
+
+    #[test]
+    fn stable_ring_measures_full_consistency() {
+        let mut sim = SimHarness::with_seed(41);
+        let ring = build_ring(&mut sim, 8, &ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(300)); // fingers need a few fix rounds
+        assert!(p2_chord::ring_is_ordered(&mut sim, &ring));
+        let prober = ring.addrs[2].clone();
+        sim.install(&prober, &probe_program(&ProbeConfig::default())).unwrap();
+        sim.node_mut(&prober).watch(CONSISTENCY);
+        sim.node_mut(&prober).watch(ALARM);
+        sim.run_for(TimeDelta::from_secs(180));
+        let ms = metrics(sim.node_mut(&prober).watched(CONSISTENCY));
+        assert!(!ms.is_empty(), "no consistency metric produced");
+        for (t, m) in &ms {
+            assert!(
+                (*m - 1.0).abs() < 1e-9,
+                "stable ring must be fully consistent, got {m} at {t}"
+            );
+        }
+        assert!(sim.node_mut(&prober).watched(ALARM).is_empty());
+    }
+
+    #[test]
+    fn crash_during_probes_degrades_metric() {
+        let mut sim = SimHarness::with_seed(42);
+        let ring = build_ring(&mut sim, 8, &ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(300));
+        let prober = ring.addrs[1].clone();
+        // Aggressive probing so several probes straddle the crash.
+        let cfg = ProbeConfig { probe_secs: 4.0, tally_secs: 5, wait_secs: 5, ..Default::default() };
+        sim.install(&prober, &probe_program(&cfg)).unwrap();
+        sim.node_mut(&prober).watch(CONSISTENCY);
+        sim.run_for(TimeDelta::from_secs(30));
+        // Kill a non-prober, non-landmark node; in-flight consistency
+        // lookups through it go unanswered, shrinking the agreeing
+        // cluster relative to lookups issued.
+        let victim = ring
+            .live_sorted(&sim)
+            .into_iter()
+            .map(|(_, a)| a)
+            .find(|a| *a != prober && a != ring.landmark())
+            .unwrap();
+        sim.crash(&victim);
+        sim.run_for(TimeDelta::from_secs(120));
+        let ms = metrics(sim.node_mut(&prober).watched(CONSISTENCY));
+        assert!(!ms.is_empty());
+        let min = ms.iter().map(|(_, m)| *m).fold(f64::INFINITY, f64::min);
+        assert!(min < 1.0, "metric never dipped despite the crash: {ms:?}");
+    }
+
+    #[test]
+    fn probe_state_is_cleaned_up() {
+        // cs10/cs11 must delete tallied probe state so the tables do not
+        // accumulate (Figure 6 measures exactly this memory behaviour).
+        let mut sim = SimHarness::with_seed(43);
+        let ring = build_ring(&mut sim, 6, &ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(300));
+        let prober = ring.addrs[0].clone();
+        let cfg = ProbeConfig { probe_secs: 4.0, tally_secs: 5, wait_secs: 5, ..Default::default() };
+        sim.install(&prober, &probe_program(&cfg)).unwrap();
+        sim.run_for(TimeDelta::from_secs(120));
+        let now = sim.now();
+        let pending = sim.node_mut(&prober).table_scan("conLookupTable", now).len();
+        // Only untallied probes (< wait_secs + tally period old) linger.
+        assert!(pending < 60, "probe state leaking: {pending} rows");
+    }
+}

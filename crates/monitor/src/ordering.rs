@@ -1,0 +1,271 @@
+//! §3.1.2 — ring ID-ordering detectors.
+//!
+//! Even a topologically closed ring can be wrong if nodes are not
+//! arranged by ID. Two detectors:
+//!
+//! * **Opportunistic** (`ri1`): flag any lookup response whose node ID
+//!   falls strictly between the local predecessor and successor IDs —
+//!   such a node should *be* one of our neighbors.
+//! * **Traversal** (`ri2`–`ri6`): a token walks the ring along
+//!   `bestSucc` pointers counting ID wrap-arounds; a full traversal must
+//!   see exactly one. `ri7` (ours) reports the healthy completion too, so
+//!   operators can distinguish "no problem" from "traversal lost".
+
+use p2_types::{Addr, RingId, Time, Tuple, Value};
+
+/// Problem report relation for the traversal detector.
+pub const PROBLEM: &str = "orderingProblem";
+/// Healthy-completion relation (extension).
+pub const OK: &str = "orderingOk";
+/// Opportunistic alarm relation.
+pub const CLOSER: &str = "closerID";
+
+/// The opportunistic check (`ri1`). Installs on any node; fires on every
+/// incoming `lookupResults`.
+pub fn opportunistic_program() -> String {
+    r#"
+ri1 closerID@NAddr(ResltNodeID, ResltNodeAddr) :-
+     lookupResults@NAddr(Key, ResltNodeID, ResltNodeAddr, ReqNo, RespAddr),
+     pred@NAddr(PID, PAddr), bestSucc@NAddr(SID, SAddr), node@NAddr(NID),
+     PAddr != "-", ResltNodeID != NID, ResltNodeID in (PID, SID).
+"#
+    .to_string()
+}
+
+/// The traversal rules (`ri2`–`ri6`, plus `ri7`). Install on **every**
+/// node; traversals start wherever an `orderingEvent` appears (injected
+/// by [`start_traversal`], or raised by any rule — e.g. a periodic one on
+/// a chosen initiator, which the paper leaves as an orthogonal choice).
+pub fn traversal_program() -> String {
+    r#"
+ri2 ordering@NAddr(E, NAddr, NID, 0) :- orderingEvent@NAddr(E), node@NAddr(NID).
+ri3 countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps) :-
+     ordering@NAddr(E, SrcAddr, MyID, Wraps), bestSucc@NAddr(SID, SAddr),
+     MyID < SID.
+ri4 countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps + 1) :-
+     ordering@NAddr(E, SrcAddr, MyID, Wraps), bestSucc@NAddr(SID, SAddr),
+     MyID >= SID.
+ri5 ordering@SAddr(E, SrcAddr, SID, Wraps) :-
+     countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps), SAddr != SrcAddr.
+ri6 orderingProblem@SrcAddr(E, NAddr, Wraps) :-
+     countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps), SAddr == SrcAddr,
+     Wraps != 1.
+ri7 orderingOk@SrcAddr(E, NAddr) :-
+     countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps), SAddr == SrcAddr,
+     Wraps == 1.
+"#
+    .to_string()
+}
+
+/// A periodic initiator rule for continuous traversal checking (left in
+/// place as an "on-line regression test", §1.3). Install on one node.
+pub fn periodic_initiator_program(period_secs: u32) -> String {
+    format!("rit orderingEvent@NAddr(E) :- periodic@NAddr(E, {period_secs}).\n")
+}
+
+/// Kick off one traversal from `initiator` with token nonce `e`.
+pub fn start_traversal(sim: &mut p2_core::SimHarness, initiator: &Addr, e: u64) {
+    sim.inject(
+        initiator,
+        Tuple::new(
+            "orderingEvent",
+            [Value::Addr(initiator.clone()), Value::id(e)],
+        ),
+    );
+}
+
+/// Wrap counts reported by completed problem traversals: (when, wraps).
+pub fn problems(watched: &[(Time, Tuple)]) -> Vec<(Time, i64)> {
+    watched
+        .iter()
+        .filter_map(|(t, tup)| match tup.get(3) {
+            Some(Value::Int(w)) => Some((*t, *w)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// IDs flagged by the opportunistic check.
+pub fn closer_ids(watched: &[(Time, Tuple)]) -> Vec<RingId> {
+    watched
+        .iter()
+        .filter_map(|(_, tup)| match tup.get(1) {
+            Some(Value::Id(i)) => Some(*i),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_core::{NodeConfig, SimHarness};
+    use p2_types::TimeDelta;
+
+    /// A hand-built "ring" without live Chord underneath: lets tests set
+    /// arbitrary (including mis-ordered) bestSucc graphs that Chord's own
+    /// stabilization would immediately repair.
+    fn static_ring(succs: &[(&str, u64, &str, u64)]) -> (SimHarness, Vec<Addr>) {
+        let mut sim = SimHarness::new(
+            Default::default(),
+            NodeConfig { stagger_timers: false, ..Default::default() },
+            77,
+        );
+        let mut addrs = Vec::new();
+        for (name, id, succ, succ_id) in succs {
+            let a = sim.add_node(name);
+            sim.install(
+                &a,
+                &format!(
+                    r#"materialize(node, infinity, 1, keys(1)).
+                       materialize(bestSucc, infinity, 1, keys(1)).
+                       node@"{name}"({id:#x}).
+                       bestSucc@"{name}"({succ_id:#x}, "{succ}")."#
+                ),
+            )
+            .unwrap();
+            sim.install(&a, &traversal_program()).unwrap();
+            sim.node_mut(&a).watch(PROBLEM);
+            sim.node_mut(&a).watch(OK);
+            addrs.push(a);
+        }
+        (sim, addrs)
+    }
+
+    #[test]
+    fn ordered_static_ring_reports_ok() {
+        // IDs ascending along the successor chain: exactly one wrap.
+        let (mut sim, addrs) = static_ring(&[
+            ("a", 10, "b", 20),
+            ("b", 20, "c", 30),
+            ("c", 30, "a", 10),
+        ]);
+        start_traversal(&mut sim, &addrs[0].clone(), 1);
+        sim.run_for(TimeDelta::from_millis(200));
+        assert!(sim.node_mut(&addrs[0]).watched(PROBLEM).is_empty());
+        assert_eq!(sim.node_mut(&addrs[0]).watched(OK).len(), 1);
+    }
+
+    #[test]
+    fn misordered_ring_reports_problem() {
+        // Topologically a cycle, but IDs are permuted: a(10) -> c(30) ->
+        // b(20) -> a. Wraps: a->c none, c->b one, b->a one = 2.
+        let (mut sim, addrs) = static_ring(&[
+            ("a", 10, "c", 30),
+            ("b", 20, "a", 10),
+            ("c", 30, "b", 20),
+        ]);
+        start_traversal(&mut sim, &addrs[0].clone(), 2);
+        sim.run_for(TimeDelta::from_millis(200));
+        let probs = problems(sim.node_mut(&addrs[0]).watched(PROBLEM));
+        assert_eq!(probs.len(), 1, "mis-ordering must be reported");
+        assert_eq!(probs[0].1, 2);
+        assert!(sim.node_mut(&addrs[0]).watched(OK).is_empty());
+    }
+
+    #[test]
+    fn multiple_concurrent_traversals_by_nonce() {
+        let (mut sim, addrs) = static_ring(&[
+            ("a", 10, "b", 20),
+            ("b", 20, "c", 30),
+            ("c", 30, "a", 10),
+        ]);
+        // Two tokens at once, from different initiators.
+        start_traversal(&mut sim, &addrs[0].clone(), 100);
+        start_traversal(&mut sim, &addrs[1].clone(), 200);
+        sim.run_for(TimeDelta::from_millis(300));
+        assert_eq!(sim.node_mut(&addrs[0]).watched(OK).len(), 1);
+        assert_eq!(sim.node_mut(&addrs[1]).watched(OK).len(), 1);
+    }
+
+    #[test]
+    fn live_chord_traversal_completes_ok() {
+        let mut sim = SimHarness::with_seed(21);
+        let ring = p2_chord::build_ring(&mut sim, 6, &p2_chord::ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(180));
+        assert!(p2_chord::ring_is_ordered(&mut sim, &ring));
+        for a in ring.addrs.clone() {
+            sim.install(&a, &traversal_program()).unwrap();
+        }
+        let init = ring.addrs[2].clone();
+        sim.node_mut(&init).watch(OK);
+        sim.node_mut(&init).watch(PROBLEM);
+        start_traversal(&mut sim, &init, 7);
+        sim.run_for(TimeDelta::from_secs(2));
+        assert_eq!(sim.node_mut(&init).watched(OK).len(), 1, "traversal lost");
+        assert!(sim.node_mut(&init).watched(PROBLEM).is_empty());
+    }
+
+    #[test]
+    fn periodic_initiator_drives_continuous_traversals() {
+        // §1.3: the traversal left in place as an on-line regression test.
+        let mut sim = SimHarness::with_seed(23);
+        let ring = p2_chord::build_ring(&mut sim, 5, &p2_chord::ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(180));
+        assert!(p2_chord::ring_is_ordered(&mut sim, &ring));
+        for a in ring.addrs.clone() {
+            sim.install(&a, &traversal_program()).unwrap();
+        }
+        let init = ring.addrs[0].clone();
+        sim.install(&init, &periodic_initiator_program(20)).unwrap();
+        sim.node_mut(&init).watch(OK);
+        sim.node_mut(&init).watch(PROBLEM);
+        sim.run_for(TimeDelta::from_secs(100));
+        let oks = sim.node_mut(&init).watched(OK).len();
+        assert!(oks >= 4, "expected ~5 clean traversals, got {oks}");
+        assert!(sim.node_mut(&init).watched(PROBLEM).is_empty());
+    }
+
+    #[test]
+    fn opportunistic_check_flags_closer_node() {
+        let mut sim = SimHarness::with_seed(22);
+        let ring = p2_chord::build_ring(&mut sim, 6, &p2_chord::ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(180));
+        assert!(p2_chord::ring_is_ordered(&mut sim, &ring));
+        let sorted = ring.live_sorted(&sim);
+        let node = sorted[2].1.clone();
+        sim.install(&node, &opportunistic_program()).unwrap();
+        sim.node_mut(&node).watch(CLOSER);
+        // Deliver a fabricated lookup response naming a node whose ID
+        // lies strictly between `node`'s predecessor and successor — the
+        // signature of a neighbor it should know but doesn't.
+        let pid = sorted[1].0;
+        let fake_id = RingId(pid.0.wrapping_add(1));
+        sim.inject(
+            &node,
+            Tuple::new(
+                "lookupResults",
+                [
+                    Value::Addr(node.clone()),
+                    Value::Id(RingId(42)),
+                    Value::Id(fake_id),
+                    Value::addr("ghost"),
+                    Value::id(9),
+                    Value::addr("ghost"),
+                ],
+            ),
+        );
+        sim.run_for(TimeDelta::from_secs(1));
+        let flagged = closer_ids(sim.node_mut(&node).watched(CLOSER));
+        assert_eq!(flagged, vec![fake_id]);
+        // A response naming the successor itself is NOT flagged (interval
+        // is open).
+        let succ_id = sorted[3].0;
+        sim.inject(
+            &node,
+            Tuple::new(
+                "lookupResults",
+                [
+                    Value::Addr(node.clone()),
+                    Value::Id(RingId(43)),
+                    Value::Id(succ_id),
+                    Value::addr("s"),
+                    Value::id(10),
+                    Value::addr("s"),
+                ],
+            ),
+        );
+        sim.run_for(TimeDelta::from_secs(1));
+        assert_eq!(closer_ids(sim.node_mut(&node).watched(CLOSER)).len(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! §3.2 — execution profiling over the trace tables.
+//!
+//! *"Here we demonstrate the use of execution tracing to split lookup
+//! latencies into time spent executing rules, time spent traversing the
+//! network, and time spent in the dataflow between rules."*
+//!
+//! The walk starts from a traced response tuple (`traceResp`) and follows
+//! the `ruleExec` causality chain **backwards**, hopping across nodes via
+//! `tupleTable` correlation (§2.1.3), accumulating three bins:
+//!
+//! * `RuleT` — inside rule strands (`t_out - t_in` per `ruleExec` row);
+//! * `LocalT` — between rules on the same node (queueing);
+//! * `NetT` — between rules on different nodes (network).
+//!
+//! Our rules restructure the paper's `ep1`–`ep6` (whose listings elide
+//! the cross-node hop mechanics) into the same walk with explicit local
+//! vs. remote resolution, and terminate where the chain has **no
+//! producer** — the injected origin request — rather than at a
+//! hard-coded rule label (the paper stops at `cs2`; a zero-count
+//! aggregate expresses "no producer" without negation). All times are in
+//! microseconds (`Time - Time` subtraction).
+//!
+//! Install [`profiling_program`] on **every** node (the walk migrates),
+//! with tracing enabled everywhere.
+
+use p2_types::{Addr, Time, Tuple, TupleId, Value};
+
+/// Report relation: `profileReport(Origin, WalkID, RuleT, NetT, LocalT)`.
+pub const REPORT: &str = "profileReport";
+
+/// The walk rules.
+pub fn profiling_program() -> String {
+    r#"
+ep1 trav@NAddr(WalkID, Origin, Curr, LastT, 0, 0, 0) :-
+     traceResp@NAddr(WalkID, Origin, Curr, LastT).
+ep2 resolveLocal@NAddr(WalkID, Origin, Curr, LastT, RuleT, NetT, LocalT) :-
+     trav@NAddr(WalkID, Origin, Curr, LastT, RuleT, NetT, LocalT),
+     tupleTable@NAddr(Curr, Src, SrcTID, Dst), Src == NAddr.
+ep3 travRemote@Src(WalkID, Origin, SrcTID, LastT, RuleT, NetT, LocalT) :-
+     trav@NAddr(WalkID, Origin, Curr, LastT, RuleT, NetT, LocalT),
+     tupleTable@NAddr(Curr, Src, SrcTID, Dst), Src != NAddr.
+ep4 resolveNet@NAddr(WalkID, Origin, Curr, LastT, RuleT, NetT, LocalT) :-
+     travRemote@NAddr(WalkID, Origin, Curr, LastT, RuleT, NetT, LocalT).
+
+/* A producing rule exists: accumulate and continue from its input. */
+ep5 step@NAddr(WalkID, Origin, In, InT, RuleT + (OutT - InT), NetT,
+     LocalT + (LastT - OutT)) :-
+     resolveLocal@NAddr(WalkID, Origin, Curr, LastT, RuleT, NetT, LocalT),
+     ruleExec@NAddr(Rule, In, Curr, InT, OutT, true).
+ep6 step@NAddr(WalkID, Origin, In, InT, RuleT + (OutT - InT),
+     NetT + (LastT - OutT), LocalT) :-
+     resolveNet@NAddr(WalkID, Origin, Curr, LastT, RuleT, NetT, LocalT),
+     ruleExec@NAddr(Rule, In, Curr, InT, OutT, true).
+ep7 trav@NAddr(WalkID, Origin, In, InT, RuleT, NetT, LocalT) :-
+     step@NAddr(WalkID, Origin, In, InT, RuleT, NetT, LocalT).
+
+/* No producer: the chain's origin — report back to the walk's owner. */
+ep8 prodCountL@NAddr(WalkID, Origin, RuleT, NetT, LocalT, count<*>) :-
+     resolveLocal@NAddr(WalkID, Origin, Curr, LastT, RuleT, NetT, LocalT),
+     ruleExec@NAddr(Rule, In, Curr, InT, OutT, true).
+ep9 prodCountN@NAddr(WalkID, Origin, RuleT, NetT, LocalT, count<*>) :-
+     resolveNet@NAddr(WalkID, Origin, Curr, LastT, RuleT, NetT, LocalT),
+     ruleExec@NAddr(Rule, In, Curr, InT, OutT, true).
+ep10 profileReport@Origin(WalkID, RuleT, NetT, LocalT) :-
+     prodCountL@NAddr(WalkID, Origin, RuleT, NetT, LocalT, C), C == 0.
+ep11 profileReport@Origin(WalkID, RuleT, NetT, LocalT) :-
+     prodCountN@NAddr(WalkID, Origin, RuleT, NetT, LocalT, C), C == 0.
+"#
+    .to_string()
+}
+
+/// Start a walk at `node` for the traced tuple `id`, observed at
+/// `observed`. Reports arrive at `origin` as [`REPORT`] tuples.
+pub fn start_walk(
+    sim: &mut p2_core::SimHarness,
+    node: &Addr,
+    origin: &Addr,
+    walk_id: u64,
+    id: TupleId,
+    observed: Time,
+) {
+    sim.inject(
+        node,
+        Tuple::new(
+            "traceResp",
+            [
+                Value::Addr(node.clone()),
+                Value::id(walk_id),
+                Value::Addr(origin.clone()),
+                Value::id(id.0),
+                Value::Time(observed),
+            ],
+        ),
+    );
+}
+
+/// A parsed profile report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Profile {
+    /// Walk identifier.
+    pub walk_id: u64,
+    /// Microseconds inside rule strands.
+    pub rule_us: i64,
+    /// Microseconds crossing the network.
+    pub net_us: i64,
+    /// Microseconds queued locally between rules.
+    pub local_us: i64,
+}
+
+/// Parse watched [`REPORT`] tuples.
+pub fn reports(watched: &[(Time, Tuple)]) -> Vec<Profile> {
+    watched
+        .iter()
+        .filter_map(|(_, t)| {
+            let walk_id = match t.get(1) {
+                Some(Value::Id(i)) => i.0,
+                _ => return None,
+            };
+            let int = |i: usize| match t.get(i) {
+                Some(Value::Int(v)) => Some(*v),
+                _ => None,
+            };
+            Some(Profile {
+                walk_id,
+                rule_us: int(2)?,
+                net_us: int(3)?,
+                local_us: int(4)?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_chord::{build_ring, issue_lookup, ChordConfig};
+    use p2_core::{NodeConfig, SimHarness};
+    use p2_types::{RingId, TimeDelta};
+
+    fn traced_sim(seed: u64, n: usize) -> (SimHarness, p2_chord::ChordRing) {
+        let mut sim = SimHarness::new(
+            Default::default(),
+            NodeConfig { tracing: true, ..Default::default() },
+            seed,
+        );
+        let ring = build_ring(&mut sim, n, &ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(300));
+        (sim, ring)
+    }
+
+    #[test]
+    fn walk_profiles_a_multi_hop_lookup() {
+        let (mut sim, ring) = traced_sim(51, 8);
+        assert!(p2_chord::ring_is_ordered(&mut sim, &ring));
+        for a in ring.addrs.clone() {
+            sim.install(&a, &profiling_program()).unwrap();
+        }
+        let origin = ring.addrs[0].clone();
+        sim.node_mut(&origin).watch("lookupResults");
+        sim.node_mut(&origin).watch(REPORT);
+
+        // Pick a key owned far from the origin so the lookup hops.
+        let owner_gap_key = {
+            let sorted = ring.live_sorted(&sim);
+            let my_pos = sorted.iter().position(|(_, a)| *a == origin).unwrap();
+            let far = &sorted[(my_pos + sorted.len() / 2) % sorted.len()];
+            RingId(far.0 .0.wrapping_sub(1))
+        };
+        issue_lookup(&mut sim, &origin, owner_gap_key, &origin, 777);
+        sim.run_for(TimeDelta::from_secs(2));
+        let watched = sim.node_mut(&origin).take_watched("lookupResults");
+        let (observed_at, resp) = watched
+            .iter()
+            .find(|(_, t)| t.get(4) == Some(&Value::id(777)))
+            .cloned()
+            .expect("lookup answered");
+
+        // Find the response tuple's trace ID at the origin and walk it.
+        let id = sim
+            .node_mut(&origin)
+            .trace_id_of(&resp)
+            .expect("response memoized by tracer");
+        start_walk(&mut sim, &origin.clone(), &origin.clone(), 9001, id, observed_at);
+        sim.run_for(TimeDelta::from_secs(2));
+
+        let profs = reports(sim.node_mut(&origin).watched(REPORT));
+        assert!(!profs.is_empty(), "walk produced no report");
+        let p = profs[0];
+        assert_eq!(p.walk_id, 9001);
+        // The lookup crossed the network (10 ms per hop, ≥ 2 hops
+        // including the response): NetT must dominate and reflect the
+        // simulated latency.
+        assert!(p.net_us >= 20_000, "net time too small: {p:?}");
+        assert!(p.rule_us >= 0 && p.local_us >= 0);
+    }
+
+    #[test]
+    fn local_lookup_has_no_net_time() {
+        let (mut sim, ring) = traced_sim(52, 1);
+        let a = ring.addrs[0].clone();
+        sim.install(&a, &profiling_program()).unwrap();
+        sim.node_mut(&a).watch("lookupResults");
+        sim.node_mut(&a).watch(REPORT);
+        issue_lookup(&mut sim, &a, RingId(5), &a, 99);
+        sim.run_for(TimeDelta::from_secs(1));
+        let watched = sim.node_mut(&a).take_watched("lookupResults");
+        let (at, resp) = watched
+            .iter()
+            .find(|(_, t)| t.get(4) == Some(&Value::id(99)))
+            .cloned()
+            .expect("answered");
+        let id = sim.node_mut(&a).trace_id_of(&resp).unwrap();
+        start_walk(&mut sim, &a.clone(), &a.clone(), 1, id, at);
+        sim.run_for(TimeDelta::from_secs(1));
+        let profs = reports(sim.node_mut(&a).watched(REPORT));
+        assert_eq!(profs.len(), 1);
+        assert_eq!(profs[0].net_us, 0, "single-node lookup crossed no wire");
+    }
+}

@@ -1,0 +1,46 @@
+//! Message envelopes.
+
+use p2_types::{Addr, Tuple, TupleId};
+
+/// A tuple in flight between nodes.
+///
+/// The envelope is the "network postamble" output of Figure 1: the tuple
+/// itself plus the routing and tracing metadata the paper's §2.1.3
+/// correlation requires — the sender's node-local tuple ID rides along so
+/// the receiver's `tupleTable` row can name it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The payload tuple (its field 0 names `dst` by convention).
+    pub tuple: Tuple,
+    /// Sending node.
+    pub src: Addr,
+    /// Destination node.
+    pub dst: Addr,
+    /// The sender's tuple ID (present when the sender traces execution).
+    pub src_tuple_id: Option<TupleId>,
+    /// `true` when this is a remote `delete`: the receiver removes the
+    /// matching row instead of raising an insertion/event.
+    pub delete: bool,
+}
+
+impl Envelope {
+    /// Convenience constructor for a plain (non-delete, untraced) send.
+    pub fn new(tuple: Tuple, src: Addr, dst: Addr) -> Envelope {
+        Envelope { tuple, src, dst, src_tuple_id: None, delete: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_types::Value;
+
+    #[test]
+    fn construction() {
+        let t = Tuple::new("m", [Value::addr("b"), Value::Int(1)]);
+        let e = Envelope::new(t.clone(), Addr::new("a"), Addr::new("b"));
+        assert_eq!(e.tuple, t);
+        assert!(!e.delete);
+        assert!(e.src_tuple_id.is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! # p2-net — network substrates
+//!
+//! The paper evaluates on 21 virtual nodes running as OS processes over a
+//! LAN. We substitute (DESIGN.md §2.4) a **deterministic discrete-event
+//! simulated network** — [`sim::SimNetwork`] — as the primary substrate:
+//! per-link FIFO delivery (required by the Chandy–Lamport snapshot
+//! algorithm of §3.3), configurable latency/jitter/loss, node crash and
+//! link partition injection, and exact message counters (the *Tx
+//! messages* series of Figures 6–7).
+//!
+//! Two real-time substrates demonstrate that the runtime is not
+//! simulator-only: [`threaded::ThreadedHub`] over crossbeam channels,
+//! and [`udp::UdpTransport`] over actual sockets — the paper's own wire
+//! protocol (one marshaled tuple per datagram, unreliable and
+//! unordered). Both pass every message through the [`wire`] codec;
+//! integration tests run small overlays on each.
+
+pub mod envelope;
+pub mod sim;
+pub mod threaded;
+pub mod udp;
+pub mod wire;
+
+pub use envelope::Envelope;
+pub use sim::{NetStats, SimConfig, SimNetwork};
+pub use threaded::ThreadedHub;
+pub use udp::{UdpRecv, UdpTransport};
+pub use wire::WireError;

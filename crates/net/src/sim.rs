@@ -1,0 +1,384 @@
+//! Deterministic discrete-event simulated network.
+//!
+//! All nodes run in one process over a virtual clock (owned by the
+//! simulation harness in `p2-core`); this module is the message fabric:
+//!
+//! * **Per-link FIFO.** The Chandy–Lamport snapshot implementation of
+//!   §3.3 assumes FIFO channels; even with latency jitter enabled, a
+//!   message never overtakes an earlier message on the same (src, dst)
+//!   link — delivery times are clamped to be non-decreasing per link.
+//! * **Fault injection.** Nodes can be crashed/revived and links can be
+//!   partitioned or lossy — the oscillation and ring-consistency
+//!   detectors of §3.1 are tested against these.
+//! * **Exact counters.** Messages sent per node back the *Tx messages*
+//!   series of Figures 6 and 7.
+
+use crate::envelope::Envelope;
+use p2_types::{Addr, DetRng, Time, TimeDelta};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Network configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Base one-way latency.
+    pub latency: TimeDelta,
+    /// Uniform extra latency in `[0, jitter]`.
+    pub jitter: TimeDelta,
+    /// Probability a message is dropped (0.0 = reliable).
+    pub loss_rate: f64,
+    /// RNG seed for jitter/loss decisions.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency: TimeDelta::from_millis(10),
+            jitter: TimeDelta::ZERO,
+            loss_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-network counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Envelopes accepted for transmission, per source node.
+    pub sent_by: HashMap<Addr, u64>,
+    /// Envelopes delivered, per destination node.
+    pub delivered_to: HashMap<Addr, u64>,
+    /// Envelopes dropped (loss, partitions, dead nodes, unknown dest).
+    pub dropped: u64,
+}
+
+impl NetStats {
+    /// Total envelopes sent.
+    pub fn total_sent(&self) -> u64 {
+        self.sent_by.values().sum()
+    }
+
+    /// Envelopes sent by one node.
+    pub fn sent_by(&self, a: &Addr) -> u64 {
+        self.sent_by.get(a).copied().unwrap_or(0)
+    }
+}
+
+#[derive(Debug)]
+struct InFlight {
+    deliver_at: Time,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+/// The simulated fabric.
+#[derive(Debug)]
+pub struct SimNetwork {
+    config: SimConfig,
+    rng: DetRng,
+    queue: BinaryHeap<Reverse<InFlight>>,
+    /// Last scheduled delivery per (src, dst) link, for the FIFO clamp.
+    link_horizon: HashMap<(Addr, Addr), Time>,
+    nodes: HashSet<Addr>,
+    down: HashSet<Addr>,
+    /// Severed directed links.
+    cut: HashSet<(Addr, Addr)>,
+    seq: u64,
+    stats: NetStats,
+}
+
+impl SimNetwork {
+    /// Create a network with the given config.
+    pub fn new(config: SimConfig) -> SimNetwork {
+        let rng = DetRng::new(config.seed ^ 0x006e_6574_776f_726b);
+        SimNetwork {
+            config,
+            rng,
+            queue: BinaryHeap::new(),
+            link_horizon: HashMap::new(),
+            nodes: HashSet::new(),
+            down: HashSet::new(),
+            cut: HashSet::new(),
+            seq: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Register a node address (unknown destinations drop).
+    pub fn register(&mut self, addr: Addr) {
+        self.nodes.insert(addr);
+    }
+
+    /// Crash a node: its in-flight and future messages drop.
+    pub fn set_down(&mut self, addr: &Addr, down: bool) {
+        if down {
+            self.down.insert(addr.clone());
+        } else {
+            self.down.remove(addr);
+        }
+    }
+
+    /// Whether a node is currently marked down.
+    pub fn is_down(&self, addr: &Addr) -> bool {
+        self.down.contains(addr)
+    }
+
+    /// Sever or restore a directed link.
+    pub fn set_cut(&mut self, src: &Addr, dst: &Addr, cut: bool) {
+        if cut {
+            self.cut.insert((src.clone(), dst.clone()));
+        } else {
+            self.cut.remove(&(src.clone(), dst.clone()));
+        }
+    }
+
+    /// Change the loss rate on the fly (fault campaigns).
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        self.config.loss_rate = rate.clamp(0.0, 1.0);
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Accept an envelope for transmission at virtual time `now`.
+    pub fn send(&mut self, env: Envelope, now: Time) {
+        *self.stats.sent_by.entry(env.src.clone()).or_insert(0) += 1;
+        if !self.nodes.contains(&env.dst)
+            || self.down.contains(&env.dst)
+            || self.down.contains(&env.src)
+            || self.cut.contains(&(env.src.clone(), env.dst.clone()))
+        {
+            self.stats.dropped += 1;
+            return;
+        }
+        if self.config.loss_rate > 0.0 && self.rng.unit_f64() < self.config.loss_rate {
+            self.stats.dropped += 1;
+            return;
+        }
+        let jitter = if self.config.jitter.micros() > 0 {
+            TimeDelta::from_micros(self.rng.below(self.config.jitter.micros() + 1))
+        } else {
+            TimeDelta::ZERO
+        };
+        let mut deliver_at = now + self.config.latency + jitter;
+        // FIFO clamp: never overtake an earlier message on the same link.
+        let key = (env.src.clone(), env.dst.clone());
+        if let Some(h) = self.link_horizon.get(&key) {
+            if deliver_at < *h {
+                deliver_at = *h;
+            }
+        }
+        self.link_horizon.insert(key, deliver_at);
+        self.seq += 1;
+        self.queue.push(Reverse(InFlight { deliver_at, seq: self.seq, env }));
+    }
+
+    /// The virtual time of the earliest pending delivery.
+    pub fn next_delivery(&self) -> Option<Time> {
+        self.queue.peek().map(|Reverse(m)| m.deliver_at)
+    }
+
+    /// Pop every envelope due at or before `now` (in delivery order).
+    /// Envelopes addressed to nodes that died while the message was in
+    /// flight are dropped here.
+    pub fn pop_due(&mut self, now: Time) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        while let Some(Reverse(m)) = self.queue.peek() {
+            if m.deliver_at > now {
+                break;
+            }
+            let Reverse(m) = self.queue.pop().expect("peeked");
+            if self.down.contains(&m.env.dst) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            *self
+                .stats
+                .delivered_to
+                .entry(m.env.dst.clone())
+                .or_insert(0) += 1;
+            out.push(m.env);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_types::{Tuple, Value};
+    use proptest::prelude::*;
+
+    fn env(src: &str, dst: &str, x: i64) -> Envelope {
+        Envelope::new(
+            Tuple::new("m", [Value::addr(dst), Value::Int(x)]),
+            Addr::new(src),
+            Addr::new(dst),
+        )
+    }
+
+    fn net() -> SimNetwork {
+        let mut n = SimNetwork::new(SimConfig::default());
+        for a in ["a", "b", "c"] {
+            n.register(Addr::new(a));
+        }
+        n
+    }
+
+    #[test]
+    fn delivers_after_latency() {
+        let mut n = net();
+        n.send(env("a", "b", 1), Time::ZERO);
+        assert_eq!(n.next_delivery(), Some(Time::from_millis(10)));
+        assert!(n.pop_due(Time::from_millis(9)).is_empty());
+        let got = n.pop_due(Time::from_millis(10));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].tuple.get(1), Some(&Value::Int(1)));
+        assert_eq!(n.stats().sent_by(&Addr::new("a")), 1);
+    }
+
+    #[test]
+    fn fifo_per_link_even_with_jitter() {
+        let mut n = SimNetwork::new(SimConfig {
+            jitter: TimeDelta::from_millis(50),
+            ..Default::default()
+        });
+        n.register(Addr::new("a"));
+        n.register(Addr::new("b"));
+        for i in 0..50 {
+            n.send(env("a", "b", i), Time::from_millis(i as u64));
+        }
+        let got = n.pop_due(Time::from_secs(10));
+        assert_eq!(got.len(), 50);
+        let xs: Vec<i64> = got
+            .iter()
+            .map(|e| match e.tuple.get(1) {
+                Some(Value::Int(n)) => *n,
+                _ => panic!(),
+            })
+            .collect();
+        let mut sorted = xs.clone();
+        sorted.sort();
+        assert_eq!(xs, sorted, "per-link delivery must be FIFO");
+    }
+
+    #[test]
+    fn unknown_destination_drops() {
+        let mut n = net();
+        n.send(env("a", "ghost", 1), Time::ZERO);
+        assert_eq!(n.stats().dropped, 1);
+        assert_eq!(n.in_flight(), 0);
+    }
+
+    #[test]
+    fn down_node_drops_current_and_in_flight() {
+        let mut n = net();
+        n.send(env("a", "b", 1), Time::ZERO);
+        n.set_down(&Addr::new("b"), true);
+        // New sends drop immediately; in-flight drop at delivery.
+        n.send(env("a", "b", 2), Time::ZERO);
+        assert!(n.pop_due(Time::from_secs(1)).is_empty());
+        assert_eq!(n.stats().dropped, 2);
+        // Revive: traffic flows again.
+        n.set_down(&Addr::new("b"), false);
+        n.send(env("a", "b", 3), Time::from_secs(1));
+        assert_eq!(n.pop_due(Time::from_secs(2)).len(), 1);
+    }
+
+    #[test]
+    fn cut_link_is_directional() {
+        let mut n = net();
+        n.set_cut(&Addr::new("a"), &Addr::new("b"), true);
+        n.send(env("a", "b", 1), Time::ZERO);
+        n.send(env("b", "a", 2), Time::ZERO);
+        let got = n.pop_due(Time::from_secs(1));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].dst, Addr::new("a"));
+    }
+
+    #[test]
+    fn loss_rate_drops_roughly_proportionally() {
+        let mut n = SimNetwork::new(SimConfig { loss_rate: 0.5, ..Default::default() });
+        n.register(Addr::new("a"));
+        n.register(Addr::new("b"));
+        for i in 0..1000 {
+            n.send(env("a", "b", i), Time::ZERO);
+        }
+        let delivered = n.pop_due(Time::from_secs(1)).len();
+        assert!((300..700).contains(&delivered), "got {delivered}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut n = SimNetwork::new(SimConfig {
+                jitter: TimeDelta::from_millis(5),
+                loss_rate: 0.2,
+                seed: 7,
+                ..Default::default()
+            });
+            n.register(Addr::new("a"));
+            n.register(Addr::new("b"));
+            for i in 0..100 {
+                n.send(env("a", "b", i), Time::from_millis(i as u64));
+            }
+            n.pop_due(Time::from_secs(5))
+                .iter()
+                .map(|e| format!("{}", e.tuple))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    proptest! {
+        /// Deliveries never reorder within a link, for any send schedule.
+        #[test]
+        fn prop_fifo(times in proptest::collection::vec(0u64..1000, 1..60), seed: u64) {
+            let mut n = SimNetwork::new(SimConfig {
+                jitter: TimeDelta::from_millis(20),
+                seed,
+                ..Default::default()
+            });
+            n.register(Addr::new("a"));
+            n.register(Addr::new("b"));
+            let mut sorted_times = times.clone();
+            sorted_times.sort();
+            for (i, t) in sorted_times.iter().enumerate() {
+                n.send(env("a", "b", i as i64), Time::from_millis(*t));
+            }
+            let got = n.pop_due(Time::from_secs(100));
+            let xs: Vec<i64> = got.iter().map(|e| match e.tuple.get(1) {
+                Some(Value::Int(v)) => *v,
+                _ => unreachable!(),
+            }).collect();
+            let mut s = xs.clone();
+            s.sort();
+            prop_assert_eq!(xs, s);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! UDP transport.
+//!
+//! The paper's prototype runs its 21 virtual nodes as OS processes
+//! exchanging tuples over UDP; this module is that substrate: node
+//! addresses are `ip:port` strings, envelopes are marshaled through the
+//! [`crate::wire`] codec, one datagram per envelope. Delivery is
+//! unreliable and unordered exactly as real UDP is — which is what the
+//! soft-state protocol stack upstairs is built to tolerate (and what the
+//! simulator's loss/jitter knobs model deterministically).
+
+use crate::envelope::Envelope;
+use crate::wire::{decode_envelope, encode_envelope};
+use p2_types::Addr;
+use std::io;
+use std::net::UdpSocket;
+use std::time::Duration;
+
+/// Largest datagram we attempt to receive. Chord control tuples are tens
+/// of bytes; anything near this size indicates a runaway program.
+const MAX_DATAGRAM: usize = 64 * 1024;
+
+/// A UDP endpoint for one node.
+///
+/// The node's [`Addr`] must parse as a socket address
+/// (e.g. `"127.0.0.1:9001"`).
+#[derive(Debug)]
+pub struct UdpTransport {
+    socket: UdpSocket,
+    local: Addr,
+}
+
+/// Receive outcome: decoded envelope, nothing pending, or a frame that
+/// failed to decode (reported, not fatal — hostile or corrupt peers must
+/// not wedge a node).
+#[derive(Debug)]
+pub enum UdpRecv {
+    /// A well-formed envelope.
+    Envelope(Envelope),
+    /// Nothing waiting.
+    Empty,
+    /// An undecodable datagram arrived (and was dropped).
+    Malformed {
+        /// Decode failure description.
+        error: String,
+    },
+}
+
+impl UdpTransport {
+    /// Bind the node's socket. The address must be a valid `ip:port`.
+    pub fn bind(local: &Addr) -> io::Result<UdpTransport> {
+        let socket = UdpSocket::bind(local.as_str())?;
+        socket.set_nonblocking(true)?;
+        Ok(UdpTransport { socket, local: local.clone() })
+    }
+
+    /// The bound address (useful with port 0: the OS assigns one).
+    pub fn local_addr(&self) -> io::Result<Addr> {
+        Ok(Addr::new(self.socket.local_addr()?.to_string()))
+    }
+
+    /// The node address this transport was created for.
+    pub fn node_addr(&self) -> &Addr {
+        &self.local
+    }
+
+    /// Send one envelope as one datagram to `env.dst` (an `ip:port`
+    /// address). Returns the datagram size.
+    pub fn send(&self, env: &Envelope) -> io::Result<usize> {
+        let bytes = encode_envelope(env);
+        self.socket.send_to(&bytes, env.dst.as_str())
+    }
+
+    /// Non-blocking receive of one datagram.
+    pub fn try_recv(&self) -> io::Result<UdpRecv> {
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        match self.socket.recv_from(&mut buf) {
+            Ok((n, _peer)) => match decode_envelope(&buf[..n]) {
+                Ok(env) => Ok(UdpRecv::Envelope(env)),
+                Err(e) => Ok(UdpRecv::Malformed { error: e.to_string() }),
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(UdpRecv::Empty),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Blocking receive with a timeout. `Ok(UdpRecv::Empty)` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> io::Result<UdpRecv> {
+        self.socket.set_nonblocking(false)?;
+        self.socket.set_read_timeout(Some(timeout))?;
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        let r = self.socket.recv_from(&mut buf);
+        // Restore non-blocking mode for try_recv callers.
+        self.socket.set_nonblocking(true)?;
+        match r {
+            Ok((n, _peer)) => match decode_envelope(&buf[..n]) {
+                Ok(env) => Ok(UdpRecv::Envelope(env)),
+                Err(e) => Ok(UdpRecv::Malformed { error: e.to_string() }),
+            },
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(UdpRecv::Empty)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_types::{Tuple, Value};
+
+    fn bind_ephemeral() -> UdpTransport {
+        UdpTransport::bind(&Addr::new("127.0.0.1:0")).expect("bind")
+    }
+
+    fn env_to(dst: &Addr, x: i64) -> Envelope {
+        Envelope::new(
+            Tuple::new("m", [Value::Addr(dst.clone()), Value::Int(x)]),
+            Addr::new("127.0.0.1:1"),
+            dst.clone(),
+        )
+    }
+
+    #[test]
+    fn datagram_round_trip() {
+        let a = bind_ephemeral();
+        let b = bind_ephemeral();
+        let b_addr = b.local_addr().unwrap();
+        a.send(&env_to(&b_addr, 42)).unwrap();
+        match b.recv_timeout(Duration::from_secs(2)).unwrap() {
+            UdpRecv::Envelope(e) => {
+                assert_eq!(e.tuple.get(1), Some(&Value::Int(42)));
+                assert_eq!(e.dst, b_addr);
+            }
+            other => panic!("expected envelope, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_when_nothing_pending() {
+        let a = bind_ephemeral();
+        assert!(matches!(a.try_recv().unwrap(), UdpRecv::Empty));
+    }
+
+    #[test]
+    fn malformed_datagram_is_reported_not_fatal() {
+        let a = bind_ephemeral();
+        let b = bind_ephemeral();
+        let b_addr = b.local_addr().unwrap();
+        // Raw garbage straight onto the socket.
+        let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+        raw.send_to(&[0xFF, 0x00, 0x13, 0x37], b_addr.as_str()).unwrap();
+        match b.recv_timeout(Duration::from_secs(2)).unwrap() {
+            UdpRecv::Malformed { error } => assert!(!error.is_empty()),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+        // The transport keeps working afterwards.
+        a.send(&env_to(&b_addr, 7)).unwrap();
+        assert!(matches!(
+            b.recv_timeout(Duration::from_secs(2)).unwrap(),
+            UdpRecv::Envelope(_)
+        ));
+    }
+
+    #[test]
+    fn bad_bind_address_is_io_error() {
+        assert!(UdpTransport::bind(&Addr::new("not-an-address")).is_err());
+    }
+
+    #[test]
+    fn many_datagrams_in_order_locally() {
+        // Loopback UDP practically preserves order; the test only asserts
+        // that all arrive and decode.
+        let a = bind_ephemeral();
+        let b = bind_ephemeral();
+        let b_addr = b.local_addr().unwrap();
+        for i in 0..50 {
+            a.send(&env_to(&b_addr, i)).unwrap();
+        }
+        let mut got = 0;
+        while got < 50 {
+            match b.recv_timeout(Duration::from_secs(2)).unwrap() {
+                UdpRecv::Envelope(_) => got += 1,
+                UdpRecv::Empty => break,
+                UdpRecv::Malformed { error } => panic!("{error}"),
+            }
+        }
+        assert_eq!(got, 50);
+    }
+}

@@ -1,0 +1,337 @@
+//! Binary marshaling for tuples and envelopes.
+//!
+//! The dataflow's network preamble/postamble (Figure 1) marshal and
+//! unmarshal tuples. The simulated network passes envelopes by value, but
+//! the threaded transport round-trips every message through this codec so
+//! that crossing a node boundary is honest — and so that the "malformed
+//! remote input must never panic a node" property is actually exercised:
+//! decoding returns typed [`WireError`]s for every truncation and tag
+//! corruption.
+//!
+//! Format: little-endian, length-prefixed. One byte of tag per value.
+
+use crate::envelope::Envelope;
+use p2_types::{Addr, RingId, Time, Tuple, TupleId, Value};
+use std::fmt;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended mid-field.
+    Truncated,
+    /// Unknown value tag byte.
+    BadTag(u8),
+    /// A string field was not UTF-8.
+    BadUtf8,
+    /// Nesting deeper than the decoder permits (stack safety on hostile
+    /// input).
+    TooDeep,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag(t) => write!(f, "unknown value tag {t:#x}"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            WireError::TooDeep => write!(f, "value nesting too deep"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const MAX_DEPTH: usize = 16;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Bool(b) => {
+            out.push(0);
+            out.push(*b as u8);
+        }
+        Value::Int(n) => {
+            out.push(1);
+            put_u64(out, *n as u64);
+        }
+        Value::Float(x) => {
+            out.push(2);
+            put_u64(out, x.to_bits());
+        }
+        Value::Id(i) => {
+            out.push(3);
+            put_u64(out, i.0);
+        }
+        Value::Time(t) => {
+            out.push(4);
+            put_u64(out, t.0);
+        }
+        Value::Str(s) => {
+            out.push(5);
+            put_str(out, s);
+        }
+        Value::Addr(a) => {
+            out.push(6);
+            put_str(out, a.as_str());
+        }
+        Value::List(items) => {
+            out.push(7);
+            put_u32(out, items.len() as u32);
+            for i in items.iter() {
+                encode_value(out, i);
+            }
+        }
+    }
+}
+
+fn decode_value(r: &mut Reader<'_>, depth: usize) -> Result<Value, WireError> {
+    if depth > MAX_DEPTH {
+        return Err(WireError::TooDeep);
+    }
+    Ok(match r.u8()? {
+        0 => Value::Bool(r.u8()? != 0),
+        1 => Value::Int(r.u64()? as i64),
+        2 => Value::Float(f64::from_bits(r.u64()?)),
+        3 => Value::Id(RingId(r.u64()?)),
+        4 => Value::Time(Time(r.u64()?)),
+        5 => Value::Str(r.str()?.into()),
+        6 => Value::Addr(Addr::new(r.str()?)),
+        7 => {
+            let n = r.u32()? as usize;
+            // Guard against absurd length prefixes on hostile input.
+            if n > r.buf.len() {
+                return Err(WireError::Truncated);
+            }
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(decode_value(r, depth + 1)?);
+            }
+            Value::list(items)
+        }
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+/// Encode a tuple.
+pub fn encode_tuple(t: &Tuple) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_str(&mut out, t.name());
+    put_u32(&mut out, t.arity() as u32);
+    for v in t.values() {
+        encode_value(&mut out, v);
+    }
+    out
+}
+
+/// Decode a tuple.
+pub fn decode_tuple(buf: &[u8]) -> Result<Tuple, WireError> {
+    let mut r = Reader { buf, pos: 0 };
+    let t = decode_tuple_inner(&mut r)?;
+    Ok(t)
+}
+
+fn decode_tuple_inner(r: &mut Reader<'_>) -> Result<Tuple, WireError> {
+    let name = r.str()?;
+    let n = r.u32()? as usize;
+    if n > r.buf.len() {
+        return Err(WireError::Truncated);
+    }
+    let mut vals = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        vals.push(decode_value(r, 0)?);
+    }
+    Ok(Tuple::new(name, vals))
+}
+
+/// Encode an envelope (tuple + routing/tracing metadata).
+pub fn encode_envelope(e: &Envelope) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96);
+    put_str(&mut out, e.src.as_str());
+    put_str(&mut out, e.dst.as_str());
+    out.push(e.delete as u8);
+    match e.src_tuple_id {
+        Some(id) => {
+            out.push(1);
+            put_u64(&mut out, id.0);
+        }
+        None => out.push(0),
+    }
+    out.extend_from_slice(&encode_tuple(&e.tuple));
+    out
+}
+
+/// Decode an envelope.
+pub fn decode_envelope(buf: &[u8]) -> Result<Envelope, WireError> {
+    let mut r = Reader { buf, pos: 0 };
+    let src = Addr::new(r.str()?);
+    let dst = Addr::new(r.str()?);
+    let delete = r.u8()? != 0;
+    let src_tuple_id = match r.u8()? {
+        0 => None,
+        _ => Some(TupleId(r.u64()?)),
+    };
+    let tuple = decode_tuple_inner(&mut r)?;
+    Ok(Envelope { tuple, src, dst, src_tuple_id, delete })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rt(t: &Tuple) -> Tuple {
+        decode_tuple(&encode_tuple(t)).unwrap()
+    }
+
+    #[test]
+    fn tuple_round_trip_all_types() {
+        let t = Tuple::new(
+            "mix",
+            [
+                Value::addr("n1:7"),
+                Value::Bool(true),
+                Value::Int(-17),
+                Value::Float(0.5),
+                Value::id(u64::MAX),
+                Value::Time(Time(123)),
+                Value::str("hello \u{1F980}"),
+                Value::list([Value::Int(1), Value::list([Value::str("x")])]),
+            ],
+        );
+        assert_eq!(rt(&t), t);
+    }
+
+    #[test]
+    fn envelope_round_trip() {
+        let e = Envelope {
+            tuple: Tuple::new("m", [Value::addr("b"), Value::Int(9)]),
+            src: Addr::new("a"),
+            dst: Addr::new("b"),
+            src_tuple_id: Some(TupleId(42)),
+            delete: true,
+        };
+        let got = decode_envelope(&encode_envelope(&e)).unwrap();
+        assert_eq!(got, e);
+    }
+
+    #[test]
+    fn truncation_is_error_not_panic() {
+        let t = Tuple::new("m", [Value::addr("b"), Value::str("payload")]);
+        let bytes = encode_tuple(&t);
+        for cut in 0..bytes.len() {
+            let r = decode_tuple(&bytes[..cut]);
+            assert!(r.is_err(), "decoding a {cut}-byte prefix must fail cleanly");
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_error() {
+        let t = Tuple::new("m", [Value::Int(1)]);
+        let mut bytes = encode_tuple(&t);
+        // Corrupt the value tag (after name len+name and arity).
+        let tag_pos = 4 + 1 + 4;
+        bytes[tag_pos] = 0xFF;
+        assert_eq!(decode_tuple(&bytes), Err(WireError::BadTag(0xFF)));
+    }
+
+    #[test]
+    fn bad_utf8_is_error() {
+        let t = Tuple::new("m", [Value::str("abcd")]);
+        let mut bytes = encode_tuple(&t);
+        let len = bytes.len();
+        bytes[len - 2] = 0xFF; // corrupt a UTF-8 byte inside the string
+        assert_eq!(decode_tuple(&bytes), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let t = Tuple::new("m", [Value::list([Value::Int(1)])]);
+        let mut bytes = encode_tuple(&t);
+        // Blow up the list length prefix.
+        let pos = 4 + 1 + 4 + 1; // name, arity, list tag
+        bytes[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_tuple(&bytes).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_rejected() {
+        let mut v = Value::Int(0);
+        for _ in 0..40 {
+            v = Value::list([v]);
+        }
+        let t = Tuple::new("deep", [v]);
+        let bytes = encode_tuple(&t);
+        assert_eq!(decode_tuple(&bytes), Err(WireError::TooDeep));
+    }
+
+    proptest! {
+        /// Arbitrary flat tuples round-trip.
+        #[test]
+        fn prop_round_trip(
+            name in "[a-z]{1,12}",
+            ints in proptest::collection::vec(any::<i64>(), 0..8),
+            strs in proptest::collection::vec("[ -~]{0,20}", 0..4),
+        ) {
+            let vals: Vec<Value> = ints
+                .into_iter()
+                .map(Value::Int)
+                .chain(strs.into_iter().map(Value::str))
+                .collect();
+            let t = Tuple::new(&name, vals);
+            prop_assert_eq!(rt(&t), t);
+        }
+
+        /// No byte soup panics the decoder.
+        #[test]
+        fn prop_no_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_tuple(&bytes);
+            let _ = decode_envelope(&bytes);
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Static validation of parsed programs.
+//!
+//! Runs before planning — errors surface when a query is installed, not
+//! when it first fires. The checks:
+//!
+//! 1. **Range restriction** — every variable used in a rule head (location,
+//!    plain args, expression args, aggregate variables) must be bound by a
+//!    body predicate or an assignment. Datalog safety; also what makes a
+//!    rule executable as a strand.
+//! 2. **Left-to-right binding for non-predicates** — an assignment's
+//!    expression and every condition may only use variables bound by terms
+//!    to their *left* (predicates bind; assignments bind their target).
+//!    This matches the strand execution order of Figure 1.
+//! 3. **Aggregate well-formedness** — at most one aggregate per head, only
+//!    in heads, never in `delete` rules, aggregate variable bound.
+//! 4. **Facts are ground** — a rule with no body must have constant args.
+//! 5. **No duplicate `materialize`** of the same table in one program.
+//! 6. **Wildcards only in body predicates.**
+//! 7. **Arity consistency** — strict-arity matching (a tuple matches a
+//!    predicate only with the exact field count) makes mixed arities for
+//!    one relation almost certainly a bug; every occurrence of a relation
+//!    within a program must agree, `periodic` is always
+//!    `(loc, nonce, period)`, and a `materialize`'s `keys(...)` must fit
+//!    within the relation's used arity.
+
+use crate::ast::*;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A validation error. `rule` names the offending rule by label (or
+/// 1-based index when unlabeled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Which rule or statement.
+    pub rule: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in {}: {}", self.rule, self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a whole program.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    let mut seen_tables = HashSet::new();
+    let mut key_maxes: Vec<(String, usize)> = Vec::new();
+    for (i, s) in program.statements.iter().enumerate() {
+        match s {
+            Statement::Materialize(m) => {
+                if !seen_tables.insert(m.table.clone()) {
+                    return Err(ValidateError {
+                        rule: format!("materialize({})", m.table),
+                        message: "table declared twice in one program".into(),
+                    });
+                }
+                if m.keys.is_empty() {
+                    return Err(ValidateError {
+                        rule: format!("materialize({})", m.table),
+                        message: "keys(...) must name at least one field".into(),
+                    });
+                }
+                key_maxes.push((m.table.clone(), *m.keys.iter().max().expect("non-empty")));
+            }
+            Statement::Rule(r) => {
+                let name = r
+                    .label
+                    .clone()
+                    .unwrap_or_else(|| format!("rule #{}", i + 1));
+                validate_rule(r, &name)?;
+            }
+        }
+    }
+    check_arities(program, &key_maxes)?;
+    Ok(())
+}
+
+/// Rule 7: per-program arity consistency (strict-arity matching makes a
+/// mixed-arity relation a latent never-matches bug), plus `periodic`'s
+/// fixed shape and `keys(...)` bounds.
+fn check_arities(
+    program: &Program,
+    key_maxes: &[(String, usize)],
+) -> Result<(), ValidateError> {
+    use std::collections::HashMap;
+    // relation -> (arity, rule where first seen)
+    let mut firsts: HashMap<String, (usize, String)> = HashMap::new();
+    let mut record = |p: &Predicate, rule: String| -> Result<(), ValidateError> {
+        let arity = p.args.len();
+        if p.name == "periodic" {
+            if arity != 3 {
+                return Err(ValidateError {
+                    rule,
+                    message: format!(
+                        "periodic takes (location, nonce, period); found {arity} fields"
+                    ),
+                });
+            }
+            return Ok(());
+        }
+        match firsts.get(&p.name) {
+            Some((a, first)) if *a != arity => Err(ValidateError {
+                rule,
+                message: format!(
+                    "relation '{}' used with {arity} fields here but {a} fields in {first};                      strict-arity matching means these can never match each other",
+                    p.name
+                ),
+            }),
+            Some(_) => Ok(()),
+            None => {
+                firsts.insert(p.name.clone(), (arity, rule));
+                Ok(())
+            }
+        }
+    };
+    let mut idx = 0usize;
+    for s in &program.statements {
+        let Statement::Rule(r) = s else { continue };
+        idx += 1;
+        let rname = r.label.clone().unwrap_or_else(|| format!("rule #{idx}"));
+        record(&r.head, rname.clone())?;
+        for p in r.body_predicates() {
+            record(p, rname.clone())?;
+        }
+    }
+    for (table, key_max) in key_maxes {
+        if let Some((arity, first)) = firsts.get(table) {
+            if key_max > arity {
+                return Err(ValidateError {
+                    rule: format!("materialize({table})"),
+                    message: format!(
+                        "keys(...) names field {key_max} but '{table}' is used with                          {arity} fields (in {first})"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_rule(r: &Rule, name: &str) -> Result<(), ValidateError> {
+    let err = |message: String| {
+        Err(ValidateError { rule: name.to_string(), message })
+    };
+
+    // Facts: no body => all head args must be constants.
+    if r.body.is_empty() {
+        for a in &r.head.args {
+            match a {
+                Arg::Const(_) => {}
+                other => {
+                    return err(format!(
+                        "fact argument must be a constant, found {other:?}"
+                    ))
+                }
+            }
+        }
+        if r.delete {
+            return err("a delete rule needs a body".into());
+        }
+        return Ok(());
+    }
+
+    if r.body_predicates().count() == 0 {
+        return err("rule body needs at least one predicate".into());
+    }
+
+    // Walk the body left to right, tracking bound variables.
+    let mut bound: HashSet<String> = HashSet::new();
+    for t in &r.body {
+        match t {
+            Term::Pred(p) => {
+                // Expression args in body predicates are selections over
+                // already-bound variables.
+                for a in &p.args {
+                    if let Arg::Expr(e) = a {
+                        check_bound(e, &bound, name, "body predicate expression")?;
+                    }
+                    if let Arg::Agg { .. } = a {
+                        return err(format!(
+                            "aggregate not allowed in body predicate '{}'",
+                            p.name
+                        ));
+                    }
+                }
+                // Then the predicate's variables become bound.
+                for a in &p.args {
+                    if let Arg::Var(v) = a {
+                        bound.insert(v.clone());
+                    }
+                }
+            }
+            Term::Assign { var, expr } => {
+                check_bound(expr, &bound, name, "assignment")?;
+                bound.insert(var.clone());
+            }
+            Term::Cond(e) => {
+                check_bound(e, &bound, name, "condition")?;
+            }
+        }
+    }
+
+    // Head checks.
+    let mut agg_count = 0;
+    for (i, a) in r.head.args.iter().enumerate() {
+        match a {
+            Arg::Var(v) => {
+                if !bound.contains(v) {
+                    return err(format!("head variable {v} is not bound by the body"));
+                }
+            }
+            Arg::Const(_) => {}
+            Arg::Wildcard => {
+                return err("wildcard '_' not allowed in rule head".into());
+            }
+            Arg::Agg { func, over } => {
+                agg_count += 1;
+                if i == 0 {
+                    return err("aggregate cannot be the location field".into());
+                }
+                if r.delete {
+                    return err("aggregates not allowed in delete rules".into());
+                }
+                if let Some(v) = over {
+                    if !bound.contains(v) {
+                        return err(format!(
+                            "aggregate variable {v} in {}<{v}> is not bound",
+                            func.name()
+                        ));
+                    }
+                }
+            }
+            Arg::Expr(e) => {
+                let mut vs = Vec::new();
+                e.free_vars(&mut vs);
+                for v in vs {
+                    if !bound.contains(&v) {
+                        return err(format!(
+                            "head expression uses unbound variable {v}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if agg_count > 1 {
+        return err("at most one aggregate per rule head".into());
+    }
+    Ok(())
+}
+
+fn check_bound(
+    e: &Expr,
+    bound: &HashSet<String>,
+    rule: &str,
+    ctx: &str,
+) -> Result<(), ValidateError> {
+    let mut vs = Vec::new();
+    e.free_vars(&mut vs);
+    for v in vs {
+        if !bound.contains(&v) {
+            return Err(ValidateError {
+                rule: rule.to_string(),
+                message: format!("{ctx} uses variable {v} before it is bound"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<(), ValidateError> {
+        validate(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_paper_rules() {
+        let srcs = [
+            "rp3 inconsistentPred@NAddr() :- respBestSucc@NAddr(PAddr, S), pred@NAddr(PID, PAddr), S != NAddr.",
+            "os3 c@N(A, count<*>) :- periodic@N(E, 60), oscill@N(A, T).",
+            "cs1 conProbe@N(P, K, T) :- periodic@N(P, 40), K := f_randID(), T := f_now().",
+            "l2 d@N(K, R, E, min<D>) :- node@N(NID), lookup@N(K, R, E), finger@N(FP, FID, FA), D := K - FID - 1, FID in (NID, K).",
+            "cs10 delete t@N(P, T, C) :- c@N(P, X), t@N(P, T, C).",
+            r#"node@"n1"(99)."#,
+        ];
+        for s in srcs {
+            check(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_unbound_head_var() {
+        let e = check("r h@A(X) :- t@A(Y).").unwrap_err();
+        assert!(e.message.contains('X'));
+    }
+
+    #[test]
+    fn rejects_unbound_head_loc() {
+        let e = check("r h@Z(Y) :- t@A(Y).").unwrap_err();
+        assert!(e.message.contains('Z'));
+    }
+
+    #[test]
+    fn rejects_condition_before_binding() {
+        let e = check("r h@A(X) :- t@A(X), Y > 3.").unwrap_err();
+        assert!(e.message.contains('Y'));
+        // Bound later doesn't help — strand order is left-to-right.
+        let e = check("r h@A(X) :- t@A(X), Y > 3, u@A(Y).").unwrap_err();
+        assert!(e.message.contains('Y'));
+    }
+
+    #[test]
+    fn rejects_assignment_of_unbound() {
+        let e = check("r h@A(X) :- t@A(Z), X := Y + 1.").unwrap_err();
+        assert!(e.message.contains('Y'));
+    }
+
+    #[test]
+    fn rejects_two_aggregates() {
+        let e = check("r h@A(count<*>, max<X>) :- t@A(X).").unwrap_err();
+        assert!(e.message.contains("one aggregate"));
+    }
+
+    #[test]
+    fn rejects_aggregate_in_delete() {
+        let e = check("r delete h@A(count<*>) :- t@A(X).").unwrap_err();
+        assert!(e.message.contains("delete"));
+    }
+
+    #[test]
+    fn rejects_unbound_aggregate_var() {
+        let e = check("r h@A(min<D>) :- t@A(X).").unwrap_err();
+        assert!(e.message.contains('D'));
+    }
+
+    #[test]
+    fn rejects_nonground_fact() {
+        let e = check("node@A(X).").unwrap_err();
+        assert!(e.message.contains("constant"));
+    }
+
+    #[test]
+    fn rejects_wildcard_in_head() {
+        let e = check("r h@A(_) :- t@A(X).").unwrap_err();
+        assert!(e.message.contains('_'));
+    }
+
+    #[test]
+    fn rejects_duplicate_materialize() {
+        let e = check(
+            "materialize(t, 10, 10, keys(1)). materialize(t, 20, 5, keys(1)).",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("twice"));
+    }
+
+    #[test]
+    fn rejects_condition_only_body() {
+        // A body with only conditions has nothing to trigger on.
+        let e = check("r h@A() :- 1 == 1.").unwrap_err();
+        assert!(e.message.contains("predicate"));
+    }
+
+    #[test]
+    fn wildcard_in_body_ok() {
+        check("r h@A(X) :- t@A(X, _).").unwrap();
+    }
+
+    #[test]
+    fn rejects_mixed_arity_relation() {
+        let e = check(
+            "r1 out@N(X) :- ev@N(X).
+             r2 out@N(X, Y) :- ev2@N(X, Y).",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("out"), "{e}");
+        assert!(e.message.contains("never match"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_periodic_shape() {
+        let e = check("r h@N(E) :- periodic@N(E).").unwrap_err();
+        assert!(e.message.contains("periodic"), "{e}");
+        let e = check("r h@N(E) :- periodic@N(E, 1, 2).").unwrap_err();
+        assert!(e.message.contains("periodic"), "{e}");
+    }
+
+    #[test]
+    fn rejects_keys_beyond_used_arity() {
+        let e = check(
+            "materialize(t, 10, 10, keys(1, 5)).
+             r1 t@N(X) :- ev@N(X).",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("keys"), "{e}");
+        // Without any use, keys can't be bounds-checked: accepted.
+        check("materialize(t, 10, 10, keys(1, 5)).").unwrap();
+    }
+
+    #[test]
+    fn head_agg_location_rejected() {
+        let e = check("r h@A(X) :- t@A(X).").and(check("r h(count<*>, X) :- t@A(X)."));
+        assert!(e.unwrap_err().message.contains("location"));
+    }
+}

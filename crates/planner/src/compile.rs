@@ -1,0 +1,638 @@
+//! Rule → strand compilation.
+
+use crate::expr::{compile_expr, PExpr};
+use crate::plan::*;
+use p2_overlog::{
+    validate, Arg, Expr, Lifetime, Materialize, Predicate, Program, Rule, SizeLimit, Statement,
+    Term, ValidateError,
+};
+use p2_types::{Addr, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Planning errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The program failed static validation.
+    Invalid(ValidateError),
+    /// A rule has more than one non-materialized (event) predicate.
+    TwoEventPredicates {
+        /// Rule label or index.
+        rule: String,
+        /// The two event predicate names.
+        first: String,
+        /// Second offender.
+        second: String,
+    },
+    /// `periodic` was used with a non-constant or non-positive period.
+    BadPeriodic {
+        /// Rule label or index.
+        rule: String,
+        /// Explanation.
+        message: String,
+    },
+    /// `periodic` cannot be materialized or be a rule head.
+    ReservedRelation {
+        /// The reserved name.
+        name: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Invalid(e) => write!(f, "{e}"),
+            PlanError::TwoEventPredicates { rule, first, second } => write!(
+                f,
+                "in {rule}: two event predicates '{first}' and '{second}' — \
+                 a rule may have at most one non-materialized predicate"
+            ),
+            PlanError::BadPeriodic { rule, message } => {
+                write!(f, "in {rule}: bad periodic: {message}")
+            }
+            PlanError::ReservedRelation { name } => {
+                write!(f, "'{name}' is a reserved built-in relation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Compile a validated program.
+///
+/// `known_tables` is the set of relations already materialized on the
+/// installing node — monitoring programs installed on-line read the base
+/// application's tables, and classification of predicates as *table
+/// match* vs *transient event* depends on it (install order matters and
+/// is documented in the crate docs).
+pub fn compile_program(
+    program: &Program,
+    known_tables: &HashSet<String>,
+) -> Result<CompiledProgram, PlanError> {
+    validate(program).map_err(PlanError::Invalid)?;
+
+    let mut out = CompiledProgram::default();
+
+    // Materialized set: already-known tables plus this program's own.
+    let mut materialized: HashSet<String> = known_tables.clone();
+    for m in program.materializations() {
+        if m.table == "periodic" {
+            return Err(PlanError::ReservedRelation { name: m.table.clone() });
+        }
+        materialized.insert(m.table.clone());
+        out.tables.push(lower_materialize(m));
+    }
+
+    let mut rule_idx = 0usize;
+    for stmt in &program.statements {
+        let rule = match stmt {
+            Statement::Rule(r) => r,
+            Statement::Materialize(_) => continue,
+        };
+        rule_idx += 1;
+        let label = rule
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("rule#{rule_idx}"));
+
+        if rule.head.name == "periodic" {
+            return Err(PlanError::ReservedRelation { name: "periodic".into() });
+        }
+
+        // Facts: ground heads with no body are injected at install.
+        if rule.body.is_empty() {
+            out.facts.push(fact_tuple(&rule.head));
+            continue;
+        }
+
+        // Classify body predicates.
+        let preds: Vec<(usize, &Predicate)> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t {
+                Term::Pred(p) => Some((i, p)),
+                _ => None,
+            })
+            .collect();
+        let event_preds: Vec<(usize, &Predicate)> = preds
+            .iter()
+            .copied()
+            .filter(|(_, p)| p.name == "periodic" || !materialized.contains(&p.name))
+            .collect();
+
+        if event_preds.len() > 1 {
+            return Err(PlanError::TwoEventPredicates {
+                rule: label,
+                first: event_preds[0].1.name.clone(),
+                second: event_preds[1].1.name.clone(),
+            });
+        }
+
+        let trigger_positions: Vec<usize> = if let Some((i, _)) = event_preds.first() {
+            vec![*i]
+        } else {
+            preds.iter().map(|(i, _)| *i).collect()
+        };
+
+        let multi = trigger_positions.len() > 1;
+        for (k, &tpos) in trigger_positions.iter().enumerate() {
+            let strand_id = if multi {
+                format!("{label}~{k}")
+            } else {
+                label.clone()
+            };
+            let strand =
+                compile_strand(rule, &label, strand_id, tpos, &materialized)?;
+            out.strands.push(strand);
+        }
+    }
+    Ok(out)
+}
+
+fn lower_materialize(m: &Materialize) -> TableDecl {
+    TableDecl {
+        name: m.table.clone(),
+        lifetime_secs: match m.lifetime {
+            Lifetime::Secs(s) => Some(s),
+            Lifetime::Infinity => None,
+        },
+        max_rows: match m.max_size {
+            SizeLimit::Rows(n) => Some(n),
+            SizeLimit::Infinity => None,
+        },
+        // 1-based in source (over the full tuple, location included).
+        key_fields: m.keys.iter().map(|k| k - 1).collect(),
+    }
+}
+
+fn fact_tuple(head: &Predicate) -> Tuple {
+    let vals: Vec<Value> = head
+        .args
+        .iter()
+        .enumerate()
+        .map(|(i, a)| match a {
+            Arg::Const(v) => {
+                // Coerce a string in location position to an address so
+                // facts like `node@"n1:0"(17).` route correctly.
+                if i == 0 {
+                    if let Value::Str(s) = v {
+                        return Value::Addr(Addr::new(&**s));
+                    }
+                }
+                v.clone()
+            }
+            _ => unreachable!("validation: facts are ground"),
+        })
+        .collect();
+    Tuple::new(&head.name, vals)
+}
+
+/// Per-strand slot allocator.
+struct Slots {
+    map: HashMap<String, usize>,
+}
+
+impl Slots {
+    fn new() -> Slots {
+        Slots { map: HashMap::new() }
+    }
+
+    fn get(&self, v: &str) -> Option<usize> {
+        self.map.get(v).copied()
+    }
+
+    fn bind(&mut self, v: &str) -> usize {
+        let next = self.map.len();
+        *self.map.entry(v.to_string()).or_insert(next)
+    }
+
+    fn compile(&self, e: &Expr) -> PExpr {
+        compile_expr(e, &|v| {
+            *self
+                .map
+                .get(v)
+                .unwrap_or_else(|| panic!("planner invariant: variable {v} unbound (validator should have caught this)"))
+        })
+    }
+}
+
+fn compile_strand(
+    rule: &Rule,
+    label: &str,
+    strand_id: String,
+    trigger_pos: usize,
+    materialized: &HashSet<String>,
+) -> Result<Strand, PlanError> {
+    let trigger_pred = match &rule.body[trigger_pos] {
+        Term::Pred(p) => p,
+        _ => unreachable!("trigger positions index predicates"),
+    };
+
+    let is_agg = rule.is_aggregate();
+    let trigger_is_table =
+        trigger_pred.name != "periodic" && materialized.contains(&trigger_pred.name);
+    // Table-triggered aggregates re-join the trigger table (full
+    // recompute restricted to the delta's group) — see crate docs.
+    let rejoin_trigger = is_agg && trigger_is_table;
+
+    let mut slots = Slots::new();
+
+    // ----- trigger -----
+    let (trigger, trigger_match) = if trigger_pred.name == "periodic" {
+        if trigger_pred.args.len() != 3 {
+            return Err(PlanError::BadPeriodic {
+                rule: label.to_string(),
+                message: format!(
+                    "periodic takes (location, nonce, period); got {} args",
+                    trigger_pred.args.len()
+                ),
+            });
+        }
+        let period_secs = match &trigger_pred.args[2] {
+            Arg::Const(Value::Int(n)) if *n > 0 => *n as f64,
+            Arg::Const(Value::Float(x)) if *x > 0.0 => *x,
+            other => {
+                return Err(PlanError::BadPeriodic {
+                    rule: label.to_string(),
+                    message: format!("period must be a positive constant, got {other:?}"),
+                })
+            }
+        };
+        let mut fields = Vec::new();
+        for (i, a) in trigger_pred.args.iter().enumerate() {
+            fields.push(match a {
+                Arg::Var(v) => match slots.get(v) {
+                    Some(s) => FieldMatch::EqVar(s),
+                    None => FieldMatch::Bind(slots.bind(v)),
+                },
+                // The period constant: the runtime synthesizes the tuple,
+                // so the field needs no check.
+                Arg::Const(_) if i == 2 => FieldMatch::Ignore,
+                Arg::Const(c) => FieldMatch::EqConst(c.clone()),
+                Arg::Wildcard => FieldMatch::Ignore,
+                other => {
+                    return Err(PlanError::BadPeriodic {
+                        rule: label.to_string(),
+                        message: format!("unsupported periodic argument {other:?}"),
+                    })
+                }
+            });
+        }
+        (Trigger::Periodic { period_secs }, MatchSpec { fields })
+    } else {
+        let restrict_to: Option<HashSet<String>> = if rejoin_trigger {
+            // Bind only the variables the head group needs; everything
+            // else re-binds in the re-join.
+            Some(head_group_vars(rule))
+        } else {
+            None
+        };
+        let ms = pred_match(trigger_pred, &mut slots, restrict_to.as_ref());
+        let trig = if trigger_is_table {
+            Trigger::TableInsert { name: trigger_pred.name.clone() }
+        } else {
+            Trigger::Event { name: trigger_pred.name.clone() }
+        };
+        (trig, ms)
+    };
+
+    let trigger_bound: HashSet<String> = slots.map.keys().cloned().collect();
+
+    // ----- body ops -----
+    let mut ops = Vec::new();
+    for (i, term) in rule.body.iter().enumerate() {
+        match term {
+            Term::Pred(p) => {
+                if i == trigger_pos && !rejoin_trigger {
+                    continue;
+                }
+                let ms = pred_match(p, &mut slots, None);
+                ops.push(Op::Join { table: p.name.clone(), match_spec: ms });
+            }
+            Term::Cond(e) => {
+                ops.push(Op::Select(slots.compile(e)));
+            }
+            Term::Assign { var, expr } => {
+                let pe = slots.compile(expr);
+                let slot = slots.bind(var);
+                ops.push(Op::Assign { slot, expr: pe });
+            }
+        }
+    }
+
+    // ----- head -----
+    let mut fields = Vec::new();
+    let mut agg: Option<AggPlan> = None;
+    for (pos, a) in rule.head.args.iter().enumerate() {
+        fields.push(match a {
+            Arg::Var(v) => FieldOut::Slot(
+                slots
+                    .get(v)
+                    .expect("validated: head vars bound"),
+            ),
+            Arg::Const(c) => FieldOut::Const(c.clone()),
+            Arg::Expr(e) => FieldOut::Expr(slots.compile(e)),
+            Arg::Agg { func, over } => {
+                let over_expr = over.as_ref().map(|v| {
+                    PExpr::Slot(slots.get(v).expect("validated: agg var bound"))
+                });
+                agg = Some(AggPlan {
+                    func: *func,
+                    over: over_expr,
+                    position: pos,
+                    group_bound_by_trigger: head_group_vars(rule)
+                        .iter()
+                        .all(|v| trigger_bound.contains(v)),
+                });
+                FieldOut::Agg
+            }
+            Arg::Wildcard => unreachable!("validated: no wildcards in heads"),
+        });
+    }
+
+    Ok(Strand {
+        rule_label: label.to_string(),
+        strand_id,
+        trigger,
+        trigger_match,
+        ops,
+        head: HeadSpec {
+            name: rule.head.name.clone(),
+            delete: rule.delete,
+            fields,
+            agg,
+        },
+        slots: slots.map.len(),
+        source: p2_overlog::pretty::rule_to_string(rule),
+    })
+}
+
+/// Variables appearing in the head outside the aggregate argument.
+fn head_group_vars(rule: &Rule) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for a in &rule.head.args {
+        match a {
+            Arg::Var(v) => {
+                out.insert(v.clone());
+            }
+            Arg::Expr(e) => {
+                let mut vs = Vec::new();
+                e.free_vars(&mut vs);
+                out.extend(vs);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Build a match spec for a predicate occurrence, updating the slot map.
+///
+/// If `restrict_to` is given, only variables in that set are bound;
+/// other variable fields become `Ignore` (used for the delta-group
+/// binding of table-triggered aggregates).
+fn pred_match(
+    p: &Predicate,
+    slots: &mut Slots,
+    restrict_to: Option<&HashSet<String>>,
+) -> MatchSpec {
+    let mut fields = Vec::with_capacity(p.args.len());
+    for a in &p.args {
+        fields.push(match a {
+            Arg::Var(v) => match restrict_to {
+                Some(allow) if !allow.contains(v) => FieldMatch::Ignore,
+                _ => bind_or_eq(v, slots),
+            },
+            Arg::Const(c) => FieldMatch::EqConst(c.clone()),
+            Arg::Wildcard => FieldMatch::Ignore,
+            Arg::Expr(e) => FieldMatch::EqExpr(slots.compile(e)),
+            Arg::Agg { .. } => unreachable!("validated: no aggregates in body"),
+        });
+    }
+    MatchSpec { fields }
+}
+
+fn bind_or_eq(v: &str, slots: &mut Slots) -> FieldMatch {
+    match slots.get(v) {
+        Some(s) => FieldMatch::EqVar(s),
+        None => FieldMatch::Bind(slots.bind(v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_overlog::parse_program;
+
+    fn compile(src: &str, known: &[&str]) -> CompiledProgram {
+        let known: HashSet<String> = known.iter().map(|s| s.to_string()).collect();
+        compile_program(&parse_program(src).unwrap(), &known).unwrap()
+    }
+
+    #[test]
+    fn event_trigger_single_strand() {
+        let p = compile(
+            "materialize(pred, 100, 1, keys(1)).
+             rp4 inconsistentPred@NAddr() :- stabilizeRequest@NAddr(SID, SA), pred@NAddr(PID, PA), SA != PA.",
+            &[],
+        );
+        assert_eq!(p.strands.len(), 1);
+        let s = &p.strands[0];
+        assert_eq!(s.trigger, Trigger::Event { name: "stabilizeRequest".into() });
+        assert_eq!(s.join_count(), 1);
+        assert_eq!(s.rule_label, "rp4");
+        // Join on pred, then select.
+        assert!(matches!(&s.ops[0], Op::Join { table, .. } if table == "pred"));
+        assert!(matches!(&s.ops[1], Op::Select(_)));
+    }
+
+    #[test]
+    fn all_materialized_gets_strand_per_pred() {
+        let p = compile(
+            "materialize(a, 100, 10, keys(1)).
+             materialize(b, 100, 10, keys(1)).
+             r1 out@N(X, Y) :- a@N(X), b@N(Y).",
+            &[],
+        );
+        assert_eq!(p.strands.len(), 2);
+        assert_eq!(p.strands[0].trigger, Trigger::TableInsert { name: "a".into() });
+        assert_eq!(p.strands[1].trigger, Trigger::TableInsert { name: "b".into() });
+        assert_eq!(p.strands[0].strand_id, "r1~0");
+        assert_eq!(p.strands[1].strand_id, "r1~1");
+        // Each strand joins the *other* table.
+        assert!(matches!(&p.strands[0].ops[0], Op::Join { table, .. } if table == "b"));
+        assert!(matches!(&p.strands[1].ops[0], Op::Join { table, .. } if table == "a"));
+    }
+
+    #[test]
+    fn known_tables_from_catalog_count_as_materialized() {
+        // bestSucc is declared by the base program, not this one.
+        let p = compile(
+            "r result@NAddr() :- event@NAddr(), bestSucc@NAddr(SID, SAddr).",
+            &["bestSucc"],
+        );
+        assert_eq!(p.strands.len(), 1);
+        assert_eq!(p.strands[0].trigger, Trigger::Event { name: "event".into() });
+        assert!(matches!(&p.strands[0].ops[0], Op::Join { table, .. } if table == "bestSucc"));
+    }
+
+    #[test]
+    fn two_events_rejected() {
+        let known: HashSet<String> = HashSet::new();
+        let err = compile_program(
+            &parse_program("r h@N() :- e1@N(X), e2@N(Y).").unwrap(),
+            &known,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::TwoEventPredicates { .. }));
+    }
+
+    #[test]
+    fn periodic_trigger() {
+        let p = compile("r1 result@NAddr() :- periodic@NAddr(E, 30).", &[]);
+        let s = &p.strands[0];
+        assert_eq!(s.trigger, Trigger::Periodic { period_secs: 30.0 });
+        assert_eq!(s.trigger_match.fields.len(), 3);
+        assert!(matches!(s.trigger_match.fields[2], FieldMatch::Ignore));
+    }
+
+    #[test]
+    fn periodic_requires_const_positive_period() {
+        let known = HashSet::new();
+        for bad in [
+            "r h@N() :- periodic@N(E, T).",
+            "r h@N() :- periodic@N(E, 0).",
+        ] {
+            let err =
+                compile_program(&parse_program(bad).unwrap(), &known).unwrap_err();
+            assert!(matches!(err, PlanError::BadPeriodic { .. }), "{bad}");
+        }
+        // A wrong arity is caught even earlier, by the validator.
+        let err = compile_program(
+            &parse_program("r h@N() :- periodic@N(E).").unwrap(),
+            &known,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::Invalid(_)));
+    }
+
+    #[test]
+    fn periodic_not_materializable() {
+        let known = HashSet::new();
+        let err = compile_program(
+            &parse_program("materialize(periodic, 1, 1, keys(1)).").unwrap(),
+            &known,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::ReservedRelation { .. }));
+    }
+
+    #[test]
+    fn event_aggregate_groups() {
+        // sr8: snapState is a table, marker is the event trigger.
+        let p = compile(
+            "materialize(snapState, 100, 100, keys(1)).
+             sr8 haveSnap@NAddr(SrcAddr, I, count<*>) :- snapState@NAddr(I, State), marker@NAddr(SrcAddr, I).",
+            &[],
+        );
+        assert_eq!(p.strands.len(), 1);
+        let s = &p.strands[0];
+        assert_eq!(s.trigger, Trigger::Event { name: "marker".into() });
+        let agg = s.head.agg.as_ref().unwrap();
+        assert_eq!(agg.position, 3);
+        // Group fields NAddr, SrcAddr, I are all bound by the marker
+        // trigger — zero-count emission allowed (sr9 depends on it).
+        assert!(agg.group_bound_by_trigger);
+    }
+
+    #[test]
+    fn table_triggered_aggregate_rejoins_trigger() {
+        // cs6: count over the whole conRespTable, not the delta.
+        let p = compile(
+            "materialize(conRespTable, 100, 100, keys(1)).
+             cs6 respCluster@NAddr(ProbeID, SAddr, count<*>) :- conRespTable@NAddr(ProbeID, ReqID, SAddr).",
+            &[],
+        );
+        let s = &p.strands[0];
+        assert_eq!(s.trigger, Trigger::TableInsert { name: "conRespTable".into() });
+        // The trigger table appears again as a join.
+        assert!(matches!(&s.ops[0], Op::Join { table, .. } if table == "conRespTable"));
+        // Trigger match binds only the group vars (NAddr, ProbeID, SAddr);
+        // ReqID is ignored.
+        let binds = s
+            .trigger_match
+            .fields
+            .iter()
+            .filter(|f| matches!(f, FieldMatch::Bind(_)))
+            .count();
+        assert_eq!(binds, 3);
+        assert!(matches!(s.trigger_match.fields[2], FieldMatch::Ignore)); // ReqID
+    }
+
+    #[test]
+    fn facts_are_collected() {
+        let p = compile(r#"node@"n1:0"(42)."#, &[]);
+        assert_eq!(p.facts.len(), 1);
+        assert_eq!(p.facts[0].name(), "node");
+        // Location coerced to an address.
+        assert_eq!(p.facts[0].location().unwrap().as_str(), "n1:0");
+    }
+
+    #[test]
+    fn delete_rule_compiles() {
+        let p = compile(
+            "materialize(t, 100, 100, keys(1, 2)).
+             cs10 delete t@N(P, T2) :- c@N(P), t@N(P, T2).",
+            &[],
+        );
+        let s = &p.strands[0];
+        assert!(s.head.delete);
+        assert_eq!(s.trigger, Trigger::Event { name: "c".into() });
+    }
+
+    #[test]
+    fn materialize_keys_are_zero_based() {
+        let p = compile("materialize(path, 100, 5, keys(1, 2)).", &[]);
+        assert_eq!(p.tables[0].key_fields, vec![0, 1]);
+        assert_eq!(p.tables[0].lifetime_secs, Some(100.0));
+        assert_eq!(p.tables[0].max_rows, Some(5));
+    }
+
+    #[test]
+    fn assignment_slots() {
+        let p = compile(
+            "cs1 conProbe@NAddr(ProbeID, K, T) :- periodic@NAddr(ProbeID, 40), K := f_randID(), T := f_now().",
+            &[],
+        );
+        let s = &p.strands[0];
+        assert_eq!(s.ops.len(), 2);
+        assert!(matches!(&s.ops[0], Op::Assign { .. }));
+        assert_eq!(s.slots, 4); // NAddr, ProbeID, K, T
+        assert_eq!(s.head.fields.len(), 4);
+    }
+
+    #[test]
+    fn min_aggregate_over_assigned_var() {
+        let p = compile(
+            "materialize(node, 100, 1, keys(1)).
+             materialize(finger, 100, 100, keys(1, 2)).
+             l2 bestLookupDist@NAddr(K, R, E, min<D>) :- node@NAddr(NID), lookup@NAddr(K, R, E), finger@NAddr(FP, FID, FA), D := K - FID - 1, FID in (NID, K).",
+            &[],
+        );
+        let s = &p.strands[0];
+        assert_eq!(s.trigger, Trigger::Event { name: "lookup".into() });
+        let agg = s.head.agg.as_ref().unwrap();
+        assert!(agg.over.is_some());
+        assert_eq!(agg.position, 4);
+        assert!(agg.group_bound_by_trigger); // K, R, E, NAddr all from trigger
+        assert_eq!(s.join_count(), 2); // node + finger
+    }
+
+    #[test]
+    fn source_text_retained_for_introspection() {
+        let p = compile("r1 out@N(X) :- ev@N(X).", &[]);
+        assert!(p.strands[0].source.contains("out@N(X)"));
+    }
+}

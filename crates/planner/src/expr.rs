@@ -1,0 +1,492 @@
+//! Slot-compiled expressions and their evaluator.
+//!
+//! The planner resolves every variable of a rule to a dense environment
+//! slot, turning [`p2_overlog::Expr`] into [`PExpr`]. Evaluation then
+//! needs only a `&[Option<Value>]` environment and an [`EvalCtx`] that
+//! supplies the built-in functions (`f_now`, `f_rand`, `f_randID`,
+//! `f_sha1`) — which is how virtual time and deterministic randomness are
+//! injected by the simulator.
+//!
+//! Evaluation never panics: ill-typed operations and unknown functions
+//! surface as [`EvalError`], and the strand drops that binding (counting
+//! it in node diagnostics), exactly as a robust runtime must treat
+//! expressions over tuples that arrived off the wire.
+
+use p2_overlog::{BinOp, Expr, UnOp};
+use p2_types::{Addr, Interval, RingId, Time, Value, ValueError};
+use std::fmt;
+
+/// A compiled expression: variables are environment slot indexes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    /// Environment slot reference.
+    Slot(usize),
+    /// Literal.
+    Const(Value),
+    /// Unary operation.
+    Unary(UnOp, Box<PExpr>),
+    /// Binary operation.
+    Binary(BinOp, Box<PExpr>, Box<PExpr>),
+    /// Ring-interval membership.
+    In {
+        /// Tested expression.
+        expr: Box<PExpr>,
+        /// Lower endpoint.
+        lo: Box<PExpr>,
+        /// Upper endpoint.
+        hi: Box<PExpr>,
+        /// `[` vs `(`.
+        lo_closed: bool,
+        /// `]` vs `)`.
+        hi_closed: bool,
+    },
+    /// Built-in function call.
+    Call {
+        /// Function name (`f_...`).
+        func: String,
+        /// Compiled arguments.
+        args: Vec<PExpr>,
+    },
+    /// List constructor.
+    List(Vec<PExpr>),
+}
+
+/// Errors during expression evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A value-level operation failed (type mismatch, div by zero, ...).
+    Value(ValueError),
+    /// A referenced slot was not bound (planner bug or engine misuse —
+    /// validation should make this unreachable, but we fail closed).
+    UnboundSlot(usize),
+    /// Unknown built-in function.
+    UnknownFunction(String),
+    /// A built-in was called with the wrong number of arguments.
+    Arity {
+        /// Function name.
+        func: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Got.
+        got: usize,
+    },
+    /// A condition evaluated to a non-boolean.
+    NotBoolean,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Value(e) => write!(f, "{e}"),
+            EvalError::UnboundSlot(i) => write!(f, "unbound variable slot {i}"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            EvalError::Arity { func, expected, got } => {
+                write!(f, "{func} expects {expected} args, got {got}")
+            }
+            EvalError::NotBoolean => write!(f, "condition did not evaluate to a boolean"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ValueError> for EvalError {
+    fn from(e: ValueError) -> Self {
+        EvalError::Value(e)
+    }
+}
+
+/// Built-in function context. The node runtime implements this; tests use
+/// [`FixedCtx`].
+pub trait EvalCtx {
+    /// Current time (`f_now()`), virtual or real.
+    fn now(&self) -> Time;
+    /// Fresh random 64-bit value (`f_rand()`, `periodic` nonces).
+    fn rand(&mut self) -> u64;
+    /// The local node's address (`f_localAddr()` extension).
+    fn local_addr(&self) -> Addr;
+}
+
+/// A trivial context for tests and offline evaluation.
+#[derive(Debug, Clone)]
+pub struct FixedCtx {
+    /// The time `f_now()` reports.
+    pub now: Time,
+    /// Deterministic counter backing `f_rand()`.
+    pub next_rand: u64,
+    /// The address `f_localAddr()` reports.
+    pub addr: Addr,
+}
+
+impl Default for FixedCtx {
+    fn default() -> Self {
+        FixedCtx { now: Time::ZERO, next_rand: 1, addr: Addr::new("test") }
+    }
+}
+
+impl EvalCtx for FixedCtx {
+    fn now(&self) -> Time {
+        self.now
+    }
+    fn rand(&mut self) -> u64 {
+        let v = self.next_rand;
+        self.next_rand += 1;
+        v
+    }
+    fn local_addr(&self) -> Addr {
+        self.addr.clone()
+    }
+}
+
+/// Compile an AST expression given a variable→slot mapping.
+///
+/// Every variable must be present in `slot_of` (validation guarantees
+/// boundness; the compiler passes the rule's full slot map).
+pub fn compile_expr<F>(e: &Expr, slot_of: &F) -> PExpr
+where
+    F: Fn(&str) -> usize,
+{
+    match e {
+        Expr::Var(v) => PExpr::Slot(slot_of(v)),
+        Expr::Const(c) => PExpr::Const(c.clone()),
+        Expr::Unary(op, inner) => PExpr::Unary(*op, Box::new(compile_expr(inner, slot_of))),
+        Expr::Binary(op, a, b) => PExpr::Binary(
+            *op,
+            Box::new(compile_expr(a, slot_of)),
+            Box::new(compile_expr(b, slot_of)),
+        ),
+        Expr::In { expr, lo, hi, lo_closed, hi_closed } => PExpr::In {
+            expr: Box::new(compile_expr(expr, slot_of)),
+            lo: Box::new(compile_expr(lo, slot_of)),
+            hi: Box::new(compile_expr(hi, slot_of)),
+            lo_closed: *lo_closed,
+            hi_closed: *hi_closed,
+        },
+        Expr::Call { func, args } => PExpr::Call {
+            func: func.clone(),
+            args: args.iter().map(|a| compile_expr(a, slot_of)).collect(),
+        },
+        Expr::List(items) => {
+            PExpr::List(items.iter().map(|a| compile_expr(a, slot_of)).collect())
+        }
+    }
+}
+
+/// Evaluate a compiled expression.
+pub fn eval(
+    e: &PExpr,
+    env: &[Option<Value>],
+    ctx: &mut dyn EvalCtx,
+) -> Result<Value, EvalError> {
+    match e {
+        PExpr::Slot(i) => env
+            .get(*i)
+            .and_then(|v| v.clone())
+            .ok_or(EvalError::UnboundSlot(*i)),
+        PExpr::Const(c) => Ok(c.clone()),
+        PExpr::Unary(UnOp::Neg, inner) => match eval(inner, env, ctx)? {
+            Value::Int(n) => Ok(Value::Int(-n)),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            other => Err(ValueError::type_mismatch("number", &other).into()),
+        },
+        PExpr::Unary(UnOp::Not, inner) => match eval(inner, env, ctx)? {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(ValueError::type_mismatch("bool", &other).into()),
+        },
+        PExpr::Binary(op, a, b) => {
+            // Short-circuit boolean connectives.
+            match op {
+                BinOp::And => {
+                    return Ok(Value::Bool(
+                        truthy(&eval(a, env, ctx)?)? && truthy(&eval(b, env, ctx)?)?,
+                    ))
+                }
+                BinOp::Or => {
+                    return Ok(Value::Bool(
+                        truthy(&eval(a, env, ctx)?)? || truthy(&eval(b, env, ctx)?)?,
+                    ))
+                }
+                _ => {}
+            }
+            let x = eval(a, env, ctx)?;
+            let y = eval(b, env, ctx)?;
+            Ok(match op {
+                BinOp::Add => x.add(&y)?,
+                BinOp::Sub => x.sub(&y)?,
+                BinOp::Mul => x.mul(&y)?,
+                BinOp::Div => x.div(&y)?,
+                BinOp::Rem => x.rem(&y)?,
+                BinOp::Eq => Value::Bool(x == y),
+                BinOp::Ne => Value::Bool(x != y),
+                BinOp::Lt => Value::Bool(x < y),
+                BinOp::Le => Value::Bool(x <= y),
+                BinOp::Gt => Value::Bool(x > y),
+                BinOp::Ge => Value::Bool(x >= y),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            })
+        }
+        PExpr::In { expr, lo, hi, lo_closed, hi_closed } => {
+            let x = eval(expr, env, ctx)?.as_ring_id()?;
+            let lo = eval(lo, env, ctx)?.as_ring_id()?;
+            let hi = eval(hi, env, ctx)?.as_ring_id()?;
+            let iv = Interval { lo, hi, lo_closed: *lo_closed, hi_closed: *hi_closed };
+            Ok(Value::Bool(iv.contains(x)))
+        }
+        PExpr::Call { func, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, env, ctx)?);
+            }
+            call_builtin(func, &vals, ctx)
+        }
+        PExpr::List(items) => {
+            let mut vals = Vec::with_capacity(items.len());
+            for i in items {
+                vals.push(eval(i, env, ctx)?);
+            }
+            Ok(Value::list(vals))
+        }
+    }
+}
+
+/// Interpret a value as a boolean condition result.
+pub fn truthy(v: &Value) -> Result<bool, EvalError> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(EvalError::NotBoolean),
+    }
+}
+
+fn call_builtin(func: &str, args: &[Value], ctx: &mut dyn EvalCtx) -> Result<Value, EvalError> {
+    let arity = |expected: usize| -> Result<(), EvalError> {
+        if args.len() == expected {
+            Ok(())
+        } else {
+            Err(EvalError::Arity { func: func.to_string(), expected, got: args.len() })
+        }
+    };
+    match func {
+        "f_now" => {
+            arity(0)?;
+            Ok(Value::Time(ctx.now()))
+        }
+        "f_rand" => {
+            arity(0)?;
+            Ok(Value::Id(RingId(ctx.rand())))
+        }
+        "f_randID" => {
+            arity(0)?;
+            Ok(Value::Id(RingId(ctx.rand())))
+        }
+        // The paper's prototype hashes with SHA-1; only the spread over
+        // the ring matters (DESIGN.md §2.4), so we hash the display form
+        // with FNV-1a into the 64-bit ring.
+        "f_sha1" => {
+            arity(1)?;
+            let s = args[0].to_string();
+            Ok(Value::Id(RingId(p2_types::rng::fnv1a(s.as_bytes()))))
+        }
+        "f_localAddr" => {
+            arity(0)?;
+            Ok(Value::Addr(ctx.local_addr()))
+        }
+        // f_pow2(i): 2^i as a ring identifier — finger targets.
+        "f_pow2" => {
+            arity(1)?;
+            let i = args[0].as_int().map_err(EvalError::Value)?;
+            if !(0..64).contains(&i) {
+                return Err(EvalError::Value(p2_types::ValueError::TypeMismatch {
+                    expected: "exponent in [0, 64)",
+                    found: "int",
+                }));
+            }
+            Ok(Value::Id(RingId(1u64 << i)))
+        }
+        // f_addr(x): coerce a string to an address (useful in facts).
+        "f_addr" => {
+            arity(1)?;
+            Ok(Value::Addr(Addr::new(args[0].to_string())))
+        }
+        other => Err(EvalError::UnknownFunction(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_overlog::parse_program;
+    use p2_overlog::{Statement, Term};
+
+    /// Helper: compile the first condition/assignment expression from a
+    /// one-rule program with the given variable order.
+    fn compile_cond(src: &str, vars: &[&str]) -> PExpr {
+        let p = parse_program(src).unwrap();
+        let rule = match &p.statements[0] {
+            Statement::Rule(r) => r.clone(),
+            _ => panic!(),
+        };
+        let e = rule
+            .body
+            .iter()
+            .find_map(|t| match t {
+                Term::Cond(e) => Some(e.clone()),
+                Term::Assign { expr, .. } => Some(expr.clone()),
+                _ => None,
+            })
+            .unwrap();
+        compile_expr(&e, &|v| vars.iter().position(|x| *x == v).expect("var"))
+    }
+
+    fn env(vals: &[Value]) -> Vec<Option<Value>> {
+        vals.iter().cloned().map(Some).collect()
+    }
+
+    #[test]
+    fn arith_and_compare() {
+        let e = compile_cond("r h@A() :- t@A(X, Y), X + 1 < Y * 2.", &["A", "X", "Y"]);
+        let mut ctx = FixedCtx::default();
+        let out = eval(&e, &env(&[Value::addr("a"), Value::Int(3), Value::Int(3)]), &mut ctx)
+            .unwrap();
+        assert_eq!(out, Value::Bool(true));
+        let out = eval(&e, &env(&[Value::addr("a"), Value::Int(10), Value::Int(3)]), &mut ctx)
+            .unwrap();
+        assert_eq!(out, Value::Bool(false));
+    }
+
+    #[test]
+    fn interval_eval() {
+        let e = compile_cond("r h@A() :- t@A(K, N, S), K in (N, S].", &["A", "K", "N", "S"]);
+        let mut ctx = FixedCtx::default();
+        let yes = eval(
+            &e,
+            &env(&[Value::addr("a"), Value::id(5), Value::id(1), Value::id(9)]),
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(yes, Value::Bool(true));
+        let no = eval(
+            &e,
+            &env(&[Value::addr("a"), Value::id(0), Value::id(1), Value::id(9)]),
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(no, Value::Bool(false));
+    }
+
+    #[test]
+    fn builtins() {
+        let mut ctx = FixedCtx { now: Time::from_secs(9), ..Default::default() };
+        let now = eval(&PExpr::Call { func: "f_now".into(), args: vec![] }, &[], &mut ctx)
+            .unwrap();
+        assert_eq!(now, Value::Time(Time::from_secs(9)));
+        let r1 = eval(&PExpr::Call { func: "f_rand".into(), args: vec![] }, &[], &mut ctx)
+            .unwrap();
+        let r2 = eval(&PExpr::Call { func: "f_rand".into(), args: vec![] }, &[], &mut ctx)
+            .unwrap();
+        assert_ne!(r1, r2);
+        let h1 = eval(
+            &PExpr::Call { func: "f_sha1".into(), args: vec![PExpr::Const(Value::str("n1"))] },
+            &[],
+            &mut ctx,
+        )
+        .unwrap();
+        let h2 = eval(
+            &PExpr::Call { func: "f_sha1".into(), args: vec![PExpr::Const(Value::str("n1"))] },
+            &[],
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(h1, h2, "hash is deterministic");
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        let mut ctx = FixedCtx::default();
+        let e = PExpr::Call { func: "f_nope".into(), args: vec![] };
+        assert!(matches!(eval(&e, &[], &mut ctx), Err(EvalError::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn arity_errors() {
+        let mut ctx = FixedCtx::default();
+        let e = PExpr::Call { func: "f_now".into(), args: vec![PExpr::Const(Value::Int(1))] };
+        assert!(matches!(eval(&e, &[], &mut ctx), Err(EvalError::Arity { .. })));
+    }
+
+    #[test]
+    fn unbound_slot_is_error_not_panic() {
+        let mut ctx = FixedCtx::default();
+        let e = PExpr::Slot(7);
+        assert_eq!(eval(&e, &[], &mut ctx), Err(EvalError::UnboundSlot(7)));
+        let partial: Vec<Option<Value>> = vec![None];
+        assert_eq!(eval(&PExpr::Slot(0), &partial, &mut ctx), Err(EvalError::UnboundSlot(0)));
+    }
+
+    #[test]
+    fn short_circuit_or() {
+        // sr11: (C > 0) || (Src == Remote).
+        let e = compile_cond(
+            "r h@A() :- t@A(C, S, R), (C > 0) || (S == R).",
+            &["A", "C", "S", "R"],
+        );
+        let mut ctx = FixedCtx::default();
+        let out = eval(
+            &e,
+            &env(&[Value::addr("a"), Value::Int(1), Value::addr("x"), Value::addr("y")]),
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(out, Value::Bool(true));
+        let out = eval(
+            &e,
+            &env(&[Value::addr("a"), Value::Int(0), Value::addr("x"), Value::addr("x")]),
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(out, Value::Bool(true));
+        let out = eval(
+            &e,
+            &env(&[Value::addr("a"), Value::Int(0), Value::addr("x"), Value::addr("y")]),
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(out, Value::Bool(false));
+    }
+
+    #[test]
+    fn division_by_zero_propagates() {
+        let e = compile_cond("r h@A() :- t@A(X), X / 0 == 1.", &["A", "X"]);
+        let mut ctx = FixedCtx::default();
+        let err = eval(&e, &env(&[Value::addr("a"), Value::Int(5)]), &mut ctx).unwrap_err();
+        assert!(matches!(err, EvalError::Value(ValueError::DivisionByZero)));
+    }
+
+    #[test]
+    fn list_literal() {
+        let e = compile_cond("r h@A() :- t@A(B, P), [B, B] + P == P.", &["A", "B", "P"]);
+        // Just evaluate the LHS shape through the comparison.
+        let mut ctx = FixedCtx::default();
+        let out = eval(
+            &e,
+            &env(&[
+                Value::addr("a"),
+                Value::str("b"),
+                Value::list([Value::str("c")]),
+            ]),
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(out, Value::Bool(false));
+    }
+
+    #[test]
+    fn not_boolean_condition() {
+        let mut ctx = FixedCtx::default();
+        let e = PExpr::Binary(
+            BinOp::And,
+            Box::new(PExpr::Const(Value::Int(1))),
+            Box::new(PExpr::Const(Value::Bool(true))),
+        );
+        assert!(matches!(eval(&e, &[], &mut ctx), Err(EvalError::NotBoolean)));
+    }
+}

@@ -1,0 +1,316 @@
+//! The plan intermediate representation.
+//!
+//! A [`CompiledProgram`] is everything the node runtime needs to
+//! instantiate a program: table declarations, ground facts, timers, and
+//! rule strands. Strands are pure data — the dataflow engine walks their
+//! [`Op`]s; nothing here executes.
+
+use crate::expr::PExpr;
+use p2_overlog::AggFunc;
+use p2_types::Value;
+
+/// A fully compiled program, ready to install on a node.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledProgram {
+    /// Tables to register (0-based key fields).
+    pub tables: Vec<TableDecl>,
+    /// Ground facts to inject at install time.
+    pub facts: Vec<p2_types::Tuple>,
+    /// Rule strands, in source order (one rule may yield several).
+    pub strands: Vec<Strand>,
+}
+
+/// Runtime form of a `materialize` declaration (keys shifted to 0-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDecl {
+    /// Relation name.
+    pub name: String,
+    /// Lifetime in seconds; `None` = infinity.
+    pub lifetime_secs: Option<f64>,
+    /// Max row count; `None` = infinity.
+    pub max_rows: Option<usize>,
+    /// 0-based key field indexes.
+    pub key_fields: Vec<usize>,
+}
+
+/// What fires a strand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trigger {
+    /// A transient event tuple with this relation name arrives.
+    Event {
+        /// Event relation name.
+        name: String,
+    },
+    /// A tuple was inserted into (or replaced in) this materialized table.
+    TableInsert {
+        /// Table name.
+        name: String,
+    },
+    /// A private timer fires every `period_secs` (the `periodic@N(E, T)`
+    /// built-in; Figure 4 measures exactly these). The runtime
+    /// synthesizes the event tuple `(local_addr, nonce, period)`.
+    Periodic {
+        /// Timer period, seconds.
+        period_secs: f64,
+    },
+}
+
+impl Trigger {
+    /// Relation name the runtime dispatches on (`periodic` for timers).
+    pub fn dispatch_name(&self) -> &str {
+        match self {
+            Trigger::Event { name } | Trigger::TableInsert { name } => name,
+            Trigger::Periodic { .. } => "periodic",
+        }
+    }
+}
+
+/// How one field of an incoming/probed tuple is treated by a match.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldMatch {
+    /// First occurrence of a variable: bind the field value to the slot.
+    Bind(usize),
+    /// Variable already bound: the field must equal the slot's value.
+    EqVar(usize),
+    /// The field must equal this constant.
+    EqConst(Value),
+    /// The field must equal the value of this expression (evaluated
+    /// against the current environment).
+    EqExpr(PExpr),
+    /// Wildcard `_` or a deliberately ignored field.
+    Ignore,
+}
+
+/// A predicate occurrence compiled to field matches. Matching is strict
+/// on arity: a tuple matches only if it has exactly `fields.len()` fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatchSpec {
+    /// Per-field treatment, location field first.
+    pub fields: Vec<FieldMatch>,
+}
+
+impl MatchSpec {
+    /// Apply the match to a tuple against an environment. On success the
+    /// environment is extended with new bindings and `true` is returned;
+    /// on mismatch the environment is left with partial bindings and
+    /// `false` is returned (callers clone or re-seed per attempt).
+    pub fn apply(
+        &self,
+        tuple: &p2_types::Tuple,
+        env: &mut [Option<Value>],
+        ctx: &mut dyn crate::expr::EvalCtx,
+    ) -> Result<bool, crate::expr::EvalError> {
+        if tuple.arity() != self.fields.len() {
+            return Ok(false);
+        }
+        for (i, fm) in self.fields.iter().enumerate() {
+            let v = tuple.get(i).expect("arity checked");
+            match fm {
+                FieldMatch::Bind(slot) => env[*slot] = Some(v.clone()),
+                FieldMatch::EqVar(slot) => match &env[*slot] {
+                    Some(bound) if bound == v => {}
+                    _ => return Ok(false),
+                },
+                FieldMatch::EqConst(c) => {
+                    if c != v {
+                        return Ok(false);
+                    }
+                }
+                FieldMatch::EqExpr(e) => {
+                    let want = crate::expr::eval(e, env, ctx)?;
+                    if &want != v {
+                        return Ok(false);
+                    }
+                }
+                FieldMatch::Ignore => {}
+            }
+        }
+        Ok(true)
+    }
+
+    /// The field to probe on for an indexed scan: the first equality
+    /// field **beyond the location** when one exists — field 0 is the
+    /// node's own address on every local row, so probing it has zero
+    /// selectivity — falling back to the location, then `None` (full
+    /// scan) when every field binds or ignores.
+    pub fn probe_field(&self) -> Option<usize> {
+        let eq = |f: &FieldMatch| matches!(f, FieldMatch::EqVar(_) | FieldMatch::EqConst(_));
+        self.fields
+            .iter()
+            .enumerate()
+            .skip(1)
+            .find(|(_, f)| eq(f))
+            .map(|(i, _)| i)
+            .or_else(|| self.fields.first().filter(|f| eq(f)).map(|_| 0))
+    }
+}
+
+/// A strand operator (one per body term, in execution order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Probe a materialized table; one output binding per matching row.
+    /// This is a **stateful stage boundary** for pipelined execution and
+    /// a *precondition tap* for the tracer (§2.1.1).
+    Join {
+        /// Table to probe.
+        table: String,
+        /// Field matches.
+        match_spec: MatchSpec,
+    },
+    /// Filter: keep the binding iff the expression is true.
+    Select(PExpr),
+    /// Bind a slot to the value of an expression.
+    Assign {
+        /// Target slot.
+        slot: usize,
+        /// Defining expression.
+        expr: PExpr,
+    },
+}
+
+/// One output field of the head.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldOut {
+    /// Copy a slot.
+    Slot(usize),
+    /// Emit a constant.
+    Const(Value),
+    /// Evaluate an expression.
+    Expr(PExpr),
+    /// Placeholder where the aggregate result goes.
+    Agg,
+}
+
+/// Aggregate plan for aggregate rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggPlan {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Expression aggregated over (None for `count<*>`).
+    pub over: Option<PExpr>,
+    /// Index of the aggregate in the head fields.
+    pub position: usize,
+    /// Whether all group-by fields are computable from the trigger
+    /// bindings alone — when true, a `count<*>` over an empty match set
+    /// emits a zero row (rules `sr8`/`sr9` require this).
+    pub group_bound_by_trigger: bool,
+}
+
+/// The head of a strand: how to build output tuples from a final binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadSpec {
+    /// Output relation name.
+    pub name: String,
+    /// `true` for `delete` rules.
+    pub delete: bool,
+    /// Output fields, location first.
+    pub fields: Vec<FieldOut>,
+    /// Aggregate plan, if the rule aggregates.
+    pub agg: Option<AggPlan>,
+}
+
+/// A compiled rule strand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Strand {
+    /// The rule's label (generated `rule#N` if the source had none).
+    /// This is the ID recorded in `ruleExec` rows and used by the
+    /// profiler (§3.2).
+    pub rule_label: String,
+    /// Unique strand ID (`label~k` when a rule compiles to k>1 strands).
+    pub strand_id: String,
+    /// What fires the strand.
+    pub trigger: Trigger,
+    /// Field matches applied to the trigger tuple.
+    pub trigger_match: MatchSpec,
+    /// Operators after the trigger, in execution order.
+    pub ops: Vec<Op>,
+    /// Output construction.
+    pub head: HeadSpec,
+    /// Number of environment slots.
+    pub slots: usize,
+    /// Original source text of the rule (introspection: `sysRule`).
+    pub source: String,
+}
+
+impl Strand {
+    /// Number of stateful (join) stages — the tracer sizes its record
+    /// fields from this (§2.1.2).
+    pub fn join_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Join { .. })).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::FixedCtx;
+    use p2_types::Tuple;
+
+    #[test]
+    fn match_spec_bind_and_eq() {
+        let ms = MatchSpec {
+            fields: vec![
+                FieldMatch::Bind(0),
+                FieldMatch::EqConst(Value::Int(7)),
+                FieldMatch::Bind(1),
+            ],
+        };
+        let mut ctx = FixedCtx::default();
+        let mut env = vec![None, None];
+        let t = Tuple::new("x", [Value::addr("a"), Value::Int(7), Value::str("hi")]);
+        assert!(ms.apply(&t, &mut env, &mut ctx).unwrap());
+        assert_eq!(env[0], Some(Value::addr("a")));
+        assert_eq!(env[1], Some(Value::str("hi")));
+
+        let t2 = Tuple::new("x", [Value::addr("a"), Value::Int(8), Value::str("hi")]);
+        let mut env2 = vec![None, None];
+        assert!(!ms.apply(&t2, &mut env2, &mut ctx).unwrap());
+    }
+
+    #[test]
+    fn match_spec_eqvar_join_semantics() {
+        // Second occurrence of a variable must equal the first.
+        let ms = MatchSpec { fields: vec![FieldMatch::Bind(0), FieldMatch::EqVar(0)] };
+        let mut ctx = FixedCtx::default();
+        let mut env = vec![None];
+        let same = Tuple::new("x", [Value::Int(3), Value::Int(3)]);
+        assert!(ms.apply(&same, &mut env, &mut ctx).unwrap());
+        let mut env = vec![None];
+        let diff = Tuple::new("x", [Value::Int(3), Value::Int(4)]);
+        assert!(!ms.apply(&diff, &mut env, &mut ctx).unwrap());
+    }
+
+    #[test]
+    fn strict_arity() {
+        let ms = MatchSpec { fields: vec![FieldMatch::Bind(0)] };
+        let mut ctx = FixedCtx::default();
+        let mut env = vec![None];
+        let long = Tuple::new("x", [Value::Int(1), Value::Int(2)]);
+        assert!(!ms.apply(&long, &mut env, &mut ctx).unwrap());
+    }
+
+    #[test]
+    fn probe_field_prefers_selective_fields() {
+        let ms = MatchSpec {
+            fields: vec![FieldMatch::Bind(0), FieldMatch::EqVar(1), FieldMatch::EqConst(Value::Int(1))],
+        };
+        assert_eq!(ms.probe_field(), Some(1));
+        // Location-only equality still probes field 0...
+        let loc_only = MatchSpec { fields: vec![FieldMatch::EqVar(0), FieldMatch::Bind(1)] };
+        assert_eq!(loc_only.probe_field(), Some(0));
+        // ...but a later equality wins over the location.
+        let better = MatchSpec {
+            fields: vec![FieldMatch::EqVar(0), FieldMatch::Bind(1), FieldMatch::EqVar(2)],
+        };
+        assert_eq!(better.probe_field(), Some(2));
+        let all_bind = MatchSpec { fields: vec![FieldMatch::Bind(0), FieldMatch::Ignore] };
+        assert_eq!(all_bind.probe_field(), None);
+    }
+
+    #[test]
+    fn dispatch_name() {
+        assert_eq!(Trigger::Event { name: "x".into() }.dispatch_name(), "x");
+        assert_eq!(Trigger::TableInsert { name: "t".into() }.dispatch_name(), "t");
+        assert_eq!(Trigger::Periodic { period_secs: 1.0 }.dispatch_name(), "periodic");
+    }
+}

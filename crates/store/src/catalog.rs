@@ -1,0 +1,221 @@
+//! The per-node table catalog.
+//!
+//! One [`Catalog`] per node holds every materialized table, looked up by
+//! relation name. The node runtime registers tables when a program's
+//! `materialize` statements are installed (possibly on-line, long after
+//! boot — the paper's "piecemeal deployment") and routes tuple insertions
+//! here.
+
+use crate::table::{InsertOutcome, Table, TableSpec};
+use p2_types::{Time, Tuple, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Catalog errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A table with this name already exists with a different spec.
+    SpecConflict {
+        /// The table name.
+        name: String,
+    },
+    /// The named relation is not materialized here.
+    NoSuchTable {
+        /// The table name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::SpecConflict { name } => {
+                write!(f, "table '{name}' already materialized with a different spec")
+            }
+            CatalogError::NoSuchTable { name } => {
+                write!(f, "no materialized table named '{name}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// All materialized tables of one node.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table. Re-registering with an **identical** spec is a
+    /// no-op (monitoring programs often re-declare application tables they
+    /// read); a differing spec is an error.
+    pub fn register(&mut self, spec: TableSpec) -> Result<(), CatalogError> {
+        if let Some(existing) = self.tables.get(&spec.name) {
+            if existing.spec() == &spec {
+                return Ok(());
+            }
+            return Err(CatalogError::SpecConflict { name: spec.name });
+        }
+        self.tables.insert(spec.name.clone(), Table::new(spec));
+        Ok(())
+    }
+
+    /// Whether a relation is materialized (the planner uses this to
+    /// classify predicates as table matches vs transient events).
+    pub fn is_materialized(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Access a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Access a table immutably.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Insert a tuple into its table (by relation name).
+    pub fn insert(&mut self, tuple: Tuple, now: Time) -> Result<InsertOutcome, CatalogError> {
+        let name = tuple.name().to_string();
+        match self.tables.get_mut(&name) {
+            Some(t) => Ok(t.insert(tuple, now)),
+            None => Err(CatalogError::NoSuchTable { name }),
+        }
+    }
+
+    /// Delete by primary key from the tuple's table.
+    pub fn delete_by_key(
+        &mut self,
+        tuple: &Tuple,
+        now: Time,
+    ) -> Result<Option<Tuple>, CatalogError> {
+        match self.tables.get_mut(tuple.name()) {
+            Some(t) => Ok(t.delete_by_key(tuple, now)),
+            None => Err(CatalogError::NoSuchTable { name: tuple.name().to_string() }),
+        }
+    }
+
+    /// Scan a table (empty vec if the table doesn't exist — reads of
+    /// unknown relations are just empty, matching query semantics).
+    pub fn scan(&mut self, name: &str, now: Time) -> Vec<Tuple> {
+        self.tables.get_mut(name).map(|t| t.scan(now)).unwrap_or_default()
+    }
+
+    /// Scan with an equality filter on one field.
+    pub fn scan_eq(&mut self, name: &str, field: usize, value: &Value, now: Time) -> Vec<Tuple> {
+        self.tables
+            .get_mut(name)
+            .map(|t| t.scan_eq(field, value, now))
+            .unwrap_or_default()
+    }
+
+    /// Expire stale rows in every table. Returns total rows dropped.
+    pub fn expire_all(&mut self, now: Time) -> usize {
+        self.tables.values_mut().map(|t| t.expire(now)).sum()
+    }
+
+    /// Total live tuples across all tables (the "live tuples" series of
+    /// Figures 6 and 7).
+    pub fn live_tuples(&self) -> usize {
+        self.tables.values().map(|t| t.raw_len()).sum()
+    }
+
+    /// Approximate bytes of live tuples (the "process memory" proxy).
+    pub fn approx_bytes(&self) -> usize {
+        self.tables.values().map(|t| t.approx_bytes()).sum()
+    }
+
+    /// Iterate over (name, live-row-count, spec) for introspection.
+    pub fn table_stats(&self) -> Vec<(String, usize, TableSpec)> {
+        let mut out: Vec<_> = self
+            .tables
+            .values()
+            .map(|t| (t.spec().name.clone(), t.raw_len(), t.spec().clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_types::TimeDelta;
+
+    fn spec(name: &str) -> TableSpec {
+        TableSpec::new(name, Some(TimeDelta::from_secs(100)), Some(10), vec![0])
+    }
+
+    #[test]
+    fn register_and_insert() {
+        let mut c = Catalog::new();
+        c.register(spec("link")).unwrap();
+        assert!(c.is_materialized("link"));
+        assert!(!c.is_materialized("path"));
+        let t = Tuple::new("link", [Value::addr("a"), Value::Int(1)]);
+        c.insert(t.clone(), Time::ZERO).unwrap();
+        assert_eq!(c.scan("link", Time::ZERO), vec![t]);
+    }
+
+    #[test]
+    fn idempotent_reregistration() {
+        let mut c = Catalog::new();
+        c.register(spec("link")).unwrap();
+        c.register(spec("link")).unwrap(); // same spec: fine
+        let mut other = spec("link");
+        other.max_rows = Some(99);
+        assert!(matches!(
+            c.register(other),
+            Err(CatalogError::SpecConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_unknown_table_errors() {
+        let mut c = Catalog::new();
+        let t = Tuple::new("ghost", [Value::addr("a")]);
+        assert!(matches!(
+            c.insert(t, Time::ZERO),
+            Err(CatalogError::NoSuchTable { .. })
+        ));
+    }
+
+    #[test]
+    fn scan_unknown_is_empty() {
+        let mut c = Catalog::new();
+        assert!(c.scan("nothing", Time::ZERO).is_empty());
+    }
+
+    #[test]
+    fn metrics_roll_up() {
+        let mut c = Catalog::new();
+        c.register(spec("a")).unwrap();
+        c.register(spec("b")).unwrap();
+        c.insert(Tuple::new("a", [Value::addr("x")]), Time::ZERO).unwrap();
+        c.insert(Tuple::new("b", [Value::addr("y")]), Time::ZERO).unwrap();
+        c.insert(Tuple::new("b", [Value::addr("z")]), Time::ZERO).unwrap();
+        assert_eq!(c.live_tuples(), 3);
+        assert!(c.approx_bytes() > 0);
+        let stats = c.table_stats();
+        assert_eq!(stats[0].0, "a");
+        assert_eq!(stats[1].1, 2);
+    }
+
+    #[test]
+    fn expire_all() {
+        let mut c = Catalog::new();
+        c.register(spec("a")).unwrap();
+        c.insert(Tuple::new("a", [Value::addr("x")]), Time::ZERO).unwrap();
+        assert_eq!(c.expire_all(Time::from_secs(1000)), 1);
+        assert_eq!(c.live_tuples(), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # p2-store — soft-state tables
+//!
+//! P2 represents *all* state — routing tables, protocol timers, logs,
+//! execution traces — as tuples in **soft-state tables** declared with
+//! `materialize(name, lifetime, max_size, keys(...))` (§2 of the paper).
+//! This crate implements those tables and the per-node catalog:
+//!
+//! * rows are keyed by the declared primary-key fields; inserting a tuple
+//!   with an existing key **replaces** the old row,
+//! * rows expire `lifetime` seconds after insertion (lazily, against the
+//!   clock the caller passes in — virtual in simulation, real otherwise),
+//! * tables hold at most `max_size` rows; inserting into a full table
+//!   evicts the **oldest** row,
+//! * every mutation reports what happened so the node runtime can fire
+//!   delta rules (a replaced or evicted row does not fire an insertion
+//!   event for itself, but the caller needs to know for refcounts and
+//!   metrics).
+
+pub mod catalog;
+pub mod table;
+
+pub use catalog::{Catalog, CatalogError};
+pub use table::{InsertOutcome, Table, TableSpec};

@@ -1,0 +1,522 @@
+//! A single soft-state table.
+
+use p2_types::{Time, TimeDelta, Tuple, Value};
+use std::collections::{HashMap, VecDeque};
+
+/// Declaration of a table — the runtime form of a `materialize` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSpec {
+    /// Relation name.
+    pub name: String,
+    /// Row lifetime; `None` means rows never expire.
+    pub lifetime: Option<TimeDelta>,
+    /// Maximum row count; `None` means unbounded.
+    pub max_rows: Option<usize>,
+    /// **0-based** primary-key field indexes (the parser's 1-based
+    /// `keys(...)` are shifted by the planner).
+    pub key_fields: Vec<usize>,
+}
+
+impl TableSpec {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        lifetime: Option<TimeDelta>,
+        max_rows: Option<usize>,
+        key_fields: Vec<usize>,
+    ) -> TableSpec {
+        TableSpec { name: name.into(), lifetime, max_rows, key_fields }
+    }
+
+    /// Extract the primary key of a tuple under this spec.
+    ///
+    /// Missing fields key as a distinguished empty marker rather than
+    /// erroring: remote nodes may send short tuples and the table must
+    /// stay robust (the row is still stored and retrievable).
+    pub fn key_of(&self, t: &Tuple) -> Vec<Value> {
+        self.key_fields
+            .iter()
+            .map(|&i| t.get(i).cloned().unwrap_or(Value::str("\u{0}missing")))
+            .collect()
+    }
+}
+
+/// What an insert did, reported to the node runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertOutcome {
+    /// A new row was added. Carries the rows evicted to make room (empty
+    /// unless the table was at its size bound).
+    Inserted {
+        /// Rows evicted by the size bound, oldest first.
+        evicted: Vec<Tuple>,
+    },
+    /// A row with the same primary key existed and was replaced.
+    Replaced {
+        /// The previous row.
+        old: Tuple,
+    },
+    /// The identical tuple (same key, same content) was already present;
+    /// its lifetime was refreshed but no delta event should fire.
+    Refreshed,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    tuple: Tuple,
+    expires_at: Option<Time>,
+    seq: u64,
+}
+
+/// A soft-state table: primary-keyed rows with lifetime and size bounds.
+///
+/// All methods take `now` explicitly; the table never consults a clock of
+/// its own, which is what lets the discrete-event simulator drive it on
+/// virtual time (DESIGN.md §2.4).
+#[derive(Debug, Clone)]
+pub struct Table {
+    spec: TableSpec,
+    rows: HashMap<Vec<Value>, Row>,
+    /// Keys in insertion order, with the sequence number they were
+    /// enqueued under. Entries go stale when a row is replaced,
+    /// refreshed, deleted, or expired; eviction pops and skips stale
+    /// entries lazily (an entry is current iff the live row's seq
+    /// matches), keeping eviction amortized O(1) instead of a min-scan.
+    order: VecDeque<(Vec<Value>, u64)>,
+    next_seq: u64,
+    /// Monotonic counters for the introspection/metrics tables.
+    inserts: u64,
+    replacements: u64,
+    evictions: u64,
+    expirations: u64,
+    deletions: u64,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(spec: TableSpec) -> Table {
+        Table {
+            spec,
+            rows: HashMap::new(),
+            order: VecDeque::new(),
+            next_seq: 0,
+            inserts: 0,
+            replacements: 0,
+            evictions: 0,
+            expirations: 0,
+            deletions: 0,
+        }
+    }
+
+    /// The table's declaration.
+    pub fn spec(&self) -> &TableSpec {
+        &self.spec
+    }
+
+    /// Live row count (after expiring stale rows at `now`).
+    pub fn len(&mut self, now: Time) -> usize {
+        self.expire(now);
+        self.rows.len()
+    }
+
+    /// Whether the table has no live rows.
+    pub fn is_empty(&mut self, now: Time) -> bool {
+        self.len(now) == 0
+    }
+
+    /// Row count without expiring first (used by metrics snapshots that
+    /// must not mutate).
+    pub fn raw_len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Approximate bytes held by live tuples (metrics).
+    pub fn approx_bytes(&self) -> usize {
+        self.rows.values().map(|r| r.tuple.approx_bytes()).sum()
+    }
+
+    /// Lifetime counters: (inserts, replacements, evictions, expirations,
+    /// deletions).
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64) {
+        (self.inserts, self.replacements, self.evictions, self.expirations, self.deletions)
+    }
+
+    /// Drop rows whose lifetime has elapsed. Returns how many were
+    /// dropped. Called lazily by every read and write.
+    pub fn expire(&mut self, now: Time) -> usize {
+        if self.spec.lifetime.is_none() {
+            return 0;
+        }
+        let before = self.rows.len();
+        self.rows.retain(|_, r| match r.expires_at {
+            Some(t) => t > now,
+            None => true,
+        });
+        let dropped = before - self.rows.len();
+        self.expirations += dropped as u64;
+        self.compact_order();
+        dropped
+    }
+
+    /// Drop stale order-queue entries when they dominate, bounding the
+    /// queue to O(live rows).
+    fn compact_order(&mut self) {
+        if self.order.len() > 16 && self.order.len() > 4 * self.rows.len() {
+            let rows = &self.rows;
+            self.order
+                .retain(|(k, s)| rows.get(k).is_some_and(|r| r.seq == *s));
+        }
+    }
+
+    /// Insert (or replace, or refresh) a tuple.
+    pub fn insert(&mut self, tuple: Tuple, now: Time) -> InsertOutcome {
+        self.expire(now);
+        let key = self.spec.key_of(&tuple);
+        let expires_at = self.spec.lifetime.map(|l| now + l);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        if let Some(existing) = self.rows.get_mut(&key) {
+            if existing.tuple == tuple {
+                existing.expires_at = expires_at;
+                existing.seq = seq;
+                self.order.push_back((key, seq));
+                return InsertOutcome::Refreshed;
+            }
+            let old = std::mem::replace(
+                existing,
+                Row { tuple, expires_at, seq },
+            )
+            .tuple;
+            self.order.push_back((key, seq));
+            self.replacements += 1;
+            return InsertOutcome::Replaced { old };
+        }
+
+        // Evict oldest rows if at the size bound (amortized O(1): pop
+        // order entries, skipping stale ones).
+        let mut evicted = Vec::new();
+        if let Some(max) = self.spec.max_rows {
+            if max == 0 {
+                // Degenerate bound: nothing is ever stored.
+                return InsertOutcome::Inserted { evicted };
+            }
+            while self.rows.len() >= max {
+                match self.order.pop_front() {
+                    Some((k, s)) => {
+                        let current = self.rows.get(&k).is_some_and(|r| r.seq == s);
+                        if current {
+                            if let Some(r) = self.rows.remove(&k) {
+                                evicted.push(r.tuple);
+                                self.evictions += 1;
+                            }
+                        }
+                    }
+                    None => break, // only stale entries; cannot happen with rows live
+                }
+            }
+        }
+        self.order.push_back((key.clone(), seq));
+        self.rows.insert(key, Row { tuple, expires_at, seq });
+        self.inserts += 1;
+        InsertOutcome::Inserted { evicted }
+    }
+
+    /// Remove the row whose primary key matches `tuple`'s. Returns the
+    /// removed row, if any. This is the executor for `delete` rules
+    /// (paper rules `cs10`/`cs11`).
+    pub fn delete_by_key(&mut self, tuple: &Tuple, now: Time) -> Option<Tuple> {
+        self.expire(now);
+        let key = self.spec.key_of(tuple);
+        let removed = self.rows.remove(&key).map(|r| r.tuple);
+        if removed.is_some() {
+            self.deletions += 1;
+        }
+        removed
+    }
+
+    /// Remove rows matching a predicate. Returns them. Used by the
+    /// reference-counted `tupleTable` flush (§2.1.3).
+    pub fn delete_where<F: FnMut(&Tuple) -> bool>(
+        &mut self,
+        now: Time,
+        mut pred: F,
+    ) -> Vec<Tuple> {
+        self.expire(now);
+        let keys: Vec<Vec<Value>> = self
+            .rows
+            .iter()
+            .filter(|(_, r)| pred(&r.tuple))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            if let Some(r) = self.rows.remove(&k) {
+                out.push(r.tuple);
+                self.deletions += 1;
+            }
+        }
+        out
+    }
+
+    /// Fetch the row with exactly this key.
+    pub fn get_by_key(&mut self, key: &[Value], now: Time) -> Option<&Tuple> {
+        self.expire(now);
+        self.rows.get(key).map(|r| &r.tuple)
+    }
+
+    /// Snapshot all live rows (deterministic order: insertion sequence).
+    pub fn scan(&mut self, now: Time) -> Vec<Tuple> {
+        self.expire(now);
+        let mut rows: Vec<&Row> = self.rows.values().collect();
+        rows.sort_by_key(|r| r.seq);
+        rows.into_iter().map(|r| r.tuple.clone()).collect()
+    }
+
+    /// Snapshot rows where field `field` equals `value` — the probe side
+    /// of a join. Deterministic order as in [`Table::scan`].
+    pub fn scan_eq(&mut self, field: usize, value: &Value, now: Time) -> Vec<Tuple> {
+        self.expire(now);
+        let mut rows: Vec<&Row> = self
+            .rows
+            .values()
+            .filter(|r| r.tuple.get(field) == Some(value))
+            .collect();
+        rows.sort_by_key(|r| r.seq);
+        rows.into_iter().map(|r| r.tuple.clone()).collect()
+    }
+
+    /// Remove every row (used by snapshot resets in tests).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec(life: Option<u64>, max: Option<usize>, keys: Vec<usize>) -> TableSpec {
+        TableSpec::new("t", life.map(TimeDelta::from_secs), max, keys)
+    }
+
+    fn tup(a: &str, b: i64) -> Tuple {
+        Tuple::new("t", [Value::addr(a), Value::Int(b)])
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = Table::new(spec(None, None, vec![0, 1]));
+        assert!(matches!(
+            t.insert(tup("n1", 1), Time::ZERO),
+            InsertOutcome::Inserted { .. }
+        ));
+        t.insert(tup("n1", 2), Time::ZERO);
+        assert_eq!(t.len(Time::ZERO), 2);
+        let rows = t.scan(Time::ZERO);
+        assert_eq!(rows, vec![tup("n1", 1), tup("n1", 2)]);
+    }
+
+    #[test]
+    fn primary_key_replacement() {
+        // Key on field 0 only: second insert with same addr replaces.
+        let mut t = Table::new(spec(None, None, vec![0]));
+        t.insert(tup("n1", 1), Time::ZERO);
+        let out = t.insert(tup("n1", 2), Time::ZERO);
+        assert_eq!(out, InsertOutcome::Replaced { old: tup("n1", 1) });
+        assert_eq!(t.scan(Time::ZERO), vec![tup("n1", 2)]);
+    }
+
+    #[test]
+    fn identical_reinsert_refreshes() {
+        let mut t = Table::new(spec(Some(10), None, vec![0]));
+        t.insert(tup("n1", 1), Time::ZERO);
+        // Re-insert at t=8 refreshes: row must survive past t=10.
+        assert_eq!(
+            t.insert(tup("n1", 1), Time::from_secs(8)),
+            InsertOutcome::Refreshed
+        );
+        assert_eq!(t.len(Time::from_secs(15)), 1);
+        assert_eq!(t.len(Time::from_secs(19)), 0);
+    }
+
+    #[test]
+    fn lifetime_expiry() {
+        let mut t = Table::new(spec(Some(100), None, vec![0]));
+        t.insert(tup("n1", 1), Time::ZERO);
+        t.insert(tup("n2", 2), Time::from_secs(50));
+        assert_eq!(t.len(Time::from_secs(99)), 2);
+        assert_eq!(t.len(Time::from_secs(100)), 1); // first expired at exactly 100
+        assert_eq!(t.scan(Time::from_secs(100)), vec![tup("n2", 2)]);
+        assert_eq!(t.len(Time::from_secs(151)), 0);
+        assert_eq!(t.counters().3, 2); // expirations
+    }
+
+    #[test]
+    fn size_bound_evicts_oldest() {
+        let mut t = Table::new(spec(None, Some(3), vec![0]));
+        for (i, n) in ["a", "b", "c"].iter().enumerate() {
+            t.insert(tup(n, i as i64), Time::ZERO);
+        }
+        let out = t.insert(tup("d", 3), Time::ZERO);
+        match out {
+            InsertOutcome::Inserted { evicted } => {
+                assert_eq!(evicted, vec![tup("a", 0)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(t.len(Time::ZERO), 3);
+        assert!(t.scan(Time::ZERO).contains(&tup("d", 3)));
+        assert!(!t.scan(Time::ZERO).contains(&tup("a", 0)));
+    }
+
+    #[test]
+    fn replacement_does_not_evict() {
+        let mut t = Table::new(spec(None, Some(2), vec![0]));
+        t.insert(tup("a", 0), Time::ZERO);
+        t.insert(tup("b", 1), Time::ZERO);
+        // Replacing "a" must not evict "b".
+        t.insert(tup("a", 9), Time::ZERO);
+        let rows = t.scan(Time::ZERO);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&tup("a", 9)));
+        assert!(rows.contains(&tup("b", 1)));
+    }
+
+    #[test]
+    fn refresh_moves_row_to_back_of_eviction_order() {
+        // Soft state that keeps getting re-asserted should be the last
+        // to go when the table is full.
+        let mut t = Table::new(spec(None, Some(3), vec![0]));
+        t.insert(tup("a", 0), Time::ZERO);
+        t.insert(tup("b", 1), Time::ZERO);
+        t.insert(tup("c", 2), Time::ZERO);
+        // Refresh "a": it is now the most recently written.
+        assert_eq!(t.insert(tup("a", 0), Time::ZERO), InsertOutcome::Refreshed);
+        // Inserting "d" evicts the least recently written — "b".
+        match t.insert(tup("d", 3), Time::ZERO) {
+            InsertOutcome::Inserted { evicted } => assert_eq!(evicted, vec![tup("b", 1)]),
+            other => panic!("{other:?}"),
+        }
+        assert!(t.scan(Time::ZERO).contains(&tup("a", 0)));
+    }
+
+    #[test]
+    fn eviction_skips_stale_order_entries() {
+        // Replacements and deletions leave stale queue entries behind;
+        // eviction must skip them rather than double-evict.
+        let mut t = Table::new(spec(None, Some(2), vec![0]));
+        t.insert(tup("a", 0), Time::ZERO);
+        t.insert(tup("a", 1), Time::ZERO); // replace: stale entry for seq 0
+        t.insert(tup("b", 2), Time::ZERO);
+        t.delete_by_key(&tup("b", 0), Time::ZERO); // stale entry for b
+        t.insert(tup("c", 3), Time::ZERO);
+        t.insert(tup("d", 4), Time::ZERO); // evicts exactly one: "a"
+        let rows = t.scan(Time::ZERO);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&tup("c", 3)));
+        assert!(rows.contains(&tup("d", 4)));
+    }
+
+    #[test]
+    fn delete_by_key() {
+        let mut t = Table::new(spec(None, None, vec![0]));
+        t.insert(tup("a", 0), Time::ZERO);
+        // Deleting matches on the key fields only; other fields may differ.
+        let removed = t.delete_by_key(&tup("a", 999), Time::ZERO);
+        assert_eq!(removed, Some(tup("a", 0)));
+        assert_eq!(t.len(Time::ZERO), 0);
+        assert_eq!(t.delete_by_key(&tup("a", 0), Time::ZERO), None);
+    }
+
+    #[test]
+    fn delete_where() {
+        let mut t = Table::new(spec(None, None, vec![0, 1]));
+        for i in 0..5 {
+            t.insert(tup("a", i), Time::ZERO);
+        }
+        let removed = t.delete_where(Time::ZERO, |x| {
+            matches!(x.get(1), Some(Value::Int(n)) if *n % 2 == 0)
+        });
+        assert_eq!(removed.len(), 3);
+        assert_eq!(t.len(Time::ZERO), 2);
+    }
+
+    #[test]
+    fn scan_eq_filters() {
+        let mut t = Table::new(spec(None, None, vec![0, 1]));
+        t.insert(tup("a", 1), Time::ZERO);
+        t.insert(tup("b", 1), Time::ZERO);
+        t.insert(tup("a", 2), Time::ZERO);
+        let hits = t.scan_eq(0, &Value::addr("a"), Time::ZERO);
+        assert_eq!(hits.len(), 2);
+        let hits = t.scan_eq(1, &Value::Int(1), Time::ZERO);
+        assert_eq!(hits.len(), 2);
+        let hits = t.scan_eq(1, &Value::Int(99), Time::ZERO);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn get_by_key() {
+        let mut t = Table::new(spec(None, None, vec![0]));
+        t.insert(tup("a", 1), Time::ZERO);
+        let key = vec![Value::addr("a")];
+        assert_eq!(t.get_by_key(&key, Time::ZERO), Some(&tup("a", 1)));
+        assert_eq!(t.get_by_key(&[Value::addr("zz")], Time::ZERO), None);
+    }
+
+    #[test]
+    fn short_tuple_keys_robustly() {
+        // A remote node sends a tuple shorter than the key spec: must not
+        // panic, row must be stored and retrievable.
+        let mut t = Table::new(spec(None, None, vec![0, 5]));
+        let short = Tuple::new("t", [Value::addr("a")]);
+        t.insert(short.clone(), Time::ZERO);
+        assert_eq!(t.scan(Time::ZERO), vec![short]);
+    }
+
+    #[test]
+    fn zero_capacity_table_stores_nothing() {
+        let mut t = Table::new(spec(None, Some(0), vec![0]));
+        t.insert(tup("a", 1), Time::ZERO);
+        assert_eq!(t.len(Time::ZERO), 0);
+    }
+
+    proptest! {
+        /// The size bound is a hard invariant under arbitrary inserts.
+        #[test]
+        fn prop_size_bound(ops in proptest::collection::vec((0u8..50, 0i64..10), 1..200)) {
+            let mut t = Table::new(spec(None, Some(5), vec![0, 1]));
+            for (i, (a, b)) in ops.into_iter().enumerate() {
+                t.insert(tup(&format!("n{a}"), b), Time::from_secs(i as u64));
+                prop_assert!(t.raw_len() <= 5);
+            }
+        }
+
+        /// Keys are unique: scanning never yields two rows with the same
+        /// primary key.
+        #[test]
+        fn prop_key_unique(ops in proptest::collection::vec((0u8..10, 0i64..100), 1..100)) {
+            let mut t = Table::new(spec(None, None, vec![0]));
+            for (a, b) in ops {
+                t.insert(tup(&format!("n{a}"), b), Time::ZERO);
+            }
+            let rows = t.scan(Time::ZERO);
+            let mut keys: Vec<_> = rows.iter().map(|r| r.get(0).cloned()).collect();
+            keys.sort();
+            keys.dedup();
+            prop_assert_eq!(keys.len(), rows.len());
+        }
+
+        /// After expiry at time T, no row older than T-lifetime survives.
+        #[test]
+        fn prop_expiry(times in proptest::collection::vec(0u64..100, 1..50)) {
+            let mut t = Table::new(spec(Some(10), None, vec![0, 1]));
+            for (i, at) in times.iter().enumerate() {
+                t.insert(tup(&format!("n{i}"), i as i64), Time::from_secs(*at));
+            }
+            let horizon = Time::from_secs(200);
+            prop_assert_eq!(t.len(horizon), 0);
+        }
+    }
+}

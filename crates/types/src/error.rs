@@ -1,0 +1,93 @@
+//! Typed errors for value-level operations.
+
+use crate::value::Value;
+use std::fmt;
+
+/// An error produced while evaluating an expression over [`Value`]s.
+///
+/// The runtime treats these as *rule-evaluation failures*, not crashes: a
+/// rule whose expression fails for a given binding simply produces no
+/// output for that binding (and the failure is counted in the node's
+/// diagnostics). Malformed remote input must never panic a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValueError {
+    /// An operand had the wrong type.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// The type it found.
+        found: &'static str,
+    },
+    /// A binary operator was applied to an unsupported pair of types.
+    BadOperands {
+        /// The operator symbol.
+        op: &'static str,
+        /// Left operand type.
+        lhs: &'static str,
+        /// Right operand type.
+        rhs: &'static str,
+    },
+    /// Integer or float division by zero.
+    DivisionByZero,
+    /// A tuple field index was out of range.
+    MissingField {
+        /// The requested index.
+        index: usize,
+    },
+}
+
+impl ValueError {
+    /// Construct a [`ValueError::TypeMismatch`] from the found value.
+    pub fn type_mismatch(expected: &'static str, found: &Value) -> ValueError {
+        ValueError::TypeMismatch {
+            expected,
+            found: found.type_name(),
+        }
+    }
+
+    /// Construct a [`ValueError::BadOperands`] from the operand values.
+    pub fn bad_op(op: &'static str, lhs: &Value, rhs: &Value) -> ValueError {
+        ValueError::BadOperands {
+            op,
+            lhs: lhs.type_name(),
+            rhs: rhs.type_name(),
+        }
+    }
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ValueError::BadOperands { op, lhs, rhs } => {
+                write!(f, "operator '{op}' not defined for {lhs} and {rhs}")
+            }
+            ValueError::DivisionByZero => write!(f, "division by zero"),
+            ValueError::MissingField { index } => {
+                write!(f, "tuple field {index} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ValueError::type_mismatch("addr", &Value::Int(1));
+        assert_eq!(e.to_string(), "type mismatch: expected addr, found int");
+        let e = ValueError::bad_op("+", &Value::Bool(true), &Value::Bool(false));
+        assert_eq!(e.to_string(), "operator '+' not defined for bool and bool");
+        assert_eq!(ValueError::DivisionByZero.to_string(), "division by zero");
+        assert_eq!(
+            ValueError::MissingField { index: 3 }.to_string(),
+            "tuple field 3 out of range"
+        );
+    }
+}

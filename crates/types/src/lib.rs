@@ -1,0 +1,31 @@
+//! # p2-types — core data model for the p2ql system
+//!
+//! This crate defines the vocabulary shared by every other subsystem in the
+//! reproduction of *"Using Queries for Distributed Monitoring and
+//! Forensics"* (EuroSys 2006):
+//!
+//! * [`Value`] — the dynamically-typed scalar/list values carried in tuples,
+//! * [`Tuple`] — immutable named relation rows (also used as messages),
+//! * [`Addr`] — node addresses (field 0 of every tuple, by P2 convention),
+//! * [`RingId`] and [`Interval`] — Chord-style ring identifier algebra,
+//! * [`Time`] / [`TimeDelta`] — the virtual/real timestamp type,
+//! * [`ValueError`] — typed errors for ill-typed expression evaluation.
+//!
+//! Everything here is deterministic and `Send + Sync`; no interior
+//! mutability, no `unsafe`.
+
+pub mod addr;
+pub mod error;
+pub mod ring;
+pub mod rng;
+pub mod time;
+pub mod tuple;
+pub mod value;
+
+pub use addr::Addr;
+pub use error::ValueError;
+pub use ring::{Interval, RingId};
+pub use rng::DetRng;
+pub use time::{Time, TimeDelta};
+pub use tuple::{Tuple, TupleId};
+pub use value::Value;

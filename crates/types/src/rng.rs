@@ -1,0 +1,137 @@
+//! Deterministic random number generation.
+//!
+//! The paper's rules draw randomness through the `f_rand()` / `f_randID()`
+//! built-ins and the `periodic` event's nonce. For reproducible
+//! simulations (and the "3 runs per datapoint" evaluation protocol of §4,
+//! which we reproduce by varying seeds) every node owns a [`DetRng`]
+//! seeded from the simulation seed and the node address, so runs are
+//! bit-identical for identical seeds regardless of scheduling.
+//!
+//! Internally this is a thin wrapper over a SplitMix64 generator: tiny,
+//! fast, and with well-understood statistical behaviour — cryptographic
+//! strength is neither needed nor claimed (node IDs only need to spread
+//! over the ring).
+
+use crate::ring::RingId;
+
+/// A small deterministic PRNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> DetRng {
+        DetRng {
+            // Avoid the all-zero fixed point for the first outputs.
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Derive a generator from a seed and a label (e.g. a node address),
+    /// so each node gets an independent stream.
+    pub fn derive(seed: u64, label: &str) -> DetRng {
+        DetRng::new(seed ^ fnv1a(label.as_bytes()))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free mapping (slight bias < 2^-64 * n,
+        // irrelevant at our scales).
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A fresh random ring identifier (`f_randID()`).
+    pub fn ring_id(&mut self) -> RingId {
+        RingId(self.next_u64())
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a hash, used to derive per-label seeds and as the stand-in for
+/// the paper's `f_sha1` node-ID hash (see DESIGN.md §2.4: only the
+/// spread over the ring matters to the protocol rules).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_separates_labels() {
+        let mut a = DetRng::derive(7, "n1");
+        let mut b = DetRng::derive(7, "n2");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut r = DetRng::new(9);
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ids_spread() {
+        let mut r = DetRng::new(5);
+        let ids: HashSet<u64> = (0..64).map(|_| r.ring_id().0).collect();
+        assert_eq!(ids.len(), 64, "collisions in 64 draws are implausible");
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("a") from the reference spec.
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+    }
+}

@@ -1,0 +1,197 @@
+//! Immutable tuples.
+//!
+//! Tuples are the universal currency of P2: table rows, inter-node
+//! messages, and internal events are all tuples (§2 of the paper). A tuple
+//! is a relation name plus a vector of [`Value`]s; **field 0 is the
+//! address of the node where the tuple lives** (the `@` location specifier
+//! of OverLog desugars to field 0).
+//!
+//! Tuples are immutable and cheaply cloneable (`Arc` payloads). Tuple
+//! *identity* for tracing purposes — the node-unique [`TupleId`] of
+//! §2.1.3 — is assigned by the node runtime when a tuple is first created
+//! there, and lives outside the tuple itself so that the same content
+//! received on two nodes gets two distinct local IDs, as in the paper's
+//! `tupleTable` example.
+
+use crate::addr::Addr;
+use crate::error::ValueError;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A node-local tuple identifier (§2.1.3).
+///
+/// IDs are unique *per node*; the `tupleTable` relates a local ID to the
+/// (source address, source ID) pair for tuples that crossed the network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TupleId(pub u64);
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An immutable, named tuple.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    name: Arc<str>,
+    vals: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from a relation name and its field values.
+    ///
+    /// By convention `vals[0]` should be the location address, but the
+    /// constructor does not enforce it: introspection tuples and test
+    /// fixtures sometimes omit it, and the network layer checks locations
+    /// where it matters.
+    pub fn new(name: impl AsRef<str>, vals: impl IntoIterator<Item = Value>) -> Tuple {
+        Tuple {
+            name: Arc::from(name.as_ref()),
+            vals: vals.into_iter().collect(),
+        }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The interned relation name (cheap to clone).
+    pub fn name_arc(&self) -> Arc<str> {
+        self.name.clone()
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// All field values.
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Field accessor.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.vals.get(i)
+    }
+
+    /// The location field (field 0), if it is an address.
+    pub fn location(&self) -> Result<&Addr, ValueError> {
+        match self.vals.first() {
+            Some(Value::Addr(a)) => Ok(a),
+            Some(other) => Err(ValueError::type_mismatch("addr", other)),
+            None => Err(ValueError::MissingField { index: 0 }),
+        }
+    }
+
+    /// Rough in-memory footprint in bytes, used by the memory-utilization
+    /// benchmarks (Figures 4–7 plot process memory / live tuples; we
+    /// report live-tuple bytes from this estimate).
+    pub fn approx_bytes(&self) -> usize {
+        fn val_bytes(v: &Value) -> usize {
+            std::mem::size_of::<Value>()
+                + match v {
+                    Value::Str(s) => s.len(),
+                    Value::Addr(a) => a.as_str().len(),
+                    Value::List(l) => l.iter().map(val_bytes).sum(),
+                    _ => 0,
+                }
+        }
+        std::mem::size_of::<Tuple>() + self.name.len() + self.vals.iter().map(val_bytes).sum::<usize>()
+    }
+
+    /// Project selected fields into a new tuple with a new name.
+    pub fn project(&self, name: impl AsRef<str>, fields: &[usize]) -> Result<Tuple, ValueError> {
+        let mut vals = Vec::with_capacity(fields.len());
+        for &i in fields {
+            vals.push(
+                self.get(i)
+                    .cloned()
+                    .ok_or(ValueError::MissingField { index: i })?,
+            );
+        }
+        Ok(Tuple::new(name, vals))
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, v) in self.vals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tuple {
+        Tuple::new(
+            "link",
+            [Value::addr("a"), Value::addr("b"), Value::Int(3)],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let t = t();
+        assert_eq!(t.name(), "link");
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(2), Some(&Value::Int(3)));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.location().unwrap().as_str(), "a");
+    }
+
+    #[test]
+    fn location_requires_addr() {
+        let bad = Tuple::new("x", [Value::Int(1)]);
+        assert!(bad.location().is_err());
+        let empty = Tuple::new("x", []);
+        assert!(matches!(
+            empty.location(),
+            Err(ValueError::MissingField { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn projection() {
+        let p = t().project("out", &[0, 2]).unwrap();
+        assert_eq!(p.name(), "out");
+        assert_eq!(p.values(), &[Value::addr("a"), Value::Int(3)]);
+        assert!(t().project("out", &[7]).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(t().to_string(), "link(a, b, 3)");
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(t(), t());
+        let other = Tuple::new("link", [Value::addr("a"), Value::addr("b"), Value::Int(4)]);
+        assert_ne!(t(), other);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let small = Tuple::new("x", [Value::Int(1)]);
+        let big = Tuple::new("x", [Value::str("a".repeat(100))]);
+        assert!(big.approx_bytes() > small.approx_bytes());
+    }
+}

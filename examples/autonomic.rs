@@ -1,0 +1,97 @@
+//! Higher-order monitoring (§1.3): reacting to a watchpoint by
+//! installing *more queries*.
+//!
+//! *"This leads to higher-order automatic tracing of distributed
+//! execution, whereby the system can be programmed to react to events by
+//! installing new triggers itself, for example to provide more detailed
+//! information about a particular area of the system."*
+//!
+//! The control loop here: a cheap, always-on watchpoint (the passive
+//! ring check `rp4`) runs everywhere. When it first fires, the operator
+//! loop reacts by deploying the *expensive* detectors — active probing
+//! and the full oscillation suite — only on the implicated neighborhood,
+//! and by enabling execution tracing on the node that raised the alarm.
+//!
+//! Run with: `cargo run --example autonomic`
+
+use p2ql::chord::{build_ring, ChordConfig};
+use p2ql::core::SimHarness;
+use p2ql::monitor::{oscillation, ring};
+use p2ql::types::TimeDelta;
+
+fn main() {
+    let mut sim = SimHarness::with_seed(77);
+    let topo = build_ring(&mut sim, 8, &ChordConfig::default());
+    println!("stabilizing ring...");
+    sim.run_for(TimeDelta::from_secs(200));
+
+    // Tier 1: the cheap watchpoint, everywhere, forever.
+    for a in topo.addrs.clone() {
+        sim.install(&a, &ring::passive_check_program()).expect("rp4");
+        sim.node_mut(&a).watch(ring::ALARM);
+    }
+    println!("tier-1 watchpoint (rp4) deployed on all {} nodes", topo.addrs.len());
+
+    // Fault: flap a node to create ring inconsistencies.
+    let victim = topo
+        .live_sorted(&sim)
+        .into_iter()
+        .map(|(_, a)| a)
+        .find(|a| a != topo.landmark())
+        .expect("victim");
+    println!("flapping {victim} in the background...");
+
+    let mut escalated = false;
+    for round in 0..14 {
+        if round % 2 == 0 {
+            sim.crash(&victim);
+        } else {
+            sim.revive(&victim);
+        }
+        sim.run_for(TimeDelta::from_secs(12));
+
+        // The operator loop: poll tier-1 alarms; on first evidence,
+        // escalate by installing tier-2 monitors — at runtime, only
+        // where needed.
+        if !escalated {
+            for a in topo.addrs.clone() {
+                let alarms = sim.node_mut(&a).take_watched(ring::ALARM);
+                if alarms.is_empty() {
+                    continue;
+                }
+                println!(
+                    "  [{}] tier-1 alarm at {a}: {} inconsistentPred event(s) — escalating",
+                    sim.now(),
+                    alarms.len()
+                );
+                // Tier 2: heavier scrutiny on the implicated node only.
+                sim.install(&a, &ring::active_probe_program(5)).expect("rp1-3");
+                sim.install(&a, &oscillation::full_program()).expect("os1-9");
+                sim.node_mut(&a).watch(oscillation::OSCILL);
+                sim.node_mut(&a).set_tracing(true);
+                println!("      installed rp1-3 + os1-9 and enabled execution tracing at {a}");
+                escalated = true;
+                break;
+            }
+        }
+    }
+    sim.revive(&victim);
+    sim.run_for(TimeDelta::from_secs(60));
+
+    assert!(escalated, "tier-1 watchpoint never fired");
+    // Show what tier 2 gathered.
+    let mut findings = 0;
+    for a in topo.addrs.clone() {
+        let oscills = sim.node_mut(&a).take_watched(oscillation::OSCILL);
+        for (t, tup) in &oscills {
+            println!("  [{t}] tier-2 at {a}: {tup}");
+        }
+        findings += oscills.len();
+        let now = sim.now();
+        let traced = sim.node_mut(&a).table_scan("ruleExec", now).len();
+        if traced > 0 {
+            println!("  {a}: {traced} ruleExec rows available for forensics");
+        }
+    }
+    println!("\nautonomic escalation OK ({findings} tier-2 findings)");
+}

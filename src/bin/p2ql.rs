@@ -1,0 +1,251 @@
+//! `p2ql` — command-line front end for OverLog programs.
+//!
+//! ```text
+//! p2ql check  prog.olg                 # parse + validate, report errors
+//! p2ql fmt    prog.olg                 # canonical pretty-printed source
+//! p2ql plan   prog.olg                 # show the compiled rule strands
+//! p2ql run    prog.olg [options]       # execute on a simulated population
+//! p2ql trace  prog.olg [options]       # run + dump ruleExec/tupleTable
+//!
+//! run/trace options:
+//!   --nodes N        population size (default 1; addresses n0..n[N-1])
+//!   --for SECS       virtual seconds to run (default 30)
+//!   --watch REL      print tuples of this relation as they appear
+//!                    (repeatable)
+//!   --dump TABLE     print the table's rows at the end (repeatable)
+//!   --seed S         simulation seed (default 1)
+//!   --latency MS     link latency in milliseconds (default 10)
+//! ```
+//!
+//! The program is installed on **every** node; per-node facts can use
+//! explicit addresses (`node@"n0"(0x11).`). This is the operator-console
+//! stand-in: the paper's §1.3 usage of writing a monitoring query and
+//! pointing it at a running system, here bootstrapped from files.
+
+use p2ql::core::{NodeConfig, SimHarness};
+use p2ql::net::SimConfig;
+use p2ql::types::{TimeDelta, Value};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: p2ql <check|plan|run|trace> <file.olg> [options]");
+        return ExitCode::from(2);
+    };
+    let Some(path) = args.get(1) else {
+        eprintln!("missing program file");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => check(&src),
+        "fmt" => fmt(&src),
+        "plan" => plan(&src),
+        "run" => run(&src, &args[2..], false),
+        "trace" => run(&src, &args[2..], true),
+        other => {
+            eprintln!("unknown command '{other}'");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(src: &str) -> ExitCode {
+    match p2ql::overlog::compile(src) {
+        Ok(p) => {
+            let rules = p.rules().count();
+            let tables = p.materializations().count();
+            println!("ok: {rules} rules, {tables} tables");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fmt(src: &str) -> ExitCode {
+    match p2ql::overlog::parse_program(src) {
+        Ok(p) => {
+            print!("{}", p2ql::overlog::pretty::program_to_string(&p));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn plan(src: &str) -> ExitCode {
+    let program = match p2ql::overlog::compile(src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match p2ql::planner::compile_program(&program, &Default::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("plan error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for t in &compiled.tables {
+        println!(
+            "table {:<20} lifetime={:<10} max={:<10} keys={:?}",
+            t.name,
+            t.lifetime_secs.map(|s| format!("{s}s")).unwrap_or("inf".into()),
+            t.max_rows.map(|m| m.to_string()).unwrap_or("inf".into()),
+            t.key_fields
+        );
+    }
+    for f in &compiled.facts {
+        println!("fact  {f}");
+    }
+    for s in &compiled.strands {
+        let trig = match &s.trigger {
+            p2ql::planner::Trigger::Event { name } => format!("event {name}"),
+            p2ql::planner::Trigger::TableInsert { name } => format!("insert {name}"),
+            p2ql::planner::Trigger::Periodic { period_secs } => {
+                format!("every {period_secs}s")
+            }
+        };
+        println!(
+            "strand {:<12} on {:<24} joins={} head={}{}",
+            s.strand_id,
+            trig,
+            s.join_count(),
+            s.head.name,
+            if s.head.delete { " (delete)" } else { "" },
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+struct RunOpts {
+    nodes: usize,
+    secs: u64,
+    seed: u64,
+    latency_ms: u64,
+    watches: Vec<String>,
+    dumps: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
+    let mut o = RunOpts {
+        nodes: 1,
+        secs: 30,
+        seed: 1,
+        latency_ms: 10,
+        watches: Vec::new(),
+        dumps: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--nodes" => o.nodes = val("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--for" => o.secs = val("--for")?.parse().map_err(|e| format!("--for: {e}"))?,
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--latency" => {
+                o.latency_ms = val("--latency")?.parse().map_err(|e| format!("--latency: {e}"))?
+            }
+            "--watch" => o.watches.push(val("--watch")?),
+            "--dump" => o.dumps.push(val("--dump")?),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if o.nodes == 0 {
+        return Err("--nodes must be at least 1".into());
+    }
+    Ok(o)
+}
+
+fn run(src: &str, args: &[String], tracing: bool) -> ExitCode {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut sim = SimHarness::new(
+        SimConfig {
+            latency: TimeDelta::from_millis(opts.latency_ms),
+            ..Default::default()
+        },
+        NodeConfig { tracing, ..Default::default() },
+        opts.seed,
+    );
+    for i in 0..opts.nodes {
+        sim.add_node(&format!("n{i}"));
+    }
+    let addrs = sim.addrs().to_vec();
+    for a in &addrs {
+        if let Err(e) = sim.install(a, src) {
+            eprintln!("install on {a} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        for w in &opts.watches {
+            sim.node_mut(a).watch(w);
+        }
+    }
+    sim.run_for(TimeDelta::from_secs(opts.secs));
+
+    for a in &addrs {
+        for w in opts.watches.clone() {
+            for (t, tup) in sim.node_mut(a).take_watched(&w) {
+                println!("[{t}] {a}: {tup}");
+            }
+        }
+    }
+    let now = sim.now();
+    for a in &addrs {
+        for d in &opts.dumps {
+            for row in sim.node_mut(a).table_scan(d, now) {
+                println!("{a}: {row}");
+            }
+        }
+    }
+    if tracing {
+        for a in &addrs {
+            let execs = sim.node_mut(a).table_scan("ruleExec", now);
+            println!("-- {a}: {} ruleExec rows", execs.len());
+            for row in execs.iter().take(50) {
+                // Resolve memoized IDs back to content for readability.
+                let fmt_id = |v: Option<&Value>| match v {
+                    Some(Value::Id(i)) => sim
+                        .node(a)
+                        .trace_content_of(p2ql::types::TupleId(i.0))
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| format!("{i}")),
+                    Some(other) => other.to_string(),
+                    None => "?".into(),
+                };
+                println!(
+                    "   {} : {} -> {}  [{}]",
+                    row.get(1).map(|v| v.to_string()).unwrap_or_default(),
+                    fmt_id(row.get(2)),
+                    fmt_id(row.get(3)),
+                    if row.get(6) == Some(&Value::Bool(true)) { "event" } else { "precond" },
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

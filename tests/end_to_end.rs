@@ -1,0 +1,150 @@
+//! End-to-end integration: the full stack — Chord, tracing, and every
+//! §3 monitoring family — running together on one simulated population.
+
+use p2ql::chord::{build_ring, ring_is_ordered, ring_is_well_formed, ChordConfig};
+use p2ql::core::{NodeConfig, SimHarness};
+use p2ql::monitor::{consistency, ordering, oscillation, ring, snapshot};
+use p2ql::types::TimeDelta;
+
+/// The kitchen sink: all monitors coexist on a traced ring without
+/// interfering with the protocol or each other, stay silent while the
+/// system is healthy, and (several of them) fire when a node flaps.
+#[test]
+fn all_monitors_coexist_and_fire_on_faults() {
+    let mut sim = SimHarness::new(
+        Default::default(),
+        NodeConfig { tracing: true, ..Default::default() },
+        90,
+    );
+    let topo = build_ring(&mut sim, 8, &ChordConfig::default());
+    sim.run_for(TimeDelta::from_secs(240));
+    assert!(ring_is_ordered(&mut sim, &topo), "base ring must converge");
+
+    // Install everything, on-line.
+    for a in topo.addrs.clone() {
+        sim.install(&a, &ring::active_probe_program(9)).unwrap();
+        sim.install(&a, &ring::passive_check_program()).unwrap();
+        sim.install(&a, &ordering::traversal_program()).unwrap();
+        sim.install(&a, &oscillation::full_program()).unwrap();
+        sim.install(&a, &snapshot::backpointer_program()).unwrap();
+        sim.install(&a, &snapshot::snapshot_program()).unwrap();
+        sim.node_mut(&a).watch(ring::ALARM);
+        sim.node_mut(&a).watch(oscillation::OSCILL);
+    }
+    let prober = topo.addrs[2].clone();
+    sim.install(
+        &prober,
+        &consistency::probe_program(&consistency::ProbeConfig {
+            probe_secs: 8.0,
+            tally_secs: 10,
+            wait_secs: 10,
+            ..Default::default()
+        }),
+    )
+    .unwrap();
+    sim.node_mut(&prober).watch(consistency::CONSISTENCY);
+    let initiator = topo.addrs[0].clone();
+    sim.install(&initiator, &snapshot::initiator_program(&initiator, 45.0)).unwrap();
+
+    // Healthy phase: protocol keeps working, monitors stay quiet.
+    sim.run_for(TimeDelta::from_secs(120));
+    assert!(ring_is_ordered(&mut sim, &topo), "monitors must not perturb the ring");
+    for a in topo.addrs.clone() {
+        assert!(
+            sim.node_mut(&a).take_watched(oscillation::OSCILL).is_empty(),
+            "false oscillation at {a}"
+        );
+    }
+    let healthy_metrics =
+        consistency::metrics(sim.node_mut(&prober).watched(consistency::CONSISTENCY));
+    assert!(!healthy_metrics.is_empty(), "probe must produce metrics");
+    assert!(
+        healthy_metrics.iter().all(|(_, m)| (*m - 1.0).abs() < 1e-9),
+        "healthy ring must be consistent: {healthy_metrics:?}"
+    );
+
+    // Snapshot 1 must have completed on every node.
+    for a in topo.addrs.clone() {
+        assert_eq!(
+            snapshot::phase_of(&mut sim, &a, 1).as_deref(),
+            Some("Done"),
+            "snapshot incomplete at {a}"
+        );
+    }
+
+    // Fault phase: flap a node; oscillation and ring alarms must appear
+    // somewhere in the population.
+    let victim = topo
+        .live_sorted(&sim)
+        .into_iter()
+        .map(|(_, a)| a)
+        .find(|a| a != topo.landmark() && *a != prober && *a != initiator)
+        .unwrap();
+    for _ in 0..6 {
+        sim.crash(&victim);
+        sim.run_for(TimeDelta::from_secs(16));
+        sim.revive(&victim);
+        sim.run_for(TimeDelta::from_secs(8));
+    }
+    sim.run_for(TimeDelta::from_secs(60));
+
+    let oscills: usize = topo
+        .addrs
+        .clone()
+        .iter()
+        .map(|a| sim.node_mut(a).watched(oscillation::OSCILL).len())
+        .sum();
+    assert!(oscills > 0, "flapping node must trigger oscillation detectors");
+
+    // And the system recovers afterwards.
+    sim.run_for(TimeDelta::from_secs(120));
+    assert!(ring_is_well_formed(&mut sim, &topo), "ring must settle after faults");
+}
+
+/// Monitoring queries are watchpoints an operator can also *remove*; the
+/// base system must be unaffected by a full install/uninstall cycle.
+#[test]
+fn piecemeal_install_and_uninstall() {
+    let mut sim = SimHarness::with_seed(91);
+    let topo = build_ring(&mut sim, 5, &ChordConfig::default());
+    sim.run_for(TimeDelta::from_secs(180));
+    assert!(ring_is_ordered(&mut sim, &topo));
+
+    let node = topo.addrs[1].clone();
+    let strands_before = sim.node_mut(&node).strand_count();
+    let pid1 = sim.install(&node, &ring::active_probe_program(5)).unwrap();
+    let pid2 = sim.install(&node, &ordering::opportunistic_program()).unwrap();
+    assert!(sim.node_mut(&node).strand_count() > strands_before);
+
+    sim.run_for(TimeDelta::from_secs(30));
+    sim.node_mut(&node).uninstall(pid1);
+    sim.node_mut(&node).uninstall(pid2);
+    assert_eq!(sim.node_mut(&node).strand_count(), strands_before);
+
+    // The ring keeps running; removed monitors leave no timers behind.
+    sim.node_mut(&node).watch(ring::ALARM);
+    sim.run_for(TimeDelta::from_secs(60));
+    assert!(sim.node_mut(&node).watched(ring::ALARM).is_empty());
+    assert!(ring_is_ordered(&mut sim, &topo));
+}
+
+/// The tracer's resource bounds (§3.4) hold under sustained load.
+#[test]
+fn trace_tables_stay_bounded() {
+    let mut sim = SimHarness::new(
+        Default::default(),
+        NodeConfig { tracing: true, ..Default::default() },
+        92,
+    );
+    let topo = build_ring(&mut sim, 6, &ChordConfig::default());
+    sim.run_for(TimeDelta::from_secs(600));
+    let now = sim.now();
+    for a in topo.addrs.clone() {
+        let execs = sim.node_mut(&a).table_scan("ruleExec", now).len();
+        let tuples = sim.node_mut(&a).table_scan("tupleTable", now).len();
+        assert!(execs <= 10_000, "{a}: ruleExec unbounded ({execs})");
+        assert!(tuples <= 20_000, "{a}: tupleTable unbounded ({tuples})");
+        // And not trivially empty either — the system is being traced.
+        assert!(execs > 0, "{a}: tracing produced nothing");
+    }
+}

@@ -1,0 +1,292 @@
+//! Language-conformance tests: each case is a tiny OverLog program whose
+//! observable behaviour pins down one semantic rule of the dialect
+//! (DESIGN.md §2.1). These run through the full stack — front end,
+//! planner, node runtime — on a single simulated node unless routing
+//! itself is under test.
+
+use p2ql::core::{Node, NodeConfig, SimHarness};
+use p2ql::types::{Time, TimeDelta, Tuple, Value};
+
+fn node() -> Node {
+    Node::new(
+        p2ql::types::Addr::new("n1"),
+        NodeConfig { stagger_timers: false, ..Default::default() },
+    )
+}
+
+fn ev(name: &str, vals: impl IntoIterator<Item = Value>) -> Tuple {
+    Tuple::new(name, std::iter::once(Value::addr("n1")).chain(vals).collect::<Vec<_>>())
+}
+
+#[test]
+fn event_chains_run_to_fixpoint_in_one_pump() {
+    let mut n = node();
+    n.install(
+        "r1 b@N(X) :- a@N(X).
+         r2 c@N(X + 1) :- b@N(X).
+         r3 d@N(X * 2) :- c@N(X).",
+        Time::ZERO,
+    )
+    .unwrap();
+    n.watch("d");
+    n.inject(ev("a", [Value::Int(5)]));
+    n.pump(Time::ZERO);
+    let d = n.take_watched("d");
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].1.get(1), Some(&Value::Int(12))); // (5+1)*2
+}
+
+#[test]
+fn primary_key_replacement_fires_delta_but_refresh_does_not() {
+    let mut n = node();
+    n.install(
+        "materialize(t, infinity, infinity, keys(1)).
+         d change@N(X) :- t@N(X).",
+        Time::ZERO,
+    )
+    .unwrap();
+    n.watch("change");
+    n.inject(ev("t", [Value::Int(1)]));
+    n.pump(Time::ZERO);
+    n.inject(ev("t", [Value::Int(1)])); // identical: refresh, no delta
+    n.pump(Time::ZERO);
+    n.inject(ev("t", [Value::Int(2)])); // same key, new value: replace
+    n.pump(Time::ZERO);
+    assert_eq!(n.take_watched("change").len(), 2);
+}
+
+#[test]
+fn soft_state_expires_out_of_joins() {
+    let mut n = node();
+    n.install(
+        "materialize(t, 10, infinity, keys(1, 2)).
+         q hit@N(X) :- probe@N(), t@N(X).",
+        Time::ZERO,
+    )
+    .unwrap();
+    n.watch("hit");
+    n.inject(ev("t", [Value::Int(1)]));
+    n.pump(Time::ZERO);
+    n.inject(ev("probe", []));
+    n.pump(Time::from_secs(5));
+    assert_eq!(n.take_watched("hit").len(), 1, "row alive at t=5");
+    n.inject(ev("probe", []));
+    n.pump(Time::from_secs(11));
+    assert!(n.take_watched("hit").is_empty(), "row expired at t=11");
+}
+
+#[test]
+fn delete_rule_matches_on_primary_key_only() {
+    let mut n = node();
+    n.install(
+        "materialize(t, infinity, infinity, keys(1, 2)).
+         d delete t@N(K, V) :- zap@N(K), t@N(K, V).",
+        Time::ZERO,
+    )
+    .unwrap();
+    n.inject(ev("t", [Value::Int(1), Value::str("a")]));
+    n.inject(ev("t", [Value::Int(2), Value::str("b")]));
+    n.pump(Time::ZERO);
+    n.inject(ev("zap", [Value::Int(1)]));
+    n.pump(Time::ZERO);
+    let rows = n.table_scan("t", Time::ZERO);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(1), Some(&Value::Int(2)));
+}
+
+#[test]
+fn count_star_emits_zero_when_group_is_trigger_bound() {
+    let mut n = node();
+    n.install(
+        "materialize(t, infinity, infinity, keys(1, 2)).
+         c n@N(K, count<*>) :- ask@N(K), t@N(K).",
+        Time::ZERO,
+    )
+    .unwrap();
+    n.watch("n");
+    n.inject(ev("ask", [Value::Int(7)]));
+    n.pump(Time::ZERO);
+    let got = n.take_watched("n");
+    assert_eq!(got.len(), 1, "empty match set still answers");
+    assert_eq!(got[0].1.get(2), Some(&Value::Int(0)));
+}
+
+#[test]
+fn min_and_max_group_per_head_fields() {
+    let mut n = node();
+    n.install(
+        "materialize(score, infinity, infinity, keys(1, 2, 3)).
+         lo best@N(G, min<S>) :- tally@N(), score@N(G, S).
+         hi worst@N(G, max<S>) :- tally@N(), score@N(G, S).",
+        Time::ZERO,
+    )
+    .unwrap();
+    n.watch("best");
+    n.watch("worst");
+    for (g, s) in [("a", 3), ("a", 9), ("b", 5)] {
+        n.inject(ev("score", [Value::str(g), Value::Int(s)]));
+    }
+    n.pump(Time::ZERO);
+    n.inject(ev("tally", []));
+    n.pump(Time::ZERO);
+    let best = n.take_watched("best");
+    assert_eq!(best.len(), 2, "one row per group");
+    let a_best = best.iter().find(|(_, t)| t.get(1) == Some(&Value::str("a"))).unwrap();
+    assert_eq!(a_best.1.get(2), Some(&Value::Int(3)));
+    let worst = n.take_watched("worst");
+    let a_worst = worst.iter().find(|(_, t)| t.get(1) == Some(&Value::str("a"))).unwrap();
+    assert_eq!(a_worst.1.get(2), Some(&Value::Int(9)));
+}
+
+#[test]
+fn ring_intervals_in_conditions() {
+    let mut n = node();
+    n.install(
+        "r in1@N(K) :- ask@N(K, A, B), K in (A, B].
+         s in2@N(K) :- ask@N(K, A, B), K in [A, B).",
+        Time::ZERO,
+    )
+    .unwrap();
+    n.watch("in1");
+    n.watch("in2");
+    // K == A: only [A, B) contains it.
+    n.inject(ev("ask", [Value::id(10), Value::id(10), Value::id(20)]));
+    n.pump(Time::ZERO);
+    assert!(n.take_watched("in1").is_empty());
+    assert_eq!(n.take_watched("in2").len(), 1);
+    // Wrap-around: K=2 in (250, 5].
+    n.inject(ev("ask", [Value::id(2), Value::id(250), Value::id(5)]));
+    n.pump(Time::ZERO);
+    assert_eq!(n.take_watched("in1").len(), 1);
+}
+
+#[test]
+fn string_location_heads_route_remotely() {
+    let mut sim = SimHarness::with_seed(5);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    // The head's location is a *string field value*, not an addr literal.
+    sim.install(
+        &a,
+        "materialize(route, infinity, infinity, keys(1, 2)).
+         f go@Dest(X) :- send@N(Dest, X), route@N(Dest).",
+    )
+    .unwrap();
+    sim.inject(&a, Tuple::new("route", [Value::addr("a"), Value::str("b")]));
+    sim.install(&b, "r seen@N(X) :- go@N(X).").unwrap();
+    sim.node_mut(&b).watch("seen");
+    sim.inject(
+        &a,
+        Tuple::new("send", [Value::addr("a"), Value::str("b"), Value::Int(9)]),
+    );
+    sim.run_for(TimeDelta::from_millis(50));
+    assert_eq!(sim.node_mut(&b).take_watched("seen").len(), 1);
+}
+
+#[test]
+fn fractional_periodic_periods() {
+    let mut n = node();
+    n.install("t tick@N(E) :- periodic@N(E, 0.5).", Time::ZERO).unwrap();
+    n.watch("tick");
+    for ms in [500u64, 1000, 1500, 2000] {
+        n.fire_timers(Time::from_millis(ms));
+        n.pump(Time::from_millis(ms));
+    }
+    assert_eq!(n.watched("tick").len(), 4);
+}
+
+#[test]
+fn head_expressions_and_division_metric() {
+    // The cs9 pattern: a ratio of two counts is a float, comparable
+    // against a float literal in a downstream rule.
+    let mut n = node();
+    n.install(
+        "m metric@N(A / B) :- pair@N(A, B).
+         a alarm@N(M) :- metric@N(M), M < 0.5.",
+        Time::ZERO,
+    )
+    .unwrap();
+    n.watch("alarm");
+    n.inject(ev("pair", [Value::Int(3), Value::Int(4)]));
+    n.pump(Time::ZERO);
+    assert!(n.take_watched("alarm").is_empty(), "0.75 raises nothing");
+    n.inject(ev("pair", [Value::Int(1), Value::Int(4)]));
+    n.pump(Time::ZERO);
+    let got = n.take_watched("alarm");
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].1.get(1), Some(&Value::Float(0.25)));
+}
+
+#[test]
+fn list_building_matches_paper_quickstart() {
+    let mut n = node();
+    n.install(
+        "p path@N(P2) :- step@N(B, A, P), P2 := [B, A] + P.",
+        Time::ZERO,
+    )
+    .unwrap();
+    n.watch("path");
+    n.inject(ev(
+        "step",
+        [
+            Value::str("b"),
+            Value::str("a"),
+            Value::list([Value::str("a"), Value::str("c")]),
+        ],
+    ));
+    n.pump(Time::ZERO);
+    let got = n.take_watched("path");
+    assert_eq!(
+        got[0].1.get(1),
+        Some(&Value::list([
+            Value::str("b"),
+            Value::str("a"),
+            Value::str("a"),
+            Value::str("c")
+        ]))
+    );
+}
+
+#[test]
+fn remote_delete_rules_route_like_messages() {
+    // A delete rule whose head names another node removes the row there.
+    let mut sim = SimHarness::with_seed(9);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    sim.install(
+        &b,
+        r#"materialize(t, infinity, infinity, keys(1, 2)).
+           t@"b"(1). t@"b"(2)."#,
+    )
+    .unwrap();
+    sim.install(&a, r#"d delete t@"b"(X) :- zap@N(X)."#).unwrap();
+    sim.run_for(TimeDelta::from_millis(50));
+    let now = sim.now();
+    assert_eq!(sim.node_mut(&b).table_scan("t", now).len(), 2);
+    sim.inject(&a, Tuple::new("zap", [Value::addr("a"), Value::Int(1)]));
+    sim.run_for(TimeDelta::from_millis(50));
+    let now = sim.now();
+    let rows = sim.node_mut(&b).table_scan("t", now);
+    assert_eq!(rows.len(), 1, "remote delete must remove exactly t(b, 1)");
+    assert_eq!(rows[0].get(1), Some(&Value::Int(2)));
+}
+
+#[test]
+fn eviction_keeps_newest_rows() {
+    let mut n = node();
+    n.install("materialize(t, infinity, 3, keys(1, 2)).", Time::ZERO).unwrap();
+    for i in 0..10 {
+        n.inject(ev("t", [Value::Int(i)]));
+    }
+    n.pump(Time::ZERO);
+    let rows = n.table_scan("t", Time::ZERO);
+    assert_eq!(rows.len(), 3);
+    let vals: Vec<i64> = rows
+        .iter()
+        .filter_map(|r| match r.get(1) {
+            Some(Value::Int(v)) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    assert!(vals.contains(&9) && vals.contains(&8) && vals.contains(&7), "{vals:?}");
+}
