@@ -228,6 +228,9 @@ fn bench_substrate(c: &mut Criterion) {
             )
             .unwrap();
     }
+    // Index up front (as the planner would at install) rather than letting
+    // the auto-index fallback flip mid-measurement.
+    table_cat.ensure_index("t", 0).unwrap();
     c.bench_function("table_scan_eq_4096", |b| {
         b.iter(|| black_box(table_cat.scan_eq("t", 0, &Value::addr("n7"), Time::ZERO)))
     });

@@ -1,0 +1,53 @@
+//! Indexed vs linear equality probes on a soft-state table.
+//!
+//! The satellite ablation for the store indexing work: one table of
+//! `10^2..10^5` rows, probed with an equality on a non-key field that
+//! matches 1% or 50% of the rows. The indexed path (`scan_eq` after
+//! `ensure_index`) should cost O(hits); the linear oracle
+//! (`scan_eq_linear`) walks every live row regardless of selectivity.
+//! The headline acceptance number is the 10^4-row / 1%-hit pair, where
+//! the index must win by at least 5x.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2_store::{Table, TableSpec};
+use p2_types::{Time, Tuple, Value};
+use std::hint::black_box;
+
+/// Build a table of `n` rows where exactly `hits` of them carry group 0
+/// in field 1 (the probed field); the rest get distinct negative groups.
+/// Field 2 is a unique payload and the primary key.
+fn fixture(n: usize, hits: usize) -> Table {
+    let mut t = Table::new(TableSpec::new("probe", None, None, vec![2]));
+    t.ensure_index(1);
+    for i in 0..n {
+        let group = if i < hits { 0 } else { -(i as i64) };
+        t.insert(
+            Tuple::new(
+                "probe",
+                [Value::addr("n1"), Value::Int(group), Value::Int(i as i64)],
+            ),
+            Time::ZERO,
+        );
+    }
+    t
+}
+
+fn bench_store_probe(c: &mut Criterion) {
+    let want = Value::Int(0);
+    for n in [100usize, 1_000, 10_000, 100_000] {
+        for pct in [1usize, 50] {
+            let hits = (n * pct / 100).max(1);
+            let mut indexed = fixture(n, hits);
+            c.bench_function(&format!("store_probe_indexed_{n}_hit{pct}"), |b| {
+                b.iter(|| black_box(indexed.scan_eq(1, black_box(&want), Time::ZERO)))
+            });
+            let mut linear = fixture(n, hits);
+            c.bench_function(&format!("store_probe_linear_{n}_hit{pct}"), |b| {
+                b.iter(|| black_box(linear.scan_eq_linear(1, black_box(&want), Time::ZERO)))
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_store_probe);
+criterion_main!(benches);

@@ -1,10 +1,9 @@
 //! Result rows and table rendering.
 
 use crate::harness::NodeSample;
-use serde::Serialize;
 
 /// One datapoint of one experiment, as printed and as exported to JSON.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Experiment identifier (`fig4`, `e1`, ...).
     pub experiment: String,
@@ -79,9 +78,68 @@ pub fn print_table(title: &str, rows: &[Row]) {
 }
 
 /// Serialize rows to a JSON string (one array per experiment), for
-/// EXPERIMENTS.md bookkeeping and external plotting.
+/// EXPERIMENTS.md bookkeeping and external plotting. Hand-rolled: the
+/// schema is flat (strings and finite floats), so a serializer crate
+/// would be overkill for this one emitter.
 pub fn to_json(rows: &[Row]) -> String {
-    serde_json::to_string_pretty(rows).expect("rows serialize")
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        let fields: [(&str, String); 11] = [
+            ("experiment", json_str(&r.experiment)),
+            ("x", json_str(&r.x)),
+            ("cpu_percent", json_num(r.cpu_percent)),
+            ("cpu_std", json_num(r.cpu_std)),
+            ("mem_bytes", json_num(r.mem_bytes)),
+            ("mem_std", json_num(r.mem_std)),
+            ("live_tuples", json_num(r.live_tuples)),
+            ("tx_messages", json_num(r.tx_messages)),
+            ("dispatches", json_num(r.dispatches)),
+            ("pop_cpu_percent", json_num(r.pop_cpu_percent)),
+            ("pop_dispatches", json_num(r.pop_dispatches)),
+        ];
+        for (j, (name, value)) in fields.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&json_str(name));
+            out.push_str(": ");
+            out.push_str(value);
+        }
+        out.push_str("\n  }");
+    }
+    out.push_str("\n]");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,129 @@
+//! End-to-end check of the planner → catalog index-registration contract.
+//!
+//! Installing a program must leave the catalog with a secondary index on
+//! **every** `(table, field)` a join probe of any compiled strand wants —
+//! so the dataflow hot path never takes the linear-scan fallback for
+//! statically known probes. The programs exercised here are the real
+//! workload: Chord plus the full §3 monitoring suite, installed in the
+//! paper's piecemeal order (application first, monitors after).
+
+use p2_core::{Node, NodeConfig};
+use p2_monitor::{consistency, ordering, oscillation, profiling, ring, snapshot, watchpoints};
+use p2_planner::compile_program;
+use p2_planner::plan::Op;
+use p2_types::{Addr, Time};
+use std::collections::HashSet;
+
+/// The install sequence: Chord, then every §3 monitoring program.
+fn programs() -> Vec<(&'static str, String)> {
+    vec![
+        ("chord", p2_chord::chord_program(&p2_chord::ChordConfig::default())),
+        ("ring-passive", ring::passive_check_program()),
+        ("ring-active", ring::active_probe_program(5)),
+        (
+            "consistency",
+            consistency::probe_program(&consistency::ProbeConfig::default()),
+        ),
+        ("ordering-opportunistic", ordering::opportunistic_program()),
+        ("ordering-traversal", ordering::traversal_program()),
+        ("oscillation", oscillation::full_program()),
+        ("snapshot-backpointer", snapshot::backpointer_program()),
+        ("snapshot", snapshot::snapshot_program()),
+        ("watchpoints", watchpoints::suite_program(10)),
+        ("profiling", profiling::profiling_program()),
+    ]
+}
+
+fn tracing_node() -> Node {
+    // Tracing on (with the event log) so the trace tables the profiling
+    // and watchpoint queries join against are materialized.
+    let mut cfg = NodeConfig { tracing: true, stagger_timers: false, ..Default::default() };
+    cfg.trace.log_events = true;
+    Node::new(Addr::new("n0"), cfg)
+}
+
+#[test]
+fn install_indexes_every_join_probe_field() {
+    let mut node = tracing_node();
+    // (program, table, field) triples the planner should have registered.
+    let mut expected: Vec<(&'static str, String, usize)> = Vec::new();
+
+    for (label, src) in programs() {
+        // Re-derive the compiled form against the catalog as it stands
+        // right now — predicate classification depends on install order,
+        // exactly as Node::install sees it.
+        let parsed = p2_overlog::compile(&src).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let known: HashSet<String> = node
+            .catalog_mut()
+            .table_stats()
+            .into_iter()
+            .map(|(name, _, _)| name)
+            .collect();
+        let compiled = compile_program(&parsed, &known).unwrap_or_else(|e| panic!("{label}: {e}"));
+
+        // Walk the strands directly (not index_requests) so this test
+        // fails if the planner's request list ever drops a join.
+        for strand in &compiled.strands {
+            for op in &strand.ops {
+                if let Op::Join { table, match_spec } = op {
+                    if let Some(field) = match_spec.probe_field() {
+                        expected.push((label, table.clone(), field));
+                    }
+                }
+            }
+        }
+
+        node.install(&src, Time::ZERO).unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+
+    assert!(
+        expected.iter().any(|(p, ..)| *p == "chord"),
+        "Chord must contribute join probes"
+    );
+    assert!(
+        expected.iter().any(|(p, ..)| *p != "chord"),
+        "the monitoring suite must contribute join probes"
+    );
+
+    for (program, table, field) in &expected {
+        let fields = node.catalog_mut().indexed_fields(table);
+        assert!(
+            fields.contains(field),
+            "{program}: join probe on {table}[{field}] has no index (indexed: {fields:?})"
+        );
+    }
+}
+
+#[test]
+fn index_requests_match_strand_joins() {
+    // The planner's deduplicated request list is exactly the set of
+    // probe fields its own strands use — no misses, no extras.
+    let mut node = tracing_node();
+    for (label, src) in programs() {
+        let parsed = p2_overlog::compile(&src).unwrap();
+        let known: HashSet<String> = node
+            .catalog_mut()
+            .table_stats()
+            .into_iter()
+            .map(|(name, _, _)| name)
+            .collect();
+        let compiled = compile_program(&parsed, &known).unwrap();
+
+        let mut from_strands: Vec<(String, usize)> = compiled
+            .strands
+            .iter()
+            .flat_map(|s| s.ops.iter())
+            .filter_map(|op| match op {
+                Op::Join { table, match_spec } => {
+                    match_spec.probe_field().map(|f| (table.clone(), f))
+                }
+                _ => None,
+            })
+            .collect();
+        from_strands.sort();
+        from_strands.dedup();
+        assert_eq!(compiled.index_requests, from_strands, "{label}");
+
+        node.install(&src, Time::ZERO).unwrap();
+    }
+}

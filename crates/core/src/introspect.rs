@@ -7,7 +7,10 @@
 //! * `sysTable(loc, name, rows, maxRows, lifetimeSecs)` — the catalog;
 //! * `sysRule(loc, strandId, source, fired, outputs, evalErrors)` — the
 //!   installed rule strands and their execution counters;
-//! * `sysStat(loc, key, value)` — scalar runtime statistics.
+//! * `sysStat(loc, key, value)` — scalar runtime statistics, including
+//!   per-table store probe counters under `idx.<table>.<counter>` keys
+//!   (index vs linear probes, rows scanned/returned, expiry-heap pops,
+//!   auto-created indexes) for tables with any probe/expiry activity.
 //!
 //! Refreshing is explicit ([`crate::node::Node::refresh_introspection`])
 //! or driven by a periodic rule the operator installs — reflection has a
@@ -92,8 +95,35 @@ pub fn refresh(node: &mut Node, now: Time) {
     .map(|(k, v)| Tuple::new(SYS_STAT, [loc.clone(), Value::str(k), Value::Int(v)]))
     .collect();
 
+    // Store probe/expiry counters, one row per (table, counter). Tables
+    // with no activity yet are skipped so sysStat stays readable on nodes
+    // with large catalogs.
+    let mut idx_rows: Vec<Tuple> = Vec::new();
+    for (name, s) in node.catalog_mut().index_stats() {
+        if s.index_probes + s.linear_probes + s.heap_pops + s.auto_indexes == 0 {
+            continue;
+        }
+        for (counter, v) in [
+            ("indexProbes", s.index_probes),
+            ("linearProbes", s.linear_probes),
+            ("rowsScanned", s.rows_scanned),
+            ("rowsReturned", s.rows_returned),
+            ("heapPops", s.heap_pops),
+            ("autoIndexes", s.auto_indexes),
+        ] {
+            idx_rows.push(Tuple::new(
+                SYS_STAT,
+                [
+                    loc.clone(),
+                    Value::str(&format!("idx.{name}.{counter}")),
+                    Value::Int(v as i64),
+                ],
+            ));
+        }
+    }
+
     let cat = node.catalog_mut();
-    for row in table_rows.into_iter().chain(rule_rows).chain(stat_rows) {
+    for row in table_rows.into_iter().chain(rule_rows).chain(stat_rows).chain(idx_rows) {
         let _ = cat.insert(row, now);
     }
 }
@@ -129,6 +159,48 @@ mod tests {
         let stats = n.table_scan(SYS_STAT, Time::ZERO);
         assert!(stats.iter().any(|t| t.get(1) == Some(&Value::str("strandFirings"))
             && t.get(2) == Some(&Value::Int(1))));
+    }
+
+    #[test]
+    fn index_counters_surface_in_sys_stat() {
+        let mut n = Node::new(Addr::new("n1"), NodeConfig::default());
+        n.install(
+            "materialize(pred, infinity, 64, keys(1, 2)).
+             r1 out@N(P) :- ev@N(P), pred@N(P, V).",
+            Time::ZERO,
+        )
+        .unwrap();
+        for i in 0..8 {
+            n.inject(Tuple::new(
+                "pred",
+                [Value::addr("n1"), Value::Int(i), Value::Int(i * 10)],
+            ));
+        }
+        n.pump(Time::ZERO);
+        n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(3)]));
+        n.pump(Time::ZERO);
+        n.refresh_introspection(Time::ZERO);
+
+        let stats = n.table_scan(SYS_STAT, Time::ZERO);
+        let stat = |key: &str| {
+            stats
+                .iter()
+                .find(|t| t.get(1) == Some(&Value::str(key)))
+                .and_then(|t| match t.get(2) {
+                    Some(Value::Int(v)) => Some(*v),
+                    _ => None,
+                })
+        };
+        // The join probed pred through its install-time index, touching
+        // only the rows it returned — never the other 7.
+        assert!(stat("idx.pred.indexProbes").unwrap() >= 1);
+        assert_eq!(
+            stat("idx.pred.rowsScanned"),
+            stat("idx.pred.rowsReturned"),
+            "indexed probes must not scan non-matching rows"
+        );
+        // Idle tables emit no counter rows.
+        assert!(stat("idx.sysRule.indexProbes").is_none());
     }
 
     #[test]

@@ -287,6 +287,18 @@ impl Node {
                 .map_err(InstallError::Catalog)?;
         }
 
+        // Register the secondary indexes the planner's join probes want,
+        // so every `scan_eq` on those fields is an index lookup from the
+        // strand's first firing. This covers tables the program reads but
+        // does not declare (a monitoring query over the base application's
+        // tables): joins are only planned against relations materialized
+        // here, so the table is already in the catalog. A miss is
+        // tolerated anyway — the store's auto-index fallback would pick
+        // the field up after a few linear probes.
+        for (table, field) in &compiled.index_requests {
+            let _ = self.catalog.ensure_index(table, *field);
+        }
+
         let pid = ProgramId(self.next_program);
         self.next_program += 1;
 
@@ -959,6 +971,30 @@ mod tests {
         n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(1)]));
         n.pump(Time::ZERO);
         assert!(n.table_scan(p2_trace::EVENT_LOG, Time::ZERO).is_empty());
+    }
+
+    #[test]
+    fn install_registers_join_probe_indexes() {
+        let mut n = node("n1");
+        n.install(
+            "materialize(pred, infinity, 16, keys(1)).
+             materialize(succ, infinity, 16, keys(1, 2)).
+             r1 out@N(P) :- ev@N(X), pred@N(PID, P), succ@N(X, S).",
+            Time::ZERO,
+        )
+        .unwrap();
+        // pred is probed on no selective field beyond the location (both
+        // body fields bind), so only its location could be probed; succ is
+        // probed on field 1 (X is bound by the trigger).
+        assert_eq!(n.catalog_mut().indexed_fields("succ"), vec![1]);
+        // A second program over the *same* base tables adds its own index
+        // without re-declaring them.
+        n.install(
+            "q1 hit@N(S) :- chk@N(S), succ@N(X, S).",
+            Time::ZERO,
+        )
+        .unwrap();
+        assert_eq!(n.catalog_mut().indexed_fields("succ"), vec![1, 2]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::tap::{TapEvent, TapKind, TapSink};
 use p2_planner::expr::{eval, truthy, EvalCtx};
-use p2_planner::plan::{AggPlan, FieldOut, MatchSpec, Op, Strand};
+use p2_planner::plan::{AggPlan, FieldMatch, FieldOut, MatchSpec, Op, Strand};
 use p2_overlog::AggFunc;
 use p2_store::Catalog;
 use p2_types::{Addr, Time, Tuple, Value};
@@ -251,7 +251,8 @@ impl StrandRuntime {
                 if let Some(trigger) = item.trigger {
                     self.tap(sink, now, TapKind::Input { tuple: trigger });
                 }
-                let results = self.probe(i, &item.env, store, ctx, now);
+                let results =
+                    probe_stage(&self.stage_defs[i], &item.env, store, ctx, now, &mut self.stats);
                 self.stages[i].active = Some(ActiveJoin { results, next: 0 });
                 self.cursor = (i + 1) % n;
                 return true;
@@ -270,43 +271,6 @@ impl StrandRuntime {
         actions: &mut Vec<Action>,
     ) {
         while self.step(store, ctx, sink, now, actions) {}
-    }
-
-    /// Compute the join results for stage `i` against the current store.
-    fn probe(
-        &mut self,
-        i: usize,
-        env: &Env,
-        store: &mut Catalog,
-        ctx: &mut dyn EvalCtx,
-        now: Time,
-    ) -> Vec<(Env, Tuple)> {
-        let def = &self.stage_defs[i];
-        // Prefer an indexed probe on the first equality field.
-        let candidates = match def.match_spec.probe_field() {
-            Some(field) => {
-                let want = match &def.match_spec.fields[field] {
-                    p2_planner::plan::FieldMatch::EqConst(c) => Some(c.clone()),
-                    p2_planner::plan::FieldMatch::EqVar(slot) => env[*slot].clone(),
-                    _ => None,
-                };
-                match want {
-                    Some(v) => store.scan_eq(&def.table, field, &v, now),
-                    None => store.scan(&def.table, now),
-                }
-            }
-            None => store.scan(&def.table, now),
-        };
-        let mut results = Vec::new();
-        for t in candidates {
-            let mut e2 = env.clone();
-            match def.match_spec.apply(&t, &mut e2, ctx) {
-                Ok(true) => results.push((e2, t)),
-                Ok(false) => {}
-                Err(_) => self.stats.eval_errors += 1,
-            }
-        }
-        results
     }
 
     /// Apply stateless operators; `None` means the binding was filtered
@@ -407,7 +371,7 @@ impl StrandRuntime {
         for (i, def) in stage_defs.iter().enumerate() {
             let mut next_envs = Vec::new();
             for env in envs {
-                for (e2, t) in self.probe_def(def, &env, store, ctx, now) {
+                for (e2, t) in probe_stage(def, &env, store, ctx, now, &mut self.stats) {
                     self.tap(sink, now, TapKind::Precondition { stage: i, tuple: t });
                     if let Some(e3) = self.apply_stateless(&def.post, e2, ctx) {
                         next_envs.push(e3);
@@ -478,40 +442,6 @@ impl StrandRuntime {
         }
     }
 
-    fn probe_def(
-        &mut self,
-        def: &StageDef,
-        env: &Env,
-        store: &mut Catalog,
-        ctx: &mut dyn EvalCtx,
-        now: Time,
-    ) -> Vec<(Env, Tuple)> {
-        let candidates = match def.match_spec.probe_field() {
-            Some(field) => {
-                let want = match &def.match_spec.fields[field] {
-                    p2_planner::plan::FieldMatch::EqConst(c) => Some(c.clone()),
-                    p2_planner::plan::FieldMatch::EqVar(slot) => env[*slot].clone(),
-                    _ => None,
-                };
-                match want {
-                    Some(v) => store.scan_eq(&def.table, field, &v, now),
-                    None => store.scan(&def.table, now),
-                }
-            }
-            None => store.scan(&def.table, now),
-        };
-        let mut results = Vec::new();
-        for t in candidates {
-            let mut e2 = env.clone();
-            match def.match_spec.apply(&t, &mut e2, ctx) {
-                Ok(true) => results.push((e2, t)),
-                Ok(false) => {}
-                Err(_) => self.stats.eval_errors += 1,
-            }
-        }
-        results
-    }
-
     /// Evaluate the non-aggregate head fields as the group key.
     fn group_key(
         &self,
@@ -534,6 +464,51 @@ impl StrandRuntime {
         }
         Ok(key)
     }
+}
+
+/// Compute the join results for one stage against the current store.
+///
+/// The probe strategy mirrors the planner's index requests: when the
+/// stage's [`MatchSpec::probe_field`] names an equality field whose value
+/// is known (a constant, or an already-bound variable), the probe goes
+/// through [`Catalog::scan_eq`] — an index lookup once the catalog has
+/// registered the `(table, field)` index, a counted linear fallback
+/// otherwise. Everything else falls back to a full scan.
+///
+/// A free function (rather than a method) so callers can hold a borrow of
+/// one stage definition while lending out the stats counters.
+fn probe_stage(
+    def: &StageDef,
+    env: &Env,
+    store: &mut Catalog,
+    ctx: &mut dyn EvalCtx,
+    now: Time,
+    stats: &mut StrandStats,
+) -> Vec<(Env, Tuple)> {
+    let candidates = match def.match_spec.probe_field() {
+        Some(field) => {
+            let want = match &def.match_spec.fields[field] {
+                FieldMatch::EqConst(c) => Some(c.clone()),
+                FieldMatch::EqVar(slot) => env[*slot].clone(),
+                _ => None,
+            };
+            match want {
+                Some(v) => store.scan_eq(&def.table, field, &v, now),
+                None => store.scan(&def.table, now),
+            }
+        }
+        None => store.scan(&def.table, now),
+    };
+    let mut results = Vec::new();
+    for t in candidates {
+        let mut e2 = env.clone();
+        match def.match_spec.apply(&t, &mut e2, ctx) {
+            Ok(true) => results.push((e2, t)),
+            Ok(false) => {}
+            Err(_) => stats.eval_errors += 1,
+        }
+    }
+    results
 }
 
 /// Incremental aggregate state.

@@ -7,7 +7,7 @@ use p2_overlog::{
     Term, ValidateError,
 };
 use p2_types::{Addr, Tuple, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// Planning errors.
@@ -148,6 +148,20 @@ pub fn compile_program(
             out.strands.push(strand);
         }
     }
+
+    // Collect the (table, field) pairs the strands' join probes will
+    // scan on, so the runtime can register secondary indexes up front.
+    let mut requests: BTreeSet<(String, usize)> = BTreeSet::new();
+    for strand in &out.strands {
+        for op in &strand.ops {
+            if let Op::Join { table, match_spec } = op {
+                if let Some(field) = match_spec.probe_field() {
+                    requests.insert((table.clone(), field));
+                }
+            }
+        }
+    }
+    out.index_requests = requests.into_iter().collect();
     Ok(out)
 }
 
@@ -628,6 +642,39 @@ mod tests {
         assert_eq!(agg.position, 4);
         assert!(agg.group_bound_by_trigger); // K, R, E, NAddr all from trigger
         assert_eq!(s.join_count(), 2); // node + finger
+    }
+
+    #[test]
+    fn index_requests_cover_join_probe_fields() {
+        let p = compile(
+            "materialize(pred, 100, 10, keys(1)).
+             materialize(succ, 100, 10, keys(1, 2)).
+             r1 out@N(PID) :- ev@N(SID, SA), pred@N(PID, SA).
+             r2 out2@N(SID) :- ev2@N(X), succ@N(SID, X).",
+            &[],
+        );
+        // r1 probes pred on field 2 (SA, bound by the trigger); r2 probes
+        // succ on field 2 (X).
+        assert_eq!(
+            p.index_requests,
+            vec![("pred".to_string(), 2), ("succ".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn index_requests_deduplicate_across_strands() {
+        let p = compile(
+            "materialize(a, 100, 10, keys(1)).
+             materialize(b, 100, 10, keys(1)).
+             r1 out@N(X, Y) :- a@N(X), b@N(Y).",
+            &[],
+        );
+        // Two strands, each re-joining the other table on the location
+        // field only → one request per table, on field 0.
+        assert_eq!(
+            p.index_requests,
+            vec![("a".to_string(), 0), ("b".to_string(), 0)]
+        );
     }
 
     #[test]

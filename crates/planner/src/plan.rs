@@ -18,6 +18,14 @@ pub struct CompiledProgram {
     pub facts: Vec<p2_types::Tuple>,
     /// Rule strands, in source order (one rule may yield several).
     pub strands: Vec<Strand>,
+    /// Secondary indexes the strands' join probes want: `(table, field)`
+    /// pairs, deduplicated and sorted. The runtime registers each with
+    /// the catalog at install time so every `scan_eq` on these fields is
+    /// an index probe from the first firing (tables the program doesn't
+    /// declare — e.g. a monitoring query over the base application's
+    /// tables — are still covered: registration happens against the
+    /// installing node's catalog, which already holds them).
+    pub index_requests: Vec<(String, usize)>,
 }
 
 /// Runtime form of a `materialize` declaration (keys shifted to 0-based).

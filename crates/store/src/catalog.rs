@@ -6,7 +6,7 @@
 //! boot — the paper's "piecemeal deployment") and routes tuple insertions
 //! here.
 
-use crate::table::{InsertOutcome, Table, TableSpec};
+use crate::table::{InsertOutcome, ProbeStats, Table, TableSpec};
 use p2_types::{Time, Tuple, Value};
 use std::collections::HashMap;
 use std::fmt;
@@ -132,6 +132,35 @@ impl Catalog {
     /// Approximate bytes of live tuples (the "process memory" proxy).
     pub fn approx_bytes(&self) -> usize {
         self.tables.values().map(|t| t.approx_bytes()).sum()
+    }
+
+    /// Register a secondary index on `(table, field)`, backfilling from
+    /// current rows. Idempotent. The planner calls this at install time
+    /// for every join-probe field it finds in a compiled program.
+    pub fn ensure_index(&mut self, name: &str, field: usize) -> Result<(), CatalogError> {
+        match self.tables.get_mut(name) {
+            Some(t) => {
+                t.ensure_index(field);
+                Ok(())
+            }
+            None => Err(CatalogError::NoSuchTable { name: name.to_string() }),
+        }
+    }
+
+    /// Indexed fields of one table (empty for unknown tables).
+    pub fn indexed_fields(&self, name: &str) -> Vec<usize> {
+        self.tables.get(name).map(|t| t.indexed_fields()).unwrap_or_default()
+    }
+
+    /// Per-table probe counters, sorted by table name (the sysStat feed).
+    pub fn index_stats(&self) -> Vec<(String, ProbeStats)> {
+        let mut out: Vec<_> = self
+            .tables
+            .values()
+            .map(|t| (t.spec().name.clone(), t.probe_stats()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Iterate over (name, live-row-count, spec) for introspection.

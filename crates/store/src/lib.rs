@@ -20,4 +20,4 @@ pub mod catalog;
 pub mod table;
 
 pub use catalog::{Catalog, CatalogError};
-pub use table::{InsertOutcome, Table, TableSpec};
+pub use table::{InsertOutcome, ProbeStats, Table, TableSpec, DEFAULT_AUTO_INDEX_THRESHOLD};

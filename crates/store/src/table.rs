@@ -1,7 +1,8 @@
 //! A single soft-state table.
 
 use p2_types::{Time, TimeDelta, Tuple, Value};
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 /// Declaration of a table — the runtime form of a `materialize` statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,28 +68,97 @@ struct Row {
     seq: u64,
 }
 
+/// One pending-expiry entry. Ordering is `(at, seq)` only — `seq` is
+/// unique per entry, so keys (which are not `Ord`) never need comparing.
+#[derive(Debug, Clone)]
+struct HeapEnt {
+    at: Time,
+    seq: u64,
+    key: Vec<Value>,
+}
+
+impl PartialEq for HeapEnt {
+    fn eq(&self, other: &HeapEnt) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for HeapEnt {}
+
+impl PartialOrd for HeapEnt {
+    fn partial_cmp(&self, other: &HeapEnt) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEnt {
+    fn cmp(&self, other: &HeapEnt) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Probe-path counters, exposed through the `sysStat` introspection
+/// table so monitoring programs can query the query engine's own lookup
+/// behaviour (§2.2 of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// `scan_eq` calls answered from a secondary index.
+    pub index_probes: u64,
+    /// `scan_eq` calls that fell back to a linear filter.
+    pub linear_probes: u64,
+    /// Live rows examined across all probes.
+    pub rows_scanned: u64,
+    /// Rows actually returned across all probes.
+    pub rows_returned: u64,
+    /// Expiry-heap entries popped (due or stale).
+    pub heap_pops: u64,
+    /// Indexes created by the runtime fallback (vs. planner-registered).
+    pub auto_indexes: u64,
+}
+
+/// Unindexed probes on one field before the runtime auto-creates an
+/// index for it (the fallback that lets on-line-installed monitoring
+/// queries benefit without a reinstall).
+pub const DEFAULT_AUTO_INDEX_THRESHOLD: u32 = 16;
+
 /// A soft-state table: primary-keyed rows with lifetime and size bounds.
 ///
 /// All methods take `now` explicitly; the table never consults a clock of
 /// its own, which is what lets the discrete-event simulator drive it on
 /// virtual time (DESIGN.md §2.4).
+///
+/// Lookup structure (DESIGN.md §2.7): rows live in a primary-key map;
+/// `order` is the deterministic scan order (insertion sequence); each
+/// registered secondary index maps a field's value to the keys holding
+/// it; the expiry heap orders pending lifetimes so `expire(now)` touches
+/// only rows actually due. Stale entries in `order` and the heap are
+/// recognised by sequence number: every write stamps a fresh `seq`, so
+/// an entry is current iff the live row's `seq` matches.
 #[derive(Debug, Clone)]
 pub struct Table {
     spec: TableSpec,
     rows: HashMap<Vec<Value>, Row>,
     /// Keys in insertion order, with the sequence number they were
-    /// enqueued under. Entries go stale when a row is replaced,
-    /// refreshed, deleted, or expired; eviction pops and skips stale
-    /// entries lazily (an entry is current iff the live row's seq
-    /// matches), keeping eviction amortized O(1) instead of a min-scan.
+    /// enqueued under. Always seq-ascending; stale entries are skipped
+    /// lazily and compacted when they dominate.
     order: VecDeque<(Vec<Value>, u64)>,
+    /// Secondary indexes: field position → value → keys of rows holding
+    /// that value in that field. Maintained on every mutation.
+    indexes: HashMap<usize, HashMap<Value, HashSet<Vec<Value>>>>,
+    /// Min-heap of pending expirations `(expires_at, seq, key)`.
+    expiry: BinaryHeap<Reverse<HeapEnt>>,
     next_seq: u64,
+    /// `None` disables the runtime auto-index fallback.
+    auto_index_threshold: Option<u32>,
+    /// Unindexed-probe counts per field, driving the fallback.
+    unindexed_probes: HashMap<usize, u32>,
     /// Monotonic counters for the introspection/metrics tables.
     inserts: u64,
     replacements: u64,
     evictions: u64,
     expirations: u64,
     deletions: u64,
+    stats: ProbeStats,
 }
 
 impl Table {
@@ -98,12 +168,17 @@ impl Table {
             spec,
             rows: HashMap::new(),
             order: VecDeque::new(),
+            indexes: HashMap::new(),
+            expiry: BinaryHeap::new(),
             next_seq: 0,
+            auto_index_threshold: Some(DEFAULT_AUTO_INDEX_THRESHOLD),
+            unindexed_probes: HashMap::new(),
             inserts: 0,
             replacements: 0,
             evictions: 0,
             expirations: 0,
             deletions: 0,
+            stats: ProbeStats::default(),
         }
     }
 
@@ -140,20 +215,88 @@ impl Table {
         (self.inserts, self.replacements, self.evictions, self.expirations, self.deletions)
     }
 
+    /// Probe-path counters (index vs. linear probes, rows touched, heap
+    /// activity).
+    pub fn probe_stats(&self) -> ProbeStats {
+        self.stats
+    }
+
+    /// Register a secondary index on `field`, building it from current
+    /// rows. Idempotent.
+    pub fn ensure_index(&mut self, field: usize) {
+        if self.indexes.contains_key(&field) {
+            return;
+        }
+        let mut idx: HashMap<Value, HashSet<Vec<Value>>> = HashMap::new();
+        for (key, row) in &self.rows {
+            if let Some(v) = row.tuple.get(field) {
+                idx.entry(v.clone()).or_default().insert(key.clone());
+            }
+        }
+        self.indexes.insert(field, idx);
+        self.unindexed_probes.remove(&field);
+    }
+
+    /// Fields with a secondary index, ascending.
+    pub fn indexed_fields(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.indexes.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Configure (or with `None`, disable) the auto-index fallback.
+    pub fn set_auto_index_threshold(&mut self, threshold: Option<u32>) {
+        self.auto_index_threshold = threshold;
+    }
+
+    fn index_add(indexes: &mut HashMap<usize, HashMap<Value, HashSet<Vec<Value>>>>, key: &[Value], tuple: &Tuple) {
+        for (&field, idx) in indexes.iter_mut() {
+            if let Some(v) = tuple.get(field) {
+                idx.entry(v.clone()).or_default().insert(key.to_vec());
+            }
+        }
+    }
+
+    fn index_remove(indexes: &mut HashMap<usize, HashMap<Value, HashSet<Vec<Value>>>>, key: &[Value], tuple: &Tuple) {
+        for (&field, idx) in indexes.iter_mut() {
+            if let Some(v) = tuple.get(field) {
+                if let Some(bucket) = idx.get_mut(v) {
+                    bucket.remove(key);
+                    if bucket.is_empty() {
+                        idx.remove(v);
+                    }
+                }
+            }
+        }
+    }
+
     /// Drop rows whose lifetime has elapsed. Returns how many were
-    /// dropped. Called lazily by every read and write.
+    /// dropped. Called lazily by every read and write; cost is
+    /// O(due rows), not O(table), because the expiry heap orders pending
+    /// lifetimes.
     pub fn expire(&mut self, now: Time) -> usize {
         if self.spec.lifetime.is_none() {
             return 0;
         }
-        let before = self.rows.len();
-        self.rows.retain(|_, r| match r.expires_at {
-            Some(t) => t > now,
-            None => true,
-        });
-        let dropped = before - self.rows.len();
-        self.expirations += dropped as u64;
-        self.compact_order();
+        let mut dropped = 0;
+        while let Some(Reverse(top)) = self.expiry.peek() {
+            if top.at > now {
+                break;
+            }
+            let Some(Reverse(ent)) = self.expiry.pop() else { break };
+            self.stats.heap_pops += 1;
+            // Current iff the live row still carries this entry's seq; a
+            // refresh/replace stamped a newer seq (and pushed its own
+            // heap entry), making this one stale.
+            let current = self.rows.get(&ent.key).is_some_and(|r| r.seq == ent.seq);
+            if current {
+                if let Some(row) = self.rows.remove(&ent.key) {
+                    Table::index_remove(&mut self.indexes, &ent.key, &row.tuple);
+                    self.expirations += 1;
+                    dropped += 1;
+                }
+            }
+        }
         dropped
     }
 
@@ -167,9 +310,24 @@ impl Table {
         }
     }
 
+    /// Same bound for the expiry heap: long-lived rows that keep getting
+    /// refreshed leave stale entries whose due time may be far off.
+    fn compact_expiry(&mut self) {
+        if self.expiry.len() > 16 && self.expiry.len() > 4 * self.rows.len() {
+            let rows = &self.rows;
+            self.expiry = self
+                .expiry
+                .drain()
+                .filter(|Reverse(e)| rows.get(&e.key).is_some_and(|r| r.seq == e.seq))
+                .collect();
+        }
+    }
+
     /// Insert (or replace, or refresh) a tuple.
     pub fn insert(&mut self, tuple: Tuple, now: Time) -> InsertOutcome {
         self.expire(now);
+        self.compact_order();
+        self.compact_expiry();
         let key = self.spec.key_of(&tuple);
         let expires_at = self.spec.lifetime.map(|l| now + l);
         let seq = self.next_seq;
@@ -179,14 +337,23 @@ impl Table {
             if existing.tuple == tuple {
                 existing.expires_at = expires_at;
                 existing.seq = seq;
+                if let Some(at) = expires_at {
+                    self.expiry.push(Reverse(HeapEnt { at, seq, key: key.clone() }));
+                }
                 self.order.push_back((key, seq));
                 return InsertOutcome::Refreshed;
             }
+            let new = tuple.clone(); // Arc-backed: no payload copy
             let old = std::mem::replace(
                 existing,
                 Row { tuple, expires_at, seq },
             )
             .tuple;
+            Table::index_remove(&mut self.indexes, &key, &old);
+            Table::index_add(&mut self.indexes, &key, &new);
+            if let Some(at) = expires_at {
+                self.expiry.push(Reverse(HeapEnt { at, seq, key: key.clone() }));
+            }
             self.order.push_back((key, seq));
             self.replacements += 1;
             return InsertOutcome::Replaced { old };
@@ -206,6 +373,7 @@ impl Table {
                         let current = self.rows.get(&k).is_some_and(|r| r.seq == s);
                         if current {
                             if let Some(r) = self.rows.remove(&k) {
+                                Table::index_remove(&mut self.indexes, &k, &r.tuple);
                                 evicted.push(r.tuple);
                                 self.evictions += 1;
                             }
@@ -214,6 +382,10 @@ impl Table {
                     None => break, // only stale entries; cannot happen with rows live
                 }
             }
+        }
+        Table::index_add(&mut self.indexes, &key, &tuple);
+        if let Some(at) = expires_at {
+            self.expiry.push(Reverse(HeapEnt { at, seq, key: key.clone() }));
         }
         self.order.push_back((key.clone(), seq));
         self.rows.insert(key, Row { tuple, expires_at, seq });
@@ -228,32 +400,28 @@ impl Table {
         self.expire(now);
         let key = self.spec.key_of(tuple);
         let removed = self.rows.remove(&key).map(|r| r.tuple);
-        if removed.is_some() {
+        if let Some(t) = &removed {
+            Table::index_remove(&mut self.indexes, &key, t);
             self.deletions += 1;
         }
         removed
     }
 
     /// Remove rows matching a predicate. Returns them. Used by the
-    /// reference-counted `tupleTable` flush (§2.1.3).
+    /// reference-counted `tupleTable` flush (§2.1.3). Single pass: rows
+    /// are extracted as they match, and each removed row's own key (no
+    /// clone) drives index maintenance.
     pub fn delete_where<F: FnMut(&Tuple) -> bool>(
         &mut self,
         now: Time,
         mut pred: F,
     ) -> Vec<Tuple> {
         self.expire(now);
-        let keys: Vec<Vec<Value>> = self
-            .rows
-            .iter()
-            .filter(|(_, r)| pred(&r.tuple))
-            .map(|(k, _)| k.clone())
-            .collect();
-        let mut out = Vec::with_capacity(keys.len());
-        for k in keys {
-            if let Some(r) = self.rows.remove(&k) {
-                out.push(r.tuple);
-                self.deletions += 1;
-            }
+        let mut out = Vec::new();
+        for (key, row) in self.rows.extract_if(|_, r| pred(&r.tuple)) {
+            Table::index_remove(&mut self.indexes, &key, &row.tuple);
+            self.deletions += 1;
+            out.push(row.tuple);
         }
         out
     }
@@ -265,16 +433,75 @@ impl Table {
     }
 
     /// Snapshot all live rows (deterministic order: insertion sequence).
+    ///
+    /// The order queue is seq-ascending by construction, so no sort is
+    /// needed: walk it, skip stale entries, clone the `Arc`-backed
+    /// tuples.
     pub fn scan(&mut self, now: Time) -> Vec<Tuple> {
         self.expire(now);
-        let mut rows: Vec<&Row> = self.rows.values().collect();
-        rows.sort_by_key(|r| r.seq);
-        rows.into_iter().map(|r| r.tuple.clone()).collect()
+        let rows = &self.rows;
+        self.order
+            .iter()
+            .filter(|(k, s)| rows.get(k).is_some_and(|r| r.seq == *s))
+            .map(|(k, _)| rows[k].tuple.clone())
+            .collect()
     }
 
     /// Snapshot rows where field `field` equals `value` — the probe side
     /// of a join. Deterministic order as in [`Table::scan`].
+    ///
+    /// With a secondary index on `field` this touches only matching rows
+    /// (`rows_scanned == rows_returned`); otherwise it filters linearly
+    /// and, after [`DEFAULT_AUTO_INDEX_THRESHOLD`] unindexed probes of
+    /// the same field, creates the index on the fly.
     pub fn scan_eq(&mut self, field: usize, value: &Value, now: Time) -> Vec<Tuple> {
+        self.expire(now);
+        if !self.indexes.contains_key(&field) {
+            if let Some(threshold) = self.auto_index_threshold {
+                let n = self.unindexed_probes.entry(field).or_insert(0);
+                *n += 1;
+                if *n >= threshold {
+                    self.ensure_index(field);
+                    self.stats.auto_indexes += 1;
+                }
+            }
+        }
+        if let Some(idx) = self.indexes.get(&field) {
+            self.stats.index_probes += 1;
+            let mut hits: Vec<(u64, &Tuple)> = idx
+                .get(value)
+                .into_iter()
+                .flatten()
+                .filter_map(|k| self.rows.get(k))
+                .map(|r| (r.seq, &r.tuple))
+                .collect();
+            hits.sort_unstable_by_key(|(seq, _)| *seq);
+            self.stats.rows_scanned += hits.len() as u64;
+            self.stats.rows_returned += hits.len() as u64;
+            hits.into_iter().map(|(_, t)| t.clone()).collect()
+        } else {
+            self.stats.linear_probes += 1;
+            self.stats.rows_scanned += self.rows.len() as u64;
+            let rows = &self.rows;
+            let out: Vec<Tuple> = self
+                .order
+                .iter()
+                .filter(|(k, s)| {
+                    rows.get(k)
+                        .is_some_and(|r| r.seq == *s && r.tuple.get(field) == Some(value))
+                })
+                .map(|(k, _)| rows[k].tuple.clone())
+                .collect();
+            self.stats.rows_returned += out.len() as u64;
+            out
+        }
+    }
+
+    /// The pre-index linear probe, kept as the oracle for the
+    /// equivalence proptests and the baseline for the `store_probe`
+    /// benches: filter every live row, sort by insertion sequence.
+    /// Bypasses indexes, probe counters, and the auto-index fallback.
+    pub fn scan_eq_linear(&mut self, field: usize, value: &Value, now: Time) -> Vec<Tuple> {
         self.expire(now);
         let mut rows: Vec<&Row> = self
             .rows
@@ -285,9 +512,15 @@ impl Table {
         rows.into_iter().map(|r| r.tuple.clone()).collect()
     }
 
-    /// Remove every row (used by snapshot resets in tests).
+    /// Remove every row (used by snapshot resets in tests). Indexes stay
+    /// registered but empty.
     pub fn clear(&mut self) {
         self.rows.clear();
+        self.order.clear();
+        self.expiry.clear();
+        for idx in self.indexes.values_mut() {
+            idx.clear();
+        }
     }
 }
 
@@ -482,6 +715,151 @@ mod tests {
         assert_eq!(t.len(Time::ZERO), 0);
     }
 
+    // ---- secondary indexes & expiry heap -------------------------------
+
+    #[test]
+    fn indexed_probe_touches_only_matching_rows() {
+        let mut t = Table::new(spec(None, None, vec![0, 1]));
+        t.ensure_index(0);
+        for i in 0..100 {
+            t.insert(tup(&format!("n{}", i % 10), i), Time::ZERO);
+        }
+        let hits = t.scan_eq(0, &Value::addr("n3"), Time::ZERO);
+        assert_eq!(hits.len(), 10);
+        let s = t.probe_stats();
+        assert_eq!(s.index_probes, 1);
+        assert_eq!(s.linear_probes, 0);
+        // The indexed path never examines a non-matching row.
+        assert_eq!(s.rows_scanned, s.rows_returned);
+        assert_eq!(s.rows_returned, 10);
+    }
+
+    #[test]
+    fn indexed_probe_preserves_insertion_order() {
+        let mut t = Table::new(spec(None, None, vec![0, 1]));
+        t.ensure_index(0);
+        for i in 0..20 {
+            t.insert(tup("a", 19 - i), Time::ZERO);
+        }
+        let hits = t.scan_eq(0, &Value::addr("a"), Time::ZERO);
+        let want: Vec<Tuple> = (0..20).map(|i| tup("a", 19 - i)).collect();
+        assert_eq!(hits, want);
+    }
+
+    #[test]
+    fn ensure_index_backfills_existing_rows() {
+        let mut t = Table::new(spec(None, None, vec![0, 1]));
+        for i in 0..10 {
+            t.insert(tup(&format!("n{}", i % 2), i), Time::ZERO);
+        }
+        t.ensure_index(0);
+        t.ensure_index(0); // idempotent
+        assert_eq!(t.indexed_fields(), vec![0]);
+        assert_eq!(t.scan_eq(0, &Value::addr("n1"), Time::ZERO).len(), 5);
+        assert_eq!(t.probe_stats().linear_probes, 0);
+    }
+
+    #[test]
+    fn auto_index_after_threshold() {
+        let mut t = Table::new(spec(None, None, vec![0, 1]));
+        t.set_auto_index_threshold(Some(3));
+        for i in 0..10 {
+            t.insert(tup(&format!("n{i}"), i), Time::ZERO);
+        }
+        t.scan_eq(1, &Value::Int(4), Time::ZERO);
+        t.scan_eq(1, &Value::Int(4), Time::ZERO);
+        assert!(t.indexed_fields().is_empty());
+        assert_eq!(t.probe_stats().linear_probes, 2);
+        // Third unindexed probe of the same field crosses the threshold.
+        t.scan_eq(1, &Value::Int(4), Time::ZERO);
+        assert_eq!(t.indexed_fields(), vec![1]);
+        let s = t.probe_stats();
+        assert_eq!(s.auto_indexes, 1);
+        assert_eq!(s.index_probes, 1);
+    }
+
+    #[test]
+    fn auto_index_disabled_stays_linear() {
+        let mut t = Table::new(spec(None, None, vec![0, 1]));
+        t.set_auto_index_threshold(None);
+        t.insert(tup("a", 1), Time::ZERO);
+        for _ in 0..100 {
+            t.scan_eq(1, &Value::Int(1), Time::ZERO);
+        }
+        assert!(t.indexed_fields().is_empty());
+        assert_eq!(t.probe_stats().linear_probes, 100);
+    }
+
+    #[test]
+    fn index_tracks_replace_delete_and_eviction() {
+        let mut t = Table::new(spec(None, Some(2), vec![0]));
+        t.ensure_index(1);
+        t.insert(tup("a", 1), Time::ZERO);
+        t.insert(tup("a", 2), Time::ZERO); // replace: 1 leaves the index
+        assert!(t.scan_eq(1, &Value::Int(1), Time::ZERO).is_empty());
+        assert_eq!(t.scan_eq(1, &Value::Int(2), Time::ZERO), vec![tup("a", 2)]);
+        t.insert(tup("b", 3), Time::ZERO);
+        t.insert(tup("c", 4), Time::ZERO); // evicts "a"
+        assert!(t.scan_eq(1, &Value::Int(2), Time::ZERO).is_empty());
+        t.delete_by_key(&tup("b", 0), Time::ZERO);
+        assert!(t.scan_eq(1, &Value::Int(3), Time::ZERO).is_empty());
+        t.delete_where(Time::ZERO, |x| x.get(1) == Some(&Value::Int(4)));
+        assert!(t.scan_eq(1, &Value::Int(4), Time::ZERO).is_empty());
+        assert_eq!(t.len(Time::ZERO), 0);
+    }
+
+    #[test]
+    fn index_tracks_expiry() {
+        let mut t = Table::new(spec(Some(10), None, vec![0]));
+        t.ensure_index(1);
+        t.insert(tup("a", 1), Time::ZERO);
+        t.insert(tup("b", 1), Time::from_secs(5));
+        assert_eq!(t.scan_eq(1, &Value::Int(1), Time::from_secs(9)).len(), 2);
+        assert_eq!(
+            t.scan_eq(1, &Value::Int(1), Time::from_secs(12)),
+            vec![tup("b", 1)]
+        );
+        assert!(t.scan_eq(1, &Value::Int(1), Time::from_secs(20)).is_empty());
+    }
+
+    #[test]
+    fn expiry_heap_pops_only_due_entries() {
+        let mut t = Table::new(spec(Some(10), None, vec![0]));
+        t.insert(tup("a", 1), Time::ZERO); // due at 10
+        t.insert(tup("b", 2), Time::from_secs(3)); // due at 13
+        // Nothing due yet: no pops.
+        assert_eq!(t.len(Time::from_secs(5)), 2);
+        assert_eq!(t.probe_stats().heap_pops, 0);
+        // Only "a" is due at t=11; exactly one entry pops.
+        assert_eq!(t.len(Time::from_secs(11)), 1);
+        assert_eq!(t.probe_stats().heap_pops, 1);
+        assert_eq!(t.counters().3, 1); // expirations
+    }
+
+    #[test]
+    fn refresh_invalidates_old_heap_entry() {
+        let mut t = Table::new(spec(Some(10), None, vec![0]));
+        t.insert(tup("a", 1), Time::ZERO);
+        t.insert(tup("a", 1), Time::from_secs(8)); // refresh: new deadline 18
+        // The seq-stale entry for deadline 10 pops without dropping the row.
+        assert_eq!(t.len(Time::from_secs(12)), 1);
+        assert_eq!(t.counters().3, 0);
+        assert_eq!(t.len(Time::from_secs(18)), 0);
+    }
+
+    #[test]
+    fn clear_keeps_indexes_registered() {
+        let mut t = Table::new(spec(None, None, vec![0, 1]));
+        t.ensure_index(0);
+        t.insert(tup("a", 1), Time::ZERO);
+        t.clear();
+        assert_eq!(t.indexed_fields(), vec![0]);
+        assert!(t.scan_eq(0, &Value::addr("a"), Time::ZERO).is_empty());
+        t.insert(tup("a", 2), Time::ZERO);
+        assert_eq!(t.scan_eq(0, &Value::addr("a"), Time::ZERO), vec![tup("a", 2)]);
+        assert_eq!(t.probe_stats().linear_probes, 0);
+    }
+
     proptest! {
         /// The size bound is a hard invariant under arbitrary inserts.
         #[test]
@@ -517,6 +895,66 @@ mod tests {
             }
             let horizon = Time::from_secs(200);
             prop_assert_eq!(t.len(horizon), 0);
+        }
+
+        /// Equivalence: under random insert/refresh/replace/delete/expire
+        /// interleavings (with eviction and an auto-index flipping on
+        /// mid-run), indexed `scan_eq` returns exactly the same tuples in
+        /// the same deterministic order as the linear oracle.
+        #[test]
+        fn prop_indexed_scan_matches_linear_oracle(
+            ops in proptest::collection::vec(
+                (0u8..10, 0u8..6, 0i64..4, 0i64..3, 0u64..5),
+                1..120,
+            ),
+        ) {
+            let tup3 = |a: u8, b: i64, c: i64| {
+                Tuple::new("t", [Value::addr(format!("n{a}")), Value::Int(b), Value::Int(c)])
+            };
+            // `t` uses the real probe path: field 1 indexed up front (the
+            // planner case), field 2 auto-indexed after 3 probes (the
+            // runtime-fallback case). `m` mirrors every mutation but is
+            // only read through the linear oracle.
+            let mut t = Table::new(spec(Some(10), Some(4), vec![0]));
+            t.ensure_index(1);
+            t.set_auto_index_threshold(Some(3));
+            let mut m = Table::new(spec(Some(10), Some(4), vec![0]));
+            m.set_auto_index_threshold(None);
+
+            let mut now = Time::ZERO;
+            for (sel, a, b, c, dt) in ops {
+                now = now + TimeDelta::from_secs(dt);
+                match sel {
+                    0..=5 => {
+                        t.insert(tup3(a, b, c), now);
+                        m.insert(tup3(a, b, c), now);
+                    }
+                    6 | 7 => {
+                        t.delete_by_key(&tup3(a, 0, 0), now);
+                        m.delete_by_key(&tup3(a, 0, 0), now);
+                    }
+                    8 => {
+                        let p = |x: &Tuple| x.get(2) == Some(&Value::Int(c));
+                        t.delete_where(now, p);
+                        m.delete_where(now, p);
+                    }
+                    _ => {} // pure time advance
+                }
+                prop_assert_eq!(
+                    t.scan_eq(1, &Value::Int(b), now),
+                    m.scan_eq_linear(1, &Value::Int(b), now)
+                );
+                prop_assert_eq!(
+                    t.scan_eq(2, &Value::Int(c), now),
+                    m.scan_eq_linear(2, &Value::Int(c), now)
+                );
+                // scan_eq and its own linear oracle agree on one table too.
+                prop_assert_eq!(
+                    t.scan_eq(1, &Value::Int(b), now),
+                    t.scan_eq_linear(1, &Value::Int(b), now)
+                );
+                prop_assert_eq!(t.scan(now), m.scan(now));
+            }
         }
     }
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a change must keep green.
+#
+#   scripts/tier1.sh
+#
+# Builds the workspace in release mode, runs the full test suite
+# (unit + integration + proptests), then smoke-runs the Criterion
+# micro-benches (compile + one iteration each, no timing windows).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo bench -p p2-bench --bench engine -- --test
+cargo bench -p p2-bench --bench store_probe -- --test
+
+echo "tier1: OK"

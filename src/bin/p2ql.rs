@@ -130,6 +130,9 @@ fn plan(src: &str) -> ExitCode {
             if s.head.delete { " (delete)" } else { "" },
         );
     }
+    for (table, field) in &compiled.index_requests {
+        println!("index {table}[{field}]");
+    }
     ExitCode::SUCCESS
 }
 

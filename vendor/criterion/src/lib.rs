@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! mini-implementation provides the subset of the criterion API the
+//! workspace benches use: `Criterion::bench_function`, `Bencher::iter`
+//! / `iter_batched`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: after a short warm-up, each benchmark runs enough
+//! iterations to fill a fixed measurement window and reports the mean
+//! wall-clock time per iteration (plus min-of-batches as a noise floor).
+//! `--test` (as passed by `cargo bench -- --test`) switches to a smoke
+//! mode that runs each routine once and reports nothing — matching real
+//! criterion's behaviour under `cargo test`/`--test`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the stub times whole batches and
+/// sizes them identically regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver handed to each `bench_function` closure.
+pub struct Criterion {
+    test_mode: bool,
+    warm_up: Duration,
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            warm_up: Duration::from_millis(120),
+            window: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Honour `--test` (smoke mode) from the bench binary's argv.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Override the per-benchmark measurement window.
+    pub fn measurement_time(mut self, window: Duration) -> Self {
+        self.window = window;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            warm_up: self.warm_up,
+            window: self.window,
+            report: None,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else if let Some(r) = b.report {
+            println!(
+                "{name:<44} {:>12}/iter (min {:>12}, {} iters)",
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.min_ns),
+                r.iters
+            );
+        }
+        self
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+/// Runs and times one benchmark routine.
+pub struct Bencher {
+    test_mode: bool,
+    warm_up: Duration,
+    window: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and estimate per-iteration cost.
+        let mut n: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= self.warm_up {
+                break took.as_secs_f64() / n as f64;
+            }
+            n = n.saturating_mul(2);
+        };
+        // Measure in batches sized to ~1/10 of the window each.
+        let batch = ((self.window.as_secs_f64() / 10.0 / per_iter.max(1e-9)) as u64).max(1);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut min_batch_ns = f64::INFINITY;
+        while total < self.window {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            min_batch_ns = min_batch_ns.min(took.as_nanos() as f64 / batch as f64);
+            total += took;
+            iters += batch;
+        }
+        self.report = Some(Report {
+            mean_ns: total.as_nanos() as f64 / iters as f64,
+            min_ns: min_batch_ns,
+            iters,
+        });
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        // Time only the routine; setup runs outside the clock.
+        let mut n: u64 = 1;
+        let per_iter = loop {
+            let mut took = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                took += start.elapsed();
+            }
+            if took >= self.warm_up {
+                break took.as_secs_f64() / n as f64;
+            }
+            n = n.saturating_mul(2);
+        };
+        let batch = ((self.window.as_secs_f64() / 10.0 / per_iter.max(1e-9)) as u64).max(1);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut min_batch_ns = f64::INFINITY;
+        while total < self.window {
+            let mut took = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                took += start.elapsed();
+            }
+            min_batch_ns = min_batch_ns.min(took.as_nanos() as f64 / batch as f64);
+            total += took;
+            iters += batch;
+        }
+        self.report = Some(Report {
+            mean_ns: total.as_nanos() as f64 / iters as f64,
+            min_ns: min_batch_ns,
+            iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

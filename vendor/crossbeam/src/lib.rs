@@ -1,0 +1,14 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module surface this workspace uses is provided,
+//! backed by `std::sync::mpsc` (whose `Sender` has been `Sync` since
+//! Rust 1.72, which is all the hub registry needs).
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+    /// An unbounded MPSC channel (std's `channel` is already unbounded).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

@@ -1,0 +1,27 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::Range;
+
+/// Strategy producing a `Vec` whose length is drawn from `size` and
+/// whose elements come from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.start < self.size.end, "empty size range");
+        let span = (self.size.end - self.size.start) as u64;
+        let n = self.size.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, m..n)` — a vec of `m..n` elements.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}

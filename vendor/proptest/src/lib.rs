@@ -1,0 +1,261 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! mini-implementation provides the subset of the proptest API the
+//! workspace's property tests use: the `proptest!` / `prop_assert*` /
+//! `prop_assume!` / `prop_oneof!` macros, range / tuple / collection /
+//! regex-string strategies, `any::<T>()`, and `ProptestConfig`.
+//!
+//! Deliberate simplifications relative to real proptest:
+//!
+//! * generation is **deterministic** (seeded from the test's module path
+//!   and case number), so failures reproduce without persistence files;
+//! * there is **no shrinking** — a failing case reports its inputs via
+//!   the assertion message only;
+//! * the regex-string strategy supports the subset of patterns used in
+//!   this repository: literal chars, `.`, `[...]` classes with ranges,
+//!   and `{m}` / `{m,n}` repetition suffixes.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::Strategy;
+
+/// Why a test-case closure did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the case is discarded, not failed.
+    Reject,
+    /// `prop_assert*!` failed: the whole test fails with this message.
+    Fail(String),
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Give up (passing vacuously, with a note) after this many rejects.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48, max_global_rejects: 48 * 256 }
+    }
+}
+
+/// Deterministic split-mix RNG used for value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary u64.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Seed deterministically for one named test case.
+    pub fn for_case(name: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D))
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; 0 when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// `use proptest::prelude::*` — everything the tests name.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError, TestRng,
+    };
+}
+
+/// The main harness macro. Expands each `fn` into a `#[test]` that runs
+/// `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    // Entry with a config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@top ($cfg); $($rest)*);
+    };
+
+    // One test fn, then recurse on the remainder.
+    (@top ($cfg:expr); $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut successes: u32 = 0;
+            let mut rejects: u32 = 0;
+            let mut case: u64 = 0;
+            while successes < config.cases {
+                case += 1;
+                if rejects > config.max_global_rejects {
+                    eprintln!(
+                        "proptest {}: gave up after {} rejects ({} cases passed)",
+                        stringify!($name), rejects, successes
+                    );
+                    break;
+                }
+                let mut rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                let result: ::std::result::Result<(), $crate::TestCaseError> = {
+                    $crate::proptest!(@bind rng; $($params)*);
+                    #[allow(unused_mut)]
+                    let mut body = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    body()
+                };
+                match result {
+                    ::std::result::Result::Ok(()) => successes += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => rejects += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} case #{case} failed: {msg}", stringify!($name));
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@top ($cfg); $($rest)*);
+    };
+    (@top ($cfg:expr); ) => {};
+
+    // Parameter munching: `pattern in strategy` or `name: Type`.
+    (@bind $rng:ident; $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $p:pat in $s:expr) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+    };
+    (@bind $rng:ident; $v:ident : $t:ty, $($rest:tt)*) => {
+        let $v: $t = <$t as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $v:ident : $t:ty) => {
+        let $v: $t = <$t as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+    };
+    (@bind $rng:ident; ) => {};
+
+    // Entry without a config attribute (must come last).
+    ($($rest:tt)*) => {
+        $crate::proptest!(@top ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($a), stringify!($b), l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+                }
+            }
+        }
+    };
+}
+
+/// Fail the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: {} != {}\n  both: {:?}",
+                        stringify!($a), stringify!($b), l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniformly choose among heterogeneous strategies with a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($s) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}

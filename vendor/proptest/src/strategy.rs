@@ -1,0 +1,279 @@
+//! Value-generation strategies: the `Strategy` trait plus the concrete
+//! combinators the workspace tests use (ranges, tuples, regex-lite
+//! string patterns, `prop_map`, `prop_oneof` unions).
+
+use crate::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// produces the final value directly.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `strategy.prop_map(f)`.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_oneof!`: uniform choice among boxed strategies of one value type.
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let off = if width > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(width as u64) as u128
+                };
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// A `&str` is a regex-lite string pattern strategy.
+///
+/// Supported syntax (the subset this workspace uses): literal chars,
+/// `.` (printable char), `[...]` classes with `a-z` ranges, and `{m}` /
+/// `{m,n}` repetition on the preceding atom. A `\` escapes the next
+/// character to a literal.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, min, max) in &atoms {
+            let n = *min + rng.below((*max - *min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.generate(rng));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    Lit(char),
+    Dot,
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Lit(c) => *c,
+            // Printable ASCII, with an occasional non-ASCII scalar so
+            // `.{0,200}`-style fuzz patterns still exercise unicode.
+            Atom::Dot => {
+                if rng.below(8) == 0 {
+                    char::from_u32(0x00A1 + rng.below(0x2000) as u32).unwrap_or('¿')
+                } else {
+                    (b' ' + rng.below(95) as u8) as char
+                }
+            }
+            Atom::Class(ranges) => {
+                let total: u64 = ranges.iter().map(|(a, b)| (*b as u64) - (*a as u64) + 1).sum();
+                let mut pick = rng.below(total);
+                for (a, b) in ranges {
+                    let span = (*b as u64) - (*a as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(*a as u32 + pick as u32).unwrap();
+                    }
+                    pick -= span;
+                }
+                unreachable!("class pick out of range")
+            }
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let mut chars = pat.chars().peekable();
+    let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Dot,
+            '\\' => Atom::Lit(chars.next().unwrap_or('\\')),
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars.next().expect("unterminated [class] in pattern");
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            assert!(lo <= hi, "inverted class range in pattern");
+                            ranges.push((lo, hi));
+                        }
+                        c => {
+                            if let Some(p) = prev.replace(c) {
+                                ranges.push((p, p));
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    ranges.push((p, p));
+                }
+                Atom::Class(ranges)
+            }
+            '{' | '}' => panic!("dangling quantifier in pattern {pat:?}"),
+            c => Atom::Lit(c),
+        };
+        // Optional {m} / {m,n} quantifier on the atom just parsed.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad {m,n} min"),
+                    n.trim().parse().expect("bad {m,n} max"),
+                ),
+                None => {
+                    let m: usize = spec.trim().parse().expect("bad {m} count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_respect_shape() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = "[a-z][a-zA-Z0-9]{0,8}".generate(&mut rng);
+            assert!((1..=9).contains(&s.len()));
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+
+            let t = "[ -~]{0,20}".generate(&mut rng);
+            assert!(t.len() <= 20);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..500 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&w));
+            let f = (0u64..u64::MAX).generate(&mut rng);
+            assert!(f < u64::MAX);
+        }
+    }
+}
