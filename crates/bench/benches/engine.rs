@@ -58,7 +58,11 @@ fn strand_fixture(rows: usize) -> (StrandRuntime, Catalog, Tuple) {
         cat.insert(
             Tuple::new(
                 "pred",
-                [Value::addr("n1"), Value::id(i as u64), Value::addr(format!("p{i}"))],
+                [
+                    Value::addr("n1"),
+                    Value::id(i as u64),
+                    Value::addr(format!("p{i}")),
+                ],
             ),
             Time::ZERO,
         )
@@ -77,7 +81,14 @@ fn bench_strand(c: &mut Criterion) {
             let mut sink = NullSink;
             b.iter(|| {
                 let mut actions = Vec::new();
-                strand.fire(&trig, &mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+                strand.fire(
+                    &trig,
+                    &mut cat,
+                    &mut ctx,
+                    &mut sink,
+                    Time::ZERO,
+                    &mut actions,
+                );
                 strand.run_to_quiescence(&mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
                 black_box(actions)
             })
@@ -105,7 +116,12 @@ fn bench_strand(c: &mut Criterion) {
             cat.insert(
                 Tuple::new(
                     "resp",
-                    [Value::addr("n"), Value::Int(1), Value::id(i), Value::addr("s")],
+                    [
+                        Value::addr("n"),
+                        Value::Int(1),
+                        Value::id(i),
+                        Value::addr("s"),
+                    ],
                 ),
                 Time::ZERO,
             )
@@ -114,13 +130,25 @@ fn bench_strand(c: &mut Criterion) {
         let mut strand = StrandRuntime::new(Arc::new(compiled.strands[0].clone()));
         let delta = Tuple::new(
             "resp",
-            [Value::addr("n"), Value::Int(1), Value::id(0), Value::addr("s")],
+            [
+                Value::addr("n"),
+                Value::Int(1),
+                Value::id(0),
+                Value::addr("s"),
+            ],
         );
         let mut ctx = FixedCtx::default();
         let mut sink = NullSink;
         b.iter(|| {
             let mut actions = Vec::new();
-            strand.fire(&delta, &mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+            strand.fire(
+                &delta,
+                &mut cat,
+                &mut ctx,
+                &mut sink,
+                Time::ZERO,
+                &mut actions,
+            );
             black_box(actions)
         })
     });
@@ -132,10 +160,20 @@ fn bench_tracer(c: &mut Criterion) {
     let seq_stream: Vec<TapKind> = (0..8)
         .flat_map(|i| {
             vec![
-                TapKind::Input { tuple: Tuple::new("ev", [Value::Int(i)]) },
-                TapKind::Precondition { stage: 0, tuple: Tuple::new("p1", [Value::Int(i)]) },
-                TapKind::Precondition { stage: 1, tuple: Tuple::new("p2", [Value::Int(i)]) },
-                TapKind::Output { tuple: Tuple::new("h", [Value::Int(i)]) },
+                TapKind::Input {
+                    tuple: Tuple::new("ev", [Value::Int(i)]),
+                },
+                TapKind::Precondition {
+                    stage: 0,
+                    tuple: Tuple::new("p1", [Value::Int(i)]),
+                },
+                TapKind::Precondition {
+                    stage: 1,
+                    tuple: Tuple::new("p2", [Value::Int(i)]),
+                },
+                TapKind::Output {
+                    tuple: Tuple::new("h", [Value::Int(i)]),
+                },
                 TapKind::StageComplete { stage: 0 },
                 TapKind::StageComplete { stage: 1 },
             ]
@@ -143,19 +181,29 @@ fn bench_tracer(c: &mut Criterion) {
         .collect();
     let mut pipelined: Vec<TapKind> = Vec::new();
     for i in 0..8i64 {
-        pipelined.push(TapKind::Input { tuple: Tuple::new("ev", [Value::Int(i)]) });
-        pipelined.push(TapKind::Precondition { stage: 0, tuple: Tuple::new("p1", [Value::Int(i)]) });
+        pipelined.push(TapKind::Input {
+            tuple: Tuple::new("ev", [Value::Int(i)]),
+        });
+        pipelined.push(TapKind::Precondition {
+            stage: 0,
+            tuple: Tuple::new("p1", [Value::Int(i)]),
+        });
         pipelined.push(TapKind::StageComplete { stage: 0 });
         if i > 0 {
             pipelined.push(TapKind::Precondition {
                 stage: 1,
                 tuple: Tuple::new("p2", [Value::Int(i - 1)]),
             });
-            pipelined.push(TapKind::Output { tuple: Tuple::new("h", [Value::Int(i - 1)]) });
+            pipelined.push(TapKind::Output {
+                tuple: Tuple::new("h", [Value::Int(i - 1)]),
+            });
             pipelined.push(TapKind::StageComplete { stage: 1 });
         }
     }
-    for (name, stream) in [("tracer_sequential_taps", &seq_stream), ("tracer_pipelined_taps", &pipelined)] {
+    for (name, stream) in [
+        ("tracer_sequential_taps", &seq_stream),
+        ("tracer_pipelined_taps", &pipelined),
+    ] {
         c.bench_function(name, |b| {
             b.iter_batched(
                 || Tracer::new(Addr::new("n"), TraceConfig::default()),
@@ -180,7 +228,7 @@ fn bench_tracer(c: &mut Criterion) {
 fn bench_substrate(c: &mut Criterion) {
     c.bench_function("wire_roundtrip_envelope", |b| {
         let env = p2_net::Envelope {
-            tuple: Tuple::new(
+            tuples: vec![Tuple::new(
                 "lookupResults",
                 [
                     Value::addr("n1"),
@@ -190,10 +238,10 @@ fn bench_substrate(c: &mut Criterion) {
                     Value::id(42),
                     Value::addr("n3"),
                 ],
-            ),
+            )],
             src: Addr::new("n3"),
             dst: Addr::new("n1"),
-            src_tuple_id: Some(p2_types::TupleId(9)),
+            src_tuple_ids: vec![Some(p2_types::TupleId(9))],
             delete: false,
         };
         b.iter(|| {

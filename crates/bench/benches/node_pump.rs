@@ -1,0 +1,131 @@
+//! Dispatch throughput through the batched pump.
+//!
+//! Three workloads, all runs of materialized tuples with **no
+//! subscribing strand** unless stated (trace rows, event-log appends,
+//! reflection refreshes all look like this). `max_delta_batch = 1`
+//! degenerates the engine to the per-tuple schedule — one store call,
+//! one budget charge, one queue pop per tuple — and is the before/after
+//! baseline recorded in EXPERIMENTS.md; 16 and 256 exercise the
+//! wholesale `insert_batch` path.
+//!
+//! * `refresh`: 4096 tuples cycling over 64 primary keys — soft-state
+//!   refresh, the dominant table traffic in the paper's programs
+//!   (periodic pings, tupleTable refcounts, reflection rows). The store
+//!   core is a hash-hit re-stamp, so per-tuple engine overhead is the
+//!   cost that batching amortizes.
+//! * `silent_insert`: 4096 distinct-key inserts — store-growth bound,
+//!   the worst case for batching (the insert itself dominates).
+//! * `subscribed_insert`: an event rule fires per tuple, where batching
+//!   legally cannot skip the per-tuple interleave — the price of the
+//!   §2.1.2 trace-equivalence guarantee.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use p2_core::{Node, NodeConfig};
+use p2_types::{Addr, Time, Tuple, Value};
+
+const RUN: usize = 4096;
+
+fn silent_node(max_delta_batch: usize) -> Node {
+    let mut n = Node::new(
+        Addr::new("n1"),
+        NodeConfig {
+            stagger_timers: false,
+            max_delta_batch,
+            ..Default::default()
+        },
+    );
+    n.install(
+        "materialize(sample, infinity, infinity, keys(1, 2)).",
+        Time::ZERO,
+    )
+    .unwrap();
+    n
+}
+
+fn subscribed_node(max_delta_batch: usize) -> Node {
+    let mut n = Node::new(
+        Addr::new("n1"),
+        NodeConfig {
+            stagger_timers: false,
+            max_delta_batch,
+            ..Default::default()
+        },
+    );
+    n.install(
+        "materialize(sample, infinity, infinity, keys(1, 2)).
+         d1 hit@N(X) :- sample@N(X).",
+        Time::ZERO,
+    )
+    .unwrap();
+    n
+}
+
+fn bench_node_pump(c: &mut Criterion) {
+    let tuples: Vec<Tuple> = (0..RUN as i64)
+        .map(|i| Tuple::new("sample", [Value::addr("n1"), Value::Int(i)]))
+        .collect();
+    let refreshes: Vec<Tuple> = (0..RUN as i64)
+        .map(|i| Tuple::new("sample", [Value::addr("n1"), Value::Int(i % 64)]))
+        .collect();
+
+    for batch in [1usize, 16, 256] {
+        c.bench_function(&format!("node_pump_refresh_batch_{batch}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut node = silent_node(batch);
+                    for t in &refreshes {
+                        node.inject(t.clone());
+                    }
+                    node
+                },
+                |mut node| {
+                    node.pump(Time::ZERO);
+                    black_box(node.metrics().tuples_dispatched);
+                    node // dropped outside the timing window
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    for batch in [1usize, 16, 256] {
+        c.bench_function(&format!("node_pump_silent_insert_batch_{batch}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut node = silent_node(batch);
+                    for t in &tuples {
+                        node.inject(t.clone());
+                    }
+                    node
+                },
+                |mut node| {
+                    node.pump(Time::ZERO);
+                    black_box(node.metrics().tuples_dispatched);
+                    node // dropped outside the timing window
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    for batch in [1usize, 256] {
+        c.bench_function(&format!("node_pump_subscribed_insert_batch_{batch}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut node = subscribed_node(batch);
+                    for t in &tuples {
+                        node.inject(t.clone());
+                    }
+                    node
+                },
+                |mut node| {
+                    node.pump(Time::ZERO);
+                    black_box(node.metrics().strand_firings);
+                    node
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(benches, bench_node_pump);
+criterion_main!(benches);

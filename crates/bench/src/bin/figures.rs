@@ -24,9 +24,16 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_string());
 
-    let params = if quick { BenchParams::quick() } else { BenchParams::full() };
-    let fig45_counts: &[usize] =
-        if quick { &[0, 50, 100] } else { &[0, 50, 100, 150, 200, 250] };
+    let params = if quick {
+        BenchParams::quick()
+    } else {
+        BenchParams::full()
+    };
+    let fig45_counts: &[usize] = if quick {
+        &[0, 50, 100]
+    } else {
+        &[0, 50, 100, 150, 200, 250]
+    };
 
     eprintln!(
         "p2ql evaluation: {} nodes, {}s warmup, {}s window, seeds {:?}",
@@ -37,37 +44,58 @@ fn main() {
     let run_e1 = |rows: &mut Vec<Row>| {
         let r = e1_logging_cost(&params);
         let (cpu, mem) = e1_ratios(&r);
-        print_table("E1 — execution logging cost (§4: paper +40% CPU, +66% memory)", &r);
+        print_table(
+            "E1 — execution logging cost (§4: paper +40% CPU, +66% memory)",
+            &r,
+        );
         println!("   measured: CPU x{cpu:.2}, memory x{mem:.2}");
         rows.extend(r);
     };
     let run_fig4 = |rows: &mut Vec<Row>| {
         let r = fig4_periodic_rules(&params, fig45_counts);
-        print_table("Figure 4 — periodic rules, period 1s (paper: ~linear CPU to ~4.5% @250)", &r);
+        print_table(
+            "Figure 4 — periodic rules, period 1s (paper: ~linear CPU to ~4.5% @250)",
+            &r,
+        );
         rows.extend(r);
     };
     let run_fig5 = |rows: &mut Vec<Row>| {
         let r = fig5_piggyback_rules(&params, fig45_counts);
-        print_table("Figure 5 — piggy-backed rules with state lookup (paper: steeper than Fig 4)", &r);
+        print_table(
+            "Figure 5 — piggy-backed rules with state lookup (paper: steeper than Fig 4)",
+            &r,
+        );
         rows.extend(r);
     };
     let run_fig6 = |rows: &mut Vec<Row>| {
         let r = fig6_consistency_probes(&params);
-        print_table("Figure 6 — proactive consistency probes vs rate (paper: superlinear CPU)", &r);
+        print_table(
+            "Figure 6 — proactive consistency probes vs rate (paper: superlinear CPU)",
+            &r,
+        );
         rows.extend(r);
     };
     let run_fig7 = |rows: &mut Vec<Row>| {
         let r = fig7_snapshots(&params);
-        print_table("Figure 7 — consistent snapshots vs rate (paper: much cheaper than Fig 6)", &r);
+        print_table(
+            "Figure 7 — consistent snapshots vs rate (paper: much cheaper than Fig 6)",
+            &r,
+        );
         rows.extend(r);
     };
     let run_ablations = |rows: &mut Vec<Row>| {
         let r = ablation_ring_checks(&params);
-        print_table("Ablation — ring checks: active probing vs passive (§3.1.1 trade-off)", &r);
+        print_table(
+            "Ablation — ring checks: active probing vs passive (§3.1.1 trade-off)",
+            &r,
+        );
         rows.extend(r);
         let budgets: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 16] };
         let r = ablation_record_budget(&params, budgets);
-        print_table("Ablation — tracer record budget per strand (§3.4 optimization)", &r);
+        print_table(
+            "Ablation — tracer record budget per strand (§3.4 optimization)",
+            &r,
+        );
         rows.extend(r);
     };
 

@@ -14,7 +14,10 @@ pub fn e1_logging_cost(params: &BenchParams) -> Vec<Row> {
     for (label, tracing) in [("tracing off", false), ("tracing on", true)] {
         let mut samples = Vec::new();
         for &seed in &params.seeds {
-            let cfg = NodeConfig { tracing, ..Default::default() };
+            let cfg = NodeConfig {
+                tracing,
+                ..Default::default()
+            };
             let mut tb = build_testbed(params, seed, cfg);
             samples.push(measure_window(&mut tb, params.window_secs));
         }
@@ -28,8 +31,16 @@ pub fn e1_logging_cost(params: &BenchParams) -> Vec<Row> {
 pub fn e1_ratios(rows: &[Row]) -> (f64, f64) {
     let off = &rows[0];
     let on = &rows[1];
-    let cpu = if off.cpu_percent > 0.0 { on.cpu_percent / off.cpu_percent } else { f64::NAN };
-    let mem = if off.mem_bytes > 0.0 { on.mem_bytes / off.mem_bytes } else { f64::NAN };
+    let cpu = if off.cpu_percent > 0.0 {
+        on.cpu_percent / off.cpu_percent
+    } else {
+        f64::NAN
+    };
+    let mem = if off.mem_bytes > 0.0 {
+        on.mem_bytes / off.mem_bytes
+    } else {
+        f64::NAN
+    };
     (cpu, mem)
 }
 
@@ -81,7 +92,9 @@ fn sweep_rule_counts(
             let mut tb = build_testbed(params, seed, NodeConfig::default());
             if n > 0 {
                 let measured = tb.measured.clone();
-                tb.sim.install(&measured, &program(n)).expect("install bench rules");
+                tb.sim
+                    .install(&measured, &program(n))
+                    .expect("install bench rules");
             }
             samples.push(measure_window(&mut tb, params.window_secs));
         }
@@ -178,7 +191,9 @@ pub fn ablation_ring_checks(params: &BenchParams) -> Vec<Row> {
             for a in tb.ring.addrs.clone() {
                 match which {
                     1 => {
-                        tb.sim.install(&a, &ring::passive_check_program()).expect("install");
+                        tb.sim
+                            .install(&a, &ring::passive_check_program())
+                            .expect("install");
                     }
                     2 => {
                         tb.sim
@@ -219,7 +234,12 @@ pub fn ablation_record_budget(params: &BenchParams, budgets: &[usize]) -> Vec<Ro
             samples.push(measure_window(&mut tb, params.window_secs));
         }
         let (mean, std) = aggregate(&samples);
-        rows.push(Row::from_samples("ablation-records", format!("{b} records"), mean, std));
+        rows.push(Row::from_samples(
+            "ablation-records",
+            format!("{b} records"),
+            mean,
+            std,
+        ));
     }
     rows
 }
@@ -256,7 +276,10 @@ mod tests {
         let rows = e1_logging_cost(&tiny());
         let (cpu_ratio, mem_ratio) = e1_ratios(&rows);
         assert!(cpu_ratio > 1.0, "tracing must cost CPU, ratio {cpu_ratio}");
-        assert!(mem_ratio > 1.0, "tracing must cost memory, ratio {mem_ratio}");
+        assert!(
+            mem_ratio > 1.0,
+            "tracing must cost memory, ratio {mem_ratio}"
+        );
     }
 
     #[test]

@@ -80,11 +80,7 @@ pub struct Testbed {
 /// Build a warmed testbed. `measured_config` configures only the
 /// measured node (e.g. tracing on) — the rest of the population runs the
 /// default, exactly like the paper's two-machine split.
-pub fn build_testbed(
-    params: &BenchParams,
-    seed: u64,
-    measured_config: NodeConfig,
-) -> Testbed {
+pub fn build_testbed(params: &BenchParams, seed: u64, measured_config: NodeConfig) -> Testbed {
     let mut sim = SimHarness::new(Default::default(), NodeConfig::default(), seed);
     // n-1 nodes start and stabilize first...
     let mut ring = build_ring(&mut sim, params.nodes - 1, &params.chord);
@@ -95,20 +91,29 @@ pub fn build_testbed(
     let id = p2_types::DetRng::derive(seed, "measured-node").ring_id();
     ring.ids.insert(measured.clone(), id);
     ring.addrs.push(measured.clone());
-    sim.install(&measured, &p2_chord::chord_program(&params.chord)).expect("install chord");
+    sim.install(&measured, &p2_chord::chord_program(&params.chord))
+        .expect("install chord");
     sim.install(
         &measured,
         &p2_chord::node_facts(measured.as_str(), id.0, Some(ring.addrs[0].as_str())),
     )
     .expect("install facts");
     sim.run_for(TimeDelta::from_secs(params.warmup_secs));
-    Testbed { sim, ring, measured }
+    Testbed {
+        sim,
+        ring,
+        measured,
+    }
 }
 
 /// Run the measurement window over a prepared testbed and sample the
 /// measured node (deltas for counters, end-of-window for gauges).
 pub fn measure_window(testbed: &mut Testbed, window_secs: u64) -> NodeSample {
-    let Testbed { sim, measured, ring } = testbed;
+    let Testbed {
+        sim,
+        measured,
+        ring,
+    } = testbed;
     let pop_busy = |sim: &p2_core::SimHarness| -> std::time::Duration {
         ring.addrs.iter().map(|a| sim.node(a).metrics().busy).sum()
     };

@@ -17,7 +17,10 @@ use std::collections::HashSet;
 /// The install sequence: Chord, then every §3 monitoring program.
 fn programs() -> Vec<(&'static str, String)> {
     vec![
-        ("chord", p2_chord::chord_program(&p2_chord::ChordConfig::default())),
+        (
+            "chord",
+            p2_chord::chord_program(&p2_chord::ChordConfig::default()),
+        ),
         ("ring-passive", ring::passive_check_program()),
         ("ring-active", ring::active_probe_program(5)),
         (
@@ -37,7 +40,11 @@ fn programs() -> Vec<(&'static str, String)> {
 fn tracing_node() -> Node {
     // Tracing on (with the event log) so the trace tables the profiling
     // and watchpoint queries join against are materialized.
-    let mut cfg = NodeConfig { tracing: true, stagger_timers: false, ..Default::default() };
+    let mut cfg = NodeConfig {
+        tracing: true,
+        stagger_timers: false,
+        ..Default::default()
+    };
     cfg.trace.log_events = true;
     Node::new(Addr::new("n0"), cfg)
 }
@@ -73,7 +80,8 @@ fn install_indexes_every_join_probe_field() {
             }
         }
 
-        node.install(&src, Time::ZERO).unwrap_or_else(|e| panic!("{label}: {e}"));
+        node.install(&src, Time::ZERO)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
     }
 
     assert!(

@@ -20,7 +20,11 @@ pub fn collect_ring(sim: &mut SimHarness, ring: &ChordRing) -> HashMap<Addr, Add
             continue;
         }
         let rows = sim.node_mut(&addr).table_scan("bestSucc", now);
-        if let Some(s) = rows.first().and_then(|row| row.get(2)).and_then(Value::to_addr) {
+        if let Some(s) = rows
+            .first()
+            .and_then(|row| row.get(2))
+            .and_then(Value::to_addr)
+        {
             out.insert(addr.clone(), s);
         }
     }
@@ -48,7 +52,9 @@ pub fn ring_is_well_formed(sim: &mut SimHarness, ring: &ChordRing) -> bool {
     let mut seen = vec![start.clone()];
     let mut cur = start.clone();
     for _ in 0..live.len() {
-        let Some(next) = succ.get(&cur) else { return false };
+        let Some(next) = succ.get(&cur) else {
+            return false;
+        };
         if *next == start {
             return seen.len() == live.len();
         }
@@ -127,7 +133,10 @@ mod tests {
     #[test]
     fn two_nodes_converge_to_mutual_ring() {
         let (mut sim, ring) = warmed_ring(2, 2, 90);
-        assert!(ring_is_well_formed(&mut sim, &ring), "2-node ring must close");
+        assert!(
+            ring_is_well_formed(&mut sim, &ring),
+            "2-node ring must close"
+        );
         assert!(ring_is_ordered(&mut sim, &ring));
         // Each is the other's predecessor.
         let now = sim.now();
@@ -135,7 +144,11 @@ mod tests {
             let other = &ring.addrs[1 - i];
             let pred = sim.node_mut(a).table_scan("pred", now);
             assert_eq!(pred.len(), 1);
-            assert_eq!(pred[0].get(2), Some(&Value::Addr(other.clone())), "node {i}");
+            assert_eq!(
+                pred[0].get(2),
+                Some(&Value::Addr(other.clone())),
+                "node {i}"
+            );
         }
     }
 
@@ -158,8 +171,7 @@ mod tests {
             issue_lookup(&mut sim, &origin, *k, &origin, 1_000 + i as u64);
         }
         sim.run_for(TimeDelta::from_secs(2));
-        let results =
-            collect_lookup_results(sim.node_mut(&origin).watched("lookupResults"));
+        let results = collect_lookup_results(sim.node_mut(&origin).watched("lookupResults"));
         for (i, k) in keys.iter().enumerate() {
             let got = results
                 .get(&RingId(1_000 + i as u64))
@@ -211,14 +223,18 @@ mod tests {
         ring.ids.insert(addr.clone(), id);
         ring.addrs.push(addr.clone());
         let cfg = ChordConfig::default();
-        sim.install(&addr, &crate::program::chord_program(&cfg)).unwrap();
+        sim.install(&addr, &crate::program::chord_program(&cfg))
+            .unwrap();
         sim.install(
             &addr,
             &crate::program::node_facts(addr.as_str(), id.0, Some(ring.addrs[0].as_str())),
         )
         .unwrap();
         sim.run_for(TimeDelta::from_secs(120));
-        assert!(ring_is_well_formed(&mut sim, &ring), "joined ring not closed");
+        assert!(
+            ring_is_well_formed(&mut sim, &ring),
+            "joined ring not closed"
+        );
         assert!(ring_is_ordered(&mut sim, &ring), "joined ring misordered");
     }
 

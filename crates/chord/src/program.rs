@@ -240,10 +240,13 @@ mod tests {
     fn program_compiles_and_plans() {
         let src = chord_program(&ChordConfig::default());
         let prog = p2_overlog::compile(&src).expect("chord program must compile");
-        let compiled =
-            p2_planner::compile_program(&prog, &HashSet::new()).expect("must plan");
+        let compiled = p2_planner::compile_program(&prog, &HashSet::new()).expect("must plan");
         assert!(compiled.tables.len() >= 12);
-        assert!(compiled.strands.len() >= 30, "got {}", compiled.strands.len());
+        assert!(
+            compiled.strands.len() >= 30,
+            "got {}",
+            compiled.strands.len()
+        );
     }
 
     #[test]
@@ -253,15 +256,17 @@ mod tests {
             node_facts("n2:0", 0x9999, Some("n1:0")),
         ] {
             let prog = p2_overlog::compile(&facts).expect("facts must compile");
-            let compiled =
-                p2_planner::compile_program(&prog, &HashSet::new()).unwrap();
+            let compiled = p2_planner::compile_program(&prog, &HashSet::new()).unwrap();
             assert!(compiled.facts.len() >= 3);
         }
     }
 
     #[test]
     fn config_periods_appear_in_source() {
-        let cfg = ChordConfig { stabilize_secs: 7, ..Default::default() };
+        let cfg = ChordConfig {
+            stabilize_secs: 7,
+            ..Default::default()
+        };
         let src = chord_program(&cfg);
         assert!(src.contains("periodic@NAddr(E, 7)"));
     }

@@ -63,12 +63,21 @@ pub fn build_ring(sim: &mut SimHarness, n: usize, config: &ChordConfig) -> Chord
     }
     let landmark = addrs[0].as_str().to_string();
     for (i, addr) in addrs.clone().into_iter().enumerate() {
-        sim.install(&addr, &program).expect("chord program installs");
-        let lm = if i == 0 { None } else { Some(landmark.as_str()) };
+        sim.install(&addr, &program)
+            .expect("chord program installs");
+        let lm = if i == 0 {
+            None
+        } else {
+            Some(landmark.as_str())
+        };
         let facts = node_facts(addr.as_str(), ids[&addr].0, lm);
         sim.install(&addr, &facts).expect("chord facts install");
     }
-    ChordRing { addrs, ids, config: config.clone() }
+    ChordRing {
+        addrs,
+        ids,
+        config: config.clone(),
+    }
 }
 
 /// Issue a lookup for `key` starting at `at`, with the answer addressed
@@ -98,9 +107,7 @@ pub fn issue_lookup(
 
 /// Collect the answers delivered for a watched `lookupResults` relation,
 /// keyed by request ID.
-pub fn collect_lookup_results(
-    watched: &[(Time, Tuple)],
-) -> HashMap<RingId, (RingId, Addr)> {
+pub fn collect_lookup_results(watched: &[(Time, Tuple)]) -> HashMap<RingId, (RingId, Addr)> {
     let mut out = HashMap::new();
     for (_, t) in watched {
         let (Some(Value::Id(e)), Some(Value::Id(sid)), Some(sa)) =

@@ -1,0 +1,173 @@
+//! The node installer: program compile/install/uninstall and trace-table
+//! registration ("piecemeal deployment", §1.3).
+
+use crate::node::{InstallError, Node, ProgramId};
+use crate::scheduler::TimerState;
+use p2_dataflow::StrandRuntime;
+use p2_planner::compile_program;
+use p2_planner::plan::Trigger;
+use p2_store::TableSpec;
+use p2_types::{Time, TimeDelta};
+use std::cmp::Reverse;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+impl Node {
+    pub(crate) fn register_trace_tables(&mut self) {
+        for spec in self.tracer.table_specs() {
+            // Idempotent; conflict impossible (we own the specs).
+            let _ = self.catalog.register(spec);
+        }
+        if self.config.trace.log_events {
+            let _ = self.catalog.register(TableSpec::new(
+                p2_trace::EVENT_LOG,
+                Some(TimeDelta::from_secs_f64(
+                    self.config.trace.event_log_lifetime_secs,
+                )),
+                Some(self.config.trace.event_log_max_rows),
+                vec![0, 1, 2, 3],
+            ));
+        }
+    }
+
+    pub(crate) fn register_introspection_tables(&mut self) {
+        for spec in crate::introspect::table_specs() {
+            let _ = self.catalog.register(spec);
+        }
+    }
+
+    /// Install an OverLog program (source text) on the running node.
+    ///
+    /// Returns a handle for [`Node::uninstall`]. Predicates are
+    /// classified against the tables materialized *at install time*, so
+    /// install monitoring programs after the application they observe.
+    pub fn install(&mut self, source: &str, now: Time) -> Result<ProgramId, InstallError> {
+        let program = p2_overlog::compile(source).map_err(InstallError::Compile)?;
+        let known: HashSet<String> = self
+            .catalog
+            .table_stats()
+            .into_iter()
+            .map(|(name, _, _)| name)
+            .collect();
+        let compiled = compile_program(&program, &known).map_err(InstallError::Plan)?;
+
+        // Register tables first (strand classification already done).
+        for t in &compiled.tables {
+            self.catalog
+                .register(TableSpec::new(
+                    &t.name,
+                    t.lifetime_secs.map(TimeDelta::from_secs_f64),
+                    t.max_rows,
+                    t.key_fields.clone(),
+                ))
+                .map_err(InstallError::Catalog)?;
+        }
+
+        // Register the secondary indexes the planner's join probes want,
+        // so every `scan_eq` on those fields is an index lookup from the
+        // strand's first firing. This covers tables the program reads but
+        // does not declare (a monitoring query over the base application's
+        // tables): joins are only planned against relations materialized
+        // here, so the table is already in the catalog. A miss is
+        // tolerated anyway — the store's auto-index fallback would pick
+        // the field up after a few linear probes.
+        for (table, field) in &compiled.index_requests {
+            let _ = self.catalog.ensure_index(table, *field);
+        }
+
+        let pid = ProgramId(self.next_program);
+        self.next_program += 1;
+
+        for strand in compiled.strands {
+            let idx = self.strands.len();
+            match &strand.trigger {
+                Trigger::Event { name } => {
+                    self.event_dispatch
+                        .entry(name.clone())
+                        .or_default()
+                        .push(idx);
+                }
+                Trigger::TableInsert { name } => {
+                    self.table_dispatch
+                        .entry(name.clone())
+                        .or_default()
+                        .push(idx);
+                }
+                Trigger::Periodic { period_secs } => {
+                    let period = TimeDelta::from_secs_f64(*period_secs);
+                    let offset = if self.config.stagger_timers {
+                        TimeDelta::from_micros(self.rng.below(period.micros().max(1)))
+                    } else {
+                        period
+                    };
+                    let tidx = self.timers.len();
+                    self.timers.push(TimerState {
+                        strand_idx: idx,
+                        period,
+                        next_fire: now + offset,
+                        program: pid,
+                    });
+                    self.timer_heap.push(Reverse((now + offset, tidx)));
+                }
+            }
+            self.strands.push(StrandRuntime::new(Arc::new(strand)));
+            self.strand_programs.push(pid);
+        }
+
+        // Inject facts as ordinary dispatches (they may be remote).
+        for fact in compiled.facts {
+            self.route_tuple(fact, false, now);
+        }
+        Ok(pid)
+    }
+
+    /// Remove a program's strands and timers. Its tables (and their
+    /// contents) remain — soft state expires on its own, and other
+    /// programs may read them.
+    pub fn uninstall(&mut self, pid: ProgramId) {
+        let keep: Vec<bool> = self.strand_programs.iter().map(|p| *p != pid).collect();
+        // Rebuild the strand vector and all dispatch indexes.
+        let mut new_strands = Vec::new();
+        let mut new_programs = Vec::new();
+        let mut remap: Vec<Option<usize>> = Vec::with_capacity(self.strands.len());
+        for (i, strand) in self.strands.drain(..).enumerate() {
+            if keep[i] {
+                remap.push(Some(new_strands.len()));
+                new_strands.push(strand);
+                new_programs.push(self.strand_programs[i]);
+            } else {
+                remap.push(None);
+            }
+        }
+        self.strands = new_strands;
+        self.strand_programs = new_programs;
+        for map in [&mut self.event_dispatch, &mut self.table_dispatch] {
+            for v in map.values_mut() {
+                *v = v.iter().filter_map(|&i| remap[i]).collect();
+            }
+            map.retain(|_, v| !v.is_empty());
+        }
+        self.timers.retain_mut(|t| {
+            if t.program == pid {
+                return false;
+            }
+            t.strand_idx = remap[t.strand_idx].expect("kept strands remapped");
+            true
+        });
+        // Timer indices shifted: rebuild the heap (uninstall is rare).
+        self.timer_heap = self
+            .timers
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Reverse((t.next_fire, i)))
+            .collect();
+        // Strand indices shifted too: rebuild the scheduler's worklist.
+        self.active_strands = self
+            .strands
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.has_work())
+            .map(|(i, _)| i)
+            .collect();
+    }
+}

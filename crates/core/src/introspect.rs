@@ -53,9 +53,7 @@ pub fn refresh(node: &mut Node, now: Time) {
                     Value::str(&name),
                     Value::Int(rows as i64),
                     Value::Int(spec.max_rows.map(|m| m as i64).unwrap_or(-1)),
-                    Value::Float(
-                        spec.lifetime.map(|l| l.as_secs_f64()).unwrap_or(-1.0),
-                    ),
+                    Value::Float(spec.lifetime.map(|l| l.as_secs_f64()).unwrap_or(-1.0)),
                 ],
             )
         })
@@ -87,6 +85,8 @@ pub fn refresh(node: &mut Node, now: Time) {
         ("strandFirings", m.strand_firings as i64),
         ("deletes", m.deletes as i64),
         ("overflowDrops", m.overflow_drops as i64),
+        ("strandOverflowDrops", m.strand_overflow_drops as i64),
+        ("tuplesSent", m.tuples_sent as i64),
         ("malformedDrops", m.malformed_drops as i64),
         ("liveTuples", node.live_tuples() as i64),
         ("busyMicros", m.busy.as_micros() as i64),
@@ -115,7 +115,7 @@ pub fn refresh(node: &mut Node, now: Time) {
                 SYS_STAT,
                 [
                     loc.clone(),
-                    Value::str(&format!("idx.{name}.{counter}")),
+                    Value::str(format!("idx.{name}.{counter}")),
                     Value::Int(v as i64),
                 ],
             ));
@@ -123,7 +123,12 @@ pub fn refresh(node: &mut Node, now: Time) {
     }
 
     let cat = node.catalog_mut();
-    for row in table_rows.into_iter().chain(rule_rows).chain(stat_rows).chain(idx_rows) {
+    for row in table_rows
+        .into_iter()
+        .chain(rule_rows)
+        .chain(stat_rows)
+        .chain(idx_rows)
+    {
         let _ = cat.insert(row, now);
     }
 }
@@ -150,15 +155,19 @@ mod tests {
         let tables = n.table_scan(SYS_TABLE, Time::ZERO);
         assert!(tables.iter().any(|t| t.get(1) == Some(&Value::str("link"))));
         // Reflection tables describe themselves too.
-        assert!(tables.iter().any(|t| t.get(1) == Some(&Value::str(SYS_TABLE))));
+        assert!(tables
+            .iter()
+            .any(|t| t.get(1) == Some(&Value::str(SYS_TABLE))));
 
         let rules = n.table_scan(SYS_RULE, Time::ZERO);
         assert_eq!(rules.len(), 1);
         assert_eq!(rules[0].get(3), Some(&Value::Int(1)), "fired once");
 
         let stats = n.table_scan(SYS_STAT, Time::ZERO);
-        assert!(stats.iter().any(|t| t.get(1) == Some(&Value::str("strandFirings"))
-            && t.get(2) == Some(&Value::Int(1))));
+        assert!(stats
+            .iter()
+            .any(|t| t.get(1) == Some(&Value::str("strandFirings"))
+                && t.get(2) == Some(&Value::Int(1))));
     }
 
     #[test]
@@ -207,7 +216,8 @@ mod tests {
     fn reflection_is_queryable_from_overlog() {
         // The point of the model: a monitoring rule can read sysRule.
         let mut n = Node::new(Addr::new("n1"), NodeConfig::default());
-        n.install("r1 out@N(X / 0) :- ev@N(X).", Time::ZERO).unwrap();
+        n.install("r1 out@N(X / 0) :- ev@N(X).", Time::ZERO)
+            .unwrap();
         n.install(
             "watch errorRules@N(Id, Errs) :- probe@N(), sysRule@N(Id, Src, F, O, Errs), Errs > 0.",
             Time::ZERO,

@@ -13,11 +13,16 @@
 //! the measurement rig: per-node busy time, live tuples, memory estimate,
 //! and messages sent — the exact series of Figures 4–7.
 
+pub mod driver;
+mod installer;
 pub mod introspect;
 pub mod metrics;
 pub mod node;
+mod router;
+mod scheduler;
 pub mod sim;
 
+pub use driver::{Driver, SimPort, ThreadedPort, Transport, UdpPort};
 pub use metrics::NodeMetrics;
 pub use node::{InstallError, Node, NodeConfig, ProgramId};
 pub use sim::SimHarness;

@@ -14,8 +14,12 @@ pub struct NodeMetrics {
     /// Wall-clock time spent executing this node's dataflow (pump +
     /// timer firing). Numerator of the CPU-utilization metric.
     pub busy: Duration,
-    /// Envelopes handed to the network.
+    /// Envelopes handed to the network. With outbox coalescing one
+    /// envelope can carry a whole same-relation run, so this counts
+    /// *frames*; see `tuples_sent` for payload volume.
     pub msgs_sent: u64,
+    /// Payload tuples handed to the network (across all envelopes).
+    pub tuples_sent: u64,
     /// Envelopes received from the network.
     pub msgs_received: u64,
     /// Tuples dispatched through the demux (events + table deltas).
@@ -27,6 +31,11 @@ pub struct NodeMetrics {
     /// Tuples discarded because a pump exceeded its dispatch budget
     /// (runaway-rule protection; see `NodeConfig::max_dispatch_per_pump`).
     pub overflow_drops: u64,
+    /// In-flight strand work units (queued stage inputs, un-emitted join
+    /// matches) abandoned when a pump's budget ran out. Counted apart
+    /// from `overflow_drops` so operators can tell queue pressure from
+    /// pipeline pressure.
+    pub strand_overflow_drops: u64,
     /// Malformed envelopes (decode failures, bad locations) dropped.
     pub malformed_drops: u64,
 }
@@ -47,7 +56,10 @@ mod tests {
 
     #[test]
     fn cpu_percent() {
-        let m = NodeMetrics { busy: Duration::from_millis(250), ..Default::default() };
+        let m = NodeMetrics {
+            busy: Duration::from_millis(250),
+            ..Default::default()
+        };
         assert!((m.cpu_percent(10.0) - 2.5).abs() < 1e-9);
         assert_eq!(m.cpu_percent(0.0), 0.0);
     }

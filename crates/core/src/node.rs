@@ -1,19 +1,33 @@
-//! The node runtime.
+//! The node runtime: state and public API.
+//!
+//! A [`Node`] owns the per-node machinery of Figure 1 — catalog, rule
+//! strands, timers, tracer, router — but the runtime logic is split
+//! across sibling modules, each an `impl Node` block over the same
+//! state:
+//!
+//! * [`crate::scheduler`] — the pump loop, the dispatch budget, and the
+//!   timer wheel,
+//! * [`crate::router`] — action routing (local loop-back vs network) and
+//!   the coalescing outbox,
+//! * [`crate::installer`] — program compile/install/uninstall and
+//!   trace-table registration.
+//!
+//! Local deltas flow through [`Node::push_pending`] as **batched runs**:
+//! consecutive same-relation tuples share one `DeltaBatch`, so the
+//! scheduler can push a whole run through the store in one call when no
+//! strand is watching the relation (and fall back to the paper's exact
+//! per-tuple interleave when one is).
 
 use crate::metrics::NodeMetrics;
-use p2_dataflow::{Action, NullSink, StrandRuntime, TapSink};
+use p2_dataflow::{NullSink, StrandRuntime, TapSink};
 use p2_net::Envelope;
 use p2_planner::expr::EvalCtx;
-use p2_planner::plan::Trigger;
-use p2_planner::{compile_program, PlanError};
-use p2_store::{Catalog, InsertOutcome, TableSpec};
+use p2_store::Catalog;
 use p2_trace::{TraceConfig, Tracer};
-use p2_types::{Addr, DetRng, Time, TimeDelta, Tuple, Value};
+use p2_types::{Addr, DetRng, Time, Tuple, Value};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 use std::fmt;
-use std::sync::Arc;
-use std::time::Instant;
 
 /// Handle to an installed program, for later removal ("piecemeal"
 /// deployment and un-deployment of monitoring queries, §1.3).
@@ -26,7 +40,7 @@ pub enum InstallError {
     /// Front-end (parse/validate) failure.
     Compile(p2_overlog::CompileError),
     /// Planning failure.
-    Plan(PlanError),
+    Plan(p2_planner::PlanError),
     /// A table re-declaration conflicted with the running catalog.
     Catalog(p2_store::CatalogError),
 }
@@ -56,11 +70,19 @@ pub struct NodeConfig {
     /// its period (desynchronizes protocol rounds across nodes, as real
     /// deployments are).
     pub stagger_timers: bool,
-    /// Dispatch budget per pump: a runaway rule set (e.g. a mutually
-    /// recursive event loop) is cut off after this many dispatches and
-    /// counted in `NodeMetrics::overflow_drops` instead of hanging the
-    /// process.
+    /// Work budget per pump, covering both tuple dispatches and strand
+    /// pipeline steps: a runaway rule set (e.g. a mutually recursive
+    /// event loop) is cut off after this much work and counted in
+    /// `NodeMetrics::overflow_drops` / `strand_overflow_drops` instead
+    /// of hanging the process.
     pub max_dispatch_per_pump: u64,
+    /// Longest same-relation run one `DeltaBatch` may hold. Larger runs
+    /// amortize the store's expiry/compaction prologue better; 1
+    /// degenerates to the per-tuple engine (the `node_pump` bench knob).
+    pub max_delta_batch: usize,
+    /// Most payload tuples the router coalesces into one outgoing
+    /// envelope before starting a new frame.
+    pub envelope_flush_threshold: usize,
 }
 
 impl Default for NodeConfig {
@@ -71,25 +93,18 @@ impl Default for NodeConfig {
             seed: 0,
             stagger_timers: true,
             max_dispatch_per_pump: 200_000,
+            max_delta_batch: 64,
+            envelope_flush_threshold: 64,
         }
     }
 }
 
-/// A periodic timer installed for a `periodic`-triggered strand.
-#[derive(Debug, Clone)]
-struct TimerState {
-    strand_idx: usize,
-    period: TimeDelta,
-    next_fire: Time,
-    program: ProgramId,
-}
-
 /// Expression-evaluation context handed to strands: virtual (or real)
 /// time, the node's deterministic RNG, and its address.
-struct NodeCtx<'a> {
-    now: Time,
-    addr: Addr,
-    rng: &'a mut DetRng,
+pub(crate) struct NodeCtx<'a> {
+    pub(crate) now: Time,
+    pub(crate) addr: Addr,
+    pub(crate) rng: &'a mut DetRng,
 }
 
 impl EvalCtx for NodeCtx<'_> {
@@ -104,36 +119,41 @@ impl EvalCtx for NodeCtx<'_> {
     }
 }
 
-/// A queued local dispatch. `traced` is false for tuples that originate
-/// from the tracer's own tables, so trace processing is never itself
-/// traced (regress protection; see `p2-trace` docs).
-struct Pending {
-    tuple: Tuple,
-    traced: bool,
+/// A queued run of same-relation local dispatches. `traced` is false for
+/// tuples that originate from the tracer's own tables, so trace
+/// processing is never itself traced (regress protection; see `p2-trace`
+/// docs).
+pub(crate) struct DeltaBatch {
+    pub(crate) relation: String,
+    pub(crate) traced: bool,
+    pub(crate) tuples: VecDeque<Tuple>,
 }
 
 /// One P2 node: catalog, strands, timers, tracer, router.
 pub struct Node {
-    addr: Addr,
-    config: NodeConfig,
-    catalog: Catalog,
-    strands: Vec<StrandRuntime>,
+    pub(crate) addr: Addr,
+    pub(crate) config: NodeConfig,
+    pub(crate) catalog: Catalog,
+    pub(crate) strands: Vec<StrandRuntime>,
     /// Strand index per program, for uninstall.
-    strand_programs: Vec<ProgramId>,
-    event_dispatch: HashMap<String, Vec<usize>>,
-    table_dispatch: HashMap<String, Vec<usize>>,
-    timers: Vec<TimerState>,
+    pub(crate) strand_programs: Vec<ProgramId>,
+    pub(crate) event_dispatch: HashMap<String, Vec<usize>>,
+    pub(crate) table_dispatch: HashMap<String, Vec<usize>>,
+    pub(crate) timers: Vec<crate::scheduler::TimerState>,
     /// Pending firings: (next_fire, timer index). Peeked for scheduling,
     /// popped on firing — O(log n) per timer event instead of a scan
     /// over every installed timer (Figure 4 installs hundreds).
-    timer_heap: BinaryHeap<Reverse<(Time, usize)>>,
-    tracer: Tracer,
-    rng: DetRng,
-    pending: VecDeque<Pending>,
-    outbox: Vec<Envelope>,
-    watches: HashMap<String, Vec<(Time, Tuple)>>,
-    metrics: NodeMetrics,
-    next_program: u64,
+    pub(crate) timer_heap: BinaryHeap<Reverse<(Time, usize)>>,
+    pub(crate) tracer: Tracer,
+    pub(crate) rng: DetRng,
+    pub(crate) pending: VecDeque<DeltaBatch>,
+    /// Strands with in-flight pipeline work, ascending — the scheduler's
+    /// worklist, replacing an O(strands) scan per pump iteration.
+    pub(crate) active_strands: BTreeSet<usize>,
+    pub(crate) outbox: Vec<Envelope>,
+    pub(crate) watches: HashMap<String, Vec<(Time, Tuple)>>,
+    pub(crate) metrics: NodeMetrics,
+    pub(crate) next_program: u64,
 }
 
 impl Node {
@@ -154,6 +174,7 @@ impl Node {
             tracer,
             rng,
             pending: VecDeque::new(),
+            active_strands: BTreeSet::new(),
             outbox: Vec::new(),
             watches: HashMap::new(),
             metrics: NodeMetrics::default(),
@@ -164,27 +185,6 @@ impl Node {
         }
         node.register_introspection_tables();
         node
-    }
-
-    fn register_trace_tables(&mut self) {
-        for spec in self.tracer.table_specs() {
-            // Idempotent; conflict impossible (we own the specs).
-            let _ = self.catalog.register(spec);
-        }
-        if self.config.trace.log_events {
-            let _ = self.catalog.register(TableSpec::new(
-                p2_trace::EVENT_LOG,
-                Some(TimeDelta::from_secs_f64(self.config.trace.event_log_lifetime_secs)),
-                Some(self.config.trace.event_log_max_rows),
-                vec![0, 1, 2, 3],
-            ));
-        }
-    }
-
-    fn register_introspection_tables(&mut self) {
-        for spec in crate::introspect::table_specs() {
-            let _ = self.catalog.register(spec);
-        }
     }
 
     /// The node's address.
@@ -252,7 +252,10 @@ impl Node {
 
     /// Drain watched tuples of `name` observed so far.
     pub fn take_watched(&mut self, name: &str) -> Vec<(Time, Tuple)> {
-        self.watches.get_mut(name).map(std::mem::take).unwrap_or_default()
+        self.watches
+            .get_mut(name)
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Peek at watched tuples without draining.
@@ -260,270 +263,49 @@ impl Node {
         self.watches.get(name).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
-    /// Install an OverLog program (source text) on the running node.
-    ///
-    /// Returns a handle for [`Node::uninstall`]. Predicates are
-    /// classified against the tables materialized *at install time*, so
-    /// install monitoring programs after the application they observe.
-    pub fn install(&mut self, source: &str, now: Time) -> Result<ProgramId, InstallError> {
-        let program = p2_overlog::compile(source).map_err(InstallError::Compile)?;
-        let known: HashSet<String> = self
-            .catalog
-            .table_stats()
-            .into_iter()
-            .map(|(name, _, _)| name)
-            .collect();
-        let compiled = compile_program(&program, &known).map_err(InstallError::Plan)?;
-
-        // Register tables first (strand classification already done).
-        for t in &compiled.tables {
-            self.catalog
-                .register(TableSpec::new(
-                    &t.name,
-                    t.lifetime_secs.map(TimeDelta::from_secs_f64),
-                    t.max_rows,
-                    t.key_fields.clone(),
-                ))
-                .map_err(InstallError::Catalog)?;
-        }
-
-        // Register the secondary indexes the planner's join probes want,
-        // so every `scan_eq` on those fields is an index lookup from the
-        // strand's first firing. This covers tables the program reads but
-        // does not declare (a monitoring query over the base application's
-        // tables): joins are only planned against relations materialized
-        // here, so the table is already in the catalog. A miss is
-        // tolerated anyway — the store's auto-index fallback would pick
-        // the field up after a few linear probes.
-        for (table, field) in &compiled.index_requests {
-            let _ = self.catalog.ensure_index(table, *field);
-        }
-
-        let pid = ProgramId(self.next_program);
-        self.next_program += 1;
-
-        for strand in compiled.strands {
-            let idx = self.strands.len();
-            match &strand.trigger {
-                Trigger::Event { name } => {
-                    self.event_dispatch.entry(name.clone()).or_default().push(idx);
-                }
-                Trigger::TableInsert { name } => {
-                    self.table_dispatch.entry(name.clone()).or_default().push(idx);
-                }
-                Trigger::Periodic { period_secs } => {
-                    let period = TimeDelta::from_secs_f64(*period_secs);
-                    let offset = if self.config.stagger_timers {
-                        TimeDelta::from_micros(self.rng.below(period.micros().max(1)))
-                    } else {
-                        period
-                    };
-                    let tidx = self.timers.len();
-                    self.timers.push(TimerState {
-                        strand_idx: idx,
-                        period,
-                        next_fire: now + offset,
-                        program: pid,
-                    });
-                    self.timer_heap.push(Reverse((now + offset, tidx)));
-                }
-            }
-            self.strands.push(StrandRuntime::new(Arc::new(strand)));
-            self.strand_programs.push(pid);
-        }
-
-        // Inject facts as ordinary dispatches (they may be remote).
-        for fact in compiled.facts {
-            self.route_tuple(fact, false, now);
-        }
-        Ok(pid)
-    }
-
-    /// Remove a program's strands and timers. Its tables (and their
-    /// contents) remain — soft state expires on its own, and other
-    /// programs may read them.
-    pub fn uninstall(&mut self, pid: ProgramId) {
-        let keep: Vec<bool> = self.strand_programs.iter().map(|p| *p != pid).collect();
-        // Rebuild the strand vector and all dispatch indexes.
-        let mut new_strands = Vec::new();
-        let mut new_programs = Vec::new();
-        let mut remap: Vec<Option<usize>> = Vec::with_capacity(self.strands.len());
-        for (i, strand) in self.strands.drain(..).enumerate() {
-            if keep[i] {
-                remap.push(Some(new_strands.len()));
-                new_strands.push(strand);
-                new_programs.push(self.strand_programs[i]);
-            } else {
-                remap.push(None);
-            }
-        }
-        self.strands = new_strands;
-        self.strand_programs = new_programs;
-        for map in [&mut self.event_dispatch, &mut self.table_dispatch] {
-            for v in map.values_mut() {
-                *v = v.iter().filter_map(|&i| remap[i]).collect();
-            }
-            map.retain(|_, v| !v.is_empty());
-        }
-        self.timers.retain_mut(|t| {
-            if t.program == pid {
-                return false;
-            }
-            t.strand_idx = remap[t.strand_idx].expect("kept strands remapped");
-            true
-        });
-        // Timer indices shifted: rebuild the heap (uninstall is rare).
-        self.timer_heap = self
-            .timers
-            .iter()
-            .enumerate()
-            .map(|(i, t)| Reverse((t.next_fire, i)))
-            .collect();
-    }
-
-    /// Earliest pending timer, for the simulation scheduler.
-    ///
-    /// The heap top is exact: there is exactly one entry per installed
-    /// timer (pushed at install, re-pushed on every firing, and the heap
-    /// is rebuilt wholesale on uninstall).
-    pub fn next_timer(&self) -> Option<Time> {
-        self.timer_heap.peek().map(|Reverse((t, _))| *t)
-    }
-
-    /// Fire every timer due at or before `now` (synthesizing `periodic`
-    /// event tuples), then pump.
-    pub fn fire_timers(&mut self, now: Time) {
-        let started = Instant::now();
-        while let Some(Reverse((t, i))) = self.timer_heap.peek().copied() {
-            if t > now {
-                break;
-            }
-            self.timer_heap.pop();
-            let Some(state) = self.timers.get(i) else { continue };
-            if state.next_fire != t {
-                continue; // stale entry from a rebuild
-            }
-            let (strand_idx, period) = (state.strand_idx, state.period);
-            let mut next = t + period;
-            while next <= now {
-                next += period; // catch up after long gaps
-            }
-            self.timers[i].next_fire = next;
-            self.timer_heap.push(Reverse((next, i)));
-            let nonce = self.rng.next_u64();
-            let tuple = Tuple::new(
-                "periodic",
-                [
-                    Value::Addr(self.addr.clone()),
-                    Value::id(nonce),
-                    Value::Float(period.as_secs_f64()),
-                ],
-            );
-            self.fire_strand(strand_idx, &tuple, true, now);
-        }
-        self.metrics.busy += started.elapsed();
-    }
-
-    /// Deliver an envelope from the network.
+    /// Deliver an envelope (a same-relation batch) from the network.
     pub fn deliver(&mut self, env: Envelope, now: Time) {
         self.metrics.msgs_received += 1;
-        if env.delete {
-            match self.catalog.delete_by_key(&env.tuple, now) {
-                Ok(Some(_)) => {
-                    self.metrics.deletes += 1;
-                    self.log_event(env.tuple.name(), "remove", now);
+        let Envelope {
+            tuples,
+            src,
+            src_tuple_ids,
+            delete,
+            ..
+        } = env;
+        if delete {
+            for tuple in &tuples {
+                match self.catalog.delete_by_key(tuple, now) {
+                    Ok(Some(_)) => {
+                        self.metrics.deletes += 1;
+                        self.log_event(tuple.name(), "remove", now);
+                    }
+                    Ok(None) => {}
+                    Err(_) => self.metrics.malformed_drops += 1,
                 }
-                Ok(None) => {}
-                Err(_) => self.metrics.malformed_drops += 1,
             }
             return;
         }
-        if self.config.tracing {
-            match env.src_tuple_id {
-                Some(src_id) => {
-                    self.tracer.on_receive(&env.tuple, &env.src, src_id, now);
-                }
-                None => {
-                    // Untraced sender: still memoize locally so forensic
-                    // walks terminate at this hop.
-                    self.tracer.id_of(&env.tuple, now);
+        for (i, tuple) in tuples.into_iter().enumerate() {
+            if self.config.tracing {
+                match src_tuple_ids.get(i).copied().flatten() {
+                    Some(src_id) => {
+                        self.tracer.on_receive(&tuple, &src, src_id, now);
+                    }
+                    None => {
+                        // Untraced sender: still memoize locally so
+                        // forensic walks terminate at this hop.
+                        self.tracer.id_of(&tuple, now);
+                    }
                 }
             }
+            self.push_pending(tuple, true);
         }
-        self.pending.push_back(Pending { tuple: env.tuple, traced: true });
     }
 
     /// Inject a local tuple (tests, operators, upper layers).
     pub fn inject(&mut self, tuple: Tuple) {
-        self.pending.push_back(Pending { tuple, traced: true });
-    }
-
-    /// Process until quiescent at virtual time `now`; returns envelopes
-    /// to transmit.
-    pub fn pump(&mut self, now: Time) -> Vec<Envelope> {
-        let started = Instant::now();
-        let mut budget = self.config.max_dispatch_per_pump;
-        loop {
-            let mut did_work = false;
-
-            if let Some(p) = self.pending.pop_front() {
-                if budget == 0 {
-                    self.metrics.overflow_drops += 1 + self.pending.len() as u64;
-                    self.pending.clear();
-                } else {
-                    budget -= 1;
-                    self.dispatch(p.tuple, p.traced, now);
-                    did_work = true;
-                }
-            }
-
-            // Step every strand with in-flight pipeline work.
-            for idx in 0..self.strands.len() {
-                if self.strands[idx].has_work() {
-                    let mut actions = Vec::new();
-                    let traced = self.config.tracing;
-                    {
-                        let mut ctx = NodeCtx {
-                            now,
-                            addr: self.addr.clone(),
-                            rng: &mut self.rng,
-                        };
-                        let mut null = NullSink;
-                        let sink: &mut dyn TapSink = if traced {
-                            &mut self.tracer
-                        } else {
-                            &mut null
-                        };
-                        self.strands[idx].step(
-                            &mut self.catalog,
-                            &mut ctx,
-                            sink,
-                            now,
-                            &mut actions,
-                        );
-                    }
-                    for a in actions {
-                        self.route_action(a, now);
-                    }
-                    did_work = true;
-                }
-            }
-
-            // Flush tracer rows into the catalog; their deltas dispatch
-            // untraced.
-            if self.config.tracing && self.tracer.pending_len() > 0 {
-                for row in self.tracer.drain_rows() {
-                    self.pending.push_back(Pending { tuple: row, traced: false });
-                }
-                did_work = true;
-            }
-
-            if !did_work {
-                break;
-            }
-        }
-        self.metrics.busy += started.elapsed();
-        std::mem::take(&mut self.outbox)
+        self.push_pending(tuple, true);
     }
 
     /// Run the tracer's reference-count sweep (§2.1.3). The harness calls
@@ -537,133 +319,6 @@ impl Node {
     /// Refresh the `sysTable`/`sysRule`/`sysStat` introspection tables.
     pub fn refresh_introspection(&mut self, now: Time) {
         crate::introspect::refresh(self, now);
-    }
-
-    // ------------------------------------------------------------ internal
-
-    /// Whether a relation belongs to the trace/introspection machinery
-    /// (its churn must not be event-logged, or logging would log itself).
-    fn is_internal_relation(name: &str) -> bool {
-        matches!(
-            name,
-            p2_trace::RULE_EXEC
-                | p2_trace::TUPLE_TABLE
-                | p2_trace::EVENT_LOG
-                | crate::introspect::SYS_TABLE
-                | crate::introspect::SYS_RULE
-                | crate::introspect::SYS_STAT
-        )
-    }
-
-    /// Append a row to the §2.1 system-event log (arrivals/removals),
-    /// when enabled.
-    fn log_event(&mut self, relation: &str, op: &'static str, now: Time) {
-        if !self.config.tracing
-            || !self.config.trace.log_events
-            || Self::is_internal_relation(relation)
-        {
-            return;
-        }
-        let row = Tuple::new(
-            p2_trace::EVENT_LOG,
-            [
-                Value::Addr(self.addr.clone()),
-                Value::str(relation),
-                Value::str(op),
-                Value::Time(now),
-            ],
-        );
-        self.pending.push_back(Pending { tuple: row, traced: false });
-    }
-
-    /// Dispatch one tuple through the demux: watches, table insert (and
-    /// delta strands) or event strands.
-    fn dispatch(&mut self, tuple: Tuple, traced: bool, now: Time) {
-        self.metrics.tuples_dispatched += 1;
-        if let Some(log) = self.watches.get_mut(tuple.name()) {
-            log.push((now, tuple.clone()));
-        }
-        if traced {
-            self.log_event(tuple.name(), "arrive", now);
-        }
-        let name = tuple.name().to_string();
-        if self.catalog.is_materialized(&name) {
-            match self.catalog.insert(tuple.clone(), now) {
-                Ok(InsertOutcome::Refreshed) => return, // no delta
-                Ok(_) => {}
-                Err(_) => {
-                    self.metrics.malformed_drops += 1;
-                    return;
-                }
-            }
-            if let Some(idxs) = self.table_dispatch.get(&name).cloned() {
-                for idx in idxs {
-                    self.fire_strand(idx, &tuple, traced, now);
-                }
-            }
-        } else if let Some(idxs) = self.event_dispatch.get(&name).cloned() {
-            for idx in idxs {
-                self.fire_strand(idx, &tuple, traced, now);
-            }
-        }
-    }
-
-    fn fire_strand(&mut self, idx: usize, tuple: &Tuple, traced: bool, now: Time) {
-        let mut actions = Vec::new();
-        let use_tracer = traced && self.config.tracing;
-        {
-            let mut ctx = NodeCtx { now, addr: self.addr.clone(), rng: &mut self.rng };
-            let mut null = NullSink;
-            let sink: &mut dyn TapSink =
-                if use_tracer { &mut self.tracer } else { &mut null };
-            if self.strands[idx].fire(tuple, &mut self.catalog, &mut ctx, sink, now, &mut actions)
-            {
-                self.metrics.strand_firings += 1;
-            }
-        }
-        for a in actions {
-            self.route_action(a, now);
-        }
-    }
-
-    fn route_action(&mut self, action: Action, now: Time) {
-        let Action { tuple, delete } = action;
-        self.route_tuple(tuple, delete, now);
-    }
-
-    /// Route a tuple by its location field: local loop-back or network.
-    fn route_tuple(&mut self, tuple: Tuple, delete: bool, now: Time) {
-        let dst = match tuple.location() {
-            Ok(a) => a.clone(),
-            Err(_) => {
-                self.metrics.malformed_drops += 1;
-                return;
-            }
-        };
-        if dst == self.addr {
-            if delete {
-                if let Ok(Some(_)) = self.catalog.delete_by_key(&tuple, now) {
-                    self.metrics.deletes += 1;
-                    self.log_event(tuple.name(), "remove", now);
-                }
-            } else {
-                self.pending.push_back(Pending { tuple, traced: true });
-            }
-            return;
-        }
-        let src_tuple_id = if self.config.tracing {
-            Some(self.tracer.on_send(&tuple, &dst, now))
-        } else {
-            None
-        };
-        self.metrics.msgs_sent += 1;
-        self.outbox.push(Envelope {
-            tuple,
-            src: self.addr.clone(),
-            dst,
-            src_tuple_id,
-            delete,
-        });
     }
 
     /// Snapshot of per-strand execution stats (for `sysRule`).
@@ -684,334 +339,96 @@ impl Node {
     pub fn strand_count(&self) -> usize {
         self.strands.len()
     }
+
+    // ------------------------------------------------------------ internal
+
+    /// Queue a local dispatch, coalescing it into the tail batch when it
+    /// extends a same-relation run (capped at `max_delta_batch`). Only
+    /// *consecutive* runs merge, so cross-relation dispatch order is
+    /// exactly the per-tuple engine's.
+    pub(crate) fn push_pending(&mut self, tuple: Tuple, traced: bool) {
+        if let Some(last) = self.pending.back_mut() {
+            if last.traced == traced
+                && last.relation == tuple.name()
+                && last.tuples.len() < self.config.max_delta_batch
+            {
+                last.tuples.push_back(tuple);
+                return;
+            }
+        }
+        self.pending.push_back(DeltaBatch {
+            relation: tuple.name().to_string(),
+            traced,
+            tuples: VecDeque::from([tuple]),
+        });
+    }
+
+    /// Whether a relation belongs to the trace/introspection machinery
+    /// (its churn must not be event-logged, or logging would log itself).
+    pub(crate) fn is_internal_relation(name: &str) -> bool {
+        matches!(
+            name,
+            p2_trace::RULE_EXEC
+                | p2_trace::TUPLE_TABLE
+                | p2_trace::EVENT_LOG
+                | crate::introspect::SYS_TABLE
+                | crate::introspect::SYS_RULE
+                | crate::introspect::SYS_STAT
+        )
+    }
+
+    /// Append a row to the §2.1 system-event log (arrivals/removals),
+    /// when enabled.
+    pub(crate) fn log_event(&mut self, relation: &str, op: &'static str, now: Time) {
+        if !self.config.tracing
+            || !self.config.trace.log_events
+            || Self::is_internal_relation(relation)
+        {
+            return;
+        }
+        let row = Tuple::new(
+            p2_trace::EVENT_LOG,
+            [
+                Value::Addr(self.addr.clone()),
+                Value::str(relation),
+                Value::str(op),
+                Value::Time(now),
+            ],
+        );
+        self.push_pending(row, false);
+    }
+
+    /// Fire strand `idx` with a trigger tuple, route its outputs, and
+    /// keep the scheduler's worklist in sync with any pipeline work the
+    /// firing left behind.
+    pub(crate) fn fire_strand(&mut self, idx: usize, tuple: &Tuple, traced: bool, now: Time) {
+        let mut actions = Vec::new();
+        let use_tracer = traced && self.config.tracing;
+        {
+            let mut ctx = NodeCtx {
+                now,
+                addr: self.addr.clone(),
+                rng: &mut self.rng,
+            };
+            let mut null = NullSink;
+            let sink: &mut dyn TapSink = if use_tracer {
+                &mut self.tracer
+            } else {
+                &mut null
+            };
+            if self.strands[idx].fire(tuple, &mut self.catalog, &mut ctx, sink, now, &mut actions) {
+                self.metrics.strand_firings += 1;
+            }
+        }
+        if self.strands[idx].has_work() {
+            self.active_strands.insert(idx);
+        }
+        for a in actions {
+            self.route_action(a, now);
+        }
+    }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn node(name: &str) -> Node {
-        Node::new(Addr::new(name), NodeConfig { stagger_timers: false, ..Default::default() })
-    }
-
-    #[test]
-    fn install_and_fact_insertion() {
-        let mut n = node("n1");
-        n.install(
-            "materialize(link, infinity, infinity, keys(1, 2)).
-             link@\"n1\"(\"n2\", 3).",
-            Time::ZERO,
-        )
-        .unwrap();
-        let out = n.pump(Time::ZERO);
-        assert!(out.is_empty());
-        let rows = n.table_scan("link", Time::ZERO);
-        assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].get(1), Some(&Value::str("n2")));
-    }
-
-    #[test]
-    fn event_rule_chain_and_routing() {
-        let mut n = node("n1");
-        n.install(
-            "r1 hop@\"n2\"(X) :- go@N(X).
-             r2 local@N(X) :- go@N(X).",
-            Time::ZERO,
-        )
-        .unwrap();
-        n.watch("local");
-        n.inject(Tuple::new("go", [Value::addr("n1"), Value::Int(5)]));
-        let out = n.pump(Time::ZERO);
-        // r1's head routes to n2 over the network.
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].dst, Addr::new("n2"));
-        assert_eq!(out[0].tuple.name(), "hop");
-        // r2's head is a local event, observed by the watch.
-        assert_eq!(n.watched("local").len(), 1);
-        assert_eq!(n.metrics().msgs_sent, 1);
-    }
-
-    #[test]
-    fn table_delta_rules_fire() {
-        let mut n = node("n1");
-        n.install(
-            "materialize(succ, infinity, infinity, keys(1, 2)).
-             d twice@N(S) :- succ@N(S).",
-            Time::ZERO,
-        )
-        .unwrap();
-        n.watch("twice");
-        n.inject(Tuple::new("succ", [Value::addr("n1"), Value::id(9)]));
-        n.pump(Time::ZERO);
-        assert_eq!(n.watched("twice").len(), 1);
-        // Identical re-insertion refreshes without a delta.
-        n.inject(Tuple::new("succ", [Value::addr("n1"), Value::id(9)]));
-        n.pump(Time::ZERO);
-        assert_eq!(n.watched("twice").len(), 1, "refresh must not re-fire");
-    }
-
-    #[test]
-    fn periodic_timer_fires_and_reschedules() {
-        let mut n = node("n1");
-        n.install("p tick@N(E) :- periodic@N(E, 2).", Time::ZERO).unwrap();
-        n.watch("tick");
-        assert_eq!(n.next_timer(), Some(Time::from_secs(2)));
-        n.fire_timers(Time::from_secs(2));
-        n.pump(Time::from_secs(2));
-        assert_eq!(n.watched("tick").len(), 1);
-        assert_eq!(n.next_timer(), Some(Time::from_secs(4)));
-        // Catch-up: far-future firing fires once and reschedules beyond.
-        n.fire_timers(Time::from_secs(11));
-        n.pump(Time::from_secs(11));
-        assert_eq!(n.watched("tick").len(), 2);
-        assert!(n.next_timer().unwrap() > Time::from_secs(11));
-    }
-
-    #[test]
-    fn delete_rule_removes_rows() {
-        let mut n = node("n1");
-        n.install(
-            "materialize(t, infinity, infinity, keys(1, 2)).
-             t@\"n1\"(1). t@\"n1\"(2).
-             d delete t@N(X) :- zap@N(X).",
-            Time::ZERO,
-        )
-        .unwrap();
-        n.pump(Time::ZERO);
-        assert_eq!(n.table_scan("t", Time::ZERO).len(), 2);
-        n.inject(Tuple::new("zap", [Value::addr("n1"), Value::Int(1)]));
-        n.pump(Time::ZERO);
-        let rows = n.table_scan("t", Time::ZERO);
-        assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].get(1), Some(&Value::Int(2)));
-        assert_eq!(n.metrics().deletes, 1);
-    }
-
-    #[test]
-    fn remote_delivery_and_delete() {
-        let mut n = node("n2");
-        n.install("materialize(t, infinity, infinity, keys(1, 2)).", Time::ZERO)
-            .unwrap();
-        let t = Tuple::new("t", [Value::addr("n2"), Value::Int(7)]);
-        n.deliver(Envelope::new(t.clone(), Addr::new("n1"), Addr::new("n2")), Time::ZERO);
-        n.pump(Time::ZERO);
-        assert_eq!(n.table_scan("t", Time::ZERO).len(), 1);
-        // Remote delete.
-        let mut del = Envelope::new(t, Addr::new("n1"), Addr::new("n2"));
-        del.delete = true;
-        n.deliver(del, Time::ZERO);
-        assert_eq!(n.table_scan("t", Time::ZERO).len(), 0);
-    }
-
-    #[test]
-    fn tracing_produces_rule_exec_rows() {
-        let mut n = Node::new(
-            Addr::new("n1"),
-            NodeConfig { tracing: true, stagger_timers: false, ..Default::default() },
-        );
-        n.install(
-            "materialize(prec, infinity, infinity, keys(1, 2)).
-             prec@\"n1\"(4).
-             r1 head@N(Z) :- ev@N(Z), prec@N(Z).",
-            Time::ZERO,
-        )
-        .unwrap();
-        n.pump(Time::ZERO);
-        n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(4)]));
-        n.pump(Time::ZERO);
-        let execs = n.table_scan("ruleExec", Time::ZERO);
-        // The paper's worked example: 2 rows (event cause + precondition
-        // cause) — but the fact insertion itself is untraced here because
-        // facts fire no strands; only r1's execution shows up.
-        assert_eq!(execs.len(), 2);
-        let tt = n.table_scan("tupleTable", Time::ZERO);
-        assert!(tt.len() >= 3);
-    }
-
-    #[test]
-    fn tracing_off_produces_nothing() {
-        let mut n = node("n1");
-        n.install("r1 out@N(X) :- ev@N(X).", Time::ZERO).unwrap();
-        n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(1)]));
-        n.pump(Time::ZERO);
-        assert!(n.table_scan("ruleExec", Time::ZERO).is_empty());
-    }
-
-    #[test]
-    fn uninstall_removes_strands_and_timers() {
-        let mut n = node("n1");
-        let keep = n.install("k out@N(X) :- ev@N(X).", Time::ZERO).unwrap();
-        let gone = n
-            .install("g out2@N(E) :- periodic@N(E, 5).", Time::ZERO)
-            .unwrap();
-        assert_eq!(n.strand_count(), 2);
-        assert!(n.next_timer().is_some());
-        n.uninstall(gone);
-        assert_eq!(n.strand_count(), 1);
-        assert!(n.next_timer().is_none());
-        // The kept rule still works.
-        n.watch("out");
-        n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(1)]));
-        n.pump(Time::ZERO);
-        assert_eq!(n.watched("out").len(), 1);
-        let _ = keep;
-    }
-
-    #[test]
-    fn runaway_rules_hit_dispatch_budget() {
-        let mut n = Node::new(
-            Addr::new("n1"),
-            NodeConfig {
-                max_dispatch_per_pump: 1_000,
-                stagger_timers: false,
-                ..Default::default()
-            },
-        );
-        // a and b feed each other forever.
-        n.install("r1 a@N(X) :- b@N(X). r2 b@N(X) :- a@N(X).", Time::ZERO).unwrap();
-        n.inject(Tuple::new("a", [Value::addr("n1"), Value::Int(0)]));
-        n.pump(Time::ZERO); // must terminate
-        assert!(n.metrics().overflow_drops > 0);
-    }
-
-    #[test]
-    fn malformed_location_is_counted_not_fatal() {
-        let mut n = node("n1");
-        n.install("r1 out@N(X) :- ev@N(X).", Time::ZERO).unwrap();
-        // Event whose bound location is a non-address: head location
-        // coercion turns strings into addrs, but an Int location fails.
-        n.inject(Tuple::new("ev", [Value::Int(9), Value::Int(1)]));
-        n.pump(Time::ZERO);
-        // The trigger bound N := Int(9); the head built out(9, 1) whose
-        // location is not an address → dropped and counted.
-        assert_eq!(n.metrics().malformed_drops, 1);
-    }
-
-    #[test]
-    fn watch_take_and_peek() {
-        let mut n = node("n1");
-        n.install("r1 out@N(X) :- ev@N(X).", Time::ZERO).unwrap();
-        n.watch("out");
-        for i in 0..3 {
-            n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(i)]));
-        }
-        n.pump(Time::ZERO);
-        assert_eq!(n.watched("out").len(), 3);
-        let taken = n.take_watched("out");
-        assert_eq!(taken.len(), 3);
-        assert!(n.watched("out").is_empty(), "take drains");
-        // Watch keeps observing after a drain.
-        n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(9)]));
-        n.pump(Time::ZERO);
-        assert_eq!(n.watched("out").len(), 1);
-    }
-
-    #[test]
-    fn tracing_toggles_at_runtime() {
-        let mut n = node("n1");
-        n.install(
-            "materialize(prec, infinity, infinity, keys(1, 2)).
-             prec@\"n1\"(4).
-             r1 head@N(Z) :- ev@N(Z), prec@N(Z).",
-            Time::ZERO,
-        )
-        .unwrap();
-        n.pump(Time::ZERO);
-        assert!(!n.tracing());
-        n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(4)]));
-        n.pump(Time::ZERO);
-        assert!(n.table_scan("ruleExec", Time::ZERO).is_empty());
-        // Flip tracing on mid-life: subsequent executions are traced.
-        n.set_tracing(true);
-        n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(4)]));
-        n.pump(Time::ZERO);
-        assert_eq!(n.table_scan("ruleExec", Time::ZERO).len(), 2);
-        // And off again.
-        n.set_tracing(false);
-        let before = n.table_scan("ruleExec", Time::ZERO).len();
-        n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(4)]));
-        n.pump(Time::ZERO);
-        assert_eq!(n.table_scan("ruleExec", Time::ZERO).len(), before);
-    }
-
-    #[test]
-    fn event_log_records_arrivals_and_removals() {
-        let mut cfg = NodeConfig { tracing: true, stagger_timers: false, ..Default::default() };
-        cfg.trace.log_events = true;
-        let mut n = Node::new(Addr::new("n1"), cfg);
-        n.install(
-            "materialize(t, infinity, infinity, keys(1, 2)).
-             d delete t@N(X) :- zap@N(X), t@N(X).",
-            Time::ZERO,
-        )
-        .unwrap();
-        n.inject(Tuple::new("t", [Value::addr("n1"), Value::Int(1)]));
-        n.pump(Time::ZERO);
-        n.inject(Tuple::new("zap", [Value::addr("n1"), Value::Int(1)]));
-        n.pump(Time::ZERO);
-        let log = n.table_scan(p2_trace::EVENT_LOG, Time::ZERO);
-        let ops: Vec<(String, String)> = log
-            .iter()
-            .filter_map(|r| Some((r.get(1)?.to_string(), r.get(2)?.to_string())))
-            .collect();
-        assert!(ops.contains(&("t".into(), "arrive".into())), "{ops:?}");
-        assert!(ops.contains(&("zap".into(), "arrive".into())), "{ops:?}");
-        assert!(ops.contains(&("t".into(), "remove".into())), "{ops:?}");
-        // The log never logs itself or the trace tables.
-        assert!(ops.iter().all(|(rel, _)| rel != "eventLog" && rel != "ruleExec"));
-    }
-
-    #[test]
-    fn event_log_off_by_default() {
-        let mut n = Node::new(
-            Addr::new("n1"),
-            NodeConfig { tracing: true, stagger_timers: false, ..Default::default() },
-        );
-        n.install("r1 out@N(X) :- ev@N(X).", Time::ZERO).unwrap();
-        n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(1)]));
-        n.pump(Time::ZERO);
-        assert!(n.table_scan(p2_trace::EVENT_LOG, Time::ZERO).is_empty());
-    }
-
-    #[test]
-    fn install_registers_join_probe_indexes() {
-        let mut n = node("n1");
-        n.install(
-            "materialize(pred, infinity, 16, keys(1)).
-             materialize(succ, infinity, 16, keys(1, 2)).
-             r1 out@N(P) :- ev@N(X), pred@N(PID, P), succ@N(X, S).",
-            Time::ZERO,
-        )
-        .unwrap();
-        // pred is probed on no selective field beyond the location (both
-        // body fields bind), so only its location could be probed; succ is
-        // probed on field 1 (X is bound by the trigger).
-        assert_eq!(n.catalog_mut().indexed_fields("succ"), vec![1]);
-        // A second program over the *same* base tables adds its own index
-        // without re-declaring them.
-        n.install(
-            "q1 hit@N(S) :- chk@N(S), succ@N(X, S).",
-            Time::ZERO,
-        )
-        .unwrap();
-        assert_eq!(n.catalog_mut().indexed_fields("succ"), vec![1, 2]);
-    }
-
-    #[test]
-    fn install_errors_are_typed() {
-        let mut n = node("n1");
-        assert!(matches!(
-            n.install("r1 out@A(X) :- .", Time::ZERO),
-            Err(InstallError::Compile(_))
-        ));
-        assert!(matches!(
-            n.install("r h@N() :- e1@N(X), e2@N(Y).", Time::ZERO),
-            Err(InstallError::Plan(_))
-        ));
-        n.install("materialize(t, 10, 10, keys(1)).", Time::ZERO).unwrap();
-        assert!(matches!(
-            n.install("materialize(t, 99, 10, keys(1)).", Time::ZERO),
-            Err(InstallError::Catalog(_))
-        ));
-    }
-}
+#[path = "node_tests.rs"]
+mod tests;

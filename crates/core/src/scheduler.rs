@@ -1,0 +1,288 @@
+//! The node scheduler: pump loop, dispatch budget, and timer wheel.
+//!
+//! The pump consumes batched delta runs ([`crate::node::DeltaBatch`])
+//! while preserving the paper's §2.1.2 observable execution exactly:
+//!
+//! * a relation **with** strand subscribers is dispatched one tuple at a
+//!   time, interleaved with one pipeline step per active strand — the
+//!   same schedule (and thus the same tap order, and the same traced
+//!   tuple IDs) the per-tuple engine produced;
+//! * a relation **without** subscribers cannot fire a strand or emit a
+//!   tap, so its whole run is pushed through the store in a single
+//!   [`Catalog::insert_batch`] call, paying the table's
+//!   expiry/compaction prologue and name lookup once per run instead of
+//!   once per tuple. Trace rows (`ruleExec`/`tupleTable`), the event
+//!   log, and introspection churn all ride this wholesale path.
+//!
+//! The per-pump budget covers *all* work — tuple dispatches and strand
+//! steps alike. On exhaustion queued tuples are dropped (counted in
+//! `overflow_drops`) and in-flight strand pipelines are abandoned
+//! (counted separately in `strand_overflow_drops`).
+
+use crate::node::{Node, NodeCtx};
+use p2_dataflow::{NullSink, TapSink};
+use p2_net::Envelope;
+use p2_types::{Time, TimeDelta, Tuple, Value};
+use std::cmp::Reverse;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// A periodic timer installed for a `periodic`-triggered strand.
+#[derive(Debug, Clone)]
+pub(crate) struct TimerState {
+    pub(crate) strand_idx: usize,
+    pub(crate) period: TimeDelta,
+    pub(crate) next_fire: Time,
+    pub(crate) program: crate::node::ProgramId,
+}
+
+impl Node {
+    /// Earliest pending timer, for the simulation scheduler.
+    ///
+    /// The heap top is exact: there is exactly one entry per installed
+    /// timer (pushed at install, re-pushed on every firing, and the heap
+    /// is rebuilt wholesale on uninstall).
+    pub fn next_timer(&self) -> Option<Time> {
+        self.timer_heap.peek().map(|Reverse((t, _))| *t)
+    }
+
+    /// Fire every timer due at or before `now` (synthesizing `periodic`
+    /// event tuples), then pump.
+    pub fn fire_timers(&mut self, now: Time) {
+        let started = Instant::now();
+        while let Some(Reverse((t, i))) = self.timer_heap.peek().copied() {
+            if t > now {
+                break;
+            }
+            self.timer_heap.pop();
+            let Some(state) = self.timers.get(i) else {
+                continue;
+            };
+            if state.next_fire != t {
+                continue; // stale entry from a rebuild
+            }
+            let (strand_idx, period) = (state.strand_idx, state.period);
+            let mut next = t + period;
+            while next <= now {
+                next += period; // catch up after long gaps
+            }
+            self.timers[i].next_fire = next;
+            self.timer_heap.push(Reverse((next, i)));
+            let nonce = self.rng.next_u64();
+            let tuple = Tuple::new(
+                "periodic",
+                [
+                    Value::Addr(self.addr.clone()),
+                    Value::id(nonce),
+                    Value::Float(period.as_secs_f64()),
+                ],
+            );
+            self.fire_strand(strand_idx, &tuple, true, now);
+        }
+        self.metrics.busy += started.elapsed();
+    }
+
+    /// Process until quiescent at virtual time `now`; returns envelopes
+    /// to transmit.
+    pub fn pump(&mut self, now: Time) -> Vec<Envelope> {
+        let started = Instant::now();
+        let mut budget = self.config.max_dispatch_per_pump;
+        'pump: loop {
+            let mut did_work = false;
+
+            if !self.pending.is_empty() {
+                if budget == 0 {
+                    self.overflow();
+                    break;
+                }
+                self.consume_front(&mut budget, now);
+                did_work = true;
+            }
+
+            // One pipeline step per strand with in-flight work, in
+            // ascending strand order (the §2.1.2 round-robin interleave
+            // the per-tuple engine used).
+            let active: Vec<usize> = self.active_strands.iter().copied().collect();
+            for idx in active {
+                if !self.strands[idx].has_work() {
+                    self.active_strands.remove(&idx);
+                    continue;
+                }
+                if budget == 0 {
+                    self.overflow();
+                    break 'pump;
+                }
+                budget -= self.step_strand(idx, budget, now);
+                if !self.strands[idx].has_work() {
+                    self.active_strands.remove(&idx);
+                }
+                did_work = true;
+            }
+
+            // Flush tracer rows into the catalog; their deltas dispatch
+            // untraced.
+            if self.config.tracing && self.tracer.pending_len() > 0 {
+                for row in self.tracer.drain_rows() {
+                    self.push_pending(row, false);
+                }
+                did_work = true;
+            }
+
+            if !did_work {
+                break;
+            }
+        }
+        self.metrics.busy += started.elapsed();
+        self.flush_outbox()
+    }
+
+    /// Consume work from the front delta batch. Subscribed relations go
+    /// one tuple at a time (per-tuple interleave preserved); silent
+    /// relations go wholesale through `insert_batch` — but only while no
+    /// strand holds in-flight pipeline work. A silent dispatch steps no
+    /// strand and emits no tap, yet the per-tuple engine ran one strand
+    /// step-round after each one; consuming a whole run in a single
+    /// round would advance pending consumption relative to those steps
+    /// and reorder trace-ID assignment. With every pipeline drained the
+    /// step-rounds are no-ops, and the wholesale shortcut is observably
+    /// identical.
+    fn consume_front(&mut self, budget: &mut u64, now: Time) {
+        let front = self.pending.front().expect("pending checked non-empty");
+        let subscribed = self.event_dispatch.contains_key(&front.relation)
+            || self.table_dispatch.contains_key(&front.relation);
+        if subscribed || !self.active_strands.is_empty() || front.tuples.len() == 1 {
+            // A run of length one gains nothing from the wholesale
+            // branch; sending it through `dispatch` keeps exactly one
+            // code path producing single-tuple effects.
+            let front = self.pending.front_mut().expect("checked");
+            let tuple = front.tuples.pop_front().expect("batches are non-empty");
+            let traced = front.traced;
+            if front.tuples.is_empty() {
+                self.pending.pop_front();
+            }
+            *budget -= 1;
+            self.dispatch(tuple, traced, now);
+            return;
+        }
+
+        // No strand can observe this relation, so no tap (and no trace
+        // ID assignment) depends on per-tuple timing: the whole run is
+        // one store call. Watches and the event log still see every
+        // tuple, in order.
+        let mut front = self.pending.pop_front().expect("checked");
+        let traced = front.traced;
+        let relation = std::mem::take(&mut front.relation);
+        let take = (*budget).min(front.tuples.len() as u64) as usize;
+        let run: VecDeque<Tuple> = if take == front.tuples.len() {
+            std::mem::take(&mut front.tuples)
+        } else {
+            front.tuples.drain(..take).collect()
+        };
+        if !front.tuples.is_empty() {
+            // Budget clamp mid-run: the rest waits (and is dropped by
+            // the overflow path on the next iteration).
+            front.relation = relation.clone();
+            self.pending.push_front(front);
+        }
+        *budget -= take as u64;
+        self.metrics.tuples_dispatched += take as u64;
+        // Per-run hoists: the run is same-relation by construction, so
+        // the watch log and the event-log decision resolve once.
+        if let Some(log) = self.watches.get_mut(&relation) {
+            log.reserve(run.len());
+            for t in &run {
+                log.push((now, t.clone()));
+            }
+        }
+        if traced && self.config.tracing && self.config.trace.log_events {
+            for _ in 0..run.len() {
+                self.log_event(&relation, "arrive", now);
+            }
+        }
+        if self.catalog.is_materialized(&relation) {
+            let _ = self.catalog.insert_batch(&relation, run, now);
+        }
+    }
+
+    /// Dispatch one tuple through the demux: watches, table insert (and
+    /// delta strands) or event strands.
+    pub(crate) fn dispatch(&mut self, tuple: Tuple, traced: bool, now: Time) {
+        self.metrics.tuples_dispatched += 1;
+        if let Some(log) = self.watches.get_mut(tuple.name()) {
+            log.push((now, tuple.clone()));
+        }
+        if traced {
+            self.log_event(tuple.name(), "arrive", now);
+        }
+        let name = tuple.name().to_string();
+        if self.catalog.is_materialized(&name) {
+            match self.catalog.insert(tuple.clone(), now) {
+                Ok(p2_store::InsertOutcome::Refreshed) => return, // no delta
+                Ok(_) => {}
+                Err(_) => {
+                    self.metrics.malformed_drops += 1;
+                    return;
+                }
+            }
+            if let Some(idxs) = self.table_dispatch.get(&name).cloned() {
+                for idx in idxs {
+                    self.fire_strand(idx, &tuple, traced, now);
+                }
+            }
+        } else if let Some(idxs) = self.event_dispatch.get(&name).cloned() {
+            for idx in idxs {
+                self.fire_strand(idx, &tuple, traced, now);
+            }
+        }
+    }
+
+    /// Step strand `idx`. Normally one unit of work; when this strand is
+    /// the *only* source of work (nothing pending, no sibling strand
+    /// active) it keeps stepping — stopping at the first step that emits
+    /// an action, so produced tuples are dispatched at exactly the point
+    /// the one-step-per-iteration schedule would have dispatched them.
+    /// Returns the number of steps taken (all budget-covered).
+    fn step_strand(&mut self, idx: usize, budget: u64, now: Time) -> u64 {
+        let solo = self.pending.is_empty() && self.active_strands.len() == 1;
+        let traced = self.config.tracing;
+        let mut steps = 0u64;
+        loop {
+            let mut actions = Vec::new();
+            let stepped = {
+                let mut ctx = NodeCtx {
+                    now,
+                    addr: self.addr.clone(),
+                    rng: &mut self.rng,
+                };
+                let mut null = NullSink;
+                let sink: &mut dyn TapSink = if traced { &mut self.tracer } else { &mut null };
+                self.strands[idx].step(&mut self.catalog, &mut ctx, sink, now, &mut actions)
+            };
+            if !stepped {
+                break;
+            }
+            steps += 1;
+            let emitted = !actions.is_empty();
+            for a in actions {
+                self.route_action(a, now);
+            }
+            if !solo || emitted || !self.pending.is_empty() || steps >= budget {
+                break;
+            }
+        }
+        steps
+    }
+
+    /// Budget exhausted: drop all queued deltas and abandon all in-flight
+    /// strand work, counting each separately.
+    fn overflow(&mut self) {
+        let dropped: usize = self.pending.iter().map(|b| b.tuples.len()).sum();
+        self.metrics.overflow_drops += dropped as u64;
+        self.pending.clear();
+        let active: Vec<usize> = self.active_strands.iter().copied().collect();
+        for idx in active {
+            self.metrics.strand_overflow_drops += self.strands[idx].abandon_work();
+        }
+        self.active_strands.clear();
+    }
+}

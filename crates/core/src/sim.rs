@@ -14,14 +14,17 @@
 //! insertion order, the network is seeded, and all node RNGs derive from
 //! the harness seed.
 
+use crate::driver::{Driver, SimPort};
 use crate::node::{InstallError, Node, NodeConfig, ProgramId};
-use p2_net::{Envelope, SimConfig, SimNetwork};
+use p2_net::{SimConfig, SimNetwork};
 use p2_types::{Addr, Time, TimeDelta, Tuple};
 use std::collections::HashMap;
 
-/// A simulated population of P2 nodes.
+/// A simulated population of P2 nodes, each behind a
+/// [`Driver`]`<`[`SimPort`]`>` — the same service loop the realtime
+/// runtimes use, fed from the virtual network instead of a socket.
 pub struct SimHarness {
-    nodes: HashMap<Addr, Node>,
+    nodes: HashMap<Addr, Driver<SimPort>>,
     order: Vec<Addr>,
     net: SimNetwork,
     clock: Time,
@@ -76,19 +79,22 @@ impl SimHarness {
         let addr = Addr::new(name);
         config.seed = self.seed;
         self.net.register(addr.clone());
-        self.nodes.insert(addr.clone(), Node::new(addr.clone(), config));
+        self.nodes.insert(
+            addr.clone(),
+            Driver::new(Node::new(addr.clone(), config), SimPort::default()),
+        );
         self.order.push(addr.clone());
         addr
     }
 
     /// Access a node.
     pub fn node(&self, addr: &Addr) -> &Node {
-        &self.nodes[addr]
+        self.nodes[addr].node()
     }
 
     /// Access a node mutably.
     pub fn node_mut(&mut self, addr: &Addr) -> &mut Node {
-        self.nodes.get_mut(addr).expect("unknown node")
+        self.nodes.get_mut(addr).expect("unknown node").node_mut()
     }
 
     /// All node addresses in insertion order.
@@ -157,16 +163,16 @@ impl SimHarness {
                 if self.net.is_down(&addr) {
                     continue;
                 }
-                let out = self.nodes.get_mut(&addr).expect("known").pump(self.clock);
-                for env in out {
+                let drv = self.nodes.get_mut(&addr).expect("known");
+                drv.service(self.clock);
+                for env in drv.transport_mut().drain_outbox() {
                     self.net.send(env, self.clock);
                     progress = true;
                 }
             }
-            let due: Vec<Envelope> = self.net.pop_due(self.clock);
-            for env in due {
-                if let Some(n) = self.nodes.get_mut(&env.dst) {
-                    n.deliver(env, self.clock);
+            for env in self.net.pop_due(self.clock) {
+                if let Some(drv) = self.nodes.get_mut(&env.dst) {
+                    drv.transport_mut().enqueue(env);
                     progress = true;
                 }
             }
@@ -187,7 +193,7 @@ impl SimHarness {
                 if self.net.is_down(addr) {
                     continue;
                 }
-                if let Some(t) = self.nodes[addr].next_timer() {
+                if let Some(t) = self.nodes[addr].node().next_timer() {
                     next = Some(match next {
                         Some(n) => n.min(t),
                         None => t,
@@ -208,7 +214,7 @@ impl SimHarness {
                 if self.net.is_down(&addr) {
                     continue;
                 }
-                let node = self.nodes.get_mut(&addr).expect("known");
+                let node = self.nodes.get_mut(&addr).expect("known").node_mut();
                 if node.next_timer().is_some_and(|t| t <= next) {
                     node.fire_timers(next);
                 }
@@ -217,7 +223,11 @@ impl SimHarness {
             if self.clock >= self.next_gc {
                 for addr in self.order.clone() {
                     let now = self.clock;
-                    self.nodes.get_mut(&addr).expect("known").trace_gc(now);
+                    self.nodes
+                        .get_mut(&addr)
+                        .expect("known")
+                        .node_mut()
+                        .trace_gc(now);
                 }
                 self.next_gc = self.clock + self.gc_period;
             }
@@ -259,7 +269,10 @@ mod tests {
     fn periodic_rules_fire_on_schedule() {
         let mut sim = SimHarness::new(
             SimConfig::default(),
-            NodeConfig { stagger_timers: false, ..Default::default() },
+            NodeConfig {
+                stagger_timers: false,
+                ..Default::default()
+            },
             3,
         );
         let a = sim.add_node("a");
@@ -340,12 +353,16 @@ mod tests {
     fn message_counters_track_sends() {
         let mut sim = SimHarness::new(
             SimConfig::default(),
-            NodeConfig { stagger_timers: false, ..Default::default() },
+            NodeConfig {
+                stagger_timers: false,
+                ..Default::default()
+            },
             5,
         );
         let a = sim.add_node("a");
         let _b = sim.add_node("b");
-        sim.install(&a, r#"g probe@"b"(E) :- periodic@N(E, 2)."#).unwrap();
+        sim.install(&a, r#"g probe@"b"(E) :- periodic@N(E, 2)."#)
+            .unwrap();
         sim.run_for(TimeDelta::from_secs(10));
         assert_eq!(sim.net().stats().sent_by(&a), 5);
     }

@@ -1,9 +1,9 @@
 //! Strand execution: stateful join stages, pipelining, aggregation.
 
 use crate::tap::{TapEvent, TapKind, TapSink};
+use p2_overlog::AggFunc;
 use p2_planner::expr::{eval, truthy, EvalCtx};
 use p2_planner::plan::{AggPlan, FieldMatch, FieldOut, MatchSpec, Op, Strand};
-use p2_overlog::AggFunc;
 use p2_store::Catalog;
 use p2_types::{Addr, Time, Tuple, Value};
 use std::collections::{BTreeMap, VecDeque};
@@ -32,6 +32,28 @@ pub struct StrandStats {
     /// Bindings dropped because an expression failed to evaluate
     /// (division by zero, type mismatch on wire data, ...).
     pub eval_errors: u64,
+    /// Join probes answered from the strand's probe cache instead of the
+    /// store (batched same-key triggers; see [`ProbeCache`]).
+    pub probe_cache_hits: u64,
+}
+
+/// The last equality-probe result, memoized per strand.
+///
+/// Batched delta dispatch tends to feed a strand runs of triggers probing
+/// the same key (`step_batch` over a same-relation run). The cache is
+/// keyed on `(stage, field, value, table-version, now)`: the store bumps
+/// a table's version on *every* observable mutation (including refreshes,
+/// which reorder scans) and expiry is a pure function of `now`, so a key
+/// hit guarantees the cached candidate rows are bit-identical to what a
+/// fresh probe would return — the trace stays exact.
+#[derive(Debug)]
+struct ProbeCache {
+    stage: usize,
+    field: usize,
+    value: Value,
+    version: u64,
+    now: Time,
+    rows: Vec<Tuple>,
 }
 
 /// One stateful stage: a join plus the stateless operators that follow it
@@ -83,6 +105,7 @@ pub struct StrandRuntime {
     /// than drain-downstream-first) is what produces the genuine
     /// pipelined interleavings of §2.1.2.
     cursor: usize,
+    probe_cache: Option<ProbeCache>,
 }
 
 impl StrandRuntime {
@@ -108,7 +131,9 @@ impl StrandRuntime {
                 }
             }
         }
-        let stages = (0..stage_defs.len()).map(|_| StageState::default()).collect();
+        let stages = (0..stage_defs.len())
+            .map(|_| StageState::default())
+            .collect();
         StrandRuntime {
             strand_id: Arc::from(plan.strand_id.as_str()),
             rule_label: Arc::from(plan.rule_label.as_str()),
@@ -118,6 +143,7 @@ impl StrandRuntime {
             stages,
             stats: StrandStats::default(),
             cursor: 0,
+            probe_cache: None,
         }
     }
 
@@ -133,7 +159,9 @@ impl StrandRuntime {
 
     /// Whether any stage still holds queued or in-progress work.
     pub fn has_work(&self) -> bool {
-        self.stages.iter().any(|s| !s.input.is_empty() || s.active.is_some())
+        self.stages
+            .iter()
+            .any(|s| !s.input.is_empty() || s.active.is_some())
     }
 
     fn tap(&self, sink: &mut dyn TapSink, at: Time, kind: TapKind) {
@@ -174,7 +202,13 @@ impl StrandRuntime {
         self.stats.fired += 1;
 
         if self.plan.head.agg.is_some() {
-            self.tap(sink, now, TapKind::Input { tuple: trigger.clone() });
+            self.tap(
+                sink,
+                now,
+                TapKind::Input {
+                    tuple: trigger.clone(),
+                },
+            );
             self.fire_aggregate(env, store, ctx, sink, now, actions);
             return true;
         }
@@ -188,12 +222,19 @@ impl StrandRuntime {
             }
         };
         if self.stage_defs.is_empty() {
-            self.tap(sink, now, TapKind::Input { tuple: trigger.clone() });
+            self.tap(
+                sink,
+                now,
+                TapKind::Input {
+                    tuple: trigger.clone(),
+                },
+            );
             self.finalize(env, ctx, sink, now, actions);
         } else {
-            self.stages[0]
-                .input
-                .push_back(StageInput { env, trigger: Some(trigger.clone()) });
+            self.stages[0].input.push_back(StageInput {
+                env,
+                trigger: Some(trigger.clone()),
+            });
         }
         true
     }
@@ -251,14 +292,62 @@ impl StrandRuntime {
                 if let Some(trigger) = item.trigger {
                     self.tap(sink, now, TapKind::Input { tuple: trigger });
                 }
-                let results =
-                    probe_stage(&self.stage_defs[i], &item.env, store, ctx, now, &mut self.stats);
+                let results = probe_stage(
+                    &self.stage_defs[i],
+                    i,
+                    &item.env,
+                    store,
+                    ctx,
+                    now,
+                    &mut self.stats,
+                    &mut self.probe_cache,
+                );
                 self.stages[i].active = Some(ActiveJoin { results, next: 0 });
                 self.cursor = (i + 1) % n;
                 return true;
             }
         }
         false
+    }
+
+    /// Advance the strand by up to `max_steps` scheduler steps — the
+    /// batched form of [`StrandRuntime::step`]. Each unit of work is the
+    /// same one `step` would do (taps included), so the emitted tap
+    /// stream is identical; only the per-call overhead is amortized.
+    /// Returns the number of steps actually taken (less than `max_steps`
+    /// iff the strand drained).
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_batch(
+        &mut self,
+        max_steps: u64,
+        store: &mut Catalog,
+        ctx: &mut dyn EvalCtx,
+        sink: &mut dyn TapSink,
+        now: Time,
+        actions: &mut Vec<Action>,
+    ) -> u64 {
+        let mut done = 0;
+        while done < max_steps && self.step(store, ctx, sink, now, actions) {
+            done += 1;
+        }
+        done
+    }
+
+    /// Discard all queued and in-progress pipeline work (the scheduler's
+    /// budget-exhaustion path). Returns the number of work units dropped:
+    /// queued stage inputs, un-emitted join matches, and in-progress
+    /// joins themselves.
+    pub fn abandon_work(&mut self) -> u64 {
+        let mut dropped = 0;
+        for s in &mut self.stages {
+            dropped += s.input.len() as u64;
+            s.input.clear();
+            if let Some(a) = s.active.take() {
+                dropped += 1 + (a.results.len() - a.next) as u64;
+            }
+        }
+        self.cursor = 0;
+        dropped
     }
 
     /// Drive the strand until no stage has work left.
@@ -310,9 +399,18 @@ impl StrandRuntime {
     ) {
         match self.head_tuple(&env, ctx, None) {
             Ok(tuple) => {
-                self.tap(sink, now, TapKind::Output { tuple: tuple.clone() });
+                self.tap(
+                    sink,
+                    now,
+                    TapKind::Output {
+                        tuple: tuple.clone(),
+                    },
+                );
                 self.stats.outputs += 1;
-                actions.push(Action { tuple, delete: self.plan.head.delete });
+                actions.push(Action {
+                    tuple,
+                    delete: self.plan.head.delete,
+                });
             }
             Err(()) => {
                 self.stats.eval_errors += 1;
@@ -371,7 +469,16 @@ impl StrandRuntime {
         for (i, def) in stage_defs.iter().enumerate() {
             let mut next_envs = Vec::new();
             for env in envs {
-                for (e2, t) in probe_stage(def, &env, store, ctx, now, &mut self.stats) {
+                for (e2, t) in probe_stage(
+                    def,
+                    i,
+                    &env,
+                    store,
+                    ctx,
+                    now,
+                    &mut self.stats,
+                    &mut self.probe_cache,
+                ) {
                     self.tap(sink, now, TapKind::Precondition { stage: i, tuple: t });
                     if let Some(e3) = self.apply_stateless(&def.post, e2, ctx) {
                         next_envs.push(e3);
@@ -401,21 +508,23 @@ impl StrandRuntime {
                 },
                 None => None,
             };
-            groups.entry(key).or_insert_with(|| AggState::new(agg.func)).feed(input);
+            groups
+                .entry(key)
+                .or_insert_with(|| AggState::new(agg.func))
+                .feed(input);
         }
 
         // Zero-count emission for an empty match set.
-        if groups.is_empty()
-            && agg.func == AggFunc::Count
-            && agg.group_bound_by_trigger
-        {
+        if groups.is_empty() && agg.func == AggFunc::Count && agg.group_bound_by_trigger {
             if let Ok(key) = self.group_key(&env0, ctx, &agg) {
                 groups.insert(key, AggState::new(AggFunc::Count));
             }
         }
 
         for (key, state) in groups {
-            let Some(agg_value) = state.result() else { continue };
+            let Some(agg_value) = state.result() else {
+                continue;
+            };
             // Rebuild the tuple: key fields in order with the aggregate
             // value spliced at its position.
             let mut vals = Vec::with_capacity(self.plan.head.fields.len());
@@ -431,9 +540,18 @@ impl StrandRuntime {
                 vals[0] = Value::Addr(Addr::new(&**s));
             }
             let tuple = Tuple::new(&self.plan.head.name, vals);
-            self.tap(sink, now, TapKind::Output { tuple: tuple.clone() });
+            self.tap(
+                sink,
+                now,
+                TapKind::Output {
+                    tuple: tuple.clone(),
+                },
+            );
             self.stats.outputs += 1;
-            actions.push(Action { tuple, delete: self.plan.head.delete });
+            actions.push(Action {
+                tuple,
+                delete: self.plan.head.delete,
+            });
         }
         // Aggregate strands run atomically, so every stage has completed
         // by now; signal the completions in stage order for the tracer.
@@ -443,12 +561,7 @@ impl StrandRuntime {
     }
 
     /// Evaluate the non-aggregate head fields as the group key.
-    fn group_key(
-        &self,
-        env: &Env,
-        ctx: &mut dyn EvalCtx,
-        agg: &AggPlan,
-    ) -> Result<Vec<Value>, ()> {
+    fn group_key(&self, env: &Env, ctx: &mut dyn EvalCtx, agg: &AggPlan) -> Result<Vec<Value>, ()> {
         let mut key = Vec::new();
         for (pos, f) in self.plan.head.fields.iter().enumerate() {
             if pos == agg.position {
@@ -477,13 +590,20 @@ impl StrandRuntime {
 ///
 /// A free function (rather than a method) so callers can hold a borrow of
 /// one stage definition while lending out the stats counters.
+///
+/// Equality probes consult the strand's [`ProbeCache`] first: a batched
+/// run of same-key triggers probes the store once and replays the cached
+/// candidates, which the `(version, now)` key proves bit-identical.
+#[allow(clippy::too_many_arguments)]
 fn probe_stage(
     def: &StageDef,
+    stage: usize,
     env: &Env,
     store: &mut Catalog,
     ctx: &mut dyn EvalCtx,
     now: Time,
     stats: &mut StrandStats,
+    cache: &mut Option<ProbeCache>,
 ) -> Vec<(Env, Tuple)> {
     let candidates = match def.match_spec.probe_field() {
         Some(field) => {
@@ -493,7 +613,33 @@ fn probe_stage(
                 _ => None,
             };
             match want {
-                Some(v) => store.scan_eq(&def.table, field, &v, now),
+                Some(v) => {
+                    let hit = cache.as_ref().is_some_and(|c| {
+                        c.stage == stage
+                            && c.field == field
+                            && c.now == now
+                            && c.version == store.version_of(&def.table)
+                            && c.value == v
+                    });
+                    if hit {
+                        stats.probe_cache_hits += 1;
+                        cache.as_ref().expect("hit").rows.clone()
+                    } else {
+                        let rows = store.scan_eq(&def.table, field, &v, now);
+                        // Version is read *after* the scan: the scan's own
+                        // lazy expiry may bump it, and the cache must key
+                        // on the post-expiry state it captured.
+                        *cache = Some(ProbeCache {
+                            stage,
+                            field,
+                            value: v,
+                            version: store.version_of(&def.table),
+                            now,
+                            rows: rows.clone(),
+                        });
+                        rows
+                    }
+                }
                 None => store.scan(&def.table, now),
             }
         }
@@ -622,11 +768,7 @@ mod tests {
         (strands, cat)
     }
 
-    fn drive(
-        s: &mut StrandRuntime,
-        trigger: &Tuple,
-        cat: &mut Catalog,
-    ) -> (Vec<Action>, VecSink) {
+    fn drive(s: &mut StrandRuntime, trigger: &Tuple, cat: &mut Catalog) -> (Vec<Action>, VecSink) {
         let mut ctx = FixedCtx::default();
         let mut sink = VecSink::default();
         let mut actions = Vec::new();
@@ -657,7 +799,11 @@ mod tests {
         assert_eq!(actions[0].tuple.name(), "inconsistentPred");
         assert_eq!(actions[0].tuple.get(1), Some(&Value::addr("n9")));
         // Taps: input, precondition, output, stage-complete.
-        let kinds: Vec<_> = sink.0.iter().map(|e| std::mem::discriminant(&e.kind)).collect();
+        let kinds: Vec<_> = sink
+            .0
+            .iter()
+            .map(|e| std::mem::discriminant(&e.kind))
+            .collect();
         assert_eq!(kinds.len(), 4);
 
         // From the predecessor itself → no alarm.
@@ -673,7 +819,10 @@ mod tests {
     fn assignments_and_builtins() {
         let (mut strands, mut cat) =
             setup("cs1 conProbe@NAddr(ProbeID, K, T) :- periodic@NAddr(ProbeID, 40), K := f_randID(), T := f_now().");
-        let trig = Tuple::new("periodic", [Value::addr("n1"), Value::id(9), Value::Int(40)]);
+        let trig = Tuple::new(
+            "periodic",
+            [Value::addr("n1"), Value::id(9), Value::Int(40)],
+        );
         let (actions, _) = drive(&mut strands[0], &trig, &mut cat);
         assert_eq!(actions.len(), 1);
         let t = &actions[0].tuple;
@@ -691,22 +840,53 @@ mod tests {
              r2 head@Z(Y) :- event@N(X), prec1@N(X, Y), prec2@N(Y, Z).",
         );
         let n = Value::addr("n");
-        cat.insert(Tuple::new("prec1", [n.clone(), Value::Int(1), Value::Int(10)]), Time::ZERO).unwrap();
-        cat.insert(Tuple::new("prec1", [n.clone(), Value::Int(1), Value::Int(20)]), Time::ZERO).unwrap();
-        cat.insert(Tuple::new("prec2", [n.clone(), Value::Int(10), Value::str("za")]), Time::ZERO).unwrap();
-        cat.insert(Tuple::new("prec2", [n.clone(), Value::Int(20), Value::str("zb")]), Time::ZERO).unwrap();
-        cat.insert(Tuple::new("prec2", [n.clone(), Value::Int(20), Value::str("zc")]), Time::ZERO).unwrap();
+        cat.insert(
+            Tuple::new("prec1", [n.clone(), Value::Int(1), Value::Int(10)]),
+            Time::ZERO,
+        )
+        .unwrap();
+        cat.insert(
+            Tuple::new("prec1", [n.clone(), Value::Int(1), Value::Int(20)]),
+            Time::ZERO,
+        )
+        .unwrap();
+        cat.insert(
+            Tuple::new("prec2", [n.clone(), Value::Int(10), Value::str("za")]),
+            Time::ZERO,
+        )
+        .unwrap();
+        cat.insert(
+            Tuple::new("prec2", [n.clone(), Value::Int(20), Value::str("zb")]),
+            Time::ZERO,
+        )
+        .unwrap();
+        cat.insert(
+            Tuple::new("prec2", [n.clone(), Value::Int(20), Value::str("zc")]),
+            Time::ZERO,
+        )
+        .unwrap();
         let trig = Tuple::new("event", [n.clone(), Value::Int(1)]);
         let (actions, sink) = drive(&mut strands[0], &trig, &mut cat);
         // Y=10 → za; Y=20 → zb, zc.
         assert_eq!(actions.len(), 3);
         // Outputs carry Y; locations are the prec2 Z values coerced to addrs.
-        let locs: Vec<_> = actions.iter().map(|a| a.tuple.location().unwrap().to_string()).collect();
+        let locs: Vec<_> = actions
+            .iter()
+            .map(|a| a.tuple.location().unwrap().to_string())
+            .collect();
         assert!(locs.contains(&"za".to_string()));
         assert!(locs.contains(&"zc".to_string()));
         // Preconditions were tapped at both stages.
-        let pre0 = sink.0.iter().filter(|e| matches!(e.kind, TapKind::Precondition { stage: 0, .. })).count();
-        let pre1 = sink.0.iter().filter(|e| matches!(e.kind, TapKind::Precondition { stage: 1, .. })).count();
+        let pre0 = sink
+            .0
+            .iter()
+            .filter(|e| matches!(e.kind, TapKind::Precondition { stage: 0, .. }))
+            .count();
+        let pre1 = sink
+            .0
+            .iter()
+            .filter(|e| matches!(e.kind, TapKind::Precondition { stage: 1, .. }))
+            .count();
         assert_eq!(pre0, 2);
         assert_eq!(pre1, 3);
     }
@@ -722,8 +902,16 @@ mod tests {
              r head@N(Y, Z) :- ev@N(X), p1@N(X, Y), p2@N(Y, Z).",
         );
         let n = Value::addr("n");
-        cat.insert(Tuple::new("p1", [n.clone(), Value::Int(1), Value::Int(5)]), Time::ZERO).unwrap();
-        cat.insert(Tuple::new("p2", [n.clone(), Value::Int(5), Value::Int(7)]), Time::ZERO).unwrap();
+        cat.insert(
+            Tuple::new("p1", [n.clone(), Value::Int(1), Value::Int(5)]),
+            Time::ZERO,
+        )
+        .unwrap();
+        cat.insert(
+            Tuple::new("p2", [n.clone(), Value::Int(5), Value::Int(7)]),
+            Time::ZERO,
+        )
+        .unwrap();
         let mut ctx = FixedCtx::default();
         let mut sink = VecSink::default();
         let mut actions = Vec::new();
@@ -735,7 +923,11 @@ mod tests {
         s.run_to_quiescence(&mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
         assert_eq!(actions.len(), 2);
         // Both events produced stage-complete signals for both stages.
-        let completes = sink.0.iter().filter(|e| matches!(e.kind, TapKind::StageComplete { .. })).count();
+        let completes = sink
+            .0
+            .iter()
+            .filter(|e| matches!(e.kind, TapKind::StageComplete { .. }))
+            .count();
         assert_eq!(completes, 4);
     }
 
@@ -746,14 +938,20 @@ mod tests {
             "materialize(snapState, 100, 100, keys(1, 2)).
              sr8 haveSnap@NAddr(SrcAddr, I, count<*>) :- snapState@NAddr(I, State), marker@NAddr(SrcAddr, I).",
         );
-        let trig = Tuple::new("marker", [Value::addr("n1"), Value::addr("n5"), Value::Int(3)]);
+        let trig = Tuple::new(
+            "marker",
+            [Value::addr("n1"), Value::addr("n5"), Value::Int(3)],
+        );
         // No snapState rows yet → count must be 0 (sr9 depends on this).
         let (actions, _) = drive(&mut strands[0], &trig, &mut cat);
         assert_eq!(actions.len(), 1);
         assert_eq!(actions[0].tuple.get(3), Some(&Value::Int(0)));
 
         cat.insert(
-            Tuple::new("snapState", [Value::addr("n1"), Value::Int(3), Value::str("Snapping")]),
+            Tuple::new(
+                "snapState",
+                [Value::addr("n1"), Value::Int(3), Value::str("Snapping")],
+            ),
             Time::ZERO,
         )
         .unwrap();
@@ -866,8 +1064,7 @@ mod tests {
 
     #[test]
     fn eval_errors_counted_not_fatal() {
-        let (mut strands, mut cat) =
-            setup("r out@N(X) :- ev@N(X), X / 0 == 1.");
+        let (mut strands, mut cat) = setup("r out@N(X) :- ev@N(X), X / 0 == 1.");
         let trig = Tuple::new("ev", [Value::addr("n1"), Value::Int(4)]);
         let (actions, _) = drive(&mut strands[0], &trig, &mut cat);
         assert!(actions.is_empty());
@@ -883,8 +1080,13 @@ mod tests {
              l1 res@ReqAddr(K, SID) :- lookup@NAddr(K, ReqAddr), node@NAddr(NID), bestSucc@NAddr(SID), K in (NID, SID].",
         );
         let n = Value::addr("n1");
-        cat.insert(Tuple::new("node", [n.clone(), Value::id(10)]), Time::ZERO).unwrap();
-        cat.insert(Tuple::new("bestSucc", [n.clone(), Value::id(20)]), Time::ZERO).unwrap();
+        cat.insert(Tuple::new("node", [n.clone(), Value::id(10)]), Time::ZERO)
+            .unwrap();
+        cat.insert(
+            Tuple::new("bestSucc", [n.clone(), Value::id(20)]),
+            Time::ZERO,
+        )
+        .unwrap();
         let hit = Tuple::new("lookup", [n.clone(), Value::id(15), Value::addr("req")]);
         let (actions, _) = drive(&mut strands[0], &hit, &mut cat);
         assert_eq!(actions.len(), 1);
@@ -902,8 +1104,16 @@ mod tests {
             "materialize(t, 100, 10, keys(1, 2)).
              r out@N(X) :- ev@N(X), t@N(X + 1).",
         );
-        cat.insert(Tuple::new("t", [Value::addr("n"), Value::Int(6)]), Time::ZERO).unwrap();
-        cat.insert(Tuple::new("t", [Value::addr("n"), Value::Int(7)]), Time::ZERO).unwrap();
+        cat.insert(
+            Tuple::new("t", [Value::addr("n"), Value::Int(6)]),
+            Time::ZERO,
+        )
+        .unwrap();
+        cat.insert(
+            Tuple::new("t", [Value::addr("n"), Value::Int(7)]),
+            Time::ZERO,
+        )
+        .unwrap();
         let hit = Tuple::new("ev", [Value::addr("n"), Value::Int(5)]);
         let (actions, _) = drive(&mut strands[0], &hit, &mut cat);
         assert_eq!(actions.len(), 1, "only t(6) == 5+1 matches");
@@ -922,6 +1132,120 @@ mod tests {
         let ne = Tuple::new("ev", [Value::addr("n"), Value::Int(3), Value::Int(4)]);
         let (actions, _) = drive(&mut strands[0], &ne, &mut cat);
         assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn probe_cache_hits_on_repeated_keys_and_invalidates_on_mutation() {
+        let (mut strands, mut cat) = setup(
+            "materialize(pred, 100, 10, keys(1)).
+             r out@N(P) :- ev@N(X), pred@N(X, P).",
+        );
+        let n = Value::addr("n1");
+        cat.insert(
+            Tuple::new("pred", [n.clone(), Value::Int(1), Value::Int(10)]),
+            Time::ZERO,
+        )
+        .unwrap();
+        let trig = Tuple::new("ev", [n.clone(), Value::Int(1)]);
+        let s = &mut strands[0];
+        let (a1, _) = drive(s, &trig, &mut cat);
+        assert_eq!(a1.len(), 1);
+        assert_eq!(s.stats().probe_cache_hits, 0, "first probe fills the cache");
+        // Same key, unchanged table: the probe is answered from cache with
+        // identical output.
+        let (a2, _) = drive(s, &trig, &mut cat);
+        assert_eq!(a2, a1);
+        assert_eq!(s.stats().probe_cache_hits, 1);
+        // Any table mutation invalidates: results must reflect the new row.
+        cat.insert(
+            Tuple::new("pred", [n.clone(), Value::Int(1), Value::Int(20)]),
+            Time::ZERO,
+        )
+        .unwrap();
+        let (a3, _) = drive(s, &trig, &mut cat);
+        assert_eq!(
+            s.stats().probe_cache_hits,
+            1,
+            "version bump forces a real probe"
+        );
+        assert_eq!(a3.len(), 1);
+        assert_eq!(a3[0].tuple.get(1), Some(&Value::Int(20)));
+    }
+
+    #[test]
+    fn step_batch_emits_the_same_taps_as_single_steps() {
+        // keys are 1-based including the location field: (2, 3) = (X, Y).
+        let src = "materialize(p1, 100, 10, keys(2, 3)).
+             r head@N(Y) :- ev@N(X), p1@N(X, Y).";
+        let run = |batched: bool| {
+            let (mut strands, mut cat) = setup(src);
+            let n = Value::addr("n");
+            for y in 0..5 {
+                cat.insert(
+                    Tuple::new("p1", [n.clone(), Value::Int(1), Value::Int(y)]),
+                    Time::ZERO,
+                )
+                .unwrap();
+            }
+            let mut ctx = FixedCtx::default();
+            let mut sink = VecSink::default();
+            let mut actions = Vec::new();
+            let s = &mut strands[0];
+            for _ in 0..3 {
+                let e = Tuple::new("ev", [n.clone(), Value::Int(1)]);
+                s.fire(&e, &mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+            }
+            if batched {
+                while s.step_batch(4, &mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions) > 0 {
+                }
+            } else {
+                s.run_to_quiescence(&mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+            }
+            let taps: Vec<String> = sink.0.iter().map(|e| format!("{:?}", e.kind)).collect();
+            (actions, taps)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn abandon_work_drops_everything_and_counts_it() {
+        // keys (2, 3) = (X, Y), so all ten rows below are distinct.
+        let (mut strands, mut cat) = setup(
+            "materialize(p1, 100, 100, keys(2, 3)).
+             r head@N(Y) :- ev@N(X), p1@N(X, Y).",
+        );
+        let n = Value::addr("n");
+        for y in 0..10 {
+            cat.insert(
+                Tuple::new("p1", [n.clone(), Value::Int(1), Value::Int(y)]),
+                Time::ZERO,
+            )
+            .unwrap();
+        }
+        let mut ctx = FixedCtx::default();
+        let mut sink = VecSink::default();
+        let mut actions = Vec::new();
+        let s = &mut strands[0];
+        for _ in 0..3 {
+            let e = Tuple::new("ev", [n.clone(), Value::Int(1)]);
+            s.fire(&e, &mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+        }
+        // Activate the first input and emit a couple of matches, leaving
+        // an in-progress join plus two queued inputs.
+        for _ in 0..3 {
+            s.step(&mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+        }
+        assert!(s.has_work());
+        let dropped = s.abandon_work();
+        // 2 queued inputs + 1 active join + 8 un-emitted matches.
+        assert_eq!(dropped, 11);
+        assert!(!s.has_work());
+        // The strand still accepts new work afterwards.
+        let e = Tuple::new("ev", [n.clone(), Value::Int(1)]);
+        let before = actions.len();
+        s.fire(&e, &mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+        s.run_to_quiescence(&mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+        assert_eq!(actions.len() - before, 10);
     }
 
     #[test]

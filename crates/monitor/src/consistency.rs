@@ -34,13 +34,23 @@ pub struct ProbeConfig {
 
 impl Default for ProbeConfig {
     fn default() -> Self {
-        ProbeConfig { probe_secs: 40.0, tally_secs: 20, wait_secs: 20, alarm_below: 0.5 }
+        ProbeConfig {
+            probe_secs: 40.0,
+            tally_secs: 20,
+            wait_secs: 20,
+            alarm_below: 0.5,
+        }
     }
 }
 
 /// The probe program (`cs1`–`cs12`), installed on the probing node.
 pub fn probe_program(cfg: &ProbeConfig) -> String {
-    let ProbeConfig { probe_secs, tally_secs, wait_secs, alarm_below } = cfg;
+    let ProbeConfig {
+        probe_secs,
+        tally_secs,
+        wait_secs,
+        alarm_below,
+    } = cfg;
     format!(
         r#"
 materialize(conLookupTable, 100, 1000, keys(1, 3)).
@@ -99,7 +109,8 @@ mod tests {
         sim.run_for(TimeDelta::from_secs(300)); // fingers need a few fix rounds
         assert!(p2_chord::ring_is_ordered(&mut sim, &ring));
         let prober = ring.addrs[2].clone();
-        sim.install(&prober, &probe_program(&ProbeConfig::default())).unwrap();
+        sim.install(&prober, &probe_program(&ProbeConfig::default()))
+            .unwrap();
         sim.node_mut(&prober).watch(CONSISTENCY);
         sim.node_mut(&prober).watch(ALARM);
         sim.run_for(TimeDelta::from_secs(180));
@@ -121,7 +132,12 @@ mod tests {
         sim.run_for(TimeDelta::from_secs(300));
         let prober = ring.addrs[1].clone();
         // Aggressive probing so several probes straddle the crash.
-        let cfg = ProbeConfig { probe_secs: 4.0, tally_secs: 5, wait_secs: 5, ..Default::default() };
+        let cfg = ProbeConfig {
+            probe_secs: 4.0,
+            tally_secs: 5,
+            wait_secs: 5,
+            ..Default::default()
+        };
         sim.install(&prober, &probe_program(&cfg)).unwrap();
         sim.node_mut(&prober).watch(CONSISTENCY);
         sim.run_for(TimeDelta::from_secs(30));
@@ -150,11 +166,19 @@ mod tests {
         let ring = build_ring(&mut sim, 6, &ChordConfig::default());
         sim.run_for(TimeDelta::from_secs(300));
         let prober = ring.addrs[0].clone();
-        let cfg = ProbeConfig { probe_secs: 4.0, tally_secs: 5, wait_secs: 5, ..Default::default() };
+        let cfg = ProbeConfig {
+            probe_secs: 4.0,
+            tally_secs: 5,
+            wait_secs: 5,
+            ..Default::default()
+        };
         sim.install(&prober, &probe_program(&cfg)).unwrap();
         sim.run_for(TimeDelta::from_secs(120));
         let now = sim.now();
-        let pending = sim.node_mut(&prober).table_scan("conLookupTable", now).len();
+        let pending = sim
+            .node_mut(&prober)
+            .table_scan("conLookupTable", now)
+            .len();
         // Only untallied probes (< wait_secs + tally period old) linger.
         assert!(pending < 60, "probe state leaking: {pending} rows");
     }

@@ -108,7 +108,10 @@ mod tests {
     fn static_ring(succs: &[(&str, u64, &str, u64)]) -> (SimHarness, Vec<Addr>) {
         let mut sim = SimHarness::new(
             Default::default(),
-            NodeConfig { stagger_timers: false, ..Default::default() },
+            NodeConfig {
+                stagger_timers: false,
+                ..Default::default()
+            },
             77,
         );
         let mut addrs = Vec::new();
@@ -135,11 +138,8 @@ mod tests {
     #[test]
     fn ordered_static_ring_reports_ok() {
         // IDs ascending along the successor chain: exactly one wrap.
-        let (mut sim, addrs) = static_ring(&[
-            ("a", 10, "b", 20),
-            ("b", 20, "c", 30),
-            ("c", 30, "a", 10),
-        ]);
+        let (mut sim, addrs) =
+            static_ring(&[("a", 10, "b", 20), ("b", 20, "c", 30), ("c", 30, "a", 10)]);
         start_traversal(&mut sim, &addrs[0].clone(), 1);
         sim.run_for(TimeDelta::from_millis(200));
         assert!(sim.node_mut(&addrs[0]).watched(PROBLEM).is_empty());
@@ -150,11 +150,8 @@ mod tests {
     fn misordered_ring_reports_problem() {
         // Topologically a cycle, but IDs are permuted: a(10) -> c(30) ->
         // b(20) -> a. Wraps: a->c none, c->b one, b->a one = 2.
-        let (mut sim, addrs) = static_ring(&[
-            ("a", 10, "c", 30),
-            ("b", 20, "a", 10),
-            ("c", 30, "b", 20),
-        ]);
+        let (mut sim, addrs) =
+            static_ring(&[("a", 10, "c", 30), ("b", 20, "a", 10), ("c", 30, "b", 20)]);
         start_traversal(&mut sim, &addrs[0].clone(), 2);
         sim.run_for(TimeDelta::from_millis(200));
         let probs = problems(sim.node_mut(&addrs[0]).watched(PROBLEM));
@@ -165,11 +162,8 @@ mod tests {
 
     #[test]
     fn multiple_concurrent_traversals_by_nonce() {
-        let (mut sim, addrs) = static_ring(&[
-            ("a", 10, "b", 20),
-            ("b", 20, "c", 30),
-            ("c", 30, "a", 10),
-        ]);
+        let (mut sim, addrs) =
+            static_ring(&[("a", 10, "b", 20), ("b", 20, "c", 30), ("c", 30, "a", 10)]);
         // Two tokens at once, from different initiators.
         start_traversal(&mut sim, &addrs[0].clone(), 100);
         start_traversal(&mut sim, &addrs[1].clone(), 200);

@@ -183,7 +183,10 @@ mod tests {
     fn chaotic_verdict_needs_quorum() {
         let mut sim = SimHarness::new(
             Default::default(),
-            NodeConfig { stagger_timers: false, ..Default::default() },
+            NodeConfig {
+                stagger_timers: false,
+                ..Default::default()
+            },
             33,
         );
         let a = sim.add_node("a");
@@ -202,7 +205,11 @@ mod tests {
                 &a,
                 Tuple::new(
                     "nbrOscill",
-                    [Value::addr("a"), Value::addr("dead"), Value::addr(format!("r{i}"))],
+                    [
+                        Value::addr("a"),
+                        Value::addr("dead"),
+                        Value::addr(format!("r{i}")),
+                    ],
                 ),
             );
         }

@@ -140,7 +140,10 @@ mod tests {
     fn traced_sim(seed: u64, n: usize) -> (SimHarness, p2_chord::ChordRing) {
         let mut sim = SimHarness::new(
             Default::default(),
-            NodeConfig { tracing: true, ..Default::default() },
+            NodeConfig {
+                tracing: true,
+                ..Default::default()
+            },
             seed,
         );
         let ring = build_ring(&mut sim, n, &ChordConfig::default());
@@ -180,7 +183,14 @@ mod tests {
             .node_mut(&origin)
             .trace_id_of(&resp)
             .expect("response memoized by tracer");
-        start_walk(&mut sim, &origin.clone(), &origin.clone(), 9001, id, observed_at);
+        start_walk(
+            &mut sim,
+            &origin.clone(),
+            &origin.clone(),
+            9001,
+            id,
+            observed_at,
+        );
         sim.run_for(TimeDelta::from_secs(2));
 
         let profs = reports(sim.node_mut(&origin).watched(REPORT));

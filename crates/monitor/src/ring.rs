@@ -51,7 +51,9 @@ pub fn alarms(watched: &[(Time, Tuple)]) -> Vec<(Time, String)> {
     watched
         .iter()
         .filter_map(|(t, tup)| {
-            tup.get(1).and_then(Value::to_addr).map(|a| (*t, a.to_string()))
+            tup.get(1)
+                .and_then(Value::to_addr)
+                .map(|a| (*t, a.to_string()))
         })
         .collect()
 }
@@ -152,14 +154,22 @@ mod tests {
         sim.run_for(TimeDelta::from_secs(15));
         let got = alarms(sim.node_mut(&victim).watched(ALARM));
         assert!(!got.is_empty(), "passive check missed the stale pred");
-        assert_eq!(got[0].1, real_pred.to_string(), "alarm names the true sender");
+        assert_eq!(
+            got[0].1,
+            real_pred.to_string(),
+            "alarm names the true sender"
+        );
     }
 
     #[test]
     fn passive_check_sends_no_messages() {
         // §3.1.1's stated advantage: rp4 generates no traffic of its own.
         let (mut sim, ring) = stable_ring(14);
-        let base: u64 = ring.addrs.iter().map(|a| sim.net().stats().sent_by(a)).sum();
+        let base: u64 = ring
+            .addrs
+            .iter()
+            .map(|a| sim.net().stats().sent_by(a))
+            .sum();
         let mut sim2 = SimHarness::with_seed(14);
         let ring2 = build_ring(&mut sim2, 6, &ChordConfig::default());
         sim2.run_for(TimeDelta::from_secs(180));
@@ -167,12 +177,24 @@ mod tests {
             sim2.install(&a, &passive_check_program()).unwrap();
         }
         // Same duration again on both; message deltas must match.
-        let t0: u64 = ring2.addrs.iter().map(|a| sim2.net().stats().sent_by(a)).sum();
+        let t0: u64 = ring2
+            .addrs
+            .iter()
+            .map(|a| sim2.net().stats().sent_by(a))
+            .sum();
         assert_eq!(base, t0, "identical seeds diverged before the check");
         sim.run_for(TimeDelta::from_secs(60));
         sim2.run_for(TimeDelta::from_secs(60));
-        let after1: u64 = ring.addrs.iter().map(|a| sim.net().stats().sent_by(a)).sum();
-        let after2: u64 = ring2.addrs.iter().map(|a| sim2.net().stats().sent_by(a)).sum();
+        let after1: u64 = ring
+            .addrs
+            .iter()
+            .map(|a| sim.net().stats().sent_by(a))
+            .sum();
+        let after2: u64 = ring2
+            .addrs
+            .iter()
+            .map(|a| sim2.net().stats().sent_by(a))
+            .sum();
         assert_eq!(after1, after2, "passive check altered message counts");
         let _ = Addr::new("x");
     }

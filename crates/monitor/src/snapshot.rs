@@ -222,11 +222,7 @@ pub fn issue_snapshot_lookup(
 }
 
 /// Read a node's phase for snapshot `id` (`None` if it never saw it).
-pub fn phase_of(
-    sim: &mut p2_core::SimHarness,
-    node: &Addr,
-    id: i64,
-) -> Option<String> {
+pub fn phase_of(sim: &mut p2_core::SimHarness, node: &Addr, id: i64) -> Option<String> {
     let now = sim.now();
     sim.node_mut(node)
         .table_scan(SNAP_STATE, now)
@@ -236,11 +232,7 @@ pub fn phase_of(
 }
 
 /// The snapped `bestSucc` pointer of a node for snapshot `id`.
-pub fn snapped_succ(
-    sim: &mut p2_core::SimHarness,
-    node: &Addr,
-    id: i64,
-) -> Option<Addr> {
+pub fn snapped_succ(sim: &mut p2_core::SimHarness, node: &Addr, id: i64) -> Option<Addr> {
     let now = sim.now();
     sim.node_mut(node)
         .table_scan(SNAP_BEST_SUCC, now)
@@ -276,8 +268,8 @@ mod tests {
     fn snapshot_reaches_every_node_and_terminates() {
         let (mut sim, ring) = snapshotting_ring(61, 6);
         sim.run_for(TimeDelta::from_secs(120)); // ≥ one snapshot round
-        // Snapshot rows are 100 s soft state; judge the freshest snapshot
-        // the initiator completed.
+                                                // Snapshot rows are 100 s soft state; judge the freshest snapshot
+                                                // the initiator completed.
         let now = sim.now();
         let latest = sim
             .node_mut(&ring.addrs[0])
@@ -297,7 +289,11 @@ mod tests {
                 other => panic!("node {a}: snapshot {latest} state {other:?}"),
             }
         }
-        assert_eq!(done, ring.addrs.len(), "all nodes must terminate snapshot {latest}");
+        assert_eq!(
+            done,
+            ring.addrs.len(),
+            "all nodes must terminate snapshot {latest}"
+        );
     }
 
     #[test]
@@ -398,7 +394,8 @@ mod tests {
         }
         sim.run_for(TimeDelta::from_secs(90)); // first snapshot completes
         let prober = ring.addrs[2].clone();
-        sim.install(&prober, &snapshot_probe_program(6.0, 5, 5)).unwrap();
+        sim.install(&prober, &snapshot_probe_program(6.0, 5, 5))
+            .unwrap();
         sim.node_mut(&prober).watch("sConsistency");
         // Churn the live overlay: a new node joins through the landmark.
         sim.run_for(TimeDelta::from_secs(15));
@@ -424,7 +421,10 @@ mod tests {
             .collect();
         assert!(!ms.is_empty(), "snapshot probe produced no metric");
         for m in &ms {
-            assert!((*m - 1.0).abs() < 1e-9, "snapshot probes must agree: {ms:?}");
+            assert!(
+                (*m - 1.0).abs() < 1e-9,
+                "snapshot probes must agree: {ms:?}"
+            );
         }
     }
 
@@ -452,7 +452,11 @@ mod tests {
             &node,
             Tuple::new(
                 "marker",
-                [Value::Addr(node.clone()), Value::Addr(marker_src), Value::Int(99)],
+                [
+                    Value::Addr(node.clone()),
+                    Value::Addr(marker_src),
+                    Value::Int(99),
+                ],
             ),
         );
         // Still within the same virtual instant (markers from neighbors
@@ -478,7 +482,10 @@ mod tests {
             r.get(1) == Some(&Value::Int(99))
                 && r.get(2).and_then(Value::to_addr) == Some(recording_from.clone())
         });
-        assert!(hit, "gossip on a recording channel was not dumped: {dumps:?}");
+        assert!(
+            hit,
+            "gossip on a recording channel was not dumped: {dumps:?}"
+        );
     }
 
     #[test]

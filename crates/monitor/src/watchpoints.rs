@@ -73,9 +73,7 @@ pub fn counts(sim: &mut p2_core::SimHarness, node: &p2_types::Addr) -> Vec<(Stri
 pub fn log_entries(watched: &[(Time, Tuple)]) -> Vec<(String, String)> {
     watched
         .iter()
-        .filter_map(|(_, t)| {
-            Some((t.get(1)?.to_string(), t.get(2)?.to_string()))
-        })
+        .filter_map(|(_, t)| Some((t.get(1)?.to_string(), t.get(2)?.to_string())))
         .collect()
 }
 
@@ -91,14 +89,21 @@ mod tests {
         let mut sim = SimHarness::with_seed(81);
         let ring = build_ring(&mut sim, 6, &ChordConfig::default());
         sim.run_for(TimeDelta::from_secs(180));
-        let sent_before: u64 =
-            ring.addrs.iter().map(|a| sim.net().stats().sent_by(a)).sum();
+        let sent_before: u64 = ring
+            .addrs
+            .iter()
+            .map(|a| sim.net().stats().sent_by(a))
+            .sum();
 
         // Install the suite everywhere; run a comparison window.
         for a in ring.addrs.clone() {
             sim.install(&a, &suite_program(15)).unwrap();
         }
-        let t0: u64 = ring.addrs.iter().map(|a| sim.net().stats().sent_by(a)).sum();
+        let t0: u64 = ring
+            .addrs
+            .iter()
+            .map(|a| sim.net().stats().sent_by(a))
+            .sum();
         assert_eq!(sent_before, t0);
         sim.run_for(TimeDelta::from_secs(120));
         for a in ring.addrs.clone() {
@@ -112,9 +117,16 @@ mod tests {
         let mut sim2 = SimHarness::with_seed(81);
         let ring2 = build_ring(&mut sim2, 6, &ChordConfig::default());
         sim2.run_for(TimeDelta::from_secs(300));
-        let with: u64 = ring.addrs.iter().map(|a| sim.net().stats().sent_by(a)).sum();
-        let without: u64 =
-            ring2.addrs.iter().map(|a| sim2.net().stats().sent_by(a)).sum();
+        let with: u64 = ring
+            .addrs
+            .iter()
+            .map(|a| sim.net().stats().sent_by(a))
+            .sum();
+        let without: u64 = ring2
+            .addrs
+            .iter()
+            .map(|a| sim2.net().stats().sent_by(a))
+            .sum();
         assert_eq!(with, without, "passive suite must cost zero messages");
     }
 

@@ -195,7 +195,11 @@ impl SimNetwork {
         }
         self.link_horizon.insert(key, deliver_at);
         self.seq += 1;
-        self.queue.push(Reverse(InFlight { deliver_at, seq: self.seq, env }));
+        self.queue.push(Reverse(InFlight {
+            deliver_at,
+            seq: self.seq,
+            env,
+        }));
     }
 
     /// The virtual time of the earliest pending delivery.
@@ -258,7 +262,7 @@ mod tests {
         assert!(n.pop_due(Time::from_millis(9)).is_empty());
         let got = n.pop_due(Time::from_millis(10));
         assert_eq!(got.len(), 1);
-        assert_eq!(got[0].tuple.get(1), Some(&Value::Int(1)));
+        assert_eq!(got[0].tuples[0].get(1), Some(&Value::Int(1)));
         assert_eq!(n.stats().sent_by(&Addr::new("a")), 1);
     }
 
@@ -277,7 +281,7 @@ mod tests {
         assert_eq!(got.len(), 50);
         let xs: Vec<i64> = got
             .iter()
-            .map(|e| match e.tuple.get(1) {
+            .map(|e| match e.tuples[0].get(1) {
                 Some(Value::Int(n)) => *n,
                 _ => panic!(),
             })
@@ -323,7 +327,10 @@ mod tests {
 
     #[test]
     fn loss_rate_drops_roughly_proportionally() {
-        let mut n = SimNetwork::new(SimConfig { loss_rate: 0.5, ..Default::default() });
+        let mut n = SimNetwork::new(SimConfig {
+            loss_rate: 0.5,
+            ..Default::default()
+        });
         n.register(Addr::new("a"));
         n.register(Addr::new("b"));
         for i in 0..1000 {
@@ -349,7 +356,7 @@ mod tests {
             }
             n.pop_due(Time::from_secs(5))
                 .iter()
-                .map(|e| format!("{}", e.tuple))
+                .map(|e| format!("{}", e.tuples[0]))
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
@@ -372,7 +379,7 @@ mod tests {
                 n.send(env("a", "b", i as i64), Time::from_millis(*t));
             }
             let got = n.pop_due(Time::from_secs(100));
-            let xs: Vec<i64> = got.iter().map(|e| match e.tuple.get(1) {
+            let xs: Vec<i64> = got.iter().map(|e| match e.tuples[0].get(1) {
                 Some(Value::Int(v)) => *v,
                 _ => unreachable!(),
             }).collect();

@@ -110,7 +110,7 @@ mod tests {
         let mb = hub.register(Addr::new("b"));
         assert!(hub.send(&env("a", "b", 7)));
         let got = mb.try_recv().unwrap().unwrap();
-        assert_eq!(got.tuple.get(1), Some(&Value::Int(7)));
+        assert_eq!(got.tuples[0].get(1), Some(&Value::Int(7)));
         assert!(mb.try_recv().unwrap().is_none());
     }
 
@@ -160,7 +160,7 @@ mod tests {
         }
         for i in 0..50 {
             let e = mb.try_recv().unwrap().unwrap();
-            assert_eq!(e.tuple.get(1), Some(&Value::Int(i)));
+            assert_eq!(e.tuples[0].get(1), Some(&Value::Int(i)));
         }
     }
 }

@@ -50,7 +50,10 @@ impl UdpTransport {
     pub fn bind(local: &Addr) -> io::Result<UdpTransport> {
         let socket = UdpSocket::bind(local.as_str())?;
         socket.set_nonblocking(true)?;
-        Ok(UdpTransport { socket, local: local.clone() })
+        Ok(UdpTransport {
+            socket,
+            local: local.clone(),
+        })
     }
 
     /// The bound address (useful with port 0: the OS assigns one).
@@ -76,7 +79,9 @@ impl UdpTransport {
         match self.socket.recv_from(&mut buf) {
             Ok((n, _peer)) => match decode_envelope(&buf[..n]) {
                 Ok(env) => Ok(UdpRecv::Envelope(env)),
-                Err(e) => Ok(UdpRecv::Malformed { error: e.to_string() }),
+                Err(e) => Ok(UdpRecv::Malformed {
+                    error: e.to_string(),
+                }),
             },
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(UdpRecv::Empty),
             Err(e) => Err(e),
@@ -94,11 +99,12 @@ impl UdpTransport {
         match r {
             Ok((n, _peer)) => match decode_envelope(&buf[..n]) {
                 Ok(env) => Ok(UdpRecv::Envelope(env)),
-                Err(e) => Ok(UdpRecv::Malformed { error: e.to_string() }),
+                Err(e) => Ok(UdpRecv::Malformed {
+                    error: e.to_string(),
+                }),
             },
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 Ok(UdpRecv::Empty)
             }
@@ -132,7 +138,7 @@ mod tests {
         a.send(&env_to(&b_addr, 42)).unwrap();
         match b.recv_timeout(Duration::from_secs(2)).unwrap() {
             UdpRecv::Envelope(e) => {
-                assert_eq!(e.tuple.get(1), Some(&Value::Int(42)));
+                assert_eq!(e.tuples[0].get(1), Some(&Value::Int(42)));
                 assert_eq!(e.dst, b_addr);
             }
             other => panic!("expected envelope, got {other:?}"),
@@ -152,7 +158,8 @@ mod tests {
         let b_addr = b.local_addr().unwrap();
         // Raw garbage straight onto the socket.
         let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
-        raw.send_to(&[0xFF, 0x00, 0x13, 0x37], b_addr.as_str()).unwrap();
+        raw.send_to(&[0xFF, 0x00, 0x13, 0x37], b_addr.as_str())
+            .unwrap();
         match b.recv_timeout(Duration::from_secs(2)).unwrap() {
             UdpRecv::Malformed { error } => assert!(!error.is_empty()),
             other => panic!("expected malformed, got {other:?}"),

@@ -376,7 +376,13 @@ mod tests {
 
     #[test]
     fn agg_func_round_trip() {
-        for f in [AggFunc::Count, AggFunc::Min, AggFunc::Max, AggFunc::Sum, AggFunc::Avg] {
+        for f in [
+            AggFunc::Count,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Sum,
+            AggFunc::Avg,
+        ] {
             assert_eq!(AggFunc::from_name(f.name()), Some(f));
         }
         assert_eq!(AggFunc::from_name("median"), None);
@@ -389,7 +395,13 @@ mod tests {
             delete: false,
             head: Predicate {
                 name: "h".into(),
-                args: vec![Arg::Var("A".into()), Arg::Agg { func: AggFunc::Count, over: None }],
+                args: vec![
+                    Arg::Var("A".into()),
+                    Arg::Agg {
+                        func: AggFunc::Count,
+                        over: None,
+                    },
+                ],
                 at_form: true,
             },
             body: vec![Term::Pred(Predicate {

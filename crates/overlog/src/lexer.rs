@@ -158,11 +158,19 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn span(&self) -> Span {
-        Span { line: self.line, col: self.col }
+        Span {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -186,7 +194,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> LexError {
-        LexError { message: msg.into(), span: self.span() }
+        LexError {
+            message: msg.into(),
+            span: self.span(),
+        }
     }
 
     fn skip_trivia(&mut self) -> Result<(), LexError> {
@@ -234,9 +245,7 @@ impl<'a> Lexer<'a> {
     fn lex_number(&mut self) -> Result<Token, LexError> {
         let span = self.span();
         let start = self.pos;
-        if self.peek() == Some(b'0')
-            && matches!(self.peek2(), Some(b'x') | Some(b'X'))
-        {
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
             self.bump();
             self.bump();
             let hstart = self.pos;
@@ -247,11 +256,14 @@ impl<'a> Lexer<'a> {
                 return Err(self.err("hex literal needs digits"));
             }
             let text = std::str::from_utf8(&self.src[hstart..self.pos]).unwrap();
-            let v = u64::from_str_radix(text, 16)
-                .map_err(|_| self.err("hex literal out of range"))?;
+            let v =
+                u64::from_str_radix(text, 16).map_err(|_| self.err("hex literal out of range"))?;
             // Hex literals denote ring identifiers: Chord node IDs span
             // the full 64-bit space, beyond i64.
-            return Ok(Token { tok: Tok::IdLit(v), span });
+            return Ok(Token {
+                tok: Tok::IdLit(v),
+                span,
+            });
         }
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.bump();
@@ -259,9 +271,7 @@ impl<'a> Lexer<'a> {
         // A dot is part of the number only if followed by a digit;
         // otherwise it is the statement terminator (e.g. `periodic(E, 1).`).
         let mut is_float = false;
-        if self.peek() == Some(b'.')
-            && matches!(self.peek2(), Some(c) if c.is_ascii_digit())
-        {
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
             is_float = true;
             self.bump();
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
@@ -271,10 +281,18 @@ impl<'a> Lexer<'a> {
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
         if is_float {
             let v: f64 = text.parse().map_err(|_| self.err("bad float literal"))?;
-            Ok(Token { tok: Tok::Float(v), span })
+            Ok(Token {
+                tok: Tok::Float(v),
+                span,
+            })
         } else {
-            let v: i64 = text.parse().map_err(|_| self.err("integer literal out of range"))?;
-            Ok(Token { tok: Tok::Int(v), span })
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err("integer literal out of range"))?;
+            Ok(Token {
+                tok: Tok::Int(v),
+                span,
+            })
         }
     }
 
@@ -284,7 +302,9 @@ impl<'a> Lexer<'a> {
         while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
             self.bump();
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_string();
         let first = text.as_bytes()[0];
         let tok = if first.is_ascii_uppercase() {
             Tok::Var(text)
@@ -315,17 +335,25 @@ impl<'a> Lexer<'a> {
                 },
                 Some(c) => out.push(c as char),
                 None => {
-                    return Err(LexError { message: "unterminated string".into(), span })
+                    return Err(LexError {
+                        message: "unterminated string".into(),
+                        span,
+                    })
                 }
             }
         }
-        Ok(Token { tok: Tok::Str(out), span })
+        Ok(Token {
+            tok: Tok::Str(out),
+            span,
+        })
     }
 
     fn next_token(&mut self) -> Result<Option<Token>, LexError> {
         self.skip_trivia()?;
         let span = self.span();
-        let Some(c) = self.peek() else { return Ok(None) };
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
         let simple = |l: &mut Self, t: Tok| {
             l.bump();
             Ok(Some(Token { tok: t, span }))
@@ -359,31 +387,52 @@ impl<'a> Lexer<'a> {
                 match self.peek() {
                     Some(b'-') => {
                         self.bump();
-                        Ok(Some(Token { tok: Tok::Implies, span }))
+                        Ok(Some(Token {
+                            tok: Tok::Implies,
+                            span,
+                        }))
                     }
                     Some(b'=') => {
                         self.bump();
-                        Ok(Some(Token { tok: Tok::Assign, span }))
+                        Ok(Some(Token {
+                            tok: Tok::Assign,
+                            span,
+                        }))
                     }
-                    _ => Err(LexError { message: "expected ':-' or ':='".into(), span }),
+                    _ => Err(LexError {
+                        message: "expected ':-' or ':='".into(),
+                        span,
+                    }),
                 }
             }
             b'=' => {
                 self.bump();
                 if self.peek() == Some(b'=') {
                     self.bump();
-                    Ok(Some(Token { tok: Tok::EqEq, span }))
+                    Ok(Some(Token {
+                        tok: Tok::EqEq,
+                        span,
+                    }))
                 } else {
-                    Err(LexError { message: "expected '=='".into(), span })
+                    Err(LexError {
+                        message: "expected '=='".into(),
+                        span,
+                    })
                 }
             }
             b'!' => {
                 self.bump();
                 if self.peek() == Some(b'=') {
                     self.bump();
-                    Ok(Some(Token { tok: Tok::BangEq, span }))
+                    Ok(Some(Token {
+                        tok: Tok::BangEq,
+                        span,
+                    }))
                 } else {
-                    Ok(Some(Token { tok: Tok::Bang, span }))
+                    Ok(Some(Token {
+                        tok: Tok::Bang,
+                        span,
+                    }))
                 }
             }
             b'<' => {
@@ -408,18 +457,30 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 if self.peek() == Some(b'&') {
                     self.bump();
-                    Ok(Some(Token { tok: Tok::AndAnd, span }))
+                    Ok(Some(Token {
+                        tok: Tok::AndAnd,
+                        span,
+                    }))
                 } else {
-                    Err(LexError { message: "expected '&&'".into(), span })
+                    Err(LexError {
+                        message: "expected '&&'".into(),
+                        span,
+                    })
                 }
             }
             b'|' => {
                 self.bump();
                 if self.peek() == Some(b'|') {
                     self.bump();
-                    Ok(Some(Token { tok: Tok::OrOr, span }))
+                    Ok(Some(Token {
+                        tok: Tok::OrOr,
+                        span,
+                    }))
                 } else {
-                    Err(LexError { message: "expected '||'".into(), span })
+                    Err(LexError {
+                        message: "expected '||'".into(),
+                        span,
+                    })
                 }
             }
             other => Err(LexError {
@@ -464,7 +525,12 @@ mod tests {
     fn numbers() {
         assert_eq!(
             toks("42 3.25 0x1f 0xffffffffffffffff"),
-            vec![Tok::Int(42), Tok::Float(3.25), Tok::IdLit(31), Tok::IdLit(u64::MAX)]
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.25),
+                Tok::IdLit(31),
+                Tok::IdLit(u64::MAX)
+            ]
         );
     }
 
@@ -502,18 +568,25 @@ mod tests {
 
     #[test]
     fn strings_and_escapes() {
-        assert_eq!(toks(r#""Snapping" "-" "a\"b""#), vec![
-            Tok::Str("Snapping".into()),
-            Tok::Str("-".into()),
-            Tok::Str("a\"b".into()),
-        ]);
+        assert_eq!(
+            toks(r#""Snapping" "-" "a\"b""#),
+            vec![
+                Tok::Str("Snapping".into()),
+                Tok::Str("-".into()),
+                Tok::Str("a\"b".into()),
+            ]
+        );
     }
 
     #[test]
     fn comments_skipped() {
         assert_eq!(
             toks("a // comment\n b /* block \n over lines */ c"),
-            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Ident("c".into())]
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into())
+            ]
         );
     }
 

@@ -56,7 +56,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, span: e.span }
+        ParseError {
+            message: e.message,
+            span: e.span,
+        }
     }
 }
 
@@ -105,7 +108,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: msg.into(), span: self.span() })
+        Err(ParseError {
+            message: msg.into(),
+            span: self.span(),
+        })
     }
 
     fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
@@ -198,7 +204,12 @@ impl Parser {
         self.expect(&Tok::RParen)?;
         self.expect(&Tok::RParen)?;
         self.expect(&Tok::Dot)?;
-        Ok(Statement::Materialize(Materialize { table, lifetime, max_size, keys }))
+        Ok(Statement::Materialize(Materialize {
+            table,
+            lifetime,
+            max_size,
+            keys,
+        }))
     }
 
     fn rule(&mut self) -> Result<Rule, ParseError> {
@@ -206,9 +217,7 @@ impl Parser {
         // or the bracketed `[ruleID]` form from §2 of the paper.
         let mut label = None;
         if self.peek() == Some(&Tok::LBracket) {
-            if let (Some(Tok::Ident(_)), Some(Tok::RBracket)) =
-                (self.peek_at(1), self.peek_at(2))
-            {
+            if let (Some(Tok::Ident(_)), Some(Tok::RBracket)) = (self.peek_at(1), self.peek_at(2)) {
                 self.bump();
                 if let Some(Tok::Ident(l)) = self.bump() {
                     label = Some(l);
@@ -241,16 +250,19 @@ impl Parser {
             }
         }
         self.expect(&Tok::Dot)?;
-        Ok(Rule { label, delete, head, body })
+        Ok(Rule {
+            label,
+            delete,
+            head,
+            body,
+        })
     }
 
     // --------------------------------------------------------------- terms
 
     fn term(&mut self) -> Result<Term, ParseError> {
         // Assignment: VAR := expr
-        if matches!(self.peek(), Some(Tok::Var(_)))
-            && self.peek_at(1) == Some(&Tok::Assign)
-        {
+        if matches!(self.peek(), Some(Tok::Var(_))) && self.peek_at(1) == Some(&Tok::Assign) {
             let var = match self.bump() {
                 Some(Tok::Var(v)) => v,
                 _ => unreachable!("peeked"),
@@ -262,9 +274,7 @@ impl Parser {
         // Predicate: IDENT not starting with f_, followed by '@' or '('.
         if let Some(Tok::Ident(name)) = self.peek() {
             let is_builtin_fn = name.starts_with("f_");
-            if !is_builtin_fn
-                && matches!(self.peek_at(1), Some(Tok::At) | Some(Tok::LParen))
-            {
+            if !is_builtin_fn && matches!(self.peek_at(1), Some(Tok::At) | Some(Tok::LParen)) {
                 return Ok(Term::Pred(self.predicate(false)?));
             }
         }
@@ -305,7 +315,11 @@ impl Parser {
                 "predicate '{name}' needs a location argument (either '@Loc' or a first field)"
             ));
         }
-        Ok(Predicate { name, args, at_form })
+        Ok(Predicate {
+            name,
+            args,
+            at_form,
+        })
     }
 
     fn arg(&mut self, in_head: bool) -> Result<Arg, ParseError> {
@@ -522,7 +536,10 @@ impl Parser {
                         }
                         self.expect(&Tok::RParen)?;
                     }
-                    Ok(Expr::Call { func: name, args: call_args })
+                    Ok(Expr::Call {
+                        func: name,
+                        args: call_args,
+                    })
                 } else {
                     // Lower-case identifier in expression position is a
                     // symbolic constant (paper footnote 1: `n` is the ID
@@ -637,7 +654,13 @@ mod tests {
         match &r.body[2] {
             Term::Assign { var, expr } => {
                 assert_eq!(var, "T");
-                assert_eq!(expr, &Expr::Call { func: "f_now".into(), args: vec![] });
+                assert_eq!(
+                    expr,
+                    &Expr::Call {
+                        func: "f_now".into(),
+                        args: vec![]
+                    }
+                );
             }
             other => panic!("expected assignment, got {other:?}"),
         }
@@ -649,7 +672,11 @@ mod tests {
             "l1 res@R(K) :- node@N(NID), lookup@N(K, R, E), bestSucc@N(SA, SID), K in (NID, SID].",
         );
         match &r.body[3] {
-            Term::Cond(Expr::In { lo_closed, hi_closed, .. }) => {
+            Term::Cond(Expr::In {
+                lo_closed,
+                hi_closed,
+                ..
+            }) => {
                 assert!(!lo_closed);
                 assert!(hi_closed);
             }
@@ -657,7 +684,11 @@ mod tests {
         }
         let r = parse1("x res@R() :- a@R(FID, NID, K), FID in (NID, K).");
         match &r.body[1] {
-            Term::Cond(Expr::In { lo_closed, hi_closed, .. }) => {
+            Term::Cond(Expr::In {
+                lo_closed,
+                hi_closed,
+                ..
+            }) => {
                 assert!(!lo_closed);
                 assert!(!hi_closed);
             }
@@ -671,14 +702,23 @@ mod tests {
             "os3 countOscill@NAddr(OscillAddr, count<*>) :- periodic@NAddr(E, 60), oscill@NAddr(OscillAddr, Time).",
         );
         assert!(r.is_aggregate());
-        assert_eq!(r.head.args[2], Arg::Agg { func: AggFunc::Count, over: None });
+        assert_eq!(
+            r.head.args[2],
+            Arg::Agg {
+                func: AggFunc::Count,
+                over: None
+            }
+        );
 
         let r = parse1(
             "l2 bestLookupDist@NAddr(K, R, E, min<D>) :- node@NAddr(NID), lookup@NAddr(K, R, E), finger@NAddr(FP, FID, FA), D := K - FID - 1, FID in (NID, K).",
         );
         assert_eq!(
             r.head.args[4],
-            Arg::Agg { func: AggFunc::Min, over: Some("D".into()) }
+            Arg::Agg {
+                func: AggFunc::Min,
+                over: Some("D".into())
+            }
         );
 
         let r = parse1(
@@ -686,7 +726,10 @@ mod tests {
         );
         assert_eq!(
             r.head.args[2],
-            Arg::Agg { func: AggFunc::Max, over: Some("Count".into()) }
+            Arg::Agg {
+                func: AggFunc::Max,
+                over: Some("Count".into())
+            }
         );
     }
 
@@ -722,9 +765,7 @@ mod tests {
 
     #[test]
     fn string_constants_in_predicates() {
-        let r = parse1(
-            r#"sr2 snapState@NAddr(I, "Snapping") :- snap@NAddr(I)."#,
-        );
+        let r = parse1(r#"sr2 snapState@NAddr(I, "Snapping") :- snap@NAddr(I)."#);
         assert_eq!(r.head.args[2], Arg::Const(Value::str("Snapping")));
     }
 

@@ -162,7 +162,13 @@ fn prec_print(e: &Expr, parent: u8) -> String {
                 s
             }
         }
-        Expr::In { expr, lo, hi, lo_closed, hi_closed } => {
+        Expr::In {
+            expr,
+            lo,
+            hi,
+            lo_closed,
+            hi_closed,
+        } => {
             let s = format!(
                 "{} in {}{}, {}{}",
                 prec_print(expr, 4),
@@ -218,7 +224,10 @@ mod tests {
             let printed = program_to_string(&p1);
             let p2 = parse_program(&printed)
                 .unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
-            assert_eq!(p1, p2, "round trip changed structure for: {src}\nprinted: {printed}");
+            assert_eq!(
+                p1, p2,
+                "round trip changed structure for: {src}\nprinted: {printed}"
+            );
         }
     }
 

@@ -82,10 +82,7 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
 /// Rule 7: per-program arity consistency (strict-arity matching makes a
 /// mixed-arity relation a latent never-matches bug), plus `periodic`'s
 /// fixed shape and `keys(...)` bounds.
-fn check_arities(
-    program: &Program,
-    key_maxes: &[(String, usize)],
-) -> Result<(), ValidateError> {
+fn check_arities(program: &Program, key_maxes: &[(String, usize)]) -> Result<(), ValidateError> {
     use std::collections::HashMap;
     // relation -> (arity, rule where first seen)
     let mut firsts: HashMap<String, (usize, String)> = HashMap::new();
@@ -144,7 +141,10 @@ fn check_arities(
 
 fn validate_rule(r: &Rule, name: &str) -> Result<(), ValidateError> {
     let err = |message: String| {
-        Err(ValidateError { rule: name.to_string(), message })
+        Err(ValidateError {
+            rule: name.to_string(),
+            message,
+        })
     };
 
     // Facts: no body => all head args must be constants.
@@ -152,11 +152,7 @@ fn validate_rule(r: &Rule, name: &str) -> Result<(), ValidateError> {
         for a in &r.head.args {
             match a {
                 Arg::Const(_) => {}
-                other => {
-                    return err(format!(
-                        "fact argument must be a constant, found {other:?}"
-                    ))
-                }
+                other => return err(format!("fact argument must be a constant, found {other:?}")),
             }
         }
         if r.delete {
@@ -239,9 +235,7 @@ fn validate_rule(r: &Rule, name: &str) -> Result<(), ValidateError> {
                 e.free_vars(&mut vs);
                 for v in vs {
                     if !bound.contains(&v) {
-                        return err(format!(
-                            "head expression uses unbound variable {v}"
-                        ));
+                        return err(format!("head expression uses unbound variable {v}"));
                     }
                 }
             }
@@ -355,10 +349,8 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_materialize() {
-        let e = check(
-            "materialize(t, 10, 10, keys(1)). materialize(t, 20, 5, keys(1)).",
-        )
-        .unwrap_err();
+        let e =
+            check("materialize(t, 10, 10, keys(1)). materialize(t, 20, 5, keys(1)).").unwrap_err();
         assert!(e.message.contains("twice"));
     }
 

@@ -42,7 +42,11 @@ impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanError::Invalid(e) => write!(f, "{e}"),
-            PlanError::TwoEventPredicates { rule, first, second } => write!(
+            PlanError::TwoEventPredicates {
+                rule,
+                first,
+                second,
+            } => write!(
                 f,
                 "in {rule}: two event predicates '{first}' and '{second}' — \
                  a rule may have at most one non-materialized predicate"
@@ -78,7 +82,9 @@ pub fn compile_program(
     let mut materialized: HashSet<String> = known_tables.clone();
     for m in program.materializations() {
         if m.table == "periodic" {
-            return Err(PlanError::ReservedRelation { name: m.table.clone() });
+            return Err(PlanError::ReservedRelation {
+                name: m.table.clone(),
+            });
         }
         materialized.insert(m.table.clone());
         out.tables.push(lower_materialize(m));
@@ -97,7 +103,9 @@ pub fn compile_program(
             .unwrap_or_else(|| format!("rule#{rule_idx}"));
 
         if rule.head.name == "periodic" {
-            return Err(PlanError::ReservedRelation { name: "periodic".into() });
+            return Err(PlanError::ReservedRelation {
+                name: "periodic".into(),
+            });
         }
 
         // Facts: ground heads with no body are injected at install.
@@ -143,8 +151,7 @@ pub fn compile_program(
             } else {
                 label.clone()
             };
-            let strand =
-                compile_strand(rule, &label, strand_id, tpos, &materialized)?;
+            let strand = compile_strand(rule, &label, strand_id, tpos, &materialized)?;
             out.strands.push(strand);
         }
     }
@@ -210,7 +217,9 @@ struct Slots {
 
 impl Slots {
     fn new() -> Slots {
-        Slots { map: HashMap::new() }
+        Slots {
+            map: HashMap::new(),
+        }
     }
 
     fn get(&self, v: &str) -> Option<usize> {
@@ -224,10 +233,11 @@ impl Slots {
 
     fn compile(&self, e: &Expr) -> PExpr {
         compile_expr(e, &|v| {
-            *self
-                .map
-                .get(v)
-                .unwrap_or_else(|| panic!("planner invariant: variable {v} unbound (validator should have caught this)"))
+            *self.map.get(v).unwrap_or_else(|| {
+                panic!(
+                    "planner invariant: variable {v} unbound (validator should have caught this)"
+                )
+            })
         })
     }
 }
@@ -305,9 +315,13 @@ fn compile_strand(
         };
         let ms = pred_match(trigger_pred, &mut slots, restrict_to.as_ref());
         let trig = if trigger_is_table {
-            Trigger::TableInsert { name: trigger_pred.name.clone() }
+            Trigger::TableInsert {
+                name: trigger_pred.name.clone(),
+            }
         } else {
-            Trigger::Event { name: trigger_pred.name.clone() }
+            Trigger::Event {
+                name: trigger_pred.name.clone(),
+            }
         };
         (trig, ms)
     };
@@ -323,7 +337,10 @@ fn compile_strand(
                     continue;
                 }
                 let ms = pred_match(p, &mut slots, None);
-                ops.push(Op::Join { table: p.name.clone(), match_spec: ms });
+                ops.push(Op::Join {
+                    table: p.name.clone(),
+                    match_spec: ms,
+                });
             }
             Term::Cond(e) => {
                 ops.push(Op::Select(slots.compile(e)));
@@ -341,17 +358,13 @@ fn compile_strand(
     let mut agg: Option<AggPlan> = None;
     for (pos, a) in rule.head.args.iter().enumerate() {
         fields.push(match a {
-            Arg::Var(v) => FieldOut::Slot(
-                slots
-                    .get(v)
-                    .expect("validated: head vars bound"),
-            ),
+            Arg::Var(v) => FieldOut::Slot(slots.get(v).expect("validated: head vars bound")),
             Arg::Const(c) => FieldOut::Const(c.clone()),
             Arg::Expr(e) => FieldOut::Expr(slots.compile(e)),
             Arg::Agg { func, over } => {
-                let over_expr = over.as_ref().map(|v| {
-                    PExpr::Slot(slots.get(v).expect("validated: agg var bound"))
-                });
+                let over_expr = over
+                    .as_ref()
+                    .map(|v| PExpr::Slot(slots.get(v).expect("validated: agg var bound")));
                 agg = Some(AggPlan {
                     func: *func,
                     over: over_expr,
@@ -454,7 +467,12 @@ mod tests {
         );
         assert_eq!(p.strands.len(), 1);
         let s = &p.strands[0];
-        assert_eq!(s.trigger, Trigger::Event { name: "stabilizeRequest".into() });
+        assert_eq!(
+            s.trigger,
+            Trigger::Event {
+                name: "stabilizeRequest".into()
+            }
+        );
         assert_eq!(s.join_count(), 1);
         assert_eq!(s.rule_label, "rp4");
         // Join on pred, then select.
@@ -471,8 +489,14 @@ mod tests {
             &[],
         );
         assert_eq!(p.strands.len(), 2);
-        assert_eq!(p.strands[0].trigger, Trigger::TableInsert { name: "a".into() });
-        assert_eq!(p.strands[1].trigger, Trigger::TableInsert { name: "b".into() });
+        assert_eq!(
+            p.strands[0].trigger,
+            Trigger::TableInsert { name: "a".into() }
+        );
+        assert_eq!(
+            p.strands[1].trigger,
+            Trigger::TableInsert { name: "b".into() }
+        );
         assert_eq!(p.strands[0].strand_id, "r1~0");
         assert_eq!(p.strands[1].strand_id, "r1~1");
         // Each strand joins the *other* table.
@@ -488,7 +512,12 @@ mod tests {
             &["bestSucc"],
         );
         assert_eq!(p.strands.len(), 1);
-        assert_eq!(p.strands[0].trigger, Trigger::Event { name: "event".into() });
+        assert_eq!(
+            p.strands[0].trigger,
+            Trigger::Event {
+                name: "event".into()
+            }
+        );
         assert!(matches!(&p.strands[0].ops[0], Op::Join { table, .. } if table == "bestSucc"));
     }
 
@@ -519,16 +548,12 @@ mod tests {
             "r h@N() :- periodic@N(E, T).",
             "r h@N() :- periodic@N(E, 0).",
         ] {
-            let err =
-                compile_program(&parse_program(bad).unwrap(), &known).unwrap_err();
+            let err = compile_program(&parse_program(bad).unwrap(), &known).unwrap_err();
             assert!(matches!(err, PlanError::BadPeriodic { .. }), "{bad}");
         }
         // A wrong arity is caught even earlier, by the validator.
-        let err = compile_program(
-            &parse_program("r h@N() :- periodic@N(E).").unwrap(),
-            &known,
-        )
-        .unwrap_err();
+        let err = compile_program(&parse_program("r h@N() :- periodic@N(E).").unwrap(), &known)
+            .unwrap_err();
         assert!(matches!(err, PlanError::Invalid(_)));
     }
 
@@ -553,7 +578,12 @@ mod tests {
         );
         assert_eq!(p.strands.len(), 1);
         let s = &p.strands[0];
-        assert_eq!(s.trigger, Trigger::Event { name: "marker".into() });
+        assert_eq!(
+            s.trigger,
+            Trigger::Event {
+                name: "marker".into()
+            }
+        );
         let agg = s.head.agg.as_ref().unwrap();
         assert_eq!(agg.position, 3);
         // Group fields NAddr, SrcAddr, I are all bound by the marker
@@ -570,7 +600,12 @@ mod tests {
             &[],
         );
         let s = &p.strands[0];
-        assert_eq!(s.trigger, Trigger::TableInsert { name: "conRespTable".into() });
+        assert_eq!(
+            s.trigger,
+            Trigger::TableInsert {
+                name: "conRespTable".into()
+            }
+        );
         // The trigger table appears again as a join.
         assert!(matches!(&s.ops[0], Op::Join { table, .. } if table == "conRespTable"));
         // Trigger match binds only the group vars (NAddr, ProbeID, SAddr);
@@ -636,7 +671,12 @@ mod tests {
             &[],
         );
         let s = &p.strands[0];
-        assert_eq!(s.trigger, Trigger::Event { name: "lookup".into() });
+        assert_eq!(
+            s.trigger,
+            Trigger::Event {
+                name: "lookup".into()
+            }
+        );
         let agg = s.head.agg.as_ref().unwrap();
         assert!(agg.over.is_some());
         assert_eq!(agg.position, 4);

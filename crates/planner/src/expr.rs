@@ -80,7 +80,11 @@ impl fmt::Display for EvalError {
             EvalError::Value(e) => write!(f, "{e}"),
             EvalError::UnboundSlot(i) => write!(f, "unbound variable slot {i}"),
             EvalError::UnknownFunction(n) => write!(f, "unknown function {n}"),
-            EvalError::Arity { func, expected, got } => {
+            EvalError::Arity {
+                func,
+                expected,
+                got,
+            } => {
                 write!(f, "{func} expects {expected} args, got {got}")
             }
             EvalError::NotBoolean => write!(f, "condition did not evaluate to a boolean"),
@@ -120,7 +124,11 @@ pub struct FixedCtx {
 
 impl Default for FixedCtx {
     fn default() -> Self {
-        FixedCtx { now: Time::ZERO, next_rand: 1, addr: Addr::new("test") }
+        FixedCtx {
+            now: Time::ZERO,
+            next_rand: 1,
+            addr: Addr::new("test"),
+        }
     }
 }
 
@@ -155,7 +163,13 @@ where
             Box::new(compile_expr(a, slot_of)),
             Box::new(compile_expr(b, slot_of)),
         ),
-        Expr::In { expr, lo, hi, lo_closed, hi_closed } => PExpr::In {
+        Expr::In {
+            expr,
+            lo,
+            hi,
+            lo_closed,
+            hi_closed,
+        } => PExpr::In {
             expr: Box::new(compile_expr(expr, slot_of)),
             lo: Box::new(compile_expr(lo, slot_of)),
             hi: Box::new(compile_expr(hi, slot_of)),
@@ -166,18 +180,12 @@ where
             func: func.clone(),
             args: args.iter().map(|a| compile_expr(a, slot_of)).collect(),
         },
-        Expr::List(items) => {
-            PExpr::List(items.iter().map(|a| compile_expr(a, slot_of)).collect())
-        }
+        Expr::List(items) => PExpr::List(items.iter().map(|a| compile_expr(a, slot_of)).collect()),
     }
 }
 
 /// Evaluate a compiled expression.
-pub fn eval(
-    e: &PExpr,
-    env: &[Option<Value>],
-    ctx: &mut dyn EvalCtx,
-) -> Result<Value, EvalError> {
+pub fn eval(e: &PExpr, env: &[Option<Value>], ctx: &mut dyn EvalCtx) -> Result<Value, EvalError> {
     match e {
         PExpr::Slot(i) => env
             .get(*i)
@@ -225,11 +233,22 @@ pub fn eval(
                 BinOp::And | BinOp::Or => unreachable!("handled above"),
             })
         }
-        PExpr::In { expr, lo, hi, lo_closed, hi_closed } => {
+        PExpr::In {
+            expr,
+            lo,
+            hi,
+            lo_closed,
+            hi_closed,
+        } => {
             let x = eval(expr, env, ctx)?.as_ring_id()?;
             let lo = eval(lo, env, ctx)?.as_ring_id()?;
             let hi = eval(hi, env, ctx)?.as_ring_id()?;
-            let iv = Interval { lo, hi, lo_closed: *lo_closed, hi_closed: *hi_closed };
+            let iv = Interval {
+                lo,
+                hi,
+                lo_closed: *lo_closed,
+                hi_closed: *hi_closed,
+            };
             Ok(Value::Bool(iv.contains(x)))
         }
         PExpr::Call { func, args } => {
@@ -262,7 +281,11 @@ fn call_builtin(func: &str, args: &[Value], ctx: &mut dyn EvalCtx) -> Result<Val
         if args.len() == expected {
             Ok(())
         } else {
-            Err(EvalError::Arity { func: func.to_string(), expected, got: args.len() })
+            Err(EvalError::Arity {
+                func: func.to_string(),
+                expected,
+                got: args.len(),
+            })
         }
     };
     match func {
@@ -345,17 +368,28 @@ mod tests {
     fn arith_and_compare() {
         let e = compile_cond("r h@A() :- t@A(X, Y), X + 1 < Y * 2.", &["A", "X", "Y"]);
         let mut ctx = FixedCtx::default();
-        let out = eval(&e, &env(&[Value::addr("a"), Value::Int(3), Value::Int(3)]), &mut ctx)
-            .unwrap();
+        let out = eval(
+            &e,
+            &env(&[Value::addr("a"), Value::Int(3), Value::Int(3)]),
+            &mut ctx,
+        )
+        .unwrap();
         assert_eq!(out, Value::Bool(true));
-        let out = eval(&e, &env(&[Value::addr("a"), Value::Int(10), Value::Int(3)]), &mut ctx)
-            .unwrap();
+        let out = eval(
+            &e,
+            &env(&[Value::addr("a"), Value::Int(10), Value::Int(3)]),
+            &mut ctx,
+        )
+        .unwrap();
         assert_eq!(out, Value::Bool(false));
     }
 
     #[test]
     fn interval_eval() {
-        let e = compile_cond("r h@A() :- t@A(K, N, S), K in (N, S].", &["A", "K", "N", "S"]);
+        let e = compile_cond(
+            "r h@A() :- t@A(K, N, S), K in (N, S].",
+            &["A", "K", "N", "S"],
+        );
         let mut ctx = FixedCtx::default();
         let yes = eval(
             &e,
@@ -375,23 +409,53 @@ mod tests {
 
     #[test]
     fn builtins() {
-        let mut ctx = FixedCtx { now: Time::from_secs(9), ..Default::default() };
-        let now = eval(&PExpr::Call { func: "f_now".into(), args: vec![] }, &[], &mut ctx)
-            .unwrap();
+        let mut ctx = FixedCtx {
+            now: Time::from_secs(9),
+            ..Default::default()
+        };
+        let now = eval(
+            &PExpr::Call {
+                func: "f_now".into(),
+                args: vec![],
+            },
+            &[],
+            &mut ctx,
+        )
+        .unwrap();
         assert_eq!(now, Value::Time(Time::from_secs(9)));
-        let r1 = eval(&PExpr::Call { func: "f_rand".into(), args: vec![] }, &[], &mut ctx)
-            .unwrap();
-        let r2 = eval(&PExpr::Call { func: "f_rand".into(), args: vec![] }, &[], &mut ctx)
-            .unwrap();
+        let r1 = eval(
+            &PExpr::Call {
+                func: "f_rand".into(),
+                args: vec![],
+            },
+            &[],
+            &mut ctx,
+        )
+        .unwrap();
+        let r2 = eval(
+            &PExpr::Call {
+                func: "f_rand".into(),
+                args: vec![],
+            },
+            &[],
+            &mut ctx,
+        )
+        .unwrap();
         assert_ne!(r1, r2);
         let h1 = eval(
-            &PExpr::Call { func: "f_sha1".into(), args: vec![PExpr::Const(Value::str("n1"))] },
+            &PExpr::Call {
+                func: "f_sha1".into(),
+                args: vec![PExpr::Const(Value::str("n1"))],
+            },
             &[],
             &mut ctx,
         )
         .unwrap();
         let h2 = eval(
-            &PExpr::Call { func: "f_sha1".into(), args: vec![PExpr::Const(Value::str("n1"))] },
+            &PExpr::Call {
+                func: "f_sha1".into(),
+                args: vec![PExpr::Const(Value::str("n1"))],
+            },
             &[],
             &mut ctx,
         )
@@ -402,15 +466,27 @@ mod tests {
     #[test]
     fn unknown_function_is_error() {
         let mut ctx = FixedCtx::default();
-        let e = PExpr::Call { func: "f_nope".into(), args: vec![] };
-        assert!(matches!(eval(&e, &[], &mut ctx), Err(EvalError::UnknownFunction(_))));
+        let e = PExpr::Call {
+            func: "f_nope".into(),
+            args: vec![],
+        };
+        assert!(matches!(
+            eval(&e, &[], &mut ctx),
+            Err(EvalError::UnknownFunction(_))
+        ));
     }
 
     #[test]
     fn arity_errors() {
         let mut ctx = FixedCtx::default();
-        let e = PExpr::Call { func: "f_now".into(), args: vec![PExpr::Const(Value::Int(1))] };
-        assert!(matches!(eval(&e, &[], &mut ctx), Err(EvalError::Arity { .. })));
+        let e = PExpr::Call {
+            func: "f_now".into(),
+            args: vec![PExpr::Const(Value::Int(1))],
+        };
+        assert!(matches!(
+            eval(&e, &[], &mut ctx),
+            Err(EvalError::Arity { .. })
+        ));
     }
 
     #[test]
@@ -419,7 +495,10 @@ mod tests {
         let e = PExpr::Slot(7);
         assert_eq!(eval(&e, &[], &mut ctx), Err(EvalError::UnboundSlot(7)));
         let partial: Vec<Option<Value>> = vec![None];
-        assert_eq!(eval(&PExpr::Slot(0), &partial, &mut ctx), Err(EvalError::UnboundSlot(0)));
+        assert_eq!(
+            eval(&PExpr::Slot(0), &partial, &mut ctx),
+            Err(EvalError::UnboundSlot(0))
+        );
     }
 
     #[test]
@@ -432,21 +511,36 @@ mod tests {
         let mut ctx = FixedCtx::default();
         let out = eval(
             &e,
-            &env(&[Value::addr("a"), Value::Int(1), Value::addr("x"), Value::addr("y")]),
+            &env(&[
+                Value::addr("a"),
+                Value::Int(1),
+                Value::addr("x"),
+                Value::addr("y"),
+            ]),
             &mut ctx,
         )
         .unwrap();
         assert_eq!(out, Value::Bool(true));
         let out = eval(
             &e,
-            &env(&[Value::addr("a"), Value::Int(0), Value::addr("x"), Value::addr("x")]),
+            &env(&[
+                Value::addr("a"),
+                Value::Int(0),
+                Value::addr("x"),
+                Value::addr("x"),
+            ]),
             &mut ctx,
         )
         .unwrap();
         assert_eq!(out, Value::Bool(true));
         let out = eval(
             &e,
-            &env(&[Value::addr("a"), Value::Int(0), Value::addr("x"), Value::addr("y")]),
+            &env(&[
+                Value::addr("a"),
+                Value::Int(0),
+                Value::addr("x"),
+                Value::addr("y"),
+            ]),
             &mut ctx,
         )
         .unwrap();
@@ -487,6 +581,9 @@ mod tests {
             Box::new(PExpr::Const(Value::Int(1))),
             Box::new(PExpr::Const(Value::Bool(true))),
         );
-        assert!(matches!(eval(&e, &[], &mut ctx), Err(EvalError::NotBoolean)));
+        assert!(matches!(
+            eval(&e, &[], &mut ctx),
+            Err(EvalError::NotBoolean)
+        ));
     }
 }

@@ -244,7 +244,10 @@ impl Strand {
     /// Number of stateful (join) stages — the tracer sizes its record
     /// fields from this (§2.1.2).
     pub fn join_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, Op::Join { .. })).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Join { .. }))
+            .count()
     }
 }
 
@@ -278,7 +281,9 @@ mod tests {
     #[test]
     fn match_spec_eqvar_join_semantics() {
         // Second occurrence of a variable must equal the first.
-        let ms = MatchSpec { fields: vec![FieldMatch::Bind(0), FieldMatch::EqVar(0)] };
+        let ms = MatchSpec {
+            fields: vec![FieldMatch::Bind(0), FieldMatch::EqVar(0)],
+        };
         let mut ctx = FixedCtx::default();
         let mut env = vec![None];
         let same = Tuple::new("x", [Value::Int(3), Value::Int(3)]);
@@ -290,7 +295,9 @@ mod tests {
 
     #[test]
     fn strict_arity() {
-        let ms = MatchSpec { fields: vec![FieldMatch::Bind(0)] };
+        let ms = MatchSpec {
+            fields: vec![FieldMatch::Bind(0)],
+        };
         let mut ctx = FixedCtx::default();
         let mut env = vec![None];
         let long = Tuple::new("x", [Value::Int(1), Value::Int(2)]);
@@ -300,25 +307,43 @@ mod tests {
     #[test]
     fn probe_field_prefers_selective_fields() {
         let ms = MatchSpec {
-            fields: vec![FieldMatch::Bind(0), FieldMatch::EqVar(1), FieldMatch::EqConst(Value::Int(1))],
+            fields: vec![
+                FieldMatch::Bind(0),
+                FieldMatch::EqVar(1),
+                FieldMatch::EqConst(Value::Int(1)),
+            ],
         };
         assert_eq!(ms.probe_field(), Some(1));
         // Location-only equality still probes field 0...
-        let loc_only = MatchSpec { fields: vec![FieldMatch::EqVar(0), FieldMatch::Bind(1)] };
+        let loc_only = MatchSpec {
+            fields: vec![FieldMatch::EqVar(0), FieldMatch::Bind(1)],
+        };
         assert_eq!(loc_only.probe_field(), Some(0));
         // ...but a later equality wins over the location.
         let better = MatchSpec {
-            fields: vec![FieldMatch::EqVar(0), FieldMatch::Bind(1), FieldMatch::EqVar(2)],
+            fields: vec![
+                FieldMatch::EqVar(0),
+                FieldMatch::Bind(1),
+                FieldMatch::EqVar(2),
+            ],
         };
         assert_eq!(better.probe_field(), Some(2));
-        let all_bind = MatchSpec { fields: vec![FieldMatch::Bind(0), FieldMatch::Ignore] };
+        let all_bind = MatchSpec {
+            fields: vec![FieldMatch::Bind(0), FieldMatch::Ignore],
+        };
         assert_eq!(all_bind.probe_field(), None);
     }
 
     #[test]
     fn dispatch_name() {
         assert_eq!(Trigger::Event { name: "x".into() }.dispatch_name(), "x");
-        assert_eq!(Trigger::TableInsert { name: "t".into() }.dispatch_name(), "t");
-        assert_eq!(Trigger::Periodic { period_secs: 1.0 }.dispatch_name(), "periodic");
+        assert_eq!(
+            Trigger::TableInsert { name: "t".into() }.dispatch_name(),
+            "t"
+        );
+        assert_eq!(
+            Trigger::Periodic { period_secs: 1.0 }.dispatch_name(),
+            "periodic"
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! boot — the paper's "piecemeal deployment") and routes tuple insertions
 //! here.
 
-use crate::table::{InsertOutcome, ProbeStats, Table, TableSpec};
+use crate::table::{BatchOutcome, InsertOutcome, ProbeStats, Table, TableSpec};
 use p2_types::{Time, Tuple, Value};
 use std::collections::HashMap;
 use std::fmt;
@@ -30,7 +30,10 @@ impl fmt::Display for CatalogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CatalogError::SpecConflict { name } => {
-                write!(f, "table '{name}' already materialized with a different spec")
+                write!(
+                    f,
+                    "table '{name}' already materialized with a different spec"
+                )
             }
             CatalogError::NoSuchTable { name } => {
                 write!(f, "no materialized table named '{name}'")
@@ -92,6 +95,30 @@ impl Catalog {
         }
     }
 
+    /// Insert a same-relation run of tuples in one go, resolving the
+    /// table once and paying its expiry/compaction prologue once. The
+    /// observable table state afterwards is identical to inserting the
+    /// run one tuple at a time at the same instant.
+    pub fn insert_batch(
+        &mut self,
+        name: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+        now: Time,
+    ) -> Result<BatchOutcome, CatalogError> {
+        match self.tables.get_mut(name) {
+            Some(t) => Ok(t.insert_batch(tuples, now)),
+            None => Err(CatalogError::NoSuchTable {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// A table's mutation version (0 for unknown tables, which never
+    /// change). See [`Table::version`].
+    pub fn version_of(&self, name: &str) -> u64 {
+        self.tables.get(name).map(|t| t.version()).unwrap_or(0)
+    }
+
     /// Delete by primary key from the tuple's table.
     pub fn delete_by_key(
         &mut self,
@@ -100,14 +127,19 @@ impl Catalog {
     ) -> Result<Option<Tuple>, CatalogError> {
         match self.tables.get_mut(tuple.name()) {
             Some(t) => Ok(t.delete_by_key(tuple, now)),
-            None => Err(CatalogError::NoSuchTable { name: tuple.name().to_string() }),
+            None => Err(CatalogError::NoSuchTable {
+                name: tuple.name().to_string(),
+            }),
         }
     }
 
     /// Scan a table (empty vec if the table doesn't exist — reads of
     /// unknown relations are just empty, matching query semantics).
     pub fn scan(&mut self, name: &str, now: Time) -> Vec<Tuple> {
-        self.tables.get_mut(name).map(|t| t.scan(now)).unwrap_or_default()
+        self.tables
+            .get_mut(name)
+            .map(|t| t.scan(now))
+            .unwrap_or_default()
     }
 
     /// Scan with an equality filter on one field.
@@ -143,13 +175,18 @@ impl Catalog {
                 t.ensure_index(field);
                 Ok(())
             }
-            None => Err(CatalogError::NoSuchTable { name: name.to_string() }),
+            None => Err(CatalogError::NoSuchTable {
+                name: name.to_string(),
+            }),
         }
     }
 
     /// Indexed fields of one table (empty for unknown tables).
     pub fn indexed_fields(&self, name: &str) -> Vec<usize> {
-        self.tables.get(name).map(|t| t.indexed_fields()).unwrap_or_default()
+        self.tables
+            .get(name)
+            .map(|t| t.indexed_fields())
+            .unwrap_or_default()
     }
 
     /// Per-table probe counters, sorted by table name (the sysStat feed).
@@ -229,9 +266,12 @@ mod tests {
         let mut c = Catalog::new();
         c.register(spec("a")).unwrap();
         c.register(spec("b")).unwrap();
-        c.insert(Tuple::new("a", [Value::addr("x")]), Time::ZERO).unwrap();
-        c.insert(Tuple::new("b", [Value::addr("y")]), Time::ZERO).unwrap();
-        c.insert(Tuple::new("b", [Value::addr("z")]), Time::ZERO).unwrap();
+        c.insert(Tuple::new("a", [Value::addr("x")]), Time::ZERO)
+            .unwrap();
+        c.insert(Tuple::new("b", [Value::addr("y")]), Time::ZERO)
+            .unwrap();
+        c.insert(Tuple::new("b", [Value::addr("z")]), Time::ZERO)
+            .unwrap();
         assert_eq!(c.live_tuples(), 3);
         assert!(c.approx_bytes() > 0);
         let stats = c.table_stats();
@@ -243,7 +283,8 @@ mod tests {
     fn expire_all() {
         let mut c = Catalog::new();
         c.register(spec("a")).unwrap();
-        c.insert(Tuple::new("a", [Value::addr("x")]), Time::ZERO).unwrap();
+        c.insert(Tuple::new("a", [Value::addr("x")]), Time::ZERO)
+            .unwrap();
         assert_eq!(c.expire_all(Time::from_secs(1000)), 1);
         assert_eq!(c.live_tuples(), 0);
     }

@@ -17,7 +17,11 @@
 //!   metrics).
 
 pub mod catalog;
+pub mod hash;
 pub mod table;
 
 pub use catalog::{Catalog, CatalogError};
-pub use table::{InsertOutcome, ProbeStats, Table, TableSpec, DEFAULT_AUTO_INDEX_THRESHOLD};
+pub use hash::{FxHashMap, FxHashSet};
+pub use table::{
+    BatchOutcome, InsertOutcome, Key, ProbeStats, Table, TableSpec, DEFAULT_AUTO_INDEX_THRESHOLD,
+};

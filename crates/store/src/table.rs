@@ -1,8 +1,9 @@
 //! A single soft-state table.
 
+use crate::hash::{FxHashMap, FxHashSet};
 use p2_types::{Time, TimeDelta, Tuple, Value};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Declaration of a table — the runtime form of a `materialize` statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,7 +27,12 @@ impl TableSpec {
         max_rows: Option<usize>,
         key_fields: Vec<usize>,
     ) -> TableSpec {
-        TableSpec { name: name.into(), lifetime, max_rows, key_fields }
+        TableSpec {
+            name: name.into(),
+            lifetime,
+            max_rows,
+            key_fields,
+        }
     }
 
     /// Extract the primary key of a tuple under this spec.
@@ -40,7 +46,30 @@ impl TableSpec {
             .map(|&i| t.get(i).cloned().unwrap_or(Value::str("\u{0}missing")))
             .collect()
     }
+
+    /// [`TableSpec::key_of`] as a shared slice. The store copies each
+    /// key into the row map, the order queue, the expiry heap, and any
+    /// secondary index bucket; sharing one allocation makes every copy
+    /// after the first a refcount bump instead of a `Vec` clone. When
+    /// the key covers every field in order — common for event-like and
+    /// trace tables declared `keys(1, ..., n)` — the tuple's own value
+    /// slice is shared and no allocation happens at all.
+    pub fn key_arc(&self, t: &Tuple) -> Key {
+        if self.key_fields.len() == t.arity()
+            && self.key_fields.iter().enumerate().all(|(i, &f)| f == i)
+        {
+            return t.values_arc();
+        }
+        self.key_fields
+            .iter()
+            .map(|&i| t.get(i).cloned().unwrap_or(Value::str("\u{0}missing")))
+            .collect()
+    }
 }
+
+/// A primary key: the key fields of a tuple, shared across the store's
+/// internal structures.
+pub type Key = std::sync::Arc<[Value]>;
 
 /// What an insert did, reported to the node runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,7 +103,7 @@ struct Row {
 struct HeapEnt {
     at: Time,
     seq: u64,
-    key: Vec<Value>,
+    key: Key,
 }
 
 impl PartialEq for HeapEnt {
@@ -121,6 +150,19 @@ pub struct ProbeStats {
 /// queries benefit without a reinstall).
 pub const DEFAULT_AUTO_INDEX_THRESHOLD: u32 = 16;
 
+/// Tally of what a batched insert did (see [`Table::insert_batch`]).
+/// Per-row outcomes are deliberately not materialized: batch callers are
+/// the no-subscriber fast path, which only needs the counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Rows newly added.
+    pub inserted: usize,
+    /// Rows that replaced an existing row with the same key.
+    pub replaced: usize,
+    /// Identical re-insertions (lifetime refresh, no delta).
+    pub refreshed: usize,
+}
+
 /// A soft-state table: primary-keyed rows with lifetime and size bounds.
 ///
 /// All methods take `now` explicitly; the table never consults a clock of
@@ -137,17 +179,22 @@ pub const DEFAULT_AUTO_INDEX_THRESHOLD: u32 = 16;
 #[derive(Debug, Clone)]
 pub struct Table {
     spec: TableSpec,
-    rows: HashMap<Vec<Value>, Row>,
+    rows: FxHashMap<Key, Row>,
     /// Keys in insertion order, with the sequence number they were
     /// enqueued under. Always seq-ascending; stale entries are skipped
     /// lazily and compacted when they dominate.
-    order: VecDeque<(Vec<Value>, u64)>,
+    order: VecDeque<(Key, u64)>,
     /// Secondary indexes: field position → value → keys of rows holding
     /// that value in that field. Maintained on every mutation.
-    indexes: HashMap<usize, HashMap<Value, HashSet<Vec<Value>>>>,
+    indexes: HashMap<usize, FxHashMap<Value, FxHashSet<Key>>>,
     /// Min-heap of pending expirations `(expires_at, seq, key)`.
     expiry: BinaryHeap<Reverse<HeapEnt>>,
     next_seq: u64,
+    /// Bumped on every mutation that can change what `scan`/`scan_eq`
+    /// observe (insert, refresh, replace, evict, expire, delete, clear).
+    /// A `(version, now)` pair therefore keys probe results exactly:
+    /// same version and same probe time ⇒ bit-identical candidate set.
+    version: u64,
     /// `None` disables the runtime auto-index fallback.
     auto_index_threshold: Option<u32>,
     /// Unindexed-probe counts per field, driving the fallback.
@@ -166,11 +213,12 @@ impl Table {
     pub fn new(spec: TableSpec) -> Table {
         Table {
             spec,
-            rows: HashMap::new(),
+            rows: FxHashMap::default(),
             order: VecDeque::new(),
             indexes: HashMap::new(),
             expiry: BinaryHeap::new(),
             next_seq: 0,
+            version: 0,
             auto_index_threshold: Some(DEFAULT_AUTO_INDEX_THRESHOLD),
             unindexed_probes: HashMap::new(),
             inserts: 0,
@@ -185,6 +233,12 @@ impl Table {
     /// The table's declaration.
     pub fn spec(&self) -> &TableSpec {
         &self.spec
+    }
+
+    /// Mutation counter; see the field docs. Strand probe caches key
+    /// their cached candidate sets on this.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Live row count (after expiring stale rows at `now`).
@@ -212,7 +266,13 @@ impl Table {
     /// Lifetime counters: (inserts, replacements, evictions, expirations,
     /// deletions).
     pub fn counters(&self) -> (u64, u64, u64, u64, u64) {
-        (self.inserts, self.replacements, self.evictions, self.expirations, self.deletions)
+        (
+            self.inserts,
+            self.replacements,
+            self.evictions,
+            self.expirations,
+            self.deletions,
+        )
     }
 
     /// Probe-path counters (index vs. linear probes, rows touched, heap
@@ -227,7 +287,7 @@ impl Table {
         if self.indexes.contains_key(&field) {
             return;
         }
-        let mut idx: HashMap<Value, HashSet<Vec<Value>>> = HashMap::new();
+        let mut idx: FxHashMap<Value, FxHashSet<Key>> = FxHashMap::default();
         for (key, row) in &self.rows {
             if let Some(v) = row.tuple.get(field) {
                 idx.entry(v.clone()).or_default().insert(key.clone());
@@ -249,15 +309,23 @@ impl Table {
         self.auto_index_threshold = threshold;
     }
 
-    fn index_add(indexes: &mut HashMap<usize, HashMap<Value, HashSet<Vec<Value>>>>, key: &[Value], tuple: &Tuple) {
+    fn index_add(
+        indexes: &mut HashMap<usize, FxHashMap<Value, FxHashSet<Key>>>,
+        key: &Key,
+        tuple: &Tuple,
+    ) {
         for (&field, idx) in indexes.iter_mut() {
             if let Some(v) = tuple.get(field) {
-                idx.entry(v.clone()).or_default().insert(key.to_vec());
+                idx.entry(v.clone()).or_default().insert(key.clone());
             }
         }
     }
 
-    fn index_remove(indexes: &mut HashMap<usize, HashMap<Value, HashSet<Vec<Value>>>>, key: &[Value], tuple: &Tuple) {
+    fn index_remove(
+        indexes: &mut HashMap<usize, FxHashMap<Value, FxHashSet<Key>>>,
+        key: &[Value],
+        tuple: &Tuple,
+    ) {
         for (&field, idx) in indexes.iter_mut() {
             if let Some(v) = tuple.get(field) {
                 if let Some(bucket) = idx.get_mut(v) {
@@ -283,7 +351,9 @@ impl Table {
             if top.at > now {
                 break;
             }
-            let Some(Reverse(ent)) = self.expiry.pop() else { break };
+            let Some(Reverse(ent)) = self.expiry.pop() else {
+                break;
+            };
             self.stats.heap_pops += 1;
             // Current iff the live row still carries this entry's seq; a
             // refresh/replace stamped a newer seq (and pushed its own
@@ -296,6 +366,9 @@ impl Table {
                     dropped += 1;
                 }
             }
+        }
+        if dropped > 0 {
+            self.version += 1;
         }
         dropped
     }
@@ -328,69 +401,137 @@ impl Table {
         self.expire(now);
         self.compact_order();
         self.compact_expiry();
-        let key = self.spec.key_of(&tuple);
+        self.insert_unchecked(tuple, now)
+    }
+
+    /// Insert a run of tuples at one instant, paying the expiry/compaction
+    /// prologue once for the whole batch instead of once per row. Since
+    /// all rows land at the same `now`, the observable result is exactly
+    /// that of inserting them one by one (expiry is idempotent at a fixed
+    /// instant); only the per-call overhead is amortized.
+    pub fn insert_batch(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+        now: Time,
+    ) -> BatchOutcome {
+        self.expire(now);
+        self.compact_order();
+        self.compact_expiry();
+        let tuples = tuples.into_iter();
+        let (more, _) = tuples.size_hint();
+        self.rows.reserve(more);
+        self.order.reserve(more);
+        let mut out = BatchOutcome::default();
+        for tuple in tuples {
+            match self.insert_unchecked(tuple, now) {
+                InsertOutcome::Inserted { .. } => out.inserted += 1,
+                InsertOutcome::Replaced { .. } => out.replaced += 1,
+                InsertOutcome::Refreshed => out.refreshed += 1,
+            }
+        }
+        out
+    }
+
+    /// The insert core, without the expiry/compaction prologue. One hash
+    /// probe per row (`entry`); key copies beyond the first are refcount
+    /// bumps.
+    fn insert_unchecked(&mut self, tuple: Tuple, now: Time) -> InsertOutcome {
+        self.version += 1;
+        let key = self.spec.key_arc(&tuple);
         let expires_at = self.spec.lifetime.map(|l| now + l);
         let seq = self.next_seq;
         self.next_seq += 1;
 
-        if let Some(existing) = self.rows.get_mut(&key) {
-            if existing.tuple == tuple {
-                existing.expires_at = expires_at;
-                existing.seq = seq;
-                if let Some(at) = expires_at {
-                    self.expiry.push(Reverse(HeapEnt { at, seq, key: key.clone() }));
-                }
-                self.order.push_back((key, seq));
-                return InsertOutcome::Refreshed;
-            }
-            let new = tuple.clone(); // Arc-backed: no payload copy
-            let old = std::mem::replace(
-                existing,
-                Row { tuple, expires_at, seq },
-            )
-            .tuple;
-            Table::index_remove(&mut self.indexes, &key, &old);
-            Table::index_add(&mut self.indexes, &key, &new);
-            if let Some(at) = expires_at {
-                self.expiry.push(Reverse(HeapEnt { at, seq, key: key.clone() }));
-            }
-            self.order.push_back((key, seq));
-            self.replacements += 1;
-            return InsertOutcome::Replaced { old };
-        }
-
-        // Evict oldest rows if at the size bound (amortized O(1): pop
-        // order entries, skipping stale ones).
+        // Evict oldest rows if this insert would grow past the size
+        // bound (amortized O(1): pop order entries, skipping stale
+        // ones). Replacements and refreshes don't grow, hence the
+        // presence pre-check.
         let mut evicted = Vec::new();
         if let Some(max) = self.spec.max_rows {
             if max == 0 {
                 // Degenerate bound: nothing is ever stored.
                 return InsertOutcome::Inserted { evicted };
             }
-            while self.rows.len() >= max {
-                match self.order.pop_front() {
-                    Some((k, s)) => {
-                        let current = self.rows.get(&k).is_some_and(|r| r.seq == s);
-                        if current {
-                            if let Some(r) = self.rows.remove(&k) {
-                                Table::index_remove(&mut self.indexes, &k, &r.tuple);
-                                evicted.push(r.tuple);
-                                self.evictions += 1;
+            if self.rows.len() >= max && !self.rows.contains_key(&key) {
+                while self.rows.len() >= max {
+                    match self.order.pop_front() {
+                        Some((k, s)) => {
+                            let current = self.rows.get(&k).is_some_and(|r| r.seq == s);
+                            if current {
+                                if let Some(r) = self.rows.remove(&k) {
+                                    Table::index_remove(&mut self.indexes, &k, &r.tuple);
+                                    evicted.push(r.tuple);
+                                    self.evictions += 1;
+                                }
                             }
                         }
+                        None => break, // only stale entries; cannot happen with rows live
                     }
-                    None => break, // only stale entries; cannot happen with rows live
                 }
             }
         }
-        Table::index_add(&mut self.indexes, &key, &tuple);
-        if let Some(at) = expires_at {
-            self.expiry.push(Reverse(HeapEnt { at, seq, key: key.clone() }));
+
+        match self.rows.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let existing = e.get_mut();
+                if existing.tuple == tuple {
+                    existing.expires_at = expires_at;
+                    existing.seq = seq;
+                    let key = e.key().clone();
+                    if let Some(at) = expires_at {
+                        self.expiry.push(Reverse(HeapEnt {
+                            at,
+                            seq,
+                            key: key.clone(),
+                        }));
+                    }
+                    self.order.push_back((key, seq));
+                    return InsertOutcome::Refreshed;
+                }
+                let new = tuple.clone(); // Arc-backed: no payload copy
+                let old = std::mem::replace(
+                    existing,
+                    Row {
+                        tuple,
+                        expires_at,
+                        seq,
+                    },
+                )
+                .tuple;
+                let key = e.key().clone();
+                Table::index_remove(&mut self.indexes, &key, &old);
+                Table::index_add(&mut self.indexes, &key, &new);
+                if let Some(at) = expires_at {
+                    self.expiry.push(Reverse(HeapEnt {
+                        at,
+                        seq,
+                        key: key.clone(),
+                    }));
+                }
+                self.order.push_back((key, seq));
+                self.replacements += 1;
+                InsertOutcome::Replaced { old }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let key = v.key().clone();
+                Table::index_add(&mut self.indexes, &key, &tuple);
+                if let Some(at) = expires_at {
+                    self.expiry.push(Reverse(HeapEnt {
+                        at,
+                        seq,
+                        key: key.clone(),
+                    }));
+                }
+                self.order.push_back((key, seq));
+                v.insert(Row {
+                    tuple,
+                    expires_at,
+                    seq,
+                });
+                self.inserts += 1;
+                InsertOutcome::Inserted { evicted }
+            }
         }
-        self.order.push_back((key.clone(), seq));
-        self.rows.insert(key, Row { tuple, expires_at, seq });
-        self.inserts += 1;
-        InsertOutcome::Inserted { evicted }
     }
 
     /// Remove the row whose primary key matches `tuple`'s. Returns the
@@ -399,10 +540,11 @@ impl Table {
     pub fn delete_by_key(&mut self, tuple: &Tuple, now: Time) -> Option<Tuple> {
         self.expire(now);
         let key = self.spec.key_of(tuple);
-        let removed = self.rows.remove(&key).map(|r| r.tuple);
+        let removed = self.rows.remove(&key[..]).map(|r| r.tuple);
         if let Some(t) = &removed {
             Table::index_remove(&mut self.indexes, &key, t);
             self.deletions += 1;
+            self.version += 1;
         }
         removed
     }
@@ -411,17 +553,16 @@ impl Table {
     /// reference-counted `tupleTable` flush (§2.1.3). Single pass: rows
     /// are extracted as they match, and each removed row's own key (no
     /// clone) drives index maintenance.
-    pub fn delete_where<F: FnMut(&Tuple) -> bool>(
-        &mut self,
-        now: Time,
-        mut pred: F,
-    ) -> Vec<Tuple> {
+    pub fn delete_where<F: FnMut(&Tuple) -> bool>(&mut self, now: Time, mut pred: F) -> Vec<Tuple> {
         self.expire(now);
         let mut out = Vec::new();
         for (key, row) in self.rows.extract_if(|_, r| pred(&r.tuple)) {
             Table::index_remove(&mut self.indexes, &key, &row.tuple);
             self.deletions += 1;
             out.push(row.tuple);
+        }
+        if !out.is_empty() {
+            self.version += 1;
         }
         out
     }
@@ -515,6 +656,7 @@ impl Table {
     /// Remove every row (used by snapshot resets in tests). Indexes stay
     /// registered but empty.
     pub fn clear(&mut self) {
+        self.version += 1;
         self.rows.clear();
         self.order.clear();
         self.expiry.clear();
@@ -668,9 +810,10 @@ mod tests {
         for i in 0..5 {
             t.insert(tup("a", i), Time::ZERO);
         }
-        let removed = t.delete_where(Time::ZERO, |x| {
-            matches!(x.get(1), Some(Value::Int(n)) if *n % 2 == 0)
-        });
+        let removed = t.delete_where(
+            Time::ZERO,
+            |x| matches!(x.get(1), Some(Value::Int(n)) if *n % 2 == 0),
+        );
         assert_eq!(removed.len(), 3);
         assert_eq!(t.len(Time::ZERO), 2);
     }
@@ -827,7 +970,7 @@ mod tests {
         let mut t = Table::new(spec(Some(10), None, vec![0]));
         t.insert(tup("a", 1), Time::ZERO); // due at 10
         t.insert(tup("b", 2), Time::from_secs(3)); // due at 13
-        // Nothing due yet: no pops.
+                                                   // Nothing due yet: no pops.
         assert_eq!(t.len(Time::from_secs(5)), 2);
         assert_eq!(t.probe_stats().heap_pops, 0);
         // Only "a" is due at t=11; exactly one entry pops.
@@ -841,7 +984,7 @@ mod tests {
         let mut t = Table::new(spec(Some(10), None, vec![0]));
         t.insert(tup("a", 1), Time::ZERO);
         t.insert(tup("a", 1), Time::from_secs(8)); // refresh: new deadline 18
-        // The seq-stale entry for deadline 10 pops without dropping the row.
+                                                   // The seq-stale entry for deadline 10 pops without dropping the row.
         assert_eq!(t.len(Time::from_secs(12)), 1);
         assert_eq!(t.counters().3, 0);
         assert_eq!(t.len(Time::from_secs(18)), 0);
@@ -856,8 +999,55 @@ mod tests {
         assert_eq!(t.indexed_fields(), vec![0]);
         assert!(t.scan_eq(0, &Value::addr("a"), Time::ZERO).is_empty());
         t.insert(tup("a", 2), Time::ZERO);
-        assert_eq!(t.scan_eq(0, &Value::addr("a"), Time::ZERO), vec![tup("a", 2)]);
+        assert_eq!(
+            t.scan_eq(0, &Value::addr("a"), Time::ZERO),
+            vec![tup("a", 2)]
+        );
         assert_eq!(t.probe_stats().linear_probes, 0);
+    }
+
+    #[test]
+    fn version_tracks_every_observable_mutation() {
+        let mut t = Table::new(spec(Some(10), Some(4), vec![0]));
+        let v0 = t.version();
+        t.insert(tup("a", 1), Time::ZERO);
+        let v1 = t.version();
+        assert!(v1 > v0, "insert must bump");
+        t.insert(tup("a", 1), Time::ZERO);
+        let v2 = t.version();
+        assert!(v2 > v1, "refresh changes scan order and must bump");
+        t.insert(tup("a", 2), Time::ZERO);
+        assert!(t.version() > v2, "replace must bump");
+        let v3 = t.version();
+        t.delete_by_key(&tup("zz", 0), Time::ZERO);
+        assert_eq!(t.version(), v3, "no-op delete must not bump");
+        t.delete_by_key(&tup("a", 0), Time::ZERO);
+        assert!(t.version() > v3, "delete must bump");
+        let v4 = t.version();
+        t.insert(tup("b", 1), Time::from_secs(1));
+        let v5 = t.version();
+        assert!(v5 > v4);
+        // Expiry (row due at t=11) bumps even through a read.
+        t.scan(Time::from_secs(20));
+        assert!(t.version() > v5, "expiry must bump");
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_inserts() {
+        let rows: Vec<Tuple> = (0..40).map(|i| tup(&format!("n{}", i % 7), i)).collect();
+        let mut seq = Table::new(spec(Some(10), Some(5), vec![0]));
+        for r in rows.clone() {
+            seq.insert(r, Time::from_secs(3));
+        }
+        let mut bat = Table::new(spec(Some(10), Some(5), vec![0]));
+        let out = bat.insert_batch(rows, Time::from_secs(3));
+        assert_eq!(out.inserted + out.replaced + out.refreshed, 40);
+        assert_eq!(bat.scan(Time::from_secs(3)), seq.scan(Time::from_secs(3)));
+        assert_eq!(bat.counters().0, seq.counters().0, "inserts");
+        assert_eq!(bat.counters().1, seq.counters().1, "replacements");
+        assert_eq!(bat.counters().2, seq.counters().2, "evictions");
+        // And both expire identically afterwards.
+        assert_eq!(bat.len(Time::from_secs(100)), 0);
     }
 
     proptest! {

@@ -75,7 +75,12 @@ impl RecordSet {
     /// Create a record set for a strand with `stage_count` join stages,
     /// holding at most `cap` concurrent records.
     pub fn new(stage_count: usize, cap: usize) -> RecordSet {
-        RecordSet { records: Vec::new(), stage_count, cap: cap.max(1), next_age: 0 }
+        RecordSet {
+            records: Vec::new(),
+            stage_count,
+            cap: cap.max(1),
+            next_age: 0,
+        }
     }
 
     /// Number of live (associated) records.

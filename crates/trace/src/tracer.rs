@@ -100,7 +100,9 @@ impl Tracer {
             // ruleExec(loc, rule, cause, effect, tIn, tOut, isEvent)
             p2_store::TableSpec::new(
                 RULE_EXEC,
-                Some(TimeDelta::from_secs_f64(self.config.rule_exec_lifetime_secs)),
+                Some(TimeDelta::from_secs_f64(
+                    self.config.rule_exec_lifetime_secs,
+                )),
                 Some(self.config.rule_exec_max_rows),
                 vec![0, 1, 2, 3, 6],
             ),
@@ -225,8 +227,7 @@ impl Tracer {
                 }
             }
         }
-        let grace_rows =
-            p2_types::TimeDelta::from_secs_f64(self.config.unreferenced_grace_secs);
+        let grace_rows = p2_types::TimeDelta::from_secs_f64(self.config.unreferenced_grace_secs);
         if let Some(table) = catalog.table_mut(TUPLE_TABLE) {
             let birth = &self.birth;
             table.delete_where(now, |row| match row.get(1) {
@@ -245,8 +246,7 @@ impl Tracer {
         let grace = p2_types::TimeDelta::from_secs_f64(self.config.unreferenced_grace_secs);
         let birth = &self.birth;
         let keep = |id: &TupleId| {
-            referenced.contains(&id.0)
-                || birth.get(id).is_some_and(|b| *b + grace > now)
+            referenced.contains(&id.0) || birth.get(id).is_some_and(|b| *b + grace > now)
         };
         self.content.retain(|id, _| keep(id));
         self.memo.retain(|_, id| keep(id));
@@ -295,9 +295,7 @@ impl TapSink for Tracer {
         let records = self
             .records
             .entry(event.strand_id.clone())
-            .or_insert_with(|| {
-                RecordSet::new(event.stage_count, self.config.records_per_strand)
-            });
+            .or_insert_with(|| RecordSet::new(event.stage_count, self.config.records_per_strand));
         match event.kind {
             TapKind::Input { tuple } => {
                 let id = self.id_of(&tuple, event.at);
@@ -337,14 +335,8 @@ impl TapSink for Tracer {
                     rows.push((pre.0, pre.1, false));
                 }
                 for (cause, t_in, is_event) in rows {
-                    let row = self.rule_exec_row(
-                        &event.rule_label,
-                        cause,
-                        effect,
-                        t_in,
-                        t_out,
-                        is_event,
-                    );
+                    let row =
+                        self.rule_exec_row(&event.rule_label, cause, effect, t_in, t_out, is_event);
                     self.pending.push(row);
                 }
             }
@@ -380,13 +372,36 @@ mod tests {
         let prec = tup("prec", 2);
         let head = tup("head", 1);
         tap(&mut tr, "r1", 1, 10, TapKind::Input { tuple: ev.clone() });
-        tap(&mut tr, "r1", 1, 11, TapKind::Precondition { stage: 0, tuple: prec.clone() });
-        tap(&mut tr, "r1", 1, 12, TapKind::Output { tuple: head.clone() });
+        tap(
+            &mut tr,
+            "r1",
+            1,
+            11,
+            TapKind::Precondition {
+                stage: 0,
+                tuple: prec.clone(),
+            },
+        );
+        tap(
+            &mut tr,
+            "r1",
+            1,
+            12,
+            TapKind::Output {
+                tuple: head.clone(),
+            },
+        );
         let rows = tr.drain_rows();
         let execs: Vec<&Tuple> = rows.iter().filter(|r| r.name() == RULE_EXEC).collect();
         assert_eq!(execs.len(), 2);
-        let ev_row = execs.iter().find(|r| r.get(6) == Some(&Value::Bool(true))).unwrap();
-        let pre_row = execs.iter().find(|r| r.get(6) == Some(&Value::Bool(false))).unwrap();
+        let ev_row = execs
+            .iter()
+            .find(|r| r.get(6) == Some(&Value::Bool(true)))
+            .unwrap();
+        let pre_row = execs
+            .iter()
+            .find(|r| r.get(6) == Some(&Value::Bool(false)))
+            .unwrap();
         // Same effect ID, different causes; times are (ts, te) and (ti, te).
         assert_eq!(ev_row.get(3), pre_row.get(3));
         assert_ne!(ev_row.get(2), pre_row.get(2));
@@ -440,9 +455,34 @@ mod tests {
             cat.register(spec).unwrap();
         }
         // A full execution: rows flow into the catalog.
-        tap(&mut tr, "r1", 1, 0, TapKind::Input { tuple: tup("event", 1) });
-        tap(&mut tr, "r1", 1, 1, TapKind::Precondition { stage: 0, tuple: tup("prec", 2) });
-        tap(&mut tr, "r1", 1, 2, TapKind::Output { tuple: tup("head", 3) });
+        tap(
+            &mut tr,
+            "r1",
+            1,
+            0,
+            TapKind::Input {
+                tuple: tup("event", 1),
+            },
+        );
+        tap(
+            &mut tr,
+            "r1",
+            1,
+            1,
+            TapKind::Precondition {
+                stage: 0,
+                tuple: tup("prec", 2),
+            },
+        );
+        tap(
+            &mut tr,
+            "r1",
+            1,
+            2,
+            TapKind::Output {
+                tuple: tup("head", 3),
+            },
+        );
         // And one orphan tuple described via send but never referenced.
         tr.on_send(&tup("orphan", 9), &Addr::new("z"), Time::ZERO);
         for row in tr.drain_rows() {
@@ -461,7 +501,11 @@ mod tests {
             cat.insert(row, mid).unwrap();
         }
         tr.gc(&mut cat, mid);
-        assert_eq!(cat.scan(TUPLE_TABLE, mid).len(), 3, "orphan must be dropped");
+        assert_eq!(
+            cat.scan(TUPLE_TABLE, mid).len(),
+            3,
+            "orphan must be dropped"
+        );
         // After the ruleExec rows expire too, everything is collected.
         let later = Time::from_secs(10_000);
         tr.gc(&mut cat, later);
@@ -474,7 +518,15 @@ mod tests {
         // §3.4 "only store executions that produce a valid output" — and
         // symmetrically, an output with no observed input records nothing.
         let mut tr = Tracer::new(Addr::new("n"), TraceConfig::default());
-        tap(&mut tr, "r1", 1, 0, TapKind::Output { tuple: tup("head", 1) });
+        tap(
+            &mut tr,
+            "r1",
+            1,
+            0,
+            TapKind::Output {
+                tuple: tup("head", 1),
+            },
+        );
         let execs: Vec<Tuple> = tr
             .drain_rows()
             .into_iter()
@@ -490,15 +542,51 @@ mod tests {
         let e1 = tup("ev", 1);
         let e2 = tup("ev", 2);
         tap(&mut tr, "r2", 2, 0, TapKind::Input { tuple: e1.clone() });
-        tap(&mut tr, "r2", 2, 1, TapKind::Precondition { stage: 0, tuple: tup("p1", 1) });
+        tap(
+            &mut tr,
+            "r2",
+            2,
+            1,
+            TapKind::Precondition {
+                stage: 0,
+                tuple: tup("p1", 1),
+            },
+        );
         tap(&mut tr, "r2", 2, 2, TapKind::StageComplete { stage: 0 });
         tap(&mut tr, "r2", 2, 3, TapKind::Input { tuple: e2.clone() });
-        tap(&mut tr, "r2", 2, 4, TapKind::Precondition { stage: 1, tuple: tup("p2", 1) });
+        tap(
+            &mut tr,
+            "r2",
+            2,
+            4,
+            TapKind::Precondition {
+                stage: 1,
+                tuple: tup("p2", 1),
+            },
+        );
         tap(&mut tr, "r2", 2, 5, TapKind::Output { tuple: tup("h", 1) });
         tap(&mut tr, "r2", 2, 6, TapKind::StageComplete { stage: 1 });
-        tap(&mut tr, "r2", 2, 7, TapKind::Precondition { stage: 0, tuple: tup("p1", 2) });
+        tap(
+            &mut tr,
+            "r2",
+            2,
+            7,
+            TapKind::Precondition {
+                stage: 0,
+                tuple: tup("p1", 2),
+            },
+        );
         tap(&mut tr, "r2", 2, 8, TapKind::StageComplete { stage: 0 });
-        tap(&mut tr, "r2", 2, 9, TapKind::Precondition { stage: 1, tuple: tup("p2", 2) });
+        tap(
+            &mut tr,
+            "r2",
+            2,
+            9,
+            TapKind::Precondition {
+                stage: 1,
+                tuple: tup("p2", 2),
+            },
+        );
         tap(&mut tr, "r2", 2, 10, TapKind::Output { tuple: tup("h", 2) });
         let rows: Vec<Tuple> = tr
             .drain_rows()

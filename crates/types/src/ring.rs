@@ -97,22 +97,42 @@ pub struct Interval {
 impl Interval {
     /// The OverLog `(lo, hi]` interval — the common Chord successor test.
     pub fn open_closed(lo: RingId, hi: RingId) -> Self {
-        Interval { lo, hi, lo_closed: false, hi_closed: true }
+        Interval {
+            lo,
+            hi,
+            lo_closed: false,
+            hi_closed: true,
+        }
     }
 
     /// The OverLog `(lo, hi)` interval.
     pub fn open_open(lo: RingId, hi: RingId) -> Self {
-        Interval { lo, hi, lo_closed: false, hi_closed: false }
+        Interval {
+            lo,
+            hi,
+            lo_closed: false,
+            hi_closed: false,
+        }
     }
 
     /// The OverLog `[lo, hi)` interval.
     pub fn closed_open(lo: RingId, hi: RingId) -> Self {
-        Interval { lo, hi, lo_closed: true, hi_closed: false }
+        Interval {
+            lo,
+            hi,
+            lo_closed: true,
+            hi_closed: false,
+        }
     }
 
     /// The OverLog `[lo, hi]` interval.
     pub fn closed_closed(lo: RingId, hi: RingId) -> Self {
-        Interval { lo, hi, lo_closed: true, hi_closed: true }
+        Interval {
+            lo,
+            hi,
+            lo_closed: true,
+            hi_closed: true,
+        }
     }
 
     /// Ring membership test.

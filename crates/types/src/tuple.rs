@@ -73,6 +73,13 @@ impl Tuple {
         &self.vals
     }
 
+    /// The shared field-value slice (cheap to clone, like
+    /// [`Tuple::name_arc`]). Lets callers that need an owned copy of
+    /// every field share the tuple's own allocation.
+    pub fn values_arc(&self) -> Arc<[Value]> {
+        self.vals.clone()
+    }
+
     /// Field accessor.
     pub fn get(&self, i: usize) -> Option<&Value> {
         self.vals.get(i)
@@ -100,7 +107,9 @@ impl Tuple {
                     _ => 0,
                 }
         }
-        std::mem::size_of::<Tuple>() + self.name.len() + self.vals.iter().map(val_bytes).sum::<usize>()
+        std::mem::size_of::<Tuple>()
+            + self.name.len()
+            + self.vals.iter().map(val_bytes).sum::<usize>()
     }
 
     /// Project selected fields into a new tuple with a new name.
@@ -141,10 +150,7 @@ mod tests {
     use super::*;
 
     fn t() -> Tuple {
-        Tuple::new(
-            "link",
-            [Value::addr("a"), Value::addr("b"), Value::Int(3)],
-        )
+        Tuple::new("link", [Value::addr("a"), Value::addr("b"), Value::Int(3)])
     }
 
     #[test]

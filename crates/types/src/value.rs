@@ -188,15 +188,18 @@ impl Value {
             (Int(a), Time(b)) => Time(crate::time::Time(
                 (*a as u64).wrapping_mul(1_000_000).wrapping_add(b.0),
             )),
-            (List(a), List(b)) => {
-                List(a.iter().chain(b.iter()).cloned().collect())
-            }
-            (List(a), b) => {
-                List(a.iter().cloned().chain(std::iter::once(b.clone())).collect())
-            }
-            (a, List(b)) => {
-                List(std::iter::once(a.clone()).chain(b.iter().cloned()).collect())
-            }
+            (List(a), List(b)) => List(a.iter().chain(b.iter()).cloned().collect()),
+            (List(a), b) => List(
+                a.iter()
+                    .cloned()
+                    .chain(std::iter::once(b.clone()))
+                    .collect(),
+            ),
+            (a, List(b)) => List(
+                std::iter::once(a.clone())
+                    .chain(b.iter().cloned())
+                    .collect(),
+            ),
             (Str(a), Str(b)) => Value::str(format!("{a}{b}")),
             (Str(a), b) => Value::str(format!("{a}{b}")),
             (a, Str(b)) => Value::str(format!("{a}{b}")),

@@ -27,10 +27,14 @@ fn main() {
 
     // Tier 1: the cheap watchpoint, everywhere, forever.
     for a in topo.addrs.clone() {
-        sim.install(&a, &ring::passive_check_program()).expect("rp4");
+        sim.install(&a, &ring::passive_check_program())
+            .expect("rp4");
         sim.node_mut(&a).watch(ring::ALARM);
     }
-    println!("tier-1 watchpoint (rp4) deployed on all {} nodes", topo.addrs.len());
+    println!(
+        "tier-1 watchpoint (rp4) deployed on all {} nodes",
+        topo.addrs.len()
+    );
 
     // Fault: flap a node to create ring inconsistencies.
     let victim = topo
@@ -65,8 +69,10 @@ fn main() {
                     alarms.len()
                 );
                 // Tier 2: heavier scrutiny on the implicated node only.
-                sim.install(&a, &ring::active_probe_program(5)).expect("rp1-3");
-                sim.install(&a, &oscillation::full_program()).expect("os1-9");
+                sim.install(&a, &ring::active_probe_program(5))
+                    .expect("rp1-3");
+                sim.install(&a, &oscillation::full_program())
+                    .expect("os1-9");
                 sim.node_mut(&a).watch(oscillation::OSCILL);
                 sim.node_mut(&a).set_tracing(true);
                 println!("      installed rp1-3 + os1-9 and enabled execution tracing at {a}");

@@ -22,10 +22,14 @@ fn main() {
 
     // Piecemeal, on-line deployment of three monitor families.
     for a in topo.addrs.clone() {
-        sim.install(&a, &ring::active_probe_program(7)).expect("rp1-3");
-        sim.install(&a, &ring::passive_check_program()).expect("rp4");
-        sim.install(&a, &ordering::traversal_program()).expect("ri2-7");
-        sim.install(&a, &oscillation::full_program()).expect("os1-9");
+        sim.install(&a, &ring::active_probe_program(7))
+            .expect("rp1-3");
+        sim.install(&a, &ring::passive_check_program())
+            .expect("rp4");
+        sim.install(&a, &ordering::traversal_program())
+            .expect("ri2-7");
+        sim.install(&a, &oscillation::full_program())
+            .expect("os1-9");
         sim.node_mut(&a).watch(ring::ALARM);
         sim.node_mut(&a).watch(ordering::PROBLEM);
         sim.node_mut(&a).watch(oscillation::OSCILL);

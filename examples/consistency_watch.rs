@@ -21,11 +21,20 @@ fn main() {
     sim.run_for(TimeDelta::from_secs(300));
 
     let prober = topo.addrs[1].clone();
-    let cfg = ProbeConfig { probe_secs: 4.0, tally_secs: 5, wait_secs: 5, alarm_below: 0.9 };
-    sim.install(&prober, &probe_program(&cfg)).expect("cs rules");
+    let cfg = ProbeConfig {
+        probe_secs: 4.0,
+        tally_secs: 5,
+        wait_secs: 5,
+        alarm_below: 0.9,
+    };
+    sim.install(&prober, &probe_program(&cfg))
+        .expect("cs rules");
     sim.node_mut(&prober).watch(CONSISTENCY);
     sim.node_mut(&prober).watch(ALARM);
-    println!("probe installed at {prober}: every {}s, alarm below {}", cfg.probe_secs, cfg.alarm_below);
+    println!(
+        "probe installed at {prober}: every {}s, alarm below {}",
+        cfg.probe_secs, cfg.alarm_below
+    );
 
     sim.run_for(TimeDelta::from_secs(40));
     println!("\nhealthy phase:");

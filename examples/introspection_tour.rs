@@ -13,7 +13,11 @@ use p2ql::core::{NodeConfig, SimHarness};
 use p2ql::types::{TimeDelta, Tuple, Value};
 
 fn main() {
-    let mut config = NodeConfig { tracing: true, stagger_timers: false, ..Default::default() };
+    let mut config = NodeConfig {
+        tracing: true,
+        stagger_timers: false,
+        ..Default::default()
+    };
     config.trace.log_events = true; // §2.1's arrival/removal log
     let mut sim = SimHarness::new(Default::default(), config, 3);
     let a = sim.add_node("alpha");

@@ -18,7 +18,10 @@ fn main() {
     // correlation (§2.1.3).
     let mut sim = SimHarness::new(
         Default::default(),
-        NodeConfig { tracing: true, ..Default::default() },
+        NodeConfig {
+            tracing: true,
+            ..Default::default()
+        },
         51,
     );
     let topo = build_ring(&mut sim, 8, &ChordConfig::default());
@@ -53,7 +56,14 @@ fn main() {
         .node_mut(&origin)
         .trace_id_of(&resp)
         .expect("tracer memoized the response");
-    start_walk(&mut sim, &origin.clone(), &origin.clone(), 1, id, observed_at);
+    start_walk(
+        &mut sim,
+        &origin.clone(),
+        &origin.clone(),
+        1,
+        id,
+        observed_at,
+    );
     sim.run_for(TimeDelta::from_secs(2));
 
     for p in reports(sim.node_mut(&origin).watched(REPORT)) {

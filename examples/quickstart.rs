@@ -71,6 +71,10 @@ fn main() {
         .into_iter()
         .find(|r| r.get(1) == Some(&Value::str("a")))
         .expect("c knows a best path to a");
-    assert_eq!(best.get(2), Some(&Value::Int(3)), "best path a->b->c costs 1+2");
+    assert_eq!(
+        best.get(2),
+        Some(&Value::Int(3)),
+        "best path a->b->c costs 1+2"
+    );
     println!("\nquickstart OK: c's best path to a costs 3 (via b), not 9 (direct)");
 }

@@ -11,8 +11,8 @@
 use p2ql::chord::{build_ring, ChordConfig};
 use p2ql::core::SimHarness;
 use p2ql::monitor::snapshot::{
-    backpointer_program, initiator_program, issue_snapshot_lookup, phase_of,
-    snapped_succ, snapshot_lookup_program, snapshot_program,
+    backpointer_program, initiator_program, issue_snapshot_lookup, phase_of, snapped_succ,
+    snapshot_lookup_program, snapshot_program,
 };
 use p2ql::types::{DetRng, TimeDelta, Value};
 
@@ -29,7 +29,8 @@ fn main() {
     }
     sim.run_for(TimeDelta::from_secs(30));
     let initiator = topo.addrs[0].clone();
-    sim.install(&initiator, &initiator_program(&initiator, 60.0)).expect("sr1");
+    sim.install(&initiator, &initiator_program(&initiator, 60.0))
+        .expect("sr1");
     println!("snapshot initiator installed at {initiator} (every 60s)");
     sim.run_for(TimeDelta::from_secs(120));
 
@@ -52,7 +53,10 @@ fn main() {
             break;
         }
     }
-    println!("\nfrozen ring closes in {hops} hops (nodes: {})", topo.addrs.len());
+    println!(
+        "\nfrozen ring closes in {hops} hops (nodes: {})",
+        topo.addrs.len()
+    );
     assert_eq!(hops, topo.addrs.len(), "snapshot must be a consistent ring");
 
     // Lookups over the snapshot, issued from one node.

@@ -3,15 +3,19 @@
 #
 #   scripts/tier1.sh
 #
-# Builds the workspace in release mode, runs the full test suite
-# (unit + integration + proptests), then smoke-runs the Criterion
-# micro-benches (compile + one iteration each, no timing windows).
+# Checks formatting and lints, builds the workspace in release mode,
+# runs the full test suite (unit + integration + proptests), then
+# smoke-runs the Criterion micro-benches (compile + one iteration each,
+# no timing windows).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
+cargo clippy --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 cargo bench -p p2-bench --bench engine -- --test
 cargo bench -p p2-bench --bench store_probe -- --test
+cargo bench -p p2-bench --bench node_pump -- --test
 
 echo "tier1: OK"

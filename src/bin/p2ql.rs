@@ -105,7 +105,9 @@ fn plan(src: &str) -> ExitCode {
         println!(
             "table {:<20} lifetime={:<10} max={:<10} keys={:?}",
             t.name,
-            t.lifetime_secs.map(|s| format!("{s}s")).unwrap_or("inf".into()),
+            t.lifetime_secs
+                .map(|s| format!("{s}s"))
+                .unwrap_or("inf".into()),
             t.max_rows.map(|m| m.to_string()).unwrap_or("inf".into()),
             t.key_fields
         );
@@ -162,11 +164,17 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
-            "--nodes" => o.nodes = val("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--nodes" => {
+                o.nodes = val("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
             "--for" => o.secs = val("--for")?.parse().map_err(|e| format!("--for: {e}"))?,
             "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--latency" => {
-                o.latency_ms = val("--latency")?.parse().map_err(|e| format!("--latency: {e}"))?
+                o.latency_ms = val("--latency")?
+                    .parse()
+                    .map_err(|e| format!("--latency: {e}"))?
             }
             "--watch" => o.watches.push(val("--watch")?),
             "--dump" => o.dumps.push(val("--dump")?),
@@ -192,7 +200,10 @@ fn run(src: &str, args: &[String], tracing: bool) -> ExitCode {
             latency: TimeDelta::from_millis(opts.latency_ms),
             ..Default::default()
         },
-        NodeConfig { tracing, ..Default::default() },
+        NodeConfig {
+            tracing,
+            ..Default::default()
+        },
         opts.seed,
     );
     for i in 0..opts.nodes {
@@ -245,7 +256,11 @@ fn run(src: &str, args: &[String], tracing: bool) -> ExitCode {
                     row.get(1).map(|v| v.to_string()).unwrap_or_default(),
                     fmt_id(row.get(2)),
                     fmt_id(row.get(3)),
-                    if row.get(6) == Some(&Value::Bool(true)) { "event" } else { "precond" },
+                    if row.get(6) == Some(&Value::Bool(true)) {
+                        "event"
+                    } else {
+                        "precond"
+                    },
                 );
             }
         }

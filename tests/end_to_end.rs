@@ -1,10 +1,12 @@
 //! End-to-end integration: the full stack — Chord, tracing, and every
 //! §3 monitoring family — running together on one simulated population.
 
+use p2ql::chord::testbed::{collect_lookup_results, issue_lookup};
 use p2ql::chord::{build_ring, ring_is_ordered, ring_is_well_formed, ChordConfig};
 use p2ql::core::{NodeConfig, SimHarness};
 use p2ql::monitor::{consistency, ordering, oscillation, ring, snapshot};
-use p2ql::types::TimeDelta;
+use p2ql::types::{RingId, TimeDelta};
+use std::fmt::Write as _;
 
 /// The kitchen sink: all monitors coexist on a traced ring without
 /// interfering with the protocol or each other, stay silent while the
@@ -13,7 +15,10 @@ use p2ql::types::TimeDelta;
 fn all_monitors_coexist_and_fire_on_faults() {
     let mut sim = SimHarness::new(
         Default::default(),
-        NodeConfig { tracing: true, ..Default::default() },
+        NodeConfig {
+            tracing: true,
+            ..Default::default()
+        },
         90,
     );
     let topo = build_ring(&mut sim, 8, &ChordConfig::default());
@@ -44,14 +49,20 @@ fn all_monitors_coexist_and_fire_on_faults() {
     .unwrap();
     sim.node_mut(&prober).watch(consistency::CONSISTENCY);
     let initiator = topo.addrs[0].clone();
-    sim.install(&initiator, &snapshot::initiator_program(&initiator, 45.0)).unwrap();
+    sim.install(&initiator, &snapshot::initiator_program(&initiator, 45.0))
+        .unwrap();
 
     // Healthy phase: protocol keeps working, monitors stay quiet.
     sim.run_for(TimeDelta::from_secs(120));
-    assert!(ring_is_ordered(&mut sim, &topo), "monitors must not perturb the ring");
+    assert!(
+        ring_is_ordered(&mut sim, &topo),
+        "monitors must not perturb the ring"
+    );
     for a in topo.addrs.clone() {
         assert!(
-            sim.node_mut(&a).take_watched(oscillation::OSCILL).is_empty(),
+            sim.node_mut(&a)
+                .take_watched(oscillation::OSCILL)
+                .is_empty(),
             "false oscillation at {a}"
         );
     }
@@ -94,11 +105,17 @@ fn all_monitors_coexist_and_fire_on_faults() {
         .iter()
         .map(|a| sim.node_mut(a).watched(oscillation::OSCILL).len())
         .sum();
-    assert!(oscills > 0, "flapping node must trigger oscillation detectors");
+    assert!(
+        oscills > 0,
+        "flapping node must trigger oscillation detectors"
+    );
 
     // And the system recovers afterwards.
     sim.run_for(TimeDelta::from_secs(120));
-    assert!(ring_is_well_formed(&mut sim, &topo), "ring must settle after faults");
+    assert!(
+        ring_is_well_formed(&mut sim, &topo),
+        "ring must settle after faults"
+    );
 }
 
 /// Monitoring queries are watchpoints an operator can also *remove*; the
@@ -113,7 +130,9 @@ fn piecemeal_install_and_uninstall() {
     let node = topo.addrs[1].clone();
     let strands_before = sim.node_mut(&node).strand_count();
     let pid1 = sim.install(&node, &ring::active_probe_program(5)).unwrap();
-    let pid2 = sim.install(&node, &ordering::opportunistic_program()).unwrap();
+    let pid2 = sim
+        .install(&node, &ordering::opportunistic_program())
+        .unwrap();
     assert!(sim.node_mut(&node).strand_count() > strands_before);
 
     sim.run_for(TimeDelta::from_secs(30));
@@ -128,12 +147,107 @@ fn piecemeal_install_and_uninstall() {
     assert!(ring_is_ordered(&mut sim, &topo));
 }
 
+/// Golden-file equivalence for the execution trace (§2.1.2).
+///
+/// A 4-node Chord ring warms up untraced, flips tracing on at runtime,
+/// and serves one lookup. The resulting Fig 5-style dispatch counters,
+/// per-strand execution counts, and the *full* `ruleExec`/`tupleTable`
+/// contents on every node must be bit-identical to the committed golden
+/// file — the engine may batch deltas internally, but the observable
+/// per-tuple trace (including assigned tuple IDs) must not change.
+///
+/// Regenerate with `GOLDEN_REGEN=1 cargo test golden_chord_lookup`.
+#[test]
+fn golden_chord_lookup_trace_is_stable() {
+    let mut sim = SimHarness::with_seed(4242);
+    let topo = build_ring(&mut sim, 4, &ChordConfig::default());
+    sim.run_for(TimeDelta::from_secs(120));
+    assert!(
+        ring_is_ordered(&mut sim, &topo),
+        "4-node ring must converge"
+    );
+
+    // Trace only the lookup phase (the §4 logging experiment's toggle).
+    for a in topo.addrs.clone() {
+        sim.node_mut(&a).set_tracing(true);
+    }
+    let requester = topo.addrs[1].clone();
+    let origin = topo.addrs[2].clone();
+    sim.node_mut(&requester).watch("lookupResults");
+    let key = RingId(0x5EED_CAFE_F00D_D00D);
+    let req = issue_lookup(&mut sim, &origin, key, &requester, 77);
+    sim.run_for(TimeDelta::from_secs(5));
+    let answers = collect_lookup_results(sim.node_mut(&requester).watched("lookupResults"));
+    assert!(answers.contains_key(&req), "lookup must be answered");
+
+    let now = sim.now();
+    let mut dump = String::new();
+    writeln!(
+        dump,
+        "# golden: 4-node chord, seed 4242, traced lookup at t=120s"
+    )
+    .unwrap();
+    for a in topo.addrs.clone() {
+        writeln!(dump, "node {a}").unwrap();
+        let m = sim.node_mut(&a).metrics().clone();
+        writeln!(
+            dump,
+            "  counters dispatched={} firings={} deletes={} overflow={} malformed={}",
+            m.tuples_dispatched, m.strand_firings, m.deletes, m.overflow_drops, m.malformed_drops
+        )
+        .unwrap();
+        for (id, _, st) in sim.node_mut(&a).strand_stats() {
+            writeln!(
+                dump,
+                "  strand {id} fired={} outputs={} errors={}",
+                st.fired, st.outputs, st.eval_errors
+            )
+            .unwrap();
+        }
+        for table in ["ruleExec", "tupleTable"] {
+            let mut rows: Vec<String> = sim
+                .node_mut(&a)
+                .table_scan(table, now)
+                .iter()
+                .map(|t| t.to_string())
+                .collect();
+            rows.sort();
+            for r in rows {
+                writeln!(dump, "  {table} {r}").unwrap();
+            }
+        }
+    }
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/chord_lookup_trace.txt");
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &dump).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .expect("golden file missing: regenerate with GOLDEN_REGEN=1");
+    if dump != want {
+        for (i, (got, exp)) in dump.lines().zip(want.lines()).enumerate() {
+            assert_eq!(got, exp, "trace diverges from golden at line {}", i + 1);
+        }
+        panic!(
+            "trace length diverges from golden: {} vs {} lines",
+            dump.lines().count(),
+            want.lines().count()
+        );
+    }
+}
+
 /// The tracer's resource bounds (§3.4) hold under sustained load.
 #[test]
 fn trace_tables_stay_bounded() {
     let mut sim = SimHarness::new(
         Default::default(),
-        NodeConfig { tracing: true, ..Default::default() },
+        NodeConfig {
+            tracing: true,
+            ..Default::default()
+        },
         92,
     );
     let topo = build_ring(&mut sim, 6, &ChordConfig::default());

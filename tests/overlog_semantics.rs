@@ -10,12 +10,20 @@ use p2ql::types::{Time, TimeDelta, Tuple, Value};
 fn node() -> Node {
     Node::new(
         p2ql::types::Addr::new("n1"),
-        NodeConfig { stagger_timers: false, ..Default::default() },
+        NodeConfig {
+            stagger_timers: false,
+            ..Default::default()
+        },
     )
 }
 
 fn ev(name: &str, vals: impl IntoIterator<Item = Value>) -> Tuple {
-    Tuple::new(name, std::iter::once(Value::addr("n1")).chain(vals).collect::<Vec<_>>())
+    Tuple::new(
+        name,
+        std::iter::once(Value::addr("n1"))
+            .chain(vals)
+            .collect::<Vec<_>>(),
+    )
 }
 
 #[test]
@@ -131,10 +139,16 @@ fn min_and_max_group_per_head_fields() {
     n.pump(Time::ZERO);
     let best = n.take_watched("best");
     assert_eq!(best.len(), 2, "one row per group");
-    let a_best = best.iter().find(|(_, t)| t.get(1) == Some(&Value::str("a"))).unwrap();
+    let a_best = best
+        .iter()
+        .find(|(_, t)| t.get(1) == Some(&Value::str("a")))
+        .unwrap();
     assert_eq!(a_best.1.get(2), Some(&Value::Int(3)));
     let worst = n.take_watched("worst");
-    let a_worst = worst.iter().find(|(_, t)| t.get(1) == Some(&Value::str("a"))).unwrap();
+    let a_worst = worst
+        .iter()
+        .find(|(_, t)| t.get(1) == Some(&Value::str("a")))
+        .unwrap();
     assert_eq!(a_worst.1.get(2), Some(&Value::Int(9)));
 }
 
@@ -186,7 +200,8 @@ fn string_location_heads_route_remotely() {
 #[test]
 fn fractional_periodic_periods() {
     let mut n = node();
-    n.install("t tick@N(E) :- periodic@N(E, 0.5).", Time::ZERO).unwrap();
+    n.install("t tick@N(E) :- periodic@N(E, 0.5).", Time::ZERO)
+        .unwrap();
     n.watch("tick");
     for ms in [500u64, 1000, 1500, 2000] {
         n.fire_timers(Time::from_millis(ms));
@@ -259,7 +274,8 @@ fn remote_delete_rules_route_like_messages() {
            t@"b"(1). t@"b"(2)."#,
     )
     .unwrap();
-    sim.install(&a, r#"d delete t@"b"(X) :- zap@N(X)."#).unwrap();
+    sim.install(&a, r#"d delete t@"b"(X) :- zap@N(X)."#)
+        .unwrap();
     sim.run_for(TimeDelta::from_millis(50));
     let now = sim.now();
     assert_eq!(sim.node_mut(&b).table_scan("t", now).len(), 2);
@@ -274,7 +290,8 @@ fn remote_delete_rules_route_like_messages() {
 #[test]
 fn eviction_keeps_newest_rows() {
     let mut n = node();
-    n.install("materialize(t, infinity, 3, keys(1, 2)).", Time::ZERO).unwrap();
+    n.install("materialize(t, infinity, 3, keys(1, 2)).", Time::ZERO)
+        .unwrap();
     for i in 0..10 {
         n.inject(ev("t", [Value::Int(i)]));
     }
@@ -288,5 +305,8 @@ fn eviction_keeps_newest_rows() {
             _ => None,
         })
         .collect();
-    assert!(vals.contains(&9) && vals.contains(&8) && vals.contains(&7), "{vals:?}");
+    assert!(
+        vals.contains(&9) && vals.contains(&8) && vals.contains(&7),
+        "{vals:?}"
+    );
 }

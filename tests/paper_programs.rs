@@ -43,7 +43,10 @@ fn chord_program_plans() {
         .iter()
         .filter(|s| matches!(s.trigger, Trigger::Periodic { .. }))
         .count();
-    assert!(periodics >= 5, "chord needs its protocol timers, got {periodics}");
+    assert!(
+        periodics >= 5,
+        "chord needs its protocol timers, got {periodics}"
+    );
     // Lookup rules l1-l4 trigger on the lookup event.
     let lookup_triggered = p
         .strands
@@ -56,7 +59,10 @@ fn chord_program_plans() {
 #[test]
 fn chord_facts_plan() {
     let p = plan(&node_facts("n0", 0xAB, None));
-    assert!(p.facts.len() >= 4, "bootstrap node: node, pred, finger fix, succ");
+    assert!(
+        p.facts.len() >= 4,
+        "bootstrap node: node, pred, finger fix, succ"
+    );
     let p = plan(&node_facts("n1", 0xCD, Some("n0")));
     assert_eq!(p.strands.len(), 0, "facts only");
 }
@@ -65,7 +71,9 @@ fn chord_facts_plan() {
 fn ring_monitors_plan() {
     let p = plan(&ring::active_probe_program(7));
     assert_eq!(p.strands.len(), 3, "rp1, rp2, rp3");
-    assert!(matches!(p.strands[0].trigger, Trigger::Periodic { period_secs } if period_secs == 7.0));
+    assert!(
+        matches!(p.strands[0].trigger, Trigger::Periodic { period_secs } if period_secs == 7.0)
+    );
 
     let p = plan(&ring::passive_check_program());
     assert_eq!(p.strands.len(), 1, "rp4");
@@ -81,7 +89,10 @@ fn ordering_monitors_plan() {
     let p = plan(&ordering::traversal_program());
     // ri2-ri7: one strand each (all event-triggered).
     assert_eq!(p.strands.len(), 6);
-    assert!(p.strands.iter().all(|s| matches!(s.trigger, Trigger::Event { .. })));
+    assert!(p
+        .strands
+        .iter()
+        .all(|s| matches!(s.trigger, Trigger::Event { .. })));
 }
 
 #[test]
@@ -105,7 +116,9 @@ fn oscillation_monitors_plan() {
 
 #[test]
 fn consistency_probe_plans() {
-    let p = plan(&consistency::probe_program(&consistency::ProbeConfig::default()));
+    let p = plan(&consistency::probe_program(
+        &consistency::ProbeConfig::default(),
+    ));
     assert_eq!(p.tables.len(), 5, "cs state tables");
     // cs10/cs11 are delete rules.
     let deletes = p.strands.iter().filter(|s| s.head.delete).count();
@@ -127,17 +140,21 @@ fn profiling_walk_plans() {
     // tables (tracing-enabled install), not events.
     for s in &p.strands {
         if s.rule_label == "ep5" || s.rule_label == "ep6" {
-            assert!(s
-                .ops
-                .iter()
-                .any(|op| matches!(op, p2ql::planner::Op::Join { table, .. } if table == "ruleExec")));
+            assert!(s.ops.iter().any(
+                |op| matches!(op, p2ql::planner::Op::Join { table, .. } if table == "ruleExec")
+            ));
         }
     }
     // Termination via zero-count aggregates (ep8/ep9).
     let zero_caps = p
         .strands
         .iter()
-        .filter(|s| s.head.agg.as_ref().is_some_and(|a| a.group_bound_by_trigger))
+        .filter(|s| {
+            s.head
+                .agg
+                .as_ref()
+                .is_some_and(|a| a.group_bound_by_trigger)
+        })
         .count();
     assert!(zero_caps >= 2, "ep8/ep9 need zero-count emission");
 }
@@ -145,27 +162,51 @@ fn profiling_walk_plans() {
 #[test]
 fn snapshot_programs_plan() {
     let p = plan(&snapshot::backpointer_program());
-    assert!(p.strands.iter().any(|s| matches!(&s.trigger, Trigger::Event { name } if name == "pingReq")));
+    assert!(p
+        .strands
+        .iter()
+        .any(|s| matches!(&s.trigger, Trigger::Event { name } if name == "pingReq")));
 
     // The snapshot rules install after the back-pointer rules, whose
     // tables they read.
     let bp = ["backPointer", "numBackPointers"];
     let p = plan_with(&snapshot::snapshot_program(), &bp);
     // sr8's count must allow zero-emission (sr9 depends on it).
-    let sr8 = p.strands.iter().find(|s| s.rule_label == "sr8").expect("sr8");
+    let sr8 = p
+        .strands
+        .iter()
+        .find(|s| s.rule_label == "sr8")
+        .expect("sr8");
     assert!(sr8.head.agg.as_ref().unwrap().group_bound_by_trigger);
 
     let snap_tables = [
-        "backPointer", "numBackPointers", "snapState", "currentSnap",
-        "snapBestSucc", "snapFinger", "snapPred", "channelState",
-        "channelSuccDump", "channelDoneCount", "channelTotalCount",
+        "backPointer",
+        "numBackPointers",
+        "snapState",
+        "currentSnap",
+        "snapBestSucc",
+        "snapFinger",
+        "snapPred",
+        "channelState",
+        "channelSuccDump",
+        "channelDoneCount",
+        "channelTotalCount",
     ];
-    let p = plan_with(&snapshot::initiator_program(&Addr::new("n0"), 60.0), &snap_tables);
-    assert!(p.strands.iter().any(|s| matches!(s.trigger, Trigger::Periodic { .. })));
+    let p = plan_with(
+        &snapshot::initiator_program(&Addr::new("n0"), 60.0),
+        &snap_tables,
+    );
+    assert!(p
+        .strands
+        .iter()
+        .any(|s| matches!(s.trigger, Trigger::Periodic { .. })));
     assert_eq!(p.facts.len(), 1, "the seed snapState row");
 
     let p = plan_with(&snapshot::snapshot_lookup_program(), &snap_tables);
-    assert!(p.strands.iter().any(|s| matches!(&s.trigger, Trigger::Event { name } if name == "sLookup")));
+    assert!(p
+        .strands
+        .iter()
+        .any(|s| matches!(&s.trigger, Trigger::Event { name } if name == "sLookup")));
 
     let p = plan_with(&snapshot::snapshot_probe_program(8.0, 5, 5), &snap_tables);
     assert!(p.strands.iter().any(|s| s.rule_label == "scs4"));

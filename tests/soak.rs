@@ -12,7 +12,10 @@ use p2ql::types::TimeDelta;
 fn one_virtual_hour_is_stable_and_bounded() {
     let mut sim = SimHarness::new(
         Default::default(),
-        NodeConfig { tracing: true, ..Default::default() },
+        NodeConfig {
+            tracing: true,
+            ..Default::default()
+        },
         2025,
     );
     let ring = build_ring(&mut sim, 10, &ChordConfig::default());
@@ -33,7 +36,8 @@ fn one_virtual_hour_is_stable_and_bounded() {
     )
     .unwrap();
     let initiator = ring.addrs[0].clone();
-    sim.install(&initiator, &snapshot::initiator_program(&initiator, 60.0)).unwrap();
+    sim.install(&initiator, &snapshot::initiator_program(&initiator, 60.0))
+        .unwrap();
     sim.node_mut(&prober).watch(consistency::CONSISTENCY);
 
     let mut peak_tuples = 0usize;
@@ -62,7 +66,11 @@ fn one_virtual_hour_is_stable_and_bounded() {
 
     // The probe stayed healthy the whole hour.
     let ms = consistency::metrics(sim.node_mut(&prober).watched(consistency::CONSISTENCY));
-    assert!(ms.len() >= 30, "probe produced {} metrics over an hour", ms.len());
+    assert!(
+        ms.len() >= 30,
+        "probe produced {} metrics over an hour",
+        ms.len()
+    );
     let min = ms.iter().map(|(_, m)| *m).fold(f64::INFINITY, f64::min);
     assert!(
         (min - 1.0).abs() < 1e-9,

@@ -56,7 +56,11 @@ fn three_threaded_nodes_relay_and_converge() {
         let addr = Addr::new(*name);
         let mut node = Node::new(
             addr.clone(),
-            NodeConfig { stagger_timers: false, seed: i as u64, ..Default::default() },
+            NodeConfig {
+                stagger_timers: false,
+                seed: i as u64,
+                ..Default::default()
+            },
         );
         node.install(
             "materialize(seen, infinity, infinity, keys(1, 2)).
@@ -74,14 +78,17 @@ fn three_threaded_nodes_relay_and_converge() {
                 .unwrap();
             }
             1 => {
-                node.install(r#"r1 token@"tc"(E) :- token@N(E)."#, Time::ZERO).unwrap();
+                node.install(r#"r1 token@"tc"(E) :- token@N(E)."#, Time::ZERO)
+                    .unwrap();
             }
             _ => {}
         }
         let mailbox = hub.register(addr);
         let hub2 = hub.clone();
         let stop2 = stop.clone();
-        handles.push(std::thread::spawn(move || node_thread(node, hub2, mailbox, stop2)));
+        handles.push(std::thread::spawn(move || {
+            node_thread(node, hub2, mailbox, stop2)
+        }));
     }
 
     // Let the relay run ~3.5 real seconds (three to four periodic rounds).

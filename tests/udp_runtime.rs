@@ -39,7 +39,13 @@ fn two_udp_nodes_exchange_tuples() {
     let a_addr = ta.local_addr().unwrap();
     let b_addr = tb.local_addr().unwrap();
 
-    let mut a = Node::new(a_addr.clone(), NodeConfig { stagger_timers: false, ..Default::default() });
+    let mut a = Node::new(
+        a_addr.clone(),
+        NodeConfig {
+            stagger_timers: false,
+            ..Default::default()
+        },
+    );
     // a periodically sends a counter tuple to b.
     a.install(
         &format!(
@@ -90,7 +96,8 @@ fn udp_node_survives_hostile_datagrams() {
     // Blast garbage at the node's socket, then a valid envelope.
     let raw = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
     for _ in 0..20 {
-        raw.send_to(&[0xDE, 0xAD, 0xBE, 0xEF, 0xFF], addr.as_str()).unwrap();
+        raw.send_to(&[0xDE, 0xAD, 0xBE, 0xEF, 0xFF], addr.as_str())
+            .unwrap();
     }
     let peer = UdpTransport::bind(&Addr::new("127.0.0.1:0")).unwrap();
     peer.send(&p2ql::net::Envelope::new(
@@ -116,5 +123,9 @@ fn udp_node_survives_hostile_datagrams() {
     }
     node.pump(Time::ZERO);
     assert!(malformed >= 1, "garbage must surface as malformed frames");
-    assert_eq!(node.watched("out").len(), 1, "the good frame still processed");
+    assert_eq!(
+        node.watched("out").len(),
+        1,
+        "the good frame still processed"
+    );
 }

@@ -148,15 +148,18 @@ impl Bencher {
             black_box(routine(setup()));
             return;
         }
-        // Time only the routine; setup runs outside the clock.
+        // Time only the routine; setup runs outside the clock, and the
+        // routine's output is dropped outside it too (matching upstream
+        // criterion, which tears down batch outputs after measurement).
         let mut n: u64 = 1;
         let per_iter = loop {
             let mut took = Duration::ZERO;
             for _ in 0..n {
                 let input = setup();
                 let start = Instant::now();
-                black_box(routine(input));
+                let out = black_box(routine(input));
                 took += start.elapsed();
+                drop(out);
             }
             if took >= self.warm_up {
                 break took.as_secs_f64() / n as f64;
@@ -172,8 +175,9 @@ impl Bencher {
             for _ in 0..batch {
                 let input = setup();
                 let start = Instant::now();
-                black_box(routine(input));
+                let out = black_box(routine(input));
                 took += start.elapsed();
+                drop(out);
             }
             min_batch_ns = min_batch_ns.min(took.as_nanos() as f64 / batch as f64);
             total += took;

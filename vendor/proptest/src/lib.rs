@@ -43,7 +43,10 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 48, max_global_rejects: 48 * 256 }
+        ProptestConfig {
+            cases: 48,
+            max_global_rejects: 48 * 256,
+        }
     }
 }
 
@@ -56,7 +59,9 @@ pub struct TestRng {
 impl TestRng {
     /// Seed from an arbitrary u64.
     pub fn new(seed: u64) -> TestRng {
-        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// Seed deterministically for one named test case.
@@ -226,7 +231,9 @@ macro_rules! prop_assert_ne {
                 if *l == *r {
                     return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
                         "assertion failed: {} != {}\n  both: {:?}",
-                        stringify!($a), stringify!($b), l
+                        stringify!($a),
+                        stringify!($b),
+                        l
                     )));
                 }
             }

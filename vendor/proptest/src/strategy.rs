@@ -167,7 +167,10 @@ impl Atom {
                 }
             }
             Atom::Class(ranges) => {
-                let total: u64 = ranges.iter().map(|(a, b)| (*b as u64) - (*a as u64) + 1).sum();
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+                    .sum();
                 let mut pick = rng.below(total);
                 for (a, b) in ranges {
                     let span = (*b as u64) - (*a as u64) + 1;
