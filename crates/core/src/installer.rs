@@ -4,8 +4,8 @@
 use crate::node::{InstallError, Node, ProgramId};
 use crate::scheduler::TimerState;
 use p2_dataflow::StrandRuntime;
-use p2_planner::compile_program;
-use p2_planner::plan::Trigger;
+use p2_planner::compile_program_with;
+use p2_planner::plan::{Strand, Trigger};
 use p2_store::TableSpec;
 use p2_types::{Time, TimeDelta};
 use std::cmp::Reverse;
@@ -49,7 +49,8 @@ impl Node {
             .into_iter()
             .map(|(name, _, _)| name)
             .collect();
-        let compiled = compile_program(&program, &known).map_err(InstallError::Plan)?;
+        let compiled = compile_program_with(&program, &known, &self.config.plan)
+            .map_err(InstallError::Plan)?;
 
         // Register tables first (strand classification already done).
         for t in &compiled.tables {
@@ -78,9 +79,38 @@ impl Node {
         let pid = ProgramId(self.next_program);
         self.next_program += 1;
 
-        for strand in compiled.strands {
+        for d in compiled.diagnostics {
+            self.plan_diagnostics.push((pid, d));
+        }
+
+        // Instantiate runtimes. Strands the optimizer grouped into a
+        // shared-prefix family become ONE runtime (instantiated at the
+        // first member's position; the prefix runs once per trigger and
+        // member tails fan out); everything else is a runtime of its own.
+        // A family's members share one trigger, so dispatch/timer
+        // registration is per runtime, exactly as for single strands.
+        let plans: Vec<Arc<Strand>> = compiled.strands.into_iter().map(Arc::new).collect();
+        let mut group_of: Vec<Option<usize>> = vec![None; plans.len()];
+        for (g, pg) in compiled.prefix_groups.iter().enumerate() {
+            for &m in &pg.members {
+                group_of[m] = Some(g);
+            }
+        }
+        for (i, plan) in plans.iter().enumerate() {
+            let runtime = match group_of[i] {
+                Some(g) => {
+                    let pg = &compiled.prefix_groups[g];
+                    if pg.members[0] != i {
+                        continue; // instantiated with its family leader
+                    }
+                    let members: Vec<Arc<Strand>> =
+                        pg.members.iter().map(|&m| plans[m].clone()).collect();
+                    StrandRuntime::family(members, pg.shared_ops)
+                }
+                None => StrandRuntime::new(plan.clone()),
+            };
             let idx = self.strands.len();
-            match &strand.trigger {
+            match &runtime.plan().trigger {
                 Trigger::Event { name } => {
                     self.event_dispatch
                         .entry(name.clone())
@@ -110,7 +140,7 @@ impl Node {
                     self.timer_heap.push(Reverse((now + offset, tidx)));
                 }
             }
-            self.strands.push(StrandRuntime::new(Arc::new(strand)));
+            self.strands.push(runtime);
             self.strand_programs.push(pid);
         }
 
@@ -125,6 +155,7 @@ impl Node {
     /// contents) remain — soft state expires on its own, and other
     /// programs may read them.
     pub fn uninstall(&mut self, pid: ProgramId) {
+        self.plan_diagnostics.retain(|(p, _)| *p != pid);
         let keep: Vec<bool> = self.strand_programs.iter().map(|p| *p != pid).collect();
         // Rebuild the strand vector and all dispatch indexes.
         let mut new_strands = Vec::new();

@@ -83,6 +83,11 @@ pub struct NodeConfig {
     /// Most payload tuples the router coalesces into one outgoing
     /// envelope before starting a new frame.
     pub envelope_flush_threshold: usize,
+    /// Planner options for programs installed on this node. The default
+    /// runs every optimizer pass; `PlanOpts::off()` compiles rule bodies
+    /// in literal source order (the semantic oracle the optimized plans
+    /// are equivalence-tested against).
+    pub plan: p2_planner::PlanOpts,
 }
 
 impl Default for NodeConfig {
@@ -95,6 +100,7 @@ impl Default for NodeConfig {
             max_dispatch_per_pump: 200_000,
             max_delta_batch: 64,
             envelope_flush_threshold: 64,
+            plan: p2_planner::PlanOpts::default(),
         }
     }
 }
@@ -154,6 +160,9 @@ pub struct Node {
     pub(crate) watches: HashMap<String, Vec<(Time, Tuple)>>,
     pub(crate) metrics: NodeMetrics,
     pub(crate) next_program: u64,
+    /// Plan-time warnings from installed programs (dead rules, ...),
+    /// tagged with the owning program for uninstall cleanup.
+    pub(crate) plan_diagnostics: Vec<(ProgramId, p2_planner::Diagnostic)>,
 }
 
 impl Node {
@@ -179,6 +188,7 @@ impl Node {
             watches: HashMap::new(),
             metrics: NodeMetrics::default(),
             next_program: 1,
+            plan_diagnostics: Vec::new(),
         };
         if node.config.tracing {
             node.register_trace_tables();
@@ -321,23 +331,29 @@ impl Node {
         crate::introspect::refresh(self, now);
     }
 
-    /// Snapshot of per-strand execution stats (for `sysRule`).
+    /// Snapshot of per-strand execution stats (for `sysRule`). Flattens
+    /// shared-prefix families: one row per member rule, under the
+    /// member's own strand id, with the member's own counters.
     pub fn strand_stats(&self) -> Vec<(String, String, p2_dataflow::StrandStats)> {
         self.strands
             .iter()
-            .map(|s| {
-                (
-                    s.plan().strand_id.clone(),
-                    s.plan().source.clone(),
-                    s.stats(),
-                )
+            .flat_map(|s| {
+                s.branches()
+                    .map(|(plan, stats)| (plan.strand_id.clone(), plan.source.clone(), stats))
             })
             .collect()
     }
 
-    /// Number of installed strands.
+    /// Number of installed strands (family members counted
+    /// individually — sharing a prefix is an execution detail).
     pub fn strand_count(&self) -> usize {
-        self.strands.len()
+        self.strands.iter().map(|s| s.branch_count()).sum()
+    }
+
+    /// Plan-time warnings surfaced by the optimizer for currently
+    /// installed programs (dead rules, never-boolean selections).
+    pub fn plan_diagnostics(&self) -> impl Iterator<Item = &p2_planner::Diagnostic> + '_ {
+        self.plan_diagnostics.iter().map(|(_, d)| d)
     }
 
     // ------------------------------------------------------------ internal
@@ -417,7 +433,8 @@ impl Node {
                 &mut null
             };
             if self.strands[idx].fire(tuple, &mut self.catalog, &mut ctx, sink, now, &mut actions) {
-                self.metrics.strand_firings += 1;
+                // Each family member logically fired once.
+                self.metrics.strand_firings += self.strands[idx].branch_count() as u64;
             }
         }
         if self.strands[idx].has_work() {

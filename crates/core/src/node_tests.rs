@@ -474,3 +474,95 @@ fn install_errors_are_typed() {
         Err(InstallError::Catalog(_))
     ));
 }
+
+#[test]
+fn shared_prefix_family_installs_as_one_runtime() {
+    let mut n = node("n1");
+    n.install(
+        "materialize(t, 100, 100, keys(1, 2, 3)).
+         r1 outa@N(X, Y) :- ev@N(X), t@N(X, Y).
+         r2 outb@N(X, Y) :- ev@N(X), t@N(X, Y).",
+        Time::ZERO,
+    )
+    .unwrap();
+    // Two strands planned, one family runtime installed.
+    assert_eq!(n.strand_count(), 2);
+    assert_eq!(n.strands.len(), 1);
+    n.watch("outa");
+    n.watch("outb");
+    n.inject(Tuple::new(
+        "t",
+        [Value::addr("n1"), Value::Int(1), Value::Int(7)],
+    ));
+    n.pump(Time::ZERO);
+    n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(1)]));
+    n.pump(Time::ZERO);
+    assert_eq!(n.watched("outa").len(), 1);
+    assert_eq!(n.watched("outb").len(), 1);
+    // Both branches report their own firing through strand_stats.
+    let fired: Vec<u64> = n
+        .strand_stats()
+        .into_iter()
+        .map(|(_, _, s)| s.fired)
+        .collect();
+    assert_eq!(fired, vec![1, 1]);
+}
+
+#[test]
+fn dead_rule_diagnostic_surfaces_and_clears_on_uninstall() {
+    let mut n = node("n1");
+    let pid = n
+        .install("d1 out@N(X) :- ev@N(X), 1 == 2.", Time::ZERO)
+        .unwrap();
+    let diags: Vec<String> = n.plan_diagnostics().map(|d| d.message.clone()).collect();
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].contains("dead"), "got: {}", diags[0]);
+    // The dead rule legally produces nothing.
+    n.watch("out");
+    n.inject(Tuple::new("ev", [Value::addr("n1"), Value::Int(1)]));
+    n.pump(Time::ZERO);
+    assert_eq!(n.watched("out").len(), 0);
+    n.uninstall(pid);
+    assert_eq!(n.plan_diagnostics().count(), 0);
+}
+
+#[test]
+fn optimizer_off_matches_full_end_to_end() {
+    let src = "materialize(t, 100, 100, keys(1, 2, 3)).
+         r1 out@N(X, Z, W) :- ev@N(X, K), t@N(X, Z), W := Z * 2 + 1, K > 0.";
+    let drive = |opts: p2_planner::PlanOpts| {
+        let mut n = Node::new(
+            Addr::new("n1"),
+            NodeConfig {
+                stagger_timers: false,
+                plan: opts,
+                ..Default::default()
+            },
+        );
+        n.install(src, Time::ZERO).unwrap();
+        n.watch("out");
+        for z in 0..4 {
+            n.inject(Tuple::new(
+                "t",
+                [Value::addr("n1"), Value::Int(1), Value::Int(z)],
+            ));
+        }
+        n.pump(Time::ZERO);
+        n.inject(Tuple::new(
+            "ev",
+            [Value::addr("n1"), Value::Int(1), Value::Int(5)],
+        ));
+        n.pump(Time::ZERO);
+        let mut got: Vec<String> = n
+            .watched("out")
+            .iter()
+            .map(|(_, t)| t.to_string())
+            .collect();
+        got.sort();
+        got
+    };
+    let off = drive(p2_planner::PlanOpts::off());
+    let full = drive(p2_planner::PlanOpts::default());
+    assert_eq!(off.len(), 4);
+    assert_eq!(off, full);
+}

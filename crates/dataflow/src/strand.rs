@@ -91,16 +91,40 @@ struct ActiveJoin {
     next: usize,
 }
 
-/// The runtime instantiation of one compiled strand.
-pub struct StrandRuntime {
+/// One member of a strand family: the rule's own identity, its private
+/// stateless tail (ops after the shared prefix), and its counters. A
+/// plain single-rule strand is a family of one whose tail is empty.
+struct Branch {
     plan: Arc<Strand>,
     strand_id: Arc<str>,
     rule_label: Arc<str>,
-    /// Stateless operators before the first join.
+    /// Stateless ops applied per-branch at finalize time, after the
+    /// shared prefix produced a binding.
+    tail: Vec<Op>,
+    stats: StrandStats,
+}
+
+/// The runtime instantiation of one compiled strand — or of a
+/// **shared-prefix family** of strands (`CompiledProgram::prefix_groups`):
+/// the common trigger match, pre-ops, and join pipeline run **once** per
+/// trigger, and each member branch applies its own stateless tail and
+/// head per result.
+///
+/// Observability is per branch: every Input/Precondition/StageComplete/
+/// Output tap is emitted once per member under the member's own strand
+/// id, so the tracer's per-rule records are identical to running the
+/// members unshared. Work counters attributable to the shared region
+/// (eval errors in shared ops, probe-cache hits) land on the first
+/// branch.
+pub struct StrandRuntime {
+    branches: Vec<Branch>,
+    /// Stateless operators before the first join (shared).
     pre_ops: Vec<Op>,
     stage_defs: Vec<StageDef>,
     stages: Vec<StageState>,
-    stats: StrandStats,
+    /// Environment width: the max over member plans (prefix slots are
+    /// identical across members; tails may extend differently).
+    slots: usize,
     /// Round-robin scheduling cursor over stages. Round-robin (rather
     /// than drain-downstream-first) is what produces the genuine
     /// pipelined interleavings of §2.1.2.
@@ -109,11 +133,32 @@ pub struct StrandRuntime {
 }
 
 impl StrandRuntime {
-    /// Instantiate a compiled strand.
+    /// Instantiate a single compiled strand (a family of one: the whole
+    /// op list is the "shared" region and the tail is empty, which makes
+    /// execution — taps included — bit-identical to the pre-family
+    /// runtime).
     pub fn new(plan: Arc<Strand>) -> StrandRuntime {
+        let shared = plan.ops.len();
+        StrandRuntime::family(vec![plan], shared)
+    }
+
+    /// Instantiate a shared-prefix family. All members must agree on the
+    /// trigger, the trigger match, and the first `shared_ops` ops (the
+    /// planner's `PrefixGroup` guarantees this, along with purity of
+    /// every member — sharing evaluates the prefix once instead of once
+    /// per member); with more than one member no member may aggregate.
+    pub fn family(plans: Vec<Arc<Strand>>, shared_ops: usize) -> StrandRuntime {
+        assert!(!plans.is_empty(), "a family needs at least one member");
+        let rep = plans[0].clone();
+        debug_assert!(plans.iter().all(|p| {
+            p.trigger == rep.trigger
+                && p.trigger_match == rep.trigger_match
+                && p.ops[..shared_ops] == rep.ops[..shared_ops]
+        }));
+        debug_assert!(plans.len() == 1 || plans.iter().all(|p| p.head.agg.is_none()));
         let mut pre_ops = Vec::new();
         let mut stage_defs: Vec<StageDef> = Vec::new();
-        for op in &plan.ops {
+        for op in &rep.ops[..shared_ops] {
             match op {
                 Op::Join { table, match_spec } => {
                     stage_defs.push(StageDef {
@@ -134,27 +179,54 @@ impl StrandRuntime {
         let stages = (0..stage_defs.len())
             .map(|_| StageState::default())
             .collect();
+        let slots = plans.iter().map(|p| p.slots).max().unwrap_or(0);
+        let branches = plans
+            .into_iter()
+            .map(|p| Branch {
+                strand_id: Arc::from(p.strand_id.as_str()),
+                rule_label: Arc::from(p.rule_label.as_str()),
+                tail: p.ops[shared_ops..].to_vec(),
+                stats: StrandStats::default(),
+                plan: p,
+            })
+            .collect();
         StrandRuntime {
-            strand_id: Arc::from(plan.strand_id.as_str()),
-            rule_label: Arc::from(plan.rule_label.as_str()),
-            plan,
+            branches,
             pre_ops,
             stage_defs,
             stages,
-            stats: StrandStats::default(),
+            slots,
             cursor: 0,
             probe_cache: None,
         }
     }
 
-    /// The compiled plan.
+    /// The compiled plan of the first (representative) member.
     pub fn plan(&self) -> &Strand {
-        &self.plan
+        &self.branches[0].plan
     }
 
-    /// Execution counters.
+    /// Number of member strands sharing this runtime.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Per-member plans and counters, in member order.
+    pub fn branches(&self) -> impl Iterator<Item = (&Strand, StrandStats)> + '_ {
+        self.branches.iter().map(|b| (&*b.plan, b.stats))
+    }
+
+    /// Execution counters, summed across members (identical to the
+    /// single strand's counters for a family of one).
     pub fn stats(&self) -> StrandStats {
-        self.stats
+        let mut total = StrandStats::default();
+        for b in &self.branches {
+            total.fired += b.stats.fired;
+            total.outputs += b.stats.outputs;
+            total.eval_errors += b.stats.eval_errors;
+            total.probe_cache_hits += b.stats.probe_cache_hits;
+        }
+        total
     }
 
     /// Whether any stage still holds queued or in-progress work.
@@ -164,14 +236,18 @@ impl StrandRuntime {
             .any(|s| !s.input.is_empty() || s.active.is_some())
     }
 
-    fn tap(&self, sink: &mut dyn TapSink, at: Time, kind: TapKind) {
-        sink.tap(TapEvent {
-            strand_id: self.strand_id.clone(),
-            rule_label: self.rule_label.clone(),
-            stage_count: self.stage_defs.len(),
-            kind,
-            at,
-        });
+    /// Emit a tap once per member branch (under each member's identity).
+    fn tap_all(&self, sink: &mut dyn TapSink, at: Time, kind: &TapKind) {
+        let stage_count = self.stage_defs.len();
+        for b in &self.branches {
+            sink.tap(TapEvent {
+                strand_id: b.strand_id.clone(),
+                rule_label: b.rule_label.clone(),
+                stage_count,
+                kind: kind.clone(),
+                at,
+            });
+        }
     }
 
     /// Offer a trigger tuple to the strand. If it matches, the strand
@@ -190,22 +266,28 @@ impl StrandRuntime {
         now: Time,
         actions: &mut Vec<Action>,
     ) -> bool {
-        let mut env: Env = vec![None; self.plan.slots];
-        match self.plan.trigger_match.apply(trigger, &mut env, ctx) {
+        let mut env: Env = vec![None; self.slots];
+        match self.branches[0]
+            .plan
+            .trigger_match
+            .apply(trigger, &mut env, ctx)
+        {
             Ok(true) => {}
             Ok(false) => return false,
             Err(_) => {
-                self.stats.eval_errors += 1;
+                self.branches[0].stats.eval_errors += 1;
                 return false;
             }
         }
-        self.stats.fired += 1;
+        for b in &mut self.branches {
+            b.stats.fired += 1;
+        }
 
-        if self.plan.head.agg.is_some() {
-            self.tap(
+        if self.branches[0].plan.head.agg.is_some() {
+            self.tap_all(
                 sink,
                 now,
-                TapKind::Input {
+                &TapKind::Input {
                     tuple: trigger.clone(),
                 },
             );
@@ -213,7 +295,8 @@ impl StrandRuntime {
             return true;
         }
 
-        let env = match self.apply_stateless(&self.pre_ops.clone(), env, ctx) {
+        let pre_ops = self.pre_ops.clone();
+        let env = match apply_stateless(&pre_ops, env, ctx, &mut self.branches[0].stats) {
             Some(e) => e,
             None => {
                 // The trigger matched but a pre-join condition filtered
@@ -222,10 +305,10 @@ impl StrandRuntime {
             }
         };
         if self.stage_defs.is_empty() {
-            self.tap(
+            self.tap_all(
                 sink,
                 now,
-                TapKind::Input {
+                &TapKind::Input {
                     tuple: trigger.clone(),
                 },
             );
@@ -266,9 +349,10 @@ impl StrandRuntime {
                     }
                 };
                 if let Some((env, tuple)) = emit {
-                    self.tap(sink, now, TapKind::Precondition { stage: i, tuple });
+                    self.tap_all(sink, now, &TapKind::Precondition { stage: i, tuple });
                     let post = self.stage_defs[i].post.clone();
-                    if let Some(env) = self.apply_stateless(&post, env, ctx) {
+                    if let Some(env) = apply_stateless(&post, env, ctx, &mut self.branches[0].stats)
+                    {
                         if i + 1 < self.stages.len() {
                             self.stages[i + 1]
                                 .input
@@ -281,7 +365,7 @@ impl StrandRuntime {
                     // Exhausted: signal completion (the element "seeks a
                     // new input", §2.1.2) and free the stage.
                     self.stages[i].active = None;
-                    self.tap(sink, now, TapKind::StageComplete { stage: i });
+                    self.tap_all(sink, now, &TapKind::StageComplete { stage: i });
                 }
                 self.cursor = (i + 1) % n;
                 return true;
@@ -290,7 +374,7 @@ impl StrandRuntime {
             // first match is emitted on the stage's next visit).
             if let Some(item) = self.stages[i].input.pop_front() {
                 if let Some(trigger) = item.trigger {
-                    self.tap(sink, now, TapKind::Input { tuple: trigger });
+                    self.tap_all(sink, now, &TapKind::Input { tuple: trigger });
                 }
                 let results = probe_stage(
                     &self.stage_defs[i],
@@ -299,7 +383,7 @@ impl StrandRuntime {
                     store,
                     ctx,
                     now,
-                    &mut self.stats,
+                    &mut self.branches[0].stats,
                     &mut self.probe_cache,
                 );
                 self.stages[i].active = Some(ActiveJoin { results, next: 0 });
@@ -362,93 +446,60 @@ impl StrandRuntime {
         while self.step(store, ctx, sink, now, actions) {}
     }
 
-    /// Apply stateless operators; `None` means the binding was filtered
-    /// out (or errored, which is counted and treated as filtered).
-    fn apply_stateless(&mut self, ops: &[Op], mut env: Env, ctx: &mut dyn EvalCtx) -> Option<Env> {
-        for op in ops {
-            match op {
-                Op::Select(e) => match eval(e, &env, ctx).and_then(|v| truthy(&v)) {
-                    Ok(true) => {}
-                    Ok(false) => return None,
-                    Err(_) => {
-                        self.stats.eval_errors += 1;
-                        return None;
-                    }
-                },
-                Op::Assign { slot, expr } => match eval(expr, &env, ctx) {
-                    Ok(v) => env[*slot] = Some(v),
-                    Err(_) => {
-                        self.stats.eval_errors += 1;
-                        return None;
-                    }
-                },
-                Op::Join { .. } => unreachable!("joins are stage boundaries"),
-            }
-        }
-        Some(env)
-    }
-
-    /// Build and emit the head tuple for a final binding.
+    /// Finish one binding produced by the shared region: each member
+    /// branch applies its own stateless tail over its own copy of the
+    /// environment (tails may write disjoint slot ranges; copying makes
+    /// collisions impossible) and emits its own head tuple and Output
+    /// tap. For a family of one the tail is empty and this is exactly
+    /// the old single-strand finalize.
     fn finalize(
         &mut self,
-        env: Env,
+        mut env: Env,
         ctx: &mut dyn EvalCtx,
         sink: &mut dyn TapSink,
         now: Time,
         actions: &mut Vec<Action>,
     ) {
-        match self.head_tuple(&env, ctx, None) {
-            Ok(tuple) => {
-                self.tap(
-                    sink,
-                    now,
-                    TapKind::Output {
-                        tuple: tuple.clone(),
-                    },
-                );
-                self.stats.outputs += 1;
-                actions.push(Action {
-                    tuple,
-                    delete: self.plan.head.delete,
-                });
-            }
-            Err(()) => {
-                self.stats.eval_errors += 1;
-            }
-        }
-    }
-
-    /// Evaluate the head fields over `env`; `agg_value` fills the
-    /// aggregate position if present.
-    fn head_tuple(
-        &self,
-        env: &Env,
-        ctx: &mut dyn EvalCtx,
-        agg_value: Option<Value>,
-    ) -> Result<Tuple, ()> {
-        let mut vals = Vec::with_capacity(self.plan.head.fields.len());
-        for f in &self.plan.head.fields {
-            let v = match f {
-                FieldOut::Slot(s) => env.get(*s).and_then(|v| v.clone()).ok_or(())?,
-                FieldOut::Const(c) => c.clone(),
-                FieldOut::Expr(e) => eval(e, env, ctx).map_err(|_| ())?,
-                FieldOut::Agg => agg_value.clone().ok_or(())?,
+        let stage_count = self.stage_defs.len();
+        let n = self.branches.len();
+        for (i, b) in self.branches.iter_mut().enumerate() {
+            let benv = if i + 1 == n {
+                std::mem::take(&mut env)
+            } else {
+                env.clone()
             };
-            vals.push(v);
+            let Some(benv) = apply_stateless(&b.tail, benv, ctx, &mut b.stats) else {
+                continue;
+            };
+            match head_tuple(&b.plan, &benv, ctx, None) {
+                Ok(tuple) => {
+                    sink.tap(TapEvent {
+                        strand_id: b.strand_id.clone(),
+                        rule_label: b.rule_label.clone(),
+                        stage_count,
+                        kind: TapKind::Output {
+                            tuple: tuple.clone(),
+                        },
+                        at: now,
+                    });
+                    b.stats.outputs += 1;
+                    actions.push(Action {
+                        tuple,
+                        delete: b.plan.head.delete,
+                    });
+                }
+                Err(()) => {
+                    b.stats.eval_errors += 1;
+                }
+            }
         }
-        // Coerce a string location to an address so heads like
-        // `marker@RemoteAddr(...)` route even when the binding came off a
-        // string-valued field.
-        if let Some(Value::Str(s)) = vals.first() {
-            vals[0] = Value::Addr(Addr::new(&**s));
-        }
-        Ok(Tuple::new(&self.plan.head.name, vals))
     }
 
     /// Aggregate strands run atomically per trigger: evaluate the whole
     /// body, group the result multiset by the non-aggregate head fields,
     /// and emit one output per group (plus the zero-count row when the
-    /// plan allows it — rule `sr8`/`sr9`).
+    /// plan allows it — rule `sr8`/`sr9`). Aggregates never share a
+    /// prefix, so this always runs on a family of one.
     fn fire_aggregate(
         &mut self,
         env0: Env,
@@ -458,11 +509,14 @@ impl StrandRuntime {
         now: Time,
         actions: &mut Vec<Action>,
     ) {
-        let agg: AggPlan = self.plan.head.agg.clone().expect("agg strand");
+        debug_assert_eq!(self.branches.len(), 1, "aggregates are never shared");
+        let plan = self.branches[0].plan.clone();
+        let agg: AggPlan = plan.head.agg.clone().expect("agg strand");
         let pre_ops = self.pre_ops.clone();
         let stage_defs = self.stage_defs.clone();
 
-        let mut envs = match self.apply_stateless(&pre_ops, env0.clone(), ctx) {
+        let stats = &mut self.branches[0].stats;
+        let mut envs = match apply_stateless(&pre_ops, env0.clone(), ctx, stats) {
             Some(e) => vec![e],
             None => Vec::new(),
         };
@@ -476,11 +530,13 @@ impl StrandRuntime {
                     store,
                     ctx,
                     now,
-                    &mut self.stats,
+                    &mut self.branches[0].stats,
                     &mut self.probe_cache,
                 ) {
-                    self.tap(sink, now, TapKind::Precondition { stage: i, tuple: t });
-                    if let Some(e3) = self.apply_stateless(&def.post, e2, ctx) {
+                    self.tap_all(sink, now, &TapKind::Precondition { stage: i, tuple: t });
+                    if let Some(e3) =
+                        apply_stateless(&def.post, e2, ctx, &mut self.branches[0].stats)
+                    {
                         next_envs.push(e3);
                     }
                 }
@@ -491,10 +547,10 @@ impl StrandRuntime {
         // Group by the evaluated non-aggregate head fields.
         let mut groups: BTreeMap<Vec<Value>, AggState> = BTreeMap::new();
         for env in &envs {
-            let key = match self.group_key(env, ctx, &agg) {
+            let key = match group_key(&plan, env, ctx, &agg) {
                 Ok(k) => k,
                 Err(()) => {
-                    self.stats.eval_errors += 1;
+                    self.branches[0].stats.eval_errors += 1;
                     continue;
                 }
             };
@@ -502,7 +558,7 @@ impl StrandRuntime {
                 Some(e) => match eval(e, env, ctx) {
                     Ok(v) => Some(v),
                     Err(_) => {
-                        self.stats.eval_errors += 1;
+                        self.branches[0].stats.eval_errors += 1;
                         continue;
                     }
                 },
@@ -516,7 +572,7 @@ impl StrandRuntime {
 
         // Zero-count emission for an empty match set.
         if groups.is_empty() && agg.func == AggFunc::Count && agg.group_bound_by_trigger {
-            if let Ok(key) = self.group_key(&env0, ctx, &agg) {
+            if let Ok(key) = group_key(&plan, &env0, ctx, &agg) {
                 groups.insert(key, AggState::new(AggFunc::Count));
             }
         }
@@ -527,9 +583,9 @@ impl StrandRuntime {
             };
             // Rebuild the tuple: key fields in order with the aggregate
             // value spliced at its position.
-            let mut vals = Vec::with_capacity(self.plan.head.fields.len());
+            let mut vals = Vec::with_capacity(plan.head.fields.len());
             let mut key_iter = key.into_iter();
-            for (pos, _) in self.plan.head.fields.iter().enumerate() {
+            for (pos, _) in plan.head.fields.iter().enumerate() {
                 if pos == agg.position {
                     vals.push(agg_value.clone());
                 } else {
@@ -539,44 +595,108 @@ impl StrandRuntime {
             if let Some(Value::Str(s)) = vals.first() {
                 vals[0] = Value::Addr(Addr::new(&**s));
             }
-            let tuple = Tuple::new(&self.plan.head.name, vals);
-            self.tap(
+            let tuple = Tuple::new(&plan.head.name, vals);
+            self.tap_all(
                 sink,
                 now,
-                TapKind::Output {
+                &TapKind::Output {
                     tuple: tuple.clone(),
                 },
             );
-            self.stats.outputs += 1;
+            self.branches[0].stats.outputs += 1;
             actions.push(Action {
                 tuple,
-                delete: self.plan.head.delete,
+                delete: plan.head.delete,
             });
         }
         // Aggregate strands run atomically, so every stage has completed
         // by now; signal the completions in stage order for the tracer.
         for i in 0..stage_defs.len() {
-            self.tap(sink, now, TapKind::StageComplete { stage: i });
+            self.tap_all(sink, now, &TapKind::StageComplete { stage: i });
         }
     }
+}
 
-    /// Evaluate the non-aggregate head fields as the group key.
-    fn group_key(&self, env: &Env, ctx: &mut dyn EvalCtx, agg: &AggPlan) -> Result<Vec<Value>, ()> {
-        let mut key = Vec::new();
-        for (pos, f) in self.plan.head.fields.iter().enumerate() {
-            if pos == agg.position {
-                continue;
-            }
-            let v = match f {
-                FieldOut::Slot(s) => env.get(*s).and_then(|v| v.clone()).ok_or(())?,
-                FieldOut::Const(c) => c.clone(),
-                FieldOut::Expr(e) => eval(e, env, ctx).map_err(|_| ())?,
-                FieldOut::Agg => unreachable!("skipped"),
-            };
-            key.push(v);
+/// Apply stateless operators; `None` means the binding was filtered out
+/// (or errored, which is counted against `stats` and treated as
+/// filtered).
+fn apply_stateless(
+    ops: &[Op],
+    mut env: Env,
+    ctx: &mut dyn EvalCtx,
+    stats: &mut StrandStats,
+) -> Option<Env> {
+    for op in ops {
+        match op {
+            Op::Select(e) => match eval(e, &env, ctx).and_then(|v| truthy(&v)) {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(_) => {
+                    stats.eval_errors += 1;
+                    return None;
+                }
+            },
+            Op::Assign { slot, expr } => match eval(expr, &env, ctx) {
+                Ok(v) => env[*slot] = Some(v),
+                Err(_) => {
+                    stats.eval_errors += 1;
+                    return None;
+                }
+            },
+            Op::Join { .. } => unreachable!("joins are stage boundaries"),
         }
-        Ok(key)
     }
+    Some(env)
+}
+
+/// Evaluate a plan's head fields over `env`; `agg_value` fills the
+/// aggregate position if present.
+fn head_tuple(
+    plan: &Strand,
+    env: &Env,
+    ctx: &mut dyn EvalCtx,
+    agg_value: Option<Value>,
+) -> Result<Tuple, ()> {
+    let mut vals = Vec::with_capacity(plan.head.fields.len());
+    for f in &plan.head.fields {
+        let v = match f {
+            FieldOut::Slot(s) => env.get(*s).and_then(|v| v.clone()).ok_or(())?,
+            FieldOut::Const(c) => c.clone(),
+            FieldOut::Expr(e) => eval(e, env, ctx).map_err(|_| ())?,
+            FieldOut::Agg => agg_value.clone().ok_or(())?,
+        };
+        vals.push(v);
+    }
+    // Coerce a string location to an address so heads like
+    // `marker@RemoteAddr(...)` route even when the binding came off a
+    // string-valued field.
+    if let Some(Value::Str(s)) = vals.first() {
+        vals[0] = Value::Addr(Addr::new(&**s));
+    }
+    Ok(Tuple::new(&plan.head.name, vals))
+}
+
+/// Evaluate the non-aggregate head fields as the group key.
+fn group_key(
+    plan: &Strand,
+    env: &Env,
+    ctx: &mut dyn EvalCtx,
+    agg: &AggPlan,
+) -> Result<Vec<Value>, ()> {
+    let mut key = Vec::new();
+    for (pos, f) in plan.head.fields.iter().enumerate() {
+        if pos == agg.position {
+            continue;
+        }
+        let v = match f {
+            FieldOut::Slot(s) => env.get(*s).and_then(|v| v.clone()).ok_or(())?,
+            FieldOut::Const(c) => c.clone(),
+            FieldOut::Expr(e) => eval(e, env, ctx).map_err(|_| ())?,
+            FieldOut::Agg => unreachable!("skipped"),
+        };
+        key.push(v);
+    }
+    Ok(key)
 }
 
 /// Compute the join results for one stage against the current store.
@@ -1246,6 +1366,132 @@ mod tests {
         s.fire(&e, &mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
         s.run_to_quiescence(&mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
         assert_eq!(actions.len() - before, 10);
+    }
+
+    /// Build one family runtime from a program whose planner found a
+    /// shared-prefix group covering all strands.
+    fn setup_family(src: &str) -> (StrandRuntime, Catalog) {
+        let prog = p2_overlog::parse_program(src).unwrap();
+        let compiled = compile_program(&prog, &HashSet::new()).unwrap();
+        let mut cat = Catalog::new();
+        for t in &compiled.tables {
+            cat.register(TableSpec::new(
+                &t.name,
+                t.lifetime_secs.map(TimeDelta::from_secs_f64),
+                t.max_rows,
+                t.key_fields.clone(),
+            ))
+            .unwrap();
+        }
+        assert_eq!(compiled.prefix_groups.len(), 1, "test wants one family");
+        let group = compiled.prefix_groups[0].clone();
+        let plans: Vec<Arc<Strand>> = compiled.strands.into_iter().map(Arc::new).collect();
+        let members: Vec<Arc<Strand>> = group.members.iter().map(|&i| plans[i].clone()).collect();
+        (StrandRuntime::family(members, group.shared_ops), cat)
+    }
+
+    #[test]
+    fn family_shares_prefix_and_fans_out_tails() {
+        let (mut fam, mut cat) = setup_family(
+            "materialize(t, 100, 10, keys(1, 2, 3)).
+             r1 a@N(X, Y) :- ev@N(X), t@N(X, Y).
+             r2 b@N(X, Z) :- ev@N(X), t@N(X, Y), Z := Y + 1.",
+        );
+        assert_eq!(fam.branch_count(), 2);
+        let n = Value::addr("n");
+        for y in [10i64, 20] {
+            cat.insert(
+                Tuple::new("t", [n.clone(), Value::Int(1), Value::Int(y)]),
+                Time::ZERO,
+            )
+            .unwrap();
+        }
+        let trig = Tuple::new("ev", [n.clone(), Value::Int(1)]);
+        let (actions, sink) = drive(&mut fam, &trig, &mut cat);
+        // Two matches × two members = four outputs.
+        assert_eq!(actions.len(), 4);
+        let a_outs: Vec<i64> = actions
+            .iter()
+            .filter(|a| a.tuple.name() == "a")
+            .map(|a| match a.tuple.get(2) {
+                Some(Value::Int(v)) => *v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        let b_outs: Vec<i64> = actions
+            .iter()
+            .filter(|a| a.tuple.name() == "b")
+            .map(|a| match a.tuple.get(2) {
+                Some(Value::Int(v)) => *v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(a_outs, vec![10, 20]);
+        assert_eq!(b_outs, vec![11, 21], "r2's private tail ran per member");
+        // Observability is per member: each tap kind appears once per
+        // branch, under the branch's own strand id.
+        let inputs_r1 = sink
+            .0
+            .iter()
+            .filter(|e| matches!(e.kind, TapKind::Input { .. }) && e.strand_id.as_ref() == "r1")
+            .count();
+        let inputs_r2 = sink
+            .0
+            .iter()
+            .filter(|e| matches!(e.kind, TapKind::Input { .. }) && e.strand_id.as_ref() == "r2")
+            .count();
+        assert_eq!((inputs_r1, inputs_r2), (1, 1));
+        let pre_r2 = sink
+            .0
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, TapKind::Precondition { .. }) && e.strand_id.as_ref() == "r2"
+            })
+            .count();
+        assert_eq!(pre_r2, 2, "both join matches tapped for the second member");
+        // Per-branch stats: both fired once; outputs counted separately.
+        let per_branch: Vec<(String, StrandStats)> = fam
+            .branches()
+            .map(|(p, s)| (p.strand_id.clone(), s))
+            .collect();
+        assert_eq!(per_branch[0].1.fired, 1);
+        assert_eq!(per_branch[1].1.fired, 1);
+        assert_eq!(per_branch[0].1.outputs, 2);
+        assert_eq!(per_branch[1].1.outputs, 2);
+    }
+
+    #[test]
+    fn family_output_multiset_matches_unshared_execution() {
+        let src = "materialize(t, 100, 10, keys(1, 2, 3)).
+             r1 a@N(X, Y) :- ev@N(X), t@N(X, Y), Y > 10.
+             r2 b@N(X, Y) :- ev@N(X), t@N(X, Y), Y < 15.";
+        let fill = |cat: &mut Catalog| {
+            let n = Value::addr("n");
+            for y in [5i64, 12, 30] {
+                cat.insert(
+                    Tuple::new("t", [n.clone(), Value::Int(1), Value::Int(y)]),
+                    Time::ZERO,
+                )
+                .unwrap();
+            }
+        };
+        // Shared execution.
+        let (mut fam, mut cat) = setup_family(src);
+        fill(&mut cat);
+        let trig = Tuple::new("ev", [Value::addr("n"), Value::Int(1)]);
+        let (mut shared, _) = drive(&mut fam, &trig, &mut cat);
+        // Unshared execution: one runtime per strand.
+        let (mut singles, mut cat2) = setup(src);
+        fill(&mut cat2);
+        let mut unshared = Vec::new();
+        for s in &mut singles {
+            let (a, _) = drive(s, &trig, &mut cat2);
+            unshared.extend(a);
+        }
+        let key = |a: &Action| format!("{}|{}", a.tuple, a.delete);
+        shared.sort_by_key(key);
+        unshared.sort_by_key(key);
+        assert_eq!(shared, unshared);
     }
 
     #[test]

@@ -346,6 +346,50 @@ impl Expr {
             }
         }
     }
+
+    /// Visit every built-in function name called anywhere inside the
+    /// expression (the planner's rewrite passes classify purity with
+    /// this).
+    pub fn for_each_call(&self, f: &mut impl FnMut(&str)) {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => {}
+            Expr::Unary(_, e) => e.for_each_call(f),
+            Expr::Binary(_, a, b) => {
+                a.for_each_call(f);
+                b.for_each_call(f);
+            }
+            Expr::In { expr, lo, hi, .. } => {
+                expr.for_each_call(f);
+                lo.for_each_call(f);
+                hi.for_each_call(f);
+            }
+            Expr::Call { func, args } => {
+                f(func);
+                for a in args {
+                    a.for_each_call(f);
+                }
+            }
+            Expr::List(items) => {
+                for i in items {
+                    i.for_each_call(f);
+                }
+            }
+        }
+    }
+}
+
+impl Predicate {
+    /// Collect the free variables of every argument — plain `Var` fields
+    /// and the free variables of embedded `Expr` args — into `out`.
+    pub fn arg_vars(&self, out: &mut Vec<String>) {
+        for a in &self.args {
+            match a {
+                Arg::Var(v) if !out.iter().any(|x| x == v) => out.push(v.clone()),
+                Arg::Expr(e) => e.free_vars(out),
+                _ => {}
+            }
+        }
+    }
 }
 
 impl fmt::Display for Program {

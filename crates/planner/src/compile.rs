@@ -1,6 +1,21 @@
-//! Rule → strand compilation.
+//! Rule → strand compilation: the staged pipeline driver.
+//!
+//! Compilation runs in stages per rule strand (DESIGN.md §2.6):
+//!
+//! 1. [`crate::ir::build_strand_ir`] — normalize to the symbolic IR,
+//! 2. [`crate::passes::schedule_ops`] — pushdown + join reordering
+//!    (skipped at [`OptLevel::Off`]),
+//! 3. [`lower_strand`] — slot allocation in op order, expression
+//!    compilation with plan-time builtin interning, head lowering,
+//! 4. [`crate::passes::fold_strand`] — constant folding + dead-rule
+//!    diagnostics (skipped at `Off`),
+//!
+//! then, program-wide, [`crate::passes::shared_prefix_groups`] finds
+//! strand families and the join probes' index requests are collected.
 
-use crate::expr::{compile_expr, PExpr};
+use crate::expr::{compile_expr, ExprError, PExpr};
+use crate::ir::{build_strand_ir, head_group_vars, IrOp, StrandIr};
+use crate::passes::{fold_strand, schedule_ops, shared_prefix_groups, OptLevel, PlanOpts};
 use crate::plan::*;
 use p2_overlog::{
     validate, Arg, Expr, Lifetime, Materialize, Predicate, Program, Rule, SizeLimit, Statement,
@@ -36,6 +51,13 @@ pub enum PlanError {
         /// The reserved name.
         name: String,
     },
+    /// An expression failed to compile (unknown builtin, wrong arity).
+    Expr {
+        /// Rule label or index.
+        rule: String,
+        /// The expression-level error.
+        error: ExprError,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -57,11 +79,21 @@ impl fmt::Display for PlanError {
             PlanError::ReservedRelation { name } => {
                 write!(f, "'{name}' is a reserved built-in relation")
             }
+            PlanError::Expr { rule, error } => write!(f, "in {rule}: {error}"),
         }
     }
 }
 
 impl std::error::Error for PlanError {}
+
+/// Compile a validated program at the default (full) optimization
+/// level. See [`compile_program_with`].
+pub fn compile_program(
+    program: &Program,
+    known_tables: &HashSet<String>,
+) -> Result<CompiledProgram, PlanError> {
+    compile_program_with(program, known_tables, &PlanOpts::default())
+}
 
 /// Compile a validated program.
 ///
@@ -70,11 +102,17 @@ impl std::error::Error for PlanError {}
 /// application's tables, and classification of predicates as *table
 /// match* vs *transient event* depends on it (install order matters and
 /// is documented in the crate docs).
-pub fn compile_program(
+///
+/// `opts` selects the optimization level; [`OptLevel::Off`] compiles
+/// each rule body in literal source order with no rewrites and is the
+/// semantic oracle the optimized plans are tested against.
+pub fn compile_program_with(
     program: &Program,
     known_tables: &HashSet<String>,
+    opts: &PlanOpts,
 ) -> Result<CompiledProgram, PlanError> {
     validate(program).map_err(PlanError::Invalid)?;
+    let optimize = opts.level == OptLevel::Full;
 
     let mut out = CompiledProgram::default();
 
@@ -151,9 +189,20 @@ pub fn compile_program(
             } else {
                 label.clone()
             };
-            let strand = compile_strand(rule, &label, strand_id, tpos, &materialized)?;
+            let mut ir = build_strand_ir(rule, &label, strand_id, tpos, &materialized)?;
+            if optimize {
+                schedule_ops(&mut ir);
+            }
+            let mut strand = lower_strand(&ir, rule)?;
+            if optimize {
+                fold_strand(&mut strand, &mut out.diagnostics);
+            }
             out.strands.push(strand);
         }
+    }
+
+    if optimize {
+        out.prefix_groups = shared_prefix_groups(&out.strands);
     }
 
     // Collect the (table, field) pairs the strands' join probes will
@@ -213,12 +262,14 @@ fn fact_tuple(head: &Predicate) -> Tuple {
 /// Per-strand slot allocator.
 struct Slots {
     map: HashMap<String, usize>,
+    names: Vec<String>,
 }
 
 impl Slots {
     fn new() -> Slots {
         Slots {
             map: HashMap::new(),
+            names: Vec::new(),
         }
     }
 
@@ -228,10 +279,13 @@ impl Slots {
 
     fn bind(&mut self, v: &str) -> usize {
         let next = self.map.len();
-        *self.map.entry(v.to_string()).or_insert(next)
+        *self.map.entry(v.to_string()).or_insert_with(|| {
+            self.names.push(v.to_string());
+            next
+        })
     }
 
-    fn compile(&self, e: &Expr) -> PExpr {
+    fn compile(&self, rule: &str, e: &Expr) -> Result<PExpr, PlanError> {
         compile_expr(e, &|v| {
             *self.map.get(v).unwrap_or_else(|| {
                 panic!(
@@ -239,53 +293,27 @@ impl Slots {
                 )
             })
         })
+        .map_err(|error| PlanError::Expr {
+            rule: rule.to_string(),
+            error,
+        })
     }
 }
 
-fn compile_strand(
-    rule: &Rule,
-    label: &str,
-    strand_id: String,
-    trigger_pos: usize,
-    materialized: &HashSet<String>,
-) -> Result<Strand, PlanError> {
-    let trigger_pred = match &rule.body[trigger_pos] {
-        Term::Pred(p) => p,
-        _ => unreachable!("trigger positions index predicates"),
-    };
-
-    let is_agg = rule.is_aggregate();
-    let trigger_is_table =
-        trigger_pred.name != "periodic" && materialized.contains(&trigger_pred.name);
-    // Table-triggered aggregates re-join the trigger table (full
-    // recompute restricted to the delta's group) — see crate docs.
-    let rejoin_trigger = is_agg && trigger_is_table;
-
+/// Lower a (possibly rewritten) strand IR to the executable plan form:
+/// allocate environment slots in encounter order and compile every
+/// expression (phase 3 of the staged planner).
+///
+/// Slot allocation is deterministic in the op order, which is what lets
+/// shared-prefix members agree on the prefix's slot numbering.
+fn lower_strand(ir: &StrandIr, rule: &Rule) -> Result<Strand, PlanError> {
+    let label = &ir.rule_label;
     let mut slots = Slots::new();
 
     // ----- trigger -----
-    let (trigger, trigger_match) = if trigger_pred.name == "periodic" {
-        if trigger_pred.args.len() != 3 {
-            return Err(PlanError::BadPeriodic {
-                rule: label.to_string(),
-                message: format!(
-                    "periodic takes (location, nonce, period); got {} args",
-                    trigger_pred.args.len()
-                ),
-            });
-        }
-        let period_secs = match &trigger_pred.args[2] {
-            Arg::Const(Value::Int(n)) if *n > 0 => *n as f64,
-            Arg::Const(Value::Float(x)) if *x > 0.0 => *x,
-            other => {
-                return Err(PlanError::BadPeriodic {
-                    rule: label.to_string(),
-                    message: format!("period must be a positive constant, got {other:?}"),
-                })
-            }
-        };
+    let trigger_match = if matches!(ir.trigger, Trigger::Periodic { .. }) {
         let mut fields = Vec::new();
-        for (i, a) in trigger_pred.args.iter().enumerate() {
+        for (i, a) in ir.trigger_pred.args.iter().enumerate() {
             fields.push(match a {
                 Arg::Var(v) => match slots.get(v) {
                     Some(s) => FieldMatch::EqVar(s),
@@ -304,49 +332,34 @@ fn compile_strand(
                 }
             });
         }
-        (Trigger::Periodic { period_secs }, MatchSpec { fields })
+        MatchSpec { fields }
     } else {
-        let restrict_to: Option<HashSet<String>> = if rejoin_trigger {
-            // Bind only the variables the head group needs; everything
-            // else re-binds in the re-join.
-            Some(head_group_vars(rule))
-        } else {
-            None
-        };
-        let ms = pred_match(trigger_pred, &mut slots, restrict_to.as_ref());
-        let trig = if trigger_is_table {
-            Trigger::TableInsert {
-                name: trigger_pred.name.clone(),
-            }
-        } else {
-            Trigger::Event {
-                name: trigger_pred.name.clone(),
-            }
-        };
-        (trig, ms)
+        pred_match(
+            &ir.trigger_pred,
+            &mut slots,
+            ir.trigger_restrict.as_ref(),
+            label,
+        )?
     };
 
     let trigger_bound: HashSet<String> = slots.map.keys().cloned().collect();
 
     // ----- body ops -----
     let mut ops = Vec::new();
-    for (i, term) in rule.body.iter().enumerate() {
-        match term {
-            Term::Pred(p) => {
-                if i == trigger_pos && !rejoin_trigger {
-                    continue;
-                }
-                let ms = pred_match(p, &mut slots, None);
+    for op in &ir.ops {
+        match op {
+            IrOp::Join(p) => {
+                let ms = pred_match(p, &mut slots, None, label)?;
                 ops.push(Op::Join {
                     table: p.name.clone(),
                     match_spec: ms,
                 });
             }
-            Term::Cond(e) => {
-                ops.push(Op::Select(slots.compile(e)));
+            IrOp::Select(e) => {
+                ops.push(Op::Select(slots.compile(label, e)?));
             }
-            Term::Assign { var, expr } => {
-                let pe = slots.compile(expr);
+            IrOp::Assign { var, expr } => {
+                let pe = slots.compile(label, expr)?;
                 let slot = slots.bind(var);
                 ops.push(Op::Assign { slot, expr: pe });
             }
@@ -360,7 +373,7 @@ fn compile_strand(
         fields.push(match a {
             Arg::Var(v) => FieldOut::Slot(slots.get(v).expect("validated: head vars bound")),
             Arg::Const(c) => FieldOut::Const(c.clone()),
-            Arg::Expr(e) => FieldOut::Expr(slots.compile(e)),
+            Arg::Expr(e) => FieldOut::Expr(slots.compile(label, e)?),
             Arg::Agg { func, over } => {
                 let over_expr = over
                     .as_ref()
@@ -381,8 +394,8 @@ fn compile_strand(
 
     Ok(Strand {
         rule_label: label.to_string(),
-        strand_id,
-        trigger,
+        strand_id: ir.strand_id.clone(),
+        trigger: ir.trigger.clone(),
         trigger_match,
         ops,
         head: HeadSpec {
@@ -392,27 +405,9 @@ fn compile_strand(
             agg,
         },
         slots: slots.map.len(),
+        slot_names: slots.names,
         source: p2_overlog::pretty::rule_to_string(rule),
     })
-}
-
-/// Variables appearing in the head outside the aggregate argument.
-fn head_group_vars(rule: &Rule) -> HashSet<String> {
-    let mut out = HashSet::new();
-    for a in &rule.head.args {
-        match a {
-            Arg::Var(v) => {
-                out.insert(v.clone());
-            }
-            Arg::Expr(e) => {
-                let mut vs = Vec::new();
-                e.free_vars(&mut vs);
-                out.extend(vs);
-            }
-            _ => {}
-        }
-    }
-    out
 }
 
 /// Build a match spec for a predicate occurrence, updating the slot map.
@@ -424,7 +419,8 @@ fn pred_match(
     p: &Predicate,
     slots: &mut Slots,
     restrict_to: Option<&HashSet<String>>,
-) -> MatchSpec {
+    rule: &str,
+) -> Result<MatchSpec, PlanError> {
     let mut fields = Vec::with_capacity(p.args.len());
     for a in &p.args {
         fields.push(match a {
@@ -434,11 +430,11 @@ fn pred_match(
             },
             Arg::Const(c) => FieldMatch::EqConst(c.clone()),
             Arg::Wildcard => FieldMatch::Ignore,
-            Arg::Expr(e) => FieldMatch::EqExpr(slots.compile(e)),
+            Arg::Expr(e) => FieldMatch::EqExpr(slots.compile(rule, e)?),
             Arg::Agg { .. } => unreachable!("validated: no aggregates in body"),
         });
     }
-    MatchSpec { fields }
+    Ok(MatchSpec { fields })
 }
 
 fn bind_or_eq(v: &str, slots: &mut Slots) -> FieldMatch {
@@ -458,6 +454,11 @@ mod tests {
         compile_program(&parse_program(src).unwrap(), &known).unwrap()
     }
 
+    fn compile_off(src: &str, known: &[&str]) -> CompiledProgram {
+        let known: HashSet<String> = known.iter().map(|s| s.to_string()).collect();
+        compile_program_with(&parse_program(src).unwrap(), &known, &PlanOpts::off()).unwrap()
+    }
+
     #[test]
     fn event_trigger_single_strand() {
         let p = compile(
@@ -475,7 +476,8 @@ mod tests {
         );
         assert_eq!(s.join_count(), 1);
         assert_eq!(s.rule_label, "rp4");
-        // Join on pred, then select.
+        // Join on pred, then select (the select needs PA, which only the
+        // join binds — pushdown cannot move it).
         assert!(matches!(&s.ops[0], Op::Join { table, .. } if table == "pred"));
         assert!(matches!(&s.ops[1], Op::Select(_)));
     }
@@ -656,6 +658,8 @@ mod tests {
             &[],
         );
         let s = &p.strands[0];
+        // Both assigns are impure — the scheduler pins them in source
+        // order even at the full optimization level.
         assert_eq!(s.ops.len(), 2);
         assert!(matches!(&s.ops[0], Op::Assign { .. }));
         assert_eq!(s.slots, 4); // NAddr, ProbeID, K, T
@@ -721,5 +725,118 @@ mod tests {
     fn source_text_retained_for_introspection() {
         let p = compile("r1 out@N(X) :- ev@N(X).", &[]);
         assert!(p.strands[0].source.contains("out@N(X)"));
+    }
+
+    // ----- staged-pipeline tests -----
+
+    #[test]
+    fn slot_names_follow_allocation_order() {
+        let p = compile("r1 out@N(X, Y) :- ev@N(X, Y).", &[]);
+        assert_eq!(p.strands[0].slot_names, vec!["N", "X", "Y"]);
+        assert_eq!(p.strands[0].slots, 3);
+    }
+
+    #[test]
+    fn selection_pushdown_moves_filter_before_join() {
+        let src = "materialize(t, 100, 10, keys(1)).
+                   r1 out@N(X) :- ev@N(X, Y), t@N(Z), Y > 3.";
+        // Off: literal source order — join, then select.
+        let off = compile_off(src, &[]);
+        assert!(matches!(&off.strands[0].ops[0], Op::Join { .. }));
+        assert!(matches!(&off.strands[0].ops[1], Op::Select(_)));
+        // Full: Y is trigger-bound, so the filter runs before the scan.
+        let full = compile(src, &[]);
+        assert!(matches!(&full.strands[0].ops[0], Op::Select(_)));
+        assert!(matches!(&full.strands[0].ops[1], Op::Join { .. }));
+    }
+
+    #[test]
+    fn index_aware_join_reordering_prefers_probeable_join() {
+        let src = "materialize(a, 100, 10, keys(1)).
+                   materialize(b, 100, 10, keys(1, 2)).
+                   r1 out@N(P, Q) :- ev@N(X), a@N(P), b@N(Q, X).";
+        // Off: source order (a, then b).
+        let off = compile_off(src, &[]);
+        assert!(matches!(&off.strands[0].ops[0], Op::Join { table, .. } if table == "a"));
+        // Full: b probes on the trigger-bound X (equality beyond the
+        // location field) — it runs first to shrink the intermediate set.
+        let full = compile(src, &[]);
+        assert!(matches!(&full.strands[0].ops[0], Op::Join { table, .. } if table == "b"));
+        assert!(matches!(&full.strands[0].ops[1], Op::Join { table, .. } if table == "a"));
+    }
+
+    #[test]
+    fn constant_true_select_is_dropped() {
+        let p = compile("r1 out@N(X) :- ev@N(X), 1 < 2.", &[]);
+        assert!(p.strands[0].ops.is_empty());
+        assert!(p.diagnostics.is_empty());
+        // Off keeps the select for oracle fidelity.
+        let off = compile_off("r1 out@N(X) :- ev@N(X), 1 < 2.", &[]);
+        assert_eq!(off.strands[0].ops.len(), 1);
+    }
+
+    #[test]
+    fn constant_false_select_warns_dead_rule() {
+        let p = compile("r1 out@N(X) :- ev@N(X), 1 > 2.", &[]);
+        // The op is kept (semantics preserved: the rule fires and drops).
+        assert_eq!(p.strands[0].ops.len(), 1);
+        assert_eq!(p.diagnostics.len(), 1);
+        assert_eq!(p.diagnostics[0].strand_id, "r1");
+        assert!(p.diagnostics[0].message.contains("always false"));
+    }
+
+    #[test]
+    fn shared_prefix_groups_found_across_rules() {
+        let p = compile(
+            "materialize(t, 100, 10, keys(1)).
+             r1 a@N(X, Y) :- ev@N(X), t@N(Y).
+             r2 b@N(X, Y) :- ev@N(X), t@N(Y).",
+            &[],
+        );
+        assert_eq!(p.prefix_groups.len(), 1);
+        assert_eq!(p.prefix_groups[0].members, vec![0, 1]);
+        assert_eq!(p.prefix_groups[0].shared_ops, 1);
+        // Off discovers no groups.
+        let off = compile_off(
+            "materialize(t, 100, 10, keys(1)).
+             r1 a@N(X, Y) :- ev@N(X), t@N(Y).
+             r2 b@N(X, Y) :- ev@N(X), t@N(Y).",
+            &[],
+        );
+        assert!(off.prefix_groups.is_empty());
+    }
+
+    #[test]
+    fn unknown_function_is_a_plan_error() {
+        let known = HashSet::new();
+        let err = compile_program(
+            &parse_program("r1 out@N(X) :- ev@N(Y), X := f_bogus(Y).").unwrap(),
+            &known,
+        )
+        .unwrap_err();
+        match err {
+            PlanError::Expr { rule, error } => {
+                assert_eq!(rule, "r1");
+                assert!(matches!(error, ExprError::UnknownFunction(_)));
+            }
+            other => panic!("expected Expr error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builtin_arity_checked_at_plan_time() {
+        let known = HashSet::new();
+        let err = compile_program(
+            &parse_program("r1 out@N(X) :- ev@N(Y), X := f_sha1().").unwrap(),
+            &known,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::Expr {
+                error: ExprError::Arity { .. },
+                ..
+            }
+        ));
     }
 }

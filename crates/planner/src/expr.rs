@@ -1,20 +1,95 @@
 //! Slot-compiled expressions and their evaluator.
 //!
 //! The planner resolves every variable of a rule to a dense environment
-//! slot, turning [`p2_overlog::Expr`] into [`PExpr`]. Evaluation then
-//! needs only a `&[Option<Value>]` environment and an [`EvalCtx`] that
-//! supplies the built-in functions (`f_now`, `f_rand`, `f_randID`,
-//! `f_sha1`) — which is how virtual time and deterministic randomness are
-//! injected by the simulator.
+//! slot, turning [`p2_overlog::Expr`] into [`PExpr`]. Built-in functions
+//! are **interned at plan time**: the surface name (`f_now`, `f_sha1`,
+//! ...) is resolved to a [`Builtin`] enum and arity-checked once, during
+//! compilation, so per-tuple evaluation dispatches on an enum instead of
+//! matching a `String`. Evaluation then needs only a `&[Option<Value>]`
+//! environment and an [`EvalCtx`] that supplies the impure built-ins —
+//! which is how virtual time and deterministic randomness are injected by
+//! the simulator.
 //!
-//! Evaluation never panics: ill-typed operations and unknown functions
-//! surface as [`EvalError`], and the strand drops that binding (counting
-//! it in node diagnostics), exactly as a robust runtime must treat
-//! expressions over tuples that arrived off the wire.
+//! Evaluation never panics: ill-typed operations surface as
+//! [`EvalError`], and the strand drops that binding (counting it in node
+//! diagnostics), exactly as a robust runtime must treat expressions over
+//! tuples that arrived off the wire. Unknown functions and wrong arities
+//! are impossible at runtime: they are rejected at plan time as
+//! [`ExprError`].
 
 use p2_overlog::{BinOp, Expr, UnOp};
 use p2_types::{Addr, Interval, RingId, Time, Value, ValueError};
 use std::fmt;
+
+/// An interned built-in function.
+///
+/// Resolution and arity checking happen once, at plan time
+/// ([`Builtin::resolve`]); the evaluator dispatches on the enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `f_now()` — current (virtual or real) time.
+    Now,
+    /// `f_rand()` — fresh random 64-bit ring value.
+    Rand,
+    /// `f_randID()` — alias of `f_rand` used for event nonces.
+    RandId,
+    /// `f_sha1(x)` — hash the display form onto the 64-bit ring.
+    Sha1,
+    /// `f_localAddr()` — the evaluating node's own address.
+    LocalAddr,
+    /// `f_pow2(i)` — `2^i` as a ring identifier (finger targets).
+    Pow2,
+    /// `f_addr(x)` — coerce a string to an address.
+    AddrOf,
+}
+
+impl Builtin {
+    /// Resolve a surface name to a built-in.
+    pub fn resolve(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "f_now" => Builtin::Now,
+            "f_rand" => Builtin::Rand,
+            "f_randID" => Builtin::RandId,
+            "f_sha1" => Builtin::Sha1,
+            "f_localAddr" => Builtin::LocalAddr,
+            "f_pow2" => Builtin::Pow2,
+            "f_addr" => Builtin::AddrOf,
+            _ => return None,
+        })
+    }
+
+    /// The source-level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Now => "f_now",
+            Builtin::Rand => "f_rand",
+            Builtin::RandId => "f_randID",
+            Builtin::Sha1 => "f_sha1",
+            Builtin::LocalAddr => "f_localAddr",
+            Builtin::Pow2 => "f_pow2",
+            Builtin::AddrOf => "f_addr",
+        }
+    }
+
+    /// Required argument count (checked at plan time).
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Now | Builtin::Rand | Builtin::RandId | Builtin::LocalAddr => 0,
+            Builtin::Sha1 | Builtin::Pow2 | Builtin::AddrOf => 1,
+        }
+    }
+
+    /// Whether the function is a pure value → value map (foldable and
+    /// freely movable by optimizer passes). Impure built-ins read the
+    /// evaluation context (time, RNG, node identity) and must keep their
+    /// evaluation count and relative order.
+    pub fn is_pure(self) -> bool {
+        match self {
+            Builtin::Sha1 | Builtin::Pow2 | Builtin::AddrOf => true,
+            Builtin::Now | Builtin::Rand | Builtin::RandId | Builtin::LocalAddr => false,
+        }
+    }
+}
 
 /// A compiled expression: variables are environment slot indexes.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,10 +115,10 @@ pub enum PExpr {
         /// `]` vs `)`.
         hi_closed: bool,
     },
-    /// Built-in function call.
+    /// Built-in function call (interned and arity-checked at plan time).
     Call {
-        /// Function name (`f_...`).
-        func: String,
+        /// The built-in.
+        func: Builtin,
         /// Compiled arguments.
         args: Vec<PExpr>,
     },
@@ -51,15 +126,61 @@ pub enum PExpr {
     List(Vec<PExpr>),
 }
 
-/// Errors during expression evaluation.
+impl PExpr {
+    /// Whether evaluating the expression is referentially transparent:
+    /// no context reads (time, RNG, node address) anywhere inside. Pure
+    /// expressions may be folded at plan time and re-ordered/de-duplicated
+    /// by optimizer passes; impure ones must keep their evaluation count
+    /// and order.
+    pub fn is_pure(&self) -> bool {
+        match self {
+            PExpr::Slot(_) | PExpr::Const(_) => true,
+            PExpr::Unary(_, e) => e.is_pure(),
+            PExpr::Binary(_, a, b) => a.is_pure() && b.is_pure(),
+            PExpr::In { expr, lo, hi, .. } => expr.is_pure() && lo.is_pure() && hi.is_pure(),
+            PExpr::Call { func, args } => func.is_pure() && args.iter().all(|a| a.is_pure()),
+            PExpr::List(items) => items.iter().all(|i| i.is_pure()),
+        }
+    }
+
+    /// Collect the environment slots the expression reads into `out`.
+    pub fn slots(&self, out: &mut Vec<usize>) {
+        match self {
+            PExpr::Slot(s) => {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+            PExpr::Const(_) => {}
+            PExpr::Unary(_, e) => e.slots(out),
+            PExpr::Binary(_, a, b) => {
+                a.slots(out);
+                b.slots(out);
+            }
+            PExpr::In { expr, lo, hi, .. } => {
+                expr.slots(out);
+                lo.slots(out);
+                hi.slots(out);
+            }
+            PExpr::Call { args, .. } => {
+                for a in args {
+                    a.slots(out);
+                }
+            }
+            PExpr::List(items) => {
+                for i in items {
+                    i.slots(out);
+                }
+            }
+        }
+    }
+}
+
+/// Plan-time expression errors: problems detectable (and detected) during
+/// compilation, never at tuple-processing time.
 #[derive(Debug, Clone, PartialEq)]
-pub enum EvalError {
-    /// A value-level operation failed (type mismatch, div by zero, ...).
-    Value(ValueError),
-    /// A referenced slot was not bound (planner bug or engine misuse —
-    /// validation should make this unreachable, but we fail closed).
-    UnboundSlot(usize),
-    /// Unknown built-in function.
+pub enum ExprError {
+    /// The source names a function no built-in resolves to.
     UnknownFunction(String),
     /// A built-in was called with the wrong number of arguments.
     Arity {
@@ -70,6 +191,31 @@ pub enum EvalError {
         /// Got.
         got: usize,
     },
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            ExprError::Arity {
+                func,
+                expected,
+                got,
+            } => write!(f, "{func} expects {expected} args, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// Errors during expression evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A value-level operation failed (type mismatch, div by zero, ...).
+    Value(ValueError),
+    /// A referenced slot was not bound (planner bug or engine misuse —
+    /// validation should make this unreachable, but we fail closed).
+    UnboundSlot(usize),
     /// A condition evaluated to a non-boolean.
     NotBoolean,
 }
@@ -79,14 +225,6 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::Value(e) => write!(f, "{e}"),
             EvalError::UnboundSlot(i) => write!(f, "unbound variable slot {i}"),
-            EvalError::UnknownFunction(n) => write!(f, "unknown function {n}"),
-            EvalError::Arity {
-                func,
-                expected,
-                got,
-            } => {
-                write!(f, "{func} expects {expected} args, got {got}")
-            }
             EvalError::NotBoolean => write!(f, "condition did not evaluate to a boolean"),
         }
     }
@@ -149,19 +287,21 @@ impl EvalCtx for FixedCtx {
 /// Compile an AST expression given a variable→slot mapping.
 ///
 /// Every variable must be present in `slot_of` (validation guarantees
-/// boundness; the compiler passes the rule's full slot map).
-pub fn compile_expr<F>(e: &Expr, slot_of: &F) -> PExpr
+/// boundness; the compiler passes the rule's full slot map). Function
+/// calls are interned: unknown names and wrong arities are compile
+/// errors, not per-tuple runtime errors.
+pub fn compile_expr<F>(e: &Expr, slot_of: &F) -> Result<PExpr, ExprError>
 where
     F: Fn(&str) -> usize,
 {
-    match e {
+    Ok(match e {
         Expr::Var(v) => PExpr::Slot(slot_of(v)),
         Expr::Const(c) => PExpr::Const(c.clone()),
-        Expr::Unary(op, inner) => PExpr::Unary(*op, Box::new(compile_expr(inner, slot_of))),
+        Expr::Unary(op, inner) => PExpr::Unary(*op, Box::new(compile_expr(inner, slot_of)?)),
         Expr::Binary(op, a, b) => PExpr::Binary(
             *op,
-            Box::new(compile_expr(a, slot_of)),
-            Box::new(compile_expr(b, slot_of)),
+            Box::new(compile_expr(a, slot_of)?),
+            Box::new(compile_expr(b, slot_of)?),
         ),
         Expr::In {
             expr,
@@ -170,18 +310,37 @@ where
             lo_closed,
             hi_closed,
         } => PExpr::In {
-            expr: Box::new(compile_expr(expr, slot_of)),
-            lo: Box::new(compile_expr(lo, slot_of)),
-            hi: Box::new(compile_expr(hi, slot_of)),
+            expr: Box::new(compile_expr(expr, slot_of)?),
+            lo: Box::new(compile_expr(lo, slot_of)?),
+            hi: Box::new(compile_expr(hi, slot_of)?),
             lo_closed: *lo_closed,
             hi_closed: *hi_closed,
         },
-        Expr::Call { func, args } => PExpr::Call {
-            func: func.clone(),
-            args: args.iter().map(|a| compile_expr(a, slot_of)).collect(),
-        },
-        Expr::List(items) => PExpr::List(items.iter().map(|a| compile_expr(a, slot_of)).collect()),
-    }
+        Expr::Call { func, args } => {
+            let builtin =
+                Builtin::resolve(func).ok_or_else(|| ExprError::UnknownFunction(func.clone()))?;
+            if args.len() != builtin.arity() {
+                return Err(ExprError::Arity {
+                    func: func.clone(),
+                    expected: builtin.arity(),
+                    got: args.len(),
+                });
+            }
+            PExpr::Call {
+                func: builtin,
+                args: args
+                    .iter()
+                    .map(|a| compile_expr(a, slot_of))
+                    .collect::<Result<_, _>>()?,
+            }
+        }
+        Expr::List(items) => PExpr::List(
+            items
+                .iter()
+                .map(|a| compile_expr(a, slot_of))
+                .collect::<Result<_, _>>()?,
+        ),
+    })
 }
 
 /// Evaluate a compiled expression.
@@ -218,20 +377,7 @@ pub fn eval(e: &PExpr, env: &[Option<Value>], ctx: &mut dyn EvalCtx) -> Result<V
             }
             let x = eval(a, env, ctx)?;
             let y = eval(b, env, ctx)?;
-            Ok(match op {
-                BinOp::Add => x.add(&y)?,
-                BinOp::Sub => x.sub(&y)?,
-                BinOp::Mul => x.mul(&y)?,
-                BinOp::Div => x.div(&y)?,
-                BinOp::Rem => x.rem(&y)?,
-                BinOp::Eq => Value::Bool(x == y),
-                BinOp::Ne => Value::Bool(x != y),
-                BinOp::Lt => Value::Bool(x < y),
-                BinOp::Le => Value::Bool(x <= y),
-                BinOp::Gt => Value::Bool(x > y),
-                BinOp::Ge => Value::Bool(x >= y),
-                BinOp::And | BinOp::Or => unreachable!("handled above"),
-            })
+            eval_binop(*op, &x, &y)
         }
         PExpr::In {
             expr,
@@ -256,7 +402,7 @@ pub fn eval(e: &PExpr, env: &[Option<Value>], ctx: &mut dyn EvalCtx) -> Result<V
             for a in args {
                 vals.push(eval(a, env, ctx)?);
             }
-            call_builtin(func, &vals, ctx)
+            call_builtin(*func, &vals, ctx)
         }
         PExpr::List(items) => {
             let mut vals = Vec::with_capacity(items.len());
@@ -268,6 +414,25 @@ pub fn eval(e: &PExpr, env: &[Option<Value>], ctx: &mut dyn EvalCtx) -> Result<V
     }
 }
 
+/// Evaluate a non-short-circuiting binary operator over two values.
+/// Shared by the runtime evaluator and the plan-time constant folder.
+pub(crate) fn eval_binop(op: BinOp, x: &Value, y: &Value) -> Result<Value, EvalError> {
+    Ok(match op {
+        BinOp::Add => x.add(y)?,
+        BinOp::Sub => x.sub(y)?,
+        BinOp::Mul => x.mul(y)?,
+        BinOp::Div => x.div(y)?,
+        BinOp::Rem => x.rem(y)?,
+        BinOp::Eq => Value::Bool(x == y),
+        BinOp::Ne => Value::Bool(x != y),
+        BinOp::Lt => Value::Bool(x < y),
+        BinOp::Le => Value::Bool(x <= y),
+        BinOp::Gt => Value::Bool(x > y),
+        BinOp::Ge => Value::Bool(x >= y),
+        BinOp::And | BinOp::Or => unreachable!("connectives short-circuit in eval"),
+    })
+}
+
 /// Interpret a value as a boolean condition result.
 pub fn truthy(v: &Value) -> Result<bool, EvalError> {
     match v {
@@ -276,46 +441,19 @@ pub fn truthy(v: &Value) -> Result<bool, EvalError> {
     }
 }
 
-fn call_builtin(func: &str, args: &[Value], ctx: &mut dyn EvalCtx) -> Result<Value, EvalError> {
-    let arity = |expected: usize| -> Result<(), EvalError> {
-        if args.len() == expected {
-            Ok(())
-        } else {
-            Err(EvalError::Arity {
-                func: func.to_string(),
-                expected,
-                got: args.len(),
-            })
-        }
-    };
+fn call_builtin(func: Builtin, args: &[Value], ctx: &mut dyn EvalCtx) -> Result<Value, EvalError> {
     match func {
-        "f_now" => {
-            arity(0)?;
-            Ok(Value::Time(ctx.now()))
-        }
-        "f_rand" => {
-            arity(0)?;
-            Ok(Value::Id(RingId(ctx.rand())))
-        }
-        "f_randID" => {
-            arity(0)?;
-            Ok(Value::Id(RingId(ctx.rand())))
-        }
+        Builtin::Now => Ok(Value::Time(ctx.now())),
+        Builtin::Rand | Builtin::RandId => Ok(Value::Id(RingId(ctx.rand()))),
         // The paper's prototype hashes with SHA-1; only the spread over
         // the ring matters (DESIGN.md §2.4), so we hash the display form
         // with FNV-1a into the 64-bit ring.
-        "f_sha1" => {
-            arity(1)?;
+        Builtin::Sha1 => {
             let s = args[0].to_string();
             Ok(Value::Id(RingId(p2_types::rng::fnv1a(s.as_bytes()))))
         }
-        "f_localAddr" => {
-            arity(0)?;
-            Ok(Value::Addr(ctx.local_addr()))
-        }
-        // f_pow2(i): 2^i as a ring identifier — finger targets.
-        "f_pow2" => {
-            arity(1)?;
+        Builtin::LocalAddr => Ok(Value::Addr(ctx.local_addr())),
+        Builtin::Pow2 => {
             let i = args[0].as_int().map_err(EvalError::Value)?;
             if !(0..64).contains(&i) {
                 return Err(EvalError::Value(p2_types::ValueError::TypeMismatch {
@@ -325,13 +463,26 @@ fn call_builtin(func: &str, args: &[Value], ctx: &mut dyn EvalCtx) -> Result<Val
             }
             Ok(Value::Id(RingId(1u64 << i)))
         }
-        // f_addr(x): coerce a string to an address (useful in facts).
-        "f_addr" => {
-            arity(1)?;
-            Ok(Value::Addr(Addr::new(args[0].to_string())))
-        }
-        other => Err(EvalError::UnknownFunction(other.to_string())),
+        Builtin::AddrOf => Ok(Value::Addr(Addr::new(args[0].to_string()))),
     }
+}
+
+/// Evaluate a pure, closed expression at plan time. Returns `None` when
+/// the expression reads slots or the context (not constant), or when the
+/// constant operation fails (left for the runtime to count as an eval
+/// error, preserving `Off`-level semantics).
+pub fn const_eval(e: &PExpr) -> Option<Value> {
+    if !e.is_pure() {
+        return None;
+    }
+    let mut slots = Vec::new();
+    e.slots(&mut slots);
+    if !slots.is_empty() {
+        return None;
+    }
+    // Pure and closed: a FixedCtx is never consulted.
+    let mut ctx = FixedCtx::default();
+    eval(e, &[], &mut ctx).ok()
 }
 
 #[cfg(test)]
@@ -357,7 +508,7 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        compile_expr(&e, &|v| vars.iter().position(|x| *x == v).expect("var"))
+        compile_expr(&e, &|v| vars.iter().position(|x| *x == v).expect("var")).unwrap()
     }
 
     fn env(vals: &[Value]) -> Vec<Option<Value>> {
@@ -415,7 +566,7 @@ mod tests {
         };
         let now = eval(
             &PExpr::Call {
-                func: "f_now".into(),
+                func: Builtin::Now,
                 args: vec![],
             },
             &[],
@@ -425,7 +576,7 @@ mod tests {
         assert_eq!(now, Value::Time(Time::from_secs(9)));
         let r1 = eval(
             &PExpr::Call {
-                func: "f_rand".into(),
+                func: Builtin::Rand,
                 args: vec![],
             },
             &[],
@@ -434,7 +585,7 @@ mod tests {
         .unwrap();
         let r2 = eval(
             &PExpr::Call {
-                func: "f_rand".into(),
+                func: Builtin::Rand,
                 args: vec![],
             },
             &[],
@@ -444,7 +595,7 @@ mod tests {
         assert_ne!(r1, r2);
         let h1 = eval(
             &PExpr::Call {
-                func: "f_sha1".into(),
+                func: Builtin::Sha1,
                 args: vec![PExpr::Const(Value::str("n1"))],
             },
             &[],
@@ -453,7 +604,7 @@ mod tests {
         .unwrap();
         let h2 = eval(
             &PExpr::Call {
-                func: "f_sha1".into(),
+                func: Builtin::Sha1,
                 args: vec![PExpr::Const(Value::str("n1"))],
             },
             &[],
@@ -464,28 +615,38 @@ mod tests {
     }
 
     #[test]
-    fn unknown_function_is_error() {
-        let mut ctx = FixedCtx::default();
-        let e = PExpr::Call {
-            func: "f_nope".into(),
-            args: vec![],
+    fn unknown_function_rejected_at_compile_time() {
+        let p = parse_program("r h@A(X) :- t@A(X), Y := f_nope(), Y == Y.").unwrap();
+        let rule = match &p.statements[0] {
+            Statement::Rule(r) => r.clone(),
+            _ => panic!(),
         };
-        assert!(matches!(
-            eval(&e, &[], &mut ctx),
-            Err(EvalError::UnknownFunction(_))
-        ));
+        let e = rule
+            .body
+            .iter()
+            .find_map(|t| match t {
+                Term::Assign { expr, .. } => Some(expr.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let err = compile_expr(&e, &|_| 0).unwrap_err();
+        assert!(matches!(err, ExprError::UnknownFunction(ref n) if n == "f_nope"));
     }
 
     #[test]
-    fn arity_errors() {
-        let mut ctx = FixedCtx::default();
-        let e = PExpr::Call {
+    fn arity_rejected_at_compile_time() {
+        let e = Expr::Call {
             func: "f_now".into(),
-            args: vec![PExpr::Const(Value::Int(1))],
+            args: vec![Expr::Const(Value::Int(1))],
         };
+        let err = compile_expr(&e, &|_| 0).unwrap_err();
         assert!(matches!(
-            eval(&e, &[], &mut ctx),
-            Err(EvalError::Arity { .. })
+            err,
+            ExprError::Arity {
+                expected: 0,
+                got: 1,
+                ..
+            }
         ));
     }
 
@@ -585,5 +746,64 @@ mod tests {
             eval(&e, &[], &mut ctx),
             Err(EvalError::NotBoolean)
         ));
+    }
+
+    #[test]
+    fn purity_classification() {
+        assert!(PExpr::Call {
+            func: Builtin::Sha1,
+            args: vec![PExpr::Slot(0)]
+        }
+        .is_pure());
+        assert!(!PExpr::Call {
+            func: Builtin::Now,
+            args: vec![]
+        }
+        .is_pure());
+        assert!(!PExpr::Binary(
+            BinOp::Add,
+            Box::new(PExpr::Const(Value::Int(1))),
+            Box::new(PExpr::Call {
+                func: Builtin::Rand,
+                args: vec![]
+            }),
+        )
+        .is_pure());
+    }
+
+    #[test]
+    fn const_eval_folds_closed_pure_exprs() {
+        let e = PExpr::Binary(
+            BinOp::Add,
+            Box::new(PExpr::Const(Value::Int(2))),
+            Box::new(PExpr::Const(Value::Int(3))),
+        );
+        assert_eq!(const_eval(&e), Some(Value::Int(5)));
+        // Slots block folding.
+        let open = PExpr::Binary(
+            BinOp::Add,
+            Box::new(PExpr::Slot(0)),
+            Box::new(PExpr::Const(Value::Int(3))),
+        );
+        assert_eq!(const_eval(&open), None);
+        // Impure calls block folding.
+        let imp = PExpr::Call {
+            func: Builtin::Rand,
+            args: vec![],
+        };
+        assert_eq!(const_eval(&imp), None);
+        // Failing constant ops are left for the runtime.
+        let bad = PExpr::Binary(
+            BinOp::Div,
+            Box::new(PExpr::Const(Value::Int(1))),
+            Box::new(PExpr::Const(Value::Int(0))),
+        );
+        assert_eq!(const_eval(&bad), None);
+        // Pure builtins fold too.
+        let pow = PExpr::Call {
+            func: Builtin::Pow2,
+            args: vec![PExpr::Const(Value::Int(4))],
+        };
+        assert_eq!(const_eval(&pow), Some(Value::id(16)));
     }
 }

@@ -1,0 +1,320 @@
+//! The per-rule **logical IR**: a normalized, symbolic form of one rule
+//! strand, produced before any slot assignment.
+//!
+//! The staged planner works in three phases (DESIGN.md §2.6):
+//!
+//! 1. **Build** ([`build_strand_ir`]): classify the trigger, resolve the
+//!    `periodic` period, and normalize the body into a list of [`IrOp`]s
+//!    over *named* variables. For table-triggered aggregates the trigger
+//!    table's re-join appears as an ordinary [`IrOp::Join`] here.
+//! 2. **Rewrite** ([`crate::passes`]): selection/assignment pushdown and
+//!    index-aware join reordering permute `ops`. Rewrites must happen on
+//!    this symbolic form — slot numbering and `Bind`/`EqVar` field roles
+//!    both depend on operator order, so reordering a lowered
+//!    [`crate::plan::Strand`] would corrupt its bindings.
+//! 3. **Lower** ([`crate::compile`]): walk the (possibly rewritten) op
+//!    list once, allocating dense environment slots in encounter order,
+//!    and emit the executable [`crate::plan::Strand`].
+
+use crate::compile::PlanError;
+use crate::expr::Builtin;
+use crate::plan::Trigger;
+use p2_overlog::{Arg, Expr, Predicate, Rule, Term};
+use p2_types::Value;
+use std::collections::HashSet;
+
+/// A symbolic strand operator (named variables, no slots yet).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrOp {
+    /// Probe a materialized table.
+    Join(Predicate),
+    /// Filter on a condition.
+    Select(Expr),
+    /// Bind a variable to an expression value.
+    Assign {
+        /// Target variable.
+        var: String,
+        /// Defining expression.
+        expr: Expr,
+    },
+}
+
+impl IrOp {
+    /// Variables that must already be bound for the op to be
+    /// executable. For a join only embedded expression arguments impose
+    /// requirements — plain variable fields either bind or test
+    /// equality, both legal at any point.
+    pub fn required_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        match self {
+            IrOp::Join(p) => {
+                for a in &p.args {
+                    if let Arg::Expr(e) = a {
+                        e.free_vars(&mut out);
+                    }
+                }
+            }
+            IrOp::Select(e) => e.free_vars(&mut out),
+            IrOp::Assign { expr, .. } => expr.free_vars(&mut out),
+        }
+        out
+    }
+
+    /// Variables the op introduces into the environment.
+    pub fn bound_vars(&self) -> Vec<String> {
+        match self {
+            IrOp::Join(p) => {
+                let mut out = Vec::new();
+                for a in &p.args {
+                    if let Arg::Var(v) = a {
+                        if !out.iter().any(|x| x == v) {
+                            out.push(v.clone());
+                        }
+                    }
+                }
+                out
+            }
+            IrOp::Select(_) => Vec::new(),
+            IrOp::Assign { var, .. } => vec![var.clone()],
+        }
+    }
+
+    /// Whether every expression inside the op is referentially
+    /// transparent. Impure ops (reading time, RNG, or node identity) are
+    /// pinned by the rewrite passes: moving one changes its evaluation
+    /// count or the RNG stream, which changes program output. An
+    /// unresolvable function name is conservatively impure — lowering
+    /// rejects it anyway.
+    pub fn is_pure(&self) -> bool {
+        let expr_pure = |e: &Expr| {
+            let mut pure = true;
+            e.for_each_call(&mut |name| match Builtin::resolve(name) {
+                Some(b) if b.is_pure() => {}
+                _ => pure = false,
+            });
+            pure
+        };
+        match self {
+            IrOp::Join(p) => p.args.iter().all(|a| match a {
+                Arg::Expr(e) => expr_pure(e),
+                _ => true,
+            }),
+            IrOp::Select(e) => expr_pure(e),
+            IrOp::Assign { expr, .. } => expr_pure(expr),
+        }
+    }
+}
+
+/// One rule strand in logical form: trigger + symbolic body ops + the
+/// untouched head (lowered after the rewrite passes).
+#[derive(Debug, Clone)]
+pub struct StrandIr {
+    /// The rule's label.
+    pub rule_label: String,
+    /// Unique strand id (`label~k` for delta-rule fan-out).
+    pub strand_id: String,
+    /// Resolved trigger (periodic period already extracted and checked).
+    pub trigger: Trigger,
+    /// The trigger predicate occurrence (source of the trigger match).
+    pub trigger_pred: Predicate,
+    /// For table-triggered aggregates: bind only these variables from
+    /// the trigger delta (the head's group variables); the re-join binds
+    /// the rest. `None` = bind everything.
+    pub trigger_restrict: Option<HashSet<String>>,
+    /// Body operators. Source order after [`build_strand_ir`]; rewrite
+    /// passes may permute.
+    pub ops: Vec<IrOp>,
+    /// Variables bound by the trigger match (the initial bound set for
+    /// scheduling; mirrors what lowering will bind).
+    pub trigger_binds: Vec<String>,
+}
+
+impl StrandIr {
+    /// The initial bound-variable set the body ops start from.
+    pub fn initial_bound(&self) -> HashSet<String> {
+        self.trigger_binds.iter().cloned().collect()
+    }
+}
+
+/// Variables appearing in the head outside the aggregate argument (the
+/// aggregate's group key).
+pub(crate) fn head_group_vars(rule: &Rule) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for a in &rule.head.args {
+        match a {
+            Arg::Var(v) => {
+                out.insert(v.clone());
+            }
+            Arg::Expr(e) => {
+                let mut vs = Vec::new();
+                e.free_vars(&mut vs);
+                out.extend(vs);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Build the logical IR for one strand of a rule (phase 1 of the staged
+/// planner): resolve and check the trigger, and normalize the body into
+/// symbolic [`IrOp`]s in source order.
+pub fn build_strand_ir(
+    rule: &Rule,
+    label: &str,
+    strand_id: String,
+    trigger_pos: usize,
+    materialized: &HashSet<String>,
+) -> Result<StrandIr, PlanError> {
+    let trigger_pred = match &rule.body[trigger_pos] {
+        Term::Pred(p) => p.clone(),
+        _ => unreachable!("trigger positions index predicates"),
+    };
+
+    let is_agg = rule.is_aggregate();
+    let trigger_is_table =
+        trigger_pred.name != "periodic" && materialized.contains(&trigger_pred.name);
+    // Table-triggered aggregates re-join the trigger table (full
+    // recompute restricted to the delta's group) — see crate docs.
+    let rejoin_trigger = is_agg && trigger_is_table;
+
+    let trigger = if trigger_pred.name == "periodic" {
+        if trigger_pred.args.len() != 3 {
+            return Err(PlanError::BadPeriodic {
+                rule: label.to_string(),
+                message: format!(
+                    "periodic takes (location, nonce, period); got {} args",
+                    trigger_pred.args.len()
+                ),
+            });
+        }
+        let period_secs = match &trigger_pred.args[2] {
+            Arg::Const(Value::Int(n)) if *n > 0 => *n as f64,
+            Arg::Const(Value::Float(x)) if *x > 0.0 => *x,
+            other => {
+                return Err(PlanError::BadPeriodic {
+                    rule: label.to_string(),
+                    message: format!("period must be a positive constant, got {other:?}"),
+                })
+            }
+        };
+        for a in &trigger_pred.args {
+            if matches!(a, Arg::Expr(_) | Arg::Agg { .. }) {
+                return Err(PlanError::BadPeriodic {
+                    rule: label.to_string(),
+                    message: format!("unsupported periodic argument {a:?}"),
+                });
+            }
+        }
+        Trigger::Periodic { period_secs }
+    } else if trigger_is_table {
+        Trigger::TableInsert {
+            name: trigger_pred.name.clone(),
+        }
+    } else {
+        Trigger::Event {
+            name: trigger_pred.name.clone(),
+        }
+    };
+
+    let trigger_restrict = if rejoin_trigger {
+        Some(head_group_vars(rule))
+    } else {
+        None
+    };
+    let mut trigger_binds = Vec::new();
+    for a in &trigger_pred.args {
+        if let Arg::Var(v) = a {
+            let allowed = trigger_restrict
+                .as_ref()
+                .map(|allow| allow.contains(v))
+                .unwrap_or(true);
+            if allowed && !trigger_binds.iter().any(|x| x == v) {
+                trigger_binds.push(v.clone());
+            }
+        }
+    }
+
+    let mut ops = Vec::new();
+    for (i, term) in rule.body.iter().enumerate() {
+        match term {
+            Term::Pred(p) => {
+                if i == trigger_pos && !rejoin_trigger {
+                    continue;
+                }
+                ops.push(IrOp::Join(p.clone()));
+            }
+            Term::Cond(e) => ops.push(IrOp::Select(e.clone())),
+            Term::Assign { var, expr } => ops.push(IrOp::Assign {
+                var: var.clone(),
+                expr: expr.clone(),
+            }),
+        }
+    }
+
+    Ok(StrandIr {
+        rule_label: label.to_string(),
+        strand_id,
+        trigger,
+        trigger_pred,
+        trigger_restrict,
+        ops,
+        trigger_binds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_types::Value;
+
+    fn pred(name: &str, args: Vec<Arg>) -> Predicate {
+        Predicate {
+            name: name.into(),
+            args,
+            at_form: true,
+        }
+    }
+
+    #[test]
+    fn join_requirements_and_bindings() {
+        let j = IrOp::Join(pred(
+            "t",
+            vec![
+                Arg::Var("N".into()),
+                Arg::Const(Value::Int(1)),
+                Arg::Expr(Expr::Binary(
+                    p2_overlog::BinOp::Add,
+                    Box::new(Expr::Var("X".into())),
+                    Box::new(Expr::Const(Value::Int(1))),
+                )),
+                Arg::Wildcard,
+            ],
+        ));
+        assert_eq!(j.required_vars(), vec!["X".to_string()]);
+        assert_eq!(j.bound_vars(), vec!["N".to_string()]);
+        assert!(j.is_pure());
+    }
+
+    #[test]
+    fn impure_calls_detected() {
+        let a = IrOp::Assign {
+            var: "T".into(),
+            expr: Expr::Call {
+                func: "f_now".into(),
+                args: vec![],
+            },
+        };
+        assert!(!a.is_pure());
+        let s = IrOp::Select(Expr::Call {
+            func: "f_sha1".into(),
+            args: vec![Expr::Var("X".into())],
+        });
+        assert!(s.is_pure());
+        let unknown = IrOp::Select(Expr::Call {
+            func: "f_mystery".into(),
+            args: vec![],
+        });
+        assert!(!unknown.is_pure(), "unresolved functions are pinned");
+    }
+}

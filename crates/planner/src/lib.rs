@@ -30,12 +30,17 @@
 //!   slots at plan time; expressions become [`expr::PExpr`] over slots.
 
 pub mod compile;
+pub mod explain;
 pub mod expr;
+pub mod ir;
+pub mod passes;
 pub mod plan;
 
-pub use compile::{compile_program, PlanError};
-pub use expr::{eval, EvalCtx, EvalError, PExpr};
+pub use compile::{compile_program, compile_program_with, PlanError};
+pub use explain::explain;
+pub use expr::{eval, Builtin, EvalCtx, EvalError, ExprError, PExpr};
+pub use passes::{OptLevel, PlanOpts};
 pub use plan::{
-    AggPlan, CompiledProgram, FieldMatch, FieldOut, HeadSpec, MatchSpec, Op, Strand, TableDecl,
-    Trigger,
+    AggPlan, CompiledProgram, Diagnostic, FieldMatch, FieldOut, HeadSpec, MatchSpec, Op,
+    PrefixGroup, Strand, TableDecl, Trigger,
 };

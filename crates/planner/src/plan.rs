@@ -26,6 +26,37 @@ pub struct CompiledProgram {
     /// tables — are still covered: registration happens against the
     /// installing node's catalog, which already holds them).
     pub index_requests: Vec<(String, usize)>,
+    /// Shared-prefix strand families found by the optimizer (empty at
+    /// `OptLevel::Off`). Members are indexes into `strands`; the runtime
+    /// instantiates each group as one dataflow strand whose prefix runs
+    /// once per trigger and whose member tails fan out per result.
+    pub prefix_groups: Vec<PrefixGroup>,
+    /// Plan-time warnings (dead rules, never-boolean selections). The
+    /// program still installs; these exist so an operator hears about a
+    /// rule that silently drops every tuple *before* paying for it at
+    /// runtime.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// A family of strands sharing one dataflow prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixGroup {
+    /// Indexes into [`CompiledProgram::strands`], ascending. The first
+    /// member is the representative whose prefix ops instantiate the
+    /// shared stages.
+    pub members: Vec<usize>,
+    /// How many leading ops (up to and including the last join) are
+    /// shared. Every member's remaining ops are stateless.
+    pub shared_ops: usize,
+}
+
+/// A plan-time warning attached to one strand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The strand the warning is about.
+    pub strand_id: String,
+    /// Human-readable message.
+    pub message: String,
 }
 
 /// Runtime form of a `materialize` declaration (keys shifted to 0-based).
@@ -236,6 +267,9 @@ pub struct Strand {
     pub head: HeadSpec,
     /// Number of environment slots.
     pub slots: usize,
+    /// Source-level variable name per slot (EXPLAIN and introspection;
+    /// execution never reads these).
+    pub slot_names: Vec<String>,
     /// Original source text of the rule (introspection: `sysRule`).
     pub source: String,
 }

@@ -83,6 +83,11 @@ impl RecordSet {
         }
     }
 
+    /// The join-stage count this set was sized for.
+    pub fn stage_count(&self) -> usize {
+        self.stage_count
+    }
+
     /// Number of live (associated) records.
     pub fn active_count(&self) -> usize {
         self.records.iter().filter(|r| r.window.is_some()).count()

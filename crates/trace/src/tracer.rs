@@ -296,6 +296,13 @@ impl TapSink for Tracer {
             .records
             .entry(event.strand_id.clone())
             .or_insert_with(|| RecordSet::new(event.stage_count, self.config.records_per_strand));
+        if records.stage_count() != event.stage_count {
+            // Same strand id, different plan shape: the program was
+            // re-installed after a planner change (e.g. join reordering at
+            // a different optimization level). Stale records would index
+            // preconditions out of bounds — start fresh.
+            *records = RecordSet::new(event.stage_count, self.config.records_per_strand);
+        }
         match event.kind {
             TapKind::Input { tuple } => {
                 let id = self.id_of(&tuple, event.at);

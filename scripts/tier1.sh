@@ -14,8 +14,14 @@ cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+# Golden EXPLAIN snapshots (already part of `cargo test`, but run them
+# by name so a drift failure is unmistakable in CI logs; re-record
+# intentional plan changes with scripts/update_snapshots.sh).
+cargo test -q -p p2-planner --test explain_snapshots
+cargo bench --no-run
 cargo bench -p p2-bench --bench engine -- --test
 cargo bench -p p2-bench --bench store_probe -- --test
 cargo bench -p p2-bench --bench node_pump -- --test
+cargo bench -p p2-bench --bench strand_eval -- --test
 
 echo "tier1: OK"

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Re-record the golden EXPLAIN snapshots in crates/planner/tests/snapshots/.
+#
+# Run after an intentional planner/optimizer change, then REVIEW the git
+# diff of the snapshots — every changed line is a plan change shipping to
+# users, not test noise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SNAPSHOT_REGEN=1 cargo test -q -p p2-planner --test explain_snapshots
+echo "snapshots updated; review with: git diff crates/planner/tests/snapshots/"

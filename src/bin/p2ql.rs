@@ -3,7 +3,7 @@
 //! ```text
 //! p2ql check  prog.olg                 # parse + validate, report errors
 //! p2ql fmt    prog.olg                 # canonical pretty-printed source
-//! p2ql plan   prog.olg                 # show the compiled rule strands
+//! p2ql plan   prog.olg [--opt off]     # EXPLAIN the compiled rule strands
 //! p2ql run    prog.olg [options]       # execute on a simulated population
 //! p2ql trace  prog.olg [options]       # run + dump ruleExec/tupleTable
 //!
@@ -48,7 +48,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "check" => check(&src),
         "fmt" => fmt(&src),
-        "plan" => plan(&src),
+        "plan" => plan(&src, &args[2..]),
         "run" => run(&src, &args[2..], false),
         "trace" => run(&src, &args[2..], true),
         other => {
@@ -86,7 +86,25 @@ fn fmt(src: &str) -> ExitCode {
     }
 }
 
-fn plan(src: &str) -> ExitCode {
+fn plan(src: &str, args: &[String]) -> ExitCode {
+    let mut opts = p2ql::planner::PlanOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--opt" => match it.next().map(String::as_str) {
+                Some("off") => opts = p2ql::planner::PlanOpts::off(),
+                Some("full") => opts = p2ql::planner::PlanOpts::default(),
+                other => {
+                    eprintln!("--opt needs 'off' or 'full', got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown plan option '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let program = match p2ql::overlog::compile(src) {
         Ok(p) => p,
         Err(e) => {
@@ -94,47 +112,14 @@ fn plan(src: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = match p2ql::planner::compile_program(&program, &Default::default()) {
+    let compiled = match p2ql::planner::compile_program_with(&program, &Default::default(), &opts) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("plan error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    for t in &compiled.tables {
-        println!(
-            "table {:<20} lifetime={:<10} max={:<10} keys={:?}",
-            t.name,
-            t.lifetime_secs
-                .map(|s| format!("{s}s"))
-                .unwrap_or("inf".into()),
-            t.max_rows.map(|m| m.to_string()).unwrap_or("inf".into()),
-            t.key_fields
-        );
-    }
-    for f in &compiled.facts {
-        println!("fact  {f}");
-    }
-    for s in &compiled.strands {
-        let trig = match &s.trigger {
-            p2ql::planner::Trigger::Event { name } => format!("event {name}"),
-            p2ql::planner::Trigger::TableInsert { name } => format!("insert {name}"),
-            p2ql::planner::Trigger::Periodic { period_secs } => {
-                format!("every {period_secs}s")
-            }
-        };
-        println!(
-            "strand {:<12} on {:<24} joins={} head={}{}",
-            s.strand_id,
-            trig,
-            s.join_count(),
-            s.head.name,
-            if s.head.delete { " (delete)" } else { "" },
-        );
-    }
-    for (table, field) in &compiled.index_requests {
-        println!("index {table}[{field}]");
-    }
+    print!("{}", p2ql::planner::explain(&compiled));
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,155 @@
+//! Plan-equivalence oracle: the optimizer must never change *what* a
+//! program computes, only *how*.
+//!
+//! Each case generates a small OverLog program from a template with
+//! randomized constants, table contents, and trigger streams; compiles
+//! it twice — `PlanOpts::off()` (the unoptimized semantic oracle) and
+//! the default Full level (constant folding, pushdown, join reordering,
+//! shared-prefix strands) — executes both against identical stores and
+//! identical triggers, and requires the **output multisets** to be
+//! identical. Ordering is allowed to differ (join reordering changes
+//! enumeration order); content is not.
+
+use p2ql::dataflow::tap::NullSink;
+use p2ql::dataflow::{Action, StrandRuntime};
+use p2ql::planner::expr::FixedCtx;
+use p2ql::planner::{compile_program_with, CompiledProgram, PlanOpts, Trigger};
+use p2ql::store::{Catalog, TableSpec};
+use p2ql::types::{Time, TimeDelta, Tuple, Value};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Instantiate runtimes the way the node installer does: strands in a
+/// shared-prefix family become one runtime at the leader's position.
+fn instantiate(compiled: CompiledProgram) -> (Vec<StrandRuntime>, Catalog) {
+    let mut cat = Catalog::new();
+    for t in &compiled.tables {
+        cat.register(TableSpec::new(
+            &t.name,
+            t.lifetime_secs.map(TimeDelta::from_secs_f64),
+            t.max_rows,
+            t.key_fields.clone(),
+        ))
+        .unwrap();
+    }
+    let plans: Vec<Arc<p2ql::planner::Strand>> =
+        compiled.strands.into_iter().map(Arc::new).collect();
+    let mut group_of: Vec<Option<usize>> = vec![None; plans.len()];
+    for (g, pg) in compiled.prefix_groups.iter().enumerate() {
+        for &m in &pg.members {
+            group_of[m] = Some(g);
+        }
+    }
+    let mut runtimes = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        match group_of[i] {
+            Some(g) => {
+                let pg = &compiled.prefix_groups[g];
+                if pg.members[0] != i {
+                    continue;
+                }
+                let members: Vec<_> = pg.members.iter().map(|&m| plans[m].clone()).collect();
+                runtimes.push(StrandRuntime::family(members, pg.shared_ops));
+            }
+            None => runtimes.push(StrandRuntime::new(plan.clone())),
+        }
+    }
+    (runtimes, cat)
+}
+
+/// Run every `ev`-triggered strand over the trigger stream; return the
+/// outputs as a sorted multiset of `(delete, tuple)` strings.
+fn execute(
+    src: &str,
+    opts: &PlanOpts,
+    rows1: &[(i64, i64)],
+    rows2: &[(i64, i64)],
+    trigs: &[(i64, i64)],
+) -> Vec<String> {
+    let prog = p2ql::overlog::compile(src).expect("template must parse");
+    let compiled = compile_program_with(&prog, &HashSet::new(), opts).expect("template must plan");
+    let (mut runtimes, mut cat) = instantiate(compiled);
+
+    let n = Value::addr("n1");
+    for &(a, b) in rows1 {
+        let _ = cat.insert(
+            Tuple::new("t1", [n.clone(), Value::Int(a), Value::Int(b)]),
+            Time::ZERO,
+        );
+    }
+    for &(a, c) in rows2 {
+        let _ = cat.insert(
+            Tuple::new("t2", [n.clone(), Value::Int(a), Value::Int(c)]),
+            Time::ZERO,
+        );
+    }
+
+    let mut ctx = FixedCtx::default();
+    let mut sink = NullSink;
+    let mut actions: Vec<Action> = Vec::new();
+    for &(x, k) in trigs {
+        let ev = Tuple::new("ev", [n.clone(), Value::Int(x), Value::Int(k)]);
+        for rt in &mut runtimes {
+            if matches!(&rt.plan().trigger, Trigger::Event { name } if name == "ev") {
+                rt.fire(&ev, &mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+                rt.run_to_quiescence(&mut cat, &mut ctx, &mut sink, Time::ZERO, &mut actions);
+            }
+        }
+    }
+    let mut out: Vec<String> = actions
+        .iter()
+        .map(|a| format!("{}{}", if a.delete { "delete " } else { "" }, a.tuple))
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Off and Full produce identical output multisets for randomized
+    /// join/select/assign rules — including constant selections that
+    /// fold to true (dropped) or false (dead rule, zero output).
+    #[test]
+    fn optimizer_preserves_output_multisets(
+        consts in (-3i64..4, -5i64..6, -2i64..8, 0i64..3),
+        cc in (-2i64..3, -2i64..3),
+        rows1 in proptest::collection::vec((0i64..4, -5i64..10), 0..5),
+        rows2 in proptest::collection::vec((-5i64..10, -5i64..10), 0..5),
+        trigs in proptest::collection::vec((0i64..4, 0i64..3), 1..5),
+    ) {
+        let (m, a, z_min, k_ne) = consts;
+        let (c1, c2) = cc;
+        // r1: joins + arithmetic assign + variable and constant selects.
+        // r2: same trigger and joins as r1 after reordering — a
+        //     shared-prefix family candidate at Full.
+        let src = format!(
+            "materialize(t1, 100, 100, keys(1, 2)).
+             materialize(t2, 100, 100, keys(1, 2)).
+             r1 out@N(X, Y, Z, W) :- ev@N(X, K), t1@N(X, Y), t2@N(Y, Z), \
+                W := Y * {m} + {a}, Z > {z_min}, K != {k_ne}, {c1} < {c2} + 1.
+             r2 out2@N(X, Z2) :- ev@N(X, K), t1@N(X, Y), t2@N(Y, Z2), Z2 < {z_min}."
+        );
+        let off = execute(&src, &PlanOpts::off(), &rows1, &rows2, &trigs);
+        let full = execute(&src, &PlanOpts::default(), &rows1, &rows2, &trigs);
+        prop_assert_eq!(&off, &full, "optimizer changed program output\n{}", src);
+    }
+
+    /// Delete-rule outputs survive optimization identically too.
+    #[test]
+    fn optimizer_preserves_deletes(
+        bound in -5i64..10,
+        rows1 in proptest::collection::vec((0i64..4, -5i64..10), 1..5),
+        trigs in proptest::collection::vec((0i64..4, 0i64..3), 1..4),
+    ) {
+        let src = format!(
+            "materialize(t1, 100, 100, keys(1, 2)).
+             materialize(t2, 100, 100, keys(1, 2)).
+             d1 delete t1@N(X, Y) :- ev@N(X, K), t1@N(X, Y), Y < {bound}."
+        );
+        let off = execute(&src, &PlanOpts::off(), &rows1, &[], &trigs);
+        let full = execute(&src, &PlanOpts::default(), &rows1, &[], &trigs);
+        prop_assert_eq!(&off, &full);
+    }
+}
