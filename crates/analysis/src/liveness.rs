@@ -1,0 +1,435 @@
+//! Program dependency graph and liveness lints
+//! (P2W301, P2N302, P2N303, P2W303, P2W304, P2N401).
+//!
+//! Builds producer/consumer sets over the whole unit stack and walks
+//! the relation dependency graph:
+//!
+//! * **P2W301** — a relation is read but nothing writes it: the classic
+//!   typo'd-name failure (the monitor silently matches nothing). Comes
+//!   with a did-you-mean hint when a produced name is within edit
+//!   distance 2. Declared tables are exempt (see P2N303) — they may be
+//!   filled at install time.
+//! * **P2N302** — a relation is written but nothing reads it.
+//! * **P2N303** — a *declared* table is read but never written by the
+//!   stack: legitimate when rows arrive from a program installed later,
+//!   so only a note.
+//! * **P2W303** — two transient events joined in one body. An event
+//!   exists for one dataflow instant; the join can only ever see one of
+//!   them (the planner rejects this at install; here it carries a span).
+//! * **P2W304** — soft-state leak: a table with *infinite* lifetime and
+//!   *infinite* size transitively fed by `periodic` rules grows without
+//!   bound.
+//! * **P2N401** — a `delete` rule inside a derivation cycle: deletion
+//!   can retrigger the derivation that feeds it. Intentional in the
+//!   paper's eager-reexecution idiom, hence a note. The scan of the
+//!   delete rule's own head table (which *binds* what to delete) is not
+//!   counted as a cycle edge.
+
+use crate::AnalysisCtx;
+use p2_overlog::{
+    Diagnostic, Diagnostics, Lifetime, Program, Severity, SizeLimit, Span, Statement,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Relations the runtime itself produces: reading them is always
+/// legitimate, and writing `periodic` is rejected elsewhere. All but
+/// `periodic` are real *tables* the node registers (introspection
+/// always; the trace tables when tracing is on), so event
+/// classification must not treat them as transients.
+pub(crate) const BUILTIN_PRODUCED: &[&str] = &[
+    "periodic",
+    "sysTable",
+    "sysRule",
+    "sysStat",
+    "sysDiag",
+    "ruleExec",
+    "tupleTable",
+    "eventLog",
+];
+
+/// First place a relation was seen in some role.
+#[derive(Clone)]
+struct Occ {
+    unit: usize,
+    span: Span,
+    ctx: String,
+}
+
+pub(crate) fn check(programs: &[&Program], ctx: &AnalysisCtx, diags: &mut Diagnostics) {
+    let mut declared: BTreeMap<String, Occ> = BTreeMap::new();
+    let mut declared_unbounded: BTreeSet<String> = BTreeSet::new();
+    let mut produced: BTreeMap<String, Occ> = BTreeMap::new();
+    let mut consumed: BTreeMap<String, Occ> = BTreeMap::new();
+    // body relations -> head relation, per rule (for W304/N401).
+    struct RuleEdge {
+        head: String,
+        body: Vec<String>,
+        delete: bool,
+        occ: Occ,
+        label: String,
+    }
+    let mut edges: Vec<RuleEdge> = Vec::new();
+
+    for (unit, program) in programs.iter().enumerate() {
+        let mut idx = 0usize;
+        for s in &program.statements {
+            match s {
+                Statement::Materialize(m) => {
+                    declared.entry(m.table.clone()).or_insert(Occ {
+                        unit,
+                        span: m.span,
+                        ctx: format!("materialize({})", m.table),
+                    });
+                    if m.lifetime == Lifetime::Infinity && m.max_size == SizeLimit::Infinity {
+                        declared_unbounded.insert(m.table.clone());
+                    }
+                }
+                Statement::Rule(r) => {
+                    idx += 1;
+                    let label = r.label.clone().unwrap_or_else(|| format!("rule #{idx}"));
+                    let occ = |span| Occ {
+                        unit,
+                        span,
+                        ctx: label.clone(),
+                    };
+                    if r.delete {
+                        consumed
+                            .entry(r.head.name.clone())
+                            .or_insert(occ(r.head.span));
+                    } else {
+                        produced
+                            .entry(r.head.name.clone())
+                            .or_insert(occ(r.head.span));
+                    }
+                    let mut body = Vec::new();
+                    for p in r.body_predicates() {
+                        consumed.entry(p.name.clone()).or_insert(occ(p.span));
+                        body.push(p.name.clone());
+                    }
+                    if !r.body.is_empty() {
+                        edges.push(RuleEdge {
+                            head: r.head.name.clone(),
+                            body,
+                            delete: r.delete,
+                            occ: occ(r.span),
+                            label,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let is_builtin = |name: &str| BUILTIN_PRODUCED.contains(&name);
+    let is_known = |name: &str| ctx.known_tables.contains(name);
+
+    // P2W301 / P2N303: consumed but never produced.
+    for (name, occ) in &consumed {
+        if produced.contains_key(name)
+            || is_builtin(name)
+            || is_known(name)
+            || ctx.external_events.contains(name.as_str())
+        {
+            continue;
+        }
+        if declared.contains_key(name) {
+            push(
+                diags,
+                occ,
+                Diagnostic::new(
+                    "P2N303",
+                    Severity::Note,
+                    format!(
+                        "table '{name}' is declared and read but never written by this \
+                         program (fine when rows arrive at install time or from a \
+                         stacked program)"
+                    ),
+                ),
+            );
+        } else {
+            let mut d = Diagnostic::new(
+                "P2W301",
+                Severity::Warning,
+                format!("nothing produces '{name}' — this match can never fire"),
+            );
+            let candidates: Vec<&str> = produced
+                .keys()
+                .chain(declared.keys())
+                .map(String::as_str)
+                .chain(ctx.known_tables.iter().map(String::as_str))
+                .chain(BUILTIN_PRODUCED.iter().copied())
+                .collect();
+            if let Some(best) = did_you_mean(name, &candidates) {
+                d = d.with_help(format!("did you mean `{best}`?"));
+            }
+            push(diags, occ, d);
+        }
+    }
+
+    // P2N302: produced but never consumed.
+    for (name, occ) in &produced {
+        if consumed.contains_key(name) || is_builtin(name) || is_known(name) {
+            continue;
+        }
+        push(
+            diags,
+            occ,
+            Diagnostic::new(
+                "P2N302",
+                Severity::Note,
+                format!("nothing consumes '{name}' (fine for watched output relations)"),
+            ),
+        );
+    }
+
+    // P2W303: two events in one body. Mirrors the planner's
+    // classification: periodic is always an event; otherwise a
+    // predicate is an event unless some unit, the node, or the runtime
+    // itself (trace/introspection builtins) materializes it.
+    let is_builtin_table = |name: &str| name != "periodic" && is_builtin(name);
+    for e in &edges {
+        let events: Vec<&String> = e
+            .body
+            .iter()
+            .filter(|n| {
+                *n == "periodic"
+                    || (!declared.contains_key(*n) && !is_known(n) && !is_builtin_table(n))
+            })
+            .collect();
+        if events.len() > 1 {
+            push(
+                diags,
+                &e.occ,
+                Diagnostic::new(
+                    "P2W303",
+                    Severity::Warning,
+                    format!(
+                        "'{}' and '{}' are both transient events — a rule joins at most \
+                         one event against materialized tables",
+                        events[0], events[1]
+                    ),
+                )
+                .with_help("declare one of them with materialize(...) if it should persist"),
+            );
+        }
+    }
+
+    // P2W304: infinite-lifetime, infinite-size tables transitively fed
+    // by periodic rules. Fixpoint over the derivation edges.
+    let mut fed: BTreeSet<String> = BTreeSet::new();
+    fed.insert("periodic".to_string());
+    loop {
+        let mut changed = false;
+        for e in &edges {
+            if e.delete || fed.contains(&e.head) {
+                continue;
+            }
+            if e.body.iter().any(|b| fed.contains(b)) {
+                fed.insert(e.head.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for name in &declared_unbounded {
+        if fed.contains(name) && produced.contains_key(name) {
+            if let Some(occ) = declared.get(name) {
+                push(
+                    diags,
+                    occ,
+                    Diagnostic::new(
+                        "P2W304",
+                        Severity::Warning,
+                        format!(
+                            "'{name}' never expires (lifetime and size both infinity) but \
+                             is filled from periodic rules — it grows without bound"
+                        ),
+                    )
+                    .with_help("give the table a lifetime or a row bound"),
+                );
+            }
+        }
+    }
+
+    // P2N401: delete rules on derivation cycles. The delete rule's own
+    // scan of its head table is the binding idiom, not recursion.
+    let mut graph: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        for b in &e.body {
+            if e.delete && b == &e.head {
+                continue;
+            }
+            graph.entry(b.as_str()).or_default().insert(e.head.as_str());
+        }
+    }
+    for e in &edges {
+        if !e.delete {
+            continue;
+        }
+        if reaches(&graph, &e.head, &e.head) {
+            push(
+                diags,
+                &e.occ,
+                Diagnostic::new(
+                    "P2N401",
+                    Severity::Note,
+                    format!(
+                        "delete rule '{}' sits on a derivation cycle through '{}' — \
+                         deleting can retrigger the rules that refill it",
+                        e.label, e.head
+                    ),
+                ),
+            );
+        }
+    }
+}
+
+/// Is `to` reachable from `from` following at least one edge?
+fn reaches(graph: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> bool {
+    let mut stack: Vec<&str> = graph
+        .get(from)
+        .map(|s| s.iter().copied().collect())
+        .unwrap_or_default();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(next) = graph.get(n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+/// Closest produced name within edit distance 2 (ties broken towards
+/// the lexicographically smaller candidate by the caller's ordering).
+fn did_you_mean<'a>(name: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    let mut best: Option<(usize, &str)> = None;
+    for c in candidates {
+        if *c == name {
+            continue;
+        }
+        let d = levenshtein(name, c);
+        if d <= 2 && d < name.len() && best.map(|(bd, _)| d < bd).unwrap_or(true) {
+            best = Some((d, c));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+fn push(diags: &mut Diagnostics, occ: &Occ, d: Diagnostic) {
+    let mut d = d.with_span(occ.span).with_context(occ.ctx.clone());
+    d.unit = occ.unit;
+    diags.push(d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_overlog::parse_program;
+
+    fn run(srcs: &[&str]) -> Diagnostics {
+        let programs: Vec<Program> = srcs.iter().map(|s| parse_program(s).unwrap()).collect();
+        let refs: Vec<&Program> = programs.iter().collect();
+        let mut d = Diagnostics::new();
+        check(&refs, &AnalysisCtx::default(), &mut d);
+        d
+    }
+
+    fn with_code<'a>(d: &'a Diagnostics, code: &str) -> Vec<&'a Diagnostic> {
+        d.items.iter().filter(|x| x.code == code).collect()
+    }
+
+    #[test]
+    fn typo_gets_did_you_mean() {
+        let d = run(&[r#"materialize(bestSucc, infinity, 1, keys(1)).
+b0 bestSucc@"n1"(42).
+t1 report@N(S) :- bestSucc2@N(S)."#]);
+        let w = with_code(&d, "P2W301");
+        assert_eq!(w.len(), 1, "{d:?}");
+        assert_eq!(w[0].help.as_deref(), Some("did you mean `bestSucc`?"));
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("bestSucc2", "bestSucc"), 1);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn declared_but_unwritten_is_a_note() {
+        let d = run(&["materialize(node, infinity, 1, keys(1)).
+r1 out@N(X) :- ev@N(E), node@N(X)."]);
+        assert_eq!(with_code(&d, "P2N303").len(), 1, "{d:?}");
+        assert!(
+            with_code(&d, "P2W301").is_empty() || {
+                // 'ev' is undeclared+unproduced: it *does* warn; 'node' must not.
+                with_code(&d, "P2W301")
+                    .iter()
+                    .all(|w| !w.message.contains("node"))
+            }
+        );
+    }
+
+    #[test]
+    fn two_events_in_one_body_warn() {
+        let d = run(&["r1 out@N(X, Y) :- evA@N(X), evB@N(Y)."]);
+        assert_eq!(with_code(&d, "P2W303").len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn periodic_feeding_unbounded_table_warns() {
+        let d = run(&["materialize(log, infinity, infinity, keys(1, 2)).
+r1 tick@N(E) :- periodic@N(E, 10).
+r2 log@N(E) :- tick@N(E)."]);
+        assert_eq!(with_code(&d, "P2W304").len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn bounded_table_fed_by_periodic_is_fine() {
+        let d = run(&["materialize(log, 30, infinity, keys(1, 2)).
+r1 log@N(E) :- periodic@N(E, 10)."]);
+        assert!(with_code(&d, "P2W304").is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn delete_binding_scan_is_not_recursion() {
+        // The paper's cs10 idiom: scan t to bind what to delete.
+        let d = run(&["materialize(t, infinity, 10, keys(1, 2)).
+cs10 delete t@N(P) :- c@N(P), t@N(P)."]);
+        assert!(with_code(&d, "P2N401").is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn delete_on_a_real_cycle_notes() {
+        let d = run(&["materialize(t, infinity, 10, keys(1)).
+materialize(u, infinity, 10, keys(1)).
+r1 u@N(X) :- t@N(X).
+r2 t@N(X) :- u@N(X).
+d1 delete t@N(X) :- kill@N(X), t@N(X)."]);
+        assert_eq!(with_code(&d, "P2N401").len(), 1, "{d:?}");
+    }
+}

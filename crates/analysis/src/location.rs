@@ -1,0 +1,126 @@
+//! Location safety (P2W111, P2W112).
+//!
+//! A P2 rule is evaluated at a single node: every body predicate must
+//! match tuples stored *there* (§2 — the location specifier names where
+//! the tuple lives, and rules with bodies spanning locations must be
+//! rewritten into localizable steps by hand). The front end already
+//! rejects heads addressed by an unbound location (P2E111); this pass
+//! flags the two body-side hazards:
+//!
+//! * **P2W111** — body predicates at more than one distinct location:
+//!   the rule can never be installed at a node that holds all its
+//!   inputs.
+//! * **P2W112** — a wildcard as a body location: it matches tuples
+//!   regardless of address, which is almost always a forgotten
+//!   variable.
+
+use p2_overlog::{Arg, Diagnostic, Diagnostics, Program, Severity, Statement};
+
+pub(crate) fn check(programs: &[&Program], diags: &mut Diagnostics) {
+    for (unit, program) in programs.iter().enumerate() {
+        let mut idx = 0usize;
+        for s in &program.statements {
+            let Statement::Rule(r) = s else { continue };
+            idx += 1;
+            if r.body.is_empty() {
+                continue; // facts
+            }
+            let ctx = r.label.clone().unwrap_or_else(|| format!("rule #{idx}"));
+            // Distinct location terms across the body, in order.
+            let mut locs: Vec<String> = Vec::new();
+            for p in r.body_predicates() {
+                match p.loc() {
+                    Arg::Var(v) => {
+                        if !locs.contains(v) {
+                            locs.push(v.clone());
+                        }
+                    }
+                    Arg::Const(c) => {
+                        let d = format!("{c}");
+                        if !locs.contains(&d) {
+                            locs.push(d);
+                        }
+                    }
+                    Arg::Wildcard => {
+                        let mut d = Diagnostic::new(
+                            "P2W112",
+                            Severity::Warning,
+                            format!(
+                                "wildcard as the location of '{}' matches tuples at any \
+                                 address",
+                                p.name
+                            ),
+                        )
+                        .with_span(p.span)
+                        .with_context(ctx.clone())
+                        .with_help("bind the location to a variable instead");
+                        d.unit = unit;
+                        diags.push(d);
+                    }
+                    // An expression or aggregate in location position is
+                    // caught elsewhere (selection / P2E103).
+                    Arg::Expr(_) | Arg::Agg { .. } => {}
+                }
+            }
+            if locs.len() > 1 {
+                let mut d = Diagnostic::new(
+                    "P2W111",
+                    Severity::Warning,
+                    format!(
+                        "body predicates live at {} different locations ({}) — a rule \
+                         runs at one node and cannot join them directly",
+                        locs.len(),
+                        locs.join(", ")
+                    ),
+                )
+                .with_span(r.span)
+                .with_context(ctx)
+                .with_help(
+                    "split the rule: derive an event at one location and ship it to the other",
+                );
+                d.unit = unit;
+                diags.push(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_overlog::parse_program;
+
+    fn run(src: &str) -> Diagnostics {
+        let p = parse_program(src).unwrap();
+        let mut d = Diagnostics::new();
+        check(&[&p], &mut d);
+        d
+    }
+
+    #[test]
+    fn single_location_rule_is_fine() {
+        let d = run("r1 sendPred@SAddr(PAddr) :- stabilize@NAddr(SAddr), pred@NAddr(PAddr).");
+        assert!(d.items.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cross_location_join_warns() {
+        let d = run("r1 out@A(B) :- link@A(B), node@B(N).");
+        assert_eq!(d.items.len(), 1);
+        assert_eq!(d.items[0].code, "P2W111");
+        assert!(
+            d.items[0].message.contains("A, B"),
+            "{}",
+            d.items[0].message
+        );
+    }
+
+    #[test]
+    fn wildcard_location_warns() {
+        // `@_` does not parse; a wildcard location arrives through the
+        // unsugared form where args[0] is the location.
+        let d = run("r1 out@A(X) :- ev@A(X), t(_, X).");
+        assert_eq!(d.items.len(), 1);
+        assert_eq!(d.items[0].code, "P2W112");
+    }
+}

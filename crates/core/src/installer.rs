@@ -49,6 +49,19 @@ impl Node {
             .into_iter()
             .map(|(name, _, _)| name)
             .collect();
+
+        // Static analysis against the live catalog: hard errors reject
+        // the install; warnings and notes ride along and surface through
+        // `sysDiag` (and `Node::analysis_diagnostics`).
+        let analysis_ctx = p2_analysis::AnalysisCtx {
+            known_tables: known.clone(),
+            ..Default::default()
+        };
+        let analysis = p2_analysis::analyze(&[&program], &analysis_ctx);
+        if analysis.has_errors() {
+            return Err(InstallError::Analysis(analysis));
+        }
+
         let compiled = compile_program_with(&program, &known, &self.config.plan)
             .map_err(InstallError::Plan)?;
 
@@ -81,6 +94,9 @@ impl Node {
 
         for d in compiled.diagnostics {
             self.plan_diagnostics.push((pid, d));
+        }
+        for d in analysis.items {
+            self.analysis_diagnostics.push((pid, d));
         }
 
         // Instantiate runtimes. Strands the optimizer grouped into a
@@ -156,6 +172,7 @@ impl Node {
     /// programs may read them.
     pub fn uninstall(&mut self, pid: ProgramId) {
         self.plan_diagnostics.retain(|(p, _)| *p != pid);
+        self.analysis_diagnostics.retain(|(p, _)| *p != pid);
         let keep: Vec<bool> = self.strand_programs.iter().map(|p| *p != pid).collect();
         // Rebuild the strand vector and all dispatch indexes.
         let mut new_strands = Vec::new();
@@ -182,7 +199,13 @@ impl Node {
             if t.program == pid {
                 return false;
             }
-            t.strand_idx = remap[t.strand_idx].expect("kept strands remapped");
+            #[expect(
+                clippy::expect_used,
+                reason = "timers only reference strands of installed programs, all remapped"
+            )]
+            {
+                t.strand_idx = remap[t.strand_idx].expect("kept strands remapped");
+            }
             true
         });
         // Timer indices shifted: rebuild the heap (uninstall is rare).

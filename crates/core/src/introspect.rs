@@ -26,6 +26,11 @@ pub const SYS_TABLE: &str = "sysTable";
 pub const SYS_RULE: &str = "sysRule";
 /// See module docs.
 pub const SYS_STAT: &str = "sysStat";
+/// `sysDiag(loc, program, seq, severity, code, context, message)` —
+/// static-analysis warnings and plan-time diagnostics for the installed
+/// programs, so a monitoring query can watch for mis-deployed monitors
+/// (a typo'd relation name reads as a healthy, silent system otherwise).
+pub const SYS_DIAG: &str = "sysDiag";
 
 /// Table declarations for the reflection tables.
 pub fn table_specs() -> Vec<TableSpec> {
@@ -33,6 +38,7 @@ pub fn table_specs() -> Vec<TableSpec> {
         TableSpec::new(SYS_TABLE, None, None, vec![0, 1]),
         TableSpec::new(SYS_RULE, None, None, vec![0, 1]),
         TableSpec::new(SYS_STAT, None, None, vec![0, 1]),
+        TableSpec::new(SYS_DIAG, None, None, vec![0, 1, 2]),
     ]
 }
 
@@ -122,12 +128,56 @@ pub fn refresh(node: &mut Node, now: Time) {
         }
     }
 
+    // Diagnostics: analysis findings first, then plan-time warnings,
+    // sequence-numbered per program so keys stay stable across refreshes.
+    let mut diag_rows: Vec<Tuple> = Vec::new();
+    let mut seq: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+    for (pid, d) in &node.analysis_diagnostics {
+        let n = seq.entry(pid.0).or_insert(0);
+        diag_rows.push(Tuple::new(
+            SYS_DIAG,
+            [
+                loc.clone(),
+                Value::Int(pid.0 as i64),
+                Value::Int(*n),
+                Value::str(d.severity.to_string()),
+                Value::str(d.code),
+                Value::str(d.context.as_deref().unwrap_or("")),
+                Value::str(&d.message),
+            ],
+        ));
+        *n += 1;
+    }
+    for (pid, d) in &node.plan_diagnostics {
+        let n = seq.entry(pid.0).or_insert(0);
+        diag_rows.push(Tuple::new(
+            SYS_DIAG,
+            [
+                loc.clone(),
+                Value::Int(pid.0 as i64),
+                Value::Int(*n),
+                Value::str("warning"),
+                Value::str(d.code),
+                Value::str(&d.strand_id),
+                Value::str(&d.message),
+            ],
+        ));
+        *n += 1;
+    }
+
     let cat = node.catalog_mut();
+    // sysDiag is re-materialized exactly: an uninstalled program's
+    // findings must not linger (the other sys tables keep their rows
+    // keyed by entities that never disappear).
+    if let Some(t) = cat.table_mut(SYS_DIAG) {
+        t.clear();
+    }
     for row in table_rows
         .into_iter()
         .chain(rule_rows)
         .chain(stat_rows)
         .chain(idx_rows)
+        .chain(diag_rows)
     {
         let _ = cat.insert(row, now);
     }
@@ -210,6 +260,40 @@ mod tests {
         );
         // Idle tables emit no counter rows.
         assert!(stat("idx.sysRule.indexProbes").is_none());
+    }
+
+    #[test]
+    fn analysis_findings_surface_in_sys_diag_and_clear_on_uninstall() {
+        let mut n = Node::new(Addr::new("n1"), NodeConfig::default());
+        // 'evv' is consumed but nothing produces it: P2W301 at install.
+        let pid = n.install("r1 out@N(X) :- evv@N(X).", Time::ZERO).unwrap();
+        assert!(n
+            .analysis_diagnostics()
+            .any(|d| d.code == "P2W301" && d.message.contains("evv")));
+        n.refresh_introspection(Time::ZERO);
+        let rows = n.table_scan(SYS_DIAG, Time::ZERO);
+        assert!(
+            rows.iter().any(|t| t.get(4) == Some(&Value::str("P2W301"))
+                && t.get(3) == Some(&Value::str("warning"))),
+            "{rows:?}"
+        );
+        n.uninstall(pid);
+        assert_eq!(n.analysis_diagnostics().count(), 0);
+        n.refresh_introspection(Time::ZERO);
+        assert!(n.table_scan(SYS_DIAG, Time::ZERO).is_empty());
+    }
+
+    #[test]
+    fn plan_diagnostics_share_the_sys_diag_surface() {
+        let mut n = Node::new(Addr::new("n1"), NodeConfig::default());
+        n.install("d1 out@N(X) :- ev@N(X), 1 == 2.", Time::ZERO)
+            .unwrap();
+        n.refresh_introspection(Time::ZERO);
+        let rows = n.table_scan(SYS_DIAG, Time::ZERO);
+        assert!(
+            rows.iter().any(|t| t.get(4) == Some(&Value::str("P2W501"))),
+            "{rows:?}"
+        );
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct ProgramId(pub u64);
 pub enum InstallError {
     /// Front-end (parse/validate) failure.
     Compile(p2_overlog::CompileError),
+    /// A static-analysis pass found hard errors (warnings and notes do
+    /// not reject — they surface through `sysDiag`).
+    Analysis(p2_overlog::Diagnostics),
     /// Planning failure.
     Plan(p2_planner::PlanError),
     /// A table re-declaration conflicted with the running catalog.
@@ -49,6 +52,10 @@ impl fmt::Display for InstallError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InstallError::Compile(e) => write!(f, "{e}"),
+            InstallError::Analysis(ds) => match ds.first_error() {
+                Some(d) => write!(f, "analysis error [{}]: {}", d.code, d.message),
+                None => write!(f, "analysis error"),
+            },
             InstallError::Plan(e) => write!(f, "plan error: {e}"),
             InstallError::Catalog(e) => write!(f, "catalog error: {e}"),
         }
@@ -163,6 +170,9 @@ pub struct Node {
     /// Plan-time warnings from installed programs (dead rules, ...),
     /// tagged with the owning program for uninstall cleanup.
     pub(crate) plan_diagnostics: Vec<(ProgramId, p2_planner::Diagnostic)>,
+    /// Static-analysis warnings/notes per installed program, reflected
+    /// into `sysDiag` on introspection refresh.
+    pub(crate) analysis_diagnostics: Vec<(ProgramId, p2_overlog::Diagnostic)>,
 }
 
 impl Node {
@@ -189,6 +199,7 @@ impl Node {
             metrics: NodeMetrics::default(),
             next_program: 1,
             plan_diagnostics: Vec::new(),
+            analysis_diagnostics: Vec::new(),
         };
         if node.config.tracing {
             node.register_trace_tables();
@@ -354,6 +365,14 @@ impl Node {
     /// installed programs (dead rules, never-boolean selections).
     pub fn plan_diagnostics(&self) -> impl Iterator<Item = &p2_planner::Diagnostic> + '_ {
         self.plan_diagnostics.iter().map(|(_, d)| d)
+    }
+
+    /// Static-analysis warnings and notes for currently installed
+    /// programs (typo'd relations, cross-location joins, soft-state
+    /// leaks, ...). Also reflected as `sysDiag` tuples on
+    /// [`Node::refresh_introspection`].
+    pub fn analysis_diagnostics(&self) -> impl Iterator<Item = &p2_overlog::Diagnostic> + '_ {
+        self.analysis_diagnostics.iter().map(|(_, d)| d)
     }
 
     // ------------------------------------------------------------ internal

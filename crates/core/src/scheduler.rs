@@ -147,15 +147,22 @@ impl Node {
     /// step-rounds are no-ops, and the wholesale shortcut is observably
     /// identical.
     fn consume_front(&mut self, budget: &mut u64, now: Time) {
-        let front = self.pending.front().expect("pending checked non-empty");
+        let Some(front) = self.pending.front() else {
+            return; // caller checks non-empty; an empty queue is done
+        };
         let subscribed = self.event_dispatch.contains_key(&front.relation)
             || self.table_dispatch.contains_key(&front.relation);
         if subscribed || !self.active_strands.is_empty() || front.tuples.len() == 1 {
             // A run of length one gains nothing from the wholesale
             // branch; sending it through `dispatch` keeps exactly one
             // code path producing single-tuple effects.
-            let front = self.pending.front_mut().expect("checked");
-            let tuple = front.tuples.pop_front().expect("batches are non-empty");
+            let Some(front) = self.pending.front_mut() else {
+                return;
+            };
+            let Some(tuple) = front.tuples.pop_front() else {
+                self.pending.pop_front(); // batches are never empty
+                return;
+            };
             let traced = front.traced;
             if front.tuples.is_empty() {
                 self.pending.pop_front();
@@ -169,7 +176,9 @@ impl Node {
         // ID assignment) depends on per-tuple timing: the whole run is
         // one store call. Watches and the event log still see every
         // tuple, in order.
-        let mut front = self.pending.pop_front().expect("checked");
+        let Some(mut front) = self.pending.pop_front() else {
+            return;
+        };
         let traced = front.traced;
         let relation = std::mem::take(&mut front.relation);
         let take = (*budget).min(front.tuples.len() as u64) as usize;

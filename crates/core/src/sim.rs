@@ -93,6 +93,11 @@ impl SimHarness {
     }
 
     /// Access a node mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never added to the harness.
+    #[expect(clippy::expect_used, reason = "documented panic on unknown address")]
     pub fn node_mut(&mut self, addr: &Addr) -> &mut Node {
         self.nodes.get_mut(addr).expect("unknown node").node_mut()
     }
@@ -163,7 +168,9 @@ impl SimHarness {
                 if self.net.is_down(&addr) {
                     continue;
                 }
-                let drv = self.nodes.get_mut(&addr).expect("known");
+                let Some(drv) = self.nodes.get_mut(&addr) else {
+                    continue; // order and nodes are kept in sync
+                };
                 drv.service(self.clock);
                 for env in drv.transport_mut().drain_outbox() {
                     self.net.send(env, self.clock);
@@ -214,7 +221,10 @@ impl SimHarness {
                 if self.net.is_down(&addr) {
                     continue;
                 }
-                let node = self.nodes.get_mut(&addr).expect("known").node_mut();
+                let Some(drv) = self.nodes.get_mut(&addr) else {
+                    continue;
+                };
+                let node = drv.node_mut();
                 if node.next_timer().is_some_and(|t| t <= next) {
                     node.fire_timers(next);
                 }
@@ -223,11 +233,9 @@ impl SimHarness {
             if self.clock >= self.next_gc {
                 for addr in self.order.clone() {
                     let now = self.clock;
-                    self.nodes
-                        .get_mut(&addr)
-                        .expect("known")
-                        .node_mut()
-                        .trace_gc(now);
+                    if let Some(drv) = self.nodes.get_mut(&addr) {
+                        drv.node_mut().trace_gc(now);
+                    }
                 }
                 self.next_gc = self.clock + self.gc_period;
             }

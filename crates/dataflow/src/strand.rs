@@ -339,6 +339,9 @@ impl StrandRuntime {
             // Emit one pending match from an active join.
             if self.stages[i].active.is_some() {
                 let (emit, done): (Option<(Env, Tuple)>, bool) = {
+                    // `if let` would hold the borrow across the strand
+                    // methods below; the narrow block keeps it local.
+                    #[expect(clippy::expect_used, reason = "is_some checked just above")]
                     let active = self.stages[i].active.as_mut().expect("checked");
                     if active.next < active.results.len() {
                         let r = active.results[active.next].clone();
@@ -511,6 +514,10 @@ impl StrandRuntime {
     ) {
         debug_assert_eq!(self.branches.len(), 1, "aggregates are never shared");
         let plan = self.branches[0].plan.clone();
+        #[expect(
+            clippy::expect_used,
+            reason = "only strands planned with an aggregate head reach this path"
+        )]
         let agg: AggPlan = plan.head.agg.clone().expect("agg strand");
         let pre_ops = self.pre_ops.clone();
         let stage_defs = self.stage_defs.clone();
@@ -589,6 +596,10 @@ impl StrandRuntime {
                 if pos == agg.position {
                     vals.push(agg_value.clone());
                 } else {
+                    #[expect(
+                        clippy::expect_used,
+                        reason = "group keys carry one value per non-aggregate head field"
+                    )]
                     vals.push(key_iter.next().expect("group key arity"));
                 }
             }
@@ -734,16 +745,17 @@ fn probe_stage(
             };
             match want {
                 Some(v) => {
-                    let hit = cache.as_ref().is_some_and(|c| {
+                    let version = store.version_of(&def.table);
+                    let cached = cache.as_ref().filter(|c| {
                         c.stage == stage
                             && c.field == field
                             && c.now == now
-                            && c.version == store.version_of(&def.table)
+                            && c.version == version
                             && c.value == v
                     });
-                    if hit {
+                    if let Some(c) = cached {
                         stats.probe_cache_hits += 1;
-                        cache.as_ref().expect("hit").rows.clone()
+                        c.rows.clone()
                     } else {
                         let rows = store.scan_eq(&def.table, field, &v, now);
                         // Version is read *after* the scan: the scan's own

@@ -216,7 +216,9 @@ impl SimNetwork {
             if m.deliver_at > now {
                 break;
             }
-            let Reverse(m) = self.queue.pop().expect("peeked");
+            let Some(Reverse(m)) = self.queue.pop() else {
+                break;
+            };
             if self.down.contains(&m.env.dst) {
                 self.stats.dropped += 1;
                 continue;

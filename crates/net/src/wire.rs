@@ -82,15 +82,13 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let b = self.take(4)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let b = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     fn str(&mut self) -> Result<String, WireError> {

@@ -6,6 +6,7 @@
 //! of every tuple is the address where the tuple lives (§2 of the paper:
 //! *"OverLog allows `link@A(B,W)` instead of `link(A,B,W)`"*).
 
+use crate::lexer::Span;
 use p2_types::Value;
 use std::fmt;
 
@@ -82,6 +83,9 @@ pub struct Materialize {
     pub max_size: SizeLimit,
     /// 1-based primary-key field numbers.
     pub keys: Vec<usize>,
+    /// Source span of the table name (positions only — ignored by `==`,
+    /// see [`Span`]).
+    pub span: Span,
 }
 
 /// A deduction rule: `label head :- term, term, ... .`
@@ -100,6 +104,9 @@ pub struct Rule {
     /// Body terms, in source order (the order is meaningful: it fixes the
     /// join order of the compiled rule strand, as in Figure 1).
     pub body: Vec<Term>,
+    /// Source span of the rule's first token (positions only — ignored
+    /// by `==`, see [`Span`]).
+    pub span: Span,
 }
 
 impl Rule {
@@ -124,14 +131,31 @@ pub enum Term {
     Pred(Predicate),
     /// A boolean condition (selection), e.g. `SomeAddr != PAddr` or
     /// `ResltNodeID in (PID, SID)`.
-    Cond(Expr),
+    Cond {
+        /// The condition expression.
+        expr: Expr,
+        /// Source span of the whole condition.
+        span: Span,
+    },
     /// An assignment `Var := expr`, e.g. `T := f_now()`.
     Assign {
         /// The variable being bound.
         var: String,
         /// Its defining expression.
         expr: Expr,
+        /// Source span of the whole assignment.
+        span: Span,
     },
+}
+
+impl Term {
+    /// The term's source span (a predicate's is its name token).
+    pub fn span(&self) -> Span {
+        match self {
+            Term::Pred(p) => p.span,
+            Term::Cond { span, .. } | Term::Assign { span, .. } => *span,
+        }
+    }
 }
 
 /// A predicate occurrence, head or body.
@@ -147,6 +171,10 @@ pub struct Predicate {
     pub args: Vec<Arg>,
     /// Whether the source used the `@` location-specifier form.
     pub at_form: bool,
+    /// Source span of the relation-name token — the caret target for
+    /// diagnostics about this occurrence (positions only — ignored by
+    /// `==`, see [`Span`]).
+    pub span: Span,
 }
 
 impl Predicate {
@@ -447,12 +475,15 @@ mod tests {
                     },
                 ],
                 at_form: true,
+                span: Span::default(),
             },
             body: vec![Term::Pred(Predicate {
                 name: "b".into(),
                 args: vec![Arg::Var("A".into())],
                 at_form: true,
+                span: Span::default(),
             })],
+            span: Span::default(),
         };
         assert!(rule.is_aggregate());
         assert_eq!(rule.body_predicates().count(), 1);

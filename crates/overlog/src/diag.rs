@@ -1,0 +1,295 @@
+//! The multi-finding diagnostics sink and its rustc-style renderer.
+//!
+//! Every front-end and analysis pass reports through a [`Diagnostics`]
+//! collection instead of returning on the first error, so one `p2ql
+//! check` run (or one `Node::install`) surfaces *everything* wrong with
+//! a program. Each [`Diagnostic`] carries a stable code (`P2Exxx` hard
+//! error / `P2Wxxx` warning / `P2Nxxx` note), an optional source
+//! [`Span`], and renders as a `file:line:col` header with a caret
+//! snippet when the source text is available.
+
+use crate::lexer::Span;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: stylistic or intentional-looking patterns worth a
+    /// second look (does not fail `p2ql check`).
+    Note,
+    /// Probably a bug, but the program is executable (fails `check`,
+    /// does not reject an install).
+    Warning,
+    /// The program is rejected.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`P2E101`, `P2W301`, ...). See DESIGN.md §2.9 for the
+    /// full table.
+    pub code: &'static str,
+    /// Error / warning / note.
+    pub severity: Severity,
+    /// One-line description of the problem.
+    pub message: String,
+    /// Where in the source, when known. Planner diagnostics resolved
+    /// from strand ids may have none.
+    pub span: Option<Span>,
+    /// Which source unit (index into the slice handed to the renderer)
+    /// the span refers to. Multi-file checks — a monitor stacked on the
+    /// program it observes — give each file its own unit.
+    pub unit: usize,
+    /// The rule label or `materialize(table)` context, when applicable.
+    pub context: Option<String>,
+    /// A follow-up hint ("did you mean `bestSucc`?").
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic; attach span/context/help with the `with_*`
+    /// methods.
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span: None,
+            unit: 0,
+            context: None,
+            help: None,
+        }
+    }
+
+    /// Attach a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach a rule / materialize context label.
+    pub fn with_context(mut self, ctx: impl Into<String>) -> Self {
+        self.context = Some(ctx.into());
+        self
+    }
+
+    /// Attach a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+/// A named source text, for rendering spans back to their file.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceUnit<'a> {
+    /// Display name (usually the file path).
+    pub name: &'a str,
+    /// Full source text.
+    pub src: &'a str,
+}
+
+/// An ordered collection of findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    /// The findings, in the order emitted (sort with
+    /// [`Diagnostics::sort_by_position`] before rendering).
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Add a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Move every finding from `other` into `self`, stamping them as
+    /// belonging to source unit `unit`.
+    pub fn absorb(&mut self, mut other: Diagnostics, unit: usize) {
+        for d in &mut other.items {
+            d.unit = unit;
+        }
+        self.items.append(&mut other.items);
+    }
+
+    /// Whether any finding is a hard error.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of findings at `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.items.iter().filter(|d| d.severity == sev).count()
+    }
+
+    /// The first error, if any (the `validate_strict` bridge).
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.items.iter().find(|d| d.severity == Severity::Error)
+    }
+
+    /// Sort by (unit, byte offset, code) for deterministic rendering;
+    /// span-less findings sort after positioned ones within their unit.
+    pub fn sort_by_position(&mut self) {
+        self.items.sort_by_key(|d| {
+            (
+                d.unit,
+                d.span.map(|s| s.start).unwrap_or(u32::MAX),
+                d.code,
+                d.message.clone(),
+            )
+        });
+    }
+
+    /// Render every finding with caret snippets against `units`.
+    pub fn render(&self, units: &[SourceUnit<'_>]) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&render_one(d, units));
+        }
+        out
+    }
+}
+
+fn render_one(d: &Diagnostic, units: &[SourceUnit<'_>]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+    out.push('\n');
+    let unit = units.get(d.unit);
+    if let (Some(u), Some(span)) = (unit, d.span) {
+        let _ = write!(out, "  --> {}:{}:{}", u.name, span.line, span.col);
+        if let Some(ctx) = &d.context {
+            let _ = write!(out, " (in {ctx})");
+        }
+        out.push('\n');
+        out.push_str(&caret_snippet(u.src, span));
+    } else if let Some(ctx) = &d.context {
+        let _ = writeln!(out, "  --> (in {ctx})");
+    }
+    if let Some(h) = &d.help {
+        let _ = writeln!(out, "   = help: {h}");
+    }
+    out
+}
+
+/// The `| source line` / `| ^^^^` block under a diagnostic header.
+fn caret_snippet(src: &str, span: Span) -> String {
+    use std::fmt::Write;
+    let line_no = span.line as usize;
+    let Some(line) = src.lines().nth(line_no.saturating_sub(1)) else {
+        return String::new();
+    };
+    let gutter = line_no.to_string();
+    let pad = " ".repeat(gutter.len());
+    let col = (span.col as usize).saturating_sub(1).min(line.len());
+    // Caret width: the span's extent, capped at the end of its first
+    // line (multi-line spans underline only their opening line).
+    let width = (span.end.saturating_sub(span.start) as usize)
+        .min(line.len() - col)
+        .max(1);
+    let mut out = String::new();
+    let _ = writeln!(out, "{pad} |");
+    let _ = writeln!(out, "{gutter} | {line}");
+    let _ = writeln!(out, "{pad} | {}{}", " ".repeat(col), "^".repeat(width));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+
+    #[test]
+    fn render_with_caret_points_at_the_name() {
+        let src = "r1 out@A(X) :- trigger@A(X).";
+        let p = parse_program(src).unwrap();
+        let pred = p.rules().next().unwrap().body_predicates().next().unwrap();
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::new("P2W301", Severity::Warning, "nothing produces 'trigger'")
+                .with_span(pred.span)
+                .with_context("rule r1")
+                .with_help("did you mean `tricker`?"),
+        );
+        let rendered = ds.render(&[SourceUnit { name: "x.olg", src }]);
+        assert!(rendered.contains("warning[P2W301]"), "{rendered}");
+        assert!(
+            rendered.contains("--> x.olg:1:16 (in rule r1)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("^^^^^^^"), "{rendered}");
+        assert!(rendered.contains("= help: did you mean"), "{rendered}");
+        // The caret row aligns under the 'trigger' token.
+        let lines: Vec<&str> = rendered.lines().collect();
+        let src_row = lines.iter().position(|l| l.contains("r1 out@A")).unwrap();
+        let caret_row = &lines[src_row + 1];
+        assert_eq!(
+            caret_row.find('^').unwrap(),
+            lines[src_row].find("trigger").unwrap(),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn spanless_diagnostics_render_context_only() {
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::new("P2W501", Severity::Warning, "rule d1: dead").with_context("strand d1"),
+        );
+        let rendered = ds.render(&[]);
+        assert!(rendered.contains("--> (in strand d1)"), "{rendered}");
+    }
+
+    #[test]
+    fn sort_is_by_unit_then_offset() {
+        let mut ds = Diagnostics::new();
+        let sp = |start: u32| Span {
+            start,
+            end: start + 1,
+            line: 1,
+            col: start + 1,
+        };
+        let mut d1 = Diagnostic::new("P2E101", Severity::Error, "b").with_span(sp(5));
+        d1.unit = 1;
+        ds.push(d1);
+        ds.push(Diagnostic::new("P2E101", Severity::Error, "a").with_span(sp(9)));
+        ds.push(Diagnostic::new("P2E101", Severity::Error, "c").with_span(sp(2)));
+        ds.sort_by_position();
+        let msgs: Vec<&str> = ds.items.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(msgs, ["c", "a", "b"]);
+    }
+
+    #[test]
+    fn counts_and_first_error() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::new("P2N302", Severity::Note, "n"));
+        assert!(!ds.has_errors());
+        assert_eq!(ds.first_error(), None);
+        ds.push(Diagnostic::new("P2E101", Severity::Error, "e"));
+        assert!(ds.has_errors());
+        assert_eq!(ds.count(Severity::Error), 1);
+        assert_eq!(ds.first_error().unwrap().message, "e");
+    }
+}

@@ -6,13 +6,45 @@
 
 use std::fmt;
 
-/// A source position range (1-based line and column of the token start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// A source position range: the byte span `start..end` plus the 1-based
+/// line and column of `start`, so diagnostics can both slice the source
+/// text (caret snippets) and render a human `line:col`.
+///
+/// Spans are *positions, not semantics*: two AST nodes that differ only
+/// in where they were written are the same program. `PartialEq`
+/// therefore treats every pair of spans as equal, which lets the AST
+/// types keep their derived structural equality (pretty-print round
+/// trips compare equal even though the reprinted spans moved). Compare
+/// the `line`/`col`/`start`/`end` fields directly when a test cares
+/// about actual positions.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Span {
-    /// 1-based line.
+    /// Byte offset of the first byte.
+    pub start: u32,
+    /// Byte offset one past the last byte.
+    pub end: u32,
+    /// 1-based line of `start`.
     pub line: u32,
-    /// 1-based column.
+    /// 1-based column of `start`.
     pub col: u32,
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _other: &Span) -> bool {
+        true // positions carry no semantics; see the type docs
+    }
+}
+
+impl Eq for Span {}
+
+impl Span {
+    /// A span covering `self` through the end of `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            end: other.end.max(self.end),
+            ..self
+        }
+    }
 }
 
 impl fmt::Display for Span {
@@ -168,6 +200,8 @@ impl<'a> Lexer<'a> {
 
     fn span(&self) -> Span {
         Span {
+            start: self.pos as u32,
+            end: self.pos as u32 + 1,
             line: self.line,
             col: self.col,
         }
@@ -495,7 +529,10 @@ impl<'a> Lexer<'a> {
 pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
     let mut lx = Lexer::new(src);
     let mut out = Vec::new();
-    while let Some(t) = lx.next_token()? {
+    while let Some(mut t) = lx.next_token()? {
+        // The lexer sits one past the token's last byte here, which
+        // completes the byte span started at the token's first byte.
+        t.span.end = lx.pos as u32;
         out.push(t);
     }
     Ok(out)
@@ -598,14 +635,24 @@ mod tests {
     #[test]
     fn spans_track_lines() {
         let ts = tokenize("a\n  b").unwrap();
-        assert_eq!(ts[0].span, Span { line: 1, col: 1 });
-        assert_eq!(ts[1].span, Span { line: 2, col: 3 });
+        assert_eq!((ts[0].span.line, ts[0].span.col), (1, 1));
+        assert_eq!((ts[1].span.line, ts[1].span.col), (2, 3));
+    }
+
+    #[test]
+    fn spans_track_byte_offsets() {
+        let ts = tokenize("ab  cde").unwrap();
+        assert_eq!((ts[0].span.start, ts[0].span.end), (0, 2));
+        assert_eq!((ts[1].span.start, ts[1].span.end), (4, 7));
+        let ts = tokenize(r#""str" 0x1f"#).unwrap();
+        assert_eq!((ts[0].span.start, ts[0].span.end), (0, 5));
+        assert_eq!((ts[1].span.start, ts[1].span.end), (6, 10));
     }
 
     #[test]
     fn errors_are_positioned() {
         let e = tokenize("a $ b").unwrap_err();
-        assert_eq!(e.span, Span { line: 1, col: 3 });
+        assert_eq!((e.span.line, e.span.col), (1, 3));
         let e = tokenize("\"unterminated").unwrap_err();
         assert!(e.message.contains("unterminated"));
         let e = tokenize("/* open").unwrap_err();

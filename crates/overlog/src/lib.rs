@@ -20,6 +20,7 @@
 //! The grammar is documented on [`parser::parse_program`].
 
 pub mod ast;
+pub mod diag;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -29,17 +30,23 @@ pub use ast::{
     AggFunc, Arg, BinOp, Expr, Lifetime, Materialize, Predicate, Program, Rule, SizeLimit,
     Statement, Term, UnOp,
 };
+pub use diag::{Diagnostic, Diagnostics, Severity, SourceUnit};
 pub use lexer::{LexError, Span};
 pub use parser::{parse_program, ParseError};
-pub use validate::{validate, ValidateError};
+pub use validate::{
+    validate, validate_arities, validate_statements, validate_strict, ValidateError,
+};
 
 /// Parse and validate a program in one step.
 ///
 /// This is the entry point the node runtime uses when a query is
 /// installed on-line; both phases report positioned, typed errors.
+/// Validation is strict here (first error rejects); use
+/// [`validate`] directly — or the `p2-analysis` crate — for the
+/// collect-everything diagnostics surface.
 pub fn compile(src: &str) -> Result<Program, CompileError> {
     let program = parse_program(src).map_err(CompileError::Parse)?;
-    validate(&program).map_err(CompileError::Validate)?;
+    validate_strict(&program).map_err(CompileError::Validate)?;
     Ok(program)
 }
 

@@ -99,6 +99,15 @@ impl Parser {
             .unwrap_or_default()
     }
 
+    /// Span of the most recently consumed token (for closing a multi-token
+    /// span with [`Span::to`]).
+    fn prev_span(&self) -> Span {
+        self.tokens
+            .get(self.pos.wrapping_sub(1))
+            .map(|t| t.span)
+            .unwrap_or_default()
+    }
+
     fn bump(&mut self) -> Option<Tok> {
         let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
         if t.is_some() {
@@ -162,6 +171,7 @@ impl Parser {
     fn materialize(&mut self) -> Result<Statement, ParseError> {
         self.bump(); // materialize
         self.expect(&Tok::LParen)?;
+        let span = self.span(); // the table-name token
         let table = self.ident()?;
         self.expect(&Tok::Comma)?;
         let lifetime = match self.bump() {
@@ -209,10 +219,14 @@ impl Parser {
             lifetime,
             max_size,
             keys,
+            span,
         }))
     }
 
     fn rule(&mut self) -> Result<Rule, ParseError> {
+        // The rule's span anchors at its first token: the label when
+        // present, the head name otherwise.
+        let span = self.span();
         // Optional label: bare identifier followed by another identifier,
         // or the bracketed `[ruleID]` form from §2 of the paper.
         let mut label = None;
@@ -255,12 +269,14 @@ impl Parser {
             delete,
             head,
             body,
+            span,
         })
     }
 
     // --------------------------------------------------------------- terms
 
     fn term(&mut self) -> Result<Term, ParseError> {
+        let start = self.span();
         // Assignment: VAR := expr
         if matches!(self.peek(), Some(Tok::Var(_))) && self.peek_at(1) == Some(&Tok::Assign) {
             let var = match self.bump() {
@@ -269,7 +285,8 @@ impl Parser {
             };
             self.bump(); // :=
             let expr = self.expr()?;
-            return Ok(Term::Assign { var, expr });
+            let span = start.to(self.prev_span());
+            return Ok(Term::Assign { var, expr, span });
         }
         // Predicate: IDENT not starting with f_, followed by '@' or '('.
         if let Some(Tok::Ident(name)) = self.peek() {
@@ -279,11 +296,14 @@ impl Parser {
             }
         }
         // Otherwise: a condition expression.
-        Ok(Term::Cond(self.expr()?))
+        let expr = self.expr()?;
+        let span = start.to(self.prev_span());
+        Ok(Term::Cond { expr, span })
     }
 
     /// Parse a predicate. `in_head` permits aggregate arguments.
     fn predicate(&mut self, in_head: bool) -> Result<Predicate, ParseError> {
+        let span = self.span(); // the relation-name token
         let name = self.ident()?;
         let mut args = Vec::new();
         let at_form = self.eat(&Tok::At);
@@ -319,6 +339,7 @@ impl Parser {
             name,
             args,
             at_form,
+            span,
         })
     }
 
@@ -652,7 +673,7 @@ mod tests {
             "os1 oscill@NAddr(SAddr, T) :- faultyNode@NAddr(SAddr, T1), sendPred@NAddr(SID, SAddr), T := f_now().",
         );
         match &r.body[2] {
-            Term::Assign { var, expr } => {
+            Term::Assign { var, expr, .. } => {
                 assert_eq!(var, "T");
                 assert_eq!(
                     expr,
@@ -672,11 +693,15 @@ mod tests {
             "l1 res@R(K) :- node@N(NID), lookup@N(K, R, E), bestSucc@N(SA, SID), K in (NID, SID].",
         );
         match &r.body[3] {
-            Term::Cond(Expr::In {
-                lo_closed,
-                hi_closed,
+            Term::Cond {
+                expr:
+                    Expr::In {
+                        lo_closed,
+                        hi_closed,
+                        ..
+                    },
                 ..
-            }) => {
+            } => {
                 assert!(!lo_closed);
                 assert!(hi_closed);
             }
@@ -684,11 +709,15 @@ mod tests {
         }
         let r = parse1("x res@R() :- a@R(FID, NID, K), FID in (NID, K).");
         match &r.body[1] {
-            Term::Cond(Expr::In {
-                lo_closed,
-                hi_closed,
+            Term::Cond {
+                expr:
+                    Expr::In {
+                        lo_closed,
+                        hi_closed,
+                        ..
+                    },
                 ..
-            }) => {
+            } => {
                 assert!(!lo_closed);
                 assert!(!hi_closed);
             }
@@ -758,7 +787,10 @@ mod tests {
             r#"sr11 channelState@NAddr(Src, E, "Done") :- haveSnap@NAddr(Src, E, C), backPointer@NAddr(Remote), (C > 0) || (Src == Remote)."#,
         );
         match &r.body[2] {
-            Term::Cond(Expr::Binary(BinOp::Or, _, _)) => {}
+            Term::Cond {
+                expr: Expr::Binary(BinOp::Or, _, _),
+                ..
+            } => {}
             other => panic!("expected ||, got {other:?}"),
         }
     }
@@ -775,7 +807,10 @@ mod tests {
         // string literal in the paper; bare lower idents also work.
         let r = parse1(r#"ep6 report@N(ID) :- forward@N(ID, R), R != cs2."#);
         match &r.body[1] {
-            Term::Cond(Expr::Binary(BinOp::Ne, _, rhs)) => {
+            Term::Cond {
+                expr: Expr::Binary(BinOp::Ne, _, rhs),
+                ..
+            } => {
                 assert_eq!(**rhs, Expr::Const(Value::str("cs2")));
             }
             other => panic!("{other:?}"),

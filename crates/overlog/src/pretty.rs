@@ -73,8 +73,8 @@ pub fn rule_to_string(r: &Rule) -> String {
 fn term_to_string(t: &Term) -> String {
     match t {
         Term::Pred(p) => pred_to_string(p),
-        Term::Cond(e) => expr_to_string(e),
-        Term::Assign { var, expr } => format!("{var} := {}", expr_to_string(expr)),
+        Term::Cond { expr, .. } => expr_to_string(expr),
+        Term::Assign { var, expr, .. } => format!("{var} := {}", expr_to_string(expr)),
     }
 }
 

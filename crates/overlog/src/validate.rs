@@ -22,8 +22,14 @@
 //!    within a program must agree, `periodic` is always
 //!    `(loc, nonce, period)`, and a `materialize`'s `keys(...)` must fit
 //!    within the relation's used arity.
+//!
+//! Findings are reported through the [`Diagnostics`] sink — every problem
+//! in the program at once, each with a source span and a stable code.
+//! [`validate`] returns the full sink; [`validate_strict`] is the
+//! first-error bridge the planner and `overlog::compile` reject on.
 
 use crate::ast::*;
+use crate::diag::{Diagnostic, Diagnostics, Severity};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -45,72 +51,112 @@ impl fmt::Display for ValidateError {
 
 impl std::error::Error for ValidateError {}
 
-/// Validate a whole program.
-pub fn validate(program: &Program) -> Result<(), ValidateError> {
+/// Validate a whole program, collecting **every** finding.
+pub fn validate(program: &Program) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    validate_statements(program, &mut diags);
+    validate_arities(program, &mut diags);
+    diags
+}
+
+/// Validate and reject on the first error (the historical `Result`
+/// surface; the planner and [`crate::compile`] gate installs on it).
+pub fn validate_strict(program: &Program) -> Result<(), ValidateError> {
+    match validate(program).first_error() {
+        Some(d) => Err(ValidateError {
+            rule: d.context.clone().unwrap_or_else(|| "program".into()),
+            message: d.message.clone(),
+        }),
+        None => Ok(()),
+    }
+}
+
+/// Checks 1–6: per-statement validation (everything except the
+/// cross-statement arity pass). Exposed separately so the `analysis`
+/// crate can run it per source unit and do arity checking across a
+/// whole unit *stack* instead.
+pub fn validate_statements(program: &Program, diags: &mut Diagnostics) {
     let mut seen_tables = HashSet::new();
-    let mut key_maxes: Vec<(String, usize)> = Vec::new();
-    for (i, s) in program.statements.iter().enumerate() {
+    let mut rule_idx = 0usize;
+    for s in &program.statements {
         match s {
             Statement::Materialize(m) => {
+                let ctx = format!("materialize({})", m.table);
                 if !seen_tables.insert(m.table.clone()) {
-                    return Err(ValidateError {
-                        rule: format!("materialize({})", m.table),
-                        message: "table declared twice in one program".into(),
-                    });
+                    diags.push(
+                        Diagnostic::new(
+                            "P2E106",
+                            Severity::Error,
+                            "table declared twice in one program",
+                        )
+                        .with_span(m.span)
+                        .with_context(ctx.clone()),
+                    );
                 }
                 if m.keys.is_empty() {
-                    return Err(ValidateError {
-                        rule: format!("materialize({})", m.table),
-                        message: "keys(...) must name at least one field".into(),
-                    });
+                    diags.push(
+                        Diagnostic::new(
+                            "P2E106",
+                            Severity::Error,
+                            "keys(...) must name at least one field",
+                        )
+                        .with_span(m.span)
+                        .with_context(ctx),
+                    );
                 }
-                key_maxes.push((m.table.clone(), *m.keys.iter().max().expect("non-empty")));
             }
             Statement::Rule(r) => {
+                rule_idx += 1;
                 let name = r
                     .label
                     .clone()
-                    .unwrap_or_else(|| format!("rule #{}", i + 1));
-                validate_rule(r, &name)?;
+                    .unwrap_or_else(|| format!("rule #{rule_idx}"));
+                validate_rule(r, &name, diags);
             }
         }
     }
-    check_arities(program, &key_maxes)?;
-    Ok(())
 }
 
-/// Rule 7: per-program arity consistency (strict-arity matching makes a
-/// mixed-arity relation a latent never-matches bug), plus `periodic`'s
-/// fixed shape and `keys(...)` bounds.
-fn check_arities(program: &Program, key_maxes: &[(String, usize)]) -> Result<(), ValidateError> {
+/// Check 7: arity consistency across the program, `periodic`'s fixed
+/// shape, and `keys(...)` bounds.
+pub fn validate_arities(program: &Program, diags: &mut Diagnostics) {
     use std::collections::HashMap;
     // relation -> (arity, rule where first seen)
     let mut firsts: HashMap<String, (usize, String)> = HashMap::new();
-    let mut record = |p: &Predicate, rule: String| -> Result<(), ValidateError> {
+    let mut record = |p: &Predicate, rule: &str, diags: &mut Diagnostics| {
         let arity = p.args.len();
         if p.name == "periodic" {
             if arity != 3 {
-                return Err(ValidateError {
-                    rule,
-                    message: format!(
-                        "periodic takes (location, nonce, period); found {arity} fields"
-                    ),
-                });
+                diags.push(
+                    Diagnostic::new(
+                        "P2E109",
+                        Severity::Error,
+                        format!("periodic takes (location, nonce, period); found {arity} fields"),
+                    )
+                    .with_span(p.span)
+                    .with_context(rule),
+                );
             }
-            return Ok(());
+            return;
         }
         match firsts.get(&p.name) {
-            Some((a, first)) if *a != arity => Err(ValidateError {
-                rule,
-                message: format!(
-                    "relation '{}' used with {arity} fields here but {a} fields in {first};                      strict-arity matching means these can never match each other",
-                    p.name
-                ),
-            }),
-            Some(_) => Ok(()),
+            Some((a, first)) if *a != arity => {
+                diags.push(
+                    Diagnostic::new(
+                        "P2E108",
+                        Severity::Error,
+                        format!(
+                            "relation '{}' used with {arity} fields here but {a} fields in {first};                      strict-arity matching means these can never match each other",
+                            p.name
+                        ),
+                    )
+                    .with_span(p.span)
+                    .with_context(rule),
+                );
+            }
+            Some(_) => {}
             None => {
-                firsts.insert(p.name.clone(), (arity, rule));
-                Ok(())
+                firsts.insert(p.name.clone(), (arity, rule.to_string()));
             }
         }
     };
@@ -119,32 +165,41 @@ fn check_arities(program: &Program, key_maxes: &[(String, usize)]) -> Result<(),
         let Statement::Rule(r) = s else { continue };
         idx += 1;
         let rname = r.label.clone().unwrap_or_else(|| format!("rule #{idx}"));
-        record(&r.head, rname.clone())?;
+        record(&r.head, &rname, diags);
         for p in r.body_predicates() {
-            record(p, rname.clone())?;
+            record(p, &rname, diags);
         }
     }
-    for (table, key_max) in key_maxes {
-        if let Some((arity, first)) = firsts.get(table) {
+    for m in program.materializations() {
+        let Some(key_max) = m.keys.iter().max() else {
+            continue; // empty keys already reported (P2E106)
+        };
+        if let Some((arity, first)) = firsts.get(&m.table) {
             if key_max > arity {
-                return Err(ValidateError {
-                    rule: format!("materialize({table})"),
-                    message: format!(
-                        "keys(...) names field {key_max} but '{table}' is used with                          {arity} fields (in {first})"
-                    ),
-                });
+                diags.push(
+                    Diagnostic::new(
+                        "P2E110",
+                        Severity::Error,
+                        format!(
+                            "keys(...) names field {key_max} but '{}' is used with                          {arity} fields (in {first})",
+                            m.table
+                        ),
+                    )
+                    .with_span(m.span)
+                    .with_context(format!("materialize({})", m.table)),
+                );
             }
         }
     }
-    Ok(())
 }
 
-fn validate_rule(r: &Rule, name: &str) -> Result<(), ValidateError> {
-    let err = |message: String| {
-        Err(ValidateError {
-            rule: name.to_string(),
-            message,
-        })
+fn validate_rule(r: &Rule, name: &str, diags: &mut Diagnostics) {
+    let err = |diags: &mut Diagnostics, code: &'static str, span, message: String| {
+        diags.push(
+            Diagnostic::new(code, Severity::Error, message)
+                .with_span(span)
+                .with_context(name),
+        );
     };
 
     // Facts: no body => all head args must be constants.
@@ -152,17 +207,27 @@ fn validate_rule(r: &Rule, name: &str) -> Result<(), ValidateError> {
         for a in &r.head.args {
             match a {
                 Arg::Const(_) => {}
-                other => return err(format!("fact argument must be a constant, found {other:?}")),
+                other => err(
+                    diags,
+                    "P2E104",
+                    r.head.span,
+                    format!("fact argument must be a constant, found {other:?}"),
+                ),
             }
         }
         if r.delete {
-            return err("a delete rule needs a body".into());
+            err(diags, "P2E107", r.span, "a delete rule needs a body".into());
         }
-        return Ok(());
+        return;
     }
 
     if r.body_predicates().count() == 0 {
-        return err("rule body needs at least one predicate".into());
+        err(
+            diags,
+            "P2E107",
+            r.span,
+            "rule body needs at least one predicate".into(),
+        );
     }
 
     // Walk the body left to right, tracking bound variables.
@@ -174,13 +239,15 @@ fn validate_rule(r: &Rule, name: &str) -> Result<(), ValidateError> {
                 // already-bound variables.
                 for a in &p.args {
                     if let Arg::Expr(e) = a {
-                        check_bound(e, &bound, name, "body predicate expression")?;
+                        check_bound(e, &bound, p.span, "body predicate expression", name, diags);
                     }
                     if let Arg::Agg { .. } = a {
-                        return err(format!(
-                            "aggregate not allowed in body predicate '{}'",
-                            p.name
-                        ));
+                        err(
+                            diags,
+                            "P2E103",
+                            p.span,
+                            format!("aggregate not allowed in body predicate '{}'", p.name),
+                        );
                     }
                 }
                 // Then the predicate's variables become bound.
@@ -190,12 +257,12 @@ fn validate_rule(r: &Rule, name: &str) -> Result<(), ValidateError> {
                     }
                 }
             }
-            Term::Assign { var, expr } => {
-                check_bound(expr, &bound, name, "assignment")?;
+            Term::Assign { var, expr, span } => {
+                check_bound(expr, &bound, *span, "assignment", name, diags);
                 bound.insert(var.clone());
             }
-            Term::Cond(e) => {
-                check_bound(e, &bound, name, "condition")?;
+            Term::Cond { expr, span } => {
+                check_bound(expr, &bound, *span, "condition", name, diags);
             }
         }
     }
@@ -206,27 +273,64 @@ fn validate_rule(r: &Rule, name: &str) -> Result<(), ValidateError> {
         match a {
             Arg::Var(v) => {
                 if !bound.contains(v) {
-                    return err(format!("head variable {v} is not bound by the body"));
+                    if i == 0 {
+                        err(
+                            diags,
+                            "P2E111",
+                            r.head.span,
+                            format!(
+                                "head location {v} is not bound by the body — \
+                                 the deduced tuple has no destination"
+                            ),
+                        );
+                    } else {
+                        err(
+                            diags,
+                            "P2E101",
+                            r.head.span,
+                            format!("head variable {v} is not bound by the body"),
+                        );
+                    }
                 }
             }
             Arg::Const(_) => {}
             Arg::Wildcard => {
-                return err("wildcard '_' not allowed in rule head".into());
+                err(
+                    diags,
+                    "P2E105",
+                    r.head.span,
+                    "wildcard '_' not allowed in rule head".into(),
+                );
             }
             Arg::Agg { func, over } => {
                 agg_count += 1;
                 if i == 0 {
-                    return err("aggregate cannot be the location field".into());
+                    err(
+                        diags,
+                        "P2E103",
+                        r.head.span,
+                        "aggregate cannot be the location field".into(),
+                    );
                 }
                 if r.delete {
-                    return err("aggregates not allowed in delete rules".into());
+                    err(
+                        diags,
+                        "P2E103",
+                        r.head.span,
+                        "aggregates not allowed in delete rules".into(),
+                    );
                 }
                 if let Some(v) = over {
                     if !bound.contains(v) {
-                        return err(format!(
-                            "aggregate variable {v} in {}<{v}> is not bound",
-                            func.name()
-                        ));
+                        err(
+                            diags,
+                            "P2E103",
+                            r.head.span,
+                            format!(
+                                "aggregate variable {v} in {}<{v}> is not bound",
+                                func.name()
+                            ),
+                        );
                     }
                 }
             }
@@ -235,35 +339,50 @@ fn validate_rule(r: &Rule, name: &str) -> Result<(), ValidateError> {
                 e.free_vars(&mut vs);
                 for v in vs {
                     if !bound.contains(&v) {
-                        return err(format!("head expression uses unbound variable {v}"));
+                        err(
+                            diags,
+                            "P2E101",
+                            r.head.span,
+                            format!("head expression uses unbound variable {v}"),
+                        );
                     }
                 }
             }
         }
     }
     if agg_count > 1 {
-        return err("at most one aggregate per rule head".into());
+        err(
+            diags,
+            "P2E103",
+            r.head.span,
+            "at most one aggregate per rule head".into(),
+        );
     }
-    Ok(())
 }
 
 fn check_bound(
     e: &Expr,
     bound: &HashSet<String>,
-    rule: &str,
+    span: crate::lexer::Span,
     ctx: &str,
-) -> Result<(), ValidateError> {
+    rule: &str,
+    diags: &mut Diagnostics,
+) {
     let mut vs = Vec::new();
     e.free_vars(&mut vs);
     for v in vs {
         if !bound.contains(&v) {
-            return Err(ValidateError {
-                rule: rule.to_string(),
-                message: format!("{ctx} uses variable {v} before it is bound"),
-            });
+            diags.push(
+                Diagnostic::new(
+                    "P2E102",
+                    Severity::Error,
+                    format!("{ctx} uses variable {v} before it is bound"),
+                )
+                .with_span(span)
+                .with_context(rule),
+            );
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -272,7 +391,7 @@ mod tests {
     use crate::parser::parse_program;
 
     fn check(src: &str) -> Result<(), ValidateError> {
-        validate(&parse_program(src).unwrap())
+        validate_strict(&parse_program(src).unwrap())
     }
 
     #[test]
@@ -401,5 +520,38 @@ mod tests {
     fn head_agg_location_rejected() {
         let e = check("r h@A(X) :- t@A(X).").and(check("r h(count<*>, X) :- t@A(X)."));
         assert!(e.unwrap_err().message.contains("location"));
+    }
+
+    #[test]
+    fn sink_collects_every_finding_with_codes_and_spans() {
+        // Three independent errors in one program: the sink reports all
+        // of them, where the old Result stopped at the first.
+        let src = "r1 h@A(X) :- t@A(Y).
+r2 g@A(_) :- t@A(Y).
+r3 k@A(Y) :- t@A(Y), Z > 1.";
+        let ds = validate(&parse_program(src).unwrap());
+        assert_eq!(ds.count(Severity::Error), 3, "{ds:?}");
+        let codes: Vec<&str> = ds.items.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"P2E101"));
+        assert!(codes.contains(&"P2E105"));
+        assert!(codes.contains(&"P2E102"));
+        // Every finding is positioned on its own line.
+        let lines: Vec<u32> = ds.items.iter().map(|d| d.span.unwrap().line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unbound_head_location_has_its_own_code() {
+        let ds = validate(&parse_program("r h@Z(Y) :- t@A(Y).").unwrap());
+        assert_eq!(ds.items.len(), 1);
+        assert_eq!(ds.items[0].code, "P2E111");
+    }
+
+    #[test]
+    fn strict_matches_first_sink_error() {
+        let src = "r1 h@A(X) :- t@A(Y). r2 g@A(_) :- t@A(Y).";
+        let e = check(src).unwrap_err();
+        assert_eq!(e.rule, "r1");
+        assert!(e.message.contains('X'));
     }
 }

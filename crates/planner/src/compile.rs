@@ -18,8 +18,8 @@ use crate::ir::{build_strand_ir, head_group_vars, IrOp, StrandIr};
 use crate::passes::{fold_strand, schedule_ops, shared_prefix_groups, OptLevel, PlanOpts};
 use crate::plan::*;
 use p2_overlog::{
-    validate, Arg, Expr, Lifetime, Materialize, Predicate, Program, Rule, SizeLimit, Statement,
-    Term, ValidateError,
+    validate_strict, Arg, Expr, Lifetime, Materialize, Predicate, Program, Rule, SizeLimit,
+    Statement, Term, ValidateError,
 };
 use p2_types::{Addr, Tuple, Value};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -111,7 +111,7 @@ pub fn compile_program_with(
     known_tables: &HashSet<String>,
     opts: &PlanOpts,
 ) -> Result<CompiledProgram, PlanError> {
-    validate(program).map_err(PlanError::Invalid)?;
+    validate_strict(program).map_err(PlanError::Invalid)?;
     let optimize = opts.level == OptLevel::Full;
 
     let mut out = CompiledProgram::default();
@@ -369,6 +369,10 @@ fn lower_strand(ir: &StrandIr, rule: &Rule) -> Result<Strand, PlanError> {
     // ----- head -----
     let mut fields = Vec::new();
     let mut agg: Option<AggPlan> = None;
+    #[expect(
+        clippy::expect_used,
+        reason = "validate_strict ran before planning: head and aggregate vars are bound"
+    )]
     for (pos, a) in rule.head.args.iter().enumerate() {
         fields.push(match a {
             Arg::Var(v) => FieldOut::Slot(slots.get(v).expect("validated: head vars bound")),

@@ -155,6 +155,10 @@ fn head(h: &HeadSpec, s: &Strand) -> String {
             FieldOut::Const(v) => v.to_string(),
             FieldOut::Expr(e) => pexpr(e, s),
             FieldOut::Agg => {
+                #[expect(
+                    clippy::expect_used,
+                    reason = "an Agg field is only planned with an agg"
+                )]
                 let agg = h.agg.as_ref().expect("Agg field implies agg plan");
                 let over = match &agg.over {
                     Some(e) => pexpr(e, s),

@@ -503,7 +503,7 @@ mod tests {
             .body
             .iter()
             .find_map(|t| match t {
-                Term::Cond(e) => Some(e.clone()),
+                Term::Cond { expr, .. } => Some(expr.clone()),
                 Term::Assign { expr, .. } => Some(expr.clone()),
                 _ => None,
             })

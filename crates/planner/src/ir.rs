@@ -244,8 +244,8 @@ pub fn build_strand_ir(
                 }
                 ops.push(IrOp::Join(p.clone()));
             }
-            Term::Cond(e) => ops.push(IrOp::Select(e.clone())),
-            Term::Assign { var, expr } => ops.push(IrOp::Assign {
+            Term::Cond { expr, .. } => ops.push(IrOp::Select(expr.clone())),
+            Term::Assign { var, expr, .. } => ops.push(IrOp::Assign {
                 var: var.clone(),
                 expr: expr.clone(),
             }),
@@ -273,6 +273,7 @@ mod tests {
             name: name.into(),
             args,
             at_form: true,
+            span: Default::default(),
         }
     }
 

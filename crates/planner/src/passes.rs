@@ -155,6 +155,10 @@ pub fn schedule_ops(ir: &mut StrandIr) {
                 best = Some((score, i));
             }
         }
+        #[expect(
+            clippy::expect_used,
+            reason = "the loop runs while fewer than n ops are emitted, so one remains"
+        )]
         let i = match best {
             Some((_, i)) => i,
             // Unreachable for validated rules; fall back to source order
@@ -265,6 +269,7 @@ pub fn fold_strand(strand: &mut Strand, diagnostics: &mut Vec<Diagnostic>) {
                     PExpr::Const(p2_types::Value::Bool(true)) => continue, // tautology
                     PExpr::Const(p2_types::Value::Bool(false)) => {
                         diagnostics.push(Diagnostic {
+                            code: "P2W501",
                             strand_id: strand.strand_id.clone(),
                             message: format!(
                                 "rule {}: selection is always false — the rule is dead \
@@ -275,6 +280,7 @@ pub fn fold_strand(strand: &mut Strand, diagnostics: &mut Vec<Diagnostic>) {
                     }
                     PExpr::Const(_) => {
                         diagnostics.push(Diagnostic {
+                            code: "P2W502",
                             strand_id: strand.strand_id.clone(),
                             message: format!(
                                 "rule {}: selection always evaluates to a non-boolean — \
@@ -345,6 +351,10 @@ fn sharable(s: &Strand) -> bool {
 
 /// Number of leading ops up to and including the last join — the
 /// candidate shared region (the tail beyond it is stateless).
+#[expect(
+    clippy::expect_used,
+    reason = "only strands that passed the sharable() join check are grouped"
+)]
 fn prefix_len(s: &Strand) -> usize {
     s.ops
         .iter()

@@ -53,6 +53,10 @@ pub struct PrefixGroup {
 /// A plan-time warning attached to one strand.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
+    /// Stable diagnostic code (`P2W501` dead rule, `P2W502` non-boolean
+    /// selection) — the same namespace as the front end's
+    /// `p2_overlog::diag` codes, so the two channels merge cleanly.
+    pub code: &'static str,
     /// The strand the warning is about.
     pub strand_id: String,
     /// Human-readable message.
@@ -143,7 +147,9 @@ impl MatchSpec {
             return Ok(false);
         }
         for (i, fm) in self.fields.iter().enumerate() {
-            let v = tuple.get(i).expect("arity checked");
+            let Some(v) = tuple.get(i) else {
+                return Ok(false);
+            };
             match fm {
                 FieldMatch::Bind(slot) => env[*slot] = Some(v.clone()),
                 FieldMatch::EqVar(slot) => match &env[*slot] {

@@ -18,6 +18,16 @@ cargo test -q
 # by name so a drift failure is unmistakable in CI logs; re-record
 # intentional plan changes with scripts/update_snapshots.sh).
 cargo test -q -p p2-planner --test explain_snapshots
+# Static analysis gate: every shipped example must check clean through
+# the full `p2ql check` pipeline (the stacked-monitor corpus runs as
+# tests/check_corpus.rs inside `cargo test` above), and a known-broken
+# program must fail with a non-zero exit.
+cargo run --release --bin p2ql -- check programs/*.olg
+if cargo run --release --bin p2ql -- check tests/bad_programs/typo_relation.olg \
+    >/dev/null 2>&1; then
+  echo "tier1: p2ql check passed a known-broken program" >&2
+  exit 1
+fi
 cargo bench --no-run
 cargo bench -p p2-bench --bench engine -- --test
 cargo bench -p p2-bench --bench store_probe -- --test

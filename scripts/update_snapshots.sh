@@ -8,4 +8,6 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SNAPSHOT_REGEN=1 cargo test -q -p p2-planner --test explain_snapshots
-echo "snapshots updated; review with: git diff crates/planner/tests/snapshots/"
+SNAPSHOT_REGEN=1 cargo test -q --test check_diagnostics
+echo "snapshots updated; review with:"
+echo "  git diff crates/planner/tests/snapshots/ tests/bad_programs/snapshots/"

@@ -1,11 +1,21 @@
 //! `p2ql` — command-line front end for OverLog programs.
 //!
 //! ```text
-//! p2ql check  prog.olg                 # parse + validate, report errors
+//! p2ql check  prog.olg ...             # full static analysis (see below)
 //! p2ql fmt    prog.olg                 # canonical pretty-printed source
 //! p2ql plan   prog.olg [--opt off]     # EXPLAIN the compiled rule strands
 //! p2ql run    prog.olg [options]       # execute on a simulated population
 //! p2ql trace  prog.olg [options]       # run + dump ruleExec/tupleTable
+//!
+//! check runs the whole `p2-analysis` pipeline — validation, type
+//! inference, location safety, liveness lints, and a planner dry run —
+//! and renders every finding with a source snippet. Multiple files are
+//! checked independently; with `--stack` they are analyzed as one
+//! stack, in order (base application first, monitors after), which is
+//! how they would be installed. `--extern EVENT` (repeatable) names an
+//! event relation injected from outside — an operator console — so
+//! consuming it is not flagged. Exit status is non-zero when any file
+//! has errors or warnings; notes are informational.
 //!
 //! run/trace options:
 //!   --nodes N        population size (default 1; addresses n0..n[N-1])
@@ -30,9 +40,12 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: p2ql <check|plan|run|trace> <file.olg> [options]");
+        eprintln!("usage: p2ql <check|fmt|plan|run|trace> <file.olg> [options]");
         return ExitCode::from(2);
     };
+    if cmd == "check" {
+        return check(&args[1..]);
+    }
     let Some(path) = args.get(1) else {
         eprintln!("missing program file");
         return ExitCode::from(2);
@@ -46,7 +59,6 @@ fn main() -> ExitCode {
     };
 
     match cmd.as_str() {
-        "check" => check(&src),
         "fmt" => fmt(&src),
         "plan" => plan(&src, &args[2..]),
         "run" => run(&src, &args[2..], false),
@@ -58,18 +70,95 @@ fn main() -> ExitCode {
     }
 }
 
-fn check(src: &str) -> ExitCode {
-    match p2ql::overlog::compile(src) {
-        Ok(p) => {
-            let rules = p.rules().count();
-            let tables = p.materializations().count();
-            println!("ok: {rules} rules, {tables} tables");
-            ExitCode::SUCCESS
+fn check(args: &[String]) -> ExitCode {
+    use p2ql::analysis::{check_sources, AnalysisCtx};
+    use p2ql::overlog::{Severity, SourceUnit};
+
+    let mut stack = false;
+    let mut ctx = AnalysisCtx::default();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stack" => stack = true,
+            "--extern" => match it.next() {
+                Some(name) => {
+                    ctx.external_events.insert(name.clone());
+                }
+                None => {
+                    eprintln!("--extern needs an event relation name");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown check option '{other}'");
+                return ExitCode::from(2);
+            }
+            p => paths.push(p),
         }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+    }
+    if paths.is_empty() {
+        eprintln!("usage: p2ql check [--stack] [--extern EVENT] <file.olg> [more.olg ...]");
+        return ExitCode::from(2);
+    }
+    let mut sources = Vec::with_capacity(paths.len());
+    for p in &paths {
+        match std::fs::read_to_string(p) {
+            Ok(s) => sources.push(s),
+            Err(e) => {
+                eprintln!("cannot read {p}: {e}");
+                return ExitCode::from(2);
+            }
         }
+    }
+
+    // Each file alone, or all files as one install stack.
+    let groups: Vec<Vec<usize>> = if stack {
+        vec![(0..paths.len()).collect()]
+    } else {
+        (0..paths.len()).map(|i| vec![i]).collect()
+    };
+
+    let mut failed = false;
+    for group in groups {
+        let units: Vec<SourceUnit<'_>> = group
+            .iter()
+            .map(|&i| SourceUnit {
+                name: paths[i],
+                src: &sources[i],
+            })
+            .collect();
+        let report = check_sources(&units, &ctx);
+        let label = group
+            .iter()
+            .map(|&i| paths[i])
+            .collect::<Vec<_>>()
+            .join(" + ");
+        if report.diags.items.is_empty() {
+            let rules: usize = report.programs.iter().map(|p| p.rules().count()).sum();
+            let tables: usize = report
+                .programs
+                .iter()
+                .map(|p| p.materializations().count())
+                .sum();
+            println!("{label}: ok ({rules} rules, {tables} tables)");
+            continue;
+        }
+        eprint!("{}", report.diags.render(&units));
+        let (e, w, n) = (
+            report.diags.count(Severity::Error),
+            report.diags.count(Severity::Warning),
+            report.diags.count(Severity::Note),
+        );
+        eprintln!("{label}: {e} errors, {w} warnings, {n} notes");
+        if !report.passes() {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

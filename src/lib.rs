@@ -11,6 +11,8 @@
 //! * [`dataflow`] — the Click-like element graph with pipelined strands;
 //! * [`trace`] — the execution tracer (`ruleExec` / `tupleTable`, §2.1);
 //! * [`planner`] — OverLog → dataflow compilation with tap insertion;
+//! * [`analysis`] — static analysis (`p2ql check`): type inference,
+//!   location safety, liveness lints over program stacks;
 //! * [`net`] — simulated and threaded network transports;
 //! * [`core`] — the node runtime, introspection, and simulation harness;
 //! * [`chord`] — the P2-Chord overlay (the paper's running application);
@@ -36,6 +38,7 @@
 //! assert_eq!(sim.node_mut(&a).table_scan("seen", now).len(), 1);
 //! ```
 
+pub use p2_analysis as analysis;
 pub use p2_chord as chord;
 pub use p2_core as core;
 pub use p2_dataflow as dataflow;

@@ -1,0 +1,160 @@
+//! The shipped corpus must check clean.
+//!
+//! Every program this repository ships — the `programs/` examples, the
+//! Chord overlay, and each §3 monitoring application stacked on the
+//! overlay it observes — goes through the full `p2ql check` pipeline.
+//! Clean means **no errors and no warnings**; notes are allowed (the
+//! corpus deliberately uses the delete-cycle and fill-at-install idioms
+//! the notes describe).
+
+use p2ql::analysis::{check_sources, AnalysisCtx, CheckReport};
+use p2ql::overlog::SourceUnit;
+
+fn check_stack(units: &[(&str, &str)], ctx: &AnalysisCtx) -> (CheckReport, String) {
+    let su: Vec<SourceUnit<'_>> = units
+        .iter()
+        .map(|(name, src)| SourceUnit { name, src })
+        .collect();
+    let report = check_sources(&su, ctx);
+    let rendered = report.diags.render(&su);
+    (report, rendered)
+}
+
+fn assert_clean_with(what: &str, units: &[(&str, &str)], ctx: &AnalysisCtx) {
+    let (report, rendered) = check_stack(units, ctx);
+    assert!(report.passes(), "{what} does not check clean:\n{rendered}");
+}
+
+fn assert_clean(what: &str, units: &[(&str, &str)]) {
+    assert_clean_with(what, units, &AnalysisCtx::default());
+}
+
+#[test]
+fn example_programs_check_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/programs");
+    let mut found = 0;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("olg") {
+            continue;
+        }
+        found += 1;
+        let src = std::fs::read_to_string(&path).unwrap();
+        assert_clean(
+            path.file_name().unwrap().to_str().unwrap(),
+            &[(path.to_str().unwrap(), &src)],
+        );
+    }
+    assert!(found >= 2, "expected the shipped example programs");
+}
+
+fn chord_units() -> Vec<(&'static str, String)> {
+    let cfg = p2ql::chord::ChordConfig::default();
+    vec![
+        ("chord.olg", p2ql::chord::chord_program(&cfg)),
+        (
+            "facts.olg",
+            [
+                p2ql::chord::node_facts("n1:0", 0x1111, None),
+                p2ql::chord::node_facts("n2:0", 0x9999, Some("n1:0")),
+            ]
+            .join("\n"),
+        ),
+    ]
+}
+
+#[test]
+fn chord_checks_clean() {
+    let units = chord_units();
+    let refs: Vec<(&str, &str)> = units.iter().map(|(n, s)| (*n, s.as_str())).collect();
+    assert_clean("chord + node facts", &refs);
+}
+
+#[test]
+fn section3_monitors_check_clean_stacked_on_chord() {
+    use p2ql::monitor as m;
+    // (file label, source, operator-injected events — `p2ql check --extern`)
+    let monitors: Vec<(&str, String, &[&str])> = vec![
+        (
+            "consistency.olg",
+            m::consistency::probe_program(&m::consistency::ProbeConfig::default()),
+            &[],
+        ),
+        (
+            "ordering_opportunistic.olg",
+            m::ordering::opportunistic_program(),
+            &[],
+        ),
+        // Traversal checks start from the periodic initiator's
+        // orderingEvent; the two deploy together.
+        (
+            "ordering_traversal.olg",
+            [
+                m::ordering::periodic_initiator_program(10),
+                m::ordering::traversal_program(),
+            ]
+            .join("\n"),
+            &[],
+        ),
+        ("oscillation.olg", m::oscillation::full_program(), &[]),
+        // The walk starts from a `traceResp` the operator injects
+        // (`profiling::start_walk`).
+        (
+            "profiling.olg",
+            m::profiling::profiling_program(),
+            &["traceResp"],
+        ),
+        ("ring_active.olg", m::ring::active_probe_program(10), &[]),
+        ("ring_passive.olg", m::ring::passive_check_program(), &[]),
+        (
+            "snapshot_backpointer.olg",
+            m::snapshot::backpointer_program(),
+            &[],
+        ),
+        // The snapshot walk probes the backPointer table the companion
+        // program maintains; the two deploy together.
+        (
+            "snapshot.olg",
+            [
+                m::snapshot::backpointer_program(),
+                m::snapshot::snapshot_program(),
+            ]
+            .join("\n"),
+            &[],
+        ),
+        // Lookup simulation and probe both read the snapshot tables
+        // (snapBestSucc, snapFinger, ...); they install on top of the
+        // snapshot programs.
+        (
+            "snapshot_lookup.olg",
+            [
+                m::snapshot::backpointer_program(),
+                m::snapshot::snapshot_program(),
+                m::snapshot::snapshot_lookup_program(),
+            ]
+            .join("\n"),
+            &[],
+        ),
+        (
+            "snapshot_probe.olg",
+            [
+                m::snapshot::backpointer_program(),
+                m::snapshot::snapshot_program(),
+                m::snapshot::snapshot_lookup_program(),
+                m::snapshot::snapshot_probe_program(5.0, 10, 5),
+            ]
+            .join("\n"),
+            &[],
+        ),
+        ("watchpoints.olg", m::watchpoints::suite_program(10), &[]),
+    ];
+    let base = chord_units();
+    for (name, src, externs) in &monitors {
+        let mut units: Vec<(&str, &str)> = base.iter().map(|(n, s)| (*n, s.as_str())).collect();
+        units.push((name, src));
+        let mut ctx = AnalysisCtx::default();
+        ctx.external_events
+            .extend(externs.iter().map(|e| e.to_string()));
+        assert_clean_with(name, &units, &ctx);
+    }
+}

@@ -1,0 +1,290 @@
+//! Property tests for the OverLog front end: a randomly generated
+//! program must survive parse → pretty-print → parse with its AST
+//! intact (spans are positions, not semantics — `PartialEq` on AST
+//! nodes ignores them), and the spans the parser attaches must be
+//! coherent: non-empty, within the statement, and monotonically
+//! increasing in source order. The diagnostics pipeline renders caret
+//! snippets straight from these spans, so a regression here turns
+//! into diagnostics underlining the wrong source text.
+
+use p2ql::overlog::ast::{Program, Rule, Statement};
+use p2ql::overlog::{parse_program, pretty, Span};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// A tiny grammar-directed source generator. It emits *syntactically*
+/// valid OverLog (the parser must accept it); it makes no attempt at
+/// semantic validity — unbound variables, arity drift, and reserved
+/// names are the analyzer's business, not the parser's.
+struct Gen<'a> {
+    rng: &'a mut TestRng,
+}
+
+impl Gen<'_> {
+    fn below(&mut self, n: u64) -> u64 {
+        self.rng.below(n)
+    }
+
+    fn pick<'x>(&mut self, xs: &[&'x str]) -> &'x str {
+        xs[self.rng.below(xs.len() as u64) as usize]
+    }
+
+    fn rel(&mut self) -> &'static str {
+        self.pick(&[
+            "link", "path", "bestSucc", "finger", "node", "lookUp", "probe", "seen", "alarm",
+        ])
+    }
+
+    fn var(&mut self) -> &'static str {
+        self.pick(&["NAddr", "X", "Y", "Z", "K", "E", "SAddr", "W", "P"])
+    }
+
+    fn value(&mut self) -> String {
+        match self.below(4) {
+            0 => format!("{}", self.below(1000)),
+            1 => format!("0x{:x}", self.below(0xffff).max(1)),
+            2 => format!("{:?}", self.pick(&["n1:0", "-", "abc"])),
+            // A fractional literal: round-trips through `{:?}`.
+            _ => format!("{}.5", self.below(50)),
+        }
+    }
+
+    fn expr(&mut self, depth: u64) -> String {
+        if depth == 0 {
+            return if self.below(2) == 0 {
+                self.var().to_string()
+            } else {
+                self.value()
+            };
+        }
+        match self.below(7) {
+            0 | 1 => self.var().to_string(),
+            2 => self.value(),
+            3 => {
+                let op = self.pick(&["+", "-", "*", "/", "%"]);
+                format!("{} {} {}", self.expr(depth - 1), op, self.expr(depth - 1))
+            }
+            4 => format!("({})", self.expr(depth - 1)),
+            5 => format!(
+                "f_{}({})",
+                self.pick(&["now", "rand", "sha1"]),
+                self.expr(0)
+            ),
+            _ => format!("[{}, {}]", self.expr(0), self.expr(0)),
+        }
+    }
+
+    /// A boolean body term: comparison, conjunction, negation, or a
+    /// ring-interval test.
+    fn cond(&mut self, depth: u64) -> String {
+        match self.below(if depth == 0 { 2 } else { 4 }) {
+            0 | 1 => {
+                let op = self.pick(&["==", "!=", "<", "<=", ">", ">="]);
+                format!("{} {op} {}", self.expr(1), self.expr(1))
+            }
+            2 => {
+                let op = self.pick(&["&&", "||"]);
+                format!("({}) {op} ({})", self.cond(depth - 1), self.cond(depth - 1))
+            }
+            _ => {
+                let lo = if self.below(2) == 0 { '(' } else { '[' };
+                let hi = if self.below(2) == 0 { ')' } else { ']' };
+                format!(
+                    "{} in {lo}{}, {}{hi}",
+                    self.var(),
+                    self.expr(0),
+                    self.expr(0)
+                )
+            }
+        }
+    }
+
+    fn pred(&mut self, allow_wildcard: bool) -> String {
+        let name = self.rel();
+        let nargs = self.below(3) + 1;
+        let args: Vec<String> = (0..nargs)
+            .map(|_| match self.below(4) {
+                0 if allow_wildcard => "_".to_string(),
+                1 => self.value(),
+                _ => self.var().to_string(),
+            })
+            .collect();
+        if self.below(3) > 0 {
+            format!("{name}@{}({})", self.var(), args.join(", "))
+        } else {
+            format!("{name}({})", args.join(", "))
+        }
+    }
+
+    fn head(&mut self) -> String {
+        let mut p = self.pred(false);
+        // Occasionally an aggregate as the last head field.
+        if self.below(4) == 0 {
+            let agg = match self.pick(&["count<*>", "min", "max", "sum"]) {
+                "count<*>" => "count<*>".to_string(),
+                f => format!("{f}<{}>", self.var()),
+            };
+            let cut = p.rfind(')').unwrap();
+            let sep = if p[..cut].ends_with('(') { "" } else { ", " };
+            p = format!("{}{sep}{agg})", &p[..cut]);
+        }
+        p
+    }
+
+    fn rule(&mut self, idx: u64) -> String {
+        let label = if self.below(4) > 0 {
+            format!("r{idx} ")
+        } else {
+            String::new()
+        };
+        let delete = if self.below(8) == 0 { "delete " } else { "" };
+        let mut body: Vec<String> = Vec::new();
+        let npreds = self.below(3) + 1;
+        for i in 0..npreds {
+            if i == 0 && self.below(4) == 0 {
+                body.push(format!(
+                    "periodic@{}(E, {})",
+                    self.var(),
+                    self.below(90) + 1
+                ));
+            } else {
+                body.push(self.pred(true));
+            }
+        }
+        for _ in 0..self.below(3) {
+            if self.below(2) == 0 {
+                body.push(self.cond(1));
+            } else {
+                body.push(format!("{} := {}", self.var(), self.expr(2)));
+            }
+        }
+        format!("{label}{delete}{} :- {}.", self.head(), body.join(", "))
+    }
+
+    fn fact(&mut self) -> String {
+        let nargs = self.below(3) + 1;
+        let args: Vec<String> = (0..nargs).map(|_| self.value()).collect();
+        format!(
+            "{}@{:?}({}).",
+            self.rel(),
+            self.pick(&["n1:0", "n2:0"]),
+            args.join(", ")
+        )
+    }
+
+    fn materialize(&mut self) -> String {
+        let lifetime = if self.below(3) == 0 {
+            "infinity".to_string()
+        } else {
+            format!("{}", self.below(600) + 1)
+        };
+        let size = if self.below(3) == 0 {
+            "infinity".to_string()
+        } else {
+            format!("{}", self.below(100) + 1)
+        };
+        let nkeys = self.below(3) + 1;
+        let keys: Vec<String> = (1..=nkeys).map(|k| k.to_string()).collect();
+        format!(
+            "materialize({}, {lifetime}, {size}, keys({})).",
+            self.rel(),
+            keys.join(", ")
+        )
+    }
+
+    fn program(&mut self) -> String {
+        let n = self.below(6) + 1;
+        let mut out = String::new();
+        for i in 0..n {
+            let stmt = match self.below(5) {
+                0 => self.materialize(),
+                1 => self.fact(),
+                _ => self.rule(i),
+            };
+            out.push_str(&stmt);
+            // Vary inter-statement whitespace: spans must track real
+            // offsets, not a statement counter.
+            out.push_str(self.pick(&["\n", "\n\n", "  \n", " "]));
+        }
+        out
+    }
+}
+
+fn stmt_span(s: &Statement) -> Span {
+    match s {
+        Statement::Materialize(m) => m.span,
+        Statement::Rule(r) => r.span,
+    }
+}
+
+/// Spans are coherent: non-empty, statement anchors strictly ordered
+/// by start offset (a statement's span anchors at its first token), and
+/// within each rule the head and body-term spans strictly increase left
+/// to right — the order the diagnostics renderer relies on.
+fn assert_spans_monotone(p: &Program, src: &str) -> Result<(), TestCaseError> {
+    let mut prev_start: Option<u32> = None;
+    for s in &p.statements {
+        let sp = stmt_span(s);
+        prop_assert!(sp.start < sp.end, "empty statement span {sp:?} in:\n{src}");
+        if let Some(prev) = prev_start {
+            prop_assert!(
+                sp.start > prev,
+                "statement spans not increasing ({prev} then {}) in:\n{src}",
+                sp.start
+            );
+        }
+        prev_start = Some(sp.start);
+        if let Statement::Rule(r) = s {
+            assert_rule_spans(r, sp, src)?;
+        }
+    }
+    Ok(())
+}
+
+fn assert_rule_spans(r: &Rule, sp: Span, src: &str) -> Result<(), TestCaseError> {
+    prop_assert!(
+        r.head.span.start >= sp.start,
+        "head span {:?} before rule anchor {sp:?} in:\n{src}",
+        r.head.span
+    );
+    let mut prev_end = r.head.span.end;
+    for t in &r.body {
+        let ts = t.span();
+        prop_assert!(ts.start < ts.end, "empty term span {ts:?} in:\n{src}");
+        prop_assert!(
+            ts.start >= prev_end,
+            "body term span {ts:?} not after the previous term (end {prev_end}) in:\n{src}"
+        );
+        prev_end = ts.end;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// parse → pretty → parse is the identity on the AST, and both
+    /// parses attach monotonically increasing spans.
+    #[test]
+    fn parse_pretty_parse_round_trips(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let src = Gen { rng: &mut rng }.program();
+        let p1 = match parse_program(&src) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::Fail(format!(
+                "generator emitted unparseable source ({e}):\n{src}"
+            ))),
+        };
+        assert_spans_monotone(&p1, &src)?;
+
+        let printed = pretty::program_to_string(&p1);
+        let p2 = match parse_program(&printed) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::Fail(format!(
+                "pretty output unparseable ({e}):\n{printed}\nfrom:\n{src}"
+            ))),
+        };
+        prop_assert_eq!(&p1, &p2);
+        assert_spans_monotone(&p2, &printed)?;
+    }
+}
