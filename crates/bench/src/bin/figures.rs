@@ -4,10 +4,18 @@
 //! cargo run -p p2-bench --release --bin figures -- all
 //! cargo run -p p2-bench --release --bin figures -- fig6 --quick
 //! cargo run -p p2-bench --release --bin figures -- e1 --json out.json
+//! cargo run -p p2-bench --release --bin figures -- fig4 --nodes 256
+//! cargo run -p p2-bench --release --bin figures -- scale --json BENCH_scale.json
 //! ```
+//!
+//! `--nodes N` overrides the population size for every figure (and the
+//! node sweep for `scale`): the paper's 21-process testbed is the
+//! default, but the sharded engine makes 256- or 1024-node populations
+//! practical.
 
 use p2_bench::experiments::*;
 use p2_bench::report::{print_table, to_json, Row};
+use p2_bench::scale::{population_scale, print_scale_table, scale_to_json, ScaleParams};
 use p2_bench::BenchParams;
 
 fn main() {
@@ -18,17 +26,50 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let nodes_override = args
+        .iter()
+        .position(|a| a == "--nodes")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("--nodes takes a number"));
+    let nodes_text = nodes_override.map(|n| n.to_string());
+    let flag_values: Vec<&str> = [&json_path, &nodes_text]
+        .iter()
+        .filter_map(|v| v.as_deref())
+        .collect();
     let which = args
         .iter()
-        .find(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
+        .find(|a| !a.starts_with("--") && !flag_values.contains(&a.as_str()))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
 
-    let params = if quick {
+    let mut params = if quick {
         BenchParams::quick()
     } else {
         BenchParams::full()
     };
+    if let Some(n) = nodes_override {
+        assert!(n >= 2, "--nodes needs at least 2");
+        params.nodes = n;
+    }
+
+    // The scaling sweep has its own row schema and JSON file.
+    if which == "scale" {
+        let mut sp = if quick {
+            ScaleParams::quick()
+        } else {
+            ScaleParams::full()
+        };
+        if let Some(n) = nodes_override {
+            sp.nodes = vec![n];
+        }
+        let rows = population_scale(&sp);
+        print_scale_table(&rows);
+        if let Some(path) = json_path {
+            std::fs::write(&path, scale_to_json(&rows)).expect("write json");
+            eprintln!("wrote {path}");
+        }
+        return;
+    }
     let fig45_counts: &[usize] = if quick {
         &[0, 50, 100]
     } else {
@@ -115,7 +156,9 @@ fn main() {
             run_ablations(&mut all_rows);
         }
         other => {
-            eprintln!("unknown experiment '{other}'; use e1|fig4|fig5|fig6|fig7|ablations|all");
+            eprintln!(
+                "unknown experiment '{other}'; use e1|fig4|fig5|fig6|fig7|ablations|scale|all"
+            );
             std::process::exit(2);
         }
     }

@@ -1,7 +1,7 @@
 //! Measurement scaffolding shared by all experiments.
 
 use p2_chord::{build_ring, ChordConfig, ChordRing};
-use p2_core::{NodeConfig, SimHarness};
+use p2_core::{NodeConfig, Population, SimHarness};
 use p2_types::{Addr, Time, TimeDelta};
 
 /// Population / protocol parameters (§4's setup in full mode).
@@ -68,20 +68,33 @@ pub struct NodeSample {
 
 /// A prepared testbed: warmed ring plus the designated measured node
 /// (the last to join, as in §4's "then the 21st virtual node starts").
-pub struct Testbed {
+/// Generic over the harness so the same rig measures the sequential and
+/// the sharded engine.
+pub struct Testbed<H: Population = SimHarness> {
     /// The simulation.
-    pub sim: SimHarness,
+    pub sim: H,
     /// Ring metadata.
     pub ring: ChordRing,
     /// The measured node's address.
     pub measured: Addr,
 }
 
-/// Build a warmed testbed. `measured_config` configures only the
-/// measured node (e.g. tracing on) — the rest of the population runs the
-/// default, exactly like the paper's two-machine split.
+/// Build a warmed testbed on the sequential harness. `measured_config`
+/// configures only the measured node (e.g. tracing on) — the rest of the
+/// population runs the default, exactly like the paper's two-machine
+/// split.
 pub fn build_testbed(params: &BenchParams, seed: u64, measured_config: NodeConfig) -> Testbed {
-    let mut sim = SimHarness::new(Default::default(), NodeConfig::default(), seed);
+    let sim = SimHarness::new(Default::default(), NodeConfig::default(), seed);
+    prepare_testbed(sim, params, measured_config)
+}
+
+/// Warm a ring and join the measured node on any population harness.
+pub fn prepare_testbed<H: Population>(
+    mut sim: H,
+    params: &BenchParams,
+    measured_config: NodeConfig,
+) -> Testbed<H> {
+    let seed = sim.seed();
     // n-1 nodes start and stabilize first...
     let mut ring = build_ring(&mut sim, params.nodes - 1, &params.chord);
     sim.run_for(TimeDelta::from_secs(params.warmup_secs));
@@ -108,16 +121,16 @@ pub fn build_testbed(params: &BenchParams, seed: u64, measured_config: NodeConfi
 
 /// Run the measurement window over a prepared testbed and sample the
 /// measured node (deltas for counters, end-of-window for gauges).
-pub fn measure_window(testbed: &mut Testbed, window_secs: u64) -> NodeSample {
+pub fn measure_window<H: Population>(testbed: &mut Testbed<H>, window_secs: u64) -> NodeSample {
     let Testbed {
         sim,
         measured,
         ring,
     } = testbed;
-    let pop_busy = |sim: &p2_core::SimHarness| -> std::time::Duration {
+    let pop_busy = |sim: &H| -> std::time::Duration {
         ring.addrs.iter().map(|a| sim.node(a).metrics().busy).sum()
     };
-    let pop_disp = |sim: &p2_core::SimHarness| -> u64 {
+    let pop_disp = |sim: &H| -> u64 {
         ring.addrs
             .iter()
             .map(|a| sim.node(a).metrics().tuples_dispatched)
@@ -125,14 +138,14 @@ pub fn measure_window(testbed: &mut Testbed, window_secs: u64) -> NodeSample {
     };
     let busy0 = sim.node(measured).metrics().busy;
     let disp0 = sim.node(measured).metrics().tuples_dispatched;
-    let sent0 = sim.net().stats().sent_by(measured);
+    let sent0 = sim.net_stats().sent_by(measured);
     let pbusy0 = pop_busy(sim);
     let pdisp0 = pop_disp(sim);
     let t0: Time = sim.now();
     sim.run_for(TimeDelta::from_secs(window_secs));
     let busy1 = sim.node(measured).metrics().busy;
     let disp1 = sim.node(measured).metrics().tuples_dispatched;
-    let sent1 = sim.net().stats().sent_by(measured);
+    let sent1 = sim.net_stats().sent_by(measured);
     let elapsed = (sim.now() - t0).as_secs_f64();
     NodeSample {
         cpu_percent: 100.0 * (busy1 - busy0).as_secs_f64() / elapsed,

@@ -28,6 +28,8 @@
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod scale;
 
 pub use harness::{BenchParams, NodeSample};
 pub use report::{print_table, Row};
+pub use scale::{population_scale, print_scale_table, scale_to_json, ScaleParams, ScaleRow};

@@ -7,12 +7,12 @@
 //! with the out-of-band truth.
 
 use crate::testbed::ChordRing;
-use p2_core::SimHarness;
+use p2_core::Population;
 use p2_types::{Addr, Interval, RingId, Value};
 use std::collections::HashMap;
 
 /// Read each live node's `bestSucc` pointer.
-pub fn collect_ring(sim: &mut SimHarness, ring: &ChordRing) -> HashMap<Addr, Addr> {
+pub fn collect_ring<H: Population>(sim: &mut H, ring: &ChordRing) -> HashMap<Addr, Addr> {
     let now = sim.now();
     let mut out = HashMap::new();
     for addr in ring.addrs.clone() {
@@ -34,7 +34,7 @@ pub fn collect_ring(sim: &mut SimHarness, ring: &ChordRing) -> HashMap<Addr, Add
 /// Ring well-formedness (§3.1.1): starting from any live node and
 /// following `bestSucc` pointers visits **every** live node exactly once
 /// before returning to the start.
-pub fn ring_is_well_formed(sim: &mut SimHarness, ring: &ChordRing) -> bool {
+pub fn ring_is_well_formed<H: Population>(sim: &mut H, ring: &ChordRing) -> bool {
     let succ = collect_ring(sim, ring);
     let live: Vec<Addr> = ring
         .addrs
@@ -69,7 +69,7 @@ pub fn ring_is_well_formed(sim: &mut SimHarness, ring: &ChordRing) -> bool {
 
 /// Ring ID ordering (§3.1.2): every live node's successor is the live
 /// node with the next higher ID (one wrap-around total).
-pub fn ring_is_ordered(sim: &mut SimHarness, ring: &ChordRing) -> bool {
+pub fn ring_is_ordered<H: Population>(sim: &mut H, ring: &ChordRing) -> bool {
     let succ = collect_ring(sim, ring);
     let sorted = ring.live_sorted(sim);
     if sorted.len() <= 1 {
@@ -87,7 +87,11 @@ pub fn ring_is_ordered(sim: &mut SimHarness, ring: &ChordRing) -> bool {
 
 /// The ground-truth successor of `key`: the live node whose ID segment
 /// `(pred_id, node_id]` contains the key.
-pub fn lookup_oracle(sim: &SimHarness, ring: &ChordRing, key: RingId) -> Option<(RingId, Addr)> {
+pub fn lookup_oracle<H: Population>(
+    sim: &H,
+    ring: &ChordRing,
+    key: RingId,
+) -> Option<(RingId, Addr)> {
     let sorted = ring.live_sorted(sim);
     if sorted.is_empty() {
         return None;
@@ -109,6 +113,7 @@ mod tests {
     use super::*;
     use crate::program::ChordConfig;
     use crate::testbed::{build_ring, collect_lookup_results, issue_lookup};
+    use p2_core::SimHarness;
     use p2_types::TimeDelta;
 
     fn warmed_ring(n: usize, seed: u64, warm_secs: u64) -> (SimHarness, ChordRing) {

@@ -5,7 +5,7 @@
 //! configured periods.
 
 use crate::program::{chord_program, node_facts, ChordConfig};
-use p2_core::SimHarness;
+use p2_core::Population;
 use p2_types::{Addr, DetRng, RingId, Time, Tuple, Value};
 use std::collections::HashMap;
 
@@ -32,7 +32,7 @@ impl ChordRing {
     }
 
     /// Live members (skipping crashed nodes) sorted by ring ID.
-    pub fn live_sorted(&self, sim: &SimHarness) -> Vec<(RingId, Addr)> {
+    pub fn live_sorted<H: Population>(&self, sim: &H) -> Vec<(RingId, Addr)> {
         let mut v: Vec<(RingId, Addr)> = self
             .addrs
             .iter()
@@ -48,7 +48,7 @@ impl ChordRing {
 /// deterministically from the harness seed. Returns the ring handle;
 /// callers should then `sim.run_for(...)` long enough for stabilization
 /// (the paper warms up for 5 virtual minutes).
-pub fn build_ring(sim: &mut SimHarness, n: usize, config: &ChordConfig) -> ChordRing {
+pub fn build_ring<H: Population>(sim: &mut H, n: usize, config: &ChordConfig) -> ChordRing {
     assert!(n >= 1, "a ring needs at least one node");
     let mut rng = DetRng::derive(sim.seed(), "chord-ids");
     let program = chord_program(config);
@@ -82,8 +82,8 @@ pub fn build_ring(sim: &mut SimHarness, n: usize, config: &ChordConfig) -> Chord
 
 /// Issue a lookup for `key` starting at `at`, with the answer addressed
 /// to `req_addr`. Returns the request ID to match in `lookupResults`.
-pub fn issue_lookup(
-    sim: &mut SimHarness,
+pub fn issue_lookup<H: Population>(
+    sim: &mut H,
     at: &Addr,
     key: RingId,
     req_addr: &Addr,

@@ -1,0 +1,119 @@
+//! The harness abstraction: one population, sequential or sharded.
+//!
+//! Testbed builders (the Chord ring of `p2-chord`, the measurement rigs
+//! of `p2-bench`) and generic experiments drive a simulated population
+//! through this trait so they run unchanged on [`crate::SimHarness`]
+//! (the single-threaded event loop) and [`crate::ParallelHarness`] (the
+//! conservative-window sharded engine of DESIGN.md §2.10). The two are
+//! bit-identical for the same seed — the trait is how the equivalence
+//! suite states that.
+
+use crate::node::{InstallError, Node, NodeConfig, ProgramId};
+use crate::SimHarness;
+use p2_net::NetStats;
+use p2_types::{Addr, Time, TimeDelta, Tuple};
+
+/// A driveable population of simulated P2 nodes over a virtual clock.
+pub trait Population {
+    /// The current virtual time.
+    fn now(&self) -> Time;
+
+    /// The harness seed (node RNGs and ring IDs derive from it).
+    fn seed(&self) -> u64;
+
+    /// Add a node using the harness's node-config template.
+    fn add_node(&mut self, name: &str) -> Addr;
+
+    /// Add a node with an explicit config.
+    fn add_node_with(&mut self, name: &str, config: NodeConfig) -> Addr;
+
+    /// All node addresses in insertion order.
+    fn addrs(&self) -> &[Addr];
+
+    /// Access a node.
+    fn node(&self, addr: &Addr) -> &Node;
+
+    /// Access a node mutably.
+    fn node_mut(&mut self, addr: &Addr) -> &mut Node;
+
+    /// Install a program on one node at the current time and settle.
+    fn install(&mut self, addr: &Addr, source: &str) -> Result<ProgramId, InstallError>;
+
+    /// Install the same program on every node, then settle once.
+    fn install_all(&mut self, source: &str) -> Result<Vec<ProgramId>, InstallError>;
+
+    /// Inject a tuple at a node and settle.
+    fn inject(&mut self, addr: &Addr, tuple: Tuple);
+
+    /// Crash a node: the network drops its traffic and the node stops
+    /// executing until revived.
+    fn crash(&mut self, addr: &Addr);
+
+    /// Revive a crashed node.
+    fn revive(&mut self, addr: &Addr);
+
+    /// Whether the node is crashed.
+    fn is_down(&self, addr: &Addr) -> bool;
+
+    /// Advance virtual time to `deadline`, firing timers and deliveries
+    /// in order.
+    fn run_until(&mut self, deadline: Time);
+
+    /// Advance virtual time by `delta`.
+    fn run_for(&mut self, delta: TimeDelta) {
+        let deadline = self.now() + delta;
+        self.run_until(deadline);
+    }
+
+    /// Population-wide network counters (merged across shards when the
+    /// fabric is sharded).
+    fn net_stats(&self) -> NetStats;
+}
+
+impl Population for crate::SimHarness {
+    fn now(&self) -> Time {
+        SimHarness::now(self)
+    }
+    fn seed(&self) -> u64 {
+        SimHarness::seed(self)
+    }
+    fn add_node(&mut self, name: &str) -> Addr {
+        SimHarness::add_node(self, name)
+    }
+    fn add_node_with(&mut self, name: &str, config: NodeConfig) -> Addr {
+        SimHarness::add_node_with(self, name, config)
+    }
+    fn addrs(&self) -> &[Addr] {
+        SimHarness::addrs(self)
+    }
+    fn node(&self, addr: &Addr) -> &Node {
+        SimHarness::node(self, addr)
+    }
+    fn node_mut(&mut self, addr: &Addr) -> &mut Node {
+        SimHarness::node_mut(self, addr)
+    }
+    fn install(&mut self, addr: &Addr, source: &str) -> Result<ProgramId, InstallError> {
+        SimHarness::install(self, addr, source)
+    }
+    fn install_all(&mut self, source: &str) -> Result<Vec<ProgramId>, InstallError> {
+        SimHarness::install_all(self, source)
+    }
+    fn inject(&mut self, addr: &Addr, tuple: Tuple) {
+        SimHarness::inject(self, addr, tuple)
+    }
+    fn crash(&mut self, addr: &Addr) {
+        SimHarness::crash(self, addr)
+    }
+    fn revive(&mut self, addr: &Addr) {
+        SimHarness::revive(self, addr)
+    }
+    fn is_down(&self, addr: &Addr) -> bool {
+        SimHarness::is_down(self, addr)
+    }
+    fn run_until(&mut self, deadline: Time) {
+        SimHarness::run_until(self, deadline)
+    }
+    fn net_stats(&self) -> NetStats {
+        self.net().stats().clone()
+    }
+}

@@ -84,7 +84,7 @@ pub fn refresh(node: &mut Node, now: Time) {
         .collect();
 
     let m = node.metrics().clone();
-    let stat_rows: Vec<Tuple> = [
+    let mut stat_rows: Vec<Tuple> = [
         ("msgsSent", m.msgs_sent as i64),
         ("msgsReceived", m.msgs_received as i64),
         ("tuplesDispatched", m.tuples_dispatched as i64),
@@ -100,6 +100,22 @@ pub fn refresh(node: &mut Node, now: Time) {
     .into_iter()
     .map(|(k, v)| Tuple::new(SYS_STAT, [loc.clone(), Value::str(k), Value::Int(v)]))
     .collect();
+
+    // Parallel-engine counters, present only when the node runs under
+    // the sharded harness (DESIGN.md §2.10).
+    if let Some(s) = node.shard_stats().copied() {
+        for (k, v) in [
+            ("shard.id", s.shard),
+            ("shard.events", s.events),
+            ("shard.barrier_waits", s.barrier_waits),
+            ("shard.mailbox_envelopes", s.mailbox_envelopes),
+        ] {
+            stat_rows.push(Tuple::new(
+                SYS_STAT,
+                [loc.clone(), Value::str(k), Value::Int(v as i64)],
+            ));
+        }
+    }
 
     // Store probe/expiry counters, one row per (table, counter). Tables
     // with no activity yet are skipped so sysStat stays readable on nodes

@@ -19,15 +19,19 @@
 //! and messages sent — the exact series of Figures 4–7.
 
 pub mod driver;
+pub mod harness;
 mod installer;
 pub mod introspect;
 pub mod metrics;
 pub mod node;
+pub mod parallel;
 mod router;
 mod scheduler;
 pub mod sim;
 
 pub use driver::{Driver, SimPort, ThreadedPort, Transport, UdpPort};
-pub use metrics::NodeMetrics;
+pub use harness::Population;
+pub use metrics::{NodeMetrics, ShardStats};
 pub use node::{InstallError, Node, NodeConfig, ProgramId};
+pub use parallel::ParallelHarness;
 pub use sim::SimHarness;

@@ -40,6 +40,23 @@ pub struct NodeMetrics {
     pub malformed_drops: u64,
 }
 
+/// Runtime counters for the population shard a node lives on, published
+/// into every member node by the parallel harness after each run so the
+/// `sysStat` introspection table covers the parallel engine (`shard.*`
+/// rows). Absent (and unreported) under the sequential harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Which shard the node is assigned to.
+    pub shard: u64,
+    /// Event instants the shard has executed.
+    pub events: u64,
+    /// Conservative windows the shard has participated in (each one a
+    /// barrier round-trip with the coordinator).
+    pub barrier_waits: u64,
+    /// Envelopes the shard has routed through the cross-shard mailbox.
+    pub mailbox_envelopes: u64,
+}
+
 impl NodeMetrics {
     /// CPU-utilization percentage against an elapsed virtual duration.
     pub fn cpu_percent(&self, elapsed_virtual_secs: f64) -> f64 {

@@ -166,6 +166,9 @@ pub struct Node {
     pub(crate) outbox: Vec<Envelope>,
     pub(crate) watches: HashMap<String, Vec<(Time, Tuple)>>,
     pub(crate) metrics: NodeMetrics,
+    /// Shard counters published by the parallel harness (None under the
+    /// sequential harness — `sysStat` then carries no `shard.*` rows).
+    pub(crate) shard_stats: Option<crate::metrics::ShardStats>,
     pub(crate) next_program: u64,
     /// Plan-time warnings from installed programs (dead rules, ...),
     /// tagged with the owning program for uninstall cleanup.
@@ -197,6 +200,7 @@ impl Node {
             outbox: Vec::new(),
             watches: HashMap::new(),
             metrics: NodeMetrics::default(),
+            shard_stats: None,
             next_program: 1,
             plan_diagnostics: Vec::new(),
             analysis_diagnostics: Vec::new(),
@@ -211,6 +215,18 @@ impl Node {
     /// The node's address.
     pub fn addr(&self) -> &Addr {
         &self.addr
+    }
+
+    /// The shard counters last published by the parallel harness, if the
+    /// node runs under one.
+    pub fn shard_stats(&self) -> Option<&crate::metrics::ShardStats> {
+        self.shard_stats.as_ref()
+    }
+
+    /// Publish shard counters (the parallel harness calls this after
+    /// every run so introspection reflects the parallel engine).
+    pub fn set_shard_stats(&mut self, stats: crate::metrics::ShardStats) {
+        self.shard_stats = Some(stats);
     }
 
     /// Measurement counters.

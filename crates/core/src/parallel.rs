@@ -1,0 +1,930 @@
+//! The parallel population harness: conservative-window sharded
+//! simulation with a deterministic cross-shard merge (DESIGN.md §2.10).
+//!
+//! [`ParallelHarness`] splits the node population round-robin across
+//! shards, each owning its nodes and one shard-local [`SimNetwork`]
+//! fabric, and advances virtual time in **conservative windows** of the
+//! network's base latency: because every envelope takes at least
+//! `SimConfig.latency` to arrive, no envelope sent inside window *k* can
+//! be delivered inside window *k* — shards therefore execute a window
+//! with no communication at all, and exchange mailboxes at a barrier
+//! between windows. With more than one shard the windows run on OS
+//! worker threads (std `mpsc` only); with one shard they run inline.
+//!
+//! **Determinism.** Every send is stamped `(sent_at, epoch, src_idx,
+//! seq)` — see [`p2_net::Stamp`] — and every fabric orders deliveries by
+//! `(deliver_at, stamp)`. Stamps are chronological within a run, and the
+//! sequential harness's tie-break (its global send counter) agrees with
+//! the stamp order, so **any shard count, including 1, produces
+//! bit-identical output to [`crate::SimHarness`]**: same tuple stores,
+//! same tracer tuple IDs, same counters, same golden traces. The one
+//! excluded surface is wall-clock measurements (`busyMicros`), which are
+//! non-deterministic under any harness. Programs that exhaust the
+//! per-pump dispatch budget (`NodeConfig::max_dispatch_per_pump`, a
+//! runaway-rule guard) are also outside the contract: the sequential
+//! loop re-pumps a budget-stalled node at other nodes' event instants,
+//! which a shard that skips those instants will not reproduce.
+//!
+//! Within a window a shard replays exactly what the sequential loop
+//! would do at each of its event instants: fire due timers, sweep the
+//! tracer on GC instants, then settle in waves (pump all live nodes,
+//! deliver everything due) with one stamp epoch per wave. Tracer GC is a
+//! population-global event, so GC instants run as dedicated
+//! single-instant windows in which every shard participates.
+
+use crate::harness::Population;
+use crate::metrics::ShardStats;
+use crate::node::{InstallError, Node, NodeConfig, ProgramId};
+use p2_net::{NetStats, SimConfig, SimNetwork, StampedEnvelope};
+use p2_types::{Addr, Time, TimeDelta, Tuple};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// One shard's slice of the population: its nodes (in global insertion
+/// order, restricted), their inboxes, and the shard-local fabric.
+struct ShardNode {
+    addr: Addr,
+    node: Node,
+    inbox: VecDeque<p2_net::Envelope>,
+}
+
+struct Shard {
+    id: usize,
+    nodes: Vec<ShardNode>,
+    local_idx: HashMap<Addr, usize>,
+    net: SimNetwork,
+    stats: ShardStats,
+    /// Per-node "might have runnable work" flags, reused across instants
+    /// (always all-false between instants).
+    dirty: Vec<bool>,
+    /// Nodes whose state changed this instant (their cached timer needs
+    /// recomputing). Drained at the end of every instant.
+    touched: Vec<usize>,
+    /// Cached `Node::next_timer` per node, so the per-instant fire scan
+    /// and `next_event` read a flat vector instead of peeking every
+    /// node's timer heap. Refreshed wholesale at `run_until` entry
+    /// (control ops between runs can change any timer) and
+    /// incrementally for touched nodes inside a window.
+    timers: Vec<Option<Time>>,
+    /// Cached down-ness per local node — crash/revive only happen
+    /// between runs, so this is constant across a window and saves an
+    /// address hash per node per scan. Synced in `refresh_caches`.
+    down: Vec<bool>,
+}
+
+/// One conservative window's work order for a shard.
+struct WindowCmd {
+    start: Time,
+    end: Time,
+    gc: bool,
+    /// Stamp epoch the first instant starts at, when that instant
+    /// continues a virtual time the coordinator already stamped at
+    /// (control ops can leave timers due at the current instant).
+    epoch_base: u32,
+    /// Cross-shard envelopes routed to this shard since it last ran.
+    incoming: Vec<StampedEnvelope>,
+}
+
+/// What a shard reports back at the window barrier.
+struct WindowReply {
+    shard: usize,
+    outbound: Vec<StampedEnvelope>,
+    next_event: Option<Time>,
+    /// Last instant executed and the next free stamp epoch at it.
+    last: Option<(Time, u32)>,
+}
+
+impl Shard {
+    /// Re-sync the timer and down caches from the nodes and fabric.
+    /// Called once at `run_until` entry: control operations between
+    /// runs (install, inject, crash, direct `node_mut` access) can
+    /// change any node's schedule or liveness.
+    fn refresh_caches(&mut self) {
+        for (i, sn) in self.nodes.iter().enumerate() {
+            self.timers[i] = sn.node.next_timer();
+            self.down[i] = self.net.is_down(&sn.addr);
+        }
+    }
+
+    /// Mark a node as having runnable work this instant.
+    fn mark(&mut self, i: usize) {
+        if !self.dirty[i] {
+            self.dirty[i] = true;
+            self.touched.push(i);
+        }
+    }
+
+    /// Earliest pending local event: a live node's timer or a queued
+    /// delivery (including deliveries addressed to down nodes, which
+    /// still consume an instant to be dropped — exactly like the
+    /// sequential loop).
+    fn next_event(&self) -> Option<Time> {
+        let mut next = self.net.next_delivery();
+        for (i, timer) in self.timers.iter().enumerate() {
+            if self.down[i] {
+                continue;
+            }
+            if let Some(t) = *timer {
+                next = Some(next.map_or(t, |x| x.min(t)));
+            }
+        }
+        next
+    }
+
+    /// Execute one conservative window `[start, end)`.
+    fn run_window(&mut self, cmd: WindowCmd) -> WindowReply {
+        for se in cmd.incoming {
+            self.net.accept(se);
+        }
+        let mut last = None;
+        if cmd.gc {
+            // GC windows are single-instant and every shard runs the
+            // sweep, events or not.
+            let e = self.run_instant(cmd.start, cmd.epoch_base, true);
+            last = Some((cmd.start, e));
+            self.stats.events += 1;
+        } else {
+            while let Some(u_raw) = self.next_event() {
+                if u_raw >= cmd.end {
+                    break;
+                }
+                // A timer can predate the window when a node revived
+                // with a stale schedule; it fires "now", like the
+                // sequential loop's clamp to the clock.
+                let u = u_raw.max(cmd.start);
+                let base = if u == cmd.start { cmd.epoch_base } else { 0 };
+                let e = self.run_instant(u, base, false);
+                last = Some((u, e));
+                self.stats.events += 1;
+            }
+        }
+        self.stats.barrier_waits += 1;
+        let outbound = self.net.take_outbound();
+        self.stats.mailbox_envelopes += outbound.len() as u64;
+        WindowReply {
+            shard: self.id,
+            outbound,
+            next_event: self.next_event(),
+            last,
+        }
+    }
+
+    /// Replay one event instant exactly as `SimHarness::run_until` does:
+    /// fire due timers, sweep the tracer on GC instants, then settle in
+    /// waves. Returns the next free stamp epoch at `u`.
+    ///
+    /// Unlike the sequential loop — which pumps *every* live node in
+    /// every wave — only nodes that could have runnable work are pumped:
+    /// nodes whose timers fired this instant, nodes handed a delivery in
+    /// the previous wave, and every node on a GC instant. For
+    /// work-conserving pumps (the bit-identical contract; see the module
+    /// docs) a pump of any other node is a no-op, so skipping it changes
+    /// nothing observable and removes the dominant O(shard size ×
+    /// waves) cost of dense populations.
+    fn run_instant(&mut self, u: Time, base: u32, gc: bool) -> u32 {
+        for i in 0..self.nodes.len() {
+            if self.down[i] {
+                continue;
+            }
+            if self.timers[i].is_some_and(|t| t <= u) {
+                self.nodes[i].node.fire_timers(u);
+                self.mark(i);
+            }
+        }
+        if gc {
+            // The sequential sweep does not skip down nodes; it can also
+            // free watched state, so every node gets pumped after it.
+            for i in 0..self.nodes.len() {
+                self.nodes[i].node.trace_gc(u);
+                self.mark(i);
+            }
+        }
+        let mut epoch = base;
+        loop {
+            self.net.set_stamp(u, epoch);
+            let mut progress = false;
+            for i in 0..self.nodes.len() {
+                if !self.dirty[i] {
+                    continue;
+                }
+                self.dirty[i] = false;
+                if self.down[i] {
+                    continue;
+                }
+                let sn = &mut self.nodes[i];
+                while let Some(env) = sn.inbox.pop_front() {
+                    sn.node.deliver(env, u);
+                }
+                for env in sn.node.pump(u) {
+                    self.net.send(env, u);
+                    progress = true;
+                }
+            }
+            for env in self.net.pop_due(u) {
+                let ni = self.local_idx[&env.dst];
+                self.nodes[ni].inbox.push_back(env);
+                self.mark(ni);
+                progress = true;
+            }
+            epoch += 1;
+            if !progress {
+                break;
+            }
+        }
+        // Touched nodes fired, pumped, or were delivered to — their
+        // schedules may have changed; the rest kept their cached timer.
+        while let Some(i) = self.touched.pop() {
+            self.timers[i] = self.nodes[i].node.next_timer();
+        }
+        // Restore the all-false invariant for the next instant (the
+        // last wave clears every mark it visits, so this is a cheap
+        // safety net, not a correctness dependency).
+        self.dirty.fill(false);
+        epoch
+    }
+}
+
+/// Coordinator state threaded through the window loop (split out of the
+/// harness so the shards can be mutably lent to worker threads).
+struct Coord<'a> {
+    index: &'a HashMap<Addr, (usize, usize)>,
+    clock: &'a mut Time,
+    next_gc: &'a mut Time,
+    stamp_time: &'a mut Time,
+    stamp_epoch: &'a mut u32,
+    gc_period: TimeDelta,
+    lookahead: TimeDelta,
+}
+
+/// A sharded, conservatively windowed population — the parallel
+/// counterpart of [`crate::SimHarness`], bit-identical to it at every
+/// shard count.
+pub struct ParallelHarness {
+    shards: Vec<Shard>,
+    index: HashMap<Addr, (usize, usize)>,
+    order: Vec<Addr>,
+    clock: Time,
+    gc_period: TimeDelta,
+    next_gc: Time,
+    lookahead: TimeDelta,
+    base_node_config: NodeConfig,
+    seed: u64,
+    /// Next free stamp epoch at `stamp_time` (mirrors what the
+    /// sequential harness's per-wave `begin_epoch` calls consume).
+    stamp_time: Time,
+    stamp_epoch: u32,
+}
+
+impl ParallelHarness {
+    /// Create a harness with the given network config, node config
+    /// template, seed, and shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0` or the network latency is zero — the
+    /// base latency is the conservative lookahead, so it must be
+    /// positive for windows to exist at all.
+    pub fn new(
+        net_config: SimConfig,
+        node_config: NodeConfig,
+        seed: u64,
+        shards: usize,
+    ) -> ParallelHarness {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            net_config.latency > TimeDelta::ZERO,
+            "parallel harness needs a positive latency lookahead"
+        );
+        let mut nc = node_config;
+        nc.seed = seed;
+        let lookahead = net_config.latency;
+        let shards = (0..shards)
+            .map(|id| Shard {
+                id,
+                nodes: Vec::new(),
+                local_idx: HashMap::new(),
+                net: SimNetwork::new(SimConfig {
+                    seed,
+                    ..net_config.clone()
+                }),
+                stats: ShardStats {
+                    shard: id as u64,
+                    ..ShardStats::default()
+                },
+                dirty: Vec::new(),
+                touched: Vec::new(),
+                timers: Vec::new(),
+                down: Vec::new(),
+            })
+            .collect();
+        ParallelHarness {
+            shards,
+            index: HashMap::new(),
+            order: Vec::new(),
+            clock: Time::ZERO,
+            gc_period: TimeDelta::from_secs(30),
+            next_gc: Time::from_secs(30),
+            lookahead,
+            base_node_config: nc,
+            seed,
+            stamp_time: Time::ZERO,
+            stamp_epoch: 0,
+        }
+    }
+
+    /// A harness with default network (10 ms links) and node settings.
+    pub fn with_seed(seed: u64, shards: usize) -> ParallelHarness {
+        ParallelHarness::new(SimConfig::default(), NodeConfig::default(), seed, shards)
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    /// The harness seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Add a node (default config template). Returns its address.
+    pub fn add_node(&mut self, name: &str) -> Addr {
+        self.add_node_with(name, self.base_node_config.clone())
+    }
+
+    /// Add a node with an explicit config. Nodes are assigned to shards
+    /// round-robin in insertion order; every shard fabric registers
+    /// every address (in the same order, so stamp indices agree).
+    pub fn add_node_with(&mut self, name: &str, mut config: NodeConfig) -> Addr {
+        let addr = Addr::new(name);
+        config.seed = self.seed;
+        let si = self.order.len() % self.shards.len();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.net.register_at(addr.clone(), i == si);
+        }
+        let shard = &mut self.shards[si];
+        let ni = shard.nodes.len();
+        shard.local_idx.insert(addr.clone(), ni);
+        shard.nodes.push(ShardNode {
+            addr: addr.clone(),
+            node: Node::new(addr.clone(), config),
+            inbox: VecDeque::new(),
+        });
+        shard.dirty.push(false);
+        shard.timers.push(None);
+        shard.down.push(false);
+        self.index.insert(addr.clone(), (si, ni));
+        self.order.push(addr.clone());
+        addr
+    }
+
+    /// Access a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never added to the harness.
+    pub fn node(&self, addr: &Addr) -> &Node {
+        let (si, ni) = self.index[addr];
+        &self.shards[si].nodes[ni].node
+    }
+
+    /// Access a node mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never added to the harness.
+    pub fn node_mut(&mut self, addr: &Addr) -> &mut Node {
+        let (si, ni) = self.index[addr];
+        &mut self.shards[si].nodes[ni].node
+    }
+
+    /// All node addresses in insertion order.
+    pub fn addrs(&self) -> &[Addr] {
+        &self.order
+    }
+
+    /// Install a program on one node at the current time.
+    pub fn install(&mut self, addr: &Addr, source: &str) -> Result<ProgramId, InstallError> {
+        let now = self.clock;
+        let pid = self.node_mut(addr).install(source, now)?;
+        self.control_settle();
+        Ok(pid)
+    }
+
+    /// Install the same program on every node, then settle once.
+    pub fn install_all(&mut self, source: &str) -> Result<Vec<ProgramId>, InstallError> {
+        let now = self.clock;
+        let mut out = Vec::new();
+        for i in 0..self.order.len() {
+            let addr = self.order[i].clone();
+            out.push(self.node_mut(&addr).install(source, now)?);
+        }
+        self.control_settle();
+        Ok(out)
+    }
+
+    /// Inject a tuple at a node and settle.
+    pub fn inject(&mut self, addr: &Addr, tuple: Tuple) {
+        self.node_mut(addr).inject(tuple);
+        self.control_settle();
+    }
+
+    /// Crash a node: every shard fabric drops its traffic and the node
+    /// stops executing until revived.
+    pub fn crash(&mut self, addr: &Addr) {
+        for shard in &mut self.shards {
+            shard.net.set_down(addr, true);
+        }
+    }
+
+    /// Revive a crashed node.
+    pub fn revive(&mut self, addr: &Addr) {
+        for shard in &mut self.shards {
+            shard.net.set_down(addr, false);
+        }
+    }
+
+    /// Whether the node is crashed.
+    pub fn is_down(&self, addr: &Addr) -> bool {
+        self.shards[0].net.is_down(addr)
+    }
+
+    /// Sever or restore a directed link on every shard fabric.
+    pub fn set_cut(&mut self, src: &Addr, dst: &Addr, cut: bool) {
+        for shard in &mut self.shards {
+            shard.net.set_cut(src, dst, cut);
+        }
+    }
+
+    /// Change the loss rate on the fly, on every shard fabric.
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        for shard in &mut self.shards {
+            shard.net.set_loss_rate(rate);
+        }
+    }
+
+    /// Population-wide network counters, summed across shard fabrics.
+    pub fn net_stats(&self) -> NetStats {
+        let mut out = NetStats::default();
+        for shard in &self.shards {
+            out.merge(shard.net.stats());
+        }
+        out
+    }
+
+    /// Per-shard runtime counters (events, barrier waits, mailbox
+    /// envelopes), in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.stats).collect()
+    }
+
+    /// Hand the current stamp epoch out and advance past it, resetting
+    /// at a fresh instant — the coordinator-side mirror of
+    /// `SimNetwork::begin_epoch`.
+    fn alloc_epoch(&mut self, t: Time) -> u32 {
+        if self.stamp_time != t {
+            self.stamp_time = t;
+            self.stamp_epoch = 0;
+        }
+        let e = self.stamp_epoch;
+        self.stamp_epoch += 1;
+        e
+    }
+
+    /// Mirror of `SimHarness::settle` for control operations (install,
+    /// inject): pump every live node in insertion order, one stamp epoch
+    /// per wave, routing cross-shard mail directly, until quiescent.
+    /// Runs on the calling thread — control ops happen between runs,
+    /// when the coordinator owns all shards.
+    fn control_settle(&mut self) {
+        let t = self.clock;
+        loop {
+            let e = self.alloc_epoch(t);
+            for shard in &mut self.shards {
+                shard.net.set_stamp(t, e);
+            }
+            let mut progress = false;
+            for i in 0..self.order.len() {
+                let addr = self.order[i].clone();
+                let (si, ni) = self.index[&addr];
+                let shard = &mut self.shards[si];
+                if shard.net.is_down(&addr) {
+                    continue;
+                }
+                let sn = &mut shard.nodes[ni];
+                while let Some(env) = sn.inbox.pop_front() {
+                    sn.node.deliver(env, t);
+                }
+                for env in sn.node.pump(t) {
+                    shard.net.send(env, t);
+                    progress = true;
+                }
+            }
+            self.route_outbound();
+            for shard in &mut self.shards {
+                for env in shard.net.pop_due(t) {
+                    let ni = shard.local_idx[&env.dst];
+                    shard.nodes[ni].inbox.push_back(env);
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Move every shard's outbound mailbox into the owning fabric's
+    /// delivery heap (coordinator-side routing, between windows).
+    fn route_outbound(&mut self) {
+        let mut moved: Vec<StampedEnvelope> = Vec::new();
+        for shard in &mut self.shards {
+            let out = shard.net.take_outbound();
+            shard.stats.mailbox_envelopes += out.len() as u64;
+            moved.extend(out);
+        }
+        for se in moved {
+            let (ds, _) = self.index[&se.env.dst];
+            self.shards[ds].net.accept(se);
+        }
+    }
+
+    /// Copy each shard's counters into its member nodes so `sysStat`
+    /// carries `shard.*` rows.
+    fn publish_shard_stats(&mut self) {
+        for shard in &mut self.shards {
+            let snap = shard.stats;
+            for sn in &mut shard.nodes {
+                sn.node.set_shard_stats(snap);
+            }
+        }
+    }
+
+    /// Advance virtual time to `deadline`, firing timers and deliveries
+    /// in order — windowed, sharded, and bit-identical to
+    /// `SimHarness::run_until` at the same seed.
+    pub fn run_until(&mut self, deadline: Time) {
+        // The sequential loop settles on entry (work left behind by
+        // control ops — e.g. a tuple injected into a then-down node that
+        // has since revived — dispatches *before* the first event) and
+        // again at the deadline. Mirror both.
+        self.control_settle();
+        if self.order.is_empty() {
+            self.clock = deadline;
+            return;
+        }
+        for shard in &mut self.shards {
+            shard.refresh_caches();
+        }
+        let initial: Vec<Option<Time>> = self.shards.iter().map(Shard::next_event).collect();
+        let gc_period = self.gc_period;
+        let lookahead = self.lookahead;
+        let ParallelHarness {
+            shards,
+            index,
+            clock,
+            next_gc,
+            stamp_time,
+            stamp_epoch,
+            ..
+        } = self;
+        let coord = Coord {
+            index,
+            clock,
+            next_gc,
+            stamp_time,
+            stamp_epoch,
+            gc_period,
+            lookahead,
+        };
+        // With one shard — or one hardware thread, where workers can
+        // only add channel round-trips — run windows inline. Reply
+        // handling is order-insensitive, so both paths merge identically.
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let leftover = if shards.len() == 1 || cores == 1 {
+            drive(coord, deadline, initial, |jobs| {
+                jobs.into_iter()
+                    .map(|(si, cmd)| shards[si].run_window(cmd))
+                    .collect()
+            })
+        } else {
+            run_threaded(shards, coord, deadline, initial)
+        };
+        // Envelopes still in the coordinator's hands (due beyond the
+        // deadline) go back into the owning fabric for the next run.
+        for (s, list) in leftover.into_iter().enumerate() {
+            for se in list {
+                self.shards[s].net.accept(se);
+            }
+        }
+        self.control_settle();
+        self.publish_shard_stats();
+    }
+
+    /// Advance virtual time by `delta`.
+    pub fn run_for(&mut self, delta: TimeDelta) {
+        let deadline = self.clock + delta;
+        self.run_until(deadline);
+    }
+}
+
+/// Spawn one worker per shard (scoped, std mpsc) and run the window
+/// loop against them. Returns undelivered cross-shard envelopes.
+#[expect(
+    clippy::expect_used,
+    reason = "a dead or wedged shard worker is unrecoverable; fail loudly instead of hanging the barrier"
+)]
+fn run_threaded(
+    shards: &mut [Shard],
+    coord: Coord<'_>,
+    deadline: Time,
+    initial: Vec<Option<Time>>,
+) -> Vec<Vec<StampedEnvelope>> {
+    std::thread::scope(|scope| {
+        let (reply_tx, reply_rx) = mpsc::channel::<WindowReply>();
+        let mut cmd_txs = Vec::new();
+        for shard in shards.iter_mut() {
+            let (tx, rx) = mpsc::channel::<WindowCmd>();
+            cmd_txs.push(tx);
+            let rtx = reply_tx.clone();
+            scope.spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    if rtx.send(shard.run_window(cmd)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(reply_tx);
+        drive(coord, deadline, initial, move |jobs| {
+            let k = jobs.len();
+            for (si, cmd) in jobs {
+                cmd_txs[si].send(cmd).expect("shard worker hung up mid-run");
+            }
+            (0..k)
+                .map(|_| {
+                    reply_rx
+                        .recv_timeout(Duration::from_secs(120))
+                        .expect("shard worker stalled or died")
+                })
+                .collect()
+        })
+    })
+}
+
+/// The coordinator's window loop: pick the next global event time, open
+/// a conservative window (or a single-instant GC round), dispatch it to
+/// the shards that have work, then merge mailboxes at the barrier.
+/// Returns per-shard envelopes still undelivered at the deadline.
+fn drive(
+    coord: Coord<'_>,
+    deadline: Time,
+    mut next_event: Vec<Option<Time>>,
+    mut exec: impl FnMut(Vec<(usize, WindowCmd)>) -> Vec<WindowReply>,
+) -> Vec<Vec<StampedEnvelope>> {
+    let n = next_event.len();
+    let mut pending: Vec<Vec<StampedEnvelope>> = vec![Vec::new(); n];
+    let micro = TimeDelta::from_micros(1);
+    loop {
+        // Earliest event anywhere: shard-local timers/deliveries, plus
+        // cross-shard envelopes still in the coordinator's hands.
+        let mut t_raw: Option<Time> = None;
+        for s in 0..n {
+            let mut m = next_event[s];
+            if let Some(p) = pending[s].iter().map(|se| se.deliver_at).min() {
+                m = Some(m.map_or(p, |x| x.min(p)));
+            }
+            if let Some(m) = m {
+                t_raw = Some(t_raw.map_or(m, |x| x.min(m)));
+            }
+        }
+        let t = match t_raw {
+            Some(t) if t <= deadline => t.max(*coord.clock),
+            _ => break,
+        };
+        // The tracer sweep is population-global: the first event instant
+        // at or past the GC deadline runs as its own single-instant
+        // window with every shard participating.
+        let (end, gc) = if t >= *coord.next_gc {
+            (t + micro, true)
+        } else {
+            let mut e = t + coord.lookahead;
+            if *coord.next_gc < e {
+                e = *coord.next_gc;
+            }
+            if deadline + micro < e {
+                e = deadline + micro;
+            }
+            (e, false)
+        };
+        let epoch_base = if t == *coord.stamp_time {
+            *coord.stamp_epoch
+        } else {
+            0
+        };
+        let mut jobs = Vec::new();
+        for s in 0..n {
+            let has_event = next_event[s].is_some_and(|x| x < end)
+                || pending[s].iter().any(|se| se.deliver_at < end);
+            if gc || has_event {
+                jobs.push((
+                    s,
+                    WindowCmd {
+                        start: t,
+                        end,
+                        gc,
+                        epoch_base,
+                        incoming: std::mem::take(&mut pending[s]),
+                    },
+                ));
+            }
+        }
+        let mut last: Option<(Time, u32)> = None;
+        for r in exec(jobs) {
+            next_event[r.shard] = r.next_event;
+            for se in r.outbound {
+                pending[coord.index[&se.env.dst].0].push(se);
+            }
+            if let Some((u, e)) = r.last {
+                last = Some(match last {
+                    Some((lu, le)) if lu > u || (lu == u && le >= e) => (lu, le),
+                    _ => (u, e),
+                });
+            }
+        }
+        if let Some((u, e)) = last {
+            *coord.stamp_time = u;
+            *coord.stamp_epoch = e;
+        }
+        if gc {
+            *coord.next_gc = t + coord.gc_period;
+        }
+    }
+    *coord.clock = deadline;
+    pending
+}
+
+impl Population for ParallelHarness {
+    fn now(&self) -> Time {
+        ParallelHarness::now(self)
+    }
+    fn seed(&self) -> u64 {
+        ParallelHarness::seed(self)
+    }
+    fn add_node(&mut self, name: &str) -> Addr {
+        ParallelHarness::add_node(self, name)
+    }
+    fn add_node_with(&mut self, name: &str, config: NodeConfig) -> Addr {
+        ParallelHarness::add_node_with(self, name, config)
+    }
+    fn addrs(&self) -> &[Addr] {
+        ParallelHarness::addrs(self)
+    }
+    fn node(&self, addr: &Addr) -> &Node {
+        ParallelHarness::node(self, addr)
+    }
+    fn node_mut(&mut self, addr: &Addr) -> &mut Node {
+        ParallelHarness::node_mut(self, addr)
+    }
+    fn install(&mut self, addr: &Addr, source: &str) -> Result<ProgramId, InstallError> {
+        ParallelHarness::install(self, addr, source)
+    }
+    fn install_all(&mut self, source: &str) -> Result<Vec<ProgramId>, InstallError> {
+        ParallelHarness::install_all(self, source)
+    }
+    fn inject(&mut self, addr: &Addr, tuple: Tuple) {
+        ParallelHarness::inject(self, addr, tuple)
+    }
+    fn crash(&mut self, addr: &Addr) {
+        ParallelHarness::crash(self, addr)
+    }
+    fn revive(&mut self, addr: &Addr) {
+        ParallelHarness::revive(self, addr)
+    }
+    fn is_down(&self, addr: &Addr) -> bool {
+        ParallelHarness::is_down(self, addr)
+    }
+    fn run_until(&mut self, deadline: Time) {
+        ParallelHarness::run_until(self, deadline)
+    }
+    fn net_stats(&self) -> NetStats {
+        ParallelHarness::net_stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimHarness;
+    use p2_types::Value;
+
+    /// The sim.rs ping-pong, but with the two nodes on different shards.
+    #[test]
+    fn cross_shard_ping_pong() {
+        let mut sim = ParallelHarness::with_seed(1, 2);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        sim.install(&a, r#"fwd pong@"b"(X) :- ping@N(X)."#).unwrap();
+        sim.install(&b, "done got@N(X) :- pong@N(X).").unwrap();
+        sim.node_mut(&b).watch("got");
+        sim.inject(&a, Tuple::new("ping", [Value::addr("a"), Value::Int(7)]));
+        sim.run_for(TimeDelta::from_millis(50));
+        let got = sim.node_mut(&b).take_watched("got");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.get(1), Some(&Value::Int(7)));
+        assert_eq!(got[0].0, Time::from_millis(10));
+    }
+
+    /// A gossip pair must end with the same table contents under the
+    /// sequential harness and under every shard count.
+    #[test]
+    fn matches_sequential_gossip() {
+        fn run<H: Population>(sim: &mut H) -> Vec<String> {
+            let a = sim.add_node("a");
+            let b = sim.add_node("b");
+            sim.install_all(
+                "materialize(seen, infinity, infinity, keys(1, 2)).
+                 g gossip@N(E) :- periodic@N(E, 3).
+                 s seen@N(E) :- gossip@N(E).",
+            )
+            .unwrap();
+            sim.run_for(TimeDelta::from_secs(30));
+            let now = sim.now();
+            let mut rows = sim.node_mut(&a).table_scan("seen", now);
+            rows.extend(sim.node_mut(&b).table_scan("seen", now));
+            rows.iter().map(|t| t.to_string()).collect()
+        }
+
+        let want = run(&mut SimHarness::with_seed(42));
+        for shards in [1, 2, 4] {
+            let got = run(&mut ParallelHarness::with_seed(42, shards));
+            assert_eq!(got, want, "diverged at {shards} shards");
+        }
+    }
+
+    /// Crash/revive across shards replays like the sequential harness.
+    #[test]
+    fn crash_and_revive_matches_sequential() {
+        fn run<H: Population>(sim: &mut H) -> Vec<String> {
+            let a = sim.add_node("a");
+            let b = sim.add_node("b");
+            sim.install(&a, r#"f out@"b"(X) :- go@N(X)."#).unwrap();
+            sim.install(&b, "c seen@N(X) :- out@N(X).").unwrap();
+            sim.node_mut(&b).watch("seen");
+            sim.crash(&b);
+            sim.inject(&a, Tuple::new("go", [Value::addr("a"), Value::Int(1)]));
+            sim.run_for(TimeDelta::from_millis(100));
+            sim.revive(&b);
+            sim.inject(&a, Tuple::new("go", [Value::addr("a"), Value::Int(2)]));
+            sim.run_for(TimeDelta::from_millis(100));
+            sim.node_mut(&b)
+                .take_watched("seen")
+                .iter()
+                .map(|(t, x)| format!("{t:?} {x}"))
+                .collect()
+        }
+        let want = run(&mut SimHarness::with_seed(9));
+        for shards in [1, 2, 3] {
+            let got = run(&mut ParallelHarness::with_seed(9, shards));
+            assert_eq!(got, want, "diverged at {shards} shards");
+        }
+    }
+
+    /// Shard counters surface through `sysStat` after a run.
+    #[test]
+    fn shard_stats_reach_introspection() {
+        let mut sim = ParallelHarness::with_seed(5, 2);
+        let a = sim.add_node("a");
+        let _b = sim.add_node("b");
+        sim.install(&a, r#"g probe@"b"(E) :- periodic@N(E, 2)."#)
+            .unwrap();
+        sim.run_for(TimeDelta::from_secs(10));
+        let now = sim.now();
+        let node = sim.node_mut(&a);
+        node.refresh_introspection(now);
+        let rows = node.table_scan(crate::introspect::SYS_STAT, now);
+        let keys: Vec<String> = rows
+            .iter()
+            .filter_map(|t| t.get(1).map(|v| format!("{v}")))
+            .collect();
+        for want in [
+            "shard.id",
+            "shard.events",
+            "shard.barrier_waits",
+            "shard.mailbox_envelopes",
+        ] {
+            assert!(
+                keys.iter().any(|k| k.contains(want)),
+                "sysStat missing {want}: {keys:?}"
+            );
+        }
+        // And the population-wide message counters survive the merge.
+        assert_eq!(sim.net_stats().sent_by(&a), 5);
+    }
+}

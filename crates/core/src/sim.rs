@@ -163,8 +163,14 @@ impl SimHarness {
     /// happen at the current virtual time.
     fn settle(&mut self) {
         loop {
+            // Each wave is one stamp epoch: sends from later waves of the
+            // same instant carry larger stamps, so the network's delivery
+            // order reproduces causal order (and thereby matches the
+            // sharded harness bit for bit).
+            self.net.begin_epoch(self.clock);
             let mut progress = false;
-            for addr in self.order.clone() {
+            for i in 0..self.order.len() {
+                let addr = self.order[i].clone();
                 if self.net.is_down(&addr) {
                     continue;
                 }
@@ -216,8 +222,10 @@ impl SimHarness {
                 }
             };
             self.clock = next;
-            // Fire due timers.
-            for addr in self.order.clone() {
+            // Fire due timers. Iterate by index — cloning `order` here
+            // (and in the GC sweep below) was pure per-event overhead.
+            for i in 0..self.order.len() {
+                let addr = self.order[i].clone();
                 if self.net.is_down(&addr) {
                     continue;
                 }
@@ -231,7 +239,8 @@ impl SimHarness {
             }
             // Periodic tracer GC.
             if self.clock >= self.next_gc {
-                for addr in self.order.clone() {
+                for i in 0..self.order.len() {
+                    let addr = self.order[i].clone();
                     let now = self.clock;
                     if let Some(drv) = self.nodes.get_mut(&addr) {
                         drv.node_mut().trace_gc(now);

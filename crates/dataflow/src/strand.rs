@@ -87,8 +87,10 @@ struct StageInput {
 /// genuine pipelining across consecutive trigger events (§2.1.2).
 #[derive(Debug)]
 struct ActiveJoin {
-    results: Vec<(Env, Tuple)>,
-    next: usize,
+    /// Owning iterator so each match is moved out exactly once — a
+    /// result is never revisited, so cloning it per emission would be
+    /// pure allocation overhead.
+    results: std::vec::IntoIter<(Env, Tuple)>,
 }
 
 /// One member of a strand family: the rule's own identity, its private
@@ -238,6 +240,9 @@ impl StrandRuntime {
 
     /// Emit a tap once per member branch (under each member's identity).
     fn tap_all(&self, sink: &mut dyn TapSink, at: Time, kind: &TapKind) {
+        if !sink.enabled() {
+            return;
+        }
         let stage_count = self.stage_defs.len();
         for b in &self.branches {
             sink.tap(TapEvent {
@@ -295,8 +300,7 @@ impl StrandRuntime {
             return true;
         }
 
-        let pre_ops = self.pre_ops.clone();
-        let env = match apply_stateless(&pre_ops, env, ctx, &mut self.branches[0].stats) {
+        let env = match apply_stateless(&self.pre_ops, env, ctx, &mut self.branches[0].stats) {
             Some(e) => e,
             None => {
                 // The trigger matched but a pre-join condition filtered
@@ -343,19 +347,19 @@ impl StrandRuntime {
                     // methods below; the narrow block keeps it local.
                     #[expect(clippy::expect_used, reason = "is_some checked just above")]
                     let active = self.stages[i].active.as_mut().expect("checked");
-                    if active.next < active.results.len() {
-                        let r = active.results[active.next].clone();
-                        active.next += 1;
-                        (Some(r), false)
-                    } else {
-                        (None, true)
+                    match active.results.next() {
+                        Some(r) => (Some(r), false),
+                        None => (None, true),
                     }
                 };
                 if let Some((env, tuple)) = emit {
                     self.tap_all(sink, now, &TapKind::Precondition { stage: i, tuple });
-                    let post = self.stage_defs[i].post.clone();
-                    if let Some(env) = apply_stateless(&post, env, ctx, &mut self.branches[0].stats)
-                    {
+                    if let Some(env) = apply_stateless(
+                        &self.stage_defs[i].post,
+                        env,
+                        ctx,
+                        &mut self.branches[0].stats,
+                    ) {
                         if i + 1 < self.stages.len() {
                             self.stages[i + 1]
                                 .input
@@ -389,7 +393,9 @@ impl StrandRuntime {
                     &mut self.branches[0].stats,
                     &mut self.probe_cache,
                 );
-                self.stages[i].active = Some(ActiveJoin { results, next: 0 });
+                self.stages[i].active = Some(ActiveJoin {
+                    results: results.into_iter(),
+                });
                 self.cursor = (i + 1) % n;
                 return true;
             }
@@ -430,7 +436,7 @@ impl StrandRuntime {
             dropped += s.input.len() as u64;
             s.input.clear();
             if let Some(a) = s.active.take() {
-                dropped += 1 + (a.results.len() - a.next) as u64;
+                dropped += 1 + a.results.len() as u64;
             }
         }
         self.cursor = 0;
@@ -476,15 +482,17 @@ impl StrandRuntime {
             };
             match head_tuple(&b.plan, &benv, ctx, None) {
                 Ok(tuple) => {
-                    sink.tap(TapEvent {
-                        strand_id: b.strand_id.clone(),
-                        rule_label: b.rule_label.clone(),
-                        stage_count,
-                        kind: TapKind::Output {
-                            tuple: tuple.clone(),
-                        },
-                        at: now,
-                    });
+                    if sink.enabled() {
+                        sink.tap(TapEvent {
+                            strand_id: b.strand_id.clone(),
+                            rule_label: b.rule_label.clone(),
+                            stage_count,
+                            kind: TapKind::Output {
+                                tuple: tuple.clone(),
+                            },
+                            at: now,
+                        });
+                    }
                     b.stats.outputs += 1;
                     actions.push(Action {
                         tuple,
@@ -519,19 +527,20 @@ impl StrandRuntime {
             reason = "only strands planned with an aggregate head reach this path"
         )]
         let agg: AggPlan = plan.head.agg.clone().expect("agg strand");
-        let pre_ops = self.pre_ops.clone();
-        let stage_defs = self.stage_defs.clone();
-
-        let stats = &mut self.branches[0].stats;
-        let mut envs = match apply_stateless(&pre_ops, env0.clone(), ctx, stats) {
+        let mut envs = match apply_stateless(
+            &self.pre_ops,
+            env0.clone(),
+            ctx,
+            &mut self.branches[0].stats,
+        ) {
             Some(e) => vec![e],
             None => Vec::new(),
         };
-        for (i, def) in stage_defs.iter().enumerate() {
+        for i in 0..self.stage_defs.len() {
             let mut next_envs = Vec::new();
             for env in envs {
                 for (e2, t) in probe_stage(
-                    def,
+                    &self.stage_defs[i],
                     i,
                     &env,
                     store,
@@ -541,9 +550,12 @@ impl StrandRuntime {
                     &mut self.probe_cache,
                 ) {
                     self.tap_all(sink, now, &TapKind::Precondition { stage: i, tuple: t });
-                    if let Some(e3) =
-                        apply_stateless(&def.post, e2, ctx, &mut self.branches[0].stats)
-                    {
+                    if let Some(e3) = apply_stateless(
+                        &self.stage_defs[i].post,
+                        e2,
+                        ctx,
+                        &mut self.branches[0].stats,
+                    ) {
                         next_envs.push(e3);
                     }
                 }
@@ -622,7 +634,7 @@ impl StrandRuntime {
         }
         // Aggregate strands run atomically, so every stage has completed
         // by now; signal the completions in stage order for the tracer.
-        for i in 0..stage_defs.len() {
+        for i in 0..self.stage_defs.len() {
             self.tap_all(sink, now, &TapKind::StageComplete { stage: i });
         }
     }

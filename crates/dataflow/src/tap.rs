@@ -57,6 +57,14 @@ pub struct TapEvent {
 pub trait TapSink {
     /// Receive one observation.
     fn tap(&mut self, event: TapEvent);
+
+    /// Whether this sink observes anything at all. Producers may skip
+    /// constructing [`TapEvent`]s entirely when `false` — the dominant
+    /// case on untraced nodes, where tap assembly (per-branch `Arc`
+    /// bumps and tuple clones) would be pure overhead.
+    fn enabled(&self) -> bool {
+        true
+    }
 }
 
 /// A sink that drops everything (tracing disabled — the baseline
@@ -66,6 +74,10 @@ pub struct NullSink;
 
 impl TapSink for NullSink {
     fn tap(&mut self, _event: TapEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
 }
 
 /// A sink that records everything (tests).

@@ -64,7 +64,7 @@ pub fn periodic_initiator_program(period_secs: u32) -> String {
 }
 
 /// Kick off one traversal from `initiator` with token nonce `e`.
-pub fn start_traversal(sim: &mut p2_core::SimHarness, initiator: &Addr, e: u64) {
+pub fn start_traversal<H: p2_core::Population>(sim: &mut H, initiator: &Addr, e: u64) {
     sim.inject(
         initiator,
         Tuple::new(

@@ -71,8 +71,8 @@ ep11 profileReport@Origin(WalkID, RuleT, NetT, LocalT) :-
 
 /// Start a walk at `node` for the traced tuple `id`, observed at
 /// `observed`. Reports arrive at `origin` as [`REPORT`] tuples.
-pub fn start_walk(
-    sim: &mut p2_core::SimHarness,
+pub fn start_walk<H: p2_core::Population>(
+    sim: &mut H,
     node: &Addr,
     origin: &Addr,
     walk_id: u64,

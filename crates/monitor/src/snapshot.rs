@@ -198,8 +198,8 @@ scs11 delete sConLookupTable@NAddr(ProbeID, ReqID, T) :-
 }
 
 /// Issue a lookup over snapshot `snap_id` starting at `at`.
-pub fn issue_snapshot_lookup(
-    sim: &mut p2_core::SimHarness,
+pub fn issue_snapshot_lookup<H: p2_core::Population>(
+    sim: &mut H,
     at: &Addr,
     snap_id: i64,
     key: p2_types::RingId,
@@ -222,7 +222,7 @@ pub fn issue_snapshot_lookup(
 }
 
 /// Read a node's phase for snapshot `id` (`None` if it never saw it).
-pub fn phase_of(sim: &mut p2_core::SimHarness, node: &Addr, id: i64) -> Option<String> {
+pub fn phase_of<H: p2_core::Population>(sim: &mut H, node: &Addr, id: i64) -> Option<String> {
     let now = sim.now();
     sim.node_mut(node)
         .table_scan(SNAP_STATE, now)
@@ -232,7 +232,7 @@ pub fn phase_of(sim: &mut p2_core::SimHarness, node: &Addr, id: i64) -> Option<S
 }
 
 /// The snapped `bestSucc` pointer of a node for snapshot `id`.
-pub fn snapped_succ(sim: &mut p2_core::SimHarness, node: &Addr, id: i64) -> Option<Addr> {
+pub fn snapped_succ<H: p2_core::Population>(sim: &mut H, node: &Addr, id: i64) -> Option<Addr> {
     let now = sim.now();
     sim.node_mut(node)
         .table_scan(SNAP_BEST_SUCC, now)

@@ -57,7 +57,7 @@ wr2 alarmCount@NAddr(Kind, count<*>) :- rollupTick@NAddr(E),
 }
 
 /// Read the latest roll-up as (kind, count) pairs.
-pub fn counts(sim: &mut p2_core::SimHarness, node: &p2_types::Addr) -> Vec<(String, i64)> {
+pub fn counts<H: p2_core::Population>(sim: &mut H, node: &p2_types::Addr) -> Vec<(String, i64)> {
     let now = sim.now();
     sim.node_mut(node)
         .table_scan(ALARM_COUNT, now)

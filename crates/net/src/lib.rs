@@ -27,7 +27,7 @@ pub mod udp;
 pub mod wire;
 
 pub use envelope::Envelope;
-pub use sim::{NetStats, SimConfig, SimNetwork};
+pub use sim::{NetStats, SimConfig, SimNetwork, Stamp, StampedEnvelope};
 pub use threaded::ThreadedHub;
 pub use udp::{UdpRecv, UdpTransport};
 pub use wire::WireError;

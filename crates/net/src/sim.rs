@@ -12,6 +12,22 @@
 //!   detectors of §3.1 are tested against these.
 //! * **Exact counters.** Messages sent per node back the *Tx messages*
 //!   series of Figures 6 and 7.
+//! * **Shardable.** The fabric can be split across population shards for
+//!   the conservative-window parallel harness (DESIGN.md §2.10): each
+//!   shard owns one `SimNetwork` whose *local* set covers its nodes;
+//!   envelopes addressed to other shards land in an outbound mailbox
+//!   instead of the delivery heap, already carrying the canonical
+//!   [`Stamp`] that makes the merged delivery order independent of the
+//!   shard count. Jitter/loss randomness comes from **per-source** RNG
+//!   streams derived from the seed, so draws do not depend on how the
+//!   population is sharded.
+//!
+//! Deliveries are ordered by `(deliver_at, stamp)` where the stamp
+//! `(sent_at, epoch, src_idx, seq)` is assigned at send time and is
+//! *chronological*: any send the simulation performs later in causal
+//! order gets a larger stamp. Two harness runs that perform the same
+//! sends in the same causal order therefore deliver in the same order —
+//! this is the determinism keystone of the parallel harness.
 
 use crate::envelope::Envelope;
 use p2_types::{Addr, DetRng, Time, TimeDelta};
@@ -21,7 +37,9 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 /// Network configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Base one-way latency.
+    /// Base one-way latency. Also the conservative-window lookahead of
+    /// the parallel harness: no envelope is ever delivered earlier than
+    /// `send time + latency`.
     pub latency: TimeDelta,
     /// Uniform extra latency in `[0, jitter]`.
     pub jitter: TimeDelta,
@@ -63,68 +81,150 @@ impl NetStats {
     pub fn sent_by(&self, a: &Addr) -> u64 {
         self.sent_by.get(a).copied().unwrap_or(0)
     }
-}
 
-#[derive(Debug)]
-struct InFlight {
-    deliver_at: Time,
-    seq: u64,
-    env: Envelope,
-}
-
-impl PartialEq for InFlight {
-    fn eq(&self, other: &Self) -> bool {
-        self.deliver_at == other.deliver_at && self.seq == other.seq
+    /// Fold another network's counters into this one (the parallel
+    /// harness sums its shard fabrics into one population view).
+    pub fn merge(&mut self, other: &NetStats) {
+        for (a, n) in &other.sent_by {
+            *self.sent_by.entry(a.clone()).or_insert(0) += n;
+        }
+        for (a, n) in &other.delivered_to {
+            *self.delivered_to.entry(a.clone()).or_insert(0) += n;
+        }
+        self.dropped += other.dropped;
     }
 }
-impl Eq for InFlight {}
-impl PartialOrd for InFlight {
+
+/// The canonical send-order stamp carried by every in-flight envelope.
+///
+/// Ordering is lexicographic over `(sent_at, epoch, src_idx, seq)`:
+/// virtual send time, then the settle-wave epoch within that instant,
+/// then the sender's registration index (= population insertion order),
+/// then the sender's own send counter. Within one run the stamp order of
+/// any two sends equals their causal order, so sorting equal-`deliver_at`
+/// envelopes by stamp reproduces the sequential harness's delivery order
+/// under any sharding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Stamp {
+    /// Virtual time of the send.
+    pub sent_at: Time,
+    /// Settle-wave counter within `sent_at` (see [`SimNetwork::begin_epoch`]).
+    pub epoch: u32,
+    /// The sender's registration index.
+    pub src_idx: u32,
+    /// The sender's monotonically increasing send counter.
+    pub seq: u64,
+}
+
+/// An envelope in flight, with its delivery time and canonical stamp.
+/// Public so the parallel harness can move cross-shard traffic between
+/// fabrics without re-deriving either.
+#[derive(Debug, Clone)]
+pub struct StampedEnvelope {
+    /// When the fabric will deliver it.
+    pub deliver_at: Time,
+    /// Canonical send-order stamp.
+    pub stamp: Stamp,
+    /// The payload.
+    pub env: Envelope,
+}
+
+impl PartialEq for StampedEnvelope {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.stamp == other.stamp
+    }
+}
+impl Eq for StampedEnvelope {}
+impl PartialOrd for StampedEnvelope {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for InFlight {
+impl Ord for StampedEnvelope {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+        (self.deliver_at, self.stamp).cmp(&(other.deliver_at, other.stamp))
     }
+}
+
+/// Per-source sending state: registration index, send counter, and the
+/// jitter/loss RNG stream (derived from seed + address so it is the same
+/// no matter which shard the source lives on).
+#[derive(Debug)]
+struct SrcState {
+    idx: u32,
+    seq: u64,
+    rng: DetRng,
 }
 
 /// The simulated fabric.
 #[derive(Debug)]
 pub struct SimNetwork {
     config: SimConfig,
-    rng: DetRng,
-    queue: BinaryHeap<Reverse<InFlight>>,
+    queue: BinaryHeap<Reverse<StampedEnvelope>>,
+    /// Envelopes addressed to nodes another shard owns, in send order.
+    outbound: Vec<StampedEnvelope>,
     /// Last scheduled delivery per (src, dst) link, for the FIFO clamp.
     link_horizon: HashMap<(Addr, Addr), Time>,
+    /// Every known address in the population (unknown destinations drop).
     nodes: HashSet<Addr>,
+    /// Addresses whose deliveries this fabric handles itself.
+    locals: HashSet<Addr>,
     down: HashSet<Addr>,
     /// Severed directed links.
     cut: HashSet<(Addr, Addr)>,
-    seq: u64,
+    src_states: HashMap<Addr, SrcState>,
+    next_src_idx: u32,
+    /// Current stamp position: instant and settle-wave epoch.
+    stamp_time: Time,
+    stamp_epoch: u32,
     stats: NetStats,
 }
 
 impl SimNetwork {
     /// Create a network with the given config.
     pub fn new(config: SimConfig) -> SimNetwork {
-        let rng = DetRng::new(config.seed ^ 0x006e_6574_776f_726b);
         SimNetwork {
             config,
-            rng,
             queue: BinaryHeap::new(),
+            outbound: Vec::new(),
             link_horizon: HashMap::new(),
             nodes: HashSet::new(),
+            locals: HashSet::new(),
             down: HashSet::new(),
             cut: HashSet::new(),
-            seq: 0,
+            src_states: HashMap::new(),
+            next_src_idx: 0,
+            stamp_time: Time::ZERO,
+            stamp_epoch: 0,
             stats: NetStats::default(),
         }
     }
 
-    /// Register a node address (unknown destinations drop).
+    /// The network configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Register a node address this fabric delivers to itself.
     pub fn register(&mut self, addr: Addr) {
-        self.nodes.insert(addr);
+        self.register_at(addr, true);
+    }
+
+    /// Register a node address, marking whether its deliveries are
+    /// handled locally or routed to the outbound mailbox. Registration
+    /// order assigns the stamp's `src_idx`, so every shard fabric must
+    /// register the whole population in the same (insertion) order.
+    pub fn register_at(&mut self, addr: Addr, local: bool) {
+        if self.nodes.insert(addr.clone()) {
+            let idx = self.next_src_idx;
+            self.next_src_idx += 1;
+            let rng = DetRng::derive(self.config.seed ^ 0x006e_6574_776f_726b, addr.as_str());
+            self.src_states
+                .insert(addr.clone(), SrcState { idx, seq: 0, rng });
+        }
+        if local {
+            self.locals.insert(addr);
+        }
     }
 
     /// Crash a node: its in-flight and future messages drop.
@@ -160,9 +260,31 @@ impl SimNetwork {
         &self.stats
     }
 
-    /// Messages currently in flight.
+    /// Messages currently in flight (delivery heap plus outbound mailbox).
     pub fn in_flight(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.outbound.len()
+    }
+
+    /// Open the next settle-wave epoch at `now`: epoch 0 at a fresh
+    /// instant, otherwise the next wave of the current instant. The
+    /// sequential harness calls this once per settle wave; sends in later
+    /// waves of the same instant then carry larger stamps, preserving
+    /// causal order among same-instant sends.
+    pub fn begin_epoch(&mut self, now: Time) {
+        if self.stamp_time != now {
+            self.stamp_time = now;
+            self.stamp_epoch = 0;
+        } else {
+            self.stamp_epoch += 1;
+        }
+    }
+
+    /// Position the stamp clock explicitly (the parallel harness drives
+    /// epochs from its window coordinator so every shard fabric stamps
+    /// identically).
+    pub fn set_stamp(&mut self, now: Time, epoch: u32) {
+        self.stamp_time = now;
+        self.stamp_epoch = epoch;
     }
 
     /// Accept an envelope for transmission at virtual time `now`.
@@ -176,14 +298,45 @@ impl SimNetwork {
             self.stats.dropped += 1;
             return;
         }
-        if self.config.loss_rate > 0.0 && self.rng.unit_f64() < self.config.loss_rate {
+        let loss_rate = self.config.loss_rate;
+        let jitter_max = self.config.jitter.micros();
+        let src = match self.src_states.get_mut(&env.src) {
+            Some(s) => s,
+            None => {
+                // Unregistered sender (never the case under a harness):
+                // give it a stream and an index after all registered ones.
+                let idx = self.next_src_idx;
+                self.next_src_idx += 1;
+                let rng =
+                    DetRng::derive(self.config.seed ^ 0x006e_6574_776f_726b, env.src.as_str());
+                self.src_states
+                    .entry(env.src.clone())
+                    .or_insert(SrcState { idx, seq: 0, rng })
+            }
+        };
+        if loss_rate > 0.0 && src.rng.unit_f64() < loss_rate {
             self.stats.dropped += 1;
             return;
         }
-        let jitter = if self.config.jitter.micros() > 0 {
-            TimeDelta::from_micros(self.rng.below(self.config.jitter.micros() + 1))
+        let jitter = if jitter_max > 0 {
+            TimeDelta::from_micros(src.rng.below(jitter_max + 1))
         } else {
             TimeDelta::ZERO
+        };
+        src.seq += 1;
+        let stamp = Stamp {
+            sent_at: now,
+            epoch: if self.stamp_time == now {
+                self.stamp_epoch
+            } else {
+                // Bare caller that never positions the stamp clock:
+                // fresh instants start at epoch 0.
+                self.stamp_time = now;
+                self.stamp_epoch = 0;
+                0
+            },
+            src_idx: src.idx,
+            seq: src.seq,
         };
         let mut deliver_at = now + self.config.latency + jitter;
         // FIFO clamp: never overtake an earlier message on the same link.
@@ -194,15 +347,38 @@ impl SimNetwork {
             }
         }
         self.link_horizon.insert(key, deliver_at);
-        self.seq += 1;
-        self.queue.push(Reverse(InFlight {
+        let se = StampedEnvelope {
             deliver_at,
-            seq: self.seq,
+            stamp,
             env,
-        }));
+        };
+        if self.locals.contains(&se.env.dst) {
+            self.queue.push(Reverse(se));
+        } else {
+            self.outbound.push(se);
+        }
     }
 
-    /// The virtual time of the earliest pending delivery.
+    /// Take every cross-shard envelope sent since the last call, in send
+    /// order. The caller (the window coordinator) routes each to the
+    /// fabric owning its destination via [`SimNetwork::accept`].
+    pub fn take_outbound(&mut self) -> Vec<StampedEnvelope> {
+        std::mem::take(&mut self.outbound)
+    }
+
+    /// Admit an envelope stamped by another shard's fabric. The
+    /// destination must be local here; send-side checks (loss, cuts,
+    /// down-at-send) already happened on the sending fabric, and the
+    /// died-in-flight check happens at [`SimNetwork::pop_due`] like any
+    /// other delivery.
+    pub fn accept(&mut self, se: StampedEnvelope) {
+        debug_assert!(self.locals.contains(&se.env.dst), "accept of non-local dst");
+        self.queue.push(Reverse(se));
+    }
+
+    /// The virtual time of the earliest pending local delivery. (The
+    /// outbound mailbox is not consulted — routing it is the window
+    /// coordinator's job.)
     pub fn next_delivery(&self) -> Option<Time> {
         self.queue.peek().map(|Reverse(m)| m.deliver_at)
     }
@@ -362,6 +538,80 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    /// Splitting the population across two fabrics and routing the
+    /// mailbox by hand delivers exactly what one fabric would, in the
+    /// same order — the unit-level statement of the sharding theorem.
+    #[test]
+    fn split_fabrics_match_single_fabric() {
+        let config = SimConfig {
+            jitter: TimeDelta::from_millis(3),
+            seed: 11,
+            ..Default::default()
+        };
+        let addrs: Vec<Addr> = ["a", "b", "c", "d"].iter().map(|s| Addr::new(s)).collect();
+        // One fabric owning everyone.
+        let mut whole = SimNetwork::new(config.clone());
+        for a in &addrs {
+            whole.register(a.clone());
+        }
+        // Two fabrics, each owning half, both registering all.
+        let mut left = SimNetwork::new(config.clone());
+        let mut right = SimNetwork::new(config.clone());
+        for (i, a) in addrs.iter().enumerate() {
+            left.register_at(a.clone(), i % 2 == 0);
+            right.register_at(a.clone(), i % 2 == 1);
+        }
+        // Everyone sends to everyone at two instants with two epochs.
+        let mut x = 0;
+        for t in [Time::ZERO, Time::from_millis(2)] {
+            for epoch in 0..2 {
+                whole.set_stamp(t, epoch);
+                left.set_stamp(t, epoch);
+                right.set_stamp(t, epoch);
+                for (i, src) in addrs.iter().enumerate() {
+                    for dst in &addrs {
+                        if src == dst {
+                            continue;
+                        }
+                        whole.send(env(src.as_str(), dst.as_str(), x), t);
+                        let shard = if i % 2 == 0 { &mut left } else { &mut right };
+                        shard.send(env(src.as_str(), dst.as_str(), x), t);
+                        x += 1;
+                    }
+                }
+            }
+        }
+        // Route the mailboxes.
+        for se in left.take_outbound() {
+            right.accept(se);
+        }
+        for se in right.take_outbound() {
+            left.accept(se);
+        }
+        // What each destination observes must be identical (same
+        // envelopes, same per-destination order) however the fabric is
+        // sharded.
+        let by_dst = |envs: Vec<Envelope>| {
+            let mut m: HashMap<Addr, Vec<String>> = HashMap::new();
+            for e in envs {
+                m.entry(e.dst.clone())
+                    .or_default()
+                    .push(format!("{}->{} {}", e.src, e.dst, e.tuples[0]));
+            }
+            m
+        };
+        let deadline = Time::from_secs(1);
+        let whole_view = by_dst(whole.pop_due(deadline));
+        let mut shard_view = by_dst(left.pop_due(deadline));
+        for (dst, lines) in by_dst(right.pop_due(deadline)) {
+            assert!(
+                shard_view.insert(dst, lines).is_none(),
+                "a destination was delivered to by both shards"
+            );
+        }
+        assert_eq!(shard_view, whole_view);
     }
 
     proptest! {

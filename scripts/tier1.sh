@@ -28,10 +28,22 @@ if cargo run --release --bin p2ql -- check tests/bad_programs/typo_relation.olg 
   echo "tier1: p2ql check passed a known-broken program" >&2
   exit 1
 fi
+# Parallel-engine determinism gate: the golden Chord trace must be
+# byte-identical under sharding (already inside `cargo test`, but run
+# by name so a divergence is unmistakable in CI logs).
+cargo test -q --test parallel_equivalence golden_chord_trace_is_identical_when_sharded
 cargo bench --no-run
 cargo bench -p p2-bench --bench engine -- --test
 cargo bench -p p2-bench --bench store_probe -- --test
 cargo bench -p p2-bench --bench node_pump -- --test
 cargo bench -p p2-bench --bench strand_eval -- --test
+cargo bench -p p2-bench --bench population_scale -- --test
+# Population-scaling emission: the CI-sized sweep exercises the full
+# `figures scale --json` path (its internal assert re-checks that every
+# shard count sends exactly the sequential engine's envelope count).
+# It writes to target/ so it never clobbers the committed artifact;
+# regenerate that one with the full 21/256/1024-node sweep:
+#   cargo run --release -p p2-bench --bin figures -- scale --json BENCH_scale.json
+cargo run --release -p p2-bench --bin figures -- scale --quick --json target/BENCH_scale.quick.json
 
 echo "tier1: OK"
