@@ -179,6 +179,27 @@ fn stack_arities(programs: &[&Program], unit_names: &[&str], diags: &mut Diagnos
             }
             return;
         }
+        if p.name == "past" {
+            // Archive scan: arity tracks the named relation; only the
+            // fixed (location, relation, t0, t1, ...) prefix is checked.
+            if arity < 4 {
+                push_at(
+                    diags,
+                    unit,
+                    Diagnostic::new(
+                        "P2E109",
+                        Severity::Error,
+                        format!(
+                            "past takes (location, relation, t0, t1, fields...); \
+                             found {arity} fields"
+                        ),
+                    )
+                    .with_span(p.span)
+                    .with_context(rule),
+                );
+            }
+            return;
+        }
         match firsts.get(&p.name) {
             Some((a, first, first_unit)) if *a != arity => {
                 let wher = if *first_unit == unit {
@@ -344,6 +365,9 @@ fn planner_merge(programs: &[&Program], ctx: &AnalysisCtx, diags: &mut Diagnosti
         }
         Err(PlanError::BadPeriodic { rule, message }) => {
             push_plan_error(diags, &rule_spans, "P2E121", &rule, message);
+        }
+        Err(PlanError::BadPast { rule, message }) => {
+            push_plan_error(diags, &rule_spans, "P2E124", &rule, message);
         }
         Err(PlanError::ReservedRelation { name }) => {
             diags.push(Diagnostic::new(

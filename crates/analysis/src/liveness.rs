@@ -32,12 +32,14 @@ use p2_overlog::{
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Relations the runtime itself produces: reading them is always
-/// legitimate, and writing `periodic` is rejected elsewhere. All but
-/// `periodic` are real *tables* the node registers (introspection
-/// always; the trace tables when tracing is on), so event
-/// classification must not treat them as transients.
+/// legitimate, and writing `periodic`/`past` is rejected elsewhere. All
+/// but `periodic` (a timer) and `past` (an archive scan) are real
+/// *tables* the node registers (introspection always; the trace tables
+/// when tracing is on), so event classification must not treat them as
+/// transients.
 pub(crate) const BUILTIN_PRODUCED: &[&str] = &[
     "periodic",
+    "past",
     "sysTable",
     "sysRule",
     "sysStat",

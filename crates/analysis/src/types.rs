@@ -446,35 +446,56 @@ fn walk_pred(
         span: p.span,
         ctx: ctx.to_string(),
     };
+    // `past@N("rel", T0, T1, fields...)` scans rel's archived history:
+    // its field args are rel's own fields, so unify against *that*
+    // relation's classes — a forensic rule type-checks exactly like a
+    // live join. The location and interval bounds stay unconstrained
+    // (bounds accept integer seconds and time values alike).
+    if p.name == "past" {
+        let Some(Arg::Const(Value::Str(rel))) = p.args.get(1) else {
+            return;
+        };
+        let rel = rel.to_string();
+        for (i, a) in p.args.iter().enumerate().skip(4) {
+            let f = cl.field(&rel, i - 4);
+            walk_arg(cl, f, a, uid, &site, diags);
+        }
+        return;
+    }
     for (i, a) in p.args.iter().enumerate() {
         let f = cl.field(&p.name, i);
-        match a {
-            Arg::Var(v) => {
-                let s = cl.var(uid, v);
-                cl.union(f, s, &site, diags);
-            }
-            Arg::Const(v) => cl.constrain(f, value_ty(v), &site, diags),
-            Arg::Wildcard => {}
-            Arg::Agg { func, over } => match func {
-                AggFunc::Count => cl.constrain(f, Ty::Num, &site, diags),
-                AggFunc::Sum | AggFunc::Avg => {
-                    cl.constrain(f, Ty::Num, &site, diags);
-                    if let Some(v) = over {
-                        let s = cl.var(uid, v);
-                        cl.constrain(s, Ty::Num, &site, diags);
-                    }
+        walk_arg(cl, f, a, uid, &site, diags);
+    }
+}
+
+/// Unify one predicate argument against field class `f`.
+fn walk_arg(cl: &mut Classes, f: usize, a: &Arg, uid: usize, site: &Site, diags: &mut Diagnostics) {
+    match a {
+        Arg::Var(v) => {
+            let s = cl.var(uid, v);
+            cl.union(f, s, site, diags);
+        }
+        Arg::Const(v) => cl.constrain(f, value_ty(v), site, diags),
+        Arg::Wildcard => {}
+        Arg::Agg { func, over } => match func {
+            AggFunc::Count => cl.constrain(f, Ty::Num, site, diags),
+            AggFunc::Sum | AggFunc::Avg => {
+                cl.constrain(f, Ty::Num, site, diags);
+                if let Some(v) = over {
+                    let s = cl.var(uid, v);
+                    cl.constrain(s, Ty::Num, site, diags);
                 }
-                AggFunc::Min | AggFunc::Max => {
-                    if let Some(v) = over {
-                        let s = cl.var(uid, v);
-                        cl.union(f, s, &site, diags);
-                    }
-                }
-            },
-            Arg::Expr(e) => {
-                let s = cl.expr(e, uid, &site, diags);
-                cl.unify(Slot::Class(f), s, &site, diags);
             }
+            AggFunc::Min | AggFunc::Max => {
+                if let Some(v) = over {
+                    let s = cl.var(uid, v);
+                    cl.union(f, s, site, diags);
+                }
+            }
+        },
+        Arg::Expr(e) => {
+            let s = cl.expr(e, uid, site, diags);
+            cl.unify(Slot::Class(f), s, site, diags);
         }
     }
 }

@@ -1,0 +1,91 @@
+//! Segment-scan throughput for the archive tier (DESIGN.md §2.11).
+//!
+//! Forensic queries decode history out of immutable epoch segments, so
+//! the number that matters is rows-per-second through
+//! [`Archive::scan_range`] — including the header-bounds pruning that
+//! lets a narrow probe skip segments without decoding them.
+//!
+//! * `archive_scan_full`: one relation, 16,384 archived versions spread
+//!   over ~64 epochs, probe window covering everything — the worst-case
+//!   full decode.
+//! * `archive_scan_window`: same archive, probe window covering one
+//!   epoch — measures how much the per-segment `[min_inserted,
+//!   max_dropped]` bounds save when the question is narrow.
+//! * `archive_seal`: freezing 4,096 spilled rows into sealed segments —
+//!   the write-side cost the maintenance drain pays per epoch rollover.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use p2_store::{Archive, ArchiveConfig, SpilledRow};
+use p2_types::{Time, Tuple, Value};
+
+const ROWS: usize = 16 * 1024;
+
+fn spilled(i: usize) -> SpilledRow {
+    // One version per second, 30 s lifetime: with the default 30 s
+    // epoch this spreads the run over ~ROWS/30 epochs.
+    let at = Time::from_secs(i as u64);
+    SpilledRow {
+        tuple: Tuple::new(
+            "bestSucc",
+            [Value::addr("n1"), Value::Int(i as i64), Value::str("v")],
+        ),
+        inserted_at: at,
+        dropped_at: Time::from_secs(i as u64 + 30),
+    }
+}
+
+fn sealed_archive(rows: usize) -> Archive {
+    let mut a = Archive::new(ArchiveConfig::default());
+    a.spill("bestSucc", (0..rows).map(spilled));
+    a.seal_all();
+    a
+}
+
+fn bench_archive_scan(c: &mut Criterion) {
+    let mut full = sealed_archive(ROWS);
+    c.bench_function("archive_scan_full", |b| {
+        b.iter(|| {
+            let rows = full
+                .scan_range("bestSucc", Time::ZERO, Time::from_secs(ROWS as u64 + 30))
+                .expect("own segments decode");
+            black_box(rows.len())
+        })
+    });
+
+    let mut windowed = sealed_archive(ROWS);
+    c.bench_function("archive_scan_window", |b| {
+        b.iter(|| {
+            let rows = windowed
+                .scan_range("bestSucc", Time::from_secs(1000), Time::from_secs(1030))
+                .expect("own segments decode");
+            black_box(rows.len())
+        })
+    });
+
+    // All in one epoch, so sealing happens inside the timed region
+    // rather than incrementally during the setup spill.
+    let spill_run: Vec<SpilledRow> = (0..4096)
+        .map(|i| SpilledRow {
+            dropped_at: Time::from_secs(10),
+            ..spilled(i % 8)
+        })
+        .collect();
+    c.bench_function("archive_seal", |b| {
+        b.iter_batched(
+            || {
+                let mut a = Archive::new(ArchiveConfig::default());
+                a.spill("bestSucc", spill_run.iter().cloned());
+                a
+            },
+            |mut a| {
+                a.seal_all();
+                black_box(a.stats().len());
+                a
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_archive_scan);
+criterion_main!(benches);

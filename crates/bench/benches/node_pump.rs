@@ -18,9 +18,19 @@
 //! * `subscribed_insert`: an event rule fires per tuple, where batching
 //!   legally cannot skip the per-tuple interleave — the price of the
 //!   §2.1.2 trace-equivalence guarantee.
+//! * `archive_churn`: the soft-state hot path with archiving off versus
+//!   enrolled (DESIGN.md §2.11) — 4096 tuples over 64 keys where every
+//!   8th visit to a key carries a new payload, so 12.5 % of the traffic
+//!   drops a version that must spill. The off/on delta is the archive
+//!   write-through overhead recorded in EXPERIMENTS.md (acceptance
+//!   bar: ≤5 %).
+//! * `archive_saturated`: the stress ceiling — every tuple replaces, so
+//!   every tuple spills. The off/on delta here is the *marginal* cost
+//!   of archiving one dropped version (clone two `Arc`s, buffer, epoch
+//!   bucket), not a rate any paper workload sustains.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use p2_core::{Node, NodeConfig};
+use p2_core::{ArchiveEnroll, ArchiveMode, Node, NodeConfig};
 use p2_types::{Addr, Time, Tuple, Value};
 
 const RUN: usize = 4096;
@@ -54,6 +64,27 @@ fn subscribed_node(max_delta_batch: usize) -> Node {
     n.install(
         "materialize(sample, infinity, infinity, keys(1, 2)).
          d1 hit@N(X) :- sample@N(X).",
+        Time::ZERO,
+    )
+    .unwrap();
+    n
+}
+
+fn archive_node(archived: bool) -> Node {
+    let mut n = Node::new(
+        Addr::new("n1"),
+        NodeConfig {
+            stagger_timers: false,
+            max_delta_batch: 256,
+            archive: archived.then(|| ArchiveMode {
+                enroll: ArchiveEnroll::Named(vec!["sample".into()]),
+                ..ArchiveMode::default()
+            }),
+            ..Default::default()
+        },
+    );
+    n.install(
+        "materialize(sample, infinity, infinity, keys(1, 2)).",
         Time::ZERO,
     )
     .unwrap();
@@ -105,6 +136,56 @@ fn bench_node_pump(c: &mut Criterion) {
                 BatchSize::SmallInput,
             )
         });
+    }
+    // Soft-state churn: 64 keys, payload advances every 8th visit to a
+    // key, so each pump refreshes 7/8 of the traffic and replaces (and,
+    // when enrolled, spills) the other 1/8 — the deployed shape of
+    // `bestSucc`/ping-style tables. The saturated variant advances the
+    // payload on every visit: 4032 replacements, 4032 spills.
+    let churn: Vec<Tuple> = (0..RUN as i64)
+        .map(|i| {
+            Tuple::new(
+                "sample",
+                [Value::addr("n1"), Value::Int(i % 64), Value::Int(i / 512)],
+            )
+        })
+        .collect();
+    let saturated: Vec<Tuple> = (0..RUN as i64)
+        .map(|i| {
+            Tuple::new(
+                "sample",
+                [Value::addr("n1"), Value::Int(i % 64), Value::Int(i)],
+            )
+        })
+        .collect();
+    for (workload, tuples) in [("churn", &churn), ("saturated", &saturated)] {
+        for archived in [false, true] {
+            let name = format!(
+                "node_pump_archive_{workload}_{}",
+                if archived { "on" } else { "off" }
+            );
+            c.bench_function(&name, |b| {
+                b.iter_batched(
+                    || {
+                        let mut node = archive_node(archived);
+                        for t in tuples {
+                            node.inject(t.clone());
+                        }
+                        node
+                    },
+                    |mut node| {
+                        node.pump(Time::ZERO);
+                        // Drain spilled versions into epoch buckets —
+                        // the deployed write-through path runs this
+                        // with GC.
+                        node.trace_gc(Time::ZERO);
+                        black_box(node.metrics().tuples_dispatched);
+                        node
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
     }
     for batch in [1usize, 256] {
         c.bench_function(&format!("node_pump_subscribed_insert_batch_{batch}"), |b| {

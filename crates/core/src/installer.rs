@@ -1,7 +1,7 @@
 //! The node installer: program compile/install/uninstall and trace-table
 //! registration ("piecemeal deployment", §1.3).
 
-use crate::node::{InstallError, Node, ProgramId};
+use crate::node::{ArchiveEnroll, InstallError, Node, ProgramId};
 use crate::scheduler::TimerState;
 use p2_dataflow::StrandRuntime;
 use p2_planner::compile_program_with;
@@ -15,8 +15,10 @@ use std::sync::Arc;
 impl Node {
     pub(crate) fn register_trace_tables(&mut self) {
         for spec in self.tracer.table_specs() {
+            let name = spec.name.clone();
             // Idempotent; conflict impossible (we own the specs).
             let _ = self.catalog.register(spec);
+            self.maybe_enroll_archive(&name, true);
         }
         if self.config.trace.log_events {
             let _ = self.catalog.register(TableSpec::new(
@@ -27,12 +29,35 @@ impl Node {
                 Some(self.config.trace.event_log_max_rows),
                 vec![0, 1, 2, 3],
             ));
+            self.maybe_enroll_archive(p2_trace::EVENT_LOG, true);
         }
     }
 
     pub(crate) fn register_introspection_tables(&mut self) {
         for spec in crate::introspect::table_specs() {
             let _ = self.catalog.register(spec);
+            // Reflection tables never enroll — even under
+            // `ArchiveEnroll::All` (see its docs).
+        }
+    }
+
+    /// Enroll `name` into the archive if this node's policy covers it.
+    /// Trace tables are covered by every policy; application tables by
+    /// `All` and matching `Named` entries. A no-op with archiving off.
+    pub(crate) fn maybe_enroll_archive(&mut self, name: &str, trace_table: bool) {
+        let Some(mode) = &self.config.archive else {
+            return;
+        };
+        let wanted = trace_table
+            || match &mode.enroll {
+                ArchiveEnroll::TraceOnly => false,
+                ArchiveEnroll::All => true,
+                ArchiveEnroll::Named(names) => names.iter().any(|n| n == name),
+            };
+        if wanted {
+            // The table was just registered; a miss means a Named entry
+            // for a table that never materialized — harmless.
+            let _ = self.catalog.enroll_archive(name);
         }
     }
 
@@ -75,6 +100,7 @@ impl Node {
                     t.key_fields.clone(),
                 ))
                 .map_err(InstallError::Catalog)?;
+            self.maybe_enroll_archive(&t.name, false);
         }
 
         // Register the secondary indexes the planner's join probes want,

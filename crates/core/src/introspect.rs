@@ -10,7 +10,10 @@
 //! * `sysStat(loc, key, value)` — scalar runtime statistics, including
 //!   per-table store probe counters under `idx.<table>.<counter>` keys
 //!   (index vs linear probes, rows scanned/returned, expiry-heap pops,
-//!   auto-created indexes) for tables with any probe/expiry activity.
+//!   auto-created indexes) for tables with any probe/expiry activity,
+//!   and — on archiving nodes — archive-tier counters under
+//!   `archive.<relation>.<counter>` keys (segments held, sealed bytes,
+//!   rows spilled, history scans served, retention drops, compactions).
 //!
 //! Refreshing is explicit ([`crate::node::Node::refresh_introspection`])
 //! or driven by a periodic rule the operator installs — reflection has a
@@ -117,6 +120,35 @@ pub fn refresh(node: &mut Node, now: Time) {
         }
     }
 
+    // Archive-tier counters, one row per (relation, counter), mirroring
+    // the `idx.*` convention. Absent entirely when archiving is off —
+    // golden traces of live-only nodes must not change — and relations
+    // that never spilled a row have no entries to emit.
+    let mut archive_rows: Vec<Tuple> = Vec::new();
+    if node.catalog_mut().archive_enabled() {
+        for (name, s) in node.catalog_mut().archive_stats() {
+            for (counter, v) in [
+                ("segments", s.segments),
+                ("sealedBytes", s.sealed_bytes),
+                ("openRows", s.open_rows),
+                ("spilledRows", s.spilled_rows),
+                ("scans", s.scans),
+                ("scanHits", s.scan_hits),
+                ("droppedSegments", s.dropped_segments),
+                ("compactions", s.compactions),
+            ] {
+                archive_rows.push(Tuple::new(
+                    SYS_STAT,
+                    [
+                        loc.clone(),
+                        Value::str(format!("archive.{name}.{counter}")),
+                        Value::Int(v as i64),
+                    ],
+                ));
+            }
+        }
+    }
+
     // Store probe/expiry counters, one row per (table, counter). Tables
     // with no activity yet are skipped so sysStat stays readable on nodes
     // with large catalogs.
@@ -192,6 +224,7 @@ pub fn refresh(node: &mut Node, now: Time) {
         .into_iter()
         .chain(rule_rows)
         .chain(stat_rows)
+        .chain(archive_rows)
         .chain(idx_rows)
         .chain(diag_rows)
     {
@@ -276,6 +309,35 @@ mod tests {
         );
         // Idle tables emit no counter rows.
         assert!(stat("idx.sysRule.indexProbes").is_none());
+    }
+
+    #[test]
+    fn archive_counters_surface_in_sys_stat_only_when_archiving() {
+        // Live-only node: no archive.* keys at all (golden traces of
+        // pre-archive runs must stay byte-identical).
+        let mut plain = Node::new(Addr::new("n1"), NodeConfig::default());
+        plain.refresh_introspection(Time::ZERO);
+        assert!(!plain
+            .table_scan(SYS_STAT, Time::ZERO)
+            .iter()
+            .any(|t| { matches!(t.get(1), Some(Value::Str(s)) if s.starts_with("archive.")) }));
+
+        // Forensic node: expire a row, refresh, and the relation's
+        // archive counters appear.
+        let mut n = Node::new(Addr::new("n1"), NodeConfig::forensic());
+        n.install("materialize(succ, 2, 8, keys(1, 2)).", Time::ZERO)
+            .unwrap();
+        n.inject(Tuple::new("succ", [Value::addr("n1"), Value::Int(9)]));
+        n.pump(Time::ZERO);
+        let later = Time::from_secs(10);
+        n.catalog_mut().scan("succ", later); // expiry prologue spills
+        n.refresh_introspection(later);
+        let stats = n.table_scan(SYS_STAT, later);
+        let spilled = stats
+            .iter()
+            .find(|t| t.get(1) == Some(&Value::str("archive.succ.spilledRows")))
+            .and_then(|t| t.get(2).cloned());
+        assert_eq!(spilled, Some(Value::Int(1)), "{stats:?}");
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod sim;
 pub use driver::{Driver, SimPort, ThreadedPort, Transport, UdpPort};
 pub use harness::Population;
 pub use metrics::{NodeMetrics, ShardStats};
-pub use node::{InstallError, Node, NodeConfig, ProgramId};
+pub use node::{ArchiveEnroll, ArchiveMode, InstallError, Node, NodeConfig, ProgramId};
 pub use parallel::ParallelHarness;
 pub use sim::SimHarness;

@@ -64,6 +64,41 @@ impl fmt::Display for InstallError {
 
 impl std::error::Error for InstallError {}
 
+/// Which tables write-through into the archive tier (beyond the trace
+/// tables, which are always enrolled when archiving is on — they carry
+/// the §3 provenance and have the shortest lifetimes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchiveEnroll {
+    /// Only the tracer's tables spill (`ruleExec`/`tupleTable`/the
+    /// event log). The cheapest mode that keeps forensic walks
+    /// answerable after trace lifetimes expire.
+    TraceOnly,
+    /// Every registered table spills, except the `sys*` reflection
+    /// tables (they are re-materialized snapshots of live state;
+    /// archiving their churn would record the act of looking).
+    All,
+    /// Trace tables plus exactly the named application tables.
+    Named(Vec<String>),
+}
+
+/// Archive-tier settings: tuning knobs plus the enrollment policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveMode {
+    /// Epoch width, retention budget, compaction threshold.
+    pub config: p2_store::ArchiveConfig,
+    /// Which tables spill (see [`ArchiveEnroll`]).
+    pub enroll: ArchiveEnroll,
+}
+
+impl Default for ArchiveMode {
+    fn default() -> Self {
+        ArchiveMode {
+            config: p2_store::ArchiveConfig::default(),
+            enroll: ArchiveEnroll::All,
+        }
+    }
+}
+
 /// Node configuration.
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
@@ -95,6 +130,12 @@ pub struct NodeConfig {
     /// in literal source order (the semantic oracle the optimized plans
     /// are equivalence-tested against).
     pub plan: p2_planner::PlanOpts,
+    /// Archive tier (DESIGN.md §2.11): `None` (the default) keeps the
+    /// live-only store bit-identical to the pre-archive runtime; `Some`
+    /// spills dropped rows of the enrolled tables into epoch-segmented
+    /// history, so `past()` scans and forensic replays can range over
+    /// state that has already expired.
+    pub archive: Option<ArchiveMode>,
 }
 
 impl Default for NodeConfig {
@@ -108,6 +149,21 @@ impl Default for NodeConfig {
             max_delta_batch: 64,
             envelope_flush_threshold: 64,
             plan: p2_planner::PlanOpts::default(),
+            archive: None,
+        }
+    }
+}
+
+impl NodeConfig {
+    /// Forensic preset: tracing on and every table archived. Install on
+    /// nodes under investigation so §3 questions ("why does this entry
+    /// exist?", "what did the ring look like at T?") stay answerable
+    /// from segments alone after every live lifetime has expired.
+    pub fn forensic() -> NodeConfig {
+        NodeConfig {
+            tracing: true,
+            archive: Some(ArchiveMode::default()),
+            ..NodeConfig::default()
         }
     }
 }
@@ -205,6 +261,11 @@ impl Node {
             plan_diagnostics: Vec::new(),
             analysis_diagnostics: Vec::new(),
         };
+        // The archive tier goes up before any table registers, so every
+        // registration path can enroll as it goes.
+        if let Some(mode) = &node.config.archive {
+            node.catalog.enable_archive(mode.config);
+        }
         if node.config.tracing {
             node.register_trace_tables();
         }
@@ -345,12 +406,30 @@ impl Node {
         self.push_pending(tuple, true);
     }
 
-    /// Run the tracer's reference-count sweep (§2.1.3). The harness calls
-    /// this periodically.
+    /// Run the tracer's reference-count sweep (§2.1.3) and drain table
+    /// spill buffers into the archive. The harness calls this
+    /// periodically; *when* is immaterial — the archive is a pure
+    /// function of each relation's spill stream, and history scans
+    /// drain lazily anyway.
     pub fn trace_gc(&mut self, now: Time) {
         if self.config.tracing {
             self.tracer.gc(&mut self.catalog, now);
         }
+        self.catalog.archive_maintain();
+    }
+
+    /// History scan (time travel): every row of `name` whose validity
+    /// interval intersects `[t0, t1]` — archived rows first, then
+    /// still-live ones. Empty when archiving is disabled or the table
+    /// was never enrolled.
+    pub fn history_scan(
+        &mut self,
+        name: &str,
+        t0: Time,
+        t1: Time,
+        now: Time,
+    ) -> Result<Vec<p2_store::ArchivedRow>, p2_store::SegmentError> {
+        self.catalog.archive_scan(name, t0, t1, now)
     }
 
     /// Refresh the `sysTable`/`sysRule`/`sysStat` introspection tables.

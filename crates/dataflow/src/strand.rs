@@ -2,7 +2,7 @@
 
 use crate::tap::{TapEvent, TapKind, TapSink};
 use p2_overlog::AggFunc;
-use p2_planner::expr::{eval, truthy, EvalCtx};
+use p2_planner::expr::{eval, truthy, EvalCtx, PExpr};
 use p2_planner::plan::{AggPlan, FieldMatch, FieldOut, MatchSpec, Op, Strand};
 use p2_store::Catalog;
 use p2_types::{Addr, Time, Tuple, Value};
@@ -56,12 +56,18 @@ struct ProbeCache {
     rows: Vec<Tuple>,
 }
 
-/// One stateful stage: a join plus the stateless operators that follow it
-/// up to the next join.
+/// One stateful stage: a join (or archive scan) plus the stateless
+/// operators that follow it up to the next stateful op.
 #[derive(Debug, Clone)]
 struct StageDef {
     table: String,
     match_spec: MatchSpec,
+    /// `Some((t0, t1))` makes this an **archive-scan** stage: instead of
+    /// probing the live table, it ranges over the epoch-segmented
+    /// archive of `table` for rows whose validity interval overlaps the
+    /// evaluated `[t0, t1]`. Archive stages never use the probe cache
+    /// or the secondary indexes.
+    archive: Option<(PExpr, PExpr)>,
     post: Vec<Op>,
 }
 
@@ -166,6 +172,20 @@ impl StrandRuntime {
                     stage_defs.push(StageDef {
                         table: table.clone(),
                         match_spec: match_spec.clone(),
+                        archive: None,
+                        post: Vec::new(),
+                    });
+                }
+                Op::ArchiveScan {
+                    table,
+                    t0,
+                    t1,
+                    match_spec,
+                } => {
+                    stage_defs.push(StageDef {
+                        table: table.clone(),
+                        match_spec: match_spec.clone(),
+                        archive: Some((t0.clone(), t1.clone())),
                         post: Vec::new(),
                     });
                 }
@@ -666,7 +686,9 @@ fn apply_stateless(
                     return None;
                 }
             },
-            Op::Join { .. } => unreachable!("joins are stage boundaries"),
+            Op::Join { .. } | Op::ArchiveScan { .. } => {
+                unreachable!("stateful ops are stage boundaries")
+            }
         }
     }
     Some(env)
@@ -748,6 +770,9 @@ fn probe_stage(
     stats: &mut StrandStats,
     cache: &mut Option<ProbeCache>,
 ) -> Vec<(Env, Tuple)> {
+    if let Some((t0e, t1e)) = &def.archive {
+        return archive_stage(def, t0e, t1e, env, store, ctx, now, stats);
+    }
     let candidates = match def.match_spec.probe_field() {
         Some(field) => {
             let want = match &def.match_spec.fields[field] {
@@ -799,6 +824,74 @@ fn probe_stage(
         }
     }
     results
+}
+
+/// Compute the results of an archive-scan stage: evaluate the interval
+/// bounds over the current binding, range over the relation's archived
+/// (and still-live) history, and apply the field match to each row.
+///
+/// Failure is never fatal: an unevaluable bound, a bound that is not a
+/// time-like value, or a segment that fails to decode (hostile or
+/// truncated bytes surface as typed [`p2_store::SegmentError`]s) all
+/// count one eval error and produce zero matches — exactly how a join
+/// treats a binding whose expressions misbehave.
+#[allow(clippy::too_many_arguments)]
+fn archive_stage(
+    def: &StageDef,
+    t0e: &PExpr,
+    t1e: &PExpr,
+    env: &Env,
+    store: &mut Catalog,
+    ctx: &mut dyn EvalCtx,
+    now: Time,
+    stats: &mut StrandStats,
+) -> Vec<(Env, Tuple)> {
+    let mut bound = |e: &PExpr, stats: &mut StrandStats| -> Option<Time> {
+        match eval(e, env, ctx).ok().as_ref().and_then(value_to_time) {
+            Some(t) => Some(t),
+            None => {
+                stats.eval_errors += 1;
+                None
+            }
+        }
+    };
+    let Some(t0) = bound(t0e, stats) else {
+        return Vec::new();
+    };
+    let Some(t1) = bound(t1e, stats) else {
+        return Vec::new();
+    };
+    let rows = match store.archive_scan(&def.table, t0, t1, now) {
+        Ok(rows) => rows,
+        Err(_) => {
+            stats.eval_errors += 1;
+            return Vec::new();
+        }
+    };
+    let mut results = Vec::new();
+    for r in rows {
+        let mut e2 = env.clone();
+        match def.match_spec.apply(&r.tuple, &mut e2, ctx) {
+            Ok(true) => results.push((e2, r.tuple)),
+            Ok(false) => {}
+            Err(_) => stats.eval_errors += 1,
+        }
+    }
+    results
+}
+
+/// Interpret a value as a point in virtual time: `Time` directly,
+/// non-negative integers and floats as *seconds* (the unit every other
+/// OverLog surface uses — lifetimes, periods).
+fn value_to_time(v: &Value) -> Option<Time> {
+    match v {
+        Value::Time(t) => Some(*t),
+        Value::Int(n) => u64::try_from(*n).ok().map(Time::from_secs),
+        Value::Float(x) if *x >= 0.0 && x.is_finite() => {
+            Some(Time(p2_types::TimeDelta::from_secs_f64(*x).micros()))
+        }
+        _ => None,
+    }
 }
 
 /// Incremental aggregate state.
@@ -974,6 +1067,44 @@ mod tests {
         assert_eq!(t.get(1), Some(&Value::id(9)));
         assert!(matches!(t.get(2), Some(Value::Id(_))));
         assert!(matches!(t.get(3), Some(Value::Time(_))));
+    }
+
+    #[test]
+    fn archive_scan_reads_expired_history() {
+        // succ rows live 5s; the forensic rule ranges over [T0, T1]
+        // long after every live row has expired.
+        let (mut strands, mut cat) = setup(
+            "materialize(succ, 5, 10, keys(1, 2)).
+             f1 wasSucc@N(S) :- probe@N(T0, T1), past@N(\"succ\", T0, T1, N, S).",
+        );
+        cat.enable_archive(p2_store::ArchiveConfig::default());
+        cat.enroll_archive("succ").unwrap();
+        cat.insert(
+            Tuple::new("succ", [Value::addr("n1"), Value::id(7)]),
+            Time::from_secs(1),
+        )
+        .unwrap();
+        let now = Time::from_secs(30);
+        assert!(cat.scan("succ", now).is_empty(), "live row expired");
+
+        let trig = Tuple::new("probe", [Value::addr("n1"), Value::Int(0), Value::Int(10)]);
+        let mut ctx = FixedCtx::default();
+        let mut sink = VecSink::default();
+        let mut actions = Vec::new();
+        strands[0].fire(&trig, &mut cat, &mut ctx, &mut sink, now, &mut actions);
+        strands[0].run_to_quiescence(&mut cat, &mut ctx, &mut sink, now, &mut actions);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].tuple.name(), "wasSucc");
+        assert_eq!(actions[0].tuple.get(1), Some(&Value::id(7)));
+
+        // An interval that predates the row finds nothing, and a scan
+        // with archiving off (a fresh catalog) is empty, not an error.
+        let early = Tuple::new("probe", [Value::addr("n1"), Value::Int(0), Value::Int(0)]);
+        let mut actions = Vec::new();
+        strands[0].fire(&early, &mut cat, &mut ctx, &mut sink, now, &mut actions);
+        strands[0].run_to_quiescence(&mut cat, &mut ctx, &mut sink, now, &mut actions);
+        assert!(actions.is_empty());
+        assert_eq!(strands[0].stats().eval_errors, 0);
     }
 
     #[test]

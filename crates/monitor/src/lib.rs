@@ -21,7 +21,12 @@
 //!   a snapshot (`l1s`–`l4s`);
 //! * [`watchpoints`] — §1.3's persistent watchpoints: the passive
 //!   detectors bundled as an always-on regression suite with a periodic
-//!   alarm roll-up.
+//!   alarm roll-up;
+//! * [`retrospect`] — the §3.1 invariants re-checked **after the
+//!   fact** from archived history (DESIGN.md §2.11): reconstruct the
+//!   ring at a past instant and ask whether it was well-formed,
+//!   ordered, or oscillating — no monitor needed to have been
+//!   installed at the time.
 //!
 //! All of these install **on-line** onto running nodes (the paper's
 //! "deployed piecemeal" model) — the tests in each module start a live
@@ -31,6 +36,7 @@ pub mod consistency;
 pub mod ordering;
 pub mod oscillation;
 pub mod profiling;
+pub mod retrospect;
 pub mod ring;
 pub mod snapshot;
 pub mod watchpoints;

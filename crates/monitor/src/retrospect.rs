@@ -1,0 +1,238 @@
+//! Retrospective detectors: §3.1's questions, answered after the fact.
+//!
+//! The [`ring`](crate::ring)/[`ordering`](crate::ordering)/
+//! [`oscillation`](crate::oscillation) monitors must be installed
+//! *before* the misbehavior they catch. These detectors instead run
+//! against the **archive tier** (DESIGN.md §2.11): on forensic-mode
+//! nodes every dropped `bestSucc`/`pred` version spills into
+//! epoch-segmented history, so the overlay's state at any past instant
+//! can be reconstructed — and the §3.1 invariants re-checked — long
+//! after the live soft state expired and nobody was watching.
+//!
+//! Reconstruction picks, per node, the row version whose validity
+//! interval `[inserted_at, dropped_at)` contains the probe instant
+//! ([`p2_store::ArchivedRow::valid_at`]); `bestSucc` is keyed by
+//! location with one live row, so at most one version is valid at a
+//! time.
+
+use p2_chord::ChordRing;
+use p2_core::Population;
+use p2_types::{Addr, Time, Value};
+use std::collections::HashMap;
+
+/// An ordering violation found retrospectively: at the probe instant,
+/// `node` pointed at `actual` while the ID order demanded `expected`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderingViolation {
+    /// The node holding the bad pointer.
+    pub node: Addr,
+    /// Where its `bestSucc` pointed.
+    pub actual: Addr,
+    /// The live node with the next-higher ring ID.
+    pub expected: Addr,
+}
+
+/// A node's successor pointer as of instant `t`, reconstructed from its
+/// archived (and still-live) `bestSucc` history. `None` when no version
+/// was valid at `t` — the node had no successor yet, or its history was
+/// dropped by the retention budget.
+pub fn successor_at<H: Population>(sim: &mut H, addr: &Addr, t: Time) -> Option<Addr> {
+    let now = sim.now();
+    let rows = sim
+        .node_mut(addr)
+        .history_scan("bestSucc", t, t, now)
+        .ok()?;
+    rows.iter()
+        .filter(|r| r.valid_at(t))
+        .max_by_key(|r| r.inserted_at)
+        .and_then(|r| r.tuple.get(2).and_then(Value::to_addr))
+}
+
+/// Reconstruct every ring member's successor pointer as of instant `t`.
+/// Nodes with no valid version at `t` are absent from the map.
+pub fn ring_at<H: Population>(sim: &mut H, ring: &ChordRing, t: Time) -> HashMap<Addr, Addr> {
+    let mut out = HashMap::new();
+    for addr in ring.addrs.clone() {
+        if let Some(s) = successor_at(sim, &addr, t) {
+            out.insert(addr, s);
+        }
+    }
+    out
+}
+
+/// §3.1.1 after the fact: was the ring well-formed at instant `t`?
+/// Following reconstructed `bestSucc` pointers from any member must
+/// visit every member with a pointer exactly once before closing.
+pub fn ring_was_well_formed_at<H: Population>(sim: &mut H, ring: &ChordRing, t: Time) -> bool {
+    let succ = ring_at(sim, ring, t);
+    let members: Vec<&Addr> = succ.keys().collect();
+    let Some(&start) = members.first() else {
+        return true; // no history at all: vacuously well-formed
+    };
+    let mut seen = vec![start.clone()];
+    let mut cur = start.clone();
+    for _ in 0..members.len() {
+        let Some(next) = succ.get(&cur) else {
+            return false; // pointer leads outside the reconstruction
+        };
+        if *next == *start {
+            return seen.len() == members.len();
+        }
+        if seen.contains(next) {
+            return false; // sub-cycle excluding some members
+        }
+        seen.push(next.clone());
+        cur = next.clone();
+    }
+    false
+}
+
+/// §3.1.2 after the fact: which nodes violated ring ID ordering at
+/// instant `t`? Empty means every reconstructed pointer aimed at the
+/// member with the next-higher ID.
+pub fn ordering_violations_at<H: Population>(
+    sim: &mut H,
+    ring: &ChordRing,
+    t: Time,
+) -> Vec<OrderingViolation> {
+    let succ = ring_at(sim, ring, t);
+    // Order the *reconstructed* membership by ring ID: a node with no
+    // valid pointer at `t` (e.g. not yet joined) is not part of the
+    // ring we are judging.
+    let mut sorted: Vec<(p2_types::RingId, Addr)> =
+        succ.keys().map(|a| (ring.id_of(a), a.clone())).collect();
+    sorted.sort();
+    if sorted.len() <= 1 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, (_, addr)) in sorted.iter().enumerate() {
+        let expected = sorted[(i + 1) % sorted.len()].1.clone();
+        if let Some(actual) = succ.get(addr) {
+            if *actual != expected {
+                out.push(OrderingViolation {
+                    node: addr.clone(),
+                    actual: actual.clone(),
+                    expected,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// §3.1.3 after the fact: nodes whose successor pointer *changed value*
+/// at least `threshold` times inside the window `[t0, t1]`, with the
+/// number of changes counted. Distinct archived versions are replayed
+/// in insertion order and only actual flips count, so periodic
+/// re-derivations of the same successor stay silent.
+pub fn oscillators_in<H: Population>(
+    sim: &mut H,
+    ring: &ChordRing,
+    t0: Time,
+    t1: Time,
+    threshold: usize,
+) -> Vec<(Addr, usize)> {
+    let now = sim.now();
+    let mut out = Vec::new();
+    for addr in ring.addrs.clone() {
+        let Ok(mut rows) = sim.node_mut(&addr).history_scan("bestSucc", t0, t1, now) else {
+            continue;
+        };
+        rows.sort_by_key(|r| r.inserted_at);
+        let succs: Vec<Addr> = rows
+            .iter()
+            .filter_map(|r| r.tuple.get(2).and_then(Value::to_addr))
+            .collect();
+        let flips = succs.windows(2).filter(|w| w[0] != w[1]).count();
+        if flips >= threshold {
+            out.push((addr, flips));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_chord::{build_ring, ChordConfig};
+    use p2_core::{NodeConfig, SimHarness};
+    use p2_types::{TimeDelta, Tuple};
+
+    fn forensic_sim(seed: u64) -> SimHarness {
+        SimHarness::new(p2_net::SimConfig::default(), NodeConfig::forensic(), seed)
+    }
+
+    #[test]
+    fn healthy_ring_reconstructs_clean_at_a_past_instant() {
+        let mut sim = forensic_sim(21);
+        let ring = build_ring(&mut sim, 5, &ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(180));
+        let probe = sim.now();
+        assert!(p2_chord::ring_is_ordered(&mut sim, &ring));
+        // Run on: by the probe instant + table lifetime, the versions
+        // valid at `probe` have expired out of the live tier.
+        sim.run_for(TimeDelta::from_secs(120));
+        assert!(ring_was_well_formed_at(&mut sim, &ring, probe));
+        assert!(ordering_violations_at(&mut sim, &ring, probe).is_empty());
+    }
+
+    #[test]
+    fn corrupted_pointer_shows_up_at_the_right_instants_only() {
+        let mut sim = forensic_sim(22);
+        let ring = build_ring(&mut sim, 5, &ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(180));
+        let before = sim.now();
+        // Injection happens at a strictly later instant than `before`
+        // (validity intervals are half-open at the drop end).
+        sim.run_for(TimeDelta::from_secs(1));
+        // Corrupt one successor pointer; Chord's stabilization will
+        // heal it, so only a window of history is malformed.
+        let sorted = ring.live_sorted(&sim);
+        let victim = sorted[0].1.clone();
+        let wrong = sorted[2].1.clone();
+        sim.inject(
+            &victim,
+            Tuple::new(
+                "bestSucc",
+                [
+                    Value::Addr(victim.clone()),
+                    Value::Id(ring.id_of(&wrong)),
+                    Value::Addr(wrong.clone()),
+                ],
+            ),
+        );
+        let during = sim.now();
+        sim.run_for(TimeDelta::from_secs(120));
+
+        assert!(
+            ring_was_well_formed_at(&mut sim, &ring, before),
+            "pre-corruption instant must reconstruct healthy"
+        );
+        let viols = ordering_violations_at(&mut sim, &ring, during);
+        assert!(
+            viols.iter().any(|v| v.node == victim && v.actual == wrong),
+            "corruption window must show the bad pointer: {viols:?}"
+        );
+        // The flip out and back registers as successor changes.
+        let end = sim.now();
+        let osc = oscillators_in(&mut sim, &ring, before, end, 2);
+        assert!(
+            osc.iter().any(|(a, _)| *a == victim),
+            "victim oscillated: {osc:?}"
+        );
+    }
+
+    #[test]
+    fn live_only_nodes_reconstruct_nothing() {
+        // Without the archive the detectors return "no history", not
+        // wrong answers.
+        let mut sim = SimHarness::with_seed(23);
+        let ring = build_ring(&mut sim, 3, &ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(120));
+        let past = Time::from_secs(60);
+        assert!(ring_at(&mut sim, &ring, past).is_empty());
+        assert!(ring_was_well_formed_at(&mut sim, &ring, past));
+    }
+}

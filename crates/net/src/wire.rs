@@ -166,6 +166,26 @@ fn decode_value(r: &mut Reader<'_>, depth: usize) -> Result<Value, WireError> {
     })
 }
 
+/// Encode one value into `out` (the tag-per-value format above).
+///
+/// Public so other storage layers — notably the archive's segment
+/// codec in `p2-store` — reuse the one binary value format instead of
+/// inventing a second, with the same hostile-input guarantees.
+pub fn encode_value_into(out: &mut Vec<u8>, v: &Value) {
+    encode_value(out, v);
+}
+
+/// Decode one value from `buf` starting at `*pos`, advancing `*pos`
+/// past it. Returns the same typed [`WireError`]s as the envelope
+/// decoder: truncation, bad tags, bad UTF-8, and over-deep nesting are
+/// errors, never panics.
+pub fn decode_value_from(buf: &[u8], pos: &mut usize) -> Result<Value, WireError> {
+    let mut r = Reader { buf, pos: *pos };
+    let v = decode_value(&mut r, 0)?;
+    *pos = r.pos;
+    Ok(v)
+}
+
 /// Encode a tuple.
 pub fn encode_tuple(t: &Tuple) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);

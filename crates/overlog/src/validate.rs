@@ -139,6 +139,26 @@ pub fn validate_arities(program: &Program, diags: &mut Diagnostics) {
             }
             return;
         }
+        if p.name == "past" {
+            // The archive-scan predicate: its arity tracks the archived
+            // relation it names, so cross-occurrence consistency does
+            // not apply — only the fixed prefix shape is checked.
+            if arity < 4 {
+                diags.push(
+                    Diagnostic::new(
+                        "P2E109",
+                        Severity::Error,
+                        format!(
+                            "past takes (location, relation, t0, t1, fields...); \
+                             found {arity} fields"
+                        ),
+                    )
+                    .with_span(p.span)
+                    .with_context(rule),
+                );
+            }
+            return;
+        }
         match firsts.get(&p.name) {
             Some((a, first)) if *a != arity => {
                 diags.push(

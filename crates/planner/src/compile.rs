@@ -46,10 +46,18 @@ pub enum PlanError {
         /// Explanation.
         message: String,
     },
-    /// `periodic` cannot be materialized or be a rule head.
+    /// `periodic` / `past` cannot be materialized or be a rule head.
     ReservedRelation {
         /// The reserved name.
         name: String,
+    },
+    /// A `past(...)` archive-scan predicate is malformed: bad shape,
+    /// unbound interval bounds, or it was the only possible trigger.
+    BadPast {
+        /// Rule label or index.
+        rule: String,
+        /// Explanation.
+        message: String,
     },
     /// An expression failed to compile (unknown builtin, wrong arity).
     Expr {
@@ -75,6 +83,9 @@ impl fmt::Display for PlanError {
             ),
             PlanError::BadPeriodic { rule, message } => {
                 write!(f, "in {rule}: bad periodic: {message}")
+            }
+            PlanError::BadPast { rule, message } => {
+                write!(f, "in {rule}: bad past(): {message}")
             }
             PlanError::ReservedRelation { name } => {
                 write!(f, "'{name}' is a reserved built-in relation")
@@ -119,7 +130,7 @@ pub fn compile_program_with(
     // Materialized set: already-known tables plus this program's own.
     let mut materialized: HashSet<String> = known_tables.clone();
     for m in program.materializations() {
-        if m.table == "periodic" {
+        if m.table == "periodic" || m.table == "past" {
             return Err(PlanError::ReservedRelation {
                 name: m.table.clone(),
             });
@@ -140,9 +151,9 @@ pub fn compile_program_with(
             .clone()
             .unwrap_or_else(|| format!("rule#{rule_idx}"));
 
-        if rule.head.name == "periodic" {
+        if rule.head.name == "periodic" || rule.head.name == "past" {
             return Err(PlanError::ReservedRelation {
-                name: "periodic".into(),
+                name: rule.head.name.clone(),
             });
         }
 
@@ -162,10 +173,14 @@ pub fn compile_program_with(
                 _ => None,
             })
             .collect();
+        // `past` is never an event and never a trigger: it scans frozen
+        // history, so there is no delta to fire on.
         let event_preds: Vec<(usize, &Predicate)> = preds
             .iter()
             .copied()
-            .filter(|(_, p)| p.name == "periodic" || !materialized.contains(&p.name))
+            .filter(|(_, p)| {
+                p.name != "past" && (p.name == "periodic" || !materialized.contains(&p.name))
+            })
             .collect();
 
         if event_preds.len() > 1 {
@@ -179,8 +194,20 @@ pub fn compile_program_with(
         let trigger_positions: Vec<usize> = if let Some((i, _)) = event_preds.first() {
             vec![*i]
         } else {
-            preds.iter().map(|(i, _)| *i).collect()
+            preds
+                .iter()
+                .filter(|(_, p)| p.name != "past")
+                .map(|(i, _)| *i)
+                .collect()
         };
+        if trigger_positions.is_empty() {
+            return Err(PlanError::BadPast {
+                rule: label,
+                message: "a rule cannot be triggered by past() alone — add an event, \
+                          periodic, or table predicate"
+                    .into(),
+            });
+        }
 
         let multi = trigger_positions.len() > 1;
         for (k, &tpos) in trigger_positions.iter().enumerate() {
@@ -355,6 +382,9 @@ fn lower_strand(ir: &StrandIr, rule: &Rule) -> Result<Strand, PlanError> {
                     match_spec: ms,
                 });
             }
+            IrOp::Past(p) => {
+                ops.push(lower_past(p, &mut slots, label)?);
+            }
             IrOp::Select(e) => {
                 ops.push(Op::Select(slots.compile(label, e)?));
             }
@@ -411,6 +441,76 @@ fn lower_strand(ir: &StrandIr, rule: &Rule) -> Result<Strand, PlanError> {
         slots: slots.map.len(),
         slot_names: slots.names,
         source: p2_overlog::pretty::rule_to_string(rule),
+    })
+}
+
+/// Lower a `past@N("rel", T0, T1, fields...)` occurrence to an
+/// [`Op::ArchiveScan`].
+///
+/// Shape: arg 0 is the rule's location variable (must already be
+/// bound), arg 1 names the archived relation as a string constant,
+/// args 2/3 are the inclusive interval bounds `[T0, T1]` (constants,
+/// bound variables, or expressions over bound variables), and args 4..
+/// match against the archived tuple's own fields — location first,
+/// exactly as the relation's live rows are shaped.
+fn lower_past(p: &Predicate, slots: &mut Slots, rule: &str) -> Result<Op, PlanError> {
+    let bad = |message: String| PlanError::BadPast {
+        rule: rule.to_string(),
+        message,
+    };
+    if p.args.len() < 4 {
+        return Err(bad(format!(
+            "past takes (location, relation, t0, t1, fields...); got {} args",
+            p.args.len()
+        )));
+    }
+    match &p.args[0] {
+        Arg::Var(v) if slots.get(v).is_some() => {}
+        Arg::Var(v) => {
+            return Err(bad(format!(
+                "location {v} must already be bound (use the rule's location variable)"
+            )))
+        }
+        other => return Err(bad(format!("location must be a variable, got {other:?}"))),
+    }
+    let table = match &p.args[1] {
+        Arg::Const(Value::Str(s)) => s.to_string(),
+        other => {
+            return Err(bad(format!(
+                "the archived relation must be a string constant, got {other:?}"
+            )))
+        }
+    };
+    let bound_expr = |a: &Arg, which: &str| -> Result<PExpr, PlanError> {
+        match a {
+            Arg::Const(c) => Ok(PExpr::Const(c.clone())),
+            Arg::Var(v) => match slots.get(v) {
+                Some(s) => Ok(PExpr::Slot(s)),
+                None => Err(bad(format!(
+                    "interval bound {which}={v} must be bound before past() runs"
+                ))),
+            },
+            Arg::Expr(e) => slots.compile(rule, e),
+            other => Err(bad(format!("interval bound {which} cannot be {other:?}"))),
+        }
+    };
+    let t0 = bound_expr(&p.args[2], "t0")?;
+    let t1 = bound_expr(&p.args[3], "t1")?;
+    let mut fields = Vec::with_capacity(p.args.len() - 4);
+    for a in &p.args[4..] {
+        fields.push(match a {
+            Arg::Var(v) => bind_or_eq(v, slots),
+            Arg::Const(c) => FieldMatch::EqConst(c.clone()),
+            Arg::Wildcard => FieldMatch::Ignore,
+            Arg::Expr(e) => FieldMatch::EqExpr(slots.compile(rule, e)?),
+            Arg::Agg { .. } => unreachable!("validated: no aggregates in body"),
+        });
+    }
+    Ok(Op::ArchiveScan {
+        table,
+        t0,
+        t1,
+        match_spec: MatchSpec { fields },
     })
 }
 
@@ -808,6 +908,117 @@ mod tests {
             &[],
         );
         assert!(off.prefix_groups.is_empty());
+    }
+
+    // ----- past() archive-scan tests -----
+
+    #[test]
+    fn past_lowers_to_archive_scan() {
+        let p = compile(
+            r#"f1 wasSucc@N(S) :- probe@N(T0, T1), past@N("succ", T0, T1, N, S)."#,
+            &[],
+        );
+        assert_eq!(p.strands.len(), 1);
+        let s = &p.strands[0];
+        assert_eq!(
+            s.trigger,
+            Trigger::Event {
+                name: "probe".into()
+            }
+        );
+        match &s.ops[0] {
+            Op::ArchiveScan {
+                table,
+                t0,
+                t1,
+                match_spec,
+            } => {
+                assert_eq!(table, "succ");
+                assert!(matches!(t0, PExpr::Slot(_)));
+                assert!(matches!(t1, PExpr::Slot(_)));
+                // Fields: =N (location, trigger-bound), bind S.
+                assert!(matches!(match_spec.fields[0], FieldMatch::EqVar(_)));
+                assert!(matches!(match_spec.fields[1], FieldMatch::Bind(_)));
+            }
+            other => panic!("expected ArchiveScan, got {other:?}"),
+        }
+        assert_eq!(s.join_count(), 1);
+        // Archive scans never request secondary indexes.
+        assert!(p.index_requests.is_empty());
+    }
+
+    #[test]
+    fn past_is_never_a_trigger() {
+        // With a materialized table present, the table (not past) fans
+        // out the strands.
+        let p = compile(
+            r#"materialize(t, 100, 10, keys(1)).
+               f2 out@N(X, S) :- t@N(X), past@N("succ", 0, 10, N, S)."#,
+            &[],
+        );
+        assert_eq!(p.strands.len(), 1);
+        assert_eq!(
+            p.strands[0].trigger,
+            Trigger::TableInsert { name: "t".into() }
+        );
+        // past alone cannot trigger a rule.
+        let known = HashSet::new();
+        let err = compile_program(
+            &parse_program(r#"f3 out@N(S) :- past@N("succ", 0, 10, N, S)."#).unwrap(),
+            &known,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::BadPast { .. }), "{err}");
+    }
+
+    #[test]
+    fn past_shape_is_checked() {
+        let known = HashSet::new();
+        // Relation must be a string constant.
+        let err = compile_program(
+            &parse_program("f4 out@N(S) :- ev@N(R), past@N(R, 0, 10, N, S).").unwrap(),
+            &known,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::BadPast { .. }), "{err}");
+        // Interval bounds must be bound before the scan runs.
+        let err = compile_program(
+            &parse_program(r#"f5 out@N(S) :- ev@N(), past@N("succ", T0, 10, N, S)."#).unwrap(),
+            &known,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::BadPast { .. }), "{err}");
+    }
+
+    #[test]
+    fn past_is_reserved() {
+        let known = HashSet::new();
+        for bad in [
+            "materialize(past, 100, 10, keys(1)).",
+            "r1 past@N(A, B, C) :- ev@N(A, B, C).",
+        ] {
+            let err = compile_program(&parse_program(bad).unwrap(), &known).unwrap_err();
+            assert!(matches!(err, PlanError::ReservedRelation { .. }), "{bad}");
+        }
+        // A too-short `past` head is already an arity error at validation.
+        let err = compile_program(&parse_program("r1 past@N(X) :- ev@N(X).").unwrap(), &known)
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Invalid(_)));
+    }
+
+    #[test]
+    fn past_interval_bounds_fold() {
+        let p = compile(
+            r#"f6 out@N(S) :- ev@N(), past@N("succ", 5 + 5, 20, N, S)."#,
+            &[],
+        );
+        match &p.strands[0].ops[0] {
+            Op::ArchiveScan { t0, t1, .. } => {
+                assert_eq!(*t0, PExpr::Const(Value::Int(10)));
+                assert_eq!(*t1, PExpr::Const(Value::Int(20)));
+            }
+            other => panic!("expected ArchiveScan, got {other:?}"),
+        }
     }
 
     #[test]

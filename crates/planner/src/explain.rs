@@ -114,6 +114,20 @@ fn explain_strand(s: &Strand, out: &mut String) {
                     match_fields(match_spec, s)
                 );
             }
+            Op::ArchiveScan {
+                table,
+                t0,
+                t1,
+                match_spec,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  op: past {table}[{} .. {}]({})",
+                    pexpr(t0, s),
+                    pexpr(t1, s),
+                    match_fields(match_spec, s)
+                );
+            }
             Op::Select(e) => {
                 let _ = writeln!(out, "  op: select {}", pexpr(e, s));
             }
@@ -240,6 +254,17 @@ mod tests {
         assert!(a.contains("op: join t(=N, bind Z)"));
         assert!(a.contains("head: out(N, X, Z)"));
         assert!(a.contains("index request: t field 0"));
+    }
+
+    #[test]
+    fn explain_renders_archive_scans() {
+        let src = r#"f1 was@N(S) :- probe@N(T0, T1), past@N("succ", T0, T1, N, S)."#;
+        let p = compile_program(&parse_program(src).unwrap(), &HashSet::new()).unwrap();
+        let text = explain(&p);
+        assert!(
+            text.contains("op: past succ[T0 .. T1](=N, bind S)"),
+            "{text}"
+        );
     }
 
     #[test]

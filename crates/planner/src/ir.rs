@@ -28,6 +28,12 @@ use std::collections::HashSet;
 pub enum IrOp {
     /// Probe a materialized table.
     Join(Predicate),
+    /// Range over an archived relation's history: the whole
+    /// `past@N("rel", T0, T1, fields...)` predicate occurrence, lowered
+    /// to [`crate::plan::Op::ArchiveScan`]. Args 0 (location) and 2/3
+    /// (interval bounds) are *reads* — they must already be bound —
+    /// while args 4.. bind or test against the archived tuple's fields.
+    Past(Predicate),
     /// Filter on a condition.
     Select(Expr),
     /// Bind a variable to an expression value.
@@ -54,6 +60,18 @@ impl IrOp {
                     }
                 }
             }
+            IrOp::Past(p) => {
+                for (i, a) in p.args.iter().enumerate() {
+                    match a {
+                        // Location and interval bounds are reads.
+                        Arg::Var(v) if i < 4 && !out.iter().any(|x| x == v) => {
+                            out.push(v.clone());
+                        }
+                        Arg::Expr(e) => e.free_vars(&mut out),
+                        _ => {}
+                    }
+                }
+            }
             IrOp::Select(e) => e.free_vars(&mut out),
             IrOp::Assign { expr, .. } => expr.free_vars(&mut out),
         }
@@ -66,6 +84,19 @@ impl IrOp {
             IrOp::Join(p) => {
                 let mut out = Vec::new();
                 for a in &p.args {
+                    if let Arg::Var(v) = a {
+                        if !out.iter().any(|x| x == v) {
+                            out.push(v.clone());
+                        }
+                    }
+                }
+                out
+            }
+            IrOp::Past(p) => {
+                // Only the field args (4..) bind; the location and the
+                // interval bounds are required_vars instead.
+                let mut out = Vec::new();
+                for a in p.args.iter().skip(4) {
                     if let Arg::Var(v) = a {
                         if !out.iter().any(|x| x == v) {
                             out.push(v.clone());
@@ -95,7 +126,7 @@ impl IrOp {
             pure
         };
         match self {
-            IrOp::Join(p) => p.args.iter().all(|a| match a {
+            IrOp::Join(p) | IrOp::Past(p) => p.args.iter().all(|a| match a {
                 Arg::Expr(e) => expr_pure(e),
                 _ => true,
             }),
@@ -242,7 +273,11 @@ pub fn build_strand_ir(
                 if i == trigger_pos && !rejoin_trigger {
                     continue;
                 }
-                ops.push(IrOp::Join(p.clone()));
+                if p.name == "past" {
+                    ops.push(IrOp::Past(p.clone()));
+                } else {
+                    ops.push(IrOp::Join(p.clone()));
+                }
             }
             Term::Cond { expr, .. } => ops.push(IrOp::Select(expr.clone())),
             Term::Assign { var, expr, .. } => ops.push(IrOp::Assign {

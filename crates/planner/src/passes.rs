@@ -98,7 +98,13 @@ pub fn schedule_ops(ir: &mut StrandIr) {
     let ops = std::mem::take(&mut ir.ops);
     let n = ops.len();
     let pure: Vec<bool> = ops.iter().map(|o| o.is_pure()).collect();
-    let join: Vec<bool> = ops.iter().map(|o| matches!(o, IrOp::Join(_))).collect();
+    // Archive scans are stateful stages: for ordering purposes they are
+    // joins (impure ops must not cross them; they are reorderable among
+    // themselves by probe quality, where a scan always scores 0).
+    let join: Vec<bool> = ops
+        .iter()
+        .map(|o| matches!(o, IrOp::Join(_) | IrOp::Past(_)))
+        .collect();
     let mut emitted = vec![false; n];
     let mut bound = ir.initial_bound();
     let mut out: Vec<IrOp> = Vec::with_capacity(n);
@@ -147,10 +153,12 @@ pub fn schedule_ops(ir: &mut StrandIr) {
             if emitted[i] || !join[i] || !ready(i, &emitted, &bound) {
                 continue;
             }
-            let IrOp::Join(p) = &ops[i] else {
-                unreachable!()
+            let score = match &ops[i] {
+                IrOp::Join(p) => probe_score(p, &bound),
+                // An archive scan reads whole segments; it never probes.
+                IrOp::Past(_) => 0,
+                _ => unreachable!("join[i] holds only for stateful ops"),
             };
-            let score = probe_score(p, &bound);
             if best.map(|(s, _)| score > s).unwrap_or(true) {
                 best = Some((score, i));
             }
@@ -295,6 +303,13 @@ pub fn fold_strand(strand: &mut Strand, diagnostics: &mut Vec<Diagnostic>) {
             }
             Op::Assign { expr, .. } => *expr = fold_pexpr(expr.clone()),
             Op::Join { match_spec, .. } => fold_match_spec(match_spec),
+            Op::ArchiveScan {
+                t0, t1, match_spec, ..
+            } => {
+                *t0 = fold_pexpr(t0.clone());
+                *t1 = fold_pexpr(t1.clone());
+                fold_match_spec(match_spec);
+            }
         }
         strand.ops.push(op);
     }
@@ -341,6 +356,9 @@ fn sharable(s: &Strand) -> bool {
         Op::Select(e) => e.is_pure(),
         Op::Assign { expr, .. } => expr.is_pure(),
         Op::Join { match_spec, .. } => pure_match(match_spec),
+        // Archive scans read mutable history (segments seal and expire
+        // between firings); never merge them into a shared prefix.
+        Op::ArchiveScan { .. } => false,
     });
     ops_pure
         && s.head.fields.iter().all(|f| match f {

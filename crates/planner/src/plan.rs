@@ -202,6 +202,22 @@ pub enum Op {
         /// Field matches.
         match_spec: MatchSpec,
     },
+    /// Range over the epoch-segmented archive of `table`: one output
+    /// binding per archived (or still-live) row whose validity interval
+    /// overlaps `[t0, t1]`. Lowered from a `past@N("rel", T0, T1, ...)`
+    /// body predicate. Like [`Op::Join`] this is a **stateful stage
+    /// boundary**; unlike a join it never consults the probe cache or
+    /// the secondary indexes — segment headers prune the scan instead.
+    ArchiveScan {
+        /// Archived relation to scan.
+        table: String,
+        /// Inclusive lower bound of the query interval (virtual time).
+        t0: PExpr,
+        /// Inclusive upper bound of the query interval.
+        t1: PExpr,
+        /// Field matches applied to each archived tuple.
+        match_spec: MatchSpec,
+    },
     /// Filter: keep the binding iff the expression is true.
     Select(PExpr),
     /// Bind a slot to the value of an expression.
@@ -281,12 +297,12 @@ pub struct Strand {
 }
 
 impl Strand {
-    /// Number of stateful (join) stages — the tracer sizes its record
-    /// fields from this (§2.1.2).
+    /// Number of stateful stages (joins and archive scans) — the tracer
+    /// sizes its record fields from this (§2.1.2).
     pub fn join_count(&self) -> usize {
         self.ops
             .iter()
-            .filter(|o| matches!(o, Op::Join { .. }))
+            .filter(|o| matches!(o, Op::Join { .. } | Op::ArchiveScan { .. }))
             .count()
     }
 }

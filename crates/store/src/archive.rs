@@ -1,0 +1,714 @@
+//! The frozen tier: an epoch-segmented archive of expired soft state.
+//!
+//! Live tables (DESIGN.md §2.7) forget: rows expire, get evicted,
+//! replaced, or deleted, and with them goes everything a forensic query
+//! (§3 of the paper) could have asked after the fact. For
+//! archive-enrolled relations the store spills every dropped row here
+//! instead, stamped with its **validity interval** `[inserted_at,
+//! dropped_at]`, and freezes runs of spilled rows into immutable,
+//! compactly-encoded [`Segment`]s bucketed by the virtual-time *epoch*
+//! their drop time falls in (DESIGN.md §2.11).
+//!
+//! Three properties matter:
+//!
+//! * **Determinism.** Per-table drop order is deterministic (expiry
+//!   pops ascend in due time and run as the prologue of every
+//!   mutation), and a relation's archive is a pure function of its
+//!   spill stream — independent of when the catalog drains spill
+//!   buffers. The sharded harness therefore produces bit-identical
+//!   archives at any shard count.
+//! * **Bounded memory.** Sealed bytes per relation are capped by a
+//!   retention budget (oldest segments dropped first), and adjacent
+//!   undersized segments are compacted into one, so a chatty relation
+//!   cannot grow the archive without bound.
+//! * **No panics on hostile bytes.** Segment encode/decode reuses the
+//!   `p2_net::wire` value codec; truncation, tag corruption, and absurd
+//!   length prefixes all surface as typed [`SegmentError`]s.
+
+use p2_net::wire::{decode_value_from, encode_value_into, WireError};
+use p2_types::{Time, TimeDelta, Tuple, Value};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Leading bytes of every encoded segment.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"P2AR";
+/// Format version byte (bumped on incompatible layout changes).
+pub const SEGMENT_VERSION: u8 = 1;
+
+/// Archive tuning knobs (per node; see `NodeConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchiveConfig {
+    /// Epoch width: spilled rows whose drop times fall in the same
+    /// epoch seal into the same segment.
+    pub epoch: TimeDelta,
+    /// Per-relation budget for sealed segment bytes; the oldest
+    /// segments are dropped once it is exceeded (the newest segment is
+    /// always kept, even oversized).
+    pub retention_bytes: usize,
+    /// Adjacent sealed segments both smaller than this are merged, so
+    /// sparse relations don't fragment into per-epoch crumbs.
+    pub compact_min_bytes: usize,
+}
+
+impl Default for ArchiveConfig {
+    fn default() -> ArchiveConfig {
+        ArchiveConfig {
+            epoch: TimeDelta::from_secs(30),
+            retention_bytes: 1 << 20,
+            compact_min_bytes: 1024,
+        }
+    }
+}
+
+/// A row that left the live tier, with its closed validity interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpilledRow {
+    /// The archived tuple.
+    pub tuple: Tuple,
+    /// When the row entered the live table.
+    pub inserted_at: Time,
+    /// When it left (expiry deadline, eviction/replacement/delete time).
+    pub dropped_at: Time,
+}
+
+/// A row returned by a history scan: archived rows carry their drop
+/// time, rows still live in the table don't have one yet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchivedRow {
+    /// The tuple.
+    pub tuple: Tuple,
+    /// When the row entered the live table.
+    pub inserted_at: Time,
+    /// When it left the live table; `None` while still live.
+    pub dropped_at: Option<Time>,
+}
+
+impl ArchivedRow {
+    /// Whether the row was valid at instant `t` (half-open interval:
+    /// a row replaced at `t` is no longer the valid version at `t`).
+    pub fn valid_at(&self, t: Time) -> bool {
+        self.inserted_at <= t && self.dropped_at.map(|d| t < d).unwrap_or(true)
+    }
+}
+
+/// Typed decoding errors for segment bytes. Hostile input must never
+/// panic a node: every malformed frame maps onto one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    /// A value failed to decode (truncation, bad tag, bad UTF-8, …).
+    Wire(WireError),
+    /// The frame does not start with [`SEGMENT_MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unknown format version byte.
+    BadVersion(u8),
+    /// A header or row field held a value of the wrong type.
+    BadField(&'static str),
+    /// Bytes remained after the declared rows were decoded.
+    TrailingBytes(usize),
+}
+
+impl From<WireError> for SegmentError {
+    fn from(e: WireError) -> SegmentError {
+        SegmentError::Wire(e)
+    }
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Wire(e) => write!(f, "segment value: {e}"),
+            SegmentError::BadMagic(m) => write!(f, "bad segment magic {m:02x?}"),
+            SegmentError::BadVersion(v) => write!(f, "unknown segment version {v}"),
+            SegmentError::BadField(what) => write!(f, "segment field '{what}' has wrong type"),
+            SegmentError::TrailingBytes(n) => write!(f, "{n} trailing bytes after segment rows"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+fn get_val(buf: &[u8], pos: &mut usize) -> Result<Value, SegmentError> {
+    Ok(decode_value_from(buf, pos)?)
+}
+
+fn expect_str(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<String, SegmentError> {
+    match get_val(buf, pos)? {
+        Value::Str(s) => Ok(s.to_string()),
+        _ => Err(SegmentError::BadField(what)),
+    }
+}
+
+fn expect_u64(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, SegmentError> {
+    match get_val(buf, pos)? {
+        Value::Int(n) if n >= 0 => Ok(n as u64),
+        _ => Err(SegmentError::BadField(what)),
+    }
+}
+
+fn expect_time(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<Time, SegmentError> {
+    match get_val(buf, pos)? {
+        Value::Time(t) => Ok(t),
+        _ => Err(SegmentError::BadField(what)),
+    }
+}
+
+/// An immutable frozen run of spilled rows of one relation.
+///
+/// The segment *is* its encoded byte frame; the parsed header fields
+/// are cached beside it so range pruning never touches the body.
+/// Frame layout: [`SEGMENT_MAGIC`], [`SEGMENT_VERSION`], then wire
+/// values — relation name, epoch range, row count, interval bounds —
+/// then per row its validity interval, arity, and values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    relation: String,
+    epoch_lo: u64,
+    epoch_hi: u64,
+    row_count: u64,
+    min_inserted: Time,
+    max_dropped: Time,
+    bytes: Vec<u8>,
+}
+
+impl Segment {
+    /// Freeze `rows` (all of `relation`, drop epochs within
+    /// `[epoch_lo, epoch_hi]`) into an encoded segment.
+    pub fn build(relation: &str, epoch_lo: u64, epoch_hi: u64, rows: &[SpilledRow]) -> Segment {
+        let min_inserted = rows
+            .iter()
+            .map(|r| r.inserted_at)
+            .min()
+            .unwrap_or(Time::ZERO);
+        let max_dropped = rows
+            .iter()
+            .map(|r| r.dropped_at)
+            .max()
+            .unwrap_or(Time::ZERO);
+        let mut out = Vec::with_capacity(64 + rows.len() * 32);
+        out.extend_from_slice(&SEGMENT_MAGIC);
+        out.push(SEGMENT_VERSION);
+        encode_value_into(&mut out, &Value::str(relation));
+        encode_value_into(&mut out, &Value::Int(epoch_lo as i64));
+        encode_value_into(&mut out, &Value::Int(epoch_hi as i64));
+        encode_value_into(&mut out, &Value::Int(rows.len() as i64));
+        encode_value_into(&mut out, &Value::Time(min_inserted));
+        encode_value_into(&mut out, &Value::Time(max_dropped));
+        for row in rows {
+            encode_value_into(&mut out, &Value::Time(row.inserted_at));
+            encode_value_into(&mut out, &Value::Time(row.dropped_at));
+            encode_value_into(&mut out, &Value::Int(row.tuple.arity() as i64));
+            for v in row.tuple.values() {
+                encode_value_into(&mut out, v);
+            }
+        }
+        Segment {
+            relation: relation.to_string(),
+            epoch_lo,
+            epoch_hi,
+            row_count: rows.len() as u64,
+            min_inserted,
+            max_dropped,
+            bytes: out,
+        }
+    }
+
+    /// Decode and fully validate an encoded segment frame. Every byte
+    /// is checked: header, each row, and that nothing trails.
+    pub fn from_bytes(buf: &[u8]) -> Result<Segment, SegmentError> {
+        let (mut seg, _rows) = Segment::parse(buf, true)?;
+        seg.bytes = buf.to_vec();
+        Ok(seg)
+    }
+
+    /// Decode the segment's rows.
+    pub fn rows(&self) -> Result<Vec<SpilledRow>, SegmentError> {
+        let (_seg, rows) = Segment::parse(&self.bytes, true)?;
+        Ok(rows)
+    }
+
+    fn parse(buf: &[u8], want_rows: bool) -> Result<(Segment, Vec<SpilledRow>), SegmentError> {
+        if buf.len() < 5 {
+            return Err(SegmentError::Wire(WireError::Truncated));
+        }
+        let magic: [u8; 4] = buf[0..4].try_into().map_err(|_| WireError::Truncated)?;
+        if magic != SEGMENT_MAGIC {
+            return Err(SegmentError::BadMagic(magic));
+        }
+        if buf[4] != SEGMENT_VERSION {
+            return Err(SegmentError::BadVersion(buf[4]));
+        }
+        let mut pos = 5;
+        let relation = expect_str(buf, &mut pos, "relation")?;
+        let epoch_lo = expect_u64(buf, &mut pos, "epoch_lo")?;
+        let epoch_hi = expect_u64(buf, &mut pos, "epoch_hi")?;
+        let row_count = expect_u64(buf, &mut pos, "row_count")?;
+        // Guard against absurd counts on hostile input (each row costs
+        // at least one byte), exactly as the envelope decoder does.
+        if row_count > buf.len() as u64 {
+            return Err(SegmentError::Wire(WireError::Truncated));
+        }
+        let min_inserted = expect_time(buf, &mut pos, "min_inserted")?;
+        let max_dropped = expect_time(buf, &mut pos, "max_dropped")?;
+        let mut rows = Vec::with_capacity(if want_rows { row_count as usize } else { 0 });
+        for _ in 0..row_count {
+            let inserted_at = expect_time(buf, &mut pos, "inserted_at")?;
+            let dropped_at = expect_time(buf, &mut pos, "dropped_at")?;
+            let arity = expect_u64(buf, &mut pos, "arity")?;
+            if arity > buf.len() as u64 {
+                return Err(SegmentError::Wire(WireError::Truncated));
+            }
+            let mut vals = Vec::with_capacity((arity as usize).min(1024));
+            for _ in 0..arity {
+                vals.push(get_val(buf, &mut pos)?);
+            }
+            if want_rows {
+                rows.push(SpilledRow {
+                    tuple: Tuple::new(&relation, vals),
+                    inserted_at,
+                    dropped_at,
+                });
+            }
+        }
+        if pos != buf.len() {
+            return Err(SegmentError::TrailingBytes(buf.len() - pos));
+        }
+        Ok((
+            Segment {
+                relation,
+                epoch_lo,
+                epoch_hi,
+                row_count,
+                min_inserted,
+                max_dropped,
+                bytes: Vec::new(),
+            },
+            rows,
+        ))
+    }
+
+    /// The relation this segment holds rows of.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Lowest drop epoch covered.
+    pub fn epoch_lo(&self) -> u64 {
+        self.epoch_lo
+    }
+
+    /// Highest drop epoch covered.
+    pub fn epoch_hi(&self) -> u64 {
+        self.epoch_hi
+    }
+
+    /// Number of rows frozen in the segment.
+    pub fn row_count(&self) -> u64 {
+        self.row_count
+    }
+
+    /// Earliest `inserted_at` among the rows.
+    pub fn min_inserted(&self) -> Time {
+        self.min_inserted
+    }
+
+    /// Latest `dropped_at` among the rows.
+    pub fn max_dropped(&self) -> Time {
+        self.max_dropped
+    }
+
+    /// Encoded size in bytes (what the retention budget counts).
+    pub fn len_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The raw encoded frame.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Point-in-time counters for one relation's archive, surfaced as
+/// `archive.*` sysStat rows by `core::introspect`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArchiveStats {
+    /// Sealed segments currently held.
+    pub segments: u64,
+    /// Bytes across sealed segments currently held.
+    pub sealed_bytes: u64,
+    /// Rows waiting in the open (not yet sealed) buffer.
+    pub open_rows: u64,
+    /// Rows ever spilled into this relation's archive.
+    pub spilled_rows: u64,
+    /// History scans served.
+    pub scans: u64,
+    /// Rows returned across all history scans.
+    pub scan_hits: u64,
+    /// Segments dropped by the retention budget.
+    pub dropped_segments: u64,
+    /// Compaction merges performed.
+    pub compactions: u64,
+}
+
+#[derive(Debug, Default)]
+struct RelationArchive {
+    sealed: VecDeque<Segment>,
+    open: Vec<SpilledRow>,
+    open_epoch: u64,
+    spilled_rows: u64,
+    scans: u64,
+    scan_hits: u64,
+    dropped_segments: u64,
+    compactions: u64,
+}
+
+fn seal_open(relation: &str, ra: &mut RelationArchive, retention: usize, compact_min: usize) {
+    if ra.open.is_empty() {
+        return;
+    }
+    let seg = Segment::build(relation, ra.open_epoch, ra.open_epoch, &ra.open);
+    ra.open.clear();
+    ra.sealed.push_back(seg);
+    // Compact: merge the trailing pair while both are undersized. The
+    // merged segment keeps the combined epoch range.
+    while ra.sealed.len() >= 2 {
+        let n = ra.sealed.len();
+        if ra.sealed[n - 1].len_bytes() >= compact_min
+            || ra.sealed[n - 2].len_bytes() >= compact_min
+        {
+            break;
+        }
+        let (Some(b), Some(a)) = (ra.sealed.pop_back(), ra.sealed.pop_back()) else {
+            break;
+        };
+        match (a.rows(), b.rows()) {
+            (Ok(mut rows), Ok(more)) => {
+                rows.extend(more);
+                ra.sealed
+                    .push_back(Segment::build(relation, a.epoch_lo(), b.epoch_hi(), &rows));
+                ra.compactions += 1;
+            }
+            // Own bytes never fail to decode; if they somehow did,
+            // restore both rather than lose history.
+            _ => {
+                ra.sealed.push_back(a);
+                ra.sealed.push_back(b);
+                break;
+            }
+        }
+    }
+    // Retention: oldest segments go first; the newest always stays.
+    let mut total: usize = ra.sealed.iter().map(Segment::len_bytes).sum();
+    while total > retention && ra.sealed.len() > 1 {
+        if let Some(seg) = ra.sealed.pop_front() {
+            total -= seg.len_bytes();
+            ra.dropped_segments += 1;
+        }
+    }
+}
+
+/// The per-node frozen tier: one epoch-segmented history per enrolled
+/// relation. Owned by the catalog; fed by table spill buffers.
+#[derive(Debug)]
+pub struct Archive {
+    config: ArchiveConfig,
+    relations: BTreeMap<String, RelationArchive>,
+}
+
+impl Archive {
+    /// An empty archive.
+    pub fn new(config: ArchiveConfig) -> Archive {
+        Archive {
+            config,
+            relations: BTreeMap::new(),
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> &ArchiveConfig {
+        &self.config
+    }
+
+    /// Append spilled rows to `relation`'s history. Rows must arrive in
+    /// non-decreasing `dropped_at` order per relation (the table spill
+    /// paths guarantee this); crossing an epoch boundary seals the open
+    /// buffer into a segment and applies compaction and retention.
+    pub fn spill(&mut self, relation: &str, rows: impl IntoIterator<Item = SpilledRow>) {
+        let epoch_len = self.config.epoch.0.max(1);
+        let retention = self.config.retention_bytes;
+        let compact_min = self.config.compact_min_bytes;
+        let ra = self.relations.entry(relation.to_string()).or_default();
+        for row in rows {
+            let epoch = row.dropped_at.0 / epoch_len;
+            if !ra.open.is_empty() && epoch > ra.open_epoch {
+                seal_open(relation, ra, retention, compact_min);
+            }
+            if ra.open.is_empty() {
+                ra.open_epoch = epoch;
+            }
+            ra.open.push(row);
+            ra.spilled_rows += 1;
+        }
+    }
+
+    /// [`spill`](Archive::spill), but adopting an owned buffer. When the
+    /// whole run lands in one epoch (the common case: a maintenance
+    /// drain runs far more often than an epoch rolls over) the buffer is
+    /// moved — or bulk-appended — without per-row work. This is the
+    /// write-through hot path from [`Catalog::archive_maintain`]
+    /// (`crate::Catalog::archive_maintain`); the per-row path only runs
+    /// when the drain itself straddles an epoch boundary.
+    pub fn spill_vec(&mut self, relation: &str, rows: Vec<SpilledRow>) {
+        let epoch_len = self.config.epoch.0.max(1);
+        let (Some(first), Some(last)) = (rows.first(), rows.last()) else {
+            return;
+        };
+        let e0 = first.dropped_at.0 / epoch_len;
+        let e1 = last.dropped_at.0 / epoch_len;
+        if e0 == e1 {
+            let ra = self.relations.entry(relation.to_string()).or_default();
+            if ra.open.is_empty() || ra.open_epoch == e0 {
+                if ra.open.is_empty() {
+                    ra.open_epoch = e0;
+                }
+                ra.spilled_rows += rows.len() as u64;
+                if ra.open.is_empty() {
+                    ra.open = rows;
+                } else {
+                    ra.open.extend(rows);
+                }
+                return;
+            }
+        }
+        self.spill(relation, rows);
+    }
+
+    /// Seal every open buffer, freezing all spilled rows into segments.
+    /// Forensic readers call this so answers come from segments alone.
+    pub fn seal_all(&mut self) {
+        let retention = self.config.retention_bytes;
+        let compact_min = self.config.compact_min_bytes;
+        for (relation, ra) in self.relations.iter_mut() {
+            seal_open(relation, ra, retention, compact_min);
+        }
+    }
+
+    /// All archived rows of `relation` whose validity interval
+    /// intersects `[t0, t1]`, in spill order. Segments whose header
+    /// bounds miss the range are pruned without decoding.
+    pub fn scan_range(
+        &mut self,
+        relation: &str,
+        t0: Time,
+        t1: Time,
+    ) -> Result<Vec<SpilledRow>, SegmentError> {
+        let Some(ra) = self.relations.get_mut(relation) else {
+            return Ok(Vec::new());
+        };
+        ra.scans += 1;
+        let mut out = Vec::new();
+        for seg in &ra.sealed {
+            if seg.min_inserted() > t1 || seg.max_dropped() < t0 {
+                continue;
+            }
+            for row in seg.rows()? {
+                if row.inserted_at <= t1 && row.dropped_at >= t0 {
+                    out.push(row);
+                }
+            }
+        }
+        for row in &ra.open {
+            if row.inserted_at <= t1 && row.dropped_at >= t0 {
+                out.push(row.clone());
+            }
+        }
+        ra.scan_hits += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Sealed segments of one relation, oldest first.
+    pub fn segments(&self, relation: &str) -> Vec<&Segment> {
+        self.relations
+            .get(relation)
+            .map(|ra| ra.sealed.iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Per-relation counters, sorted by relation name.
+    pub fn stats(&self) -> Vec<(String, ArchiveStats)> {
+        self.relations
+            .iter()
+            .map(|(name, ra)| {
+                (
+                    name.clone(),
+                    ArchiveStats {
+                        segments: ra.sealed.len() as u64,
+                        sealed_bytes: ra.sealed.iter().map(|s| s.len_bytes() as u64).sum(),
+                        open_rows: ra.open.len() as u64,
+                        spilled_rows: ra.spilled_rows,
+                        scans: ra.scans,
+                        scan_hits: ra.scan_hits,
+                        dropped_segments: ra.dropped_segments,
+                        compactions: ra.compactions,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(i: i64, ins: u64, dropd: u64) -> SpilledRow {
+        SpilledRow {
+            tuple: Tuple::new("t", [Value::addr("n1"), Value::Int(i)]),
+            inserted_at: Time::from_secs(ins),
+            dropped_at: Time::from_secs(dropd),
+        }
+    }
+
+    #[test]
+    fn segment_round_trip() {
+        let rows: Vec<SpilledRow> = (0..10).map(|i| row(i, i as u64, 100 + i as u64)).collect();
+        let seg = Segment::build("t", 3, 3, &rows);
+        let back = Segment::from_bytes(seg.as_bytes()).unwrap();
+        assert_eq!(back, seg);
+        assert_eq!(back.rows().unwrap(), rows);
+        assert_eq!(back.relation(), "t");
+        assert_eq!(back.row_count(), 10);
+        assert_eq!(back.min_inserted(), Time::ZERO);
+        assert_eq!(back.max_dropped(), Time::from_secs(109));
+    }
+
+    #[test]
+    fn segment_truncation_is_error_not_panic() {
+        let rows: Vec<SpilledRow> = (0..4).map(|i| row(i, 0, 10)).collect();
+        let seg = Segment::build("t", 0, 0, &rows);
+        let bytes = seg.as_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Segment::from_bytes(&bytes[..cut]).is_err(),
+                "decoding a {cut}-byte prefix must fail cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_bad_magic_version_tag() {
+        let seg = Segment::build("t", 0, 0, &[row(1, 0, 10)]);
+        let mut bytes = seg.as_bytes().to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Segment::from_bytes(&bytes),
+            Err(SegmentError::BadMagic(_))
+        ));
+        let mut bytes = seg.as_bytes().to_vec();
+        bytes[4] = 99;
+        assert_eq!(
+            Segment::from_bytes(&bytes),
+            Err(SegmentError::BadVersion(99))
+        );
+        let mut bytes = seg.as_bytes().to_vec();
+        bytes[5] = 0xFF; // relation-name value tag
+        assert_eq!(
+            Segment::from_bytes(&bytes),
+            Err(SegmentError::Wire(WireError::BadTag(0xFF)))
+        );
+        let mut bytes = seg.as_bytes().to_vec();
+        bytes.push(0);
+        assert_eq!(
+            Segment::from_bytes(&bytes),
+            Err(SegmentError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn epoch_boundary_seals() {
+        let mut a = Archive::new(ArchiveConfig {
+            epoch: TimeDelta::from_secs(10),
+            ..ArchiveConfig::default()
+        });
+        a.spill("t", vec![row(1, 0, 5), row(2, 0, 9)]);
+        assert_eq!(a.stats()[0].1.segments, 0);
+        assert_eq!(a.stats()[0].1.open_rows, 2);
+        // Crossing into epoch 1 seals epoch 0.
+        a.spill("t", vec![row(3, 0, 11)]);
+        let s = a.stats()[0].1;
+        assert_eq!(s.segments, 1);
+        assert_eq!(s.open_rows, 1);
+        assert_eq!(s.spilled_rows, 3);
+        assert_eq!(a.segments("t")[0].row_count(), 2);
+    }
+
+    #[test]
+    fn scan_range_filters_on_validity_interval() {
+        let mut a = Archive::new(ArchiveConfig {
+            epoch: TimeDelta::from_secs(10),
+            ..ArchiveConfig::default()
+        });
+        a.spill("t", vec![row(1, 0, 5), row(2, 3, 15), row(3, 20, 25)]);
+        a.seal_all();
+        let hits = a
+            .scan_range("t", Time::from_secs(6), Time::from_secs(14))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].tuple.get(1), Some(&Value::Int(2)));
+        // Unknown relations scan empty, not error.
+        assert!(a
+            .scan_range("nope", Time::ZERO, Time::from_secs(99))
+            .unwrap()
+            .is_empty());
+        let s = a.stats()[0].1;
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.scan_hits, 1);
+    }
+
+    #[test]
+    fn retention_drops_oldest_segments() {
+        let mut a = Archive::new(ArchiveConfig {
+            epoch: TimeDelta::from_secs(1),
+            retention_bytes: 400,
+            compact_min_bytes: 0, // no merging: isolate retention
+        });
+        for e in 0..50u64 {
+            a.spill("t", vec![row(e as i64, 0, e)]);
+        }
+        a.seal_all();
+        let s = a.stats()[0].1;
+        assert!(s.dropped_segments > 0, "budget must have evicted segments");
+        assert!(
+            s.sealed_bytes <= 400,
+            "sealed bytes {} over budget",
+            s.sealed_bytes
+        );
+        // The newest rows survive; the oldest are gone.
+        let hits = a.scan_range("t", Time::ZERO, Time::from_secs(100)).unwrap();
+        assert!(hits.iter().any(|r| r.dropped_at == Time::from_secs(49)));
+        assert!(!hits.iter().any(|r| r.dropped_at == Time::ZERO));
+    }
+
+    #[test]
+    fn compaction_merges_small_neighbours() {
+        let mut a = Archive::new(ArchiveConfig {
+            epoch: TimeDelta::from_secs(1),
+            retention_bytes: 1 << 20,
+            compact_min_bytes: 4096, // everything is "small"
+        });
+        for e in 0..20u64 {
+            a.spill("t", vec![row(e as i64, 0, e)]);
+        }
+        a.seal_all();
+        let s = a.stats()[0].1;
+        assert!(s.compactions > 0);
+        assert_eq!(s.segments, 1, "all crumbs merge into one segment");
+        let segs = a.segments("t");
+        assert_eq!(segs[0].epoch_lo(), 0);
+        assert_eq!(segs[0].epoch_hi(), 19);
+        assert_eq!(segs[0].row_count(), 20);
+        // Merged content is intact and ordered.
+        let hits = a.scan_range("t", Time::ZERO, Time::from_secs(100)).unwrap();
+        assert_eq!(hits.len(), 20);
+        assert!(hits.windows(2).all(|w| w[0].dropped_at <= w[1].dropped_at));
+    }
+}

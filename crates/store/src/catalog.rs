@@ -6,6 +6,7 @@
 //! boot — the paper's "piecemeal deployment") and routes tuple insertions
 //! here.
 
+use crate::archive::{Archive, ArchiveConfig, ArchiveStats, ArchivedRow, SegmentError};
 use crate::table::{BatchOutcome, InsertOutcome, ProbeStats, Table, TableSpec};
 use p2_types::{Time, Tuple, Value};
 use std::collections::HashMap;
@@ -48,6 +49,12 @@ impl std::error::Error for CatalogError {}
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
+    /// The frozen tier (DESIGN.md §2.11); `None` = archiving disabled,
+    /// which costs the live path nothing.
+    archive: Option<Archive>,
+    /// Enrolled relation names in enrollment order — the deterministic
+    /// drain order for [`Catalog::archive_maintain`].
+    enrolled: Vec<String>,
 }
 
 impl Catalog {
@@ -198,6 +205,123 @@ impl Catalog {
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+
+    /// Turn the archive tier on. Idempotent; tables still need
+    /// [`Catalog::enroll_archive`] to start spilling.
+    pub fn enable_archive(&mut self, config: ArchiveConfig) {
+        if self.archive.is_none() {
+            self.archive = Some(Archive::new(config));
+        }
+    }
+
+    /// Whether the archive tier is on.
+    pub fn archive_enabled(&self) -> bool {
+        self.archive.is_some()
+    }
+
+    /// Enroll a table: its dropped rows spill into the archive from now
+    /// on. A no-op when archiving is disabled (no buffer can grow
+    /// unbounded without a drain). Idempotent.
+    pub fn enroll_archive(&mut self, name: &str) -> Result<(), CatalogError> {
+        if self.archive.is_none() {
+            return Ok(());
+        }
+        match self.tables.get_mut(name) {
+            Some(t) => {
+                if !t.archive_enrolled() {
+                    t.set_archive_enrolled(true);
+                    self.enrolled.push(name.to_string());
+                }
+                Ok(())
+            }
+            None => Err(CatalogError::NoSuchTable {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Drain every enrolled table's spill buffer into the archive.
+    /// Cheap when nothing spilled. The archive's per-relation state is a
+    /// pure function of each relation's spill stream, so *when* this
+    /// runs never changes what a later scan sees.
+    pub fn archive_maintain(&mut self) {
+        let Some(archive) = self.archive.as_mut() else {
+            return;
+        };
+        for name in &self.enrolled {
+            if let Some(t) = self.tables.get_mut(name) {
+                let rows = t.take_spilled();
+                if !rows.is_empty() {
+                    archive.spill_vec(name, rows);
+                }
+            }
+        }
+    }
+
+    /// History scan: every row of `name` whose validity interval
+    /// intersects `[t0, t1]` — archived rows (closed intervals, spill
+    /// order) followed by still-live rows (open intervals, insertion
+    /// order). Returns empty when archiving is disabled: a partial
+    /// live-only answer would masquerade as history.
+    pub fn archive_scan(
+        &mut self,
+        name: &str,
+        t0: Time,
+        t1: Time,
+        now: Time,
+    ) -> Result<Vec<ArchivedRow>, SegmentError> {
+        if self.archive.is_none() {
+            return Ok(Vec::new());
+        }
+        // Touch the live table FIRST: its expiry prologue spills rows
+        // past due at `now`, and those must land in the archive before
+        // the segment walk below — otherwise a row expiring at scan
+        // time would be neither live nor archived.
+        let live: Vec<(Tuple, Time)> = self
+            .tables
+            .get_mut(name)
+            .filter(|t| t.archive_enrolled())
+            .map(|t| t.scan_with_birth(now))
+            .unwrap_or_default();
+        self.archive_maintain();
+        let mut out = Vec::new();
+        if let Some(archive) = self.archive.as_mut() {
+            for row in archive.scan_range(name, t0, t1)? {
+                out.push(ArchivedRow {
+                    tuple: row.tuple,
+                    inserted_at: row.inserted_at,
+                    dropped_at: Some(row.dropped_at),
+                });
+            }
+        }
+        for (tuple, inserted_at) in live {
+            if inserted_at <= t1 {
+                out.push(ArchivedRow {
+                    tuple,
+                    inserted_at,
+                    dropped_at: None,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-relation archive counters (empty when disabled). Buffers are
+    /// drained first so the numbers are current.
+    pub fn archive_stats(&mut self) -> Vec<(String, ArchiveStats)> {
+        self.archive_maintain();
+        self.archive
+            .as_ref()
+            .map(Archive::stats)
+            .unwrap_or_default()
+    }
+
+    /// Direct access to the archive tier (forensic readers seal and
+    /// walk segments through this).
+    pub fn archive_mut(&mut self) -> Option<&mut Archive> {
+        self.archive_maintain();
+        self.archive.as_mut()
     }
 
     /// Iterate over (name, live-row-count, spec) for introspection.

@@ -21,10 +21,14 @@
 //!   event for itself, but the caller needs to know for refcounts and
 //!   metrics).
 
+pub mod archive;
 pub mod catalog;
 pub mod hash;
 pub mod table;
 
+pub use archive::{
+    Archive, ArchiveConfig, ArchiveStats, ArchivedRow, Segment, SegmentError, SpilledRow,
+};
 pub use catalog::{Catalog, CatalogError};
 pub use hash::{FxHashMap, FxHashSet};
 pub use table::{

@@ -1,5 +1,6 @@
 //! A single soft-state table.
 
+use crate::archive::SpilledRow;
 use crate::hash::{FxHashMap, FxHashSet};
 use p2_types::{Time, TimeDelta, Tuple, Value};
 use std::cmp::Reverse;
@@ -95,6 +96,9 @@ struct Row {
     tuple: Tuple,
     expires_at: Option<Time>,
     seq: u64,
+    /// Start of the row's validity interval. A refresh keeps it (same
+    /// content, one continuous interval); a replacement resets it.
+    inserted_at: Time,
 }
 
 /// One pending-expiry entry. Ordering is `(at, seq)` only — `seq` is
@@ -195,6 +199,12 @@ pub struct Table {
     /// A `(version, now)` pair therefore keys probe results exactly:
     /// same version and same probe time ⇒ bit-identical candidate set.
     version: u64,
+    /// Archive enrollment (DESIGN.md §2.11): when set, every dropped
+    /// row — expired, evicted, replaced, or deleted — lands in `spilled`
+    /// with its validity interval instead of vanishing. The catalog
+    /// drains the buffer into the archive tier.
+    archive_enrolled: bool,
+    spilled: Vec<SpilledRow>,
     /// `None` disables the runtime auto-index fallback.
     auto_index_threshold: Option<u32>,
     /// Unindexed-probe counts per field, driving the fallback.
@@ -219,6 +229,8 @@ impl Table {
             expiry: BinaryHeap::new(),
             next_seq: 0,
             version: 0,
+            archive_enrolled: false,
+            spilled: Vec::new(),
             auto_index_threshold: Some(DEFAULT_AUTO_INDEX_THRESHOLD),
             unindexed_probes: HashMap::new(),
             inserts: 0,
@@ -309,6 +321,40 @@ impl Table {
         self.auto_index_threshold = threshold;
     }
 
+    /// Enroll (or withdraw) the table in the archive tier: dropped rows
+    /// spill into a buffer instead of vanishing. `clear` is exempt —
+    /// it is a test-reset, not part of an execution's history.
+    pub fn set_archive_enrolled(&mut self, on: bool) {
+        self.archive_enrolled = on;
+        if !on {
+            self.spilled = Vec::new();
+        }
+    }
+
+    /// Whether dropped rows spill to the archive.
+    pub fn archive_enrolled(&self) -> bool {
+        self.archive_enrolled
+    }
+
+    /// Drain the spill buffer (rows in drop order, `dropped_at`
+    /// non-decreasing — expiry pops ascend in due time and run before
+    /// every same-instant mutation).
+    pub fn take_spilled(&mut self) -> Vec<SpilledRow> {
+        std::mem::take(&mut self.spilled)
+    }
+
+    /// Snapshot live rows with their insertion times (insertion order),
+    /// the live half of a history scan.
+    pub fn scan_with_birth(&mut self, now: Time) -> Vec<(Tuple, Time)> {
+        self.expire(now);
+        let rows = &self.rows;
+        self.order
+            .iter()
+            .filter(|(k, s)| rows.get(k).is_some_and(|r| r.seq == *s))
+            .map(|(k, _)| (rows[k].tuple.clone(), rows[k].inserted_at))
+            .collect()
+    }
+
     fn index_add(
         indexes: &mut HashMap<usize, FxHashMap<Value, FxHashSet<Key>>>,
         key: &Key,
@@ -364,6 +410,16 @@ impl Table {
                     Table::index_remove(&mut self.indexes, &ent.key, &row.tuple);
                     self.expirations += 1;
                     dropped += 1;
+                    if self.archive_enrolled {
+                        // The drop time is the expiry *deadline*, not
+                        // the (read-pattern-dependent) observation time:
+                        // archives must be deterministic.
+                        self.spilled.push(SpilledRow {
+                            tuple: row.tuple,
+                            inserted_at: row.inserted_at,
+                            dropped_at: ent.at,
+                        });
+                    }
                 }
             }
         }
@@ -421,6 +477,10 @@ impl Table {
         let (more, _) = tuples.size_hint();
         self.rows.reserve(more);
         self.order.reserve(more);
+        if self.archive_enrolled {
+            // Worst case every row replaces a version that must spill.
+            self.spilled.reserve(more);
+        }
         let mut out = BatchOutcome::default();
         for tuple in tuples {
             match self.insert_unchecked(tuple, now) {
@@ -460,6 +520,13 @@ impl Table {
                             if current {
                                 if let Some(r) = self.rows.remove(&k) {
                                     Table::index_remove(&mut self.indexes, &k, &r.tuple);
+                                    if self.archive_enrolled {
+                                        self.spilled.push(SpilledRow {
+                                            tuple: r.tuple.clone(),
+                                            inserted_at: r.inserted_at,
+                                            dropped_at: now,
+                                        });
+                                    }
                                     evicted.push(r.tuple);
                                     self.evictions += 1;
                                 }
@@ -495,11 +562,22 @@ impl Table {
                         tuple,
                         expires_at,
                         seq,
+                        inserted_at: now,
                     },
-                )
-                .tuple;
+                );
                 let key = e.key().clone();
-                Table::index_remove(&mut self.indexes, &key, &old);
+                Table::index_remove(&mut self.indexes, &key, &old.tuple);
+                if self.archive_enrolled {
+                    // A replaced row is history: the old version's
+                    // interval closes here, which is what lets forensic
+                    // queries see every successive value a key held.
+                    self.spilled.push(SpilledRow {
+                        tuple: old.tuple.clone(),
+                        inserted_at: old.inserted_at,
+                        dropped_at: now,
+                    });
+                }
+                let old = old.tuple;
                 Table::index_add(&mut self.indexes, &key, &new);
                 if let Some(at) = expires_at {
                     self.expiry.push(Reverse(HeapEnt {
@@ -527,6 +605,7 @@ impl Table {
                     tuple,
                     expires_at,
                     seq,
+                    inserted_at: now,
                 });
                 self.inserts += 1;
                 InsertOutcome::Inserted { evicted }
@@ -540,13 +619,21 @@ impl Table {
     pub fn delete_by_key(&mut self, tuple: &Tuple, now: Time) -> Option<Tuple> {
         self.expire(now);
         let key = self.spec.key_of(tuple);
-        let removed = self.rows.remove(&key[..]).map(|r| r.tuple);
-        if let Some(t) = &removed {
-            Table::index_remove(&mut self.indexes, &key, t);
+        let removed = self.rows.remove(&key[..]);
+        if let Some(r) = removed {
+            Table::index_remove(&mut self.indexes, &key, &r.tuple);
             self.deletions += 1;
             self.version += 1;
+            if self.archive_enrolled {
+                self.spilled.push(SpilledRow {
+                    tuple: r.tuple.clone(),
+                    inserted_at: r.inserted_at,
+                    dropped_at: now,
+                });
+            }
+            return Some(r.tuple);
         }
-        removed
+        None
     }
 
     /// Remove rows matching a predicate. Returns them. Used by the
@@ -559,6 +646,13 @@ impl Table {
         for (key, row) in self.rows.extract_if(|_, r| pred(&r.tuple)) {
             Table::index_remove(&mut self.indexes, &key, &row.tuple);
             self.deletions += 1;
+            if self.archive_enrolled {
+                self.spilled.push(SpilledRow {
+                    tuple: row.tuple.clone(),
+                    inserted_at: row.inserted_at,
+                    dropped_at: now,
+                });
+            }
             out.push(row.tuple);
         }
         if !out.is_empty() {

@@ -1,76 +1,132 @@
-//! Consistent snapshots and queries over them (§3.3).
+//! Time-travel forensics over the epoch-segmented archive
+//! (DESIGN.md §2.11).
 //!
-//! Runs Chord, installs the Chandy–Lamport rules, takes periodic
-//! snapshots, and then evaluates **lookups over the frozen snapshot** —
-//! the paper's fix for consistency-probe false positives: every probe
-//! lookup sees the same global state, while live lookups keep running
-//! against live tables with no restart.
+//! The paper's §3.3 snapshots freeze a *consistent present*; the
+//! archive tier answers questions about the *past*. This demo stages an
+//! incident on a forensic-mode Chord ring — one node's successor
+//! pointer is corrupted, stabilization heals it — then lets **every**
+//! live lifetime expire: the bad `bestSucc` version, the `ruleExec`
+//! provenance, all of it is gone from the live tables. Only then does
+//! anyone investigate:
+//!
+//! * an ordinary OverLog rule using the reserved `past("rel", T0, T1,
+//!   fields...)` predicate ranges over archived history — installed
+//!   long after the evidence expired;
+//! * the `monitor::retrospect` detectors reconstruct the ring at chosen
+//!   past instants and re-check the §3.1 invariants, pinning *when* the
+//!   ring was malformed and *which* node oscillated.
 //!
 //! Run with: `cargo run --example snapshot_forensics`
 
 use p2ql::chord::{build_ring, ChordConfig};
-use p2ql::core::SimHarness;
-use p2ql::monitor::snapshot::{
-    backpointer_program, initiator_program, issue_snapshot_lookup, phase_of, snapped_succ,
-    snapshot_lookup_program, snapshot_program,
-};
-use p2ql::types::{DetRng, TimeDelta, Value};
+use p2ql::core::{NodeConfig, SimHarness};
+use p2ql::monitor::retrospect;
+use p2ql::net::SimConfig;
+use p2ql::types::{Time, TimeDelta, Tuple, Value};
 
 fn main() {
-    let mut sim = SimHarness::with_seed(7);
-    let topo = build_ring(&mut sim, 6, &ChordConfig::default());
-    println!("stabilizing 6-node ring...");
-    sim.run_for(TimeDelta::from_secs(240));
+    // Forensic mode: tracing on, every dropped row version spills into
+    // the archive instead of vanishing.
+    let mut sim = SimHarness::new(SimConfig::default(), NodeConfig::forensic(), 7);
+    let ring = build_ring(&mut sim, 5, &ChordConfig::default());
+    println!("stabilizing 5-node forensic ring...");
+    sim.run_for(TimeDelta::from_secs(180));
+    let healthy = sim.now();
 
-    for a in topo.addrs.clone() {
-        sim.install(&a, &backpointer_program()).expect("bp");
-        sim.install(&a, &snapshot_program()).expect("sr");
-        sim.install(&a, &snapshot_lookup_program()).expect("l*s");
-    }
-    sim.run_for(TimeDelta::from_secs(30));
-    let initiator = topo.addrs[0].clone();
-    sim.install(&initiator, &initiator_program(&initiator, 60.0))
-        .expect("sr1");
-    println!("snapshot initiator installed at {initiator} (every 60s)");
-    sim.run_for(TimeDelta::from_secs(120));
+    // The incident: at t+1s a node's successor pointer is corrupted to
+    // skip a live member. Stabilization will quietly heal it.
+    sim.run_for(TimeDelta::from_secs(1));
+    let sorted = ring.live_sorted(&sim);
+    let victim = sorted[0].1.clone();
+    let wrong = sorted[2].1.clone();
+    sim.inject(
+        &victim,
+        Tuple::new(
+            "bestSucc",
+            [
+                Value::Addr(victim.clone()),
+                Value::Id(ring.id_of(&wrong)),
+                Value::Addr(wrong.clone()),
+            ],
+        ),
+    );
+    let incident = sim.now();
+    println!("incident: {victim} -> {wrong} at {incident}");
 
-    // Inspect snapshot 1: phase and frozen ring on every node.
-    println!("\nsnapshot 1 state:");
-    for a in topo.addrs.clone() {
-        let phase = phase_of(&mut sim, &a, 1);
-        let succ = snapped_succ(&mut sim, &a, 1);
-        println!("  {a}: phase={phase:?} snappedSucc={succ:?}");
-    }
+    // Outlive the evidence: bestSucc rows live ~16 s, ruleExec 120 s.
+    // Everything the incident touched has expired out of the live tier.
+    sim.run_for(TimeDelta::from_secs(150));
+    let now = sim.now();
+    let stale = sim
+        .node_mut(&victim)
+        .history_scan("bestSucc", healthy, incident, now)
+        .expect("archive scan")
+        .len();
+    println!("at {now}: incident-era bestSucc versions live=0, archived={stale}");
 
-    // Walk the frozen ring: it must close over all nodes — a consistent
-    // global state even though nodes snapped at different instants.
-    let mut cur = topo.addrs[0].clone();
-    let mut hops = 0;
-    loop {
-        cur = snapped_succ(&mut sim, &cur, 1).expect("snapped pointer");
-        hops += 1;
-        if cur == topo.addrs[0] || hops > topo.addrs.len() {
-            break;
+    // Investigation path 1: an OverLog query over history, installed
+    // only now. `past` scans archive segments plus any still-live rows
+    // whose validity interval intersects [T0, T1].
+    sim.install(
+        &victim,
+        r#"f1 wasSucc@N(T0, S) :- probe@N(T0, T1), past@N("bestSucc", T0, T1, N, I, S)."#,
+    )
+    .expect("forensic query installs");
+    sim.node_mut(&victim).watch("wasSucc");
+    sim.inject(
+        &victim,
+        Tuple::new(
+            "probe",
+            [
+                Value::Addr(victim.clone()),
+                Value::Time(healthy),
+                Value::Time(incident + TimeDelta::from_secs(5)),
+            ],
+        ),
+    );
+    println!("\nevery successor {victim} held around the incident:");
+    let mut held: Vec<String> = sim
+        .node_mut(&victim)
+        .take_watched("wasSucc")
+        .into_iter()
+        .filter_map(|(_, t)| t.get(2).map(|s| s.to_string()))
+        .collect();
+    held.dedup();
+    println!("  {}", held.join(", "));
+    assert!(
+        held.iter().any(|s| *s == wrong.to_string()),
+        "the corrupt pointer must be in the archived history"
+    );
+
+    // Investigation path 2: reconstruct the ring at chosen instants and
+    // re-check the §3.1 invariants retrospectively.
+    println!("\nring well-formed (§3.1.1), reconstructed from the archive:");
+    for (label, t) in [("before", healthy), ("during", incident)] {
+        let ok = retrospect::ring_was_well_formed_at(&mut sim, &ring, t);
+        let viols = retrospect::ordering_violations_at(&mut sim, &ring, t);
+        println!(
+            "  {label} ({t}): well_formed={ok} violations={}",
+            viols.len()
+        );
+        for v in viols {
+            println!(
+                "    {} pointed at {}, expected {}",
+                v.node, v.actual, v.expected
+            );
         }
     }
-    println!(
-        "\nfrozen ring closes in {hops} hops (nodes: {})",
-        topo.addrs.len()
-    );
-    assert_eq!(hops, topo.addrs.len(), "snapshot must be a consistent ring");
+    assert!(retrospect::ring_was_well_formed_at(
+        &mut sim, &ring, healthy
+    ));
+    assert!(!retrospect::ordering_violations_at(&mut sim, &ring, incident).is_empty());
 
-    // Lookups over the snapshot, issued from one node.
-    let origin = topo.addrs[2].clone();
-    sim.node_mut(&origin).watch("sLookupResults");
-    let mut rng = DetRng::new(99);
-    for i in 0..4 {
-        issue_snapshot_lookup(&mut sim, &origin, 1, rng.ring_id(), &origin, 800 + i);
+    let end = sim.now();
+    let osc = retrospect::oscillators_in(&mut sim, &ring, Time::ZERO, end, 2);
+    println!("\noscillators (§3.1.3) over the whole run:");
+    for (addr, flips) in &osc {
+        println!("  {addr}: successor changed {flips} times");
     }
-    sim.run_for(TimeDelta::from_secs(3));
-    println!("\nlookups over snapshot 1:");
-    for (t, tup) in sim.node_mut(&origin).take_watched("sLookupResults") {
-        let owner = tup.get(4).and_then(Value::to_addr);
-        println!("  [{t}] key {} -> {:?}", tup.get(2).unwrap(), owner);
-    }
-    println!("\nsnapshot forensics OK");
+    assert!(osc.iter().any(|(a, _)| *a == victim), "victim must show up");
+
+    println!("\ntime-travel forensics OK");
 }

@@ -28,16 +28,31 @@ if cargo run --release --bin p2ql -- check tests/bad_programs/typo_relation.olg 
   echo "tier1: p2ql check passed a known-broken program" >&2
   exit 1
 fi
-# Parallel-engine determinism gate: the golden Chord trace must be
-# byte-identical under sharding (already inside `cargo test`, but run
-# by name so a divergence is unmistakable in CI logs).
+# Parallel-engine determinism gates. The golden Chord trace must be
+# byte-identical under sharding — NodeConfig defaults to archiving off,
+# so this also pins that the archive tier changes nothing when disabled
+# (already inside `cargo test`, but run by name so a divergence is
+# unmistakable in CI logs).
 cargo test -q --test parallel_equivalence golden_chord_trace_is_identical_when_sharded
+# Forensic-replay determinism gate (DESIGN.md §2.11): the full
+# incident-reconstruction report — archive scans, past() answers,
+# retrospective detectors — must be byte-identical at 1 and 4 shards.
+cargo run --release --bin p2ql -- replay --nodes 5 --seed 1 --shards 1 \
+    > target/replay.1shard.txt
+cargo run --release --bin p2ql -- replay --nodes 5 --seed 1 --shards 4 \
+    > target/replay.4shard.txt
+if ! cmp -s target/replay.1shard.txt target/replay.4shard.txt; then
+  echo "tier1: forensic replay diverged between 1 and 4 shards" >&2
+  diff target/replay.1shard.txt target/replay.4shard.txt >&2 || true
+  exit 1
+fi
 cargo bench --no-run
 cargo bench -p p2-bench --bench engine -- --test
 cargo bench -p p2-bench --bench store_probe -- --test
 cargo bench -p p2-bench --bench node_pump -- --test
 cargo bench -p p2-bench --bench strand_eval -- --test
 cargo bench -p p2-bench --bench population_scale -- --test
+cargo bench -p p2-bench --bench archive_scan -- --test
 # Population-scaling emission: the CI-sized sweep exercises the full
 # `figures scale --json` path (its internal assert re-checks that every
 # shard count sends exactly the sequential engine's envelope count).

@@ -6,6 +6,7 @@
 //! p2ql plan   prog.olg [--opt off]     # EXPLAIN the compiled rule strands
 //! p2ql run    prog.olg [options]       # execute on a simulated population
 //! p2ql trace  prog.olg [options]       # run + dump ruleExec/tupleTable
+//! p2ql replay [options]                # forensic time-travel demo (below)
 //!
 //! check runs the whole `p2-analysis` pipeline — validation, type
 //! inference, location safety, liveness lints, and a planner dry run —
@@ -31,6 +32,25 @@
 //! explicit addresses (`node@"n0"(0x11).`). This is the operator-console
 //! stand-in: the paper's §1.3 usage of writing a monitoring query and
 //! pointing it at a running system, here bootstrapped from files.
+//!
+//! `replay` is the forensic (§3 + DESIGN.md §2.11) demonstration: it
+//! runs a Chord ring in forensic mode (tracing + archive tier on),
+//! corrupts one successor pointer mid-run, lets stabilization heal it
+//! and the live soft state expire, and then answers "was the ring
+//! well-formed at instant T?" **retrospectively** — from archived
+//! segments alone. The report is canonical text: the same seed prints
+//! byte-identical output at any shard count (the tier-1 determinism
+//! gate diffs 1 shard against 4).
+//!
+//! replay options:
+//!   --nodes N        ring size (default 5, minimum 3)
+//!   --seed S         simulation seed (default 1)
+//!   --shards K       run under the parallel harness with K shards
+//!                    (default 1 = the sequential simulator)
+//!   --warm SECS      stabilization warm-up (default 180)
+//!   --post SECS      run-on after the corruption (default 120; must
+//!                    exceed the routing-row lifetime so the probed
+//!                    history is truly expired)
 
 use p2ql::core::{NodeConfig, SimHarness};
 use p2ql::net::SimConfig;
@@ -40,11 +60,14 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: p2ql <check|fmt|plan|run|trace> <file.olg> [options]");
+        eprintln!("usage: p2ql <check|fmt|plan|run|trace|replay> [file.olg] [options]");
         return ExitCode::from(2);
     };
     if cmd == "check" {
         return check(&args[1..]);
+    }
+    if cmd == "replay" {
+        return replay(&args[1..]);
     }
     let Some(path) = args.get(1) else {
         eprintln!("missing program file");
@@ -339,5 +362,162 @@ fn run(src: &str, args: &[String], tracing: bool) -> ExitCode {
             }
         }
     }
+    ExitCode::SUCCESS
+}
+
+struct ReplayOpts {
+    nodes: usize,
+    seed: u64,
+    shards: usize,
+    warm_secs: u64,
+    post_secs: u64,
+}
+
+fn parse_replay_opts(args: &[String]) -> Result<ReplayOpts, String> {
+    let mut o = ReplayOpts {
+        nodes: 5,
+        seed: 1,
+        shards: 1,
+        warm_secs: 180,
+        post_secs: 120,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--nodes" => {
+                o.nodes = val("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--shards" => {
+                o.shards = val("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--warm" => o.warm_secs = val("--warm")?.parse().map_err(|e| format!("--warm: {e}"))?,
+            "--post" => o.post_secs = val("--post")?.parse().map_err(|e| format!("--post: {e}"))?,
+            other => return Err(format!("unknown replay option '{other}'")),
+        }
+    }
+    if o.nodes < 3 {
+        return Err("--nodes must be at least 3 (the scenario mis-points one link)".into());
+    }
+    if o.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(o)
+}
+
+/// The deterministic forensic scenario, generic over the engine so one
+/// code path serves both harnesses (their bit-equivalence is what makes
+/// the report shard-count-invariant).
+fn replay_scenario<H: p2ql::core::Population>(sim: &mut H, o: &ReplayOpts) -> String {
+    use p2ql::chord::{build_ring, ChordConfig};
+    use p2ql::monitor::retrospect;
+    use p2ql::types::{Time, Tuple};
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replay: nodes={} seed={} warm={}s post={}s",
+        o.nodes, o.seed, o.warm_secs, o.post_secs
+    );
+
+    let ring = build_ring(sim, o.nodes, &ChordConfig::default());
+    sim.run_for(TimeDelta::from_secs(o.warm_secs));
+    let t_healthy = sim.now();
+    sim.run_for(TimeDelta::from_secs(1));
+
+    // Mis-point the lowest-ID node's successor two positions ahead —
+    // the §3.1 malformation, injected at a known instant.
+    let sorted = ring.live_sorted(sim);
+    let victim = sorted[0].1.clone();
+    let wrong = sorted[2].1.clone();
+    sim.inject(
+        &victim,
+        Tuple::new(
+            "bestSucc",
+            [
+                Value::Addr(victim.clone()),
+                Value::Id(ring.id_of(&wrong)),
+                Value::Addr(wrong.clone()),
+            ],
+        ),
+    );
+    let t_corrupt = sim.now();
+    let _ = writeln!(out, "corruption at {t_corrupt}: {victim} -> {wrong}");
+
+    // Run on: stabilization heals the ring, and the row versions valid
+    // at both probe instants expire out of the live tier. Everything
+    // below reads archived history.
+    sim.run_for(TimeDelta::from_secs(o.post_secs));
+    let t_end = sim.now();
+
+    let verdict = |sim: &mut H, t: Time, out: &mut String| {
+        let wf = retrospect::ring_was_well_formed_at(sim, &ring, t);
+        let viols = retrospect::ordering_violations_at(sim, &ring, t);
+        let _ = writeln!(
+            out,
+            "[{t}] ring: {}, {} ordering violation(s)",
+            if wf { "well-formed" } else { "MALFORMED" },
+            viols.len()
+        );
+        for v in viols {
+            let _ = writeln!(
+                out,
+                "  {} points at {}, expected {}",
+                v.node, v.actual, v.expected
+            );
+        }
+    };
+    verdict(sim, t_healthy, &mut out);
+    verdict(sim, t_corrupt, &mut out);
+    verdict(sim, t_end, &mut out);
+
+    let osc = retrospect::oscillators_in(sim, &ring, t_healthy, t_end, 2);
+    let _ = writeln!(out, "oscillators in [{t_healthy} .. {t_end}]:");
+    for (addr, flips) in osc {
+        let _ = writeln!(out, "  {addr}: {flips} successor flips");
+    }
+
+    // Evidence the answers came from segments, not live rows: per node,
+    // how many bestSucc versions the archive holds vs one live row.
+    let _ = writeln!(out, "archived bestSucc versions:");
+    for addr in ring.addrs.clone() {
+        let rows = sim
+            .node_mut(&addr)
+            .history_scan("bestSucc", Time::ZERO, t_end, t_end)
+            .map(|rs| rs.iter().filter(|r| r.dropped_at.is_some()).count())
+            .unwrap_or(0);
+        let _ = writeln!(out, "  {addr}: {rows}");
+    }
+    out
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let o = match parse_replay_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let node_config = NodeConfig::forensic();
+    let report = if o.shards == 1 {
+        let mut sim = SimHarness::new(SimConfig::default(), node_config, o.seed);
+        replay_scenario(&mut sim, &o)
+    } else {
+        let mut sim =
+            p2ql::core::ParallelHarness::new(SimConfig::default(), node_config, o.seed, o.shards);
+        replay_scenario(&mut sim, &o)
+    };
+    print!("{report}");
     ExitCode::SUCCESS
 }
