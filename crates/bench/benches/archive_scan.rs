@@ -46,7 +46,12 @@ fn bench_archive_scan(c: &mut Criterion) {
     c.bench_function("archive_scan_full", |b| {
         b.iter(|| {
             let rows = full
-                .scan_range("bestSucc", Time::ZERO, Time::from_secs(ROWS as u64 + 30))
+                .scan_range(
+                    "bestSucc",
+                    Time::ZERO,
+                    Time::from_secs(ROWS as u64 + 30),
+                    &[],
+                )
                 .expect("own segments decode");
             black_box(rows.len())
         })
@@ -56,7 +61,12 @@ fn bench_archive_scan(c: &mut Criterion) {
     c.bench_function("archive_scan_window", |b| {
         b.iter(|| {
             let rows = windowed
-                .scan_range("bestSucc", Time::from_secs(1000), Time::from_secs(1030))
+                .scan_range(
+                    "bestSucc",
+                    Time::from_secs(1000),
+                    Time::from_secs(1030),
+                    &[],
+                )
                 .expect("own segments decode");
             black_box(rows.len())
         })

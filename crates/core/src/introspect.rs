@@ -136,12 +136,63 @@ pub fn refresh(node: &mut Node, now: Time) {
                 ("scanHits", s.scan_hits),
                 ("droppedSegments", s.dropped_segments),
                 ("compactions", s.compactions),
+                ("prunedSegments", s.pruned_segments),
+                ("ageDroppedSegments", s.age_dropped_segments),
             ] {
                 archive_rows.push(Tuple::new(
                     SYS_STAT,
                     [
                         loc.clone(),
                         Value::str(format!("archive.{name}.{counter}")),
+                        Value::Int(v as i64),
+                    ],
+                ));
+            }
+        }
+    }
+
+    // Segment-shipping counters, present only on nodes where shipping
+    // was ever touched (peer enrolled, collector subscribed, or ship
+    // traffic received) — everyone else's sysStat is unchanged.
+    let mut ship_rows: Vec<Tuple> = Vec::new();
+    if node.ship_active() {
+        let s = node.ship_stats();
+        for (k, v) in [
+            ("archive.ship.requestsSent", s.requests_sent),
+            ("archive.ship.requestsServed", s.requests_served),
+            ("archive.ship.replyChunksSent", s.reply_chunks_sent),
+            ("archive.ship.replyChunksReceived", s.reply_chunks_received),
+            ("archive.ship.fetchesCompleted", s.fetches_completed),
+            ("archive.ship.announceChunksSent", s.announce_chunks_sent),
+            (
+                "archive.ship.announceChunksReceived",
+                s.announce_chunks_received,
+            ),
+            ("archive.ship.announcesApplied", s.announces_applied),
+            ("archive.ship.nacksSent", s.nacks_sent),
+            ("archive.ship.nacksReceived", s.nacks_received),
+            ("archive.ship.timeouts", s.timeouts),
+            ("archive.ship.retries", s.retries),
+            ("archive.ship.triggersStaged", s.triggers_staged),
+            ("archive.ship.triggersReleased", s.triggers_released),
+            ("archive.ship.bytesSent", s.bytes_sent),
+            ("archive.ship.bytesReceived", s.bytes_received),
+            ("archive.ship.strays", s.strays),
+        ] {
+            ship_rows.push(Tuple::new(
+                SYS_STAT,
+                [loc.clone(), Value::str(k), Value::Int(v as i64)],
+            ));
+        }
+        // Imported coverage, one (origin, relation) pair per counter —
+        // the collector-side mirror of the origin's archive.* rows.
+        for (origin, relation, segs, bytes) in node.catalog_mut().imported_stats() {
+            for (counter, v) in [("segments", segs), ("bytes", bytes)] {
+                ship_rows.push(Tuple::new(
+                    SYS_STAT,
+                    [
+                        loc.clone(),
+                        Value::str(format!("archive.ship.in.{origin}.{relation}.{counter}")),
                         Value::Int(v as i64),
                     ],
                 ));
@@ -212,6 +263,24 @@ pub fn refresh(node: &mut Node, now: Time) {
         ));
         *n += 1;
     }
+    // Remote-history failures: runtime findings, not program findings,
+    // so they ride under the reserved program id -1. "No history
+    // there" (P2S901) and "peer unreachable" (P2S902) stay queryably
+    // distinct instead of collapsing into an empty scan.
+    for (ship_seq, f) in node.ship_failures().enumerate() {
+        diag_rows.push(Tuple::new(
+            SYS_DIAG,
+            [
+                loc.clone(),
+                Value::Int(-1),
+                Value::Int(ship_seq as i64),
+                Value::str("warning"),
+                Value::str(f.code()),
+                Value::str(f.context()),
+                Value::str(f.message()),
+            ],
+        ));
+    }
 
     let cat = node.catalog_mut();
     // sysDiag is re-materialized exactly: an uninstalled program's
@@ -225,6 +294,7 @@ pub fn refresh(node: &mut Node, now: Time) {
         .chain(rule_rows)
         .chain(stat_rows)
         .chain(archive_rows)
+        .chain(ship_rows)
         .chain(idx_rows)
         .chain(diag_rows)
     {

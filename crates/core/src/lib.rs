@@ -27,6 +27,7 @@ pub mod node;
 pub mod parallel;
 mod router;
 mod scheduler;
+pub mod ship;
 pub mod sim;
 
 pub use driver::{Driver, SimPort, ThreadedPort, Transport, UdpPort};
@@ -34,4 +35,5 @@ pub use harness::Population;
 pub use metrics::{NodeMetrics, ShardStats};
 pub use node::{ArchiveEnroll, ArchiveMode, InstallError, Node, NodeConfig, ProgramId};
 pub use parallel::ParallelHarness;
+pub use ship::{ShipConfig, ShipFailure, ShipStats};
 pub use sim::SimHarness;

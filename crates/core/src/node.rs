@@ -136,6 +136,10 @@ pub struct NodeConfig {
     /// history, so `past()` scans and forensic replays can range over
     /// state that has already expired.
     pub archive: Option<ArchiveMode>,
+    /// Segment-shipping knobs (DESIGN.md §2.12). Inert until a peer is
+    /// enrolled or a collector subscribes — the defaults change nothing
+    /// on a node that never ships.
+    pub ship: crate::ship::ShipConfig,
 }
 
 impl Default for NodeConfig {
@@ -150,6 +154,7 @@ impl Default for NodeConfig {
             envelope_flush_threshold: 64,
             plan: p2_planner::PlanOpts::default(),
             archive: None,
+            ship: crate::ship::ShipConfig::default(),
         }
     }
 }
@@ -232,6 +237,8 @@ pub struct Node {
     /// Static-analysis warnings/notes per installed program, reflected
     /// into `sysDiag` on introspection refresh.
     pub(crate) analysis_diagnostics: Vec<(ProgramId, p2_overlog::Diagnostic)>,
+    /// Segment-shipping coordinator state (DESIGN.md §2.12).
+    pub(crate) ship: crate::ship::ShipState,
 }
 
 impl Node {
@@ -260,6 +267,7 @@ impl Node {
             next_program: 1,
             plan_diagnostics: Vec::new(),
             analysis_diagnostics: Vec::new(),
+            ship: crate::ship::ShipState::default(),
         };
         // The archive tier goes up before any table registers, so every
         // registration path can enroll as it goes.
@@ -364,6 +372,11 @@ impl Node {
     /// Deliver an envelope (a same-relation batch) from the network.
     pub fn deliver(&mut self, env: Envelope, now: Time) {
         self.metrics.msgs_received += 1;
+        // Segment-shipping traffic is infrastructure, not application
+        // tuples: intercepted whole, before tracing or dispatch.
+        if self.ship_intercept(&env, now) {
+            return;
+        }
         let Envelope {
             tuples,
             src,
@@ -416,6 +429,7 @@ impl Node {
             self.tracer.gc(&mut self.catalog, now);
         }
         self.catalog.archive_maintain();
+        self.ship_announce_pump(now);
     }
 
     /// History scan (time travel): every row of `name` whose validity
@@ -429,7 +443,21 @@ impl Node {
         t1: Time,
         now: Time,
     ) -> Result<Vec<p2_store::ArchivedRow>, p2_store::SegmentError> {
-        self.catalog.archive_scan(name, t0, t1, now)
+        self.catalog.archive_scan(name, t0, t1, now, &[])
+    }
+
+    /// Deployment-wide history scan: this node's own history of `name`
+    /// plus every imported origin's, merged in sorted origin order (see
+    /// [`p2_store::Catalog::deployment_scan`]).
+    pub fn deployment_history_scan(
+        &mut self,
+        name: &str,
+        t0: Time,
+        t1: Time,
+        now: Time,
+    ) -> Result<Vec<p2_store::ArchivedRow>, p2_store::SegmentError> {
+        let local = self.addr.as_str().to_string();
+        self.catalog.deployment_scan(&local, name, t0, t1, now, &[])
     }
 
     /// Refresh the `sysTable`/`sysRule`/`sysStat` introspection tables.
@@ -501,6 +529,7 @@ impl Node {
             p2_trace::RULE_EXEC
                 | p2_trace::TUPLE_TABLE
                 | p2_trace::EVENT_LOG
+                | p2_net::SHIP_RELATION
                 | crate::introspect::SYS_TABLE
                 | crate::introspect::SYS_RULE
                 | crate::introspect::SYS_STAT

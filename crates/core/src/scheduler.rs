@@ -43,13 +43,20 @@ impl Node {
     /// timer (pushed at install, re-pushed on every firing, and the heap
     /// is rebuilt wholesale on uninstall).
     pub fn next_timer(&self) -> Option<Time> {
-        self.timer_heap.peek().map(|Reverse((t, _))| *t)
+        let heap = self.timer_heap.peek().map(|Reverse((t, _))| *t);
+        // Outstanding fetch deadlines wake the node too: a staged
+        // trigger must be released even if the peer never answers.
+        match (heap, self.ship.next_deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Fire every timer due at or before `now` (synthesizing `periodic`
     /// event tuples), then pump.
     pub fn fire_timers(&mut self, now: Time) {
         let started = Instant::now();
+        self.ship_check_timeouts(now);
         while let Some(Reverse((t, i))) = self.timer_heap.peek().copied() {
             if t > now {
                 break;
@@ -89,6 +96,23 @@ impl Node {
         let mut budget = self.config.max_dispatch_per_pump;
         'pump: loop {
             let mut did_work = false;
+
+            // Staged triggers whose fetches all resolved fire first:
+            // they were dispatched (watched, event-logged, counted)
+            // before they parked, so only the strand firings remain.
+            while let Some((tuple, traced)) = self.ship.released.pop_front() {
+                if budget == 0 {
+                    self.overflow();
+                    break 'pump;
+                }
+                budget -= 1;
+                if let Some(idxs) = self.event_dispatch.get(tuple.name()).cloned() {
+                    for idx in idxs {
+                        self.fire_strand(idx, &tuple, traced, now);
+                    }
+                }
+                did_work = true;
+            }
 
             if !self.pending.is_empty() {
                 if budget == 0 {
@@ -239,6 +263,12 @@ impl Node {
                 }
             }
         } else if let Some(idxs) = self.event_dispatch.get(&name).cloned() {
+            // Deployment-provider scans fetch before they fire: if any
+            // watching strand needs uncovered peer history, the trigger
+            // parks behind the requests and fires on release instead.
+            if self.ship_stage_event(&idxs, &tuple, traced, now) {
+                return;
+            }
             for idx in idxs {
                 self.fire_strand(idx, &tuple, traced, now);
             }

@@ -3,8 +3,8 @@
 use crate::tap::{TapEvent, TapKind, TapSink};
 use p2_overlog::AggFunc;
 use p2_planner::expr::{eval, truthy, EvalCtx, PExpr};
-use p2_planner::plan::{AggPlan, FieldMatch, FieldOut, MatchSpec, Op, Strand};
-use p2_store::Catalog;
+use p2_planner::plan::{AggPlan, FieldMatch, FieldOut, HistoryProvider, MatchSpec, Op, Strand};
+use p2_store::{Catalog, HistorySource};
 use p2_types::{Addr, Time, Tuple, Value};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -62,13 +62,27 @@ struct ProbeCache {
 struct StageDef {
     table: String,
     match_spec: MatchSpec,
-    /// `Some((t0, t1))` makes this an **archive-scan** stage: instead of
+    /// `Some(..)` makes this an **archive-scan** stage: instead of
     /// probing the live table, it ranges over the epoch-segmented
     /// archive of `table` for rows whose validity interval overlaps the
-    /// evaluated `[t0, t1]`. Archive stages never use the probe cache
-    /// or the secondary indexes.
-    archive: Option<(PExpr, PExpr)>,
+    /// evaluated `[t0, t1]`, through the planned [`HistoryProvider`]
+    /// (node-local archive, or deployment-wide imported history).
+    /// Archive stages never use the probe cache or the secondary
+    /// indexes.
+    archive: Option<ArchiveStage>,
     post: Vec<Op>,
+}
+
+/// The archive half of a [`StageDef`]: evaluated interval bounds plus
+/// the provider that resolves them. Remote fetching (when `provider`
+/// is [`HistoryProvider::Deployment`]) happens *before* the strand
+/// fires — by the time this stage runs, every reachable peer's history
+/// is already imported, so the scan itself stays synchronous.
+#[derive(Debug, Clone)]
+struct ArchiveStage {
+    t0: PExpr,
+    t1: PExpr,
+    provider: HistoryProvider,
 }
 
 #[derive(Debug, Default)]
@@ -181,11 +195,16 @@ impl StrandRuntime {
                     t0,
                     t1,
                     match_spec,
+                    provider,
                 } => {
                     stage_defs.push(StageDef {
                         table: table.clone(),
                         match_spec: match_spec.clone(),
-                        archive: Some((t0.clone(), t1.clone())),
+                        archive: Some(ArchiveStage {
+                            t0: t0.clone(),
+                            t1: t1.clone(),
+                            provider: *provider,
+                        }),
                         post: Vec::new(),
                     });
                 }
@@ -256,6 +275,23 @@ impl StrandRuntime {
         self.stages
             .iter()
             .any(|s| !s.input.is_empty() || s.active.is_some())
+    }
+
+    /// Relations this strand scans through the **deployment-wide**
+    /// history provider. The node runtime consults this before firing
+    /// the strand: any peer history these relations need must be
+    /// fetched and imported first, so the scan itself never blocks.
+    pub fn remote_history_relations(&self) -> Vec<&str> {
+        self.stage_defs
+            .iter()
+            .filter(|d| {
+                matches!(
+                    &d.archive,
+                    Some(a) if a.provider == HistoryProvider::Deployment
+                )
+            })
+            .map(|d| d.table.as_str())
+            .collect()
     }
 
     /// Emit a tap once per member branch (under each member's identity).
@@ -770,8 +806,8 @@ fn probe_stage(
     stats: &mut StrandStats,
     cache: &mut Option<ProbeCache>,
 ) -> Vec<(Env, Tuple)> {
-    if let Some((t0e, t1e)) = &def.archive {
-        return archive_stage(def, t0e, t1e, env, store, ctx, now, stats);
+    if let Some(arch) = &def.archive {
+        return archive_stage(def, arch, env, store, ctx, now, stats);
     }
     let candidates = match def.match_spec.probe_field() {
         Some(field) => {
@@ -828,18 +864,24 @@ fn probe_stage(
 
 /// Compute the results of an archive-scan stage: evaluate the interval
 /// bounds over the current binding, range over the relation's archived
-/// (and still-live) history, and apply the field match to each row.
+/// (and still-live) history through the stage's [`HistoryProvider`],
+/// and apply the field match to each row.
+///
+/// Equality fields whose value is already known — a constant, or a
+/// variable bound by an earlier stage — are handed to the store as
+/// **pushdown hints**: the archive uses its per-segment column min/max
+/// summaries to skip whole sealed segments that cannot contain a
+/// matching row. The full match spec still runs on every surviving
+/// row, so the hints are purely an optimization.
 ///
 /// Failure is never fatal: an unevaluable bound, a bound that is not a
 /// time-like value, or a segment that fails to decode (hostile or
 /// truncated bytes surface as typed [`p2_store::SegmentError`]s) all
 /// count one eval error and produce zero matches — exactly how a join
 /// treats a binding whose expressions misbehave.
-#[allow(clippy::too_many_arguments)]
 fn archive_stage(
     def: &StageDef,
-    t0e: &PExpr,
-    t1e: &PExpr,
+    arch: &ArchiveStage,
     env: &Env,
     store: &mut Catalog,
     ctx: &mut dyn EvalCtx,
@@ -855,13 +897,21 @@ fn archive_stage(
             }
         }
     };
-    let Some(t0) = bound(t0e, stats) else {
+    let Some(t0) = bound(&arch.t0, stats) else {
         return Vec::new();
     };
-    let Some(t1) = bound(t1e, stats) else {
+    let Some(t1) = bound(&arch.t1, stats) else {
         return Vec::new();
     };
-    let rows = match store.archive_scan(&def.table, t0, t1, now) {
+    let eqs = eq_hints(&def.match_spec, env);
+    let scanned = match arch.provider {
+        HistoryProvider::Local => store.local_history(&def.table, t0, t1, now, &eqs),
+        HistoryProvider::Deployment => {
+            let local = ctx.local_addr();
+            store.deployment_history(local.as_str(), &def.table, t0, t1, now, &eqs)
+        }
+    };
+    let rows = match scanned {
         Ok(rows) => rows,
         Err(_) => {
             stats.eval_errors += 1;
@@ -878,6 +928,27 @@ fn archive_stage(
         }
     }
     results
+}
+
+/// Extract the equality predicates of a match spec whose values are
+/// known before the scan runs: `EqConst` directly, `EqVar` when the
+/// referenced slot is bound in the current environment. `EqExpr` is
+/// skipped — expressions may consult `f_rand()`, so pre-evaluating
+/// them for a hint would perturb the deterministic RNG stream.
+fn eq_hints(ms: &MatchSpec, env: &Env) -> Vec<(usize, Value)> {
+    let mut eqs = Vec::new();
+    for (i, f) in ms.fields.iter().enumerate() {
+        match f {
+            FieldMatch::EqConst(c) => eqs.push((i, c.clone())),
+            FieldMatch::EqVar(slot) => {
+                if let Some(v) = &env[*slot] {
+                    eqs.push((i, v.clone()));
+                }
+            }
+            _ => {}
+        }
+    }
+    eqs
 }
 
 /// Interpret a value as a point in virtual time: `Time` directly,

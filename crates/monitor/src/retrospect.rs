@@ -14,6 +14,13 @@
 //! ([`p2_store::ArchivedRow::valid_at`]); `bestSucc` is keyed by
 //! location with one live row, so at most one version is valid at a
 //! time.
+//!
+//! Each detector comes in two forms sharing one judgment: the
+//! node-by-node form walks every member's own archive, and the
+//! `*_collected` form (DESIGN.md §2.12) reads a **single collector
+//! node's** deployment-wide history — every member's segments shipped
+//! there in pull or subscribe mode — so the whole investigation runs
+//! against one node even after the origins are gone.
 
 use p2_chord::ChordRing;
 use p2_core::Population;
@@ -60,11 +67,49 @@ pub fn ring_at<H: Population>(sim: &mut H, ring: &ChordRing, t: Time) -> HashMap
     out
 }
 
-/// §3.1.1 after the fact: was the ring well-formed at instant `t`?
-/// Following reconstructed `bestSucc` pointers from any member must
-/// visit every member with a pointer exactly once before closing.
-pub fn ring_was_well_formed_at<H: Population>(sim: &mut H, ring: &ChordRing, t: Time) -> bool {
-    let succ = ring_at(sim, ring, t);
+/// Reconstruct every ring member's successor pointer as of instant
+/// `t` from a **collector's** deployment-wide history: one scan over
+/// the union of every shipped origin, instead of one archive walk per
+/// member. Members whose shipped history holds no valid version at
+/// `t` are absent from the map.
+pub fn ring_at_collected<H: Population>(
+    sim: &mut H,
+    collector: &Addr,
+    ring: &ChordRing,
+    t: Time,
+) -> HashMap<Addr, Addr> {
+    let now = sim.now();
+    let Ok(rows) = sim
+        .node_mut(collector)
+        .deployment_history_scan("bestSucc", t, t, now)
+    else {
+        return HashMap::new();
+    };
+    let mut best: HashMap<Addr, (Time, Addr)> = HashMap::new();
+    for r in rows.iter().filter(|r| r.valid_at(t)) {
+        let Some(node) = r.tuple.get(0).and_then(Value::to_addr) else {
+            continue;
+        };
+        if !ring.addrs.contains(&node) {
+            continue;
+        }
+        let Some(succ) = r.tuple.get(2).and_then(Value::to_addr) else {
+            continue;
+        };
+        match best.get(&node) {
+            Some((at, _)) if *at >= r.inserted_at => {}
+            _ => {
+                best.insert(node, (r.inserted_at, succ));
+            }
+        }
+    }
+    best.into_iter().map(|(k, (_, v))| (k, v)).collect()
+}
+
+/// The §3.1.1 judgment, over any reconstructed pointer map: following
+/// `bestSucc` pointers from any member must visit every member with a
+/// pointer exactly once before closing.
+fn pointers_form_ring(succ: &HashMap<Addr, Addr>) -> bool {
     let members: Vec<&Addr> = succ.keys().collect();
     let Some(&start) = members.first() else {
         return true; // no history at all: vacuously well-formed
@@ -87,6 +132,22 @@ pub fn ring_was_well_formed_at<H: Population>(sim: &mut H, ring: &ChordRing, t: 
     false
 }
 
+/// §3.1.1 after the fact: was the ring well-formed at instant `t`?
+pub fn ring_was_well_formed_at<H: Population>(sim: &mut H, ring: &ChordRing, t: Time) -> bool {
+    pointers_form_ring(&ring_at(sim, ring, t))
+}
+
+/// §3.1.1 from a collector: the same judgment, reconstructed entirely
+/// from history shipped to `collector`.
+pub fn ring_was_well_formed_at_collected<H: Population>(
+    sim: &mut H,
+    collector: &Addr,
+    ring: &ChordRing,
+    t: Time,
+) -> bool {
+    pointers_form_ring(&ring_at_collected(sim, collector, ring, t))
+}
+
 /// §3.1.2 after the fact: which nodes violated ring ID ordering at
 /// instant `t`? Empty means every reconstructed pointer aimed at the
 /// member with the next-higher ID.
@@ -96,6 +157,22 @@ pub fn ordering_violations_at<H: Population>(
     t: Time,
 ) -> Vec<OrderingViolation> {
     let succ = ring_at(sim, ring, t);
+    judge_ordering(ring, &succ)
+}
+
+/// §3.1.2 from a collector: the same judgment, reconstructed entirely
+/// from history shipped to `collector`.
+pub fn ordering_violations_at_collected<H: Population>(
+    sim: &mut H,
+    collector: &Addr,
+    ring: &ChordRing,
+    t: Time,
+) -> Vec<OrderingViolation> {
+    let succ = ring_at_collected(sim, collector, ring, t);
+    judge_ordering(ring, &succ)
+}
+
+fn judge_ordering(ring: &ChordRing, succ: &HashMap<Addr, Addr>) -> Vec<OrderingViolation> {
     // Order the *reconstructed* membership by ring ID: a node with no
     // valid pointer at `t` (e.g. not yet joined) is not part of the
     // ring we are judging.
@@ -145,6 +222,50 @@ pub fn oscillators_in<H: Population>(
             .filter_map(|r| r.tuple.get(2).and_then(Value::to_addr))
             .collect();
         let flips = succs.windows(2).filter(|w| w[0] != w[1]).count();
+        if flips >= threshold {
+            out.push((addr, flips));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// §3.1.3 from a collector: oscillators found in one deployment-wide
+/// scan of shipped history, grouped back per origin node.
+pub fn oscillators_in_collected<H: Population>(
+    sim: &mut H,
+    collector: &Addr,
+    ring: &ChordRing,
+    t0: Time,
+    t1: Time,
+    threshold: usize,
+) -> Vec<(Addr, usize)> {
+    let now = sim.now();
+    let Ok(rows) = sim
+        .node_mut(collector)
+        .deployment_history_scan("bestSucc", t0, t1, now)
+    else {
+        return Vec::new();
+    };
+    let mut per_node: HashMap<Addr, Vec<(Time, Addr)>> = HashMap::new();
+    for r in &rows {
+        let Some(node) = r.tuple.get(0).and_then(Value::to_addr) else {
+            continue;
+        };
+        if !ring.addrs.contains(&node) {
+            continue;
+        }
+        if let Some(succ) = r.tuple.get(2).and_then(Value::to_addr) {
+            per_node
+                .entry(node)
+                .or_default()
+                .push((r.inserted_at, succ));
+        }
+    }
+    let mut out = Vec::new();
+    for (addr, mut versions) in per_node {
+        versions.sort_by_key(|(at, _)| *at);
+        let flips = versions.windows(2).filter(|w| w[0].1 != w[1].1).count();
         if flips >= threshold {
             out.push((addr, flips));
         }
@@ -221,6 +342,46 @@ mod tests {
         assert!(
             osc.iter().any(|(a, _)| *a == victim),
             "victim oscillated: {osc:?}"
+        );
+    }
+
+    #[test]
+    fn collector_answers_identically_to_per_node_walks() {
+        // Subscribe a collector to every ring member; after the GC
+        // sweeps have streamed each member's history across, the
+        // deployment-wide detectors must agree with walking each
+        // origin's own archive (DESIGN.md §2.12 determinism contract).
+        let mut sim = forensic_sim(24);
+        let ring = build_ring(&mut sim, 4, &ChordConfig::default());
+        let collector = sim.add_node("collector");
+        for addr in ring.addrs.clone() {
+            sim.node_mut(&addr).ship_subscribe(collector.clone());
+        }
+        // 181s: the 180s GC sweep's announce chunks land within the run.
+        sim.run_for(TimeDelta::from_secs(181));
+        for addr in &ring.addrs {
+            assert!(
+                sim.node(&collector).ship_covered(addr, "bestSucc"),
+                "collector must have imported {addr}'s bestSucc history"
+            );
+        }
+        let probe = Time::from_secs(120);
+        assert_eq!(
+            ring_at(&mut sim, &ring, probe),
+            ring_at_collected(&mut sim, &collector, &ring, probe),
+            "collected reconstruction must match per-node walks"
+        );
+        assert_eq!(
+            ring_was_well_formed_at(&mut sim, &ring, probe),
+            ring_was_well_formed_at_collected(&mut sim, &collector, &ring, probe)
+        );
+        assert_eq!(
+            ordering_violations_at(&mut sim, &ring, probe),
+            ordering_violations_at_collected(&mut sim, &collector, &ring, probe)
+        );
+        assert_eq!(
+            oscillators_in(&mut sim, &ring, Time::from_secs(30), probe, 1),
+            oscillators_in_collected(&mut sim, &collector, &ring, Time::from_secs(30), probe, 1)
         );
     }
 

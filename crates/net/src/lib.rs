@@ -21,12 +21,14 @@
 //! integration tests run small overlays on each.
 
 pub mod envelope;
+pub mod ship;
 pub mod sim;
 pub mod threaded;
 pub mod udp;
 pub mod wire;
 
 pub use envelope::Envelope;
+pub use ship::{ShipError, ShipMsg, SHIP_RELATION};
 pub use sim::{NetStats, SimConfig, SimNetwork, Stamp, StampedEnvelope};
 pub use threaded::ThreadedHub;
 pub use udp::{UdpRecv, UdpTransport};

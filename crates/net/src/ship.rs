@@ -1,0 +1,700 @@
+//! Wire messages for cross-node archive shipping (DESIGN.md §2.12).
+//!
+//! Distributed forensics moves **sealed segment frames** — the
+//! immutable `P2AR` byte frames of `p2-store`'s archive tier — between
+//! nodes: a coordinator *pulls* a peer's history for one relation
+//! (`SegmentRequest` → chunked `SegmentReply`), and origins *push*
+//! sealed history to enrolled collectors (`SegmentAnnounce`). This
+//! module defines only the message codec and the chunking/reassembly
+//! machinery; the store stays ignorant of transport and the net layer
+//! stays ignorant of segment contents (frames ride through here as
+//! opaque bytes — `p2-core` validates them against the segment codec
+//! on arrival).
+//!
+//! Ship messages travel **inside ordinary envelopes** as tuples of the
+//! reserved relation [`SHIP_RELATION`], so they share the simulated
+//! network's per-link FIFO clamp, loss/jitter model, and message
+//! accounting with every other tuple — no second transport, and the
+//! determinism argument for the sharded harness carries over verbatim.
+//!
+//! Hostile input never panics: every decode path returns a typed
+//! [`ShipError`].
+
+use crate::wire::{decode_value_from, encode_value_into, WireError};
+use p2_types::{Addr, Time, Tuple, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Reserved relation name carrying ship messages through envelopes.
+/// `p2-core` intercepts it on delivery, before tracing — ship frames
+/// never appear in traces or tables.
+pub const SHIP_RELATION: &str = "sysShip";
+
+/// One archive-shipping protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShipMsg {
+    /// "Send me your complete history of `relation`." The window is
+    /// advisory (the origin ships its full visible history so the
+    /// importer can serve later windows too); `req_id` correlates the
+    /// chunked reply and is unique per requesting node.
+    Request {
+        /// Correlation id, unique per requester.
+        req_id: u64,
+        /// The relation asked about.
+        relation: String,
+        /// Window lower bound the requester cares about.
+        t0: Time,
+        /// Window upper bound.
+        t1: Time,
+    },
+    /// One chunk of the requested history: `chunk` of `chunks` slices
+    /// of an encoded segment-frame batch (see [`encode_batch`]). An
+    /// empty single-chunk reply means "I archive, but hold no history
+    /// of that relation" — a *covered* answer, distinct from silence.
+    Reply {
+        /// Correlation id echoed from the request.
+        req_id: u64,
+        /// The relation shipped.
+        relation: String,
+        /// Zero-based chunk index.
+        chunk: u32,
+        /// Total chunks in this reply.
+        chunks: u32,
+        /// This chunk's slice of the encoded batch.
+        bytes: Vec<u8>,
+    },
+    /// Subscribe-mode push: one chunk of a complete history snapshot
+    /// for `relation`, streamed to an enrolled collector. `gen` is the
+    /// origin's monotonically increasing snapshot generation for the
+    /// relation; a collector applies a snapshot only when every chunk
+    /// of the generation has arrived and the generation is newer than
+    /// what it holds.
+    Announce {
+        /// Origin's snapshot generation (monotone per relation).
+        gen: u64,
+        /// The relation shipped.
+        relation: String,
+        /// Zero-based chunk index.
+        chunk: u32,
+        /// Total chunks in this snapshot.
+        chunks: u32,
+        /// This chunk's slice of the encoded batch.
+        bytes: Vec<u8>,
+    },
+    /// "I cannot serve that request" — archiving disabled at the
+    /// origin, typically. Lets the requester distinguish a peer that
+    /// answered "no history available" from one that never answered.
+    Nack {
+        /// Correlation id echoed from the request.
+        req_id: u64,
+        /// The relation asked about.
+        relation: String,
+        /// Human-readable refusal reason (also lands in `sysDiag`).
+        reason: String,
+    },
+}
+
+/// Typed ship-codec errors. Mirrors [`WireError`]'s philosophy: every
+/// malformed frame maps onto one of these, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShipError {
+    /// A value failed to decode.
+    Wire(WireError),
+    /// Unknown message tag byte.
+    BadTag(u8),
+    /// A field held a value of the wrong type.
+    BadField(&'static str),
+    /// Input ended mid-frame.
+    Truncated,
+    /// Bytes remained after the message was decoded.
+    TrailingBytes(usize),
+    /// A chunk index was out of range, or chunk counts disagreed
+    /// across one reassembly.
+    BadChunk {
+        /// The offending zero-based chunk index.
+        chunk: u32,
+        /// The total the frame claimed.
+        chunks: u32,
+    },
+}
+
+impl From<WireError> for ShipError {
+    fn from(e: WireError) -> ShipError {
+        ShipError::Wire(e)
+    }
+}
+
+impl fmt::Display for ShipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShipError::Wire(e) => write!(f, "ship value: {e}"),
+            ShipError::BadTag(t) => write!(f, "unknown ship message tag {t:#x}"),
+            ShipError::BadField(what) => write!(f, "ship field '{what}' has wrong type"),
+            ShipError::Truncated => write!(f, "ship message truncated"),
+            ShipError::TrailingBytes(n) => write!(f, "{n} trailing bytes after ship message"),
+            ShipError::BadChunk { chunk, chunks } => {
+                write!(f, "bad chunk {chunk} of {chunks}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShipError {}
+
+const TAG_REQUEST: u8 = 1;
+const TAG_REPLY: u8 = 2;
+const TAG_ANNOUNCE: u8 = 3;
+const TAG_NACK: u8 = 4;
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn take_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, ShipError> {
+    if *pos + 4 > buf.len() {
+        return Err(ShipError::Truncated);
+    }
+    let n = u32::from_le_bytes(
+        buf[*pos..*pos + 4]
+            .try_into()
+            .map_err(|_| ShipError::Truncated)?,
+    ) as usize;
+    *pos += 4;
+    if *pos + n > buf.len() {
+        return Err(ShipError::Truncated);
+    }
+    let out = buf[*pos..*pos + n].to_vec();
+    *pos += n;
+    Ok(out)
+}
+
+// Correlation ids and generations are full u64s; they ride the Int
+// value as a lossless two's-complement cast, so any Int is acceptable.
+fn get_u64(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, ShipError> {
+    match decode_value_from(buf, pos)? {
+        Value::Int(n) => Ok(n as u64),
+        _ => Err(ShipError::BadField(what)),
+    }
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u32, ShipError> {
+    match decode_value_from(buf, pos)? {
+        Value::Int(n) if n >= 0 => u32::try_from(n as u64).map_err(|_| ShipError::BadField(what)),
+        _ => Err(ShipError::BadField(what)),
+    }
+}
+
+fn get_str(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<String, ShipError> {
+    match decode_value_from(buf, pos)? {
+        Value::Str(s) => Ok(s.to_string()),
+        _ => Err(ShipError::BadField(what)),
+    }
+}
+
+fn get_time(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<Time, ShipError> {
+    match decode_value_from(buf, pos)? {
+        Value::Time(t) => Ok(t),
+        _ => Err(ShipError::BadField(what)),
+    }
+}
+
+impl ShipMsg {
+    /// Encode to the tag-byte + wire-value frame format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            ShipMsg::Request {
+                req_id,
+                relation,
+                t0,
+                t1,
+            } => {
+                out.push(TAG_REQUEST);
+                encode_value_into(&mut out, &Value::Int(*req_id as i64));
+                encode_value_into(&mut out, &Value::str(relation));
+                encode_value_into(&mut out, &Value::Time(*t0));
+                encode_value_into(&mut out, &Value::Time(*t1));
+            }
+            ShipMsg::Reply {
+                req_id,
+                relation,
+                chunk,
+                chunks,
+                bytes,
+            } => {
+                out.push(TAG_REPLY);
+                encode_value_into(&mut out, &Value::Int(*req_id as i64));
+                encode_value_into(&mut out, &Value::str(relation));
+                encode_value_into(&mut out, &Value::Int(*chunk as i64));
+                encode_value_into(&mut out, &Value::Int(*chunks as i64));
+                put_bytes(&mut out, bytes);
+            }
+            ShipMsg::Announce {
+                gen,
+                relation,
+                chunk,
+                chunks,
+                bytes,
+            } => {
+                out.push(TAG_ANNOUNCE);
+                encode_value_into(&mut out, &Value::Int(*gen as i64));
+                encode_value_into(&mut out, &Value::str(relation));
+                encode_value_into(&mut out, &Value::Int(*chunk as i64));
+                encode_value_into(&mut out, &Value::Int(*chunks as i64));
+                put_bytes(&mut out, bytes);
+            }
+            ShipMsg::Nack {
+                req_id,
+                relation,
+                reason,
+            } => {
+                out.push(TAG_NACK);
+                encode_value_into(&mut out, &Value::Int(*req_id as i64));
+                encode_value_into(&mut out, &Value::str(relation));
+                encode_value_into(&mut out, &Value::str(reason));
+            }
+        }
+        out
+    }
+
+    /// Decode a frame, validating every byte (chunk bounds included).
+    pub fn decode(buf: &[u8]) -> Result<ShipMsg, ShipError> {
+        let Some(&tag) = buf.first() else {
+            return Err(ShipError::Truncated);
+        };
+        let mut pos = 1;
+        let msg = match tag {
+            TAG_REQUEST => ShipMsg::Request {
+                req_id: get_u64(buf, &mut pos, "req_id")?,
+                relation: get_str(buf, &mut pos, "relation")?,
+                t0: get_time(buf, &mut pos, "t0")?,
+                t1: get_time(buf, &mut pos, "t1")?,
+            },
+            TAG_REPLY => {
+                let req_id = get_u64(buf, &mut pos, "req_id")?;
+                let relation = get_str(buf, &mut pos, "relation")?;
+                let chunk = get_u32(buf, &mut pos, "chunk")?;
+                let chunks = get_u32(buf, &mut pos, "chunks")?;
+                if chunks == 0 || chunk >= chunks {
+                    return Err(ShipError::BadChunk { chunk, chunks });
+                }
+                ShipMsg::Reply {
+                    req_id,
+                    relation,
+                    chunk,
+                    chunks,
+                    bytes: take_bytes(buf, &mut pos)?,
+                }
+            }
+            TAG_ANNOUNCE => {
+                let gen = get_u64(buf, &mut pos, "gen")?;
+                let relation = get_str(buf, &mut pos, "relation")?;
+                let chunk = get_u32(buf, &mut pos, "chunk")?;
+                let chunks = get_u32(buf, &mut pos, "chunks")?;
+                if chunks == 0 || chunk >= chunks {
+                    return Err(ShipError::BadChunk { chunk, chunks });
+                }
+                ShipMsg::Announce {
+                    gen,
+                    relation,
+                    chunk,
+                    chunks,
+                    bytes: take_bytes(buf, &mut pos)?,
+                }
+            }
+            TAG_NACK => ShipMsg::Nack {
+                req_id: get_u64(buf, &mut pos, "req_id")?,
+                relation: get_str(buf, &mut pos, "relation")?,
+                reason: get_str(buf, &mut pos, "reason")?,
+            },
+            t => return Err(ShipError::BadTag(t)),
+        };
+        if pos != buf.len() {
+            return Err(ShipError::TrailingBytes(buf.len() - pos));
+        }
+        Ok(msg)
+    }
+
+    /// Wrap for transport: one tuple of the reserved [`SHIP_RELATION`],
+    /// shaped `sysShip(dst, hex-frame)` so it routes like any located
+    /// tuple. Hex keeps the payload inside the codec's UTF-8 strings.
+    pub fn to_tuple(&self, dst: &Addr) -> Tuple {
+        Tuple::new(
+            SHIP_RELATION,
+            [
+                Value::Addr(dst.clone()),
+                Value::str(hex_encode(&self.encode())),
+            ],
+        )
+    }
+
+    /// Unwrap a carrier tuple produced by [`ShipMsg::to_tuple`].
+    pub fn from_tuple(tuple: &Tuple) -> Result<ShipMsg, ShipError> {
+        if tuple.name() != SHIP_RELATION {
+            return Err(ShipError::BadField("relation_name"));
+        }
+        let Some(Value::Str(payload)) = tuple.get(1) else {
+            return Err(ShipError::BadField("payload"));
+        };
+        let bytes = hex_decode(payload).ok_or(ShipError::BadField("payload_hex"))?;
+        ShipMsg::decode(&bytes)
+    }
+}
+
+/// Encode a batch of frames (each an opaque byte string, in practice
+/// encoded segments) as one payload: count, then per frame a length
+/// prefix and the bytes. Little-endian u32s, like the value codec.
+pub fn encode_batch(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + frames.iter().map(|f| 4 + f.len()).sum::<usize>());
+    out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+    for f in frames {
+        put_bytes(&mut out, f);
+    }
+    out
+}
+
+/// Decode a batch payload back into its frames.
+pub fn decode_batch(buf: &[u8]) -> Result<Vec<Vec<u8>>, ShipError> {
+    let mut pos = 0;
+    if buf.len() < 4 {
+        return Err(ShipError::Truncated);
+    }
+    let count =
+        u32::from_le_bytes(buf[0..4].try_into().map_err(|_| ShipError::Truncated)?) as usize;
+    pos += 4;
+    // Every frame costs at least its 4-byte length prefix.
+    if count > buf.len() {
+        return Err(ShipError::Truncated);
+    }
+    let mut frames = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        frames.push(take_bytes(buf, &mut pos)?);
+    }
+    if pos != buf.len() {
+        return Err(ShipError::TrailingBytes(buf.len() - pos));
+    }
+    Ok(frames)
+}
+
+/// Slice a payload into `ceil(len / chunk_bytes)` chunks (at least
+/// one: the empty payload ships as a single empty chunk, which is how
+/// "I have no history" stays distinguishable from silence).
+pub fn chunk_payload(payload: &[u8], chunk_bytes: usize) -> Vec<Vec<u8>> {
+    let size = chunk_bytes.max(1);
+    if payload.is_empty() {
+        return vec![Vec::new()];
+    }
+    payload.chunks(size).map(|c| c.to_vec()).collect()
+}
+
+/// Reassembles one chunked shipment. Chunks may arrive in any order;
+/// duplicates overwrite idempotently. Returns the whole payload once
+/// every index is present.
+#[derive(Debug, Default)]
+pub struct Reassembly {
+    chunks: BTreeMap<u32, Vec<u8>>,
+    total: Option<u32>,
+}
+
+impl Reassembly {
+    /// Fresh, empty reassembly buffer.
+    pub fn new() -> Reassembly {
+        Reassembly::default()
+    }
+
+    /// Offer one chunk. `Ok(Some(payload))` when complete, `Ok(None)`
+    /// while chunks are missing, `Err` if the frame disagrees with the
+    /// shipment's established chunk count or index range.
+    pub fn offer(
+        &mut self,
+        chunk: u32,
+        chunks: u32,
+        bytes: Vec<u8>,
+    ) -> Result<Option<Vec<u8>>, ShipError> {
+        if chunks == 0 || chunk >= chunks {
+            return Err(ShipError::BadChunk { chunk, chunks });
+        }
+        match self.total {
+            Some(t) if t != chunks => {
+                return Err(ShipError::BadChunk { chunk, chunks });
+            }
+            None => self.total = Some(chunks),
+            _ => {}
+        }
+        self.chunks.insert(chunk, bytes);
+        if self.chunks.len() as u32 == chunks {
+            let mut out = Vec::new();
+            for (_, part) in std::mem::take(&mut self.chunks) {
+                out.extend_from_slice(&part);
+            }
+            self.total = None;
+            Ok(Some(out))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0xF) as usize] as char);
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    let b = s.as_bytes();
+    if !b.len().is_multiple_of(2) {
+        return None;
+    }
+    let nib = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            _ => None,
+        }
+    };
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for pair in b.chunks(2) {
+        out.push((nib(pair[0])? << 4) | nib(pair[1])?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_msgs() -> Vec<ShipMsg> {
+        vec![
+            ShipMsg::Request {
+                req_id: 7,
+                relation: "bestSucc".into(),
+                t0: Time::from_secs(10),
+                t1: Time::from_secs(99),
+            },
+            ShipMsg::Reply {
+                req_id: 7,
+                relation: "bestSucc".into(),
+                chunk: 1,
+                chunks: 3,
+                bytes: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            },
+            ShipMsg::Announce {
+                gen: 42,
+                relation: "ruleExec".into(),
+                chunk: 0,
+                chunks: 1,
+                bytes: Vec::new(),
+            },
+            ShipMsg::Nack {
+                req_id: 9,
+                relation: "seen".into(),
+                reason: "archiving disabled".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        for msg in sample_msgs() {
+            let enc = msg.encode();
+            assert_eq!(ShipMsg::decode(&enc).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn tuple_carrier_round_trips() {
+        let dst = Addr::new("collector:1");
+        for msg in sample_msgs() {
+            let t = msg.to_tuple(&dst);
+            assert_eq!(t.name(), SHIP_RELATION);
+            assert_eq!(t.get(0), Some(&Value::Addr(dst.clone())));
+            assert_eq!(ShipMsg::from_tuple(&t).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncation_is_error_not_panic() {
+        for msg in sample_msgs() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    ShipMsg::decode(&bytes[..cut]).is_err(),
+                    "decoding a {cut}-byte prefix of {msg:?} must fail cleanly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_trailing_bytes_are_typed() {
+        let mut bytes = sample_msgs()[0].encode();
+        bytes[0] = 0x7F;
+        assert_eq!(ShipMsg::decode(&bytes), Err(ShipError::BadTag(0x7F)));
+        let mut bytes = sample_msgs()[0].encode();
+        bytes.push(0);
+        assert_eq!(ShipMsg::decode(&bytes), Err(ShipError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn zero_or_out_of_range_chunks_rejected() {
+        let msg = ShipMsg::Reply {
+            req_id: 1,
+            relation: "r".into(),
+            chunk: 0,
+            chunks: 1,
+            bytes: vec![1],
+        };
+        let ok = msg.encode();
+        assert!(ShipMsg::decode(&ok).is_ok());
+        let bad = ShipMsg::Reply {
+            req_id: 1,
+            relation: "r".into(),
+            chunk: 5,
+            chunks: 2,
+            bytes: vec![1],
+        }
+        .encode();
+        assert!(matches!(
+            ShipMsg::decode(&bad),
+            Err(ShipError::BadChunk { .. })
+        ));
+    }
+
+    #[test]
+    fn chunk_and_reassemble_identity() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let chunks = chunk_payload(&payload, 999);
+        assert_eq!(chunks.len(), 11);
+        let total = chunks.len() as u32;
+        let mut r = Reassembly::new();
+        // Deliver out of order.
+        let mut got = None;
+        for (i, c) in chunks.into_iter().enumerate().rev() {
+            got = r.offer(i as u32, total, c).unwrap();
+        }
+        assert_eq!(got.unwrap(), payload);
+    }
+
+    #[test]
+    fn empty_payload_ships_as_one_chunk() {
+        let chunks = chunk_payload(&[], 1024);
+        assert_eq!(chunks, vec![Vec::<u8>::new()]);
+        let mut r = Reassembly::new();
+        assert_eq!(r.offer(0, 1, Vec::new()).unwrap(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn reassembly_rejects_disagreeing_totals() {
+        let mut r = Reassembly::new();
+        r.offer(0, 3, vec![1]).unwrap();
+        assert!(matches!(
+            r.offer(1, 4, vec![2]),
+            Err(ShipError::BadChunk { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let frames = vec![vec![1u8, 2, 3], Vec::new(), vec![0xFF; 300]];
+        let enc = encode_batch(&frames);
+        assert_eq!(decode_batch(&enc).unwrap(), frames);
+        assert_eq!(
+            decode_batch(&encode_batch(&[])).unwrap(),
+            Vec::<Vec<u8>>::new()
+        );
+    }
+
+    proptest! {
+        /// Arbitrary well-formed messages round-trip exactly.
+        #[test]
+        fn prop_ship_round_trip(
+            req_id in any::<u64>(),
+            relation in "[a-zA-Z][a-zA-Z0-9]{0,16}",
+            t0 in any::<u64>(),
+            t1 in any::<u64>(),
+            chunk in 0u32..8,
+            extra in 0u32..8,
+            bytes in proptest::collection::vec(any::<u8>(), 0..512),
+            reason in "[ -~]{0,40}",
+            which in 0usize..4,
+        ) {
+            let msg = match which {
+                0 => ShipMsg::Request { req_id, relation, t0: Time(t0), t1: Time(t1) },
+                1 => ShipMsg::Reply {
+                    req_id, relation, chunk, chunks: chunk + extra + 1, bytes,
+                },
+                2 => ShipMsg::Announce {
+                    gen: req_id, relation, chunk, chunks: chunk + extra + 1, bytes,
+                },
+                _ => ShipMsg::Nack { req_id, relation, reason },
+            };
+            prop_assert_eq!(ShipMsg::decode(&msg.encode()).unwrap(), msg.clone());
+            let dst = Addr::new("n1");
+            prop_assert_eq!(ShipMsg::from_tuple(&msg.to_tuple(&dst)).unwrap(), msg);
+        }
+
+        /// No byte soup panics the decoder.
+        #[test]
+        fn prop_no_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = ShipMsg::decode(&bytes);
+            let _ = decode_batch(&bytes);
+        }
+
+        /// Single-byte corruption of a valid frame either still decodes
+        /// (the flip hit payload bytes) or fails with a typed error —
+        /// never a panic.
+        #[test]
+        fn prop_bit_flips_never_panic(
+            seed in any::<u64>(),
+            pos in any::<u64>(),
+            flip in 1u8..255,
+        ) {
+            let msg = ShipMsg::Reply {
+                req_id: seed,
+                relation: "bestSucc".into(),
+                chunk: 0,
+                chunks: 1,
+                bytes: seed.to_le_bytes().to_vec(),
+            };
+            let mut bytes = msg.encode();
+            let idx = (pos % bytes.len() as u64) as usize;
+            bytes[idx] ^= flip;
+            let _ = ShipMsg::decode(&bytes);
+        }
+
+        /// Chunking then reassembling (any delivery order) is identity.
+        #[test]
+        fn prop_chunk_reassemble_identity(
+            payload in proptest::collection::vec(any::<u8>(), 0..4096),
+            chunk_bytes in 1usize..700,
+        ) {
+            let chunks = chunk_payload(&payload, chunk_bytes);
+            let total = chunks.len() as u32;
+            let mut r = Reassembly::new();
+            let mut done = None;
+            for (i, c) in chunks.into_iter().enumerate().rev() {
+                prop_assert!(done.is_none());
+                done = r.offer(i as u32, total, c).unwrap();
+            }
+            prop_assert_eq!(done.unwrap(), payload);
+        }
+
+        /// Batch framing round-trips arbitrary frame sets.
+        #[test]
+        fn prop_batch_round_trip(
+            frames in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..128),
+                0..12,
+            ),
+        ) {
+            prop_assert_eq!(decode_batch(&encode_batch(&frames)).unwrap(), frames);
+        }
+    }
+}

@@ -220,7 +220,7 @@ pub fn compile_program_with(
             if optimize {
                 schedule_ops(&mut ir);
             }
-            let mut strand = lower_strand(&ir, rule)?;
+            let mut strand = lower_strand(&ir, rule, opts)?;
             if optimize {
                 fold_strand(&mut strand, &mut out.diagnostics);
             }
@@ -333,7 +333,7 @@ impl Slots {
 ///
 /// Slot allocation is deterministic in the op order, which is what lets
 /// shared-prefix members agree on the prefix's slot numbering.
-fn lower_strand(ir: &StrandIr, rule: &Rule) -> Result<Strand, PlanError> {
+fn lower_strand(ir: &StrandIr, rule: &Rule, opts: &PlanOpts) -> Result<Strand, PlanError> {
     let label = &ir.rule_label;
     let mut slots = Slots::new();
 
@@ -383,7 +383,7 @@ fn lower_strand(ir: &StrandIr, rule: &Rule) -> Result<Strand, PlanError> {
                 });
             }
             IrOp::Past(p) => {
-                ops.push(lower_past(p, &mut slots, label)?);
+                ops.push(lower_past(p, &mut slots, label, opts.history)?);
             }
             IrOp::Select(e) => {
                 ops.push(Op::Select(slots.compile(label, e)?));
@@ -453,7 +453,12 @@ fn lower_strand(ir: &StrandIr, rule: &Rule) -> Result<Strand, PlanError> {
 /// bound variables, or expressions over bound variables), and args 4..
 /// match against the archived tuple's own fields — location first,
 /// exactly as the relation's live rows are shaped.
-fn lower_past(p: &Predicate, slots: &mut Slots, rule: &str) -> Result<Op, PlanError> {
+fn lower_past(
+    p: &Predicate,
+    slots: &mut Slots,
+    rule: &str,
+    provider: HistoryProvider,
+) -> Result<Op, PlanError> {
     let bad = |message: String| PlanError::BadPast {
         rule: rule.to_string(),
         message,
@@ -511,6 +516,7 @@ fn lower_past(p: &Predicate, slots: &mut Slots, rule: &str) -> Result<Op, PlanEr
         t0,
         t1,
         match_spec: MatchSpec { fields },
+        provider,
     })
 }
 
@@ -932,7 +938,9 @@ mod tests {
                 t0,
                 t1,
                 match_spec,
+                provider,
             } => {
+                assert_eq!(*provider, HistoryProvider::Local);
                 assert_eq!(table, "succ");
                 assert!(matches!(t0, PExpr::Slot(_)));
                 assert!(matches!(t1, PExpr::Slot(_)));

@@ -33,7 +33,16 @@ use std::fmt;
 /// Leading bytes of every encoded segment.
 pub const SEGMENT_MAGIC: [u8; 4] = *b"P2AR";
 /// Format version byte (bumped on incompatible layout changes).
-pub const SEGMENT_VERSION: u8 = 1;
+/// Version 2 added the per-column min/max summary used for equality
+/// pruning.
+pub const SEGMENT_VERSION: u8 = 2;
+
+/// Drop-time sentinel marking a row that was **still live** when its
+/// segment frame was built. Export uses it so a shipped history covers
+/// live rows too; import maps it back onto an open validity interval.
+/// `u64::MAX` microseconds is ~585 millennia of virtual time — no real
+/// expiry deadline reaches it.
+pub const LIVE_SENTINEL: Time = Time(u64::MAX);
 
 /// Archive tuning knobs (per node; see `NodeConfig`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +57,11 @@ pub struct ArchiveConfig {
     /// Adjacent sealed segments both smaller than this are merged, so
     /// sparse relations don't fragment into per-epoch crumbs.
     pub compact_min_bytes: usize,
+    /// Age-based retention: sealed segments whose newest drop epoch
+    /// trails the relation's newest sealed epoch by more than this many
+    /// epochs are dropped, independent of the byte budget. `None`
+    /// disables age retention (the default).
+    pub max_age_epochs: Option<u64>,
 }
 
 impl Default for ArchiveConfig {
@@ -56,6 +70,7 @@ impl Default for ArchiveConfig {
             epoch: TimeDelta::from_secs(30),
             retention_bytes: 1 << 20,
             compact_min_bytes: 1024,
+            max_age_epochs: None,
         }
     }
 }
@@ -139,8 +154,10 @@ fn expect_str(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<String,
 }
 
 fn expect_u64(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, SegmentError> {
+    // Two's-complement cast: the encoder writes `u64 as i64`, so this
+    // round-trips the whole range (the live frame's epoch is u64::MAX).
     match get_val(buf, pos)? {
-        Value::Int(n) if n >= 0 => Ok(n as u64),
+        Value::Int(n) => Ok(n as u64),
         _ => Err(SegmentError::BadField(what)),
     }
 }
@@ -157,8 +174,9 @@ fn expect_time(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<Time, 
 /// The segment *is* its encoded byte frame; the parsed header fields
 /// are cached beside it so range pruning never touches the body.
 /// Frame layout: [`SEGMENT_MAGIC`], [`SEGMENT_VERSION`], then wire
-/// values — relation name, epoch range, row count, interval bounds —
-/// then per row its validity interval, arity, and values.
+/// values — relation name, epoch range, row count, interval bounds,
+/// column summary (count, then per-column min/max) — then per row its
+/// validity interval, arity, and values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Segment {
     relation: String,
@@ -167,6 +185,12 @@ pub struct Segment {
     row_count: u64,
     min_inserted: Time,
     max_dropped: Time,
+    /// Per-column minimum over the first `col_min.len()` fields shared
+    /// by every row (`Value` is totally ordered). Equality predicates
+    /// outside `[col_min[i], col_max[i]]` cannot match any row, so the
+    /// body never gets decoded.
+    col_min: Vec<Value>,
+    col_max: Vec<Value>,
     bytes: Vec<u8>,
 }
 
@@ -184,6 +208,33 @@ impl Segment {
             .map(|r| r.dropped_at)
             .max()
             .unwrap_or(Time::ZERO);
+        // Column summary over the arity prefix every row shares (trace
+        // relations can in principle vary arity; the common prefix is
+        // what an equality predicate can safely be tested against).
+        let ncols = rows.iter().map(|r| r.tuple.arity()).min().unwrap_or(0);
+        let mut col_min: Vec<Value> = Vec::with_capacity(ncols);
+        let mut col_max: Vec<Value> = Vec::with_capacity(ncols);
+        for i in 0..ncols {
+            let mut lo: Option<&Value> = None;
+            let mut hi: Option<&Value> = None;
+            for row in rows {
+                if let Some(v) = row.tuple.get(i) {
+                    if lo.map(|l| v < l).unwrap_or(true) {
+                        lo = Some(v);
+                    }
+                    if hi.map(|h| v > h).unwrap_or(true) {
+                        hi = Some(v);
+                    }
+                }
+            }
+            match (lo, hi) {
+                (Some(l), Some(h)) => {
+                    col_min.push(l.clone());
+                    col_max.push(h.clone());
+                }
+                _ => break,
+            }
+        }
         let mut out = Vec::with_capacity(64 + rows.len() * 32);
         out.extend_from_slice(&SEGMENT_MAGIC);
         out.push(SEGMENT_VERSION);
@@ -193,6 +244,11 @@ impl Segment {
         encode_value_into(&mut out, &Value::Int(rows.len() as i64));
         encode_value_into(&mut out, &Value::Time(min_inserted));
         encode_value_into(&mut out, &Value::Time(max_dropped));
+        encode_value_into(&mut out, &Value::Int(col_min.len() as i64));
+        for (lo, hi) in col_min.iter().zip(&col_max) {
+            encode_value_into(&mut out, lo);
+            encode_value_into(&mut out, hi);
+        }
         for row in rows {
             encode_value_into(&mut out, &Value::Time(row.inserted_at));
             encode_value_into(&mut out, &Value::Time(row.dropped_at));
@@ -208,6 +264,8 @@ impl Segment {
             row_count: rows.len() as u64,
             min_inserted,
             max_dropped,
+            col_min,
+            col_max,
             bytes: out,
         }
     }
@@ -249,6 +307,16 @@ impl Segment {
         }
         let min_inserted = expect_time(buf, &mut pos, "min_inserted")?;
         let max_dropped = expect_time(buf, &mut pos, "max_dropped")?;
+        let ncols = expect_u64(buf, &mut pos, "col_count")?;
+        if ncols > buf.len() as u64 {
+            return Err(SegmentError::Wire(WireError::Truncated));
+        }
+        let mut col_min = Vec::with_capacity(ncols as usize);
+        let mut col_max = Vec::with_capacity(ncols as usize);
+        for _ in 0..ncols {
+            col_min.push(get_val(buf, &mut pos)?);
+            col_max.push(get_val(buf, &mut pos)?);
+        }
         let mut rows = Vec::with_capacity(if want_rows { row_count as usize } else { 0 });
         for _ in 0..row_count {
             let inserted_at = expect_time(buf, &mut pos, "inserted_at")?;
@@ -280,6 +348,8 @@ impl Segment {
                 row_count,
                 min_inserted,
                 max_dropped,
+                col_min,
+                col_max,
                 bytes: Vec::new(),
             },
             rows,
@@ -316,6 +386,21 @@ impl Segment {
         self.max_dropped
     }
 
+    /// `[min, max]` over column `i`, if the summary covers it.
+    pub fn col_range(&self, i: usize) -> Option<(&Value, &Value)> {
+        Some((self.col_min.get(i)?, self.col_max.get(i)?))
+    }
+
+    /// Whether any row could satisfy every equality predicate in `eqs`
+    /// (`(field, value)` pairs), judged from the column summary alone.
+    /// Fields past the summary are conservatively assumed to match.
+    pub fn may_match_eqs(&self, eqs: &[(usize, Value)]) -> bool {
+        eqs.iter().all(|(i, v)| match self.col_range(*i) {
+            Some((lo, hi)) => v >= lo && v <= hi,
+            None => true,
+        })
+    }
+
     /// Encoded size in bytes (what the retention budget counts).
     pub fn len_bytes(&self) -> usize {
         self.bytes.len()
@@ -347,6 +432,11 @@ pub struct ArchiveStats {
     pub dropped_segments: u64,
     /// Compaction merges performed.
     pub compactions: u64,
+    /// Segments skipped without body decode during scans (header time
+    /// range or column-summary equality miss).
+    pub pruned_segments: u64,
+    /// Segments dropped by age retention (`max_age_epochs`).
+    pub age_dropped_segments: u64,
 }
 
 #[derive(Debug, Default)]
@@ -359,12 +449,15 @@ struct RelationArchive {
     scan_hits: u64,
     dropped_segments: u64,
     compactions: u64,
+    pruned_segments: u64,
+    age_dropped_segments: u64,
 }
 
-fn seal_open(relation: &str, ra: &mut RelationArchive, retention: usize, compact_min: usize) {
+fn seal_open(relation: &str, ra: &mut RelationArchive, config: &ArchiveConfig) {
     if ra.open.is_empty() {
         return;
     }
+    let compact_min = config.compact_min_bytes;
     let seg = Segment::build(relation, ra.open_epoch, ra.open_epoch, &ra.open);
     ra.open.clear();
     ra.sealed.push_back(seg);
@@ -398,12 +491,33 @@ fn seal_open(relation: &str, ra: &mut RelationArchive, retention: usize, compact
     }
     // Retention: oldest segments go first; the newest always stays.
     let mut total: usize = ra.sealed.iter().map(Segment::len_bytes).sum();
-    while total > retention && ra.sealed.len() > 1 {
+    while total > config.retention_bytes && ra.sealed.len() > 1 {
         if let Some(seg) = ra.sealed.pop_front() {
             total -= seg.len_bytes();
             ra.dropped_segments += 1;
         }
     }
+    // Age retention: measured in epochs behind the newest sealed drop
+    // epoch, so it is a pure function of the spill stream (no wall
+    // clock involved). The newest segment always stays.
+    if let Some(max_age) = config.max_age_epochs {
+        let newest = ra.sealed.back().map(Segment::epoch_hi).unwrap_or(0);
+        while ra.sealed.len() > 1 {
+            let Some(front) = ra.sealed.front() else {
+                break;
+            };
+            if front.epoch_hi().saturating_add(max_age) >= newest {
+                break;
+            }
+            ra.sealed.pop_front();
+            ra.age_dropped_segments += 1;
+        }
+    }
+}
+
+/// Whether `tuple` satisfies every `(field, value)` equality predicate.
+fn eqs_match(tuple: &Tuple, eqs: &[(usize, Value)]) -> bool {
+    eqs.iter().all(|(i, v)| tuple.get(*i) == Some(v))
 }
 
 /// The per-node frozen tier: one epoch-segmented history per enrolled
@@ -434,13 +548,12 @@ impl Archive {
     /// buffer into a segment and applies compaction and retention.
     pub fn spill(&mut self, relation: &str, rows: impl IntoIterator<Item = SpilledRow>) {
         let epoch_len = self.config.epoch.0.max(1);
-        let retention = self.config.retention_bytes;
-        let compact_min = self.config.compact_min_bytes;
+        let config = self.config;
         let ra = self.relations.entry(relation.to_string()).or_default();
         for row in rows {
             let epoch = row.dropped_at.0 / epoch_len;
             if !ra.open.is_empty() && epoch > ra.open_epoch {
-                seal_open(relation, ra, retention, compact_min);
+                seal_open(relation, ra, &config);
             }
             if ra.open.is_empty() {
                 ra.open_epoch = epoch;
@@ -485,21 +598,23 @@ impl Archive {
     /// Seal every open buffer, freezing all spilled rows into segments.
     /// Forensic readers call this so answers come from segments alone.
     pub fn seal_all(&mut self) {
-        let retention = self.config.retention_bytes;
-        let compact_min = self.config.compact_min_bytes;
+        let config = self.config;
         for (relation, ra) in self.relations.iter_mut() {
-            seal_open(relation, ra, retention, compact_min);
+            seal_open(relation, ra, &config);
         }
     }
 
     /// All archived rows of `relation` whose validity interval
-    /// intersects `[t0, t1]`, in spill order. Segments whose header
-    /// bounds miss the range are pruned without decoding.
+    /// intersects `[t0, t1]` and that satisfy every `(field, value)`
+    /// equality predicate in `eqs`, in spill order. Segments whose
+    /// header bounds miss the time range — or whose per-column summary
+    /// proves no row can satisfy `eqs` — are pruned without decoding.
     pub fn scan_range(
         &mut self,
         relation: &str,
         t0: Time,
         t1: Time,
+        eqs: &[(usize, Value)],
     ) -> Result<Vec<SpilledRow>, SegmentError> {
         let Some(ra) = self.relations.get_mut(relation) else {
             return Ok(Vec::new());
@@ -507,22 +622,45 @@ impl Archive {
         ra.scans += 1;
         let mut out = Vec::new();
         for seg in &ra.sealed {
-            if seg.min_inserted() > t1 || seg.max_dropped() < t0 {
+            if seg.min_inserted() > t1 || seg.max_dropped() < t0 || !seg.may_match_eqs(eqs) {
+                ra.pruned_segments += 1;
                 continue;
             }
             for row in seg.rows()? {
-                if row.inserted_at <= t1 && row.dropped_at >= t0 {
+                if row.inserted_at <= t1 && row.dropped_at >= t0 && eqs_match(&row.tuple, eqs) {
                     out.push(row);
                 }
             }
         }
         for row in &ra.open {
-            if row.inserted_at <= t1 && row.dropped_at >= t0 {
+            if row.inserted_at <= t1 && row.dropped_at >= t0 && eqs_match(&row.tuple, eqs) {
                 out.push(row.clone());
             }
         }
         ra.scan_hits += out.len() as u64;
         Ok(out)
+    }
+
+    /// Snapshot `relation`'s entire archived history as encoded segment
+    /// frames: clones of every sealed segment (oldest first) followed
+    /// by a synthetic segment freezing the open buffer. A **pure read**
+    /// — the relation's own segmentation (and therefore every later
+    /// local scan, compaction, and retention decision) is untouched, so
+    /// exporting never perturbs the origin node's determinism.
+    pub fn export_frames(&self, relation: &str) -> Vec<Segment> {
+        let Some(ra) = self.relations.get(relation) else {
+            return Vec::new();
+        };
+        let mut out: Vec<Segment> = ra.sealed.iter().cloned().collect();
+        if !ra.open.is_empty() {
+            out.push(Segment::build(
+                relation,
+                ra.open_epoch,
+                ra.open_epoch,
+                &ra.open,
+            ));
+        }
+        out
     }
 
     /// Sealed segments of one relation, oldest first.
@@ -549,10 +687,113 @@ impl Archive {
                         scan_hits: ra.scan_hits,
                         dropped_segments: ra.dropped_segments,
                         compactions: ra.compactions,
+                        pruned_segments: ra.pruned_segments,
+                        age_dropped_segments: ra.age_dropped_segments,
                     },
                 )
             })
             .collect()
+    }
+}
+
+/// Shipped history, indexed by origin node: per `(origin, relation)`
+/// the validated segment frames most recently received from that node,
+/// replaced wholesale on every import (each shipment is a complete
+/// snapshot of the origin's history for the relation, so merging would
+/// only duplicate rows). `BTreeMap` keys give scans a deterministic
+/// origin order independent of arrival order.
+#[derive(Debug, Default)]
+pub struct ImportedHistory {
+    by_origin: BTreeMap<String, BTreeMap<String, Vec<Segment>>>,
+}
+
+impl ImportedHistory {
+    /// Replace the history held for `(origin, relation)`.
+    pub fn replace(&mut self, origin: &str, relation: &str, segments: Vec<Segment>) {
+        self.by_origin
+            .entry(origin.to_string())
+            .or_default()
+            .insert(relation.to_string(), segments);
+    }
+
+    /// Whether any import (possibly empty) has been recorded for
+    /// `(origin, relation)` — "we asked and the origin answered", as
+    /// distinct from "never heard from them".
+    pub fn covers(&self, origin: &str, relation: &str) -> bool {
+        self.by_origin
+            .get(origin)
+            .map(|rels| rels.contains_key(relation))
+            .unwrap_or(false)
+    }
+
+    /// Origins holding history for `relation`, sorted.
+    pub fn origins(&self, relation: &str) -> Vec<String> {
+        self.by_origin
+            .iter()
+            .filter(|(_, rels)| rels.contains_key(relation))
+            .map(|(o, _)| o.clone())
+            .collect()
+    }
+
+    /// `(origin, relation, segment count, bytes)` rows, sorted.
+    pub fn stats(&self) -> Vec<(String, String, u64, u64)> {
+        let mut out = Vec::new();
+        for (origin, rels) in &self.by_origin {
+            for (relation, segs) in rels {
+                out.push((
+                    origin.clone(),
+                    relation.clone(),
+                    segs.len() as u64,
+                    segs.iter().map(|s| s.len_bytes() as u64).sum(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Scan one origin's shipped history of `relation` for rows whose
+    /// validity interval intersects `[t0, t1]` and that satisfy `eqs`.
+    /// Rows frozen while still live at the origin (drop time
+    /// [`LIVE_SENTINEL`]) come back with an open interval, exactly as
+    /// the origin's own live rows would.
+    pub fn scan(
+        &self,
+        origin: &str,
+        relation: &str,
+        t0: Time,
+        t1: Time,
+        eqs: &[(usize, Value)],
+    ) -> Result<Vec<ArchivedRow>, SegmentError> {
+        let Some(segments) = self.by_origin.get(origin).and_then(|r| r.get(relation)) else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        for seg in segments {
+            if seg.min_inserted() > t1 || seg.max_dropped() < t0 || !seg.may_match_eqs(eqs) {
+                continue;
+            }
+            for row in seg.rows()? {
+                if !eqs_match(&row.tuple, eqs) {
+                    continue;
+                }
+                if row.dropped_at == LIVE_SENTINEL {
+                    if row.inserted_at <= t1 {
+                        out.push(ArchivedRow {
+                            tuple: row.tuple,
+                            inserted_at: row.inserted_at,
+                            dropped_at: None,
+                        });
+                    }
+                } else if row.inserted_at <= t1 && row.dropped_at >= t0 {
+                    out.push(ArchivedRow {
+                        tuple: row.tuple,
+                        inserted_at: row.inserted_at,
+                        dropped_at: Some(row.dropped_at),
+                    });
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -650,13 +891,13 @@ mod tests {
         a.spill("t", vec![row(1, 0, 5), row(2, 3, 15), row(3, 20, 25)]);
         a.seal_all();
         let hits = a
-            .scan_range("t", Time::from_secs(6), Time::from_secs(14))
+            .scan_range("t", Time::from_secs(6), Time::from_secs(14), &[])
             .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].tuple.get(1), Some(&Value::Int(2)));
         // Unknown relations scan empty, not error.
         assert!(a
-            .scan_range("nope", Time::ZERO, Time::from_secs(99))
+            .scan_range("nope", Time::ZERO, Time::from_secs(99), &[])
             .unwrap()
             .is_empty());
         let s = a.stats()[0].1;
@@ -670,6 +911,7 @@ mod tests {
             epoch: TimeDelta::from_secs(1),
             retention_bytes: 400,
             compact_min_bytes: 0, // no merging: isolate retention
+            max_age_epochs: None,
         });
         for e in 0..50u64 {
             a.spill("t", vec![row(e as i64, 0, e)]);
@@ -683,8 +925,92 @@ mod tests {
             s.sealed_bytes
         );
         // The newest rows survive; the oldest are gone.
-        let hits = a.scan_range("t", Time::ZERO, Time::from_secs(100)).unwrap();
+        let hits = a
+            .scan_range("t", Time::ZERO, Time::from_secs(100), &[])
+            .unwrap();
         assert!(hits.iter().any(|r| r.dropped_at == Time::from_secs(49)));
+        assert!(!hits.iter().any(|r| r.dropped_at == Time::ZERO));
+    }
+
+    #[test]
+    fn eq_predicate_pushdown_prunes_segments() {
+        // Three sealed segments, disjoint key ranges. An equality hint
+        // on the key column must skip the non-matching segments via
+        // their per-column min/max summaries — without decoding them —
+        // and still return exactly the matching rows.
+        let mut a = Archive::new(ArchiveConfig {
+            epoch: TimeDelta::from_secs(10),
+            compact_min_bytes: 0,
+            ..ArchiveConfig::default()
+        });
+        a.spill("t", vec![row(1, 0, 5), row(2, 1, 6)]);
+        a.spill("t", vec![row(10, 11, 15), row(11, 12, 16)]);
+        a.spill("t", vec![row(20, 21, 25), row(21, 22, 26)]);
+        a.seal_all();
+        assert_eq!(a.stats()[0].1.segments, 3);
+
+        let eqs = [(1usize, Value::Int(11))];
+        let hits = a
+            .scan_range("t", Time::ZERO, Time::from_secs(100), &eqs)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].tuple.get(1), Some(&Value::Int(11)));
+        let s = a.stats()[0].1;
+        assert_eq!(
+            s.pruned_segments, 2,
+            "the two non-overlapping segments must be pruned by min/max"
+        );
+
+        // A hint outside every summary prunes everything.
+        let hits = a
+            .scan_range(
+                "t",
+                Time::ZERO,
+                Time::from_secs(100),
+                &[(1, Value::Int(99))],
+            )
+            .unwrap();
+        assert!(hits.is_empty());
+        assert_eq!(a.stats()[0].1.pruned_segments, 5);
+
+        // An unprunable hint (non-key column shared by all rows) decodes
+        // everything and filters row-by-row to the same answer as a full
+        // scan plus a filter.
+        let all = a
+            .scan_range("t", Time::ZERO, Time::from_secs(100), &[])
+            .unwrap();
+        let filtered = a
+            .scan_range(
+                "t",
+                Time::ZERO,
+                Time::from_secs(100),
+                &[(0, Value::addr("n1"))],
+            )
+            .unwrap();
+        assert_eq!(filtered, all, "shared-value hint filters nothing out");
+    }
+
+    #[test]
+    fn age_retention_drops_stale_epochs() {
+        let mut a = Archive::new(ArchiveConfig {
+            epoch: TimeDelta::from_secs(1),
+            compact_min_bytes: 0,
+            max_age_epochs: Some(5),
+            ..ArchiveConfig::default()
+        });
+        for e in 0..30u64 {
+            a.spill("t", vec![row(e as i64, 0, e)]);
+        }
+        a.seal_all();
+        let s = a.stats()[0].1;
+        assert!(
+            s.age_dropped_segments > 0,
+            "epochs older than the window must age out: {s:?}"
+        );
+        let hits = a
+            .scan_range("t", Time::ZERO, Time::from_secs(100), &[])
+            .unwrap();
+        assert!(hits.iter().any(|r| r.dropped_at == Time::from_secs(29)));
         assert!(!hits.iter().any(|r| r.dropped_at == Time::ZERO));
     }
 
@@ -694,6 +1020,7 @@ mod tests {
             epoch: TimeDelta::from_secs(1),
             retention_bytes: 1 << 20,
             compact_min_bytes: 4096, // everything is "small"
+            max_age_epochs: None,
         });
         for e in 0..20u64 {
             a.spill("t", vec![row(e as i64, 0, e)]);
@@ -707,7 +1034,9 @@ mod tests {
         assert_eq!(segs[0].epoch_hi(), 19);
         assert_eq!(segs[0].row_count(), 20);
         // Merged content is intact and ordered.
-        let hits = a.scan_range("t", Time::ZERO, Time::from_secs(100)).unwrap();
+        let hits = a
+            .scan_range("t", Time::ZERO, Time::from_secs(100), &[])
+            .unwrap();
         assert_eq!(hits.len(), 20);
         assert!(hits.windows(2).all(|w| w[0].dropped_at <= w[1].dropped_at));
     }

@@ -6,7 +6,10 @@
 //! boot — the paper's "piecemeal deployment") and routes tuple insertions
 //! here.
 
-use crate::archive::{Archive, ArchiveConfig, ArchiveStats, ArchivedRow, SegmentError};
+use crate::archive::{
+    Archive, ArchiveConfig, ArchiveStats, ArchivedRow, ImportedHistory, Segment, SegmentError,
+    SpilledRow, LIVE_SENTINEL,
+};
 use crate::table::{BatchOutcome, InsertOutcome, ProbeStats, Table, TableSpec};
 use p2_types::{Time, Tuple, Value};
 use std::collections::HashMap;
@@ -55,6 +58,10 @@ pub struct Catalog {
     /// Enrolled relation names in enrollment order — the deterministic
     /// drain order for [`Catalog::archive_maintain`].
     enrolled: Vec<String>,
+    /// Segment frames shipped here from other nodes, keyed by origin
+    /// (DESIGN.md §2.12). Only [`Catalog::deployment_scan`] reads it;
+    /// the local tiers never mix with it.
+    imported: ImportedHistory,
 }
 
 impl Catalog {
@@ -260,16 +267,18 @@ impl Catalog {
     }
 
     /// History scan: every row of `name` whose validity interval
-    /// intersects `[t0, t1]` — archived rows (closed intervals, spill
-    /// order) followed by still-live rows (open intervals, insertion
-    /// order). Returns empty when archiving is disabled: a partial
-    /// live-only answer would masquerade as history.
+    /// intersects `[t0, t1]` and satisfies the `(field, value)`
+    /// equality predicates in `eqs` — archived rows (closed intervals,
+    /// spill order) followed by still-live rows (open intervals,
+    /// insertion order). Returns empty when archiving is disabled: a
+    /// partial live-only answer would masquerade as history.
     pub fn archive_scan(
         &mut self,
         name: &str,
         t0: Time,
         t1: Time,
         now: Time,
+        eqs: &[(usize, Value)],
     ) -> Result<Vec<ArchivedRow>, SegmentError> {
         if self.archive.is_none() {
             return Ok(Vec::new());
@@ -287,7 +296,7 @@ impl Catalog {
         self.archive_maintain();
         let mut out = Vec::new();
         if let Some(archive) = self.archive.as_mut() {
-            for row in archive.scan_range(name, t0, t1)? {
+            for row in archive.scan_range(name, t0, t1, eqs)? {
                 out.push(ArchivedRow {
                     tuple: row.tuple,
                     inserted_at: row.inserted_at,
@@ -296,7 +305,7 @@ impl Catalog {
             }
         }
         for (tuple, inserted_at) in live {
-            if inserted_at <= t1 {
+            if inserted_at <= t1 && eqs.iter().all(|(i, v)| tuple.get(*i) == Some(v)) {
                 out.push(ArchivedRow {
                     tuple,
                     inserted_at,
@@ -305,6 +314,93 @@ impl Catalog {
             }
         }
         Ok(out)
+    }
+
+    /// Export `name`'s complete visible history as encoded segment
+    /// frames for shipping: every sealed segment, a synthetic frame for
+    /// the open buffer, and a synthetic frame for the still-live rows
+    /// (drop time [`LIVE_SENTINEL`], mapped back to an open interval on
+    /// import). The frame sequence replays on the importer in exactly
+    /// the order [`Catalog::archive_scan`] walks the local tiers, which
+    /// is what makes a shipped answer byte-identical to a local one.
+    /// `None` when archiving is disabled here — the peer must be told
+    /// "no history" rather than silently handed an empty snapshot.
+    pub fn export_history(&mut self, name: &str, now: Time) -> Option<Vec<Segment>> {
+        self.archive.as_ref()?;
+        let live: Vec<(Tuple, Time)> = self
+            .tables
+            .get_mut(name)
+            .filter(|t| t.archive_enrolled())
+            .map(|t| t.scan_with_birth(now))
+            .unwrap_or_default();
+        self.archive_maintain();
+        let mut frames = self
+            .archive
+            .as_ref()
+            .map(|a| a.export_frames(name))
+            .unwrap_or_default();
+        if !live.is_empty() {
+            let rows: Vec<SpilledRow> = live
+                .into_iter()
+                .map(|(tuple, inserted_at)| SpilledRow {
+                    tuple,
+                    inserted_at,
+                    dropped_at: LIVE_SENTINEL,
+                })
+                .collect();
+            frames.push(Segment::build(name, u64::MAX, u64::MAX, &rows));
+        }
+        Some(frames)
+    }
+
+    /// Install segment frames shipped from `origin` as that node's
+    /// history of `relation`, replacing whatever was held before. The
+    /// caller has already validated the frames ([`Segment::from_bytes`]
+    /// rejects hostile bytes with typed errors).
+    pub fn import_history(&mut self, origin: &str, relation: &str, segments: Vec<Segment>) {
+        self.imported.replace(origin, relation, segments);
+    }
+
+    /// The shipped-history index (coverage checks, introspection).
+    pub fn imported(&self) -> &ImportedHistory {
+        &self.imported
+    }
+
+    /// Deployment-wide history scan: the union of every known node's
+    /// history of `name` over `[t0, t1]`, origins in sorted address
+    /// order — this node's own tiers contribute under `local` (its
+    /// address), shipped histories under their origin addresses. Rows
+    /// within an origin keep that origin's spill order, so the result
+    /// is a pure function of the imported snapshots plus local state,
+    /// independent of fetch timing or shard count.
+    pub fn deployment_scan(
+        &mut self,
+        local: &str,
+        name: &str,
+        t0: Time,
+        t1: Time,
+        now: Time,
+        eqs: &[(usize, Value)],
+    ) -> Result<Vec<ArchivedRow>, SegmentError> {
+        let mut origins = self.imported.origins(name);
+        if self.archive.is_some() && !origins.iter().any(|o| o == local) {
+            origins.push(local.to_string());
+            origins.sort();
+        }
+        let mut out = Vec::new();
+        for origin in origins {
+            if origin == local {
+                out.extend(self.archive_scan(name, t0, t1, now, eqs)?);
+            } else {
+                out.extend(self.imported.scan(&origin, name, t0, t1, eqs)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Relations enrolled for archiving, in enrollment order.
+    pub fn enrolled_relations(&self) -> &[String] {
+        &self.enrolled
     }
 
     /// Per-relation archive counters (empty when disabled). Buffers are
@@ -324,6 +420,12 @@ impl Catalog {
         self.archive.as_mut()
     }
 
+    /// `(origin, relation, segments, bytes)` rows for shipped history
+    /// held here, sorted — the `archive.ship.*` sysStat feed.
+    pub fn imported_stats(&self) -> Vec<(String, String, u64, u64)> {
+        self.imported.stats()
+    }
+
     /// Iterate over (name, live-row-count, spec) for introspection.
     pub fn table_stats(&self) -> Vec<(String, usize, TableSpec)> {
         let mut out: Vec<_> = self
@@ -333,6 +435,65 @@ impl Catalog {
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+}
+
+/// Transport-agnostic provider of history rows for `past()` stages.
+///
+/// The dataflow engine's archive-scan stage reads history *only*
+/// through this trait (DESIGN.md §2.12): `Local` scans resolve against
+/// the node's own frozen tier, `Deployment` scans against the union of
+/// every known origin's history. What filled the deployment view —
+/// rows born local, segments fetched on demand, or segments streamed
+/// to a collector — is invisible to the query, which is exactly the
+/// determinism contract distributed forensics needs.
+pub trait HistorySource {
+    /// This node's own history of `name` over `[t0, t1]`, filtered by
+    /// the `(field, value)` equality predicates in `eqs`.
+    fn local_history(
+        &mut self,
+        name: &str,
+        t0: Time,
+        t1: Time,
+        now: Time,
+        eqs: &[(usize, Value)],
+    ) -> Result<Vec<ArchivedRow>, SegmentError>;
+
+    /// The whole deployment's history of `name` visible from this node
+    /// (`local` is its address), origins in sorted address order.
+    fn deployment_history(
+        &mut self,
+        local: &str,
+        name: &str,
+        t0: Time,
+        t1: Time,
+        now: Time,
+        eqs: &[(usize, Value)],
+    ) -> Result<Vec<ArchivedRow>, SegmentError>;
+}
+
+impl HistorySource for Catalog {
+    fn local_history(
+        &mut self,
+        name: &str,
+        t0: Time,
+        t1: Time,
+        now: Time,
+        eqs: &[(usize, Value)],
+    ) -> Result<Vec<ArchivedRow>, SegmentError> {
+        self.archive_scan(name, t0, t1, now, eqs)
+    }
+
+    fn deployment_history(
+        &mut self,
+        local: &str,
+        name: &str,
+        t0: Time,
+        t1: Time,
+        now: Time,
+        eqs: &[(usize, Value)],
+    ) -> Result<Vec<ArchivedRow>, SegmentError> {
+        self.deployment_scan(local, name, t0, t1, now, eqs)
     }
 }
 

@@ -27,9 +27,10 @@ pub mod hash;
 pub mod table;
 
 pub use archive::{
-    Archive, ArchiveConfig, ArchiveStats, ArchivedRow, Segment, SegmentError, SpilledRow,
+    Archive, ArchiveConfig, ArchiveStats, ArchivedRow, ImportedHistory, Segment, SegmentError,
+    SpilledRow, LIVE_SENTINEL,
 };
-pub use catalog::{Catalog, CatalogError};
+pub use catalog::{Catalog, CatalogError, HistorySource};
 pub use hash::{FxHashMap, FxHashSet};
 pub use table::{
     BatchOutcome, InsertOutcome, Key, ProbeStats, Table, TableSpec, DEFAULT_AUTO_INDEX_THRESHOLD,

@@ -46,6 +46,24 @@ if ! cmp -s target/replay.1shard.txt target/replay.4shard.txt; then
   diff target/replay.1shard.txt target/replay.4shard.txt >&2 || true
   exit 1
 fi
+# Distributed-forensics gate (DESIGN.md §2.12): the same report must
+# come out byte-identical when every verdict is answered from a
+# collector node's shipped history (`--collect`, subscribe mode)
+# instead of walking each origin's own archive — at 1 and 4 shards.
+cargo run --release --bin p2ql -- replay --nodes 5 --seed 1 --shards 1 --collect \
+    > target/replay.collect.1shard.txt
+if ! cmp -s target/replay.1shard.txt target/replay.collect.1shard.txt; then
+  echo "tier1: collector-node replay diverged from origin-node replay" >&2
+  diff target/replay.1shard.txt target/replay.collect.1shard.txt >&2 || true
+  exit 1
+fi
+cargo run --release --bin p2ql -- replay --nodes 5 --seed 1 --shards 4 --collect \
+    > target/replay.collect.4shard.txt
+if ! cmp -s target/replay.4shard.txt target/replay.collect.4shard.txt; then
+  echo "tier1: sharded collector-node replay diverged" >&2
+  diff target/replay.4shard.txt target/replay.collect.4shard.txt >&2 || true
+  exit 1
+fi
 cargo bench --no-run
 cargo bench -p p2-bench --bench engine -- --test
 cargo bench -p p2-bench --bench store_probe -- --test
@@ -53,6 +71,7 @@ cargo bench -p p2-bench --bench node_pump -- --test
 cargo bench -p p2-bench --bench strand_eval -- --test
 cargo bench -p p2-bench --bench population_scale -- --test
 cargo bench -p p2-bench --bench archive_scan -- --test
+cargo bench -p p2-bench --bench segment_ship -- --test
 # Population-scaling emission: the CI-sized sweep exercises the full
 # `figures scale --json` path (its internal assert re-checks that every
 # shard count sends exactly the sequential engine's envelope count).

@@ -51,6 +51,12 @@
 //!   --post SECS      run-on after the corruption (default 120; must
 //!                    exceed the routing-row lifetime so the probed
 //!                    history is truly expired)
+//!   --collect        add a collector node the ring streams sealed
+//!                    segments to (DESIGN.md §2.12 subscribe mode) and
+//!                    answer every verdict from the collector's
+//!                    deployment-wide history instead of walking each
+//!                    origin's archive. The report must be
+//!                    byte-identical either way — tier-1 diffs the two.
 
 use p2ql::core::{NodeConfig, SimHarness};
 use p2ql::net::SimConfig;
@@ -371,6 +377,7 @@ struct ReplayOpts {
     shards: usize,
     warm_secs: u64,
     post_secs: u64,
+    collect: bool,
 }
 
 fn parse_replay_opts(args: &[String]) -> Result<ReplayOpts, String> {
@@ -380,6 +387,7 @@ fn parse_replay_opts(args: &[String]) -> Result<ReplayOpts, String> {
         shards: 1,
         warm_secs: 180,
         post_secs: 120,
+        collect: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -402,6 +410,7 @@ fn parse_replay_opts(args: &[String]) -> Result<ReplayOpts, String> {
             }
             "--warm" => o.warm_secs = val("--warm")?.parse().map_err(|e| format!("--warm: {e}"))?,
             "--post" => o.post_secs = val("--post")?.parse().map_err(|e| format!("--post: {e}"))?,
+            "--collect" => o.collect = true,
             other => return Err(format!("unknown replay option '{other}'")),
         }
     }
@@ -431,6 +440,17 @@ fn replay_scenario<H: p2ql::core::Population>(sim: &mut H, o: &ReplayOpts) -> St
     );
 
     let ring = build_ring(sim, o.nodes, &ChordConfig::default());
+    // Collect mode: one extra node runs no programs at all — the ring
+    // streams its sealed segments there at every GC sweep, and every
+    // retrospective verdict below reads that node's deployment-wide
+    // history instead of walking each origin's own archive.
+    let collector = o.collect.then(|| {
+        let c = sim.add_node("collector");
+        for addr in ring.addrs.clone() {
+            sim.node_mut(&addr).ship_subscribe(c.clone());
+        }
+        c
+    });
     sim.run_for(TimeDelta::from_secs(o.warm_secs));
     let t_healthy = sim.now();
     sim.run_for(TimeDelta::from_secs(1));
@@ -461,8 +481,16 @@ fn replay_scenario<H: p2ql::core::Population>(sim: &mut H, o: &ReplayOpts) -> St
     let t_end = sim.now();
 
     let verdict = |sim: &mut H, t: Time, out: &mut String| {
-        let wf = retrospect::ring_was_well_formed_at(sim, &ring, t);
-        let viols = retrospect::ordering_violations_at(sim, &ring, t);
+        let (wf, viols) = match &collector {
+            Some(c) => (
+                retrospect::ring_was_well_formed_at_collected(sim, c, &ring, t),
+                retrospect::ordering_violations_at_collected(sim, c, &ring, t),
+            ),
+            None => (
+                retrospect::ring_was_well_formed_at(sim, &ring, t),
+                retrospect::ordering_violations_at(sim, &ring, t),
+            ),
+        };
         let _ = writeln!(
             out,
             "[{t}] ring: {}, {} ordering violation(s)",
@@ -481,7 +509,10 @@ fn replay_scenario<H: p2ql::core::Population>(sim: &mut H, o: &ReplayOpts) -> St
     verdict(sim, t_corrupt, &mut out);
     verdict(sim, t_end, &mut out);
 
-    let osc = retrospect::oscillators_in(sim, &ring, t_healthy, t_end, 2);
+    let osc = match &collector {
+        Some(c) => retrospect::oscillators_in_collected(sim, c, &ring, t_healthy, t_end, 2),
+        None => retrospect::oscillators_in(sim, &ring, t_healthy, t_end, 2),
+    };
     let _ = writeln!(out, "oscillators in [{t_healthy} .. {t_end}]:");
     for (addr, flips) in osc {
         let _ = writeln!(out, "  {addr}: {flips} successor flips");
@@ -490,13 +521,43 @@ fn replay_scenario<H: p2ql::core::Population>(sim: &mut H, o: &ReplayOpts) -> St
     // Evidence the answers came from segments, not live rows: per node,
     // how many bestSucc versions the archive holds vs one live row.
     let _ = writeln!(out, "archived bestSucc versions:");
-    for addr in ring.addrs.clone() {
-        let rows = sim
-            .node_mut(&addr)
-            .history_scan("bestSucc", Time::ZERO, t_end, t_end)
-            .map(|rs| rs.iter().filter(|r| r.dropped_at.is_some()).count())
-            .unwrap_or(0);
-        let _ = writeln!(out, "  {addr}: {rows}");
+    match &collector {
+        Some(c) => {
+            let rows = sim
+                .node_mut(c)
+                .deployment_history_scan("bestSucc", Time::ZERO, t_end, t_end)
+                .unwrap_or_default();
+            for addr in ring.addrs.clone() {
+                let n = rows
+                    .iter()
+                    .filter(|r| {
+                        r.dropped_at.is_some()
+                            && r.tuple
+                                .get(0)
+                                .and_then(Value::to_addr)
+                                .is_some_and(|a| a == addr)
+                    })
+                    .count();
+                let _ = writeln!(out, "  {addr}: {n}");
+            }
+            // Shipping evidence goes to stderr so stdout stays
+            // byte-comparable with the walk-the-origins report.
+            let stats = sim.node(c).ship_stats();
+            eprintln!(
+                "collect: {} announce chunks received, {} imports applied, {} bytes",
+                stats.announce_chunks_received, stats.announces_applied, stats.bytes_received
+            );
+        }
+        None => {
+            for addr in ring.addrs.clone() {
+                let rows = sim
+                    .node_mut(&addr)
+                    .history_scan("bestSucc", Time::ZERO, t_end, t_end)
+                    .map(|rs| rs.iter().filter(|r| r.dropped_at.is_some()).count())
+                    .unwrap_or(0);
+                let _ = writeln!(out, "  {addr}: {rows}");
+            }
+        }
     }
     out
 }
