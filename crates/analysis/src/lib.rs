@@ -38,8 +38,11 @@
 //! dead rule, `P2W502` non-boolean selection) mapped back to rule
 //! spans. See `DESIGN.md` §2.9 for the full code table.
 
+mod cascade;
+mod cost;
 mod liveness;
 mod location;
+mod stratify;
 mod types;
 
 use p2_overlog::{
@@ -80,6 +83,57 @@ pub fn analyze(programs: &[&Program], ctx: &AnalysisCtx) -> Diagnostics {
     diags
 }
 
+/// Options for [`check_sources_with`].
+#[derive(Debug, Clone, Default)]
+pub struct CheckOpts {
+    /// Run the deep flow passes (cascade termination, stratification,
+    /// amplification bounds) after the shallow pipeline. They only run
+    /// when the shallow stages found no errors — the flow graph is
+    /// meaningless over a program that does not even plan.
+    pub deep: bool,
+}
+
+/// A statically derived upper bound: either a concrete count or
+/// provably unboundable by this analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// At most this many (tuples, or trigger hops).
+    Finite(u64),
+    /// No finite static bound — the relation reaches a trigger cycle or
+    /// multiplies through a table with no declared size.
+    Unbounded,
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::Finite(n) => write!(f, "{n}"),
+            Bound::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// What the deep flow passes derived about a program stack. This is the
+/// contract the runtime lint oracle is validated against: with lint
+/// counters enabled, a node's measured per-episode cascade depth and
+/// output count for root relation R must never exceed `depth[R]` /
+/// `amplification[R]`.
+#[derive(Debug, Clone, Default)]
+pub struct FlowReport {
+    /// Stratum per materialized relation: every relation an aggregate
+    /// ranges over sits in a strictly lower stratum.
+    pub strata: BTreeMap<String, usize>,
+    /// Worst-case trigger-cascade depth out of each relation.
+    pub depth: BTreeMap<String, Bound>,
+    /// Worst-case count of tuples one tuple of each relation can
+    /// transitively derive.
+    pub amplification: BTreeMap<String, Bound>,
+    /// External cascade roots: `periodic` (if any rule uses it) plus
+    /// every [`AnalysisCtx::external_events`] entry that triggers a
+    /// rule.
+    pub roots: Vec<String>,
+}
+
 /// The result of [`check_sources`].
 #[derive(Debug, Clone)]
 pub struct CheckReport {
@@ -88,6 +142,8 @@ pub struct CheckReport {
     /// The parsed programs, one per unit. Empty when any unit failed to
     /// parse (analysis needs the whole stack).
     pub programs: Vec<Program>,
+    /// Flow-analysis results; present only for deep, error-free runs.
+    pub flow: Option<FlowReport>,
 }
 
 impl CheckReport {
@@ -111,6 +167,18 @@ impl CheckReport {
 /// 5. if nothing so far is an error: a planner dry run, merging
 ///    `P2W501`/`P2W502` strand diagnostics back onto rule spans.
 pub fn check_sources(units: &[SourceUnit<'_>], ctx: &AnalysisCtx) -> CheckReport {
+    check_sources_with(units, ctx, &CheckOpts::default())
+}
+
+/// [`check_sources`] with options; `opts.deep` adds the flow passes
+/// (`P2W601` event storms, `P2W602` super-linear amplification,
+/// `P2E603` unstratifiable aggregation) and populates
+/// [`CheckReport::flow`].
+pub fn check_sources_with(
+    units: &[SourceUnit<'_>],
+    ctx: &AnalysisCtx,
+    opts: &CheckOpts,
+) -> CheckReport {
     let mut diags = Diagnostics::new();
     let mut programs = Vec::with_capacity(units.len());
     for (i, u) in units.iter().enumerate() {
@@ -129,6 +197,7 @@ pub fn check_sources(units: &[SourceUnit<'_>], ctx: &AnalysisCtx) -> CheckReport
         return CheckReport {
             diags,
             programs: Vec::new(),
+            flow: None,
         };
     }
 
@@ -149,8 +218,45 @@ pub fn check_sources(units: &[SourceUnit<'_>], ctx: &AnalysisCtx) -> CheckReport
         planner_merge(&refs, ctx, &mut diags);
     }
 
+    let mut flow = None;
+    if opts.deep && !diags.has_errors() {
+        let model = cascade::build_model(&refs, ctx);
+        cascade::check(&model, &mut diags);
+        let strata = stratify::check(&model, &mut diags);
+        cost::check(&model, ctx, &mut diags);
+        let cost = cost::analyze(&model, ctx);
+        flow = Some(FlowReport {
+            strata,
+            depth: cost.depth,
+            amplification: cost.amplification,
+            roots: cost.roots,
+        });
+    }
+
     diags.sort_by_position();
-    CheckReport { diags, programs }
+    CheckReport {
+        diags,
+        programs,
+        flow,
+    }
+}
+
+/// Run only the flow passes over already-parsed programs and return the
+/// report, discarding diagnostics. This is the API the runtime lint
+/// oracle's tests use to obtain static bounds to compare measurements
+/// against, and what the planner mirrors for its per-strand
+/// annotations.
+pub fn flow_report(programs: &[&Program], ctx: &AnalysisCtx) -> FlowReport {
+    let model = cascade::build_model(programs, ctx);
+    let mut scratch = Diagnostics::new();
+    let strata = stratify::check(&model, &mut scratch);
+    let cost = cost::analyze(&model, ctx);
+    FlowReport {
+        strata,
+        depth: cost.depth,
+        amplification: cost.amplification,
+        roots: cost.roots,
+    }
 }
 
 /// Arity consistency across the whole unit stack (the multi-unit

@@ -154,12 +154,19 @@ pub(crate) fn check(programs: &[&Program], ctx: &AnalysisCtx, diags: &mut Diagno
                 Severity::Warning,
                 format!("nothing produces '{name}' — this match can never fire"),
             );
+            // Reserved introspection tables (`sysStat`, `sysTable`, ...)
+            // stay out of the suggestion pool: a typo'd application name
+            // is never one edit away from them on purpose, and "did you
+            // mean `sysStat`?" for a misspelled monitor relation only
+            // misleads. They remain valid *producers* above — reading
+            // them never warns.
             let candidates: Vec<&str> = produced
                 .keys()
                 .chain(declared.keys())
                 .map(String::as_str)
                 .chain(ctx.known_tables.iter().map(String::as_str))
                 .chain(BUILTIN_PRODUCED.iter().copied())
+                .filter(|c| !c.starts_with("sys"))
                 .collect();
             if let Some(best) = did_you_mean(name, &candidates) {
                 d = d.with_help(format!("did you mean `{best}`?"));
@@ -372,6 +379,23 @@ t1 report@N(S) :- bestSucc2@N(S)."#]);
         let w = with_code(&d, "P2W301");
         assert_eq!(w.len(), 1, "{d:?}");
         assert_eq!(w[0].help.as_deref(), Some("did you mean `bestSucc`?"));
+    }
+
+    #[test]
+    fn reserved_sys_tables_are_not_suggested() {
+        // 'sysStab' is one edit from 'sysStat', but reserved tables stay
+        // out of the pool — the warning stands, with no (or a non-sys)
+        // suggestion. Reading a real 'sys*' table still never warns.
+        let d = run(&[r#"t1 report@N(S) :- sysStab@N(S).
+t2 audit@N(T, R) :- sysStat@N(T, R)."#]);
+        let w = with_code(&d, "P2W301");
+        assert_eq!(w.len(), 1, "{d:?}");
+        assert!(w[0].message.contains("sysStab"));
+        assert!(
+            !w[0].help.as_deref().unwrap_or("").contains("sys"),
+            "{:?}",
+            w[0].help
+        );
     }
 
     #[test]

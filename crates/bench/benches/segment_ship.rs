@@ -84,7 +84,7 @@ fn bench_segment_ship(c: &mut Criterion) {
         b.iter_batched(
             || (p2_store::ImportedHistory::default(), shipped.clone()),
             |(mut imported, segs)| {
-                imported.replace("n1", "bestSucc", segs);
+                imported.replace("n1", "bestSucc", segs, None);
                 let rows = imported
                     .scan(
                         "n1",

@@ -186,6 +186,19 @@ impl Node {
             self.strand_programs.push(pid);
         }
 
+        // Stratum-aware scheduling hook: order each relation's dispatch
+        // list by the planner's stratum annotation so lower strata fire
+        // first. The sort is stable — same-stratum strands keep install
+        // order — and with the flag off (the default) the lists stay
+        // exactly install-ordered, which golden traces pin.
+        if self.config.stratified_dispatch {
+            for map in [&mut self.event_dispatch, &mut self.table_dispatch] {
+                for v in map.values_mut() {
+                    v.sort_by_key(|&i| self.strands[i].plan().stratum);
+                }
+            }
+        }
+
         // Inject facts as ordinary dispatches (they may be remote).
         for fact in compiled.facts {
             self.route_tuple(fact, false, now);
@@ -199,6 +212,8 @@ impl Node {
     pub fn uninstall(&mut self, pid: ProgramId) {
         self.plan_diagnostics.retain(|(p, _)| *p != pid);
         self.analysis_diagnostics.retain(|(p, _)| *p != pid);
+        // Lint tags index into the strand vector being rebuilt.
+        self.lint_reset_strands();
         let keep: Vec<bool> = self.strand_programs.iter().map(|p| *p != pid).collect();
         // Rebuild the strand vector and all dispatch indexes.
         let mut new_strands = Vec::new();

@@ -1,0 +1,185 @@
+//! Runtime lint oracle (DESIGN.md §2.13): measure actual cascade
+//! behavior so the flow analyzer's static bounds can be validated
+//! against the running system.
+//!
+//! With [`crate::NodeConfig::lint`] on, every locally queued delta
+//! carries a tag `(root, depth)`:
+//!
+//! * a **root** is minted wherever a cascade enters the node — a
+//!   network arrival, an operator [`crate::Node::inject`], a timer
+//!   firing a `periodic` strand, or a ship-released staged trigger —
+//!   and opens an **episode** keyed by the root's relation, at depth 0;
+//! * a strand remembers the tag of the trigger that fired it, and every
+//!   tuple it emits is stamped `(root, depth + 1)` and counted into the
+//!   root's episode (deletes excluded — a deletion revises, it does not
+//!   derive). Remote sends are counted, then re-root on the receiving
+//!   node: depth never crosses the network, so an episode is one
+//!   node-local slice of a cascade, which the static per-relation bound
+//!   dominates.
+//!
+//! Strand pipelining can interleave two triggers inside one strand; the
+//! outside-the-dataflow tag cannot tell their outputs apart. Such
+//! **mixed** episodes are detected (a trigger arriving while the strand
+//! still holds in-flight work) and excluded from the published maxima —
+//! the oracle only asserts over episodes it attributed exactly, so a
+//! measurement can never *spuriously* exceed a bound. Depth needs no
+//! such care: any stamped depth d witnesses a real d-edge path in the
+//! trigger graph whatever episode it lands in, so the per-relation
+//! depth maximum folds unconditionally.
+//!
+//! Episodes retire when the pump goes quiescent (all local work done);
+//! per-root-relation maxima accumulate across the node's lifetime and
+//! surface as `lint.depth.<rel>` / `lint.episodeOutputs.<rel>` sysStat
+//! rows.
+
+use crate::node::Node;
+use std::collections::{BTreeMap, HashMap};
+
+/// `(root id, cascade depth)` stamped on a queued delta.
+pub(crate) type LintTag = (u32, u32);
+
+/// One cascade episode: everything derived from a single root tuple.
+#[derive(Debug)]
+struct Episode {
+    root_rel: String,
+    outputs: u64,
+    max_depth: u32,
+    /// A trigger joined a strand that still held another trigger's
+    /// in-flight work: output attribution is no longer exact.
+    mixed: bool,
+}
+
+/// Per-node oracle state. Exists iff `NodeConfig::lint` is set.
+#[derive(Debug, Default)]
+pub(crate) struct LintState {
+    next_root: u32,
+    episodes: HashMap<u32, Episode>,
+    /// Tag of the last trigger each strand fired on (parallel to
+    /// `Node::strands`).
+    strand_tag: Vec<Option<LintTag>>,
+    /// Tag to stamp on tuples being routed right now (set around
+    /// deliver/inject loops and strand-output routing).
+    route_tag: Option<LintTag>,
+    /// root relation → (max cascade depth, max single-episode outputs),
+    /// over all retired episodes.
+    maxima: BTreeMap<String, (u64, u64)>,
+}
+
+impl Node {
+    /// Measured maxima per cascade-root relation: `(relation, max
+    /// depth, max outputs of one episode)`. Empty unless
+    /// [`crate::NodeConfig::lint`] is on. These are what the flow
+    /// analyzer's `depth` / `amplification` bounds must dominate.
+    pub fn lint_maxima(&self) -> Vec<(String, u64, u64)> {
+        self.lint
+            .as_ref()
+            .map(|l| {
+                l.maxima
+                    .iter()
+                    .map(|(rel, &(d, o))| (rel.clone(), d, o))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Mint a root episode for a cascade entering at `rel`; returns the
+    /// depth-0 tag to stamp on the entering tuple.
+    pub(crate) fn lint_new_root(&mut self, rel: &str) -> Option<LintTag> {
+        let l = self.lint.as_mut()?;
+        let id = l.next_root;
+        l.next_root = l.next_root.wrapping_add(1);
+        l.episodes.insert(
+            id,
+            Episode {
+                root_rel: rel.to_string(),
+                outputs: 0,
+                max_depth: 0,
+                mixed: false,
+            },
+        );
+        Some((id, 0))
+    }
+
+    /// Set the tag stamped on subsequently queued tuples.
+    pub(crate) fn lint_set_route(&mut self, tag: Option<LintTag>) {
+        if let Some(l) = self.lint.as_mut() {
+            l.route_tag = tag;
+        }
+    }
+
+    /// The tag to stamp on a tuple being queued right now.
+    pub(crate) fn lint_route_tag(&self) -> Option<LintTag> {
+        self.lint.as_ref().and_then(|l| l.route_tag)
+    }
+
+    /// A trigger with `tag` is about to fire strand `idx`. Records the
+    /// tag for output stamping; if the strand still holds another
+    /// trigger's pipeline work, both episodes turn mixed.
+    pub(crate) fn lint_on_fire(&mut self, idx: usize, tag: Option<LintTag>, strand_busy: bool) {
+        let Some(l) = self.lint.as_mut() else { return };
+        if l.strand_tag.len() <= idx {
+            l.strand_tag.resize(idx + 1, None);
+        }
+        if strand_busy {
+            for t in [l.strand_tag[idx], tag] {
+                if let Some(ep) = t.and_then(|(root, _)| l.episodes.get_mut(&root)) {
+                    ep.mixed = true;
+                }
+            }
+        }
+        l.strand_tag[idx] = tag;
+    }
+
+    /// The output tag for strand `idx`: its trigger's tag, one deeper.
+    pub(crate) fn lint_output_tag(&self, idx: usize) -> Option<LintTag> {
+        self.lint
+            .as_ref()
+            .and_then(|l| l.strand_tag.get(idx).copied().flatten())
+            .map(|(root, depth)| (root, depth.saturating_add(1)))
+    }
+
+    /// Count one derived (non-delete) tuple into its episode.
+    pub(crate) fn lint_count_output(&mut self, tag: Option<LintTag>) {
+        let Some(l) = self.lint.as_mut() else { return };
+        let Some((root, depth)) = tag else { return };
+        if let Some(ep) = l.episodes.get_mut(&root) {
+            ep.outputs += 1;
+            ep.max_depth = ep.max_depth.max(depth);
+        }
+    }
+
+    /// Pump quiescent: retire every episode into the per-relation
+    /// maxima. Depth folds unconditionally (any stamped depth witnesses
+    /// a real trigger path); output counts fold only from episodes with
+    /// exact attribution.
+    pub(crate) fn lint_quiesce(&mut self) {
+        let Some(l) = self.lint.as_mut() else { return };
+        for (_, ep) in l.episodes.drain() {
+            let entry = l.maxima.entry(ep.root_rel).or_insert((0, 0));
+            entry.0 = entry.0.max(ep.max_depth as u64);
+            if !ep.mixed {
+                entry.1 = entry.1.max(ep.outputs);
+            }
+        }
+    }
+
+    /// Budget overflow: queued deltas were dropped and in-flight strand
+    /// work abandoned, so open episodes are incomplete — discard them
+    /// without folding.
+    pub(crate) fn lint_overflow(&mut self) {
+        if let Some(l) = self.lint.as_mut() {
+            l.episodes.clear();
+            for t in &mut l.strand_tag {
+                *t = None;
+            }
+        }
+    }
+
+    /// Strand vector rebuilt (uninstall): tags index into it, so reset.
+    pub(crate) fn lint_reset_strands(&mut self) {
+        if let Some(l) = self.lint.as_mut() {
+            l.episodes.clear();
+            l.strand_tag.clear();
+        }
+    }
+}

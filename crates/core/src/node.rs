@@ -140,6 +140,18 @@ pub struct NodeConfig {
     /// enrolled or a collector subscribes — the defaults change nothing
     /// on a node that never ships.
     pub ship: crate::ship::ShipConfig,
+    /// Order each relation's strand dispatch list by the planner's
+    /// stratum annotation (stable within a stratum, so same-stratum
+    /// strands keep install order). Off by default: the §2.1.2 schedule
+    /// — and with it every golden trace — is install-order dispatch.
+    pub stratified_dispatch: bool,
+    /// Runtime lint oracle (DESIGN.md §2.13): tag every delta with its
+    /// cascade root and depth, and publish per-root maxima as `lint.*`
+    /// sysStat rows, so measured cascade depth and per-event output
+    /// counts can be checked against the flow analyzer's static bounds.
+    /// Off by default; enabling it changes no routing or derivation,
+    /// only the bookkeeping.
+    pub lint: bool,
 }
 
 impl Default for NodeConfig {
@@ -155,6 +167,8 @@ impl Default for NodeConfig {
             plan: p2_planner::PlanOpts::default(),
             archive: None,
             ship: crate::ship::ShipConfig::default(),
+            stratified_dispatch: false,
+            lint: false,
         }
     }
 }
@@ -201,6 +215,9 @@ pub(crate) struct DeltaBatch {
     pub(crate) relation: String,
     pub(crate) traced: bool,
     pub(crate) tuples: VecDeque<Tuple>,
+    /// Lint-oracle cascade tags, parallel to `tuples` when
+    /// `NodeConfig::lint` is on; empty (and never consulted) otherwise.
+    pub(crate) tags: VecDeque<Option<crate::lint::LintTag>>,
 }
 
 /// One P2 node: catalog, strands, timers, tracer, router.
@@ -239,6 +256,9 @@ pub struct Node {
     pub(crate) analysis_diagnostics: Vec<(ProgramId, p2_overlog::Diagnostic)>,
     /// Segment-shipping coordinator state (DESIGN.md §2.12).
     pub(crate) ship: crate::ship::ShipState,
+    /// Runtime lint oracle state (DESIGN.md §2.13); `Some` iff
+    /// `NodeConfig::lint` is on.
+    pub(crate) lint: Option<crate::lint::LintState>,
 }
 
 impl Node {
@@ -268,7 +288,11 @@ impl Node {
             plan_diagnostics: Vec::new(),
             analysis_diagnostics: Vec::new(),
             ship: crate::ship::ShipState::default(),
+            lint: None,
         };
+        if node.config.lint {
+            node.lint = Some(crate::lint::LintState::default());
+        }
         // The archive tier goes up before any table registers, so every
         // registration path can enroll as it goes.
         if let Some(mode) = &node.config.archive {
@@ -410,13 +434,23 @@ impl Node {
                     }
                 }
             }
+            if self.lint.is_some() {
+                let tag = self.lint_new_root(tuple.name());
+                self.lint_set_route(tag);
+            }
             self.push_pending(tuple, true);
         }
+        self.lint_set_route(None);
     }
 
     /// Inject a local tuple (tests, operators, upper layers).
     pub fn inject(&mut self, tuple: Tuple) {
+        if self.lint.is_some() {
+            let tag = self.lint_new_root(tuple.name());
+            self.lint_set_route(tag);
+        }
         self.push_pending(tuple, true);
+        self.lint_set_route(None);
     }
 
     /// Run the tracer's reference-count sweep (§2.1.3) and drain table
@@ -505,12 +539,23 @@ impl Node {
     /// *consecutive* runs merge, so cross-relation dispatch order is
     /// exactly the per-tuple engine's.
     pub(crate) fn push_pending(&mut self, tuple: Tuple, traced: bool) {
+        let lint_on = self.lint.is_some();
+        // Trace/introspection churn is outside the flow model: it never
+        // carries cascade attribution, whatever is being routed.
+        let tag = if Self::is_internal_relation(tuple.name()) {
+            None
+        } else {
+            self.lint_route_tag()
+        };
         if let Some(last) = self.pending.back_mut() {
             if last.traced == traced
                 && last.relation == tuple.name()
                 && last.tuples.len() < self.config.max_delta_batch
             {
                 last.tuples.push_back(tuple);
+                if lint_on {
+                    last.tags.push_back(tag);
+                }
                 return;
             }
         }
@@ -518,6 +563,11 @@ impl Node {
             relation: tuple.name().to_string(),
             traced,
             tuples: VecDeque::from([tuple]),
+            tags: if lint_on {
+                VecDeque::from([tag])
+            } else {
+                VecDeque::new()
+            },
         });
     }
 
@@ -559,8 +609,21 @@ impl Node {
 
     /// Fire strand `idx` with a trigger tuple, route its outputs, and
     /// keep the scheduler's worklist in sync with any pipeline work the
-    /// firing left behind.
-    pub(crate) fn fire_strand(&mut self, idx: usize, tuple: &Tuple, traced: bool, now: Time) {
+    /// firing left behind. `tag` is the trigger's lint-oracle cascade
+    /// tag (always `None` with lint off); outputs are stamped and
+    /// counted one hop deeper.
+    pub(crate) fn fire_strand(
+        &mut self,
+        idx: usize,
+        tuple: &Tuple,
+        traced: bool,
+        now: Time,
+        tag: Option<crate::lint::LintTag>,
+    ) {
+        if self.lint.is_some() {
+            let busy = self.strands[idx].has_work();
+            self.lint_on_fire(idx, tag, busy);
+        }
         let mut actions = Vec::new();
         let use_tracer = traced && self.config.tracing;
         {
@@ -583,8 +646,26 @@ impl Node {
         if self.strands[idx].has_work() {
             self.active_strands.insert(idx);
         }
+        self.lint_route_actions(idx, &actions);
         for a in actions {
             self.route_action(a, now);
+        }
+        self.lint_set_route(None);
+    }
+
+    /// Stamp and count a strand's outputs for the lint oracle (no-op
+    /// with lint off): each non-delete action lands one hop deeper than
+    /// the strand's trigger.
+    pub(crate) fn lint_route_actions(&mut self, idx: usize, actions: &[p2_dataflow::Action]) {
+        if self.lint.is_none() {
+            return;
+        }
+        let out_tag = self.lint_output_tag(idx);
+        self.lint_set_route(out_tag);
+        for a in actions {
+            if !a.delete {
+                self.lint_count_output(out_tag);
+            }
         }
     }
 }

@@ -84,7 +84,9 @@ impl Node {
                     Value::Float(period.as_secs_f64()),
                 ],
             );
-            self.fire_strand(strand_idx, &tuple, true, now);
+            // Each timer firing roots a fresh cascade episode.
+            let tag = self.lint_new_root("periodic");
+            self.fire_strand(strand_idx, &tuple, true, now, tag);
         }
         self.metrics.busy += started.elapsed();
     }
@@ -107,8 +109,11 @@ impl Node {
                 }
                 budget -= 1;
                 if let Some(idxs) = self.event_dispatch.get(tuple.name()).cloned() {
+                    // A released trigger re-roots: its original episode
+                    // retired while the fetch was in flight.
+                    let tag = self.lint_new_root(tuple.name());
                     for idx in idxs {
-                        self.fire_strand(idx, &tuple, traced, now);
+                        self.fire_strand(idx, &tuple, traced, now, tag);
                     }
                 }
                 did_work = true;
@@ -156,6 +161,9 @@ impl Node {
                 break;
             }
         }
+        // Quiescent (or overflowed, which already discarded episodes):
+        // retire finished cascade episodes into the lint maxima.
+        self.lint_quiesce();
         self.metrics.busy += started.elapsed();
         self.flush_outbox()
     }
@@ -187,12 +195,13 @@ impl Node {
                 self.pending.pop_front(); // batches are never empty
                 return;
             };
+            let tag = front.tags.pop_front().flatten();
             let traced = front.traced;
             if front.tuples.is_empty() {
                 self.pending.pop_front();
             }
             *budget -= 1;
-            self.dispatch(tuple, traced, now);
+            self.dispatch(tuple, traced, now, tag);
             return;
         }
 
@@ -207,8 +216,10 @@ impl Node {
         let relation = std::mem::take(&mut front.relation);
         let take = (*budget).min(front.tuples.len() as u64) as usize;
         let run: VecDeque<Tuple> = if take == front.tuples.len() {
+            front.tags.clear(); // unsubscribed: no strand, no cascade
             std::mem::take(&mut front.tuples)
         } else {
+            front.tags.drain(..take.min(front.tags.len()));
             front.tuples.drain(..take).collect()
         };
         if !front.tuples.is_empty() {
@@ -238,8 +249,15 @@ impl Node {
     }
 
     /// Dispatch one tuple through the demux: watches, table insert (and
-    /// delta strands) or event strands.
-    pub(crate) fn dispatch(&mut self, tuple: Tuple, traced: bool, now: Time) {
+    /// delta strands) or event strands. `tag` is the tuple's lint-oracle
+    /// cascade tag, handed to every strand it fires.
+    pub(crate) fn dispatch(
+        &mut self,
+        tuple: Tuple,
+        traced: bool,
+        now: Time,
+        tag: Option<crate::lint::LintTag>,
+    ) {
         self.metrics.tuples_dispatched += 1;
         if let Some(log) = self.watches.get_mut(tuple.name()) {
             log.push((now, tuple.clone()));
@@ -259,7 +277,7 @@ impl Node {
             }
             if let Some(idxs) = self.table_dispatch.get(&name).cloned() {
                 for idx in idxs {
-                    self.fire_strand(idx, &tuple, traced, now);
+                    self.fire_strand(idx, &tuple, traced, now, tag);
                 }
             }
         } else if let Some(idxs) = self.event_dispatch.get(&name).cloned() {
@@ -270,7 +288,7 @@ impl Node {
                 return;
             }
             for idx in idxs {
-                self.fire_strand(idx, &tuple, traced, now);
+                self.fire_strand(idx, &tuple, traced, now, tag);
             }
         }
     }
@@ -302,9 +320,11 @@ impl Node {
             }
             steps += 1;
             let emitted = !actions.is_empty();
+            self.lint_route_actions(idx, &actions);
             for a in actions {
                 self.route_action(a, now);
             }
+            self.lint_set_route(None);
             if !solo || emitted || !self.pending.is_empty() || steps >= budget {
                 break;
             }
@@ -318,6 +338,7 @@ impl Node {
         let dropped: usize = self.pending.iter().map(|b| b.tuples.len()).sum();
         self.metrics.overflow_drops += dropped as u64;
         self.pending.clear();
+        self.lint_overflow();
         let active: Vec<usize> = self.active_strands.iter().copied().collect();
         for idx in active {
             self.metrics.strand_overflow_drops += self.strands[idx].abandon_work();

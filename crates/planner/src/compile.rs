@@ -22,7 +22,7 @@ use p2_overlog::{
     Statement, Term, ValidateError,
 };
 use p2_types::{Addr, Tuple, Value};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// Planning errors.
@@ -245,7 +245,142 @@ pub fn compile_program_with(
         }
     }
     out.index_requests = requests.into_iter().collect();
+    annotate_flow(&mut out, known_tables);
     Ok(out)
+}
+
+/// Post-lowering flow annotations (DESIGN.md §2.13): each strand's
+/// worst-case fan-out per firing and its head relation's stratum in
+/// the aggregation order. This mirrors, over plan-level data, what the
+/// analysis crate's deep passes compute over source — the planner
+/// cannot depend on `p2-analysis` (which dry-runs the planner), so the
+/// small computation is duplicated here. EXPLAIN renders both; the
+/// scheduler consults `stratum` only under stratified dispatch.
+fn annotate_flow(out: &mut CompiledProgram, known_tables: &HashSet<String>) {
+    // Declared row bounds: Some(Some(n)) finite, Some(None) declared
+    // infinity, absent = known-at-runtime table of unknown size.
+    let decls: BTreeMap<&str, Option<usize>> = out
+        .tables
+        .iter()
+        .map(|t| (t.name.as_str(), t.max_rows))
+        .collect();
+    let keyed = |table: &str, ms: &MatchSpec| -> bool {
+        let all_eq = ms.fields.iter().all(|f| !matches!(f, FieldMatch::Bind(_)));
+        if all_eq {
+            return true;
+        }
+        out.tables
+            .iter()
+            .find(|t| t.name == table)
+            .is_some_and(|t| {
+                !t.key_fields.is_empty()
+                    && t.key_fields.iter().all(|&k| {
+                        ms.fields
+                            .get(k)
+                            .is_some_and(|f| !matches!(f, FieldMatch::Bind(_) | FieldMatch::Ignore))
+                    })
+            })
+    };
+
+    for s in &mut out.strands {
+        let mut factors: Vec<String> = Vec::new();
+        let mut product: Option<u64> = Some(1);
+        for op in &s.ops {
+            match op {
+                Op::Join { table, match_spec } => {
+                    if keyed(table, match_spec) {
+                        continue; // keyed probe: ×1
+                    }
+                    match decls.get(table.as_str()) {
+                        Some(Some(n)) => {
+                            factors.push(format!("{table}\u{2264}{n}"));
+                            product = product.map(|p| p.saturating_mul(*n as u64));
+                        }
+                        Some(None) => {
+                            factors.push(format!("{table}\u{d7}N"));
+                            product = None;
+                        }
+                        None => {
+                            factors.push(format!("{table}\u{d7}?"));
+                            product = None;
+                        }
+                    }
+                }
+                Op::ArchiveScan { table, .. } => {
+                    factors.push(format!("past({table})\u{d7}?"));
+                    product = None;
+                }
+                Op::Select(_) | Op::Assign { .. } => {}
+            }
+        }
+        s.est_fanout = if s.head.agg.is_some() {
+            // One aggregate tuple per firing, whatever was scanned.
+            "1 (agg)".to_string()
+        } else if factors.is_empty() {
+            "1".to_string()
+        } else if let Some(p) = product {
+            if factors.len() == 1 {
+                format!("\u{2264}{p}")
+            } else {
+                format!("\u{2264}{p} = {}", factors.join(" \u{b7} "))
+            }
+        } else {
+            factors.join(" \u{b7} ")
+        };
+    }
+
+    // Strata: body-table → materialized-head edges, aggregate-marked.
+    // Fixpoint over `stratum[head] ≥ stratum[body] + agg`; sweeps are
+    // capped so an unstratifiable program (rejected by `p2ql check
+    // --deep`, P2E603) cannot spin the annotation pass.
+    let materialized = |name: &str| decls.contains_key(name) || known_tables.contains(name);
+    let mut strata: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut edges: Vec<(&str, &str, bool)> = Vec::new();
+    for s in &out.strands {
+        if s.head.delete || !materialized(&s.head.name) {
+            continue;
+        }
+        let agg = s.head.agg.is_some();
+        if let Trigger::TableInsert { name } = &s.trigger {
+            edges.push((name.as_str(), s.head.name.as_str(), agg));
+        }
+        for op in &s.ops {
+            if let Op::Join { table, .. } = op {
+                if materialized(table) {
+                    edges.push((table.as_str(), s.head.name.as_str(), agg));
+                }
+            }
+        }
+    }
+    let relation_count = {
+        let mut set: BTreeSet<&str> = BTreeSet::new();
+        for (f, t, _) in &edges {
+            set.insert(f);
+            set.insert(t);
+        }
+        set.len()
+    };
+    for _ in 0..=relation_count {
+        let mut changed = false;
+        for (from, to, agg) in &edges {
+            let want = strata.get(from).copied().unwrap_or(0) + usize::from(*agg);
+            let cur = strata.entry(to).or_insert(0);
+            if want > *cur {
+                *cur = want;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let strata: BTreeMap<String, usize> = strata
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    for s in &mut out.strands {
+        s.stratum = strata.get(&s.head.name).copied().unwrap_or(0);
+    }
 }
 
 fn lower_materialize(m: &Materialize) -> TableDecl {
@@ -441,6 +576,8 @@ fn lower_strand(ir: &StrandIr, rule: &Rule, opts: &PlanOpts) -> Result<Strand, P
         slots: slots.map.len(),
         slot_names: slots.names,
         source: p2_overlog::pretty::rule_to_string(rule),
+        stratum: 0,
+        est_fanout: String::new(),
     })
 }
 

@@ -152,6 +152,8 @@ fn explain_strand(s: &Strand, out: &mut String) {
     }
     let _ = writeln!(out, "  head: {}", head(&s.head, s));
     let _ = writeln!(out, "  slots: {} ({})", s.slots, s.slot_names.join(", "));
+    let _ = writeln!(out, "  est. fanout: {}", s.est_fanout);
+    let _ = writeln!(out, "  stratum: {}", s.stratum);
 }
 
 fn match_fields(ms: &MatchSpec, s: &Strand) -> String {

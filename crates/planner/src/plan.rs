@@ -315,6 +315,17 @@ pub struct Strand {
     pub slot_names: Vec<String>,
     /// Original source text of the rule (introspection: `sysRule`).
     pub source: String,
+    /// Stratum of the head relation in the aggregation order (DESIGN.md
+    /// §2.13): every relation an aggregate ranges over sits in a
+    /// strictly lower stratum. 0 for event heads and non-aggregating
+    /// programs. Annotation only — execution consults it solely when
+    /// `stratified_dispatch` ordering is requested.
+    pub stratum: usize,
+    /// Worst-case tuples emitted per firing, as stable EXPLAIN text:
+    /// `"1"`, `"≤64"`, `"≤1024 = finger≤64 · succ≤16"`, or a factor
+    /// list with `×N` (declared-infinity table) / `×?` (table of
+    /// unknown size) markers when no finite product exists.
+    pub est_fanout: String,
 }
 
 impl Strand {

@@ -705,11 +705,46 @@ impl Archive {
 #[derive(Debug, Default)]
 pub struct ImportedHistory {
     by_origin: BTreeMap<String, BTreeMap<String, Vec<Segment>>>,
+    /// Cumulative segments age-dropped per `(origin, relation)` —
+    /// survives wholesale replacement, like any monotone counter.
+    age_dropped: BTreeMap<(String, String), u64>,
 }
 
 impl ImportedHistory {
-    /// Replace the history held for `(origin, relation)`.
-    pub fn replace(&mut self, origin: &str, relation: &str, segments: Vec<Segment>) {
+    /// Replace the history held for `(origin, relation)`, applying the
+    /// holder's age policy on the way in: with `max_age_epochs` set,
+    /// sealed segments whose newest epoch trails the shipment's newest
+    /// sealed epoch by more than that many epochs are dropped — the
+    /// same predicate the origin's own frozen tier uses (`seal_open`),
+    /// so a collector with the policy holds no more history than the
+    /// origin itself would. The newest sealed segment always stays, and
+    /// the live-row frame (epoch `u64::MAX`, not a seal) neither drops
+    /// nor ages anything out.
+    pub fn replace(
+        &mut self,
+        origin: &str,
+        relation: &str,
+        mut segments: Vec<Segment>,
+        max_age_epochs: Option<u64>,
+    ) {
+        if let Some(max_age) = max_age_epochs {
+            let newest = segments
+                .iter()
+                .map(Segment::epoch_hi)
+                .filter(|&e| e != u64::MAX)
+                .max();
+            if let Some(newest) = newest {
+                let before = segments.len() as u64;
+                segments.retain(|s| s.epoch_hi().saturating_add(max_age) >= newest);
+                let dropped = before - segments.len() as u64;
+                if dropped > 0 {
+                    *self
+                        .age_dropped
+                        .entry((origin.to_string(), relation.to_string()))
+                        .or_default() += dropped;
+                }
+            }
+        }
         self.by_origin
             .entry(origin.to_string())
             .or_default()
@@ -735,16 +770,23 @@ impl ImportedHistory {
             .collect()
     }
 
-    /// `(origin, relation, segment count, bytes)` rows, sorted.
-    pub fn stats(&self) -> Vec<(String, String, u64, u64)> {
+    /// `(origin, relation, segment count, bytes, age-dropped)` rows,
+    /// sorted by origin then relation.
+    pub fn stats(&self) -> Vec<(String, String, u64, u64, u64)> {
         let mut out = Vec::new();
         for (origin, rels) in &self.by_origin {
             for (relation, segs) in rels {
+                let dropped = self
+                    .age_dropped
+                    .get(&(origin.clone(), relation.clone()))
+                    .copied()
+                    .unwrap_or(0);
                 out.push((
                     origin.clone(),
                     relation.clone(),
                     segs.len() as u64,
                     segs.iter().map(|s| s.len_bytes() as u64).sum(),
+                    dropped,
                 ));
             }
         }

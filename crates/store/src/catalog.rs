@@ -356,9 +356,17 @@ impl Catalog {
     /// Install segment frames shipped from `origin` as that node's
     /// history of `relation`, replacing whatever was held before. The
     /// caller has already validated the frames ([`Segment::from_bytes`]
-    /// rejects hostile bytes with typed errors).
+    /// rejects hostile bytes with typed errors). Imports obey the same
+    /// `max_age_epochs` policy as this node's own frozen tier — a
+    /// collector ages shipped history out exactly like local history.
+    /// With archiving disabled there is no policy; shipments are held
+    /// whole.
     pub fn import_history(&mut self, origin: &str, relation: &str, segments: Vec<Segment>) {
-        self.imported.replace(origin, relation, segments);
+        let max_age = self
+            .archive
+            .as_ref()
+            .and_then(|a| a.config().max_age_epochs);
+        self.imported.replace(origin, relation, segments, max_age);
     }
 
     /// The shipped-history index (coverage checks, introspection).
@@ -420,9 +428,10 @@ impl Catalog {
         self.archive.as_mut()
     }
 
-    /// `(origin, relation, segments, bytes)` rows for shipped history
-    /// held here, sorted — the `archive.ship.*` sysStat feed.
-    pub fn imported_stats(&self) -> Vec<(String, String, u64, u64)> {
+    /// `(origin, relation, segments, bytes, age-dropped)` rows for
+    /// shipped history held here, sorted — the `archive.ship.*` sysStat
+    /// feed.
+    pub fn imported_stats(&self) -> Vec<(String, String, u64, u64, u64)> {
         self.imported.stats()
     }
 
@@ -544,6 +553,47 @@ mod tests {
     fn scan_unknown_is_empty() {
         let mut c = Catalog::new();
         assert!(c.scan("nothing", Time::ZERO).is_empty());
+    }
+
+    #[test]
+    fn imported_history_obeys_local_age_policy() {
+        fn seg(epoch: u64) -> Segment {
+            let t = if epoch == u64::MAX { 100 } else { epoch };
+            let rows = vec![crate::SpilledRow {
+                tuple: Tuple::new("seen", [Value::addr("a"), Value::Int(t as i64)]),
+                inserted_at: Time::from_secs(t),
+                dropped_at: Time::from_secs(t + 1),
+            }];
+            Segment::build("seen", epoch, epoch, &rows)
+        }
+        let mut c = Catalog::new();
+        c.enable_archive(ArchiveConfig {
+            max_age_epochs: Some(2),
+            ..ArchiveConfig::default()
+        });
+        // Epochs 0..=9 plus a live-row frame: only epochs within 2 of
+        // the newest seal (9) survive; the live frame is not a seal and
+        // never drops.
+        let mut frames: Vec<Segment> = (0..10).map(seg).collect();
+        frames.push(seg(u64::MAX));
+        c.import_history("a", "seen", frames);
+        let stats = c.imported_stats();
+        assert_eq!(stats.len(), 1);
+        let (origin, relation, segs, _bytes, age_dropped) = &stats[0];
+        assert_eq!((origin.as_str(), relation.as_str()), ("a", "seen"));
+        assert_eq!(*segs, 4, "epochs 7..=9 plus the live frame stay");
+        assert_eq!(*age_dropped, 7);
+
+        // Re-import accumulates the counter (wholesale replacement).
+        let frames: Vec<Segment> = (0..5).map(seg).collect();
+        c.import_history("a", "seen", frames);
+        assert_eq!(c.imported_stats()[0].4, 9);
+
+        // No archive tier → no policy → shipments held whole.
+        let mut plain = Catalog::new();
+        plain.import_history("a", "seen", (0..10).map(seg).collect());
+        assert_eq!(plain.imported_stats()[0].2, 10);
+        assert_eq!(plain.imported_stats()[0].4, 0);
     }
 
     #[test]

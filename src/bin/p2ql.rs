@@ -18,6 +18,18 @@
 //! consuming it is not flagged. Exit status is non-zero when any file
 //! has errors or warnings; notes are informational.
 //!
+//! check options beyond `--stack` / `--extern`:
+//!   --deep     run the flow analyzer too (DESIGN.md §2.13): cascade
+//!              termination (P2W601), amplification bounds (P2W602),
+//!              stratification (P2E603); prints per-root worst-case
+//!              cascade depth and amplification after the verdict
+//!   --json     machine-readable report on stdout: one array with an
+//!              object per checked stack ({stack, passes, diagnostics,
+//!              flow}); unbounded flow bounds render as null
+//!   --chord    prepend the built-in Chord program and the §3 monitor
+//!              suite to the stack (implies --stack; no files needed) —
+//!              how tier-1 gates the shipped corpus
+//!
 //! run/trace options:
 //!   --nodes N        population size (default 1; addresses n0..n[N-1])
 //!   --for SECS       virtual seconds to run (default 30)
@@ -100,16 +112,25 @@ fn main() -> ExitCode {
 }
 
 fn check(args: &[String]) -> ExitCode {
-    use p2ql::analysis::{check_sources, AnalysisCtx};
+    use p2ql::analysis::{check_sources_with, AnalysisCtx, CheckOpts, FlowReport};
     use p2ql::overlog::{Severity, SourceUnit};
 
     let mut stack = false;
+    let mut deep = false;
+    let mut json = false;
+    let mut chord = false;
     let mut ctx = AnalysisCtx::default();
     let mut paths: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--stack" => stack = true,
+            "--deep" => deep = true,
+            "--json" => json = true,
+            "--chord" => {
+                chord = true;
+                stack = true; // the builtins only make sense as one stack
+            }
             "--extern" => match it.next() {
                 Some(name) => {
                     ctx.external_events.insert(name.clone());
@@ -126,14 +147,47 @@ fn check(args: &[String]) -> ExitCode {
             p => paths.push(p),
         }
     }
-    if paths.is_empty() {
-        eprintln!("usage: p2ql check [--stack] [--extern EVENT] <file.olg> [more.olg ...]");
+    if paths.is_empty() && !chord {
+        eprintln!(
+            "usage: p2ql check [--stack] [--deep] [--json] [--chord] \
+             [--extern EVENT] <file.olg> [more.olg ...]"
+        );
         return ExitCode::from(2);
     }
-    let mut sources = Vec::with_capacity(paths.len());
+
+    // `--chord` prepends the built-in Chord overlay plus the §3 monitor
+    // suite, so the shipped corpus can be gated without source files on
+    // disk (tier-1 runs `p2ql check --deep --chord`).
+    let mut names: Vec<String> = Vec::new();
+    let mut sources: Vec<String> = Vec::new();
+    if chord {
+        use p2ql::monitor::{ordering, oscillation, ring, watchpoints};
+        let builtins = [
+            (
+                "<builtin:chord>",
+                p2ql::chord::chord_program(&p2ql::chord::ChordConfig::default()),
+            ),
+            ("<builtin:ring-active>", ring::active_probe_program(10)),
+            ("<builtin:ring-passive>", ring::passive_check_program()),
+            ("<builtin:ordering>", ordering::opportunistic_program()),
+            ("<builtin:traversal>", ordering::traversal_program()),
+            ("<builtin:oscillation>", oscillation::full_program()),
+            ("<builtin:watchpoints>", watchpoints::suite_program(10)),
+        ];
+        for (n, s) in builtins {
+            names.push(n.to_string());
+            sources.push(s);
+        }
+        // The token traversal starts from the operator console
+        // (`ordering::start_traversal` injects it), not from a rule.
+        ctx.external_events.insert("orderingEvent".to_string());
+    }
     for p in &paths {
         match std::fs::read_to_string(p) {
-            Ok(s) => sources.push(s),
+            Ok(s) => {
+                names.push((*p).to_string());
+                sources.push(s);
+            }
             Err(e) => {
                 eprintln!("cannot read {p}: {e}");
                 return ExitCode::from(2);
@@ -143,26 +197,35 @@ fn check(args: &[String]) -> ExitCode {
 
     // Each file alone, or all files as one install stack.
     let groups: Vec<Vec<usize>> = if stack {
-        vec![(0..paths.len()).collect()]
+        vec![(0..names.len()).collect()]
     } else {
-        (0..paths.len()).map(|i| vec![i]).collect()
+        (0..names.len()).map(|i| vec![i]).collect()
     };
 
+    let opts = CheckOpts { deep };
     let mut failed = false;
+    let mut json_groups: Vec<String> = Vec::new();
     for group in groups {
         let units: Vec<SourceUnit<'_>> = group
             .iter()
             .map(|&i| SourceUnit {
-                name: paths[i],
+                name: &names[i],
                 src: &sources[i],
             })
             .collect();
-        let report = check_sources(&units, &ctx);
+        let report = check_sources_with(&units, &ctx, &opts);
         let label = group
             .iter()
-            .map(|&i| paths[i])
+            .map(|&i| names[i].as_str())
             .collect::<Vec<_>>()
             .join(" + ");
+        if !report.passes() {
+            failed = true;
+        }
+        if json {
+            json_groups.push(check_group_json(&label, &units, &report));
+            continue;
+        }
         if report.diags.items.is_empty() {
             let rules: usize = report.programs.iter().map(|p| p.rules().count()).sum();
             let tables: usize = report
@@ -171,24 +234,143 @@ fn check(args: &[String]) -> ExitCode {
                 .map(|p| p.materializations().count())
                 .sum();
             println!("{label}: ok ({rules} rules, {tables} tables)");
-            continue;
+        } else {
+            eprint!("{}", report.diags.render(&units));
+            let (e, w, n) = (
+                report.diags.count(Severity::Error),
+                report.diags.count(Severity::Warning),
+                report.diags.count(Severity::Note),
+            );
+            eprintln!("{label}: {e} errors, {w} warnings, {n} notes");
         }
-        eprint!("{}", report.diags.render(&units));
-        let (e, w, n) = (
-            report.diags.count(Severity::Error),
-            report.diags.count(Severity::Warning),
-            report.diags.count(Severity::Note),
-        );
-        eprintln!("{label}: {e} errors, {w} warnings, {n} notes");
-        if !report.passes() {
-            failed = true;
+        if let Some(flow) = &report.flow {
+            print_flow_summary(flow);
         }
     }
-    if failed {
+    if json {
+        println!("[{}]", json_groups.join(","));
+    }
+    return if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    };
+
+    /// Human-readable `--deep` epilogue: worst-case cascade bounds per
+    /// external root, and how many strata the stack needs.
+    fn print_flow_summary(flow: &FlowReport) {
+        let max_stratum = flow.strata.values().copied().max().unwrap_or(0);
+        println!("  flow: {} strata, roots: {}", max_stratum + 1, {
+            if flow.roots.is_empty() {
+                "none".to_string()
+            } else {
+                flow.roots.join(", ")
+            }
+        });
+        for root in &flow.roots {
+            let depth = flow
+                .depth
+                .get(root)
+                .map_or("0".to_string(), |b| b.to_string());
+            let amp = flow
+                .amplification
+                .get(root)
+                .map_or("0".to_string(), |b| b.to_string());
+            println!("    {root}: cascade depth {depth}, amplification {amp}");
+        }
     }
+}
+
+/// One `--json` result object for a check group. Hand-rolled (the tree
+/// is small and flat; no serializer dependency wanted).
+fn check_group_json(
+    label: &str,
+    units: &[p2ql::overlog::SourceUnit<'_>],
+    report: &p2ql::analysis::CheckReport,
+) -> String {
+    use p2ql::analysis::Bound;
+
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn bound(b: &Bound) -> String {
+        match b {
+            Bound::Finite(n) => n.to_string(),
+            Bound::Unbounded => "null".to_string(),
+        }
+    }
+
+    let mut diags = Vec::new();
+    for d in &report.diags.items {
+        let file = units.get(d.unit).map(|u| u.name).unwrap_or("<unknown>");
+        let (line, col) = d
+            .span
+            .map_or(("null".to_string(), "null".to_string()), |s| {
+                (s.line.to_string(), s.col.to_string())
+            });
+        let context = d
+            .context
+            .as_deref()
+            .map_or("null".to_string(), |c| format!("\"{}\"", esc(c)));
+        let help = d
+            .help
+            .as_deref()
+            .map_or("null".to_string(), |h| format!("\"{}\"", esc(h)));
+        diags.push(format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\
+             \"line\":{line},\"col\":{col},\"message\":\"{}\",\
+             \"context\":{context},\"help\":{help}}}",
+            d.code,
+            d.severity,
+            esc(file),
+            esc(&d.message),
+        ));
+    }
+
+    let flow = report.flow.as_ref().map_or("null".to_string(), |f| {
+        let roots: Vec<String> = f.roots.iter().map(|r| format!("\"{}\"", esc(r))).collect();
+        let depth: Vec<String> = f
+            .depth
+            .iter()
+            .map(|(r, b)| format!("\"{}\":{}", esc(r), bound(b)))
+            .collect();
+        let amp: Vec<String> = f
+            .amplification
+            .iter()
+            .map(|(r, b)| format!("\"{}\":{}", esc(r), bound(b)))
+            .collect();
+        let strata: Vec<String> = f
+            .strata
+            .iter()
+            .map(|(r, s)| format!("\"{}\":{s}", esc(r)))
+            .collect();
+        format!(
+            "{{\"roots\":[{}],\"depth\":{{{}}},\"amplification\":{{{}}},\
+             \"strata\":{{{}}}}}",
+            roots.join(","),
+            depth.join(","),
+            amp.join(","),
+            strata.join(",")
+        )
+    });
+
+    format!(
+        "{{\"stack\":\"{}\",\"passes\":{},\"diagnostics\":[{}],\"flow\":{flow}}}",
+        esc(label),
+        report.passes(),
+        diags.join(",")
+    )
 }
 
 fn fmt(src: &str) -> ExitCode {

@@ -2,12 +2,13 @@
 //!
 //! Every program this repository ships — the `programs/` examples, the
 //! Chord overlay, and each §3 monitoring application stacked on the
-//! overlay it observes — goes through the full `p2ql check` pipeline.
-//! Clean means **no errors and no warnings**; notes are allowed (the
-//! corpus deliberately uses the delete-cycle and fill-at-install idioms
-//! the notes describe).
+//! overlay it observes — goes through the full `p2ql check --deep`
+//! pipeline, flow passes included. Clean means **no errors and no
+//! warnings**; notes are allowed (the corpus deliberately uses the
+//! delete-cycle and fill-at-install idioms the notes describe, and the
+//! deep passes annotate its bounded recursion with P2N604/P2N605).
 
-use p2ql::analysis::{check_sources, AnalysisCtx, CheckReport};
+use p2ql::analysis::{check_sources_with, AnalysisCtx, CheckOpts, CheckReport};
 use p2ql::overlog::SourceUnit;
 
 fn check_stack(units: &[(&str, &str)], ctx: &AnalysisCtx) -> (CheckReport, String) {
@@ -15,7 +16,7 @@ fn check_stack(units: &[(&str, &str)], ctx: &AnalysisCtx) -> (CheckReport, Strin
         .iter()
         .map(|(name, src)| SourceUnit { name, src })
         .collect();
-    let report = check_sources(&su, ctx);
+    let report = check_sources_with(&su, ctx, &CheckOpts { deep: true });
     let rendered = report.diags.render(&su);
     (report, rendered)
 }
@@ -68,6 +69,38 @@ fn chord_checks_clean() {
     let units = chord_units();
     let refs: Vec<(&str, &str)> = units.iter().map(|(n, s)| (*n, s.as_str())).collect();
     assert_clean("chord + node facts", &refs);
+}
+
+#[test]
+fn chord_deep_pass_sees_its_bounded_recursion() {
+    // The deep pass must actually engage on Chord: the lookup SCC
+    // (l2/l3 recursion through `bestLookupDist`) is a real trigger
+    // cycle, bounded by guarded rules — a P2N604 note, never a P2W601
+    // warning. And the flow report must carry bounds for the roots.
+    let units = chord_units();
+    let refs: Vec<(&str, &str)> = units.iter().map(|(n, s)| (*n, s.as_str())).collect();
+    let (report, rendered) = check_stack(&refs, &AnalysisCtx::default());
+    assert!(report.passes(), "{rendered}");
+    let notes: Vec<_> = report
+        .diags
+        .items
+        .iter()
+        .filter(|d| d.code == "P2N604")
+        .collect();
+    assert!(
+        notes.iter().any(|d| d.message.contains("lookup")),
+        "expected a bounded-cycle note for the lookup recursion:\n{rendered}"
+    );
+    let flow = report.flow.expect("deep run populates the flow report");
+    assert!(
+        flow.roots.contains(&"periodic".to_string()),
+        "chord is periodic-driven: {:?}",
+        flow.roots
+    );
+    assert!(
+        !flow.strata.is_empty(),
+        "stratum map covers the materialized graph"
+    );
 }
 
 #[test]

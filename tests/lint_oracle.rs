@@ -1,0 +1,197 @@
+//! The flow analyzer's static bounds dominate what the runtime lint
+//! oracle actually measures (DESIGN.md §2.13).
+//!
+//! With `NodeConfig::lint` on, every node tags local deltas with their
+//! cascade root and depth and publishes per-root-relation maxima. These
+//! tests run the Chord overlay plus §3 monitors and assert, at 1 and 4
+//! shards, that no measured cascade depth or per-episode output count
+//! ever exceeds the static `depth` / `amplification` bound the deep
+//! analysis derives for that root relation. Roots the analysis calls
+//! `Unbounded` (anything reaching the lookup recursion) are skipped —
+//! there is no finite bound to compare against.
+
+use p2ql::analysis::{flow_report, AnalysisCtx, Bound, FlowReport};
+use p2ql::chord::{build_ring, chord_program, ChordConfig};
+use p2ql::core::{NodeConfig, ParallelHarness, Population, SimHarness};
+use p2ql::monitor::{ordering, oscillation, ring, watchpoints};
+use p2ql::overlog::parse_program;
+use p2ql::types::TimeDelta;
+
+fn lint_config() -> NodeConfig {
+    NodeConfig {
+        lint: true,
+        ..Default::default()
+    }
+}
+
+/// Static flow report over exactly the sources the scenario installs.
+fn static_bounds(sources: &[String]) -> FlowReport {
+    let programs: Vec<_> = sources
+        .iter()
+        .map(|s| parse_program(s).expect("shipped program parses"))
+        .collect();
+    let refs: Vec<&_> = programs.iter().collect();
+    flow_report(&refs, &AnalysisCtx::default())
+}
+
+/// Drive the ring + monitors scenario, then check every node's measured
+/// maxima against the static bounds.
+fn assert_measured_within_static<H: Population>(sim: &mut H, label: &str) {
+    let monitors = [
+        ring::active_probe_program(9),
+        ring::passive_check_program(),
+        ordering::opportunistic_program(),
+        oscillation::full_program(),
+        watchpoints::suite_program(10),
+    ];
+    let topo = build_ring(sim, 6, &ChordConfig::default());
+    sim.run_for(TimeDelta::from_secs(120));
+    for a in topo.addrs.clone() {
+        for m in &monitors {
+            sim.install(&a, m).expect("monitor installs");
+        }
+    }
+    sim.run_for(TimeDelta::from_secs(180));
+
+    let mut sources = vec![chord_program(&ChordConfig::default())];
+    sources.extend(monitors.iter().cloned());
+    let report = static_bounds(&sources);
+
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    for a in topo.addrs.clone() {
+        let measured = sim.node_mut(&a).lint_maxima();
+        assert!(
+            !measured.is_empty(),
+            "[{label}] lint oracle measured nothing at {a}"
+        );
+        for (rel, depth, outputs) in measured {
+            match report.depth.get(&rel) {
+                Some(Bound::Finite(d)) => {
+                    checked += 1;
+                    assert!(
+                        depth <= *d,
+                        "[{label}] {a}: measured cascade depth {depth} from root \
+                         '{rel}' exceeds the static bound {d}"
+                    );
+                }
+                Some(Bound::Unbounded) => skipped += 1,
+                // A relation outside the trigger graph cannot cascade.
+                None => assert_eq!(
+                    depth, 0,
+                    "[{label}] {a}: root '{rel}' is not in the trigger graph \
+                     yet cascaded to depth {depth}"
+                ),
+            }
+            match report.amplification.get(&rel) {
+                Some(Bound::Finite(b)) => assert!(
+                    outputs <= *b,
+                    "[{label}] {a}: episode from root '{rel}' derived {outputs} \
+                     tuples, above the static amplification bound {b}"
+                ),
+                Some(Bound::Unbounded) => {}
+                None => assert_eq!(
+                    outputs, 0,
+                    "[{label}] {a}: root '{rel}' outside the trigger graph \
+                     derived {outputs} tuples"
+                ),
+            }
+        }
+    }
+    assert!(
+        checked > 0,
+        "[{label}] no finite-bound root was ever measured \
+         (checked={checked}, skipped={skipped})"
+    );
+}
+
+#[test]
+fn measured_cascades_stay_within_static_bounds_sequential() {
+    let mut sim = SimHarness::new(Default::default(), lint_config(), 90);
+    assert_measured_within_static(&mut sim, "1 shard");
+}
+
+#[test]
+fn measured_cascades_stay_within_static_bounds_sharded() {
+    let mut sim = ParallelHarness::new(Default::default(), lint_config(), 90, 4);
+    assert_measured_within_static(&mut sim, "4 shards");
+}
+
+/// Exact-bound sanity on a closed scenario: a periodic broadcast over a
+/// bounded peer table. Static says amp(periodic) = rows·(1+1) and depth
+/// 2; the measured episode must match the real row count, under both.
+#[test]
+fn linear_chain_measures_at_most_the_declared_bound() {
+    let mut sim = SimHarness::new(Default::default(), lint_config(), 7);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let src = "materialize(peer, infinity, 8, keys(1, 2)).
+               hb1 beat@P(N, E) :- periodic@N(E, 5), peer@N(P).
+               hb2 seen@N(F) :- beat@N(F, E).
+               materialize(seen, infinity, infinity, keys(1, 2)).";
+    sim.install(&a, src).expect("installs");
+    sim.install(&b, src).expect("installs");
+    sim.install(&a, &format!("peer@\"{a}\"(\"{b}\").\n"))
+        .expect("fact installs");
+    sim.run_for(TimeDelta::from_secs(30));
+
+    let program = parse_program(src).expect("parses");
+    let report = flow_report(&[&program], &AnalysisCtx::default());
+    assert_eq!(
+        report.amplification.get("periodic"),
+        Some(&Bound::Finite(16))
+    );
+    assert_eq!(report.depth.get("periodic"), Some(&Bound::Finite(2)));
+
+    let measured = sim.node_mut(&a).lint_maxima();
+    let periodic = measured
+        .iter()
+        .find(|(rel, _, _)| rel == "periodic")
+        .expect("periodic episodes measured");
+    assert!(periodic.1 <= 2, "depth {} > 2", periodic.1);
+    assert!(periodic.2 <= 16, "outputs {} > 16", periodic.2);
+    // And the receiver measured the re-rooted `beat` arrivals.
+    let beat = sim
+        .node_mut(&b)
+        .lint_maxima()
+        .into_iter()
+        .find(|(rel, _, _)| rel == "beat")
+        .expect("beat arrivals re-root on the receiver");
+    assert!(beat.1 <= 1, "beat depth {} > 1", beat.1);
+    assert!(beat.2 <= 1, "beat outputs {} > 1", beat.2);
+}
+
+/// The oracle is bookkeeping only: with lint on and off, the same
+/// scenario produces identical protocol state and network counters.
+#[test]
+fn lint_oracle_is_observably_inert() {
+    let fingerprint = |lint: bool| {
+        let config = NodeConfig {
+            lint,
+            ..Default::default()
+        };
+        let mut sim = SimHarness::new(Default::default(), config, 90);
+        let topo = build_ring(&mut sim, 5, &ChordConfig::default());
+        sim.run_for(TimeDelta::from_secs(150));
+        let mut out = String::new();
+        for a in topo.addrs.clone() {
+            let m = sim.node_mut(&a).metrics().clone();
+            out.push_str(&format!(
+                "{a}: dispatched={} firings={} sent={}\n",
+                m.tuples_dispatched, m.strand_firings, m.tuples_sent
+            ));
+            let now = sim.now();
+            let mut rows: Vec<String> = sim
+                .node_mut(&a)
+                .table_scan("bestSucc", now)
+                .iter()
+                .map(|t| t.to_string())
+                .collect();
+            rows.sort();
+            out.push_str(&rows.join("\n"));
+            out.push('\n');
+        }
+        out
+    };
+    assert_eq!(fingerprint(false), fingerprint(true));
+}
