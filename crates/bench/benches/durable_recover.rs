@@ -1,0 +1,119 @@
+//! File-backend recovery throughput (DESIGN.md §2.14).
+//!
+//! A crashed node's boot cost is dominated by replaying its durable
+//! segment logs: scanning `[len][checksum][frame]` records, verifying
+//! each checksum, and decoding every frame back into a sealed segment.
+//! The numbers that matter are bytes-per-second through
+//! [`FileDurable::recover`]:
+//!
+//! * `durable_recover/file_clean`: a cleanly-shut-down log — the pure
+//!   scan + verify + decode path, no rewrite;
+//! * `durable_recover/file_torn`: the same log with a torn tail (the
+//!   crash landed mid-append) — recovery truncates the partial record
+//!   and rewrites the log clean, so this pays the write-back too;
+//! * `durable_recover/mem`: the in-memory backend the simulator uses,
+//!   as the no-I/O baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use p2_store::{DurableStore, FileDurable, MemDurable, Segment, SpilledRow};
+use p2_types::{Time, Tuple, Value};
+
+const SEGMENTS: usize = 256;
+const ROWS_PER_SEG: usize = 48;
+
+fn seg(epoch: usize) -> Segment {
+    let rows: Vec<SpilledRow> = (0..ROWS_PER_SEG)
+        .map(|j| {
+            let at = Time::from_secs((epoch * 30 + j) as u64);
+            SpilledRow {
+                tuple: Tuple::new(
+                    "bestSucc",
+                    [Value::addr("n1"), Value::Int(j as i64), Value::str("v")],
+                ),
+                inserted_at: at,
+                dropped_at: Time::from_secs((epoch * 30 + j + 30) as u64),
+            }
+        })
+        .collect();
+    Segment::build("bestSucc", epoch as u64, epoch as u64, &rows)
+}
+
+/// A freshly-written log of [`SEGMENTS`] sealed segments on disk.
+/// Returns the directory and the total log size in bytes.
+fn seeded_dir(tag: &str) -> (std::path::PathBuf, u64) {
+    let dir = std::env::temp_dir().join(format!("p2-bench-durable-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = FileDurable::new(&dir, false);
+    for i in 0..SEGMENTS {
+        store.append("bestSucc", seg(i).as_bytes());
+    }
+    store.barrier();
+    (dir, store.log_len("bestSucc") as u64)
+}
+
+fn bench_durable_recover(c: &mut Criterion) {
+    let (clean_dir, bytes) = seeded_dir("clean");
+    // Printed once so the wall-clock numbers convert to MB/s.
+    eprintln!("durable_recover: log is {bytes} bytes ({SEGMENTS} segments x {ROWS_PER_SEG} rows)");
+
+    c.bench_function("durable_recover_file_clean", |b| {
+        b.iter(|| {
+            let mut store = FileDurable::new(&clean_dir, false);
+            let rec = store.recover();
+            black_box(rec.relations.iter().map(|(_, s)| s.len()).sum::<usize>())
+        })
+    });
+
+    // Torn tail: each iteration recovers a fresh copy of the log with
+    // its final record cut short, so the rewrite-clean path runs every
+    // time (a second recovery of the same dir would be the clean path).
+    let (torn_src, _) = seeded_dir("torn-src");
+    let torn_dir =
+        std::env::temp_dir().join(format!("p2-bench-durable-torn-{}", std::process::id()));
+    c.bench_function("durable_recover_file_torn", |b| {
+        b.iter_batched(
+            || {
+                let _ = std::fs::remove_dir_all(&torn_dir);
+                std::fs::create_dir_all(&torn_dir).expect("scratch dir");
+                for entry in std::fs::read_dir(&torn_src).expect("seed dir") {
+                    let entry = entry.expect("seed entry");
+                    std::fs::copy(entry.path(), torn_dir.join(entry.file_name()))
+                        .expect("copy seed log");
+                }
+                let log = torn_dir.join("rel-0.seglog");
+                let len = std::fs::metadata(&log).expect("log metadata").len();
+                let file = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&log)
+                    .expect("open log");
+                file.set_len(len - 7).expect("tear the tail");
+            },
+            |()| {
+                let mut store = FileDurable::new(&torn_dir, false);
+                let rec = store.recover();
+                black_box((rec.truncated_tail_bytes, rec.quarantined))
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // In-memory baseline: same frames, no filesystem.
+    let mut mem = MemDurable::new();
+    for i in 0..SEGMENTS {
+        mem.append("bestSucc", seg(i).as_bytes());
+    }
+    mem.barrier();
+    c.bench_function("durable_recover_mem", |b| {
+        b.iter(|| {
+            let rec = mem.recover();
+            black_box(rec.relations.iter().map(|(_, s)| s.len()).sum::<usize>())
+        })
+    });
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&torn_src);
+    let _ = std::fs::remove_dir_all(&torn_dir);
+}
+
+criterion_group!(benches, bench_durable_recover);
+criterion_main!(benches);

@@ -55,6 +55,18 @@ pub trait Population {
     /// Whether the node is crashed.
     fn is_down(&self, addr: &Addr) -> bool;
 
+    /// Restart a node: all soft state is lost (as in a process crash),
+    /// archived history is recovered from the node's durable store when
+    /// durability is configured, harness-installed programs are
+    /// reinstalled at the current virtual time, and the node becomes
+    /// reachable again. Bit-identical across harness implementations
+    /// for the same seed and fault schedule.
+    fn restart(&mut self, addr: &Addr) -> Result<(), InstallError>;
+
+    /// Set the uniform packet-loss rate on the fabric (0.0 ..= 1.0),
+    /// applied to every shard fabric when the population is sharded.
+    fn set_loss_rate(&mut self, rate: f64);
+
     /// Advance virtual time to `deadline`, firing timers and deliveries
     /// in order.
     fn run_until(&mut self, deadline: Time);
@@ -109,6 +121,12 @@ impl Population for crate::SimHarness {
     }
     fn is_down(&self, addr: &Addr) -> bool {
         SimHarness::is_down(self, addr)
+    }
+    fn restart(&mut self, addr: &Addr) -> Result<(), InstallError> {
+        SimHarness::restart(self, addr)
+    }
+    fn set_loss_rate(&mut self, rate: f64) {
+        SimHarness::set_loss_rate(self, rate)
     }
     fn run_until(&mut self, deadline: Time) {
         SimHarness::run_until(self, deadline)

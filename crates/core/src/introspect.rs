@@ -173,6 +173,27 @@ pub fn refresh(node: &mut Node, now: Time) {
         }
     }
 
+    // Durable-tier counters (DESIGN.md §2.14), present only when a
+    // durable store is attached — nodes without durability keep their
+    // sysStat byte-identical.
+    let mut durable_rows: Vec<Tuple> = Vec::new();
+    if let Some(d) = node.catalog_mut().durable_stats() {
+        for (k, v) in [
+            ("durable.boots", d.boots),
+            ("durable.appends", d.appends),
+            ("durable.fsyncs", d.fsyncs),
+            ("durable.recoveredSegments", d.recovered_segments),
+            ("durable.truncatedTailBytes", d.truncated_tail_bytes),
+            ("durable.quarantined", d.quarantined),
+            ("durable.ioErrors", d.io_errors),
+        ] {
+            durable_rows.push(Tuple::new(
+                SYS_STAT,
+                [loc.clone(), Value::str(k), Value::Int(v as i64)],
+            ));
+        }
+    }
+
     // Segment-shipping counters, present only on nodes where shipping
     // was ever touched (peer enrolled, collector subscribed, or ship
     // traffic received) — everyone else's sysStat is unchanged.
@@ -200,6 +221,7 @@ pub fn refresh(node: &mut Node, now: Time) {
             ("archive.ship.bytesSent", s.bytes_sent),
             ("archive.ship.bytesReceived", s.bytes_received),
             ("archive.ship.strays", s.strays),
+            ("archive.ship.out.deltaSegments", s.delta_segments),
         ] {
             ship_rows.push(Tuple::new(
                 SYS_STAT,
@@ -320,6 +342,7 @@ pub fn refresh(node: &mut Node, now: Time) {
         .chain(rule_rows)
         .chain(stat_rows)
         .chain(archive_rows)
+        .chain(durable_rows)
         .chain(ship_rows)
         .chain(idx_rows)
         .chain(diag_rows)

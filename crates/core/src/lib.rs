@@ -34,7 +34,10 @@ pub mod sim;
 pub use driver::{Driver, SimPort, ThreadedPort, Transport, UdpPort};
 pub use harness::Population;
 pub use metrics::{NodeMetrics, ShardStats};
-pub use node::{ArchiveEnroll, ArchiveMode, InstallError, Node, NodeConfig, ProgramId};
+pub use node::{
+    ArchiveEnroll, ArchiveMode, DurabilityMode, DurableBackend, InstallError, Node, NodeConfig,
+    ProgramId,
+};
 pub use parallel::ParallelHarness;
 pub use ship::{ShipConfig, ShipFailure, ShipStats};
 pub use sim::SimHarness;

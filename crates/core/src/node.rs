@@ -99,6 +99,43 @@ impl Default for ArchiveMode {
     }
 }
 
+/// Where a node's durable segment log lives (DESIGN.md §2.14).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableBackend {
+    /// Deterministic in-memory log: survives [`Node::into_durable`] /
+    /// [`Node::with_recovered`] handover (the sim harness's restart
+    /// path) but not process exit. The default for simulation.
+    Memory,
+    /// One directory per deployment; each node keeps its manifest and
+    /// per-relation `.seglog` files under `<dir>/<sanitized addr>/`.
+    Dir(std::path::PathBuf),
+}
+
+/// Durability settings: backend, fsync policy, and an optional
+/// deterministic fault plan (crash points, torn writes, bit flips)
+/// applied to the store for recovery testing.
+#[derive(Debug, Clone)]
+pub struct DurabilityMode {
+    /// Log placement (see [`DurableBackend`]).
+    pub backend: DurableBackend,
+    /// Whether the seal barrier additionally `fsync`s file-backed logs
+    /// (counted either way in `durable.fsyncs`).
+    pub fsync: bool,
+    /// Deterministic fault injection wrapped around the backend; `None`
+    /// in production.
+    pub plan: Option<p2_store::FaultPlan>,
+}
+
+impl Default for DurabilityMode {
+    fn default() -> Self {
+        DurabilityMode {
+            backend: DurableBackend::Memory,
+            fsync: false,
+            plan: None,
+        }
+    }
+}
+
 /// Node configuration.
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
@@ -152,6 +189,13 @@ pub struct NodeConfig {
     /// Off by default; enabling it changes no routing or derivation,
     /// only the bookkeeping.
     pub lint: bool,
+    /// Durable segment log (DESIGN.md §2.14): `None` (the default)
+    /// keeps the archive purely in memory and every existing trace
+    /// byte-identical; `Some` appends each sealed segment to the
+    /// configured backend before it becomes visible, so
+    /// [`Node::with_recovered`] can rebuild archived history after a
+    /// crash. Requires `archive` to be enabled to have any effect.
+    pub durability: Option<DurabilityMode>,
 }
 
 impl Default for NodeConfig {
@@ -169,6 +213,7 @@ impl Default for NodeConfig {
             ship: crate::ship::ShipConfig::default(),
             stratified_dispatch: false,
             lint: false,
+            durability: None,
         }
     }
 }
@@ -262,8 +307,59 @@ pub struct Node {
 }
 
 impl Node {
-    /// Create a node at `addr`.
+    /// Create a node at `addr`. With durability configured this is a
+    /// *first boot*: the durable store is built from the config and its
+    /// (empty) logs recovered, so a fresh node and a restarted one take
+    /// the same code path.
     pub fn new(addr: Addr, config: NodeConfig) -> Node {
+        Node::boot(addr, config, None)
+    }
+
+    /// Re-create a node after a crash, recovering archived history from
+    /// the durable store handed over from its previous incarnation (see
+    /// [`Node::into_durable`]). Soft state — live tables, timers, trace
+    /// state, in-flight strands — is gone by contract; only sealed
+    /// segments survive. With `store == None` this is a plain boot.
+    pub fn with_recovered(
+        addr: Addr,
+        config: NodeConfig,
+        store: Option<Box<dyn p2_store::DurableStore>>,
+    ) -> Node {
+        Node::boot(addr, config, store)
+    }
+
+    /// Tear the node down and detach its durable store (if any) for
+    /// handover to the next incarnation. Everything else is dropped —
+    /// the crash loses all soft state.
+    pub fn into_durable(mut self) -> Option<Box<dyn p2_store::DurableStore>> {
+        self.catalog.take_durable()
+    }
+
+    /// Build the durable store described by `mode` (first boot: no
+    /// handover). File-backed logs live under `<dir>/<sanitized addr>/`.
+    fn build_durable(addr: &Addr, mode: &DurabilityMode) -> Box<dyn p2_store::DurableStore> {
+        let inner: Box<dyn p2_store::DurableStore> = match &mode.backend {
+            DurableBackend::Memory => Box::new(p2_store::MemDurable::new()),
+            DurableBackend::Dir(base) => {
+                let leaf: String = addr
+                    .as_str()
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                    .collect();
+                Box::new(p2_store::FileDurable::new(base.join(leaf), mode.fsync))
+            }
+        };
+        match &mode.plan {
+            Some(plan) => Box::new(p2_store::FaultingStore::new(inner, plan.clone())),
+            None => inner,
+        }
+    }
+
+    fn boot(
+        addr: Addr,
+        config: NodeConfig,
+        handover: Option<Box<dyn p2_store::DurableStore>>,
+    ) -> Node {
         let rng = DetRng::derive(config.seed, addr.as_str());
         let tracer = Tracer::new(addr.clone(), config.trace.clone());
         let mut node = Node {
@@ -297,6 +393,21 @@ impl Node {
         // registration path can enroll as it goes.
         if let Some(mode) = &node.config.archive {
             node.catalog.enable_archive(mode.config);
+        }
+        // Durable recovery runs right after the archive tier exists and
+        // before any new spill: recovered segments form the clean prefix
+        // every later seal appends to.
+        if node.config.archive.is_some() {
+            if let Some(mode) = node.config.durability.clone() {
+                let store = handover.unwrap_or_else(|| Node::build_durable(&node.addr, &mode));
+                node.catalog.recover_durability(store);
+                // Announce generations must outrun every pre-crash one,
+                // or collectors drop the restarted node's first announce
+                // as stale; the boot counter gives a monotone epoch.
+                if let Some(stats) = node.catalog.durable_stats() {
+                    node.ship.announce_gen = stats.boots.saturating_sub(1) << 32;
+                }
+            }
         }
         if node.config.tracing {
             node.register_trace_tables();
@@ -463,6 +574,9 @@ impl Node {
             self.tracer.gc(&mut self.catalog, now);
         }
         self.catalog.archive_maintain();
+        // With durability on, the sweep is also the checkpoint: expired
+        // history is sealed into the log before announces go out.
+        self.catalog.durable_checkpoint(now);
         self.ship_announce_pump(now);
     }
 

@@ -274,6 +274,11 @@ pub struct ParallelHarness {
     /// sequential harness's per-wave `begin_epoch` calls consume).
     stamp_time: Time,
     stamp_epoch: u32,
+    /// Per-node config as registered, replayed on
+    /// [`ParallelHarness::restart`].
+    configs: HashMap<Addr, NodeConfig>,
+    /// Programs installed through the harness, replayed on restart.
+    programs: HashMap<Addr, Vec<String>>,
 }
 
 impl ParallelHarness {
@@ -330,6 +335,8 @@ impl ParallelHarness {
             seed,
             stamp_time: Time::ZERO,
             stamp_epoch: 0,
+            configs: HashMap::new(),
+            programs: HashMap::new(),
         }
     }
 
@@ -364,6 +371,7 @@ impl ParallelHarness {
     pub fn add_node_with(&mut self, name: &str, mut config: NodeConfig) -> Addr {
         let addr = Addr::new(name);
         config.seed = self.seed;
+        self.configs.insert(addr.clone(), config.clone());
         let si = self.order.len() % self.shards.len();
         for (i, shard) in self.shards.iter_mut().enumerate() {
             shard.net.register_at(addr.clone(), i == si);
@@ -413,6 +421,10 @@ impl ParallelHarness {
     pub fn install(&mut self, addr: &Addr, source: &str) -> Result<ProgramId, InstallError> {
         let now = self.clock;
         let pid = self.node_mut(addr).install(source, now)?;
+        self.programs
+            .entry(addr.clone())
+            .or_default()
+            .push(source.to_string());
         self.control_settle();
         Ok(pid)
     }
@@ -424,6 +436,10 @@ impl ParallelHarness {
         for i in 0..self.order.len() {
             let addr = self.order[i].clone();
             out.push(self.node_mut(&addr).install(source, now)?);
+            self.programs
+                .entry(addr.clone())
+                .or_default()
+                .push(source.to_string());
         }
         self.control_settle();
         Ok(out)
@@ -453,6 +469,54 @@ impl ParallelHarness {
     /// Whether the node is crashed.
     pub fn is_down(&self, addr: &Addr) -> bool {
         self.shards[0].net.is_down(addr)
+    }
+
+    /// Restart a node from scratch: all soft state and queued inbox
+    /// mail is lost, the sealed archive is recovered from the node's
+    /// durable store (when durability is configured), harness-installed
+    /// programs are reinstalled at the current virtual time, and every
+    /// shard fabric marks the node reachable again. Mirrors
+    /// [`crate::SimHarness::restart`] wave for wave, so recovered state
+    /// is bit-identical across shard counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never added to the harness.
+    pub fn restart(&mut self, addr: &Addr) -> Result<(), InstallError> {
+        let (si, ni) = self.index[addr];
+        let config = self
+            .configs
+            .get(addr)
+            .cloned()
+            .unwrap_or_else(|| self.base_node_config.clone());
+        let slot = &mut self.shards[si].nodes[ni];
+        // Swap in a throwaway placeholder so the dying node can be
+        // consumed for its durable store — the only thing that
+        // survives the crash.
+        let old = std::mem::replace(
+            &mut slot.node,
+            Node::new(addr.clone(), NodeConfig::default()),
+        );
+        let store = old.into_durable();
+        slot.node = Node::with_recovered(addr.clone(), config, store);
+        slot.inbox.clear();
+        self.shards[si].timers[ni] = None;
+        let now = self.clock;
+        let mut failed = None;
+        for source in self.programs.get(addr).cloned().unwrap_or_default() {
+            if let Err(e) = self.shards[si].nodes[ni].node.install(&source, now) {
+                failed = Some(e);
+                break;
+            }
+        }
+        for shard in &mut self.shards {
+            shard.net.set_down(addr, false);
+        }
+        self.control_settle();
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Sever or restore a directed link on every shard fabric.
@@ -809,6 +873,12 @@ impl Population for ParallelHarness {
     }
     fn is_down(&self, addr: &Addr) -> bool {
         ParallelHarness::is_down(self, addr)
+    }
+    fn restart(&mut self, addr: &Addr) -> Result<(), InstallError> {
+        ParallelHarness::restart(self, addr)
+    }
+    fn set_loss_rate(&mut self, rate: f64) {
+        ParallelHarness::set_loss_rate(self, rate)
     }
     fn run_until(&mut self, deadline: Time) {
         ParallelHarness::run_until(self, deadline)

@@ -110,6 +110,9 @@ pub struct ShipStats {
     pub bytes_received: u64,
     /// Messages dropped as unparseable or uncorrelated.
     pub strays: u64,
+    /// Sealed segments shipped in delta announces instead of being
+    /// re-shipped with the full history (subscribe-mode savings).
+    pub delta_segments: u64,
 }
 
 /// A typed remote-history failure — the §3 forensic distinction
@@ -193,6 +196,29 @@ struct PendingFetch {
     reassembly: Reassembly,
 }
 
+/// One reply chunk's fields, bundled off [`ShipMsg::Reply`].
+#[derive(Debug)]
+struct ReplyFrame {
+    req_id: u64,
+    chunk: u32,
+    chunks: u32,
+    watermark: u64,
+    bytes: Vec<u8>,
+}
+
+/// One announce chunk's fields, bundled off [`ShipMsg::Announce`].
+#[derive(Debug)]
+struct AnnounceFrame {
+    gen: u64,
+    chunk: u32,
+    chunks: u32,
+    delta: bool,
+    prev_hi: u64,
+    watermark: u64,
+    oldest_lo: u64,
+    bytes: Vec<u8>,
+}
+
 /// An event trigger parked until its fetches resolve.
 #[derive(Debug)]
 struct StagedTrigger {
@@ -219,12 +245,27 @@ pub(crate) struct ShipState {
     /// staging order).
     pub(crate) released: VecDeque<(Tuple, bool)>,
     next_req: u64,
-    /// Subscribe mode: next announce generation.
-    announce_gen: u64,
+    /// Subscribe mode: next announce generation. On a durable restart
+    /// the boot counter is folded into the high bits (see
+    /// `Node::boot`), so post-restart generations outrun every
+    /// pre-crash one and collectors never mistake them for stale.
+    pub(crate) announce_gen: u64,
     /// Store version last announced per relation (skip no-op streams).
     announced_version: BTreeMap<String, u64>,
+    /// Origin side: baseline of the last announce per relation —
+    /// `(epoch_hi of the newest sealed segment, fingerprint of the
+    /// whole sealed tier)`. The next announce ships a delta only when
+    /// this fingerprint still matches a prefix of the current sealed
+    /// tier (no compaction, pruning, or age-drop rewrote the
+    /// baseline); anything else falls back to a full snapshot.
+    announced_baseline: BTreeMap<String, (u64, u64)>,
     /// Newest generation applied per `(origin, relation)`.
     announce_last: BTreeMap<(String, String), u64>,
+    /// Collector side: the baseline epoch-hi currently held per
+    /// `(origin, relation)` — set by full announces and pull fetches,
+    /// advanced by deltas. A delta whose `prev_hi` exceeds this is a
+    /// gap (missed announce, or we restarted): fall back to a pull.
+    announce_watermark: BTreeMap<(String, String), u64>,
     /// In-progress announce reassembly per `(origin, relation)`.
     announce_rx: BTreeMap<(String, String), (u64, Reassembly)>,
     failures: VecDeque<ShipFailure>,
@@ -370,15 +411,45 @@ impl Node {
                 relation,
                 chunk,
                 chunks,
+                watermark,
+                oldest_lo: _,
                 bytes,
-            } => self.ship_accept_reply(src, req_id, &relation, chunk, chunks, bytes),
+            } => self.ship_accept_reply(
+                src,
+                &relation,
+                ReplyFrame {
+                    req_id,
+                    chunk,
+                    chunks,
+                    watermark,
+                    bytes,
+                },
+            ),
             ShipMsg::Announce {
                 gen,
                 relation,
                 chunk,
                 chunks,
+                delta,
+                prev_hi,
+                watermark,
+                oldest_lo,
                 bytes,
-            } => self.ship_accept_announce(src, gen, &relation, chunk, chunks, bytes),
+            } => self.ship_accept_announce(
+                src,
+                &relation,
+                AnnounceFrame {
+                    gen,
+                    chunk,
+                    chunks,
+                    delta,
+                    prev_hi,
+                    watermark,
+                    oldest_lo,
+                    bytes,
+                },
+                now,
+            ),
             ShipMsg::Nack {
                 req_id,
                 relation,
@@ -391,10 +462,16 @@ impl Node {
     /// the full visible history ships, so the importer can answer any
     /// later window from the same snapshot.
     fn ship_serve_request(&mut self, src: &Addr, req_id: u64, relation: &str, now: Time) {
-        match self.catalog.export_history(relation, now) {
-            Some(frames) => {
+        match self.catalog.export_history_meta(relation, now) {
+            Some(export) => {
                 self.ship.stats.requests_served += 1;
-                let encoded: Vec<Vec<u8>> = frames.iter().map(|s| s.as_bytes().to_vec()).collect();
+                let watermark = export.watermark.unwrap_or(u64::MAX);
+                let oldest_lo = export.oldest.unwrap_or(u64::MAX);
+                let encoded: Vec<Vec<u8>> = export
+                    .frames
+                    .iter()
+                    .map(|s| s.as_bytes().to_vec())
+                    .collect();
                 let batch = encode_batch(&encoded);
                 let parts = chunk_payload(&batch, self.config.ship.chunk_bytes.max(1));
                 let chunks = parts.len() as u32;
@@ -407,6 +484,8 @@ impl Node {
                             relation: relation.to_string(),
                             chunk: i as u32,
                             chunks,
+                            watermark,
+                            oldest_lo,
                             bytes,
                         },
                     );
@@ -428,18 +507,10 @@ impl Node {
 
     /// Collector side: accept one reply chunk; on completion validate
     /// and import the snapshot and release whatever was staged on it.
-    fn ship_accept_reply(
-        &mut self,
-        src: &Addr,
-        req_id: u64,
-        relation: &str,
-        chunk: u32,
-        chunks: u32,
-        bytes: Vec<u8>,
-    ) {
+    fn ship_accept_reply(&mut self, src: &Addr, relation: &str, frame: ReplyFrame) {
         self.ship.stats.reply_chunks_received += 1;
-        self.ship.stats.bytes_received += bytes.len() as u64;
-        let Some(p) = self.ship.pending.get_mut(&req_id) else {
+        self.ship.stats.bytes_received += frame.bytes.len() as u64;
+        let Some(p) = self.ship.pending.get_mut(&frame.req_id) else {
             self.ship.stats.strays += 1; // late reply to a retired request
             return;
         };
@@ -447,7 +518,7 @@ impl Node {
             self.ship.stats.strays += 1;
             return;
         }
-        let payload = match p.reassembly.offer(chunk, chunks, bytes) {
+        let payload = match p.reassembly.offer(frame.chunk, frame.chunks, frame.bytes) {
             Ok(Some(payload)) => payload,
             Ok(None) => return, // more chunks coming
             Err(e) => {
@@ -456,18 +527,30 @@ impl Node {
                     relation: relation.to_string(),
                     detail: e.to_string(),
                 });
-                self.ship.resolve(req_id);
+                self.ship.resolve(frame.req_id);
                 return;
             }
         };
         match ship_decode_segments(&payload, relation) {
             Ok(segments) => {
+                let key = (src.as_str().to_string(), relation.to_string());
                 self.catalog
                     .import_history(src.as_str(), relation, segments);
-                self.ship
-                    .covered
-                    .insert((src.as_str().to_string(), relation.to_string()));
+                // The snapshot establishes a fresh baseline for future
+                // delta announces (or clears it when nothing is sealed).
+                if frame.watermark == u64::MAX {
+                    self.ship.announce_watermark.remove(&key);
+                } else {
+                    self.ship
+                        .announce_watermark
+                        .insert(key.clone(), frame.watermark);
+                }
+                self.ship.covered.insert(key);
                 self.ship.stats.fetches_completed += 1;
+                // A completed fetch supersedes any earlier "peer
+                // unreachable" verdict — the peer came back (restart
+                // recovery), so the stale failure must not linger.
+                self.ship_clear_unreachable(src, relation);
             }
             Err(detail) => {
                 self.ship.record_failure(ShipFailure::BadSegment {
@@ -477,7 +560,16 @@ impl Node {
                 });
             }
         }
-        self.ship.resolve(req_id);
+        self.ship.resolve(frame.req_id);
+    }
+
+    /// Drop a lingering `P2S902` (peer unreachable) diagnostic for
+    /// `origin/relation` once history flows from that peer again.
+    fn ship_clear_unreachable(&mut self, origin: &Addr, relation: &str) {
+        self.ship.failures.retain(|f| {
+            !matches!(f, ShipFailure::PeerUnreachable { origin: o, relation: r }
+                if o == origin.as_str() && r == relation)
+        });
     }
 
     /// Collector side: a peer refused. That is an *answer* — coverage
@@ -504,19 +596,25 @@ impl Node {
         self.ship.resolve(req_id);
     }
 
-    /// Collector side: accept one announce chunk (subscribe mode).
+    /// Collector side: accept one announce chunk (subscribe mode). A
+    /// complete *full* snapshot replaces whatever is held; a complete
+    /// *delta* extends the held baseline — but only when this
+    /// collector actually holds the baseline the origin extended
+    /// (`prev_hi`). A mismatch means a missed generation (loss window,
+    /// collector restart): the delta is discarded and coverage is
+    /// repaired with an ordinary pull fetch, whose reply carries the
+    /// origin's full history and a fresh baseline watermark.
     fn ship_accept_announce(
         &mut self,
         src: &Addr,
-        gen: u64,
         relation: &str,
-        chunk: u32,
-        chunks: u32,
-        bytes: Vec<u8>,
+        frame: AnnounceFrame,
+        now: Time,
     ) {
         self.ship.stats.announce_chunks_received += 1;
-        self.ship.stats.bytes_received += bytes.len() as u64;
+        self.ship.stats.bytes_received += frame.bytes.len() as u64;
         let key = (src.as_str().to_string(), relation.to_string());
+        let gen = frame.gen;
         if self.ship.announce_last.get(&key).is_some_and(|&g| gen <= g) {
             return; // stale generation
         }
@@ -530,7 +628,7 @@ impl Node {
         } else if rx.0 > gen {
             return;
         }
-        let payload = match rx.1.offer(chunk, chunks, bytes) {
+        let payload = match rx.1.offer(frame.chunk, frame.chunks, frame.bytes) {
             Ok(Some(payload)) => payload,
             Ok(None) => return,
             Err(e) => {
@@ -544,13 +642,40 @@ impl Node {
             }
         };
         self.ship.announce_rx.remove(&key);
+        if frame.delta {
+            let held = self.ship.announce_watermark.get(&key).copied();
+            if held.is_none_or(|w| w < frame.prev_hi) {
+                // Gap: we never saw the baseline this delta extends.
+                // Keep what we hold and re-fetch the full history.
+                self.ship_refetch(src, relation, now);
+                return;
+            }
+        }
         match ship_decode_segments(&payload, relation) {
             Ok(segments) => {
-                self.catalog
-                    .import_history(src.as_str(), relation, segments);
+                if frame.delta {
+                    self.catalog.import_history_delta(
+                        src.as_str(),
+                        relation,
+                        frame.prev_hi,
+                        frame.oldest_lo,
+                        segments,
+                    );
+                } else {
+                    self.catalog
+                        .import_history(src.as_str(), relation, segments);
+                }
+                if frame.watermark == u64::MAX {
+                    self.ship.announce_watermark.remove(&key);
+                } else {
+                    self.ship
+                        .announce_watermark
+                        .insert(key.clone(), frame.watermark);
+                }
                 self.ship.announce_last.insert(key.clone(), gen);
                 self.ship.covered.insert(key);
                 self.ship.stats.announces_applied += 1;
+                self.ship_clear_unreachable(src, relation);
             }
             Err(detail) => {
                 self.ship.record_failure(ShipFailure::BadSegment {
@@ -559,6 +684,21 @@ impl Node {
                     detail,
                 });
             }
+        }
+    }
+
+    /// Issue a standalone full fetch of `(peer, relation)` — the
+    /// delta-gap repair path — joining any in-flight fetch of the same
+    /// pair instead of duplicating it. Nothing stages on it; the
+    /// timeout machinery retries and resolves it like any other fetch.
+    fn ship_refetch(&mut self, peer: &Addr, relation: &str, now: Time) {
+        let dup = self
+            .ship
+            .pending
+            .values()
+            .any(|p| &p.peer == peer && p.relation == relation);
+        if !dup {
+            self.ship_send_request(peer, relation, now);
         }
     }
 
@@ -717,6 +857,16 @@ impl Node {
     /// [`Node::trace_gc`] — the same population-global instant in both
     /// harnesses, which is what keeps announce timing (and therefore
     /// collector state) bit-identical at any shard count.
+    ///
+    /// When the sealed tier has only *grown* since the last announce
+    /// (same baseline segments, new ones appended — the steady state),
+    /// the stream is a **delta**: only segments sealed past the last
+    /// announced watermark plus the open tail ship, and the collector
+    /// splices them onto the baseline it already holds. Any rewrite of
+    /// the baseline — compaction, retention pruning, age drops, or a
+    /// relation with nothing sealed yet — falls back to the full
+    /// snapshot, which is what keeps a collector's imported history
+    /// byte-identical to the origin's export at all times.
     pub(crate) fn ship_announce_pump(&mut self, now: Time) {
         if self.ship.collectors.is_empty() {
             return;
@@ -727,13 +877,50 @@ impl Node {
             if self.ship.announced_version.get(&rel) == Some(&version) {
                 continue; // nothing moved since the last stream
             }
-            let Some(frames) = self.catalog.export_history(&rel, now) else {
+            let Some(export) = self.catalog.export_history_meta(&rel, now) else {
                 return; // archiving off: nothing to stream at all
             };
             self.ship.announced_version.insert(rel.clone(), version);
             self.ship.announce_gen += 1;
             let gen = self.ship.announce_gen;
-            let encoded: Vec<Vec<u8>> = frames.iter().map(|s| s.as_bytes().to_vec()).collect();
+            let sealed = &export.frames[..export.sealed];
+            let watermark = export.watermark.unwrap_or(u64::MAX);
+            let oldest_lo = export.oldest.unwrap_or(u64::MAX);
+            // Delta iff the previously announced baseline is still a
+            // literal prefix of the sealed tier.
+            let prev = self.ship.announced_baseline.get(&rel).copied();
+            let delta_from = prev.and_then(|(prev_hi, fp)| {
+                let baseline: Vec<&Segment> =
+                    sealed.iter().filter(|s| s.epoch_hi() <= prev_hi).collect();
+                (baseline_fingerprint(baseline.iter().copied()) == fp).then_some(prev_hi)
+            });
+            if export.sealed > 0 {
+                self.ship.announced_baseline.insert(
+                    rel.clone(),
+                    (
+                        export.watermark.unwrap_or(0),
+                        baseline_fingerprint(sealed.iter()),
+                    ),
+                );
+            } else {
+                self.ship.announced_baseline.remove(&rel);
+            }
+            let ship_frames: Vec<&Segment> = match delta_from {
+                Some(prev_hi) => {
+                    let fresh: Vec<&Segment> = export.frames[..export.sealed]
+                        .iter()
+                        .filter(|s| s.epoch_hi() > prev_hi)
+                        .chain(export.frames[export.sealed..].iter())
+                        .collect();
+                    self.ship.stats.delta_segments += fresh
+                        .len()
+                        .saturating_sub(export.frames.len() - export.sealed)
+                        as u64;
+                    fresh
+                }
+                None => export.frames.iter().collect(),
+            };
+            let encoded: Vec<Vec<u8>> = ship_frames.iter().map(|s| s.as_bytes().to_vec()).collect();
             let batch = encode_batch(&encoded);
             let parts = chunk_payload(&batch, self.config.ship.chunk_bytes.max(1));
             let chunks = parts.len() as u32;
@@ -748,6 +935,10 @@ impl Node {
                             relation: rel.clone(),
                             chunk: i as u32,
                             chunks,
+                            delta: delta_from.is_some(),
+                            prev_hi: delta_from.unwrap_or(0),
+                            watermark,
+                            oldest_lo,
                             bytes: bytes.clone(),
                         },
                     );
@@ -755,6 +946,21 @@ impl Node {
             }
         }
     }
+}
+
+/// Fingerprint a sealed-tier prefix: FNV over each segment's epoch
+/// range, byte length, and row count. Two sealed tiers with the same
+/// fingerprint hold the same segments for the delta protocol's purposes
+/// (compaction, pruning, and age drops all change it).
+fn baseline_fingerprint<'a>(segments: impl Iterator<Item = &'a Segment>) -> u64 {
+    let mut buf = Vec::new();
+    for s in segments {
+        buf.extend_from_slice(&s.epoch_lo().to_le_bytes());
+        buf.extend_from_slice(&s.epoch_hi().to_le_bytes());
+        buf.extend_from_slice(&(s.len_bytes() as u64).to_le_bytes());
+        buf.extend_from_slice(&s.row_count().to_le_bytes());
+    }
+    p2_types::rng::fnv1a(&buf)
 }
 
 /// Decode a reassembled payload into validated segments, all of the

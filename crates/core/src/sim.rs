@@ -33,6 +33,10 @@ pub struct SimHarness {
     next_gc: Time,
     base_node_config: NodeConfig,
     seed: u64,
+    /// Per-node config as registered, replayed on [`SimHarness::restart`].
+    configs: HashMap<Addr, NodeConfig>,
+    /// Programs installed through the harness, replayed on restart.
+    programs: HashMap<Addr, Vec<String>>,
 }
 
 impl SimHarness {
@@ -50,6 +54,8 @@ impl SimHarness {
             next_gc: Time::from_secs(30),
             base_node_config: nc,
             seed,
+            configs: HashMap::new(),
+            programs: HashMap::new(),
         }
     }
 
@@ -78,6 +84,7 @@ impl SimHarness {
     pub fn add_node_with(&mut self, name: &str, mut config: NodeConfig) -> Addr {
         let addr = Addr::new(name);
         config.seed = self.seed;
+        self.configs.insert(addr.clone(), config.clone());
         self.net.register(addr.clone());
         self.nodes.insert(
             addr.clone(),
@@ -121,6 +128,10 @@ impl SimHarness {
     pub fn install(&mut self, addr: &Addr, source: &str) -> Result<ProgramId, InstallError> {
         let now = self.clock;
         let pid = self.node_mut(addr).install(source, now)?;
+        self.programs
+            .entry(addr.clone())
+            .or_default()
+            .push(source.to_string());
         self.settle();
         Ok(pid)
     }
@@ -132,6 +143,10 @@ impl SimHarness {
         for a in addrs {
             let now = self.clock;
             out.push(self.node_mut(&a).install(source, now)?);
+            self.programs
+                .entry(a.clone())
+                .or_default()
+                .push(source.to_string());
         }
         self.settle();
         Ok(out)
@@ -157,6 +172,52 @@ impl SimHarness {
     /// Whether the node is crashed.
     pub fn is_down(&self, addr: &Addr) -> bool {
         self.net.is_down(addr)
+    }
+
+    /// Restart a node from scratch: every piece of soft state — tables,
+    /// dataflow, pending timers, queued messages — is lost, exactly as
+    /// in a process crash. If the node's config enables durability, the
+    /// sealed archive is recovered from its durable store; otherwise
+    /// the node comes back empty. Programs installed *through the
+    /// harness* are reinstalled at the current virtual time, and the
+    /// node is marked reachable again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never added to the harness.
+    #[expect(clippy::expect_used, reason = "documented panic on unknown address")]
+    pub fn restart(&mut self, addr: &Addr) -> Result<(), InstallError> {
+        let drv = self.nodes.remove(addr).expect("unknown node");
+        // Hand the durable store across the "crash": the store is the
+        // only thing that survives, everything else is rebuilt.
+        let store = drv.into_node().into_durable();
+        let config = self
+            .configs
+            .get(addr)
+            .cloned()
+            .unwrap_or_else(|| self.base_node_config.clone());
+        let mut node = Node::with_recovered(addr.clone(), config, store);
+        let now = self.clock;
+        let mut failed = None;
+        for source in self.programs.get(addr).cloned().unwrap_or_default() {
+            if let Err(e) = node.install(&source, now) {
+                failed = Some(e);
+                break;
+            }
+        }
+        self.nodes
+            .insert(addr.clone(), Driver::new(node, SimPort::default()));
+        self.net.set_down(addr, false);
+        self.settle();
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Set the uniform packet-loss rate on the fabric (0.0 ..= 1.0).
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        self.net.set_loss_rate(rate);
     }
 
     /// Pump all nodes and exchange due messages until nothing more can

@@ -60,15 +60,25 @@ pub enum ShipMsg {
         chunk: u32,
         /// Total chunks in this reply.
         chunks: u32,
+        /// Epoch-hi of the origin's newest sealed segment in this
+        /// snapshot (`u64::MAX` when none are sealed) — the baseline a
+        /// later delta announce may extend.
+        watermark: u64,
+        /// Epoch-lo of the origin's oldest sealed segment (`u64::MAX`
+        /// when none).
+        oldest_lo: u64,
         /// This chunk's slice of the encoded batch.
         bytes: Vec<u8>,
     },
-    /// Subscribe-mode push: one chunk of a complete history snapshot
-    /// for `relation`, streamed to an enrolled collector. `gen` is the
+    /// Subscribe-mode push: one chunk of a history snapshot for
+    /// `relation`, streamed to an enrolled collector. `gen` is the
     /// origin's monotonically increasing snapshot generation for the
     /// relation; a collector applies a snapshot only when every chunk
     /// of the generation has arrived and the generation is newer than
-    /// what it holds.
+    /// what it holds. With `delta` set the payload carries only
+    /// segments sealed *after* `prev_hi` (plus the open tail); it
+    /// applies only on a collector whose baseline already covers
+    /// `prev_hi`, which must otherwise fall back to a pull fetch.
     Announce {
         /// Origin's snapshot generation (monotone per relation).
         gen: u64,
@@ -78,6 +88,17 @@ pub enum ShipMsg {
         chunk: u32,
         /// Total chunks in this snapshot.
         chunks: u32,
+        /// Whether the payload extends a previously-announced baseline
+        /// instead of replacing the full history.
+        delta: bool,
+        /// Baseline epoch-hi this delta extends (0 on full snapshots).
+        prev_hi: u64,
+        /// Epoch-hi of the newest sealed segment after this snapshot
+        /// applies (`u64::MAX` when none are sealed).
+        watermark: u64,
+        /// Epoch-lo of the oldest sealed segment after this snapshot
+        /// applies (`u64::MAX` when none).
+        oldest_lo: u64,
         /// This chunk's slice of the encoded batch.
         bytes: Vec<u8>,
     },
@@ -185,6 +206,14 @@ fn get_u32(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u32, ShipE
     }
 }
 
+fn get_bool(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<bool, ShipError> {
+    match decode_value_from(buf, pos)? {
+        Value::Int(0) => Ok(false),
+        Value::Int(1) => Ok(true),
+        _ => Err(ShipError::BadField(what)),
+    }
+}
+
 fn get_str(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<String, ShipError> {
     match decode_value_from(buf, pos)? {
         Value::Str(s) => Ok(s.to_string()),
@@ -221,6 +250,8 @@ impl ShipMsg {
                 relation,
                 chunk,
                 chunks,
+                watermark,
+                oldest_lo,
                 bytes,
             } => {
                 out.push(TAG_REPLY);
@@ -228,6 +259,8 @@ impl ShipMsg {
                 encode_value_into(&mut out, &Value::str(relation));
                 encode_value_into(&mut out, &Value::Int(*chunk as i64));
                 encode_value_into(&mut out, &Value::Int(*chunks as i64));
+                encode_value_into(&mut out, &Value::Int(*watermark as i64));
+                encode_value_into(&mut out, &Value::Int(*oldest_lo as i64));
                 put_bytes(&mut out, bytes);
             }
             ShipMsg::Announce {
@@ -235,6 +268,10 @@ impl ShipMsg {
                 relation,
                 chunk,
                 chunks,
+                delta,
+                prev_hi,
+                watermark,
+                oldest_lo,
                 bytes,
             } => {
                 out.push(TAG_ANNOUNCE);
@@ -242,6 +279,10 @@ impl ShipMsg {
                 encode_value_into(&mut out, &Value::str(relation));
                 encode_value_into(&mut out, &Value::Int(*chunk as i64));
                 encode_value_into(&mut out, &Value::Int(*chunks as i64));
+                encode_value_into(&mut out, &Value::Int(i64::from(*delta)));
+                encode_value_into(&mut out, &Value::Int(*prev_hi as i64));
+                encode_value_into(&mut out, &Value::Int(*watermark as i64));
+                encode_value_into(&mut out, &Value::Int(*oldest_lo as i64));
                 put_bytes(&mut out, bytes);
             }
             ShipMsg::Nack {
@@ -284,6 +325,8 @@ impl ShipMsg {
                     relation,
                     chunk,
                     chunks,
+                    watermark: get_u64(buf, &mut pos, "watermark")?,
+                    oldest_lo: get_u64(buf, &mut pos, "oldest_lo")?,
                     bytes: take_bytes(buf, &mut pos)?,
                 }
             }
@@ -300,6 +343,10 @@ impl ShipMsg {
                     relation,
                     chunk,
                     chunks,
+                    delta: get_bool(buf, &mut pos, "delta")?,
+                    prev_hi: get_u64(buf, &mut pos, "prev_hi")?,
+                    watermark: get_u64(buf, &mut pos, "watermark")?,
+                    oldest_lo: get_u64(buf, &mut pos, "oldest_lo")?,
                     bytes: take_bytes(buf, &mut pos)?,
                 }
             }
@@ -483,6 +530,8 @@ mod tests {
                 relation: "bestSucc".into(),
                 chunk: 1,
                 chunks: 3,
+                watermark: 11,
+                oldest_lo: 2,
                 bytes: vec![0xDE, 0xAD, 0xBE, 0xEF],
             },
             ShipMsg::Announce {
@@ -490,6 +539,10 @@ mod tests {
                 relation: "ruleExec".into(),
                 chunk: 0,
                 chunks: 1,
+                delta: true,
+                prev_hi: 9,
+                watermark: 12,
+                oldest_lo: u64::MAX,
                 bytes: Vec::new(),
             },
             ShipMsg::Nack {
@@ -549,6 +602,8 @@ mod tests {
             relation: "r".into(),
             chunk: 0,
             chunks: 1,
+            watermark: 0,
+            oldest_lo: 0,
             bytes: vec![1],
         };
         let ok = msg.encode();
@@ -558,6 +613,8 @@ mod tests {
             relation: "r".into(),
             chunk: 5,
             chunks: 2,
+            watermark: 0,
+            oldest_lo: 0,
             bytes: vec![1],
         }
         .encode();
@@ -628,10 +685,13 @@ mod tests {
             let msg = match which {
                 0 => ShipMsg::Request { req_id, relation, t0: Time(t0), t1: Time(t1) },
                 1 => ShipMsg::Reply {
-                    req_id, relation, chunk, chunks: chunk + extra + 1, bytes,
+                    req_id, relation, chunk, chunks: chunk + extra + 1,
+                    watermark: t0, oldest_lo: t1, bytes,
                 },
                 2 => ShipMsg::Announce {
-                    gen: req_id, relation, chunk, chunks: chunk + extra + 1, bytes,
+                    gen: req_id, relation, chunk, chunks: chunk + extra + 1,
+                    delta: t0.is_multiple_of(2), prev_hi: t1,
+                    watermark: t0, oldest_lo: t1, bytes,
                 },
                 _ => ShipMsg::Nack { req_id, relation, reason },
             };
@@ -661,6 +721,8 @@ mod tests {
                 relation: "bestSucc".into(),
                 chunk: 0,
                 chunks: 1,
+                watermark: seed,
+                oldest_lo: seed,
                 bytes: seed.to_le_bytes().to_vec(),
             };
             let mut bytes = msg.encode();

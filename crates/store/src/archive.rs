@@ -25,6 +25,7 @@
 //!   `p2_net::wire` value codec; truncation, tag corruption, and absurd
 //!   length prefixes all surface as typed [`SegmentError`]s.
 
+use crate::durable::{DurableStats, DurableStore};
 use p2_net::wire::{decode_value_from, encode_value_into, WireError};
 use p2_types::{Time, TimeDelta, Tuple, Value};
 use std::collections::{BTreeMap, VecDeque};
@@ -453,14 +454,37 @@ struct RelationArchive {
     age_dropped_segments: u64,
 }
 
-fn seal_open(relation: &str, ra: &mut RelationArchive, config: &ArchiveConfig) {
+fn seal_open(
+    relation: &str,
+    ra: &mut RelationArchive,
+    config: &ArchiveConfig,
+    durable: Option<&mut Box<dyn DurableStore>>,
+) {
     if ra.open.is_empty() {
         return;
     }
-    let compact_min = config.compact_min_bytes;
     let seg = Segment::build(relation, ra.open_epoch, ra.open_epoch, &ra.open);
     ra.open.clear();
+    // The durability barrier sits exactly here: the freshly built frame
+    // is logged (and made crash-safe) *before* it becomes visible in
+    // memory, so the log is always a superset of the sealed state and
+    // recovery replays it through `enforce` to the identical in-memory
+    // archive. Compacted/merged frames are deliberately NOT re-logged:
+    // the append-only log keeps pre-compaction frames and the replay
+    // re-derives every merge (DESIGN.md §2.14).
+    if let Some(store) = durable {
+        store.append(relation, seg.as_bytes());
+        store.barrier();
+    }
     ra.sealed.push_back(seg);
+    enforce(relation, ra, config);
+}
+
+/// Compaction and retention over `ra.sealed` — the enforcement half of
+/// [`seal_open`], shared with durable recovery so replaying logged
+/// frames reproduces the exact segmentation the live run had.
+fn enforce(relation: &str, ra: &mut RelationArchive, config: &ArchiveConfig) {
+    let compact_min = config.compact_min_bytes;
     // Compact: merge the trailing pair while both are undersized. The
     // merged segment keeps the combined epoch range.
     while ra.sealed.len() >= 2 {
@@ -526,6 +550,10 @@ fn eqs_match(tuple: &Tuple, eqs: &[(usize, Value)]) -> bool {
 pub struct Archive {
     config: ArchiveConfig,
     relations: BTreeMap<String, RelationArchive>,
+    /// Crash-surviving sink for sealed frames (DESIGN.md §2.14); `None`
+    /// — the default — costs the seal path nothing and leaves behavior
+    /// byte-identical to the pre-durability engine.
+    durable: Option<Box<dyn DurableStore>>,
 }
 
 impl Archive {
@@ -534,12 +562,49 @@ impl Archive {
         Archive {
             config,
             relations: BTreeMap::new(),
+            durable: None,
         }
     }
 
     /// The configured knobs.
     pub fn config(&self) -> &ArchiveConfig {
         &self.config
+    }
+
+    /// Boot (or re-boot) this archive from a durable store: run the
+    /// store's recovery pass, replay every recovered frame through the
+    /// same push-and-enforce pipeline the live seal path uses — which
+    /// re-derives compaction and retention decisions and therefore the
+    /// exact in-memory segmentation the pre-crash node held for its
+    /// sealed epochs — then adopt the store as this archive's sink.
+    ///
+    /// Rows that were still in open (unsealed) buffers at the crash are
+    /// gone: the durability contract covers the clean prefix of *sealed*
+    /// epochs, nothing more. Soft counters (`spilled_rows`, scans, …)
+    /// restart from the replay.
+    pub fn recover_from(&mut self, mut store: Box<dyn DurableStore>) {
+        let recovery = store.recover();
+        let config = self.config;
+        for (relation, segments) in recovery.relations {
+            let ra = self.relations.entry(relation.clone()).or_default();
+            for seg in segments {
+                ra.sealed.push_back(seg);
+                enforce(&relation, ra, &config);
+            }
+        }
+        self.durable = Some(store);
+    }
+
+    /// Detach the durable store (crash teardown: the harness moves it to
+    /// the node's next incarnation). Open buffers are *not* sealed first
+    /// — a crash loses them, by contract.
+    pub fn take_durable(&mut self) -> Option<Box<dyn DurableStore>> {
+        self.durable.take()
+    }
+
+    /// Durable-tier counters, when durability is on.
+    pub fn durable_stats(&self) -> Option<DurableStats> {
+        self.durable.as_ref().map(|d| d.stats())
     }
 
     /// Append spilled rows to `relation`'s history. Rows must arrive in
@@ -549,11 +614,12 @@ impl Archive {
     pub fn spill(&mut self, relation: &str, rows: impl IntoIterator<Item = SpilledRow>) {
         let epoch_len = self.config.epoch.0.max(1);
         let config = self.config;
+        let durable = &mut self.durable;
         let ra = self.relations.entry(relation.to_string()).or_default();
         for row in rows {
             let epoch = row.dropped_at.0 / epoch_len;
             if !ra.open.is_empty() && epoch > ra.open_epoch {
-                seal_open(relation, ra, &config);
+                seal_open(relation, ra, &config, durable.as_mut());
             }
             if ra.open.is_empty() {
                 ra.open_epoch = epoch;
@@ -595,12 +661,35 @@ impl Archive {
         self.spill(relation, rows);
     }
 
+    /// Seal every open buffer whose epoch is strictly older than
+    /// `now`'s epoch. Rows spill in non-decreasing drop order per
+    /// relation, so once the clock has left an epoch no further row can
+    /// land in it — sealing it produces exactly the segment the next
+    /// spill would have sealed anyway, just earlier. This is the
+    /// durability checkpoint's hook: expired history becomes crash-safe
+    /// at every sweep instead of waiting for the next epoch-crossing
+    /// spill. The current epoch stays open (sealing it early would
+    /// split an epoch across segments and diverge from the no-crash
+    /// segmentation).
+    pub fn seal_aged(&mut self, now: Time) {
+        let epoch_len = self.config.epoch.0.max(1);
+        let current = now.0 / epoch_len;
+        let config = self.config;
+        let durable = &mut self.durable;
+        for (relation, ra) in self.relations.iter_mut() {
+            if !ra.open.is_empty() && ra.open_epoch < current {
+                seal_open(relation, ra, &config, durable.as_mut());
+            }
+        }
+    }
+
     /// Seal every open buffer, freezing all spilled rows into segments.
     /// Forensic readers call this so answers come from segments alone.
     pub fn seal_all(&mut self) {
         let config = self.config;
+        let durable = &mut self.durable;
         for (relation, ra) in self.relations.iter_mut() {
-            seal_open(relation, ra, &config);
+            seal_open(relation, ra, &config, durable.as_mut());
         }
     }
 
@@ -727,28 +816,80 @@ impl ImportedHistory {
         mut segments: Vec<Segment>,
         max_age_epochs: Option<u64>,
     ) {
-        if let Some(max_age) = max_age_epochs {
-            let newest = segments
-                .iter()
-                .map(Segment::epoch_hi)
-                .filter(|&e| e != u64::MAX)
-                .max();
-            if let Some(newest) = newest {
-                let before = segments.len() as u64;
-                segments.retain(|s| s.epoch_hi().saturating_add(max_age) >= newest);
-                let dropped = before - segments.len() as u64;
-                if dropped > 0 {
-                    *self
-                        .age_dropped
-                        .entry((origin.to_string(), relation.to_string()))
-                        .or_default() += dropped;
-                }
-            }
-        }
+        self.apply_age(origin, relation, &mut segments, max_age_epochs);
         self.by_origin
             .entry(origin.to_string())
             .or_default()
             .insert(relation.to_string(), segments);
+    }
+
+    /// Apply a **delta** shipment for `(origin, relation)`: the origin
+    /// promises that its sealed baseline up to epoch `prev_hi` is
+    /// unchanged (no compaction crossed it — it falls back to a full
+    /// shipment otherwise), so the holder keeps its sealed frames at or
+    /// below that watermark, drops everything newer (the previous
+    /// shipment's open-buffer and live-row tail frames, now re-frozen
+    /// into the incoming sealed segments), mirrors the origin's front
+    /// retention by dropping sealed frames older than `oldest`, and
+    /// appends the incoming frames. The result is byte-identical to the
+    /// full export the origin would have shipped.
+    pub fn apply_delta(
+        &mut self,
+        origin: &str,
+        relation: &str,
+        prev_hi: u64,
+        oldest: u64,
+        segments: Vec<Segment>,
+        max_age_epochs: Option<u64>,
+    ) {
+        let held = self
+            .by_origin
+            .entry(origin.to_string())
+            .or_default()
+            .entry(relation.to_string())
+            .or_default();
+        held.retain(|s| s.epoch_hi() <= prev_hi && s.epoch_lo() >= oldest);
+        held.extend(segments);
+        let mut merged = std::mem::take(held);
+        self.apply_age(origin, relation, &mut merged, max_age_epochs);
+        self.by_origin
+            .entry(origin.to_string())
+            .or_default()
+            .insert(relation.to_string(), merged);
+    }
+
+    /// The holder's age policy, shared by wholesale and delta imports:
+    /// with `max_age_epochs` set, sealed segments whose newest epoch
+    /// trails the shipment's newest sealed epoch by more than that many
+    /// epochs are dropped — the same predicate the origin's own frozen
+    /// tier uses — and the live-row frame (epoch `u64::MAX`, not a
+    /// seal) neither drops nor ages anything out.
+    fn apply_age(
+        &mut self,
+        origin: &str,
+        relation: &str,
+        segments: &mut Vec<Segment>,
+        max_age_epochs: Option<u64>,
+    ) {
+        let Some(max_age) = max_age_epochs else {
+            return;
+        };
+        let newest = segments
+            .iter()
+            .map(Segment::epoch_hi)
+            .filter(|&e| e != u64::MAX)
+            .max();
+        if let Some(newest) = newest {
+            let before = segments.len() as u64;
+            segments.retain(|s| s.epoch_hi().saturating_add(max_age) >= newest);
+            let dropped = before - segments.len() as u64;
+            if dropped > 0 {
+                *self
+                    .age_dropped
+                    .entry((origin.to_string(), relation.to_string()))
+                    .or_default() += dropped;
+            }
+        }
     }
 
     /// Whether any import (possibly empty) has been recorded for

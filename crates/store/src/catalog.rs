@@ -10,6 +10,7 @@ use crate::archive::{
     Archive, ArchiveConfig, ArchiveStats, ArchivedRow, ImportedHistory, Segment, SegmentError,
     SpilledRow, LIVE_SENTINEL,
 };
+use crate::durable::{DurableStats, DurableStore};
 use crate::table::{BatchOutcome, InsertOutcome, ProbeStats, Table, TableSpec};
 use p2_types::{Time, Tuple, Value};
 use std::collections::HashMap;
@@ -47,6 +48,22 @@ impl fmt::Display for CatalogError {
 }
 
 impl std::error::Error for CatalogError {}
+
+/// A history export plus the sealed-tier metadata delta shipping needs.
+/// See [`Catalog::export_history_meta`].
+#[derive(Debug)]
+pub struct HistoryExport {
+    /// Sealed segment frames (oldest first), then the synthetic
+    /// open-buffer frame (if any rows are open) and live-row frame (if
+    /// any rows are live).
+    pub frames: Vec<Segment>,
+    /// How many leading `frames` are sealed segments.
+    pub sealed: usize,
+    /// `epoch_hi` of the newest sealed segment (`None`: nothing sealed).
+    pub watermark: Option<u64>,
+    /// `epoch_lo` of the oldest retained sealed segment.
+    pub oldest: Option<u64>,
+}
 
 /// All materialized tables of one node.
 #[derive(Debug, Default)]
@@ -227,6 +244,48 @@ impl Catalog {
         self.archive.is_some()
     }
 
+    /// Boot the durable tier (DESIGN.md §2.14): run `store`'s recovery
+    /// pass — rebuilding the archive's sealed segments from the logs —
+    /// and adopt it as the sink every future seal writes through. A
+    /// no-op when the archive tier is off (there is nothing to persist).
+    pub fn recover_durability(&mut self, store: Box<dyn DurableStore>) {
+        if let Some(a) = self.archive.as_mut() {
+            a.recover_from(store);
+        }
+    }
+
+    /// Durability checkpoint, run at every periodic GC sweep: expire
+    /// every table at `now`, drain the spill buffers, and seal open
+    /// epochs strictly older than `now`'s — so everything that
+    /// logically expired before the sweep is in the durable log when
+    /// the node crashes. Expiry is logical (a row's drop time is its
+    /// lifetime boundary, not the instant this ran), so checkpointing
+    /// changes *when* rows drain, never what any query answers. A no-op
+    /// when no durable store is attached, which keeps durability-off
+    /// runs byte-identical to the pre-durability engine.
+    pub fn durable_checkpoint(&mut self, now: Time) {
+        if self.durable_stats().is_none() {
+            return;
+        }
+        self.expire_all(now);
+        self.archive_maintain();
+        if let Some(a) = self.archive.as_mut() {
+            a.seal_aged(now);
+        }
+    }
+
+    /// Detach the durable store for handover to the node's next
+    /// incarnation (crash teardown: open buffers are lost, by contract).
+    pub fn take_durable(&mut self) -> Option<Box<dyn DurableStore>> {
+        self.archive.as_mut().and_then(Archive::take_durable)
+    }
+
+    /// Durable-tier counters (`None` when durability is off) — the
+    /// `durable.*` sysStat feed.
+    pub fn durable_stats(&self) -> Option<DurableStats> {
+        self.archive.as_ref().and_then(Archive::durable_stats)
+    }
+
     /// Enroll a table: its dropped rows spill into the archive from now
     /// on. A no-op when archiving is disabled (no buffer can grow
     /// unbounded without a drain). Idempotent.
@@ -326,6 +385,15 @@ impl Catalog {
     /// `None` when archiving is disabled here — the peer must be told
     /// "no history" rather than silently handed an empty snapshot.
     pub fn export_history(&mut self, name: &str, now: Time) -> Option<Vec<Segment>> {
+        self.export_history_meta(name, now).map(|e| e.frames)
+    }
+
+    /// [`export_history`](Catalog::export_history), plus the sealed-tier
+    /// metadata the ship layer's delta-announce protocol keys on: how
+    /// many leading frames are sealed segments (the rest are the
+    /// synthetic open-buffer and live-row frames), the newest sealed
+    /// epoch (the shipment's watermark) and the oldest retained one.
+    pub fn export_history_meta(&mut self, name: &str, now: Time) -> Option<HistoryExport> {
         self.archive.as_ref()?;
         let live: Vec<(Tuple, Time)> = self
             .tables
@@ -339,6 +407,17 @@ impl Catalog {
             .as_ref()
             .map(|a| a.export_frames(name))
             .unwrap_or_default();
+        let sealed = self
+            .archive
+            .as_ref()
+            .map(|a| a.segments(name).len())
+            .unwrap_or(0);
+        let watermark = frames.get(sealed.wrapping_sub(1)).map(Segment::epoch_hi);
+        let oldest = if sealed > 0 {
+            frames.first().map(Segment::epoch_lo)
+        } else {
+            None
+        };
         if !live.is_empty() {
             let rows: Vec<SpilledRow> = live
                 .into_iter()
@@ -350,7 +429,12 @@ impl Catalog {
                 .collect();
             frames.push(Segment::build(name, u64::MAX, u64::MAX, &rows));
         }
-        Some(frames)
+        Some(HistoryExport {
+            frames,
+            sealed,
+            watermark,
+            oldest,
+        })
     }
 
     /// Install segment frames shipped from `origin` as that node's
@@ -367,6 +451,27 @@ impl Catalog {
             .as_ref()
             .and_then(|a| a.config().max_age_epochs);
         self.imported.replace(origin, relation, segments, max_age);
+    }
+
+    /// Apply a delta shipment from `origin` on top of the history held
+    /// for it (see [`ImportedHistory::apply_delta`]). The caller — the
+    /// ship layer — has already verified its held watermark matches the
+    /// delta's `prev_hi`; a mismatch means a missed announce and must
+    /// re-fetch the full history instead.
+    pub fn import_history_delta(
+        &mut self,
+        origin: &str,
+        relation: &str,
+        prev_hi: u64,
+        oldest: u64,
+        segments: Vec<Segment>,
+    ) {
+        let max_age = self
+            .archive
+            .as_ref()
+            .and_then(|a| a.config().max_age_epochs);
+        self.imported
+            .apply_delta(origin, relation, prev_hi, oldest, segments, max_age);
     }
 
     /// The shipped-history index (coverage checks, introspection).

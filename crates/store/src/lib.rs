@@ -23,6 +23,7 @@
 
 pub mod archive;
 pub mod catalog;
+pub mod durable;
 pub mod hash;
 pub mod table;
 
@@ -31,6 +32,10 @@ pub use archive::{
     SpilledRow, LIVE_SENTINEL,
 };
 pub use catalog::{Catalog, CatalogError, HistorySource};
+pub use durable::{
+    recover_log, recovery_report, DurableStats, DurableStore, Fault, FaultPlan, FaultingStore,
+    FileDurable, MemDurable, Recovery,
+};
 pub use hash::{FxHashMap, FxHashSet};
 pub use table::{
     BatchOutcome, InsertOutcome, Key, ProbeStats, Table, TableSpec, DEFAULT_AUTO_INDEX_THRESHOLD,

@@ -77,6 +77,51 @@ if ! cmp -s target/replay.4shard.txt target/replay.collect.4shard.txt; then
   diff target/replay.4shard.txt target/replay.collect.4shard.txt >&2 || true
   exit 1
 fi
+# Durability gates (DESIGN.md §2.14). Crash-restart recovery must be
+# deterministic: the replay report with a mid-run crash-restart of one
+# ring node (soft state lost, archive recovered from the durable log)
+# must be byte-identical at 1 and 4 shards.
+cargo run --release --bin p2ql -- replay --nodes 5 --seed 1 --shards 1 --restart 2 \
+    > target/replay.restart.1shard.txt
+cargo run --release --bin p2ql -- replay --nodes 5 --seed 1 --shards 4 --restart 2 \
+    > target/replay.restart.4shard.txt
+if ! cmp -s target/replay.restart.1shard.txt target/replay.restart.4shard.txt; then
+  echo "tier1: crash-restart replay diverged between 1 and 4 shards" >&2
+  diff target/replay.restart.1shard.txt target/replay.restart.4shard.txt >&2 || true
+  exit 1
+fi
+# A collector subscribed to the restarted deployment must reconstruct
+# the same report from shipped history (the reborn origin's generation
+# bump re-baselines it).
+cargo run --release --bin p2ql -- replay --nodes 5 --seed 1 --shards 1 --restart 2 --collect \
+    > target/replay.restart.collect.txt
+if ! cmp -s target/replay.restart.1shard.txt target/replay.restart.collect.txt; then
+  echo "tier1: collector replay over a restarted deployment diverged" >&2
+  diff target/replay.restart.1shard.txt target/replay.restart.collect.txt >&2 || true
+  exit 1
+fi
+# The file backend must produce the very same report as the in-memory
+# one, and a corrupted data dir must recover (quarantine + truncate)
+# with a clean exit — recovery never panics.
+rm -rf target/tier1-durable
+cargo run --release --bin p2ql -- replay --nodes 5 --seed 1 --shards 1 --restart 2 \
+    --data-dir target/tier1-durable > target/replay.restart.file.txt
+if ! cmp -s target/replay.restart.1shard.txt target/replay.restart.file.txt; then
+  echo "tier1: file-backed crash-restart replay diverged from in-memory" >&2
+  diff target/replay.restart.1shard.txt target/replay.restart.file.txt >&2 || true
+  exit 1
+fi
+printf 'torn tail and then some garbage' >> target/tier1-durable/n2/rel-0.seglog
+cargo run --release --bin p2ql -- recover --dir target/tier1-durable/n2 \
+    > target/recover.audit.txt
+if grep -q "truncated 0 tail bytes" target/recover.audit.txt; then
+  echo "tier1: recover missed the injected log damage" >&2
+  exit 1
+fi
+# A second audit must find the log rewritten clean.
+cargo run --release --bin p2ql -- recover --dir target/tier1-durable/n2 \
+    > target/recover.audit2.txt
+grep -q "truncated 0 tail bytes, quarantined 0 frames" target/recover.audit2.txt
 cargo bench --no-run
 cargo bench -p p2-bench --bench engine -- --test
 cargo bench -p p2-bench --bench store_probe -- --test
@@ -85,6 +130,7 @@ cargo bench -p p2-bench --bench strand_eval -- --test
 cargo bench -p p2-bench --bench population_scale -- --test
 cargo bench -p p2-bench --bench archive_scan -- --test
 cargo bench -p p2-bench --bench segment_ship -- --test
+cargo bench -p p2-bench --bench durable_recover -- --test
 # Population-scaling emission: the CI-sized sweep exercises the full
 # `figures scale --json` path (its internal assert re-checks that every
 # shard count sends exactly the sequential engine's envelope count).

@@ -7,6 +7,7 @@
 //! p2ql run    prog.olg [options]       # execute on a simulated population
 //! p2ql trace  prog.olg [options]       # run + dump ruleExec/tupleTable
 //! p2ql replay [options]                # forensic time-travel demo (below)
+//! p2ql recover --dir PATH              # offline durable-log recovery audit
 //!
 //! check runs the whole `p2-analysis` pipeline — validation, type
 //! inference, location safety, liveness lints, and a planner dry run —
@@ -69,6 +70,19 @@
 //!                    deployment-wide history instead of walking each
 //!                    origin's archive. The report must be
 //!                    byte-identical either way — tier-1 diffs the two.
+//!   --restart I      after the post run, crash-restart ring node I
+//!                    (mod ring size): all soft state is lost, the
+//!                    archive recovers from the durable segment log
+//!                    (DESIGN.md §2.14), and every verdict over
+//!                    pre-crash instants is answered from recovered
+//!                    segments. Implies durability (in-memory backend
+//!                    unless --data-dir is also given). The report is
+//!                    still shard-count-invariant — tier-1 diffs 1
+//!                    shard against 4 with a restart injected.
+//!   --data-dir PATH  put the durable logs on disk under PATH (one
+//!                    subdirectory per node); implies durability.
+//!                    `p2ql recover --dir PATH/<node>` audits what a
+//!                    reboot would recover from such a directory.
 
 use p2ql::core::{NodeConfig, SimHarness};
 use p2ql::net::SimConfig;
@@ -78,7 +92,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: p2ql <check|fmt|plan|run|trace|replay> [file.olg] [options]");
+        eprintln!("usage: p2ql <check|fmt|plan|run|trace|replay|recover> [file.olg] [options]");
         return ExitCode::from(2);
     };
     if cmd == "check" {
@@ -86,6 +100,9 @@ fn main() -> ExitCode {
     }
     if cmd == "replay" {
         return replay(&args[1..]);
+    }
+    if cmd == "recover" {
+        return recover(&args[1..]);
     }
     let Some(path) = args.get(1) else {
         eprintln!("missing program file");
@@ -560,6 +577,14 @@ struct ReplayOpts {
     warm_secs: u64,
     post_secs: u64,
     collect: bool,
+    /// Crash-restart the ring node with this index after the post run;
+    /// its soft state is lost and its archive recovers from the durable
+    /// log (DESIGN.md §2.14). Implies durability (in-memory backend
+    /// unless `--data-dir` picks the file backend).
+    restart: Option<usize>,
+    /// Root directory for file-backed durable logs (one subdirectory
+    /// per node). Implies durability.
+    data_dir: Option<String>,
 }
 
 fn parse_replay_opts(args: &[String]) -> Result<ReplayOpts, String> {
@@ -570,6 +595,8 @@ fn parse_replay_opts(args: &[String]) -> Result<ReplayOpts, String> {
         warm_secs: 180,
         post_secs: 120,
         collect: false,
+        restart: None,
+        data_dir: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -593,6 +620,14 @@ fn parse_replay_opts(args: &[String]) -> Result<ReplayOpts, String> {
             "--warm" => o.warm_secs = val("--warm")?.parse().map_err(|e| format!("--warm: {e}"))?,
             "--post" => o.post_secs = val("--post")?.parse().map_err(|e| format!("--post: {e}"))?,
             "--collect" => o.collect = true,
+            "--restart" => {
+                o.restart = Some(
+                    val("--restart")?
+                        .parse()
+                        .map_err(|e| format!("--restart: {e}"))?,
+                )
+            }
+            "--data-dir" => o.data_dir = Some(val("--data-dir")?),
             other => return Err(format!("unknown replay option '{other}'")),
         }
     }
@@ -660,6 +695,28 @@ fn replay_scenario<H: p2ql::core::Population>(sim: &mut H, o: &ReplayOpts) -> St
     // at both probe instants expire out of the live tier. Everything
     // below reads archived history.
     sim.run_for(TimeDelta::from_secs(o.post_secs));
+
+    // Crash-restart: the chosen node loses every piece of soft state
+    // and recovers its sealed archive from the durable log, then the
+    // ring re-stabilizes. The verdicts below range over instants before
+    // the crash — they are answered from recovered segments.
+    if let Some(i) = o.restart {
+        let addr = ring.addrs[i % ring.addrs.len()].clone();
+        let _ = writeln!(
+            out,
+            "crash-restart {addr}: soft state lost, archive recovered from the durable log"
+        );
+        if sim.restart(&addr).is_err() {
+            let _ = writeln!(out, "  restart failed to reinstall programs");
+        }
+        // Subscriptions are soft state too: re-enroll the reborn origin.
+        // Its bumped announce generation makes the collector re-baseline
+        // rather than ignore announcements it thinks it has seen.
+        if let Some(c) = &collector {
+            sim.node_mut(&addr).ship_subscribe(c.clone());
+        }
+        sim.run_for(TimeDelta::from_secs(30));
+    }
     let t_end = sim.now();
 
     let verdict = |sim: &mut H, t: Time, out: &mut String| {
@@ -744,6 +801,34 @@ fn replay_scenario<H: p2ql::core::Population>(sim: &mut H, o: &ReplayOpts) -> St
     out
 }
 
+/// `p2ql recover --dir PATH` — offline recovery audit of one node's
+/// file-backed durable log directory (DESIGN.md §2.14). Runs the same
+/// recovery pass a booting node would (torn tails truncated, corrupt
+/// frames quarantined, dirty logs rewritten clean) and prints the
+/// per-relation summary. Always exits 0 on a readable directory, no
+/// matter how damaged the logs are — recovery never panics.
+fn recover(args: &[String]) -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => dir = it.next().cloned(),
+            other => {
+                eprintln!("unknown recover option '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("usage: p2ql recover --dir PATH");
+        return ExitCode::from(2);
+    };
+    let mut out = String::new();
+    p2ql::store::recovery_report(std::path::Path::new(&dir), &mut out);
+    print!("{out}");
+    ExitCode::SUCCESS
+}
+
 fn replay(args: &[String]) -> ExitCode {
     let o = match parse_replay_opts(args) {
         Ok(o) => o,
@@ -752,7 +837,21 @@ fn replay(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let node_config = NodeConfig::forensic();
+    let mut node_config = NodeConfig::forensic();
+    // `--restart` / `--data-dir` switch durability on: every sealed
+    // segment is logged (in memory, or under the data dir) so the
+    // crash-restart step can recover it. With neither flag the run is
+    // byte-identical to before durability existed.
+    if o.restart.is_some() || o.data_dir.is_some() {
+        node_config.durability = Some(p2ql::core::DurabilityMode {
+            backend: match &o.data_dir {
+                Some(dir) => p2ql::core::DurableBackend::Dir(dir.into()),
+                None => p2ql::core::DurableBackend::Memory,
+            },
+            fsync: false,
+            plan: None,
+        });
+    }
     let report = if o.shards == 1 {
         let mut sim = SimHarness::new(SimConfig::default(), node_config, o.seed);
         replay_scenario(&mut sim, &o)

@@ -334,6 +334,8 @@ fn export_wire_import_is_bit_identical() {
                 relation: "seen".into(),
                 chunk: i as u32,
                 chunks,
+                watermark: 0,
+                oldest_lo: 0,
                 bytes: part.clone(),
             };
             let p2ql::net::ShipMsg::Reply { bytes, .. } = &shipped else {
